@@ -1,0 +1,50 @@
+// Ablation: the write-inlining threshold (172 B on the paper's
+// testbed, Section 7.2). Sweeping the threshold moves the write-latency
+// step of Fig. 11b; setting it to zero makes small writes pay the PCIe
+// fetch like reads do.
+
+#include "bench_common.h"
+
+using namespace redy;
+
+namespace {
+
+double WriteLatencyUs(uint32_t inline_threshold, uint32_t record) {
+  TestbedOptions o = bench::BenchTestbed();
+  o.fabric.inline_threshold_bytes = inline_threshold;
+  Testbed tb(o);
+  MeasurementApp app(&tb);
+  MeasurementApp::WorkloadOptions w;
+  w.cache_bytes = 16 * kMiB;
+  w.record_bytes = record;
+  w.write_fraction = 1.0;
+  w.warmup = 100 * kMicrosecond;
+  w.window = 600 * kMicrosecond;
+  w.inflight_override = 1;
+  auto m = app.Measure(RdmaConfig{1, 0, 1, 1}, w);
+  return m.ok() ? m->point.latency_us : -1;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Write-inlining threshold ablation",
+                     "design choice behind the Fig. 11b write/read gap");
+
+  const uint32_t sizes[] = {8, 64, 128, 172, 256, 512};
+  std::printf("%-22s", "threshold \\ record");
+  for (uint32_t s : sizes) std::printf(" %7uB", s);
+  std::printf("\n");
+  for (uint32_t threshold : {0u, 64u, 172u, 512u}) {
+    std::printf("inline <= %-12u", threshold);
+    for (uint32_t s : sizes) {
+      std::printf(" %7.2f", WriteLatencyUs(threshold, s));
+    }
+    std::printf("   us\n");
+  }
+  std::printf("\nexpected: records at or below the threshold skip the PCIe "
+              "DMA fetch\n(~0.35 us cheaper); the step in each row sits at "
+              "its threshold, matching\nthe paper's observation that "
+              "inlining stops working at 172 B.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+#ifndef REDY_BENCH_BENCH_COMMON_H_
+#define REDY_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the figure-reproduction benchmark binaries. Each
+// binary regenerates one table/figure of the paper and prints the rows
+// the paper plots; EXPERIMENTS.md records paper-vs-measured.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "redy/measurement.h"
+#include "redy/perf_model.h"
+#include "redy/testbed.h"
+
+namespace redy::bench {
+
+inline void PrintHeader(const std::string& title, const std::string& ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t i = static_cast<size_t>(q * (v.size() - 1));
+  return v[i];
+}
+
+/// Wall-clock seconds of a callable (used for search-time reporting).
+template <typename Fn>
+double WallSeconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// The benchmark-scale configuration bounds: 16 client cores (the
+/// paper's 30-core space is quoted alongside), 8-byte records
+/// (B = 512), NIC queue depth 16.
+inline ConfigBounds BenchBounds() {
+  ConfigBounds b;
+  b.max_client_threads = 16;
+  b.record_bytes = 8;
+  b.max_queue_depth = 16;
+  return b;
+}
+
+inline TestbedOptions BenchTestbed() {
+  // One server per rack: every cache lands at least 3 switches from the
+  // client, matching the paper's testbed RTT (~2.9 us median).
+  TestbedOptions o;
+  o.pods = 2;
+  o.racks_per_pod = 16;
+  o.servers_per_rack = 1;
+  o.client.region_bytes = 16 * kMiB;
+  return o;
+}
+
+/// Builds (or loads from `cache_path`) the offline performance model by
+/// actually measuring power-of-two grid configurations on the simulated
+/// fabric — the Fig. 9 modeling loop. One build takes a minute or two
+/// of real time; the result is cached on disk like a real deployment
+/// would reuse its offline model.
+inline PerfModel BuildOrLoadModel(const std::string& cache_path,
+                                  OfflineModeler::Stats* stats = nullptr) {
+  const ConfigBounds bounds = BenchBounds();
+  auto loaded = PerfModel::LoadFromFile(cache_path);
+  if (loaded.ok() &&
+      loaded->bounds().max_client_threads == bounds.max_client_threads &&
+      loaded->bounds().record_bytes == bounds.record_bytes) {
+    if (stats != nullptr) {
+      stats->space_size = bounds.SpaceSize();
+      stats->measured = loaded->num_measurements();
+    }
+    std::printf("[model] loaded %llu measured configs from %s\n",
+                static_cast<unsigned long long>(loaded->num_measurements()),
+                cache_path.c_str());
+    return std::move(*loaded);
+  }
+
+  std::printf("[model] building offline model (measuring grid configs "
+              "on the simulated fabric)...\n");
+  Testbed tb(BenchTestbed());
+  MeasurementApp app(&tb);
+  MeasurementApp::WorkloadOptions w;
+  w.cache_bytes = 8 * kMiB;
+  w.record_bytes = bounds.record_bytes;
+  w.warmup = 100 * kMicrosecond;
+  w.window = 400 * kMicrosecond;
+
+  OfflineModeler::Options opt;
+  opt.interpolate = true;
+  opt.early_termination = true;
+  PerfModel model = OfflineModeler::Build(
+      bounds,
+      [&](const RdmaConfig& cfg) {
+        auto m = app.Measure(cfg, w);
+        if (!m.ok()) return PerfPoint{1e9, 0.0};
+        return m->point;
+      },
+      opt, stats);
+  model.SaveToFile(cache_path);
+  std::printf("[model] built %llu measurements, cached at %s\n",
+              static_cast<unsigned long long>(model.num_measurements()),
+              cache_path.c_str());
+  return model;
+}
+
+inline const char* kModelCachePath = "redy_bench_model.cache";
+
+}  // namespace redy::bench
+
+#endif  // REDY_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,71 @@
+// Figure 7: effectiveness of the Section 4.3 static optimizations on
+// latency. One application thread, one client thread, one server
+// thread, 8-byte records, batch size 1; each optimization is enabled
+// cumulatively: lock-free rings -> one-sided singleton translation ->
+// fully-loaded queue pairs (q=4) -> NUMA-aware affinitized threads.
+
+#include "bench_common.h"
+
+using namespace redy;
+
+namespace {
+
+struct Step {
+  const char* name;
+  bool lockfree;
+  bool one_sided;
+  uint32_t q;
+  bool numa;
+  const char* paper_median;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Latency impact of static optimizations",
+                     "Fig. 7 (Section 4.3)");
+
+  const Step steps[] = {
+      {"baseline (locks)", false, false, 1, false, "~19us, ~7x tail"},
+      {"+ lock-free rings", true, false, 1, false, "19 us"},
+      {"+ one-sided ops", true, true, 1, false, "12 us"},
+      {"+ fully-loaded QPs", true, true, 4, false, "7.1 us"},
+      {"+ NUMA affinity", true, true, 4, true, "5 us"},
+  };
+
+  std::printf("%-22s %10s %10s %10s   %s\n", "configuration", "net RTT",
+              "median", "p99", "paper median");
+  for (const Step& st : steps) {
+    TestbedOptions o = bench::BenchTestbed();
+    o.costs.lockfree_rings = st.lockfree;
+    o.costs.one_sided_singletons = st.one_sided;
+    o.costs.numa_affinitized = st.numa;
+    Testbed tb(o);
+
+    MeasurementApp app(&tb);
+    MeasurementApp::WorkloadOptions w;
+    w.cache_bytes = 16 * kMiB;
+    w.record_bytes = 8;
+    w.warmup = 300 * kMicrosecond;
+    w.window = 3000 * kMicrosecond;
+    w.inflight_override = st.q;  // load the QP to its depth
+    auto m = app.Measure(RdmaConfig{1, 1, 1, st.q}, w);
+    if (!m.ok()) {
+      std::printf("%-22s failed: %s\n", st.name,
+                  m.status().ToString().c_str());
+      continue;
+    }
+    // Median raw network round trip (benchmark caches sit at the
+    // 3-switch intra-cluster distance, as in the paper's testbed).
+    const auto& p = tb.fabric().params();
+    const double rtt_us = ToMicros(2 * p.OneWayNs(3));
+    std::printf("%-22s %7.1f us %7.1f us %7.1f us   %s\n", st.name, rtt_us,
+                m->latency_ns.Percentile(0.5) / 1e3,
+                m->latency_ns.Percentile(0.99) / 1e3, st.paper_median);
+  }
+  std::printf("\nshape check: each optimization lowers the median; the "
+              "lock-free step\ncollapses the p99 tail; one-sided removes the "
+              "server hop; queue depth\nhides waiting; affinity removes "
+              "scheduler noise.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 10 / Section 5.2 "Online Searching": the SLO-driven
+// configuration search. 100 random SLOs drawn between the model's
+// extreme latency/throughput values; reports search time and the
+// leaf-visit reduction from pruning (~25% in the paper).
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "redy/slo_search.h"
+
+using namespace redy;
+
+int main() {
+  bench::PrintHeader("Online SLO search", "Fig. 10 / Section 5.2");
+
+  PerfModel model = bench::BuildOrLoadModel(bench::kModelCachePath);
+
+  // Extremes of the model define the SLO draw range (Section 7.3).
+  double lat_lo = 1e18, lat_hi = 0, tput_lo = 1e18, tput_hi = 0;
+  const ConfigBounds& b = model.bounds();
+  for (uint32_t s : {0u, 1u, 2u, 4u, 8u, 16u}) {
+    for (uint32_t c : {1u, 2u, 4u, 8u, 16u}) {
+      if (c < s || s > b.max_client_threads) continue;
+      for (uint32_t bb : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+        if (s == 0 && bb != 1) continue;
+        for (uint32_t q : {1u, 2u, 4u, 8u, 16u}) {
+          auto p = model.Measurement({c, s, bb, q});
+          if (!p.ok()) continue;
+          lat_lo = std::min(lat_lo, p->latency_us);
+          lat_hi = std::max(lat_hi, p->latency_us);
+          tput_lo = std::min(tput_lo, p->throughput_mops);
+          tput_hi = std::max(tput_hi, p->throughput_mops);
+        }
+      }
+    }
+  }
+  std::printf("model range: latency %.1f..%.1f us, throughput %.2f..%.1f "
+              "MOPS\n\n", lat_lo, lat_hi, tput_lo, tput_hi);
+
+  Rng rng(0x510);
+  uint64_t pruned_leaves = 0, full_leaves = 0;
+  int found = 0;
+  std::vector<double> times;
+  double total_c = 0, total_s = 0;
+  const int kSlos = 100;
+  for (int i = 0; i < kSlos; i++) {
+    Slo slo;
+    slo.record_bytes = 8;
+    slo.max_latency_us = lat_lo + rng.NextDouble() * (lat_hi - lat_lo);
+    slo.min_throughput_mops =
+        tput_lo + rng.NextDouble() * (tput_hi - tput_lo);
+
+    SearchResult rp, rf;
+    times.push_back(
+        bench::WallSeconds([&] { rp = SearchSloConfig(model, slo, true); }));
+    rf = SearchSloConfig(model, slo, false);
+    pruned_leaves += rp.leaves_visited;
+    full_leaves += rf.leaves_visited;
+    if (rp.found) {
+      found++;
+      total_c += rp.config.c;
+      total_s += rp.config.s;
+    }
+  }
+
+  std::printf("SLOs satisfiable: %d / %d\n", found, kSlos);
+  std::printf("leaves visited:   %llu with pruning, %llu without "
+              "(%.1f%% reduction; paper: ~25%%)\n",
+              static_cast<unsigned long long>(pruned_leaves),
+              static_cast<unsigned long long>(full_leaves),
+              100.0 * (1.0 - static_cast<double>(pruned_leaves) /
+                                 static_cast<double>(full_leaves)));
+  std::printf("search wall time: avg %.6f s, median %.6f s, max %.6f s "
+              "(paper: avg 0.027 s, median 0.01 s)\n",
+              [&] {
+                double sum = 0;
+                for (double t : times) sum += t;
+                return sum / times.size();
+              }(),
+              bench::Percentile(times, 0.5), bench::Percentile(times, 1.0));
+  if (found > 0) {
+    std::printf("avg resulting client/server threads: %.1f / %.1f "
+                "(paper: 7.3 / 1.6)\n", total_c / found, total_s / found);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 12: read/write throughput with throughput-optimal and
+// stranded-memory (s = 0, one-sided only) configurations for record
+// sizes 4 B .. 16 KB, against the raw network's message rate.
+
+#include "bench_common.h"
+#include "rdma/queue_pair.h"
+
+using namespace redy;
+
+namespace {
+
+// Raw one-QP saturated message rate (nd_*_bw equivalent).
+double RawMops(bool write, uint32_t bytes) {
+  sim::Simulation sim;
+  rdma::Fabric fabric(&sim, net::Topology(2, 2, 8));
+  rdma::Nic* c = fabric.NicAt(0);
+  rdma::Nic* s = fabric.NicAt(1);
+  rdma::QueuePair* qp = c->CreateQueuePair(16);
+  rdma::QueuePair* peer = s->CreateQueuePair(16);
+  (void)qp->Connect(peer);
+  rdma::MemoryRegion* local = c->RegisterMemory(64 * kKiB);
+  rdma::MemoryRegion* remote = s->RegisterMemory(64 * kKiB);
+
+  uint64_t completed = 0;
+  uint64_t posted = 0;
+  const sim::SimTime window = 2 * kMillisecond;
+  while (sim.Now() < window) {
+    Status st = write ? qp->PostWrite(posted, local, 0, remote->remote_key(),
+                                      0, bytes)
+                      : qp->PostRead(posted, local, 0, remote->remote_key(),
+                                     0, bytes);
+    if (st.ok()) {
+      posted++;
+    } else {
+      if (!sim.Step()) break;
+    }
+    rdma::WorkCompletion wc;
+    while (qp->send_cq().Poll(&wc, 1) == 1) completed++;
+  }
+  return static_cast<double>(completed) / ToSeconds(window) / 1e6;
+}
+
+double RedyMops(bool write, uint32_t bytes, bool stranded) {
+  Testbed tb(bench::BenchTestbed());
+  MeasurementApp app(&tb);
+  MeasurementApp::WorkloadOptions w;
+  w.cache_bytes = std::max<uint64_t>(32 * kMiB, 64ull * bytes);
+  w.record_bytes = bytes;
+  w.write_fraction = write ? 1.0 : 0.0;
+  w.warmup = 150 * kMicrosecond;
+  w.window = 700 * kMicrosecond;
+
+  ConfigBounds b = bench::BenchBounds();
+  b.record_bytes = bytes;
+  RdmaConfig cfg;
+  if (stranded) {
+    cfg = RdmaConfig{12, 0, 1, 16};  // one-sided: usable on stranded memory
+  } else {
+    cfg = RdmaConfig{12, 8, b.MaxBatch(), 16};  // throughput-optimal
+  }
+  auto m = app.Measure(cfg, w);
+  return m.ok() ? m->point.throughput_mops : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Throughput vs record size (throughput-optimal + stranded configs)",
+      "Fig. 12a/12b (Section 7.2)");
+  std::printf("%-10s | %9s %9s %9s | %9s %9s %9s   (MOPS)\n", "size",
+              "rd opt", "rd strd", "rd raw", "wr opt", "wr strd", "wr raw");
+  for (uint32_t size : {4u, 16u, 64u, 256u, 1024u, 4096u, 16384u}) {
+    std::printf("%7u B  | %9.2f %9.2f %9.2f | %9.2f %9.2f %9.2f\n", size,
+                RedyMops(false, size, false), RedyMops(false, size, true),
+                RawMops(false, size), RedyMops(true, size, false),
+                RedyMops(true, size, true), RawMops(true, size));
+  }
+  std::printf("\npaper anchors: ~200 MOPS at 16 B (an order of magnitude "
+              "over the raw\nmessage rate, thanks to batching); advantage "
+              "shrinks as records grow\nand the wire becomes the "
+              "bottleneck.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Figure 18 (a-h): FASTER running YCSB over three storage devices —
+// the Redy-fronted tiered device, SMB Direct, and a local SSD — when
+// the working set exceeds local memory. All byte sizes are the paper's
+// divided by 64 (see faster_bench.h); the ratios match the paper.
+
+#include "faster_bench.h"
+
+using namespace redy;
+using bench::DeviceKind;
+
+namespace {
+
+constexpr uint64_t kRecords = 2'000'000;          // paper: 250M (8B values)
+constexpr uint64_t kDbBytes = kRecords * 16;      // ~32 MiB (paper ~6 GB)
+constexpr uint64_t kLocal1GB = 16 * kMiB;         // paper: 1 GB
+constexpr uint64_t kRedy8GB = kDbBytes;           // paper: 8 GB cache
+
+void RunPanel(const char* title, const char* paper,
+              ycsb::Distribution dist, uint64_t local_bytes,
+              const std::vector<uint32_t>& threads) {
+  std::printf("\n--- %s ---\n", title);
+  std::printf("(paper anchor: %s)\n", paper);
+  std::printf("%-12s", "threads");
+  for (uint32_t t : threads) std::printf(" %9u", t);
+  std::printf("\n");
+  for (DeviceKind k :
+       {DeviceKind::kRedy, DeviceKind::kSmbDirect, DeviceKind::kSsd}) {
+    std::printf("%-12s", bench::DeviceName(k));
+    for (uint32_t t : threads) {
+      bench::FasterStackOptions o;
+      o.device = k;
+      o.db_bytes = kDbBytes;
+      o.local_memory_bytes = local_bytes;
+      o.redy_cache_bytes = kRedy8GB;
+      auto stack = bench::BuildFasterStack(o);
+      auto r = bench::RunYcsb(stack, t, dist, kRecords);
+      std::printf(" %9.3f", r.mops);
+      std::fflush(stdout);
+    }
+    std::printf("  MOPS\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("FASTER + YCSB across storage devices",
+                     "Fig. 18a-18h (Section 8.3)");
+
+  // (a) uniform, 8B values, "1 GB" local memory, thread sweep.
+  RunPanel("(a) uniform, 8B values, 1GB-equivalent local memory",
+           "redy 0.8 MOPS @1 thread, ~2x per thread; smb/ssd ~0.1-0.15, "
+           "10x gap",
+           ycsb::Distribution::kUniform, kLocal1GB, {1, 2, 4, 8});
+
+  // (b) Zipfian: local memory caches the hot set, everything rises.
+  RunPanel("(b) zipfian (theta=0.99), 1GB-equivalent local memory",
+           "higher than uniform for all devices; gap narrows",
+           ycsb::Distribution::kZipfian, kLocal1GB, {1, 2, 4, 8});
+
+  // (c) Zipfian with reduced local memory: back toward the uniform gap.
+  RunPanel("(c) zipfian, local memory reduced 4x",
+           "throughput and relative gaps approach the uniform case",
+           ycsb::Distribution::kZipfian, kLocal1GB / 4, {1, 2, 4, 8});
+
+  // (d) 1 KB values, 4 threads.
+  {
+    std::printf("\n--- (d) uniform, 1KB values, 4 threads ---\n");
+    std::printf("(paper anchor: redy 0.9 MOPS = 8x smb, 20x ssd)\n");
+    const uint64_t recs = 250'000;  // scaled from 250M @1KB (~260 GB)
+    for (DeviceKind k :
+         {DeviceKind::kRedy, DeviceKind::kSmbDirect, DeviceKind::kSsd}) {
+      bench::FasterStackOptions o;
+      o.device = k;
+      o.value_bytes = 1024;
+      o.db_bytes = recs * 1032;
+      o.local_memory_bytes = o.db_bytes / 16;
+      o.redy_cache_bytes = o.db_bytes;
+      auto stack = bench::BuildFasterStack(o);
+      auto r = bench::RunYcsb(stack, 4, ycsb::Distribution::kUniform, recs);
+      std::printf("%-12s %9.3f MOPS\n", bench::DeviceName(k), r.mops);
+      std::fflush(stdout);
+    }
+  }
+
+  // (e-h) Zipfian with large local caches: the tail still bottlenecks.
+  std::printf("\n--- (e-h) zipfian, large local caches "
+              "(10/20/40/80GB-equivalent) ---\n");
+  std::printf("(paper anchor: even at 80 GB local cache the Zipf tail "
+              "bottlenecks;\n redy keeps >= 2x over smb/ssd)\n");
+  std::printf("%-12s %9s %9s %9s %9s\n", "local mem", "redy", "smb", "ssd",
+              "redy/smb");
+  for (uint64_t frac : {10, 20, 40, 80}) {
+    double mops[3] = {0, 0, 0};
+    int i = 0;
+    for (DeviceKind k :
+         {DeviceKind::kRedy, DeviceKind::kSmbDirect, DeviceKind::kSsd}) {
+      bench::FasterStackOptions o;
+      o.device = k;
+      o.db_bytes = kDbBytes;
+      // Preserve the paper's local-cache/database ratio: 10..80 GB of
+      // a ~260 GB database.
+      o.local_memory_bytes = kDbBytes * frac / 260;
+      o.redy_cache_bytes = kDbBytes;
+      auto stack = bench::BuildFasterStack(o);
+      auto r = bench::RunYcsb(stack, 4, ycsb::Distribution::kZipfian,
+                              kRecords);
+      mops[i++] = r.mops;
+      std::fflush(stdout);
+    }
+    std::printf("%6llu GB*   %9.3f %9.3f %9.3f %8.1fx\n",
+                static_cast<unsigned long long>(frac), mops[0], mops[1],
+                mops[2], mops[0] / std::max(mops[1], 1e-9));
+  }
+  std::printf("(* paper-equivalent size; actual bytes scaled with the "
+              "database)\n");
+  return 0;
+}

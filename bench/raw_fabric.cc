@@ -1,0 +1,99 @@
+// Raw-fabric microbenchmark: the simulated counterparts of the Mellanox
+// nd_read_lat / nd_write_lat / nd_read_bw / nd_write_bw tools used as
+// the "raw network" baseline in Figs. 11-12, reported for the three
+// data-center distances of Section 5.2.
+
+#include "bench_common.h"
+#include "rdma/queue_pair.h"
+
+using namespace redy;
+
+namespace {
+
+struct RawResult {
+  double lat_us;
+  double mops;
+  double gbps;
+};
+
+RawResult Measure(bool write, uint32_t bytes, net::ServerId peer_node) {
+  sim::Simulation sim;
+  rdma::Fabric fabric(&sim, net::Topology(2, 2, 8));
+  rdma::Nic* c = fabric.NicAt(0);
+  rdma::Nic* s = fabric.NicAt(peer_node);
+  rdma::QueuePair* qp = c->CreateQueuePair(16);
+  rdma::QueuePair* sqp = s->CreateQueuePair(16);
+  (void)qp->Connect(sqp);
+  rdma::MemoryRegion* local = c->RegisterMemory(64 * kKiB);
+  rdma::MemoryRegion* remote = s->RegisterMemory(64 * kKiB);
+
+  // Latency: serial ops.
+  Histogram lat;
+  for (int i = 0; i < 100; i++) {
+    const sim::SimTime start = sim.Now();
+    if (write) {
+      (void)qp->PostWrite(i, local, 0, remote->remote_key(), 0, bytes);
+    } else {
+      (void)qp->PostRead(i, local, 0, remote->remote_key(), 0, bytes);
+    }
+    sim.Run();
+    rdma::WorkCompletion wc;
+    while (qp->send_cq().Poll(&wc, 1) == 1) lat.Add(wc.completed_at - start);
+  }
+
+  // Bandwidth: saturated queue depth over a window.
+  uint64_t completed = 0, posted = 0;
+  const sim::SimTime t0 = sim.Now();
+  const sim::SimTime window = 2 * kMillisecond;
+  while (sim.Now() - t0 < window) {
+    Status st = write ? qp->PostWrite(posted, local, 0,
+                                      remote->remote_key(), 0, bytes)
+                      : qp->PostRead(posted, local, 0, remote->remote_key(),
+                                     0, bytes);
+    if (st.ok()) {
+      posted++;
+    } else if (!sim.Step()) {
+      break;
+    }
+    rdma::WorkCompletion wc;
+    while (qp->send_cq().Poll(&wc, 1) == 1) completed++;
+  }
+  const double secs = ToSeconds(sim.Now() - t0);
+  RawResult r;
+  r.lat_us = lat.Percentile(0.5) / 1e3;
+  r.mops = static_cast<double>(completed) / secs / 1e6;
+  r.gbps = static_cast<double>(completed) * bytes * 8 / secs / 1e9;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Raw RDMA fabric microbenchmarks",
+                     "nd_{read,write}_{lat,bw} baselines for Figs. 11-12");
+
+  struct Dist {
+    const char* name;
+    net::ServerId peer;
+  };
+  const Dist dists[] = {{"1 switch (intra-rack)", 1},
+                        {"3 switches (intra-pod)", 8},
+                        {"5 switches (inter-pod)", 16}};
+  for (const Dist& d : dists) {
+    std::printf("\n%s\n", d.name);
+    std::printf("%-10s | %10s %9s %9s | %10s %9s %9s\n", "size",
+                "rd lat", "rd MOPS", "rd Gb/s", "wr lat", "wr MOPS",
+                "wr Gb/s");
+    for (uint32_t size : {8u, 64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
+      RawResult rd = Measure(false, size, d.peer);
+      RawResult wr = Measure(true, size, d.peer);
+      std::printf("%7u B  | %7.1f us %9.2f %9.2f | %7.1f us %9.2f %9.2f\n",
+                  size, rd.lat_us, rd.mops, rd.gbps, wr.lat_us, wr.mops,
+                  wr.gbps);
+    }
+  }
+  std::printf("\ncalibration anchors: ~2.7-2.9 us small-op round trip "
+              "(paper's median\nnetwork RTT), 100 Gb/s line rate at large "
+              "transfers (ConnectX-5).\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "cluster/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/vm_types.h"
+#include "common/logging.h"
+
+namespace redy::cluster {
+
+namespace {
+
+// VM size menus for the synthetic mix. Core-heavy sizes have ~4 GiB per
+// core (D-series-like); memory-heavy have ~8 GiB per core.
+struct Shape {
+  uint32_t cores;
+  uint64_t memory;
+};
+
+constexpr Shape kCoreHeavy[] = {
+    {2, 8 * kGiB}, {4, 16 * kGiB}, {8, 32 * kGiB}, {16, 64 * kGiB},
+};
+constexpr Shape kMemHeavy[] = {
+    {2, 16 * kGiB}, {4, 32 * kGiB}, {8, 64 * kGiB}, {16, 128 * kGiB},
+};
+
+}  // namespace
+
+WorkloadTrace::WorkloadTrace(sim::Simulation* sim, VmAllocator* allocator,
+                             TraceConfig config)
+    : sim_(sim),
+      allocator_(allocator),
+      config_(config),
+      rng_(config.seed),
+      stranded_since_(allocator->num_servers()) {
+  // Little's law: arrivals/ns so that (mean cores per VM) x (mean
+  // lifetime) x rate = target core occupancy.
+  double total_cores = 0;
+  for (int i = 0; i < allocator_->num_servers(); i++) {
+    total_cores += allocator_->server(i).cores_total;
+  }
+  const double mean_cores = 7.5;  // of the shape mix above
+  const double mean_lifetime_ns =
+      (config_.short_lived_fraction * config_.short_median_minutes +
+       (1 - config_.short_lived_fraction) * config_.long_median_minutes) *
+      std::exp(config_.lifetime_sigma * config_.lifetime_sigma / 2.0) *
+      static_cast<double>(kMinute);
+  base_arrival_rate_per_ns_ = total_cores * config_.target_core_utilization /
+                              (mean_cores * mean_lifetime_ns);
+}
+
+double WorkloadTrace::Diurnal(sim::SimTime t) const {
+  const double phase =
+      2.0 * M_PI * static_cast<double>(t % kDay) / static_cast<double>(kDay);
+  return 1.0 + config_.diurnal_amplitude * std::sin(phase);
+}
+
+void WorkloadTrace::ScheduleNextArrival() {
+  const double rate = base_arrival_rate_per_ns_ * Diurnal(sim_->Now());
+  const double gap = rng_.Exponential(1.0 / rate);
+  const sim::SimTime at = sim_->Now() + static_cast<sim::SimTime>(gap);
+  if (at > end_time_) return;
+  sim_->At(at, [this] {
+    OnArrival();
+    ScheduleNextArrival();
+  });
+}
+
+void WorkloadTrace::OnArrival() {
+  const bool core_heavy = rng_.Bernoulli(config_.core_heavy_fraction);
+  const Shape* menu = core_heavy ? kCoreHeavy : kMemHeavy;
+  const Shape shape = menu[rng_.Uniform(4)];
+
+  auto vm_or = allocator_->Allocate(shape.cores, shape.memory, /*spot=*/false,
+                                    std::nullopt, 5, false, {},
+                                    VmAllocator::Placement::kSpread);
+  if (!vm_or.ok()) return;  // cluster full: arrival is rejected
+  vms_started_++;
+  const VmId id = vm_or->id;
+  UpdateStranding(vm_or->server);
+
+  const bool short_lived = rng_.Bernoulli(config_.short_lived_fraction);
+  const double median_min =
+      short_lived ? config_.short_median_minutes : config_.long_median_minutes;
+  const double lifetime_ns =
+      rng_.LogNormal(std::log(median_min * static_cast<double>(kMinute)),
+                     config_.lifetime_sigma);
+  const net::ServerId server = vm_or->server;
+  sim_->After(static_cast<sim::SimTime>(lifetime_ns), [this, id, server] {
+    allocator_->Free(id);
+    UpdateStranding(server);
+  });
+}
+
+void WorkloadTrace::UpdateStranding(net::ServerId server) {
+  const bool stranded = allocator_->server(server).stranded();
+  auto& since = stranded_since_[server];
+  if (stranded && !since.has_value()) {
+    since = sim_->Now();
+  } else if (!stranded && since.has_value()) {
+    // Record only events that started after warmup so the distribution
+    // is not polluted by the cold-start transient.
+    if (*since >= config_.warmup) {
+      stranding_durations_.push_back(sim_->Now() - *since);
+    }
+    since.reset();
+  }
+}
+
+void WorkloadTrace::Sample() {
+  const double total = static_cast<double>(allocator_->TotalMemory());
+  samples_.push_back(ClusterSample{
+      sim_->Now(),
+      static_cast<double>(allocator_->UnallocatedMemory()) / total,
+      static_cast<double>(allocator_->StrandedMemory()) / total,
+  });
+}
+
+void WorkloadTrace::Run() {
+  end_time_ = sim_->Now() + config_.warmup + config_.duration;
+  const sim::SimTime measure_start = sim_->Now() + config_.warmup;
+  for (sim::SimTime t = measure_start; t <= end_time_;
+       t += config_.sample_interval) {
+    sim_->At(t, [this] { Sample(); });
+  }
+  ScheduleNextArrival();
+  sim_->RunUntil(end_time_);
+}
+
+std::vector<uint64_t> WorkloadTrace::ReachableStrandedPerServer(
+    int hops) const {
+  std::vector<uint64_t> out;
+  const int n = allocator_->num_servers();
+  out.reserve(n);
+  for (int s = 0; s < n; s++) {
+    out.push_back(
+        allocator_->ReachableStranded(static_cast<net::ServerId>(s), hops));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double WorkloadTrace::MedianUnallocated(
+    const std::vector<ClusterSample>& samples) {
+  if (samples.empty()) return 0;
+  std::vector<double> v;
+  v.reserve(samples.size());
+  for (const auto& s : samples) v.push_back(s.unallocated_fraction);
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+double WorkloadTrace::MedianStranded(
+    const std::vector<ClusterSample>& samples) {
+  if (samples.empty()) return 0;
+  std::vector<double> v;
+  v.reserve(samples.size());
+  for (const auto& s : samples) v.push_back(s.stranded_fraction);
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace redy::cluster

@@ -1,0 +1,33 @@
+#include "cluster/vm_types.h"
+
+namespace redy::cluster {
+
+std::vector<VmType> DefaultVmMenu() {
+  // name, cores, memory, $/h, spot $/h. Roughly Azure D/E/HB-series
+  // shapes; spot at ~20% of on-demand.
+  return {
+      {"D2", 2, 8 * kGiB, 0.096, 0.019},
+      {"D4", 4, 16 * kGiB, 0.192, 0.038},
+      {"D8", 8, 32 * kGiB, 0.384, 0.077},
+      {"D16", 16, 64 * kGiB, 0.768, 0.154},
+      {"D32", 32, 128 * kGiB, 1.536, 0.307},
+      {"E2", 2, 16 * kGiB, 0.126, 0.025},
+      {"E4", 4, 32 * kGiB, 0.252, 0.050},
+      {"E8", 8, 64 * kGiB, 0.504, 0.101},
+      {"E16", 16, 128 * kGiB, 1.008, 0.202},
+      {"E32", 32, 256 * kGiB, 2.016, 0.403},
+      {"HB60", 60, 228 * kGiB, 2.280, 0.456},
+  };
+}
+
+VmType StrandedMemoryType(uint64_t memory_bytes) {
+  VmType t;
+  t.name = "stranded";
+  t.cores = 0;
+  t.memory_bytes = memory_bytes;
+  t.price_per_hour = 0.001 * t.MemoryGiB();  // bookkeeping epsilon
+  t.spot_price_per_hour = t.price_per_hour;
+  return t;
+}
+
+}  // namespace redy::cluster

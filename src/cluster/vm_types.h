@@ -1,0 +1,41 @@
+#ifndef REDY_CLUSTER_VM_TYPES_H_
+#define REDY_CLUSTER_VM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace redy::cluster {
+
+/// One entry in the cloud provider's VM-size menu (Section 6.1: "the
+/// cache manager must choose VMs from the menu of VM sizes offered by
+/// the cloud provider").
+struct VmType {
+  std::string name;
+  uint32_t cores = 0;
+  uint64_t memory_bytes = 0;
+  /// On-demand (full) price, $/hour. Spot price is a fraction of it.
+  double price_per_hour = 0.0;
+  double spot_price_per_hour = 0.0;
+
+  double MemoryGiB() const {
+    return static_cast<double>(memory_bytes) / static_cast<double>(kGiB);
+  }
+};
+
+/// A menu modeled on Azure-like general-purpose and memory-optimized
+/// sizes. Prices are representative, used only for relative cost
+/// comparisons in the manager's VM selection.
+std::vector<VmType> DefaultVmMenu();
+
+/// A memory-only pseudo-type representing stranded memory: zero cores,
+/// priced near zero ("stranded memory is essentially free"). Only
+/// placeable on servers whose cores are fully allocated; usable only by
+/// one-sided (s = 0) cache configurations.
+VmType StrandedMemoryType(uint64_t memory_bytes);
+
+}  // namespace redy::cluster
+
+#endif  // REDY_CLUSTER_VM_TYPES_H_

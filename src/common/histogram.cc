@@ -1,0 +1,80 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace redy {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t v) {
+  if (v < kBucketsPerPow2) return static_cast<int>(v);
+  const int msb = 63 - std::countl_zero(v);
+  // Sub-bucket index from the bits below the MSB.
+  const int sub = static_cast<int>((v >> (msb - 5)) & (kBucketsPerPow2 - 1));
+  int b = msb * kBucketsPerPow2 + sub;
+  return std::min(b, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int b) {
+  if (b < kBucketsPerPow2) return static_cast<uint64_t>(b);
+  const int msb = b / kBucketsPerPow2;
+  const int sub = b % kBucketsPerPow2;
+  return (1ULL << msb) + (static_cast<uint64_t>(sub + 1) << (msb - 5)) - 1;
+}
+
+void Histogram::Add(uint64_t v) {
+  buckets_[BucketFor(v)]++;
+  count_++;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; i++) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; i++) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2fus p50=%.2fus p99=%.2fus max=%.2fus",
+                static_cast<unsigned long long>(count_), Mean() / 1e3,
+                Percentile(0.5) / 1e3, Percentile(0.99) / 1e3, max_ / 1e3);
+  return buf;
+}
+
+}  // namespace redy

@@ -1,0 +1,49 @@
+#ifndef REDY_COMMON_HISTOGRAM_H_
+#define REDY_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redy {
+
+/// Log-bucketed latency histogram (nanosecond samples). Buckets grow
+/// geometrically, giving ~2% relative precision over [1ns, ~1000s] with a
+/// few thousand buckets. Used by every benchmark to report medians and
+/// tails the way the paper does (median + p99 whiskers in Figs. 7/13/14).
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value_ns);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Value at quantile q in [0, 1], e.g. 0.5 for the median.
+  uint64_t Percentile(double q) const;
+
+  /// One-line summary: count/mean/p50/p99/max in microseconds.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kBucketsPerPow2 = 32;  // log2 sub-buckets
+  static constexpr int kNumBuckets = 64 * kBucketsPerPow2;
+
+  static int BucketFor(uint64_t v);
+  static uint64_t BucketUpperBound(int b);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace redy
+
+#endif  // REDY_COMMON_HISTOGRAM_H_

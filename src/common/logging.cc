@@ -1,0 +1,10 @@
+#include "common/logging.h"
+
+namespace redy {
+
+int& LogLevel() {
+  static int level = 0;
+  return level;
+}
+
+}  // namespace redy

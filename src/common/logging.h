@@ -1,0 +1,48 @@
+#ifndef REDY_COMMON_LOGGING_H_
+#define REDY_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace redy {
+
+/// Global log verbosity: 0 = errors only, 1 = info, 2 = debug.
+/// Benchmarks set this to 0 to keep their table output clean.
+int& LogLevel();
+
+}  // namespace redy
+
+#define REDY_LOG_INFO(...)                         \
+  do {                                             \
+    if (::redy::LogLevel() >= 1) {                 \
+      std::fprintf(stderr, "[redy] " __VA_ARGS__); \
+      std::fprintf(stderr, "\n");                  \
+    }                                              \
+  } while (0)
+
+#define REDY_LOG_DEBUG(...)                              \
+  do {                                                   \
+    if (::redy::LogLevel() >= 2) {                       \
+      std::fprintf(stderr, "[redy debug] " __VA_ARGS__); \
+      std::fprintf(stderr, "\n");                        \
+    }                                                    \
+  } while (0)
+
+#define REDY_LOG_ERROR(...)                              \
+  do {                                                   \
+    std::fprintf(stderr, "[redy error] " __VA_ARGS__);   \
+    std::fprintf(stderr, "\n");                          \
+  } while (0)
+
+/// Invariant check that stays on in release builds: the simulator relies
+/// on internal invariants whose violation would silently corrupt results.
+#define REDY_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "REDY_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // REDY_COMMON_LOGGING_H_

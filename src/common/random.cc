@@ -1,0 +1,26 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace redy {
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; discards the second variate for simplicity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 1e-18;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(mu + sigma * Gaussian());
+}
+
+}  // namespace redy

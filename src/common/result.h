@@ -1,0 +1,79 @@
+#ifndef REDY_COMMON_RESULT_H_
+#define REDY_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace redy {
+
+/// Result<T> carries either a value of type T or a non-OK Status,
+/// following the Arrow `Result` idiom. Accessing the value of an
+/// errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`. Intentionally implicit so
+  /// functions can `return value;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs an errored result from a non-OK status. Intentionally
+  /// implicit so functions can `return Status::NotFound(...);`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status,
+/// otherwise assigns the value to `lhs`.
+#define REDY_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  REDY_ASSIGN_OR_RETURN_IMPL_(                   \
+      REDY_CONCAT_(_redy_result_, __LINE__), lhs, rexpr)
+
+#define REDY_CONCAT_INNER_(a, b) a##b
+#define REDY_CONCAT_(a, b) REDY_CONCAT_INNER_(a, b)
+#define REDY_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+}  // namespace redy
+
+#endif  // REDY_COMMON_RESULT_H_

@@ -1,0 +1,29 @@
+#ifndef REDY_COMMON_UNITS_H_
+#define REDY_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace redy {
+
+// Byte units.
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+// Simulated-time units; the simulator's clock is in nanoseconds.
+inline constexpr uint64_t kNanosecond = 1;
+inline constexpr uint64_t kMicrosecond = 1000;
+inline constexpr uint64_t kMillisecond = 1000 * kMicrosecond;
+inline constexpr uint64_t kSecond = 1000 * kMillisecond;
+inline constexpr uint64_t kMinute = 60 * kSecond;
+inline constexpr uint64_t kHour = 60 * kMinute;
+inline constexpr uint64_t kDay = 24 * kHour;
+
+/// Converts simulator nanoseconds to double microseconds / seconds.
+inline constexpr double ToMicros(uint64_t ns) { return ns / 1e3; }
+inline constexpr double ToMillis(uint64_t ns) { return ns / 1e6; }
+inline constexpr double ToSeconds(uint64_t ns) { return ns / 1e9; }
+
+}  // namespace redy
+
+#endif  // REDY_COMMON_UNITS_H_

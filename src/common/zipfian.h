@@ -1,0 +1,53 @@
+#ifndef REDY_COMMON_ZIPFIAN_H_
+#define REDY_COMMON_ZIPFIAN_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace redy {
+
+/// Zipfian-distributed integer generator over [0, n), following the
+/// rejection-inversion free YCSB implementation (Gray et al.). Item 0 is
+/// the most popular. theta is the skew parameter; the paper's FASTER
+/// experiments use theta = 0.99.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 0x217f);
+
+  /// Next Zipfian sample in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+/// Scrambled Zipfian: Zipfian popularity ranks hashed across the key
+/// space so that hot keys are spread uniformly (YCSB's default). This is
+/// what "Zipfian distribution (theta = 0.99)" means in the paper's
+/// Section 8 evaluation.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta, uint64_t seed = 0x217f)
+      : n_(n), zipf_(n, theta, seed) {}
+
+  uint64_t Next() { return SplitMix64(zipf_.Next()) % n_; }
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace redy
+
+#endif  // REDY_COMMON_ZIPFIAN_H_

@@ -1,0 +1,115 @@
+#ifndef REDY_FASTER_DEVICES_H_
+#define REDY_FASTER_DEVICES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "faster/idevice.h"
+#include "faster/paged_store.h"
+#include "sim/simulation.h"
+
+namespace redy::faster {
+
+/// Local DRAM device: sub-microsecond latency, used as a baseline tier
+/// and in tests.
+class LocalMemoryDevice : public IDevice {
+ public:
+  explicit LocalMemoryDevice(sim::Simulation* sim, uint64_t latency_ns = 200)
+      : sim_(sim), latency_ns_(latency_ns) {}
+
+  void ReadAsync(uint64_t offset, void* dst, uint64_t len,
+                 Callback cb) override;
+  void WriteAsync(uint64_t offset, const void* src, uint64_t len,
+                  Callback cb) override;
+  void WriteSync(uint64_t offset, const void* src, uint64_t len) override {
+    store_.Write(offset, src, len);
+  }
+  std::string name() const override { return "local-memory"; }
+
+ private:
+  sim::Simulation* sim_;
+  uint64_t latency_ns_;
+  PagedStore store_;
+};
+
+/// Server-attached NVMe SSD, calibrated to the paper's Section 1.1
+/// characterization: ~100 us access time — "highly variable and often
+/// higher, due to garbage collection and concurrent writes" — with
+/// 16-24 Gbit/s of bandwidth.
+struct SsdParams {
+  uint64_t base_latency_ns = 90 * kMicrosecond;
+  double bandwidth_bps = 20e9;  // 20 Gbit/s
+  uint32_t channels = 8;        // internal parallelism
+  double gc_probability = 0.01;
+  uint64_t gc_stall_mean_ns = 800 * kMicrosecond;
+};
+
+class SsdDevice : public IDevice {
+ public:
+  SsdDevice(sim::Simulation* sim, SsdParams params = {}, uint64_t seed = 0x55d)
+      : sim_(sim), params_(params), rng_(seed), channel_free_(params.channels, 0) {}
+
+  void ReadAsync(uint64_t offset, void* dst, uint64_t len,
+                 Callback cb) override;
+  void WriteAsync(uint64_t offset, const void* src, uint64_t len,
+                  Callback cb) override;
+  void WriteSync(uint64_t offset, const void* src, uint64_t len) override {
+    store_.Write(offset, src, len);
+  }
+  std::string name() const override { return "ssd"; }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  /// Schedules one I/O on the least-loaded channel; returns finish time.
+  sim::SimTime Schedule(uint64_t len, bool is_write);
+
+  sim::Simulation* sim_;
+  SsdParams params_;
+  Rng rng_;
+  std::vector<sim::SimTime> channel_free_;
+  PagedStore store_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// SMB Direct: an RDMA-enabled file-server protocol (the paper's
+/// remote-memory baseline in Section 8.3). Faster than an SSD but far
+/// slower than Redy: every access runs through the file-server software
+/// stack on the remote CPU.
+struct SmbDirectParams {
+  uint64_t network_rtt_ns = 2900;            // same fabric as Redy
+  uint64_t server_stack_ns = 42 * kMicrosecond;  // SMB/file-server path
+  double bandwidth_bps = 48e9;
+  uint32_t server_concurrency = 8;
+};
+
+class SmbDirectDevice : public IDevice {
+ public:
+  explicit SmbDirectDevice(sim::Simulation* sim, SmbDirectParams params = {})
+      : sim_(sim), params_(params), worker_free_(params.server_concurrency, 0) {}
+
+  void ReadAsync(uint64_t offset, void* dst, uint64_t len,
+                 Callback cb) override;
+  void WriteAsync(uint64_t offset, const void* src, uint64_t len,
+                  Callback cb) override;
+  void WriteSync(uint64_t offset, const void* src, uint64_t len) override {
+    store_.Write(offset, src, len);
+  }
+  std::string name() const override { return "smb-direct"; }
+
+ private:
+  sim::SimTime Schedule(uint64_t len);
+
+  sim::Simulation* sim_;
+  SmbDirectParams params_;
+  std::vector<sim::SimTime> worker_free_;
+  PagedStore store_;
+};
+
+}  // namespace redy::faster
+
+#endif  // REDY_FASTER_DEVICES_H_

@@ -1,0 +1,92 @@
+#ifndef REDY_FASTER_HASH_INDEX_H_
+#define REDY_FASTER_HASH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace redy::faster {
+
+/// FASTER's hash index (Section 8.1): maps keys to log record
+/// addresses. Lives in the client's memory. Open addressing with
+/// linear probing; the table resizes when load exceeds 70%.
+class HashIndex {
+ public:
+  static constexpr uint64_t kNotFound = UINT64_MAX;
+
+  explicit HashIndex(uint64_t initial_buckets = 1 << 16) {
+    uint64_t cap = 16;
+    while (cap < initial_buckets) cap <<= 1;
+    slots_.assign(cap, Slot{});
+  }
+
+  /// Returns the log address of `key`, or kNotFound.
+  uint64_t Lookup(uint64_t key) const {
+    const uint64_t mask = slots_.size() - 1;
+    uint64_t i = SplitMix64(key) & mask;
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return slots_[i].address;
+      i = (i + 1) & mask;
+    }
+    return kNotFound;
+  }
+
+  /// Inserts or updates the address of `key`.
+  void Upsert(uint64_t key, uint64_t address) {
+    if (size_ * 10 >= slots_.size() * 7) Grow();
+    const uint64_t mask = slots_.size() - 1;
+    uint64_t i = SplitMix64(key) & mask;
+    while (slots_[i].used) {
+      if (slots_[i].key == key) {
+        slots_[i].address = address;
+        return;
+      }
+      i = (i + 1) & mask;
+    }
+    slots_[i] = Slot{key, address, true};
+    size_++;
+  }
+
+  /// Compare-and-swap update: sets the address only if it still equals
+  /// `expected` (used by read-cache eviction to revert safely).
+  bool UpdateIf(uint64_t key, uint64_t expected, uint64_t address) {
+    const uint64_t mask = slots_.size() - 1;
+    uint64_t i = SplitMix64(key) & mask;
+    while (slots_[i].used) {
+      if (slots_[i].key == key) {
+        if (slots_[i].address != expected) return false;
+        slots_[i].address = address;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t buckets() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint64_t address = 0;
+    bool used = false;
+  };
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.used) Upsert(s.key, s.address);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace redy::faster
+
+#endif  // REDY_FASTER_HASH_INDEX_H_

@@ -1,0 +1,46 @@
+#ifndef REDY_FASTER_IDEVICE_H_
+#define REDY_FASTER_IDEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace redy::faster {
+
+/// FASTER's storage abstraction (Section 8.2): a byte-addressable
+/// sequential address space the hybrid log spills to. All I/O is
+/// asynchronous; callbacks fire in simulated time. Implementations
+/// store real bytes — reads return what was written.
+class IDevice {
+ public:
+  using Callback = std::function<void(Status)>;
+
+  virtual ~IDevice() = default;
+
+  virtual void ReadAsync(uint64_t offset, void* dst, uint64_t len,
+                         Callback cb) = 0;
+  virtual void WriteAsync(uint64_t offset, const void* src, uint64_t len,
+                          Callback cb) = 0;
+
+  /// Instantaneous backdoor write used only by experiment setup
+  /// (FasterKv::BulkLoad): applies the bytes without consuming
+  /// simulated time.
+  virtual void WriteSync(uint64_t offset, const void* src, uint64_t len) = 0;
+
+  /// Whether this device currently holds valid data for [offset,
+  /// offset+len). A tier that replicates only a suffix of the log
+  /// (e.g. a Redy cache tier) answers false for evicted prefixes.
+  virtual bool Covers(uint64_t offset, uint64_t len) const {
+    (void)offset;
+    (void)len;
+    return true;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace redy::faster
+
+#endif  // REDY_FASTER_IDEVICE_H_

@@ -1,0 +1,70 @@
+#ifndef REDY_FASTER_PAGED_STORE_H_
+#define REDY_FASTER_PAGED_STORE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace redy::faster {
+
+/// Sparse byte store backing the simulated devices: pages materialize
+/// on first write, so a "multi-GB" device only consumes memory for the
+/// bytes actually written.
+class PagedStore {
+ public:
+  explicit PagedStore(uint64_t page_bytes = 64 * 1024)
+      : page_bytes_(page_bytes) {}
+
+  void Write(uint64_t offset, const void* src, uint64_t len) {
+    const uint8_t* s = static_cast<const uint8_t*>(src);
+    while (len > 0) {
+      const uint64_t page = offset / page_bytes_;
+      const uint64_t off = offset % page_bytes_;
+      const uint64_t chunk = std::min(len, page_bytes_ - off);
+      std::memcpy(PageFor(page) + off, s, chunk);
+      offset += chunk;
+      s += chunk;
+      len -= chunk;
+    }
+  }
+
+  void Read(uint64_t offset, void* dst, uint64_t len) const {
+    uint8_t* d = static_cast<uint8_t*>(dst);
+    while (len > 0) {
+      const uint64_t page = offset / page_bytes_;
+      const uint64_t off = offset % page_bytes_;
+      const uint64_t chunk = std::min(len, page_bytes_ - off);
+      auto it = pages_.find(page);
+      if (it == pages_.end()) {
+        std::memset(d, 0, chunk);  // never-written bytes read as zero
+      } else {
+        std::memcpy(d, it->second.get() + off, chunk);
+      }
+      offset += chunk;
+      d += chunk;
+      len -= chunk;
+    }
+  }
+
+  uint64_t pages_resident() const { return pages_.size(); }
+
+ private:
+  uint8_t* PageFor(uint64_t page) {
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+      auto buf = std::make_unique<uint8_t[]>(page_bytes_);
+      std::memset(buf.get(), 0, page_bytes_);
+      it = pages_.emplace(page, std::move(buf)).first;
+    }
+    return it->second.get();
+  }
+
+  uint64_t page_bytes_;
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+};
+
+}  // namespace redy::faster
+
+#endif  // REDY_FASTER_PAGED_STORE_H_

@@ -1,0 +1,97 @@
+#ifndef REDY_FASTER_READ_CACHE_H_
+#define REDY_FASTER_READ_CACHE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace redy::faster {
+
+/// In-memory read cache for hot records, modeling FASTER's use of
+/// "local memory to cache frequently-accessed records" (Section 8.3).
+/// CLOCK (second-chance) replacement over fixed-size record frames.
+/// This is the knob the paper turns in Figs. 18b/18c/18e-h and 19:
+/// local memory = hybrid-log memory + this cache.
+class ReadCache {
+ public:
+  /// `record_bytes` is the fixed record frame size; capacity_bytes is
+  /// rounded down to whole frames (0 disables the cache).
+  ReadCache(uint64_t capacity_bytes, uint32_t record_bytes)
+      : record_bytes_(record_bytes),
+        frames_(record_bytes == 0 ? 0 : capacity_bytes / record_bytes) {
+    data_.resize(frames_ * static_cast<uint64_t>(record_bytes_));
+    keys_.assign(frames_, kEmpty);
+    referenced_.assign(frames_, false);
+  }
+
+  bool enabled() const { return frames_ > 0; }
+  uint64_t frames() const { return frames_; }
+
+  /// Copies the cached record for `key` into `dst` (record_bytes).
+  bool Lookup(uint64_t key, void* dst) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    referenced_[it->second] = true;
+    std::memcpy(dst, &data_[it->second * record_bytes_], record_bytes_);
+    hits_++;
+    return true;
+  }
+
+  /// Inserts (or refreshes) a record, evicting via CLOCK if needed.
+  void Insert(uint64_t key, const void* record) {
+    if (frames_ == 0) return;
+    auto it = map_.find(key);
+    uint64_t frame;
+    if (it != map_.end()) {
+      frame = it->second;
+    } else {
+      frame = Evict();
+      keys_[frame] = key;
+      map_[key] = frame;
+    }
+    std::memcpy(&data_[frame * record_bytes_], record, record_bytes_);
+    referenced_[frame] = true;
+  }
+
+  void Invalidate(uint64_t key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return;
+    keys_[it->second] = kEmpty;
+    referenced_[it->second] = false;
+    map_.erase(it);
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t size() const { return map_.size(); }
+
+ private:
+  static constexpr uint64_t kEmpty = UINT64_MAX;
+
+  uint64_t Evict() {
+    while (true) {
+      hand_ = (hand_ + 1) % frames_;
+      if (keys_[hand_] == kEmpty) return hand_;
+      if (referenced_[hand_]) {
+        referenced_[hand_] = false;  // second chance
+        continue;
+      }
+      map_.erase(keys_[hand_]);
+      keys_[hand_] = kEmpty;
+      return hand_;
+    }
+  }
+
+  uint32_t record_bytes_;
+  uint64_t frames_;
+  std::vector<uint8_t> data_;
+  std::vector<uint64_t> keys_;
+  std::vector<bool> referenced_;
+  std::unordered_map<uint64_t, uint64_t> map_;
+  uint64_t hand_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace redy::faster
+
+#endif  // REDY_FASTER_READ_CACHE_H_

@@ -1,0 +1,123 @@
+#ifndef REDY_FASTER_REDY_DEVICE_H_
+#define REDY_FASTER_REDY_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "faster/idevice.h"
+#include "redy/cache_client.h"
+
+namespace redy::faster {
+
+/// A Redy cache wrapped as a FASTER IDevice (Section 8.2, Fig. 17):
+/// the first tier of the tiered device. The cache's fixed capacity
+/// holds the most recent suffix of the log; appends beyond capacity
+/// wrap around (offset modulo capacity) and evict the oldest suffix,
+/// which Covers() then reports as absent so reads fall through to the
+/// next tier. Submission backpressure (a full client batch ring) is
+/// absorbed with a short retry instead of being surfaced to FASTER.
+class RedyDevice : public IDevice {
+ public:
+  RedyDevice(sim::Simulation* sim, CacheClient* client,
+             CacheClient::CacheId cache, uint64_t capacity)
+      : sim_(sim), client_(client), cache_(cache), capacity_(capacity) {}
+
+  void ReadAsync(uint64_t offset, void* dst, uint64_t len,
+                 Callback cb) override {
+    if (!Covers(offset, len)) {
+      cb(Status::NotFound("evicted from Redy tier"));
+      return;
+    }
+    SubmitPieces(offset, dst, nullptr, len, std::move(cb));
+  }
+
+  void WriteAsync(uint64_t offset, const void* src, uint64_t len,
+                  Callback cb) override {
+    const uint64_t end = offset + len;
+    SubmitPieces(offset, nullptr, src, len,
+                 [this, end, cb = std::move(cb)](Status s) {
+                   if (s.ok() && end > high_water_) high_water_ = end;
+                   cb(s);
+                 });
+  }
+
+  void WriteSync(uint64_t offset, const void* src, uint64_t len) override {
+    const uint64_t a = offset % capacity_;
+    const uint64_t first = std::min(len, capacity_ - a);
+    client_->Poke(cache_, a, src, first);
+    if (first < len) {
+      client_->Poke(cache_, 0, static_cast<const uint8_t*>(src) + first,
+                    len - first);
+    }
+    if (offset + len > high_water_) high_water_ = offset + len;
+  }
+
+  bool Covers(uint64_t offset, uint64_t len) const override {
+    // Valid window: the last `capacity_` bytes that were written.
+    const uint64_t low =
+        high_water_ > capacity_ ? high_water_ - capacity_ : 0;
+    return offset >= low && offset + len <= high_water_;
+  }
+
+  std::string name() const override { return "redy"; }
+  uint64_t capacity() const { return capacity_; }
+  CacheClient::CacheId cache_id() const { return cache_; }
+
+ private:
+  /// Splits an access that wraps the modulo boundary into <= 2 cache
+  /// ops and joins their completions.
+  void SubmitPieces(uint64_t offset, void* dst, const void* src,
+                    uint64_t len, Callback cb) {
+    const uint64_t a = offset % capacity_;
+    const uint64_t first = std::min(len, capacity_ - a);
+    if (first == len) {
+      SubmitOne(a, dst, src, len, std::move(cb));
+      return;
+    }
+    struct Join {
+      Callback cb;
+      int remaining = 2;
+      Status error;
+    };
+    auto join = std::make_shared<Join>();
+    join->cb = std::move(cb);
+    auto piece_cb = [join](Status s) {
+      if (!s.ok() && join->error.ok()) join->error = s;
+      if (--join->remaining == 0) join->cb(join->error);
+    };
+    SubmitOne(a, dst, src, first, piece_cb);
+    SubmitOne(0, dst == nullptr ? nullptr : static_cast<uint8_t*>(dst) + first,
+              src == nullptr ? nullptr
+                             : static_cast<const uint8_t*>(src) + first,
+              len - first, piece_cb);
+  }
+
+  void SubmitOne(uint64_t cache_addr, void* dst, const void* src,
+                 uint64_t len, Callback cb) {
+    const uint32_t thread = next_thread_++;
+    Status st =
+        src == nullptr
+            ? client_->Read(cache_, cache_addr, dst, len, cb, thread)
+            : client_->Write(cache_, cache_addr, src, len, cb, thread);
+    if (st.IsResourceExhausted()) {
+      // Batch ring momentarily full: retry shortly.
+      sim_->After(500, [this, cache_addr, dst, src, len,
+                        cb = std::move(cb)]() mutable {
+        SubmitOne(cache_addr, dst, src, len, std::move(cb));
+      });
+      return;
+    }
+    if (!st.ok()) cb(st);
+  }
+
+  sim::Simulation* sim_;
+  CacheClient* client_;
+  CacheClient::CacheId cache_;
+  uint64_t capacity_;
+  uint64_t high_water_ = 0;
+  uint32_t next_thread_ = 0;
+};
+
+}  // namespace redy::faster
+
+#endif  // REDY_FASTER_REDY_DEVICE_H_

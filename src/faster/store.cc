@@ -1,0 +1,152 @@
+#include "faster/store.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace redy::faster {
+
+FasterKv::FasterKv(sim::Simulation* sim, IDevice* device, Options options)
+    : sim_(sim),
+      device_(device),
+      options_(options),
+      index_(options.index_buckets),
+      read_cache_(options.read_cache_bytes,
+                  static_cast<uint32_t>(8 + options.value_bytes)) {
+  // Round the memory window down to whole records so a record never
+  // wraps the circular buffer.
+  const uint64_t rec = record_bytes();
+  uint64_t mem = options_.log_memory_bytes / rec * rec;
+  if (mem < 16 * rec) mem = 16 * rec;
+  memory_.assign(mem, 0);
+}
+
+uint64_t FasterKv::MutableBoundary() const {
+  const uint64_t mutable_bytes = static_cast<uint64_t>(
+      static_cast<double>(memory_.size()) * options_.mutable_fraction);
+  return tail_ > mutable_bytes ? tail_ - mutable_bytes : 0;
+}
+
+bool FasterKv::EnsureRoom() {
+  const uint64_t rec = record_bytes();
+  if (tail_ + rec - head_mem_ <= memory_.size()) return true;
+  // Evict the oldest record frame; it must be durable on the device
+  // (write-through), i.e. no write below the new head may be pending.
+  const uint64_t new_head = head_mem_ + rec;
+  if (!pending_writes_.empty() && *pending_writes_.begin() < new_head) {
+    return false;  // flush in progress; caller retries
+  }
+  head_mem_ = new_head;
+  return true;
+}
+
+Status FasterKv::Read(uint64_t key, void* value_out, Callback cb) {
+  stats_.reads++;
+  const uint64_t addr = index_.Lookup(key);
+  if (addr == HashIndex::kNotFound) {
+    stats_.not_found++;
+    cb(Status::NotFound("key not in store"));
+    return Status::OK();
+  }
+  const uint64_t rec = record_bytes();
+  if (addr >= head_mem_) {
+    stats_.mem_hits++;
+    std::memcpy(value_out, MemFrame(addr) + 8, options_.value_bytes);
+    cb(Status::OK());
+    return Status::OK();
+  }
+  // Hot-record cache.
+  std::vector<uint8_t> frame(rec);
+  if (read_cache_.enabled() && read_cache_.Lookup(key, frame.data())) {
+    stats_.read_cache_hits++;
+    std::memcpy(value_out, frame.data() + 8, options_.value_bytes);
+    cb(Status::OK());
+    return Status::OK();
+  }
+  // Device read.
+  stats_.device_reads++;
+  auto buf = std::make_shared<std::vector<uint8_t>>(rec);
+  device_->ReadAsync(
+      addr, buf->data(), rec,
+      [this, key, value_out, buf, cb = std::move(cb)](Status st) {
+        if (!st.ok()) {
+          cb(st);
+          return;
+        }
+        uint64_t stored_key;
+        std::memcpy(&stored_key, buf->data(), 8);
+        if (stored_key != key) {
+          cb(Status::Internal("log record key mismatch"));
+          return;
+        }
+        std::memcpy(value_out, buf->data() + 8, options_.value_bytes);
+        if (read_cache_.enabled()) read_cache_.Insert(key, buf->data());
+        cb(Status::OK());
+      });
+  return Status::OK();
+}
+
+Status FasterKv::Upsert(uint64_t key, const void* value, Callback cb) {
+  const uint64_t rec = record_bytes();
+  const uint64_t existing = index_.Lookup(key);
+
+  // In-place update in the mutable tail region (Section 8.1), written
+  // through to keep the tiers consistent.
+  if (existing != HashIndex::kNotFound && existing >= head_mem_ &&
+      existing >= MutableBoundary()) {
+    stats_.upserts++;
+    stats_.in_place_updates++;
+    std::memcpy(MemFrame(existing) + 8, value, options_.value_bytes);
+    if (read_cache_.enabled()) read_cache_.Invalidate(key);
+    pending_writes_.insert(existing);
+    device_->WriteAsync(existing, MemFrame(existing), rec,
+                        [this, existing, cb = std::move(cb)](Status st) {
+                          pending_writes_.erase(
+                              pending_writes_.find(existing));
+                          cb(st);
+                        });
+    return Status::OK();
+  }
+
+  // Append to the tail (RCU for read-only records, insert otherwise).
+  if (!EnsureRoom()) {
+    return Status::ResourceExhausted("hybrid log memory full, flush pending");
+  }
+  stats_.upserts++;
+  stats_.appends++;
+  const uint64_t addr = tail_;
+  tail_ += rec;
+  uint8_t* frame = MemFrame(addr);
+  std::memcpy(frame, &key, 8);
+  std::memcpy(frame + 8, value, options_.value_bytes);
+  index_.Upsert(key, addr);
+  if (read_cache_.enabled()) read_cache_.Invalidate(key);
+  pending_writes_.insert(addr);
+  device_->WriteAsync(addr, frame, rec,
+                      [this, addr, cb = std::move(cb)](Status st) {
+                        pending_writes_.erase(pending_writes_.find(addr));
+                        cb(st);
+                      });
+  return Status::OK();
+}
+
+Status FasterKv::BulkLoad(
+    uint64_t first_key, uint64_t num_keys,
+    const std::function<void(uint64_t key, void* value)>& value_gen) {
+  const uint64_t rec = record_bytes();
+  std::vector<uint8_t> frame(rec);
+  for (uint64_t i = 0; i < num_keys; i++) {
+    const uint64_t key = first_key + i;
+    const uint64_t addr = tail_;
+    tail_ += rec;
+    if (tail_ - head_mem_ > memory_.size()) head_mem_ = tail_ - memory_.size();
+    std::memcpy(frame.data(), &key, 8);
+    value_gen(key, frame.data() + 8);
+    std::memcpy(MemFrame(addr), frame.data(), rec);
+    device_->WriteSync(addr, frame.data(), rec);
+    index_.Upsert(key, addr);
+  }
+  return Status::OK();
+}
+
+}  // namespace redy::faster

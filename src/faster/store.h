@@ -1,0 +1,102 @@
+#ifndef REDY_FASTER_STORE_H_
+#define REDY_FASTER_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "faster/hash_index.h"
+#include "faster/idevice.h"
+#include "faster/read_cache.h"
+#include "sim/simulation.h"
+
+namespace redy::faster {
+
+/// A FASTER-style concurrent key-value store (Section 8.1): hash index
+/// in client memory plus a hybrid log whose tail lives in memory with
+/// in-place updates, while the remainder spills to an IDevice (local
+/// SSD, SMB Direct, a Redy cache, or a tiered combination).
+///
+/// Records are fixed-size: [key u64][value value_bytes]. Appends are
+/// written through to the device, so evicting the oldest in-memory
+/// page only advances the head once its device writes have completed.
+class FasterKv {
+ public:
+  struct Options {
+    /// In-memory portion of the hybrid log.
+    uint64_t log_memory_bytes = 16 * 1024 * 1024;
+    /// Fraction of the in-memory window that supports in-place updates
+    /// (the mutable tail region).
+    double mutable_fraction = 0.9;
+    /// Hot-record read cache ("local memory" beyond the log tail).
+    uint64_t read_cache_bytes = 0;
+    uint32_t value_bytes = 8;
+    uint64_t index_buckets = 1 << 16;
+  };
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t mem_hits = 0;         // served from the hybrid-log tail
+    uint64_t read_cache_hits = 0;  // served from the hot-record cache
+    uint64_t device_reads = 0;
+    uint64_t not_found = 0;
+    uint64_t upserts = 0;
+    uint64_t in_place_updates = 0;
+    uint64_t appends = 0;
+    void Reset() { *this = Stats{}; }
+  };
+
+  using Callback = std::function<void(Status)>;
+
+  FasterKv(sim::Simulation* sim, IDevice* device, Options options);
+
+  /// Asynchronous read: value lands in `value_out` (value_bytes) and
+  /// `cb` fires. In-memory hits complete synchronously (before the
+  /// call returns), as in FASTER.
+  Status Read(uint64_t key, void* value_out, Callback cb);
+
+  /// Asynchronous upsert. May return ResourceExhausted when the
+  /// in-memory window is full and eviction is waiting on device
+  /// writes — the caller retries.
+  Status Upsert(uint64_t key, const void* value, Callback cb);
+
+  /// Bulk load bypassing simulated time: appends records directly to
+  /// the log, the device backing store, and the index. For experiment
+  /// setup only (the load phase is not measured).
+  Status BulkLoad(uint64_t first_key, uint64_t num_keys,
+                  const std::function<void(uint64_t key, void* value)>&
+                      value_gen);
+
+  uint64_t record_bytes() const { return 8 + options_.value_bytes; }
+  uint64_t tail() const { return tail_; }
+  uint64_t head_mem() const { return head_mem_; }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  const Options& options() const { return options_; }
+  IDevice* device() const { return device_; }
+
+ private:
+  uint64_t MutableBoundary() const;
+  uint8_t* MemFrame(uint64_t addr) {
+    return &memory_[addr % memory_.size()];
+  }
+  /// Tries to free room for one record; false if blocked on flushes.
+  bool EnsureRoom();
+
+  sim::Simulation* sim_;
+  IDevice* device_;
+  Options options_;
+  HashIndex index_;
+  ReadCache read_cache_;
+  std::vector<uint8_t> memory_;  // circular in-memory log window
+  uint64_t tail_ = 0;
+  uint64_t head_mem_ = 0;
+  std::multiset<uint64_t> pending_writes_;  // device writes in flight
+  Stats stats_;
+};
+
+}  // namespace redy::faster
+
+#endif  // REDY_FASTER_STORE_H_

@@ -1,0 +1,88 @@
+#ifndef REDY_FASTER_TIERED_DEVICE_H_
+#define REDY_FASTER_TIERED_DEVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "faster/idevice.h"
+
+namespace redy::faster {
+
+/// FASTER's tiered storage meta-device (Section 8.2): each tier is
+/// smaller and faster than the next and replicates a suffix (tail) of
+/// the higher tiers. Reads are serviced by the lowest tier that has the
+/// data; appends go to all tiers and are acknowledged once the
+/// *commit-point* tier (and everything below it) has applied them.
+class TieredDevice : public IDevice {
+ public:
+  /// `commit_point` is the index of the lowest tier whose completion
+  /// acknowledges a write (tiers are ordered fastest first; the default
+  /// -1 means "all tiers must commit").
+  explicit TieredDevice(std::vector<IDevice*> tiers, int commit_point = -1)
+      : tiers_(std::move(tiers)),
+        commit_point_(commit_point < 0
+                          ? static_cast<int>(tiers_.size()) - 1
+                          : commit_point) {}
+
+  void ReadAsync(uint64_t offset, void* dst, uint64_t len,
+                 Callback cb) override {
+    for (size_t i = 0; i < tiers_.size(); i++) {
+      if (tiers_[i]->Covers(offset, len)) {
+        reads_per_tier_.resize(tiers_.size(), 0);
+        reads_per_tier_[i]++;
+        tiers_[i]->ReadAsync(offset, dst, len, std::move(cb));
+        return;
+      }
+    }
+    cb(Status::NotFound("no tier covers this range"));
+  }
+
+  void WriteAsync(uint64_t offset, const void* src, uint64_t len,
+                  Callback cb) override {
+    // Fan the append out to every tier; acknowledge at the commit
+    // point. Tiers above the commit point still receive the write but
+    // their completion is not awaited.
+    struct Join {
+      Callback cb;
+      int remaining;
+      Status error;
+    };
+    auto join = std::make_shared<Join>();
+    join->cb = std::move(cb);
+    join->remaining = commit_point_ + 1;
+    for (size_t i = 0; i < tiers_.size(); i++) {
+      const bool counted = static_cast<int>(i) <= commit_point_;
+      tiers_[i]->WriteAsync(offset, src, len, [join, counted](Status s) {
+        if (!counted) return;
+        if (!s.ok() && join->error.ok()) join->error = s;
+        if (--join->remaining == 0) join->cb(join->error);
+      });
+    }
+  }
+
+  void WriteSync(uint64_t offset, const void* src, uint64_t len) override {
+    for (IDevice* t : tiers_) t->WriteSync(offset, src, len);
+  }
+
+  bool Covers(uint64_t offset, uint64_t len) const override {
+    for (const IDevice* t : tiers_) {
+      if (t->Covers(offset, len)) return true;
+    }
+    return false;
+  }
+
+  std::string name() const override { return "tiered"; }
+  const std::vector<IDevice*>& tiers() const { return tiers_; }
+  uint64_t reads_on_tier(size_t i) const {
+    return i < reads_per_tier_.size() ? reads_per_tier_[i] : 0;
+  }
+
+ private:
+  std::vector<IDevice*> tiers_;
+  int commit_point_;
+  std::vector<uint64_t> reads_per_tier_;
+};
+
+}  // namespace redy::faster
+
+#endif  // REDY_FASTER_TIERED_DEVICE_H_

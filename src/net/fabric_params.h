@@ -1,0 +1,75 @@
+#ifndef REDY_NET_FABRIC_PARAMS_H_
+#define REDY_NET_FABRIC_PARAMS_H_
+
+#include <cstdint>
+
+namespace redy::net {
+
+/// Calibration constants for the simulated RDMA fabric.
+///
+/// The paper's testbed is an Azure HPC cluster: ConnectX-5 100 Gb/s NICs,
+/// median raw network round trip ~2.9 us, write-inline threshold 172 B,
+/// NIC queue-depth cap 16 (Sections 4.3, 5.1, 7.2). The defaults below are
+/// chosen so that the simulated fabric reproduces those headline numbers;
+/// EXPERIMENTS.md tabulates paper-vs-measured for each.
+struct FabricParams {
+  /// Point-to-point NIC bandwidth in bits per second (ConnectX-5).
+  double link_bandwidth_bps = 100e9;
+
+  /// Bytes of wire framing per RDMA message (headers, CRC, routing).
+  uint32_t wire_header_bytes = 60;
+
+  /// One-way propagation independent of switch count (NIC serdes, cables).
+  uint64_t base_propagation_ns = 600;
+
+  /// Added one-way latency per switch traversed.
+  uint64_t per_switch_ns = 250;
+
+  /// Client-side cost to post a work request and ring the doorbell.
+  uint64_t nic_post_ns = 300;
+
+  /// Remote NIC cost to DMA an arriving payload into host memory.
+  uint64_t nic_remote_dma_ns = 250;
+
+  /// PCIe round trip for the NIC to fetch a payload from host memory
+  /// (paid by non-inlined writes at the sender and by reads at the
+  /// responder).
+  uint64_t pcie_fetch_ns = 350;
+
+  /// Largest write payload that can be inlined into the work request,
+  /// avoiding the PCIe fetch. 172 B on the paper's testbed.
+  uint32_t inline_threshold_bytes = 172;
+
+  /// Cost of one completion-queue poll that finds an entry.
+  uint64_t cq_poll_ns = 80;
+
+  /// Minimum spacing between WQEs the NIC can issue on one QP
+  /// (per-QP message rate cap: ~6.6 M WQE/s, in line with small-message
+  /// RDMA measurements on ConnectX-class hardware).
+  uint64_t wqe_issue_gap_ns = 150;
+
+  /// NIC-enforced maximum number of in-flight operations per QP
+  /// (the paper's Azure HPC NICs report 16).
+  uint32_t max_queue_depth = 16;
+
+  /// Switch hop counts for the three data-center distances the paper
+  /// models (Section 5.2): intra-rack, intra-cluster, inter-cluster.
+  static constexpr int kIntraRackHops = 1;
+  static constexpr int kIntraClusterHops = 3;
+  static constexpr int kInterClusterHops = 5;
+
+  /// One-way latency for a given number of switch hops.
+  uint64_t OneWayNs(int hops) const {
+    return base_propagation_ns + static_cast<uint64_t>(hops) * per_switch_ns;
+  }
+
+  /// Serialization delay of `bytes` of payload plus framing.
+  uint64_t WireTimeNs(uint64_t bytes) const {
+    const double bits = static_cast<double>(bytes + wire_header_bytes) * 8.0;
+    return static_cast<uint64_t>(bits / link_bandwidth_bps * 1e9);
+  }
+};
+
+}  // namespace redy::net
+
+#endif  // REDY_NET_FABRIC_PARAMS_H_

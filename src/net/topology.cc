@@ -1,0 +1,17 @@
+#include "net/topology.h"
+
+namespace redy::net {
+
+std::vector<ServerId> Topology::ServersWithin(ServerId from,
+                                              int max_hops) const {
+  std::vector<ServerId> out;
+  const int n = num_servers();
+  for (int s = 0; s < n; s++) {
+    const ServerId sid = static_cast<ServerId>(s);
+    if (sid == from) continue;
+    if (SwitchHops(from, sid) <= max_hops) out.push_back(sid);
+  }
+  return out;
+}
+
+}  // namespace redy::net

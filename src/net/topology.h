@@ -1,0 +1,58 @@
+#ifndef REDY_NET_TOPOLOGY_H_
+#define REDY_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace redy::net {
+
+/// Identifies a physical server in the data center.
+using ServerId = uint32_t;
+inline constexpr ServerId kInvalidServer = UINT32_MAX;
+
+/// Three-tier data-center topology: servers -> racks (ToR switch) ->
+/// pods (aggregation) -> core. Distances come out as the paper's three
+/// network distances: 1 switch (same rack), 3 switches (same pod),
+/// 5 switches (across pods).
+class Topology {
+ public:
+  Topology(int pods, int racks_per_pod, int servers_per_rack)
+      : pods_(pods),
+        racks_per_pod_(racks_per_pod),
+        servers_per_rack_(servers_per_rack) {}
+
+  int pods() const { return pods_; }
+  int racks_per_pod() const { return racks_per_pod_; }
+  int servers_per_rack() const { return servers_per_rack_; }
+  int num_servers() const {
+    return pods_ * racks_per_pod_ * servers_per_rack_;
+  }
+
+  int RackOf(ServerId s) const {
+    return static_cast<int>(s) / servers_per_rack_;
+  }
+  int PodOf(ServerId s) const {
+    return RackOf(s) / racks_per_pod_;
+  }
+
+  /// Number of switches a packet traverses between two servers:
+  /// 0 if same server, 1 intra-rack, 3 intra-pod, 5 inter-pod.
+  int SwitchHops(ServerId a, ServerId b) const {
+    if (a == b) return 0;
+    if (RackOf(a) == RackOf(b)) return 1;
+    if (PodOf(a) == PodOf(b)) return 3;
+    return 5;
+  }
+
+  /// All servers within `max_hops` switches of `from` (excluding itself).
+  std::vector<ServerId> ServersWithin(ServerId from, int max_hops) const;
+
+ private:
+  int pods_;
+  int racks_per_pod_;
+  int servers_per_rack_;
+};
+
+}  // namespace redy::net
+
+#endif  // REDY_NET_TOPOLOGY_H_

@@ -1,0 +1,39 @@
+#ifndef REDY_RDMA_COMPLETION_QUEUE_H_
+#define REDY_RDMA_COMPLETION_QUEUE_H_
+
+#include <deque>
+
+#include "rdma/rdma.h"
+
+namespace redy::rdma {
+
+/// Completion queue polled by client and server threads. Multiple work
+/// queues may share one CQ (as on real hardware).
+class CompletionQueue {
+ public:
+  CompletionQueue() = default;
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Polls up to `max` completions into `out`. Returns the number polled.
+  int Poll(WorkCompletion* out, int max) {
+    int n = 0;
+    while (n < max && !entries_.empty()) {
+      out[n++] = entries_.front();
+      entries_.pop_front();
+    }
+    return n;
+  }
+
+  void Push(const WorkCompletion& wc) { entries_.push_back(wc); }
+
+  size_t Size() const { return entries_.size(); }
+  bool Empty() const { return entries_.empty(); }
+
+ private:
+  std::deque<WorkCompletion> entries_;
+};
+
+}  // namespace redy::rdma
+
+#endif  // REDY_RDMA_COMPLETION_QUEUE_H_

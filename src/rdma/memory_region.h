@@ -1,0 +1,52 @@
+#ifndef REDY_RDMA_MEMORY_REGION_H_
+#define REDY_RDMA_MEMORY_REGION_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "rdma/rdma.h"
+
+namespace redy::rdma {
+
+class Nic;
+
+/// A memory region registered with a NIC. Owns real backing storage:
+/// RDMA operations in the simulator move actual bytes between regions,
+/// so correctness (not just timing) is exercised end to end.
+class MemoryRegion {
+ public:
+  MemoryRegion(Nic* nic, uint64_t size, uint32_t lkey, uint32_t rkey)
+      : nic_(nic), lkey_(lkey), rkey_(rkey), data_(size, 0) {}
+
+  MemoryRegion(const MemoryRegion&) = delete;
+  MemoryRegion& operator=(const MemoryRegion&) = delete;
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+  uint64_t size() const { return data_.size(); }
+
+  uint32_t lkey() const { return lkey_; }
+  RemoteKey remote_key() const { return RemoteKey{rkey_}; }
+  Nic* nic() const { return nic_; }
+
+  /// A deregistered region rejects all remote access (used when a region
+  /// is reclaimed or its VM is torn down).
+  bool valid() const { return valid_; }
+  void Invalidate() { valid_ = false; }
+
+  bool InBounds(uint64_t offset, uint64_t len) const {
+    return offset + len <= data_.size() && offset + len >= offset;
+  }
+
+ private:
+  Nic* nic_;
+  uint32_t lkey_;
+  uint32_t rkey_;
+  bool valid_ = true;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace redy::rdma
+
+#endif  // REDY_RDMA_MEMORY_REGION_H_

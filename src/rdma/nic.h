@@ -1,0 +1,112 @@
+#ifndef REDY_RDMA_NIC_H_
+#define REDY_RDMA_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+#include "common/result.h"
+#include "net/fabric_params.h"
+#include "net/link.h"
+#include "net/topology.h"
+#include "rdma/memory_region.h"
+#include "sim/simulation.h"
+
+namespace redy::rdma {
+
+class Fabric;
+class QueuePair;
+
+/// The RDMA NIC of one server. Registers memory regions, owns the
+/// transmit link (whose serialization produces load-dependent latency),
+/// and tracks the queue pairs created on it. Fail() models a server/VM
+/// crash: every connected QP flushes with error completions.
+class Nic {
+ public:
+  Nic(sim::Simulation* sim, Fabric* fabric, net::ServerId server);
+  ~Nic();
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  /// Registers `bytes` of fresh memory; the NIC owns the region.
+  MemoryRegion* RegisterMemory(uint64_t bytes);
+
+  /// Deregisters a region: remote accesses start failing.
+  void DeregisterMemory(MemoryRegion* mr);
+
+  /// Resolves an access token to a region on this NIC.
+  Result<MemoryRegion*> Resolve(RemoteKey key);
+
+  /// Creates a queue pair on this NIC (unconnected).
+  QueuePair* CreateQueuePair(uint32_t max_depth);
+  void DestroyQueuePair(QueuePair* qp);
+
+  /// Models the NIC (its server/VM) going away. All QPs flush.
+  void Fail();
+  bool failed() const { return failed_; }
+
+  sim::Simulation* sim() const { return sim_; }
+  Fabric* fabric() const { return fabric_; }
+  net::ServerId server() const { return server_; }
+  net::Link& tx_link() { return tx_link_; }
+  const net::FabricParams& params() const;
+
+  /// Total bytes of registered regions (diagnostics).
+  uint64_t registered_bytes() const { return registered_bytes_; }
+
+ private:
+  friend class QueuePair;
+
+  sim::Simulation* sim_;
+  Fabric* fabric_;
+  net::ServerId server_;
+  net::Link tx_link_;
+  bool failed_ = false;
+  uint32_t next_key_ = 1;
+  uint64_t registered_bytes_ = 0;
+  std::unordered_map<uint32_t, std::unique_ptr<MemoryRegion>> regions_;
+  std::deque<std::pair<sim::SimTime, std::unique_ptr<MemoryRegion>>>
+      retired_regions_;
+  std::vector<QueuePair*> qps_;
+  std::vector<std::unique_ptr<QueuePair>> owned_qps_;
+};
+
+/// The fabric connects NICs through the data-center topology and owns
+/// the calibrated timing parameters.
+class Fabric {
+ public:
+  Fabric(sim::Simulation* sim, net::Topology topology,
+         net::FabricParams params = {});
+
+  /// Returns (creating on first use) the NIC of a server.
+  Nic* NicAt(net::ServerId server);
+
+  /// One-way propagation latency between two servers.
+  uint64_t OneWayNs(net::ServerId a, net::ServerId b) const {
+    return params_.OneWayNs(topology_.SwitchHops(a, b));
+  }
+  int SwitchHops(net::ServerId a, net::ServerId b) const {
+    return topology_.SwitchHops(a, b);
+  }
+
+  sim::Simulation* sim() const { return sim_; }
+  const net::Topology& topology() const { return topology_; }
+  const net::FabricParams& params() const { return params_; }
+  net::FabricParams& mutable_params() { return params_; }
+
+ private:
+  sim::Simulation* sim_;
+  net::Topology topology_;
+  net::FabricParams params_;
+  std::unordered_map<net::ServerId, std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace redy::rdma
+
+#endif  // REDY_RDMA_NIC_H_

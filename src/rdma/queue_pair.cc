@@ -1,0 +1,266 @@
+#include "rdma/queue_pair.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "rdma/nic.h"
+
+namespace redy::rdma {
+
+QueuePair::QueuePair(Nic* nic, uint32_t max_depth)
+    : nic_(nic), max_depth_(max_depth) {}
+
+Status QueuePair::Connect(QueuePair* peer) {
+  if (peer == nullptr || peer == this) {
+    return Status::InvalidArgument("bad peer");
+  }
+  if (peer_ != nullptr || peer->peer_ != nullptr) {
+    return Status::FailedPrecondition("QP already connected");
+  }
+  peer_ = peer;
+  peer->peer_ = this;
+  return Status::OK();
+}
+
+Status QueuePair::CheckPostable() const {
+  if (broken_) return Status::Unavailable("QP broken");
+  if (peer_ == nullptr) return Status::FailedPrecondition("QP not connected");
+  if (outstanding_ >= max_depth_) {
+    return Status::ResourceExhausted("QP at queue depth");
+  }
+  return Status::OK();
+}
+
+sim::SimTime QueuePair::IssueSlot(sim::SimTime earliest) {
+  const sim::SimTime slot = std::max(earliest, next_issue_);
+  next_issue_ = slot + nic_->params().wqe_issue_gap_ns;
+  return slot;
+}
+
+void QueuePair::Complete(uint64_t seq, WorkCompletion wc, sim::SimTime t) {
+  ready_.emplace(seq, std::make_pair(wc, t));
+  DeliverReady();
+}
+
+void QueuePair::DeliverReady() {
+  // Release completions strictly in post order. A completion whose
+  // simulated finish time precedes an earlier op's is held back and
+  // delivered at the earlier op's time, exactly like an RC QP.
+  while (true) {
+    auto it = ready_.find(next_deliver_seq_);
+    if (it == ready_.end()) return;
+    auto [wc, t] = it->second;
+    ready_.erase(it);
+    next_deliver_seq_++;
+    t = std::max(t, last_completion_);
+    last_completion_ = t;
+    nic_->sim()->At(t, [this, wc, t]() mutable {
+      wc.completed_at = t;
+      send_cq_.Push(wc);
+      REDY_CHECK(outstanding_ > 0);
+      outstanding_--;
+    });
+  }
+}
+
+uint64_t QueuePair::PostCostNs(uint64_t inline_bytes) const {
+  // Doorbell plus copying an inlined payload into the WQE (~4 B/ns).
+  return nic_->params().nic_post_ns + inline_bytes / 4;
+}
+
+Status QueuePair::PostWrite(uint64_t wr_id, const MemoryRegion* mr,
+                            uint64_t local_offset, RemoteKey key,
+                            uint64_t remote_offset, uint64_t len) {
+  REDY_RETURN_IF_ERROR(CheckPostable());
+  if (!mr->InBounds(local_offset, len)) {
+    return Status::OutOfRange("local write source out of bounds");
+  }
+  outstanding_++;
+  const uint64_t seq = next_post_seq_++;
+
+  const net::FabricParams& p = nic_->params();
+  sim::Simulation* sim = nic_->sim();
+  const bool inlined = len <= p.inline_threshold_bytes;
+
+  // The per-QP pipeline is computed at post time so stages stay FIFO:
+  // issue -> (PCIe fetch) -> wire serialization -> propagation -> DMA.
+  const sim::SimTime issue = IssueSlot(sim->Now());
+  const sim::SimTime fetch_done = issue + (inlined ? 0 : p.pcie_fetch_ns);
+  const sim::SimTime wire_end = nic_->tx_link().Reserve(fetch_done, len);
+  const sim::SimTime landed =
+      wire_end +
+      nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server()) +
+      p.nic_remote_dma_ns;
+
+  // Inline payloads snapshot at post time (real NICs copy them into the
+  // WQE); non-inline payloads are fetched over PCIe at fetch_done.
+  auto payload = std::make_shared<std::vector<uint8_t>>();
+  if (inlined) {
+    payload->assign(mr->data() + local_offset,
+                    mr->data() + local_offset + len);
+  } else {
+    const uint8_t* src = mr->data() + local_offset;
+    sim->At(fetch_done, [payload, src, len] {
+      payload->assign(src, src + len);
+    });
+  }
+
+  sim->At(landed, [this, seq, wr_id, key, remote_offset, len, payload]() {
+    WorkCompletion wc{wr_id, Opcode::kWrite, StatusCode::kOk,
+                      static_cast<uint32_t>(len), 0};
+    if (broken_ || peer_ == nullptr || peer_->nic_->failed()) {
+      wc.status = StatusCode::kUnavailable;
+    } else {
+      auto mr_or = peer_->nic_->Resolve(key);
+      if (!mr_or.ok() || !(*mr_or)->InBounds(remote_offset, len)) {
+        wc.status = StatusCode::kAborted;  // remote access error
+      } else {
+        std::memcpy((*mr_or)->data() + remote_offset, payload->data(), len);
+      }
+    }
+    const sim::SimTime back =
+        nic_->sim()->Now() +
+        nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server());
+    Complete(seq, wc, back);
+  });
+  return Status::OK();
+}
+
+Status QueuePair::PostRead(uint64_t wr_id, MemoryRegion* mr,
+                           uint64_t local_offset, RemoteKey key,
+                           uint64_t remote_offset, uint64_t len) {
+  REDY_RETURN_IF_ERROR(CheckPostable());
+  if (!mr->InBounds(local_offset, len)) {
+    return Status::OutOfRange("local read destination out of bounds");
+  }
+  outstanding_++;
+  const uint64_t seq = next_post_seq_++;
+
+  sim::Simulation* sim = nic_->sim();
+
+  const sim::SimTime issue = IssueSlot(sim->Now());
+  // Read request is header-only on the wire.
+  const sim::SimTime req_wire_end = nic_->tx_link().Reserve(issue, 0);
+  const sim::SimTime req_arrive =
+      req_wire_end +
+      nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server());
+
+  sim->At(req_arrive, [this, seq, wr_id, mr, local_offset, key, remote_offset,
+                       len]() {
+    const net::FabricParams& p = nic_->params();
+    sim::Simulation* sim = nic_->sim();
+    WorkCompletion wc{wr_id, Opcode::kRead, StatusCode::kOk,
+                      static_cast<uint32_t>(len), 0};
+    const uint64_t one_way =
+        nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server());
+    if (broken_ || peer_ == nullptr || peer_->nic_->failed()) {
+      wc.status = StatusCode::kUnavailable;
+      Complete(seq, wc, sim->Now() + one_way);
+      return;
+    }
+    auto mr_or = peer_->nic_->Resolve(key);
+    if (!mr_or.ok() || !(*mr_or)->InBounds(remote_offset, len)) {
+      wc.status = StatusCode::kAborted;
+      Complete(seq, wc, sim->Now() + one_way);
+      return;
+    }
+    // Responder NIC fetches the data over PCIe, then serializes the
+    // response on its own transmit link.
+    std::vector<uint8_t> payload((*mr_or)->data() + remote_offset,
+                                 (*mr_or)->data() + remote_offset + len);
+    const sim::SimTime fetch_done = sim->Now() + p.pcie_fetch_ns;
+    const sim::SimTime resp_wire_end =
+        peer_->nic_->tx_link().Reserve(fetch_done, len);
+    const sim::SimTime landed =
+        resp_wire_end + one_way + p.nic_remote_dma_ns;
+    sim->At(landed, [this, seq, wc, mr, local_offset, len,
+                     payload = std::move(payload)]() mutable {
+      if (broken_) {
+        wc.status = StatusCode::kUnavailable;
+      } else {
+        std::memcpy(mr->data() + local_offset, payload.data(), len);
+      }
+      Complete(seq, wc, nic_->sim()->Now());
+    });
+  });
+  return Status::OK();
+}
+
+Status QueuePair::PostSend(uint64_t wr_id, const MemoryRegion* mr,
+                           uint64_t local_offset, uint64_t len) {
+  REDY_RETURN_IF_ERROR(CheckPostable());
+  if (!mr->InBounds(local_offset, len)) {
+    return Status::OutOfRange("send source out of bounds");
+  }
+  outstanding_++;
+  const uint64_t seq = next_post_seq_++;
+
+  const net::FabricParams& p = nic_->params();
+  sim::Simulation* sim = nic_->sim();
+  const bool inlined = len <= p.inline_threshold_bytes;
+
+  const sim::SimTime issue = IssueSlot(sim->Now());
+  const sim::SimTime fetch_done = issue + (inlined ? 0 : p.pcie_fetch_ns);
+  const sim::SimTime wire_end = nic_->tx_link().Reserve(fetch_done, len);
+  const sim::SimTime landed =
+      wire_end +
+      nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server()) +
+      p.nic_remote_dma_ns;
+  std::vector<uint8_t> payload(mr->data() + local_offset,
+                               mr->data() + local_offset + len);
+
+  sim->At(landed, [this, seq, wr_id, len, payload = std::move(payload)]() {
+    WorkCompletion wc{wr_id, Opcode::kSend, StatusCode::kOk,
+                      static_cast<uint32_t>(len), 0};
+    if (broken_ || peer_ == nullptr || peer_->nic_->failed()) {
+      wc.status = StatusCode::kUnavailable;
+      Complete(seq, wc, nic_->sim()->Now());
+      return;
+    }
+    const sim::SimTime back =
+        nic_->sim()->Now() +
+        nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server());
+    if (peer_->posted_recvs_.empty()) {
+      // Receiver-not-ready: a real RC QP would retry; the Redy protocol
+      // pre-posts receives, so treat it as an error.
+      wc.status = StatusCode::kFailedPrecondition;
+      Complete(seq, wc, back);
+      return;
+    }
+    PostedRecv rv = peer_->posted_recvs_.front();
+    peer_->posted_recvs_.pop_front();
+    if (rv.capacity < len) {
+      wc.status = StatusCode::kOutOfRange;
+      Complete(seq, wc, back);
+      return;
+    }
+    std::memcpy(rv.mr->data() + rv.offset, payload.data(), len);
+    WorkCompletion rwc{rv.wr_id, Opcode::kRecv, StatusCode::kOk,
+                       static_cast<uint32_t>(len), nic_->sim()->Now()};
+    peer_->recv_cq_.Push(rwc);
+    Complete(seq, wc, back);
+  });
+  return Status::OK();
+}
+
+Status QueuePair::PostRecv(uint64_t wr_id, MemoryRegion* mr, uint64_t offset,
+                           uint64_t capacity) {
+  if (broken_) return Status::Unavailable("QP broken");
+  if (!mr->InBounds(offset, capacity)) {
+    return Status::OutOfRange("recv buffer out of bounds");
+  }
+  posted_recvs_.push_back(PostedRecv{wr_id, mr, offset, capacity});
+  return Status::OK();
+}
+
+void QueuePair::Break() {
+  if (broken_) return;
+  broken_ = true;
+  // In-flight operations observe broken_ when their events fire and
+  // complete with kUnavailable, so outstanding_ drains naturally.
+}
+
+}  // namespace redy::rdma

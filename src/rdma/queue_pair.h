@@ -1,0 +1,110 @@
+#ifndef REDY_RDMA_QUEUE_PAIR_H_
+#define REDY_RDMA_QUEUE_PAIR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "rdma/completion_queue.h"
+#include "rdma/memory_region.h"
+#include "rdma/rdma.h"
+
+namespace redy::rdma {
+
+class Nic;
+
+/// A reliable-connected queue pair. Session-oriented: a QP talks only to
+/// the QP it connected to; messages are delivered in post order with no
+/// loss or duplication (Section 4.1). The simulator enforces in-order
+/// completion delivery per QP and a bounded number of in-flight
+/// operations (the queue depth).
+class QueuePair {
+ public:
+  QueuePair(Nic* nic, uint32_t max_depth);
+
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  /// Connects this QP with `peer` (both directions).
+  Status Connect(QueuePair* peer);
+
+  /// One-sided RDMA read: copy `len` bytes from (remote region `key`,
+  /// `remote_offset`) into (local `mr`, `local_offset`). Completion is
+  /// pushed to the send CQ when the data has landed locally.
+  Status PostRead(uint64_t wr_id, MemoryRegion* mr, uint64_t local_offset,
+                  RemoteKey key, uint64_t remote_offset, uint64_t len);
+
+  /// One-sided RDMA write: copy `len` bytes from (local `mr`,
+  /// `local_offset`) to (remote region `key`, `remote_offset`). Payloads
+  /// up to the inline threshold avoid the PCIe DMA fetch.
+  Status PostWrite(uint64_t wr_id, const MemoryRegion* mr,
+                   uint64_t local_offset, RemoteKey key,
+                   uint64_t remote_offset, uint64_t len);
+
+  /// Two-sided send: delivers into the oldest posted receive buffer at
+  /// the peer; a completion appears on the peer's recv CQ.
+  Status PostSend(uint64_t wr_id, const MemoryRegion* mr,
+                  uint64_t local_offset, uint64_t len);
+
+  /// Posts a receive buffer for incoming sends.
+  Status PostRecv(uint64_t wr_id, MemoryRegion* mr, uint64_t offset,
+                  uint64_t capacity);
+
+  CompletionQueue& send_cq() { return send_cq_; }
+  CompletionQueue& recv_cq() { return recv_cq_; }
+
+  /// In-flight (posted, not yet completed) send-side operations.
+  uint32_t outstanding() const { return outstanding_; }
+  uint32_t max_depth() const { return max_depth_; }
+  bool connected() const { return peer_ != nullptr; }
+  bool broken() const { return broken_; }
+  Nic* nic() const { return nic_; }
+  QueuePair* peer() const { return peer_; }
+
+  /// CPU nanoseconds a caller should charge for posting one work request
+  /// with the given payload (doorbell + optional inline copy).
+  uint64_t PostCostNs(uint64_t inline_bytes) const;
+
+  /// Flushes the QP: outstanding and future operations fail.
+  void Break();
+
+ private:
+  friend class Nic;
+
+  struct PostedRecv {
+    uint64_t wr_id;
+    MemoryRegion* mr;
+    uint64_t offset;
+    uint64_t capacity;
+  };
+
+  Status CheckPostable() const;
+  /// Reserves the NIC issue slot honoring the per-QP WQE rate cap.
+  sim::SimTime IssueSlot(sim::SimTime earliest);
+  /// Hands `wc` (for the op with post-sequence `seq`) to the completion
+  /// sequencer, which releases completions strictly in post order, as a
+  /// reliable-connected QP does.
+  void Complete(uint64_t seq, WorkCompletion wc, sim::SimTime t);
+  void DeliverReady();
+
+  Nic* nic_;
+  QueuePair* peer_ = nullptr;
+  uint32_t max_depth_;
+  uint32_t outstanding_ = 0;
+  bool broken_ = false;
+  sim::SimTime next_issue_ = 0;
+  sim::SimTime last_completion_ = 0;
+  uint64_t next_post_seq_ = 0;
+  uint64_t next_deliver_seq_ = 0;
+  std::map<uint64_t, std::pair<WorkCompletion, sim::SimTime>> ready_;
+  CompletionQueue send_cq_;
+  CompletionQueue recv_cq_;
+  std::deque<PostedRecv> posted_recvs_;
+};
+
+}  // namespace redy::rdma
+
+#endif  // REDY_RDMA_QUEUE_PAIR_H_

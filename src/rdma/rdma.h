@@ -1,0 +1,40 @@
+#ifndef REDY_RDMA_RDMA_H_
+#define REDY_RDMA_RDMA_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "sim/simulation.h"
+
+namespace redy::rdma {
+
+/// RDMA verb opcodes supported by the simulated fabric. Mirrors the
+/// subset of libibverbs/NDSPI Redy uses: one-sided READ/WRITE and
+/// two-sided SEND/RECV over reliable-connected queue pairs.
+enum class Opcode : uint8_t {
+  kRead,
+  kWrite,
+  kSend,
+  kRecv,
+};
+
+/// The access token a cache server hands to clients for each registered
+/// region (the paper's "RDMA access-tokens, one per region").
+struct RemoteKey {
+  uint32_t rkey = 0;
+
+  friend bool operator==(const RemoteKey&, const RemoteKey&) = default;
+};
+
+/// A completion-queue entry.
+struct WorkCompletion {
+  uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kWrite;
+  StatusCode status = StatusCode::kOk;
+  uint32_t byte_len = 0;
+  sim::SimTime completed_at = 0;
+};
+
+}  // namespace redy::rdma
+
+#endif  // REDY_RDMA_RDMA_H_

@@ -1,0 +1,921 @@
+#include "redy/cache_client.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace redy {
+
+namespace {
+
+// Work-request id tagging: top byte distinguishes op kinds on a QP.
+constexpr uint64_t kWrKindOneSided = 1ULL << 56;
+constexpr uint64_t kWrKindBatch = 2ULL << 56;
+constexpr uint64_t kWrKindMask = 0xffULL << 56;
+constexpr uint64_t kWrIdMask = ~kWrKindMask;
+
+}  // namespace
+
+CacheClient::CacheClient(sim::Simulation* sim, rdma::Fabric* fabric,
+                         CacheManager* manager, net::ServerId node,
+                         Options options)
+    : sim_(sim),
+      fabric_(fabric),
+      manager_(manager),
+      node_(node),
+      nic_(fabric->NicAt(node)),
+      options_(options) {
+  manager_->SetVmLossHandler(
+      [this](cluster::VmId vm, sim::SimTime deadline) {
+        OnVmLoss(vm, deadline);
+      });
+}
+
+CacheClient::~CacheClient() {
+  for (auto& [id, cache] : caches_) {
+    for (auto& t : cache->threads) {
+      if (t->poller) t->poller->Stop();
+    }
+  }
+}
+
+uint64_t CacheClient::ApiCallCostNs() const {
+  uint64_t cost = options_.costs.api_call_ns;
+  if (!options_.costs.lockfree_rings) cost += options_.costs.lock_cost_ns;
+  return cost;
+}
+
+// ---------------------------------------------------------------------------
+// Cache lifecycle
+// ---------------------------------------------------------------------------
+
+Result<CacheClient::CacheId> CacheClient::Create(
+    uint64_t capacity, const Slo& slo, sim::SimTime duration,
+    const std::vector<uint8_t>* file) {
+  auto alloc_or = manager_->Allocate(capacity, slo, duration, node_,
+                                     options_.region_bytes);
+  if (!alloc_or.ok()) return alloc_or.status();
+  auto id_or = Install(std::move(*alloc_or), capacity, slo,
+                       duration != kDurationInfinite);
+  if (!id_or.ok()) return id_or;
+
+  if (file != nullptr) {
+    // Populate the cache with the prefix of `file` of length `capacity`
+    // (Table 1). Population happens at allocation time, before the
+    // cache is handed to the application, so it is applied directly to
+    // region memory.
+    CacheEntry* cache = FindCache(*id_or);
+    const uint64_t n = std::min<uint64_t>(file->size(), capacity);
+    uint64_t off = 0;
+    while (off < n) {
+      const uint32_t vr = static_cast<uint32_t>(off / cache->region_bytes);
+      const uint64_t roff = off % cache->region_bytes;
+      const uint64_t chunk =
+          std::min(n - off, cache->region_bytes - roff);
+      const auto& p = cache->regions[vr].placement;
+      std::memcpy(p.server->region(p.region_index)->data() + roff,
+                  file->data() + off, chunk);
+      off += chunk;
+    }
+  }
+  return id_or;
+}
+
+Result<CacheClient::CacheId> CacheClient::CreateWithConfig(
+    uint64_t capacity, const RdmaConfig& cfg, uint32_t record_bytes,
+    bool spot) {
+  auto alloc_or = manager_->AllocateWithConfig(
+      capacity, cfg, record_bytes, spot, node_, options_.region_bytes);
+  if (!alloc_or.ok()) return alloc_or.status();
+  Slo slo;
+  slo.record_bytes = record_bytes;
+  return Install(std::move(*alloc_or), capacity, slo, spot);
+}
+
+Result<CacheClient::CacheId> CacheClient::Install(
+    CacheManager::Allocation alloc, uint64_t capacity, const Slo& slo,
+    bool spot) {
+  auto cache = std::make_unique<CacheEntry>();
+  cache->id = next_id_++;
+  cache->cfg = alloc.config;
+  cache->record_bytes = slo.record_bytes;
+  cache->capacity = capacity;
+  cache->region_bytes = alloc.region_bytes;
+  cache->slo = slo;
+  cache->spot = spot;
+  cache->price_per_hour = alloc.price_per_hour;
+  for (const auto& rp : alloc.regions) {
+    VRegion vr;
+    vr.placement = rp;
+    cache->regions.push_back(std::move(vr));
+  }
+
+  StartThreads(cache.get());
+
+  const CacheId id = cache->id;
+  caches_.emplace(id, std::move(cache));
+  return id;
+}
+
+void CacheClient::StartThreads(CacheEntry* cache) {
+  for (auto& t : cache->threads) {
+    if (t->poller) t->poller->Stop();
+  }
+  cache->threads.clear();
+  for (uint32_t t = 0; t < cache->cfg.c; t++) {
+    auto thread = std::make_unique<ClientThread>();
+    thread->index = t;
+    thread->cache = cache;
+    thread->ring = std::make_unique<ringbuf::SpscRing<SubOp>>(
+        options_.batch_ring_capacity);
+    thread->rng = Rng(0xC11E47 ^ (cache->id << 8) ^ t);
+    ClientThread* thread_ptr = thread.get();
+    thread->poller = std::make_unique<sim::Poller>(
+        sim_, options_.costs.poll_interval_ns,
+        [this, cache, thread_ptr]() -> uint64_t {
+          return PollThread(*cache, *thread_ptr);
+        });
+    thread->poller->Start();
+    cache->threads.push_back(std::move(thread));
+  }
+}
+
+void CacheClient::ReleaseConnection(Connection& conn) {
+  if (conn.qp != nullptr) conn.qp->Break();
+  if (conn.req_staging != nullptr) nic_->DeregisterMemory(conn.req_staging);
+  if (conn.resp_ring != nullptr) nic_->DeregisterMemory(conn.resp_ring);
+  if (conn.onesided_ring != nullptr) {
+    nic_->DeregisterMemory(conn.onesided_ring);
+  }
+  for (auto& [wr, mr] : conn.transient_mrs) nic_->DeregisterMemory(mr);
+  conn.req_staging = nullptr;
+  conn.resp_ring = nullptr;
+  conn.onesided_ring = nullptr;
+  conn.transient_mrs.clear();
+}
+
+void CacheClient::DropConnections(CacheEntry& cache, cluster::VmId vm) {
+  for (auto& t : cache.threads) {
+    auto it = t->conns.find(vm);
+    if (it == t->conns.end()) continue;
+    ReleaseConnection(*it->second);
+    t->conns.erase(it);
+  }
+}
+
+Status CacheClient::Delete(CacheId id) {
+  CacheEntry* cache = FindCache(id);
+  if (cache == nullptr) return Status::NotFound("unknown cache");
+  cache->deleted = true;
+  // Outstanding operations complete with an error instead of silently
+  // losing their callbacks.
+  FailAllPending(*cache, Status::Aborted("cache deleted"));
+  for (auto& t : cache->threads) {
+    if (t->poller) t->poller->Stop();
+    for (auto& [vm, conn] : t->conns) ReleaseConnection(*conn);
+  }
+  // Deallocate every VM still holding regions (replicas included).
+  std::vector<cluster::VmId> vms;
+  for (const auto& vr : cache->regions) {
+    vms.push_back(vr.placement.vm_id);
+    if (vr.replica.has_value()) vms.push_back(vr.replica->vm_id);
+  }
+  std::sort(vms.begin(), vms.end());
+  vms.erase(std::unique(vms.begin(), vms.end()), vms.end());
+  for (cluster::VmId vm : vms) manager_->ReleaseVm(vm);
+  caches_.erase(id);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Read / Write submission
+// ---------------------------------------------------------------------------
+
+Status CacheClient::Read(CacheId id, uint64_t addr, void* dst, uint64_t size,
+                         Callback cb, uint32_t app_thread) {
+  return Submit(id, OpCode::kRead, addr, dst, nullptr, size, std::move(cb),
+                app_thread);
+}
+
+Status CacheClient::Write(CacheId id, uint64_t addr, const void* src,
+                          uint64_t size, Callback cb, uint32_t app_thread) {
+  return Submit(id, OpCode::kWrite, addr, nullptr, src, size, std::move(cb),
+                app_thread);
+}
+
+Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
+                           const void* src, uint64_t size, Callback cb,
+                           uint32_t app_thread) {
+  CacheEntry* cache = FindCache(id);
+  if (cache == nullptr || cache->deleted) {
+    return Status::NotFound("unknown cache");
+  }
+  if (size == 0) return Status::InvalidArgument("zero-size I/O");
+  if (addr + size > cache->capacity || addr + size < addr) {
+    return Status::OutOfRange("I/O beyond cache capacity");
+  }
+  ClientThread& thread =
+      *cache->threads[app_thread % cache->threads.size()];
+
+  // Split on region boundaries. Writes to a replicated cache are
+  // applied to both copies, so each piece gets a replica twin.
+  const uint64_t first_region = addr / cache->region_bytes;
+  const uint64_t last_region = (addr + size - 1) / cache->region_bytes;
+  const uint32_t pieces = static_cast<uint32_t>(last_region - first_region + 1);
+  const bool duplicate =
+      cache->replicated && op == OpCode::kWrite;
+  const uint32_t total_pieces = duplicate ? pieces * 2 : pieces;
+
+  // All pieces must fit in the ring or we reject the call atomically.
+  if (thread.ring->Size() + total_pieces > thread.ring->Capacity()) {
+    return Status::ResourceExhausted("client thread batch ring full");
+  }
+
+  auto state = std::make_shared<OpState>();
+  state->cb = std::move(cb);
+  state->remaining = total_pieces;
+  state->start = sim_->Now();
+  state->is_read = (op == OpCode::kRead);
+  state->bytes = size;
+  state->cache = cache;
+
+  uint64_t off = addr;
+  uint64_t remaining = size;
+  uint8_t* d = static_cast<uint8_t*>(dst);
+  const uint8_t* s = static_cast<const uint8_t*>(src);
+  while (remaining > 0) {
+    const uint32_t vr = static_cast<uint32_t>(off / cache->region_bytes);
+    const uint64_t roff = off % cache->region_bytes;
+    const uint64_t chunk = std::min(remaining, cache->region_bytes - roff);
+    SubOp sub;
+    sub.op = op;
+    sub.vregion = vr;
+    sub.offset = roff;
+    sub.len = static_cast<uint32_t>(chunk);
+    sub.dst = d;
+    sub.src = s;
+    sub.state = state;
+    sub.thread = thread.index;
+    if (duplicate) {
+      SubOp twin = sub;
+      twin.to_replica = true;
+      const bool pushed_twin = thread.ring->TryPush(std::move(twin));
+      REDY_CHECK(pushed_twin);
+    }
+    const bool pushed = thread.ring->TryPush(std::move(sub));
+    REDY_CHECK(pushed);  // capacity checked above
+    off += chunk;
+    remaining -= chunk;
+    if (d != nullptr) d += chunk;
+    if (s != nullptr) s += chunk;
+  }
+  cache->inflight_ops++;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Client-thread data path
+// ---------------------------------------------------------------------------
+
+uint64_t CacheClient::PollThread(CacheEntry& cache, ClientThread& thread) {
+  uint64_t consumed = 0;
+  for (auto& [vm, conn] : thread.conns) {
+    consumed += DrainCompletions(cache, thread, *conn);
+    consumed += DrainResponses(cache, thread, *conn);
+  }
+  consumed += DrainSubmissions(cache, thread);
+
+  // Flush partially filled batches (the ring went empty): latency wins
+  // over waiting for the batch to fill.
+  for (auto& [vm, conn] : thread.conns) {
+    if (!conn->current.empty()) {
+      bool flushed = false;
+      consumed += Flush(cache, thread, *conn, &flushed);
+    }
+  }
+
+  if (consumed == 0) {
+    consumed = options_.costs.idle_poll_ns;
+    if (!options_.costs.numa_affinitized) {
+      consumed = std::max(consumed, options_.costs.numa_idle_poll_ns);
+      if (thread.rng.Bernoulli(options_.costs.sched_stall_probability)) {
+        consumed += static_cast<uint64_t>(thread.rng.Exponential(
+            static_cast<double>(options_.costs.sched_stall_mean_ns)));
+      }
+    }
+    // Exponential back-off after a long idle run (event-count hygiene;
+    // the first 64 idle polls stay at full rate so latency is
+    // unaffected under any active load).
+    thread.idle_streak++;
+    const uint32_t doublings = std::min(thread.idle_streak / 64, 11u);
+    consumed = std::max<uint64_t>(consumed,
+                                  options_.costs.poll_interval_ns
+                                      << doublings);
+  } else {
+    thread.idle_streak = 0;
+  }
+  return consumed;
+}
+
+uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
+                                       ClientThread& thread,
+                                       Connection& conn) {
+  (void)thread;
+  uint64_t consumed = 0;
+  rdma::WorkCompletion wc;
+  while (conn.qp != nullptr && conn.qp->send_cq().Poll(&wc, 1) == 1) {
+    const uint64_t kind = wc.wr_id & kWrKindMask;
+    const uint64_t id = wc.wr_id & kWrIdMask;
+    if (kind == kWrKindOneSided) {
+      auto it = conn.onesided_ops.find(id);
+      if (it == conn.onesided_ops.end()) continue;
+      SubOp op = std::move(it->second);
+      conn.onesided_ops.erase(it);
+      Status st = wc.status == StatusCode::kOk
+                      ? Status::OK()
+                      : Status(wc.status, "one-sided op failed");
+      if (st.ok() && op.op == OpCode::kRead) {
+        // Copy from the staging slot (or transient buffer) to the app.
+        const uint8_t* payload = nullptr;
+        auto tr = conn.transient_mrs.find(id);
+        if (tr != conn.transient_mrs.end()) {
+          payload = tr->second->data();
+        } else if (op.staging_slot != UINT32_MAX) {
+          payload = conn.onesided_ring->data() +
+                    op.staging_slot * options_.one_sided_slot_bytes;
+        }
+        if (payload != nullptr && op.dst != nullptr) {
+          std::memcpy(op.dst, payload, op.len);
+        }
+        consumed += options_.costs.response_handle_ns +
+                    static_cast<uint64_t>(
+                        options_.costs.response_copy_ns_per_byte * op.len);
+      } else {
+        consumed += options_.costs.response_handle_ns;
+      }
+      auto tr = conn.transient_mrs.find(id);
+      if (tr != conn.transient_mrs.end()) {
+        nic_->DeregisterMemory(tr->second);
+        conn.transient_mrs.erase(tr);
+      }
+      if (op.staging_slot != UINT32_MAX) {
+        conn.onesided_slot_busy[op.staging_slot] = false;
+      }
+      cache.stats.one_sided_ops++;
+      CompleteSubOp(cache, op, st);
+    } else if (kind == kWrKindBatch) {
+      if (wc.status == StatusCode::kOk) continue;  // request delivered
+      // The request batch never reached the server: fail its ops.
+      const uint64_t seq = id;
+      const uint32_t slot = static_cast<uint32_t>((seq - 1) % cache.cfg.q);
+      if (slot < conn.slots.size() && !conn.slots[slot].empty()) {
+        for (SubOp& op : conn.slots[slot]) {
+          CompleteSubOp(cache, op,
+                        Status(wc.status, "request batch failed"));
+        }
+        conn.slots[slot].clear();
+        if (conn.inflight_batches > 0) conn.inflight_batches--;
+      }
+    }
+  }
+  return consumed;
+}
+
+uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
+                                     Connection& conn) {
+  (void)thread;
+  if (conn.resp_ring == nullptr) return 0;
+  uint64_t consumed = 0;
+  const uint32_t q = cache.cfg.q;
+  while (true) {
+    const uint32_t slot = static_cast<uint32_t>((conn.next_resp - 1) % q);
+    uint8_t* base = conn.resp_ring->data() + slot * conn.resp_slot_bytes;
+    BatchHeader hdr;
+    std::memcpy(&hdr, base, sizeof(hdr));
+    if (hdr.seq != conn.next_resp) break;
+
+    std::vector<SubOp>& ops = conn.slots[slot];
+    REDY_CHECK(ops.size() == hdr.count);
+    const uint8_t* p = base + sizeof(BatchHeader);
+    for (SubOp& op : ops) {
+      ResponseHeader rh;
+      std::memcpy(&rh, p, sizeof(rh));
+      p += sizeof(rh);
+      Status st = rh.status == 0
+                      ? Status::OK()
+                      : Status(static_cast<StatusCode>(rh.status),
+                               "server rejected request");
+      if (st.ok() && op.op == OpCode::kRead) {
+        if (op.dst != nullptr) std::memcpy(op.dst, p, rh.len);
+        consumed += static_cast<uint64_t>(
+            options_.costs.response_copy_ns_per_byte * rh.len);
+      }
+      p += rh.len;
+      consumed += options_.costs.response_handle_ns;
+      cache.stats.batched_ops++;
+      CompleteSubOp(cache, op, st);
+    }
+    ops.clear();
+    // Clear the header so a stale seq can never confuse a later lap.
+    BatchHeader zero;
+    std::memcpy(base, &zero, sizeof(zero));
+    conn.inflight_batches--;
+    conn.next_resp++;
+  }
+  return consumed;
+}
+
+uint64_t CacheClient::DrainSubmissions(CacheEntry& cache,
+                                       ClientThread& thread) {
+  uint64_t consumed = 0;
+  // Bounded per iteration so one sweep cannot starve the simulation.
+  constexpr int kMaxPerPoll = 4096;
+  for (int n = 0; n < kMaxPerPoll; n++) {
+    // Replayed (previously parked) ops have priority over new arrivals.
+    SubOp op;
+    if (!thread.replay.empty()) {
+      op = std::move(thread.replay.front());
+      thread.replay.pop_front();
+    } else {
+      auto popped = thread.ring->TryPop();
+      if (!popped.has_value()) break;
+      op = std::move(*popped);
+      consumed += options_.costs.batch_ring_pop_ns;
+      if (!options_.costs.lockfree_rings) {
+        consumed += options_.costs.lock_cost_ns;
+        if (thread.rng.Bernoulli(options_.costs.lock_convoy_probability)) {
+          consumed += static_cast<uint64_t>(thread.rng.Exponential(
+              static_cast<double>(options_.costs.lock_convoy_mean_ns)));
+        }
+      }
+    }
+    if (!options_.costs.numa_affinitized) {
+      consumed += options_.costs.numa_penalty_ns;
+    }
+
+    VRegion& vr = cache.regions[op.vregion];
+    const bool paused = (op.op == OpCode::kRead && vr.reads_paused) ||
+                        (op.op == OpCode::kWrite && vr.writes_paused);
+    if (paused) {
+      cache.stats.parked_ops++;
+      vr.parked.push_back(std::move(op));
+      continue;
+    }
+    if (op.to_replica && !vr.replica.has_value()) {
+      // Degraded region (replica lost, repair pending): the primary
+      // write carries the operation.
+      CompleteSubOp(cache, op, Status::OK());
+      continue;
+    }
+    const CacheManager::RegionPlacement& placement =
+        op.to_replica ? *vr.replica : vr.placement;
+
+    auto conn_or =
+        EnsureConnection(cache, thread, placement.vm_id, placement.server);
+    if (!conn_or.ok()) {
+      CompleteSubOp(cache, op, conn_or.status());
+      continue;
+    }
+    Connection& conn = **conn_or;
+
+    // One-sided path: pure one-sided configurations, and any operation
+    // larger than the record size the rings were provisioned for (big
+    // transfers never go through the message rings).
+    if (cache.cfg.s == 0 || op.len > cache.record_bytes) {
+      bool issued = false;
+      consumed += IssueOneSided(cache, thread, conn, &op, &issued);
+      if (!issued) {
+        thread.replay.push_front(std::move(op));
+        break;  // backpressure: stop draining to preserve order
+      }
+      continue;
+    }
+
+    // Never let the accumulating batch exceed b: if it is full and the
+    // connection is backpressured, hold the op and stop draining.
+    if (conn.current.size() >= cache.cfg.b) {
+      bool flushed = false;
+      consumed += Flush(cache, thread, conn, &flushed);
+      if (!flushed) {
+        thread.replay.push_front(std::move(op));
+        break;
+      }
+    }
+    conn.current.push_back(std::move(op));
+    consumed += options_.costs.batch_append_ns;
+    if (conn.current.size() >= cache.cfg.b) {
+      bool flushed = false;
+      consumed += Flush(cache, thread, conn, &flushed);
+      if (!flushed) break;  // connection at queue depth
+    }
+  }
+  return consumed;
+}
+
+uint64_t CacheClient::IssueOneSided(CacheEntry& cache, ClientThread& thread,
+                                    Connection& conn, SubOp* op,
+                                    bool* issued) {
+  *issued = false;
+  if (conn.qp == nullptr || conn.qp->broken()) {
+    CompleteSubOp(cache, *op, Status::Unavailable("connection broken"));
+    *issued = true;  // consumed (failed), don't retry
+    return 0;
+  }
+  if (conn.qp->outstanding() >= cache.cfg.q) return 0;  // backpressure
+
+  uint64_t consumed = 0;
+  const VRegion& vr = cache.regions[op->vregion];
+  if (op->to_replica && !vr.replica.has_value()) {
+    CompleteSubOp(cache, *op, Status::OK());  // degraded region
+    *issued = true;
+    return 0;
+  }
+  const rdma::RemoteKey key =
+      op->to_replica ? vr.replica->key : vr.placement.key;
+  const uint64_t wr = thread.next_wr_id++;
+
+  rdma::MemoryRegion* staging = nullptr;
+  uint64_t staging_off = 0;
+  if (op->len <= options_.one_sided_slot_bytes) {
+    if (conn.onesided_ring == nullptr) {
+      conn.onesided_ring = nic_->RegisterMemory(
+          options_.one_sided_slot_bytes * cache.cfg.q);
+      conn.onesided_slot_busy.assign(cache.cfg.q, false);
+    }
+    uint32_t slot = UINT32_MAX;
+    for (uint32_t i = 0; i < conn.onesided_slot_busy.size(); i++) {
+      if (!conn.onesided_slot_busy[i]) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == UINT32_MAX) return 0;  // all slots busy
+    conn.onesided_slot_busy[slot] = true;
+    op->staging_slot = slot;
+    staging = conn.onesided_ring;
+    staging_off = slot * options_.one_sided_slot_bytes;
+  } else {
+    staging = nic_->RegisterMemory(op->len);
+    conn.transient_mrs[wr] = staging;
+  }
+
+  Status st;
+  if (op->op == OpCode::kWrite) {
+    std::memcpy(staging->data() + staging_off, op->src, op->len);
+    consumed += static_cast<uint64_t>(
+        options_.costs.batch_stage_ns_per_byte * op->len);
+    st = conn.qp->PostWrite(kWrKindOneSided | wr, staging, staging_off, key,
+                            op->offset, op->len);
+  } else {
+    st = conn.qp->PostRead(kWrKindOneSided | wr, staging, staging_off, key,
+                           op->offset, op->len);
+  }
+  consumed += conn.qp->PostCostNs(
+      op->op == OpCode::kWrite &&
+              op->len <= fabric_->params().inline_threshold_bytes
+          ? op->len
+          : 0);
+
+  if (!st.ok()) {
+    if (op->staging_slot != UINT32_MAX) {
+      conn.onesided_slot_busy[op->staging_slot] = false;
+      op->staging_slot = UINT32_MAX;
+    }
+    auto tr = conn.transient_mrs.find(wr);
+    if (tr != conn.transient_mrs.end()) {
+      nic_->DeregisterMemory(tr->second);
+      conn.transient_mrs.erase(tr);
+    }
+    if (st.IsResourceExhausted()) return consumed;  // retry later
+    CompleteSubOp(cache, *op, st);
+    *issued = true;
+    return consumed;
+  }
+  cache.regions[op->vregion].inflight_subops++;
+  op->issued = true;
+  conn.onesided_ops.emplace(wr, std::move(*op));
+  *issued = true;
+  return consumed;
+}
+
+uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
+                            Connection& conn, bool* flushed) {
+  *flushed = false;
+  if (conn.current.empty()) {
+    *flushed = true;
+    return 0;
+  }
+  uint64_t consumed = 0;
+
+  // Single-request batches translate to one-sided verbs (Section 4.3).
+  if (conn.current.size() == 1 && options_.costs.one_sided_singletons &&
+      conn.current[0].len <= options_.one_sided_slot_bytes) {
+    bool issued = false;
+    consumed = IssueOneSided(cache, thread, conn, &conn.current[0], &issued);
+    if (issued) {
+      conn.current.clear();
+      *flushed = true;
+    }
+    // On backpressure conn.current[0] is untouched and retried later.
+    return consumed;
+  }
+
+  if (conn.qp == nullptr || conn.qp->broken()) {
+    for (SubOp& op : conn.current) {
+      CompleteSubOp(cache, op, Status::Unavailable("connection broken"));
+    }
+    conn.current.clear();
+    *flushed = true;
+    return consumed;
+  }
+  if (conn.inflight_batches >= cache.cfg.q ||
+      conn.qp->outstanding() >= conn.qp->max_depth()) {
+    return consumed;  // backpressure
+  }
+
+  // Replica twins whose replica vanished while queued complete as
+  // no-ops (the primary write carries the operation).
+  for (size_t i = 0; i < conn.current.size();) {
+    SubOp& op = conn.current[i];
+    if (op.to_replica && !cache.regions[op.vregion].replica.has_value()) {
+      CompleteSubOp(cache, op, Status::OK());
+      conn.current.erase(conn.current.begin() + static_cast<long>(i));
+    } else {
+      i++;
+    }
+  }
+  if (conn.current.empty()) {
+    *flushed = true;
+    return consumed;
+  }
+
+  const uint32_t q = cache.cfg.q;
+  const uint64_t seq = conn.next_seq;
+  const uint32_t slot = static_cast<uint32_t>((seq - 1) % q);
+  uint8_t* base = conn.req_staging->data() + slot * conn.req_slot_bytes;
+
+  uint64_t off = sizeof(BatchHeader);
+  for (const SubOp& op : conn.current) {
+    const VRegion& vr = cache.regions[op.vregion];
+    RequestHeader rh;
+    rh.op = op.op;
+    rh.len = op.len;
+    rh.region = op.to_replica ? vr.replica->region_index
+                              : vr.placement.region_index;
+    rh.offset = op.offset;
+    std::memcpy(base + off, &rh, sizeof(rh));
+    off += sizeof(rh);
+    if (op.op == OpCode::kWrite) {
+      std::memcpy(base + off, op.src, op.len);
+      off += op.len;
+      consumed += static_cast<uint64_t>(
+          options_.costs.batch_stage_ns_per_byte * op.len);
+    }
+  }
+  BatchHeader hdr;
+  hdr.seq = seq;
+  hdr.count = static_cast<uint32_t>(conn.current.size());
+  hdr.bytes = static_cast<uint32_t>(off);
+  std::memcpy(base, &hdr, sizeof(hdr));
+  consumed += options_.costs.batch_stage_ns;
+
+  Status st = conn.qp->PostWrite(kWrKindBatch | seq, conn.req_staging,
+                                 slot * conn.req_slot_bytes,
+                                 conn.req_ring_key,
+                                 slot * conn.req_slot_bytes, off);
+  consumed += conn.qp->PostCostNs(
+      off <= fabric_->params().inline_threshold_bytes ? off : 0);
+  if (!st.ok()) {
+    if (st.IsResourceExhausted()) return consumed;  // retry later
+    for (SubOp& op : conn.current) CompleteSubOp(cache, op, st);
+    conn.current.clear();
+    *flushed = true;
+    return consumed;
+  }
+
+  for (SubOp& op : conn.current) {
+    cache.regions[op.vregion].inflight_subops++;
+    op.issued = true;
+  }
+  conn.slots[slot] = std::move(conn.current);
+  conn.current.clear();
+  conn.inflight_batches++;
+  conn.next_seq++;
+  *flushed = true;
+  return consumed;
+}
+
+Result<CacheClient::Connection*> CacheClient::EnsureConnection(
+    CacheEntry& cache, ClientThread& thread, cluster::VmId vm,
+    CacheServer* server) {
+  auto it = thread.conns.find(vm);
+  if (it != thread.conns.end()) return it->second.get();
+
+  if (server == nullptr) return Status::Unavailable("no server for VM");
+  auto info_or = server->Connect(cache.cfg, cache.record_bytes);
+  if (!info_or.ok()) return info_or.status();
+  const auto& info = *info_or;
+
+  auto conn = std::make_unique<Connection>();
+  conn->vm = vm;
+  conn->server = server;
+  conn->conn_index = info.conn_index;
+  conn->qp = nic_->CreateQueuePair(
+      std::max<uint32_t>(cache.cfg.q, 2));  // room for response writes
+  REDY_RETURN_IF_ERROR(conn->qp->Connect(info.server_qp));
+  conn->slots.resize(cache.cfg.q);
+
+  if (cache.cfg.s > 0) {
+    conn->req_ring_key = info.request_ring_key;
+    conn->req_slot_bytes = info.request_slot_bytes;
+    conn->req_staging =
+        nic_->RegisterMemory(conn->req_slot_bytes * cache.cfg.q);
+    conn->resp_slot_bytes =
+        ResponseSlotBytes(cache.cfg.b, cache.record_bytes);
+    conn->resp_ring =
+        nic_->RegisterMemory(conn->resp_slot_bytes * cache.cfg.q);
+    REDY_RETURN_IF_ERROR(server->SetResponseRing(
+        conn->conn_index, conn->resp_ring->remote_key(),
+        conn->resp_slot_bytes));
+  }
+
+  Connection* out = conn.get();
+  thread.conns.emplace(vm, std::move(conn));
+  return out;
+}
+
+void CacheClient::CompleteSubOp(CacheEntry& cache, SubOp& op,
+                                const Status& status) {
+  if (op.state == nullptr) return;
+  OpState& state = *op.state;
+  if (!status.ok() && state.error.ok()) state.error = status;
+  // Sub-ops counted against their region at issue time are released
+  // here; ops that failed before issue (e.g. a broken connection at
+  // submit) were never counted.
+  if (op.issued) {
+    VRegion& vr = cache.regions[op.vregion];
+    REDY_CHECK(vr.inflight_subops > 0);
+    vr.inflight_subops--;
+    op.issued = false;
+  }
+  REDY_CHECK(state.remaining > 0);
+  state.remaining--;
+  if (state.remaining == 0) {
+    const uint64_t latency = sim_->Now() - state.start;
+    if (state.error.ok()) {
+      if (state.is_read) {
+        cache.stats.reads_completed++;
+        cache.stats.read_bytes += state.bytes;
+        cache.stats.read_latency_ns.Add(latency);
+      } else {
+        cache.stats.writes_completed++;
+        cache.stats.write_bytes += state.bytes;
+        cache.stats.write_latency_ns.Add(latency);
+      }
+    } else {
+      cache.stats.errors++;
+    }
+    REDY_CHECK(cache.inflight_ops > 0);
+    cache.inflight_ops--;
+    if (state.cb) state.cb(state.error);
+  }
+  op.state.reset();
+}
+
+void CacheClient::FailAllPending(CacheEntry& cache, const Status& status) {
+  for (auto& t : cache.threads) {
+    while (true) {
+      auto op = t->ring->TryPop();
+      if (!op.has_value()) break;
+      CompleteSubOp(cache, *op, status);
+    }
+    for (SubOp& op : t->replay) CompleteSubOp(cache, op, status);
+    t->replay.clear();
+    for (auto& [vm, conn] : t->conns) {
+      for (SubOp& op : conn->current) CompleteSubOp(cache, op, status);
+      conn->current.clear();
+      for (auto& slot_ops : conn->slots) {
+        for (SubOp& op : slot_ops) CompleteSubOp(cache, op, status);
+        slot_ops.clear();
+      }
+      conn->inflight_batches = 0;
+      for (auto& [wr, op] : conn->onesided_ops) {
+        CompleteSubOp(cache, op, status);
+      }
+      conn->onesided_ops.clear();
+    }
+  }
+  for (VRegion& vr : cache.regions) {
+    for (SubOp& op : vr.parked) CompleteSubOp(cache, op, status);
+    vr.parked.clear();
+  }
+}
+
+void CacheClient::ParkOp(CacheEntry& cache, SubOp op) {
+  cache.stats.parked_ops++;
+  cache.regions[op.vregion].parked.push_back(std::move(op));
+}
+
+void CacheClient::ReplayParked(CacheEntry& cache, uint32_t vregion) {
+  VRegion& vr = cache.regions[vregion];
+  for (SubOp& op : vr.parked) {
+    const uint32_t t = op.thread % cache.threads.size();
+    cache.threads[t]->replay.push_back(std::move(op));
+  }
+  vr.parked.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+CacheClient::CacheEntry* CacheClient::FindCache(CacheId id) {
+  auto it = caches_.find(id);
+  return it == caches_.end() ? nullptr : it->second.get();
+}
+
+const CacheClient::CacheEntry* CacheClient::FindCache(CacheId id) const {
+  auto it = caches_.find(id);
+  return it == caches_.end() ? nullptr : it->second.get();
+}
+
+uint64_t CacheClient::capacity(CacheId id) const {
+  const CacheEntry* c = FindCache(id);
+  return c == nullptr ? 0 : c->capacity;
+}
+
+Result<RdmaConfig> CacheClient::config(CacheId id) const {
+  const CacheEntry* c = FindCache(id);
+  if (c == nullptr) return Status::NotFound("unknown cache");
+  return c->cfg;
+}
+
+CacheClient::Stats* CacheClient::stats(CacheId id) {
+  CacheEntry* c = FindCache(id);
+  return c == nullptr ? nullptr : &c->stats;
+}
+
+void CacheClient::ResetStats(CacheId id) {
+  CacheEntry* c = FindCache(id);
+  if (c != nullptr) c->stats.Reset();
+}
+
+uint64_t CacheClient::InFlight(CacheId id) const {
+  const CacheEntry* c = FindCache(id);
+  return c == nullptr ? 0 : c->inflight_ops;
+}
+
+Status CacheClient::Poke(CacheId id, uint64_t addr, const void* src,
+                         uint64_t size) {
+  CacheEntry* cache = FindCache(id);
+  if (cache == nullptr) return Status::NotFound("unknown cache");
+  if (addr + size > cache->capacity || addr + size < addr) {
+    return Status::OutOfRange("poke beyond capacity");
+  }
+  const uint8_t* s = static_cast<const uint8_t*>(src);
+  while (size > 0) {
+    const uint32_t vr = static_cast<uint32_t>(addr / cache->region_bytes);
+    const uint64_t roff = addr % cache->region_bytes;
+    const uint64_t chunk = std::min(size, cache->region_bytes - roff);
+    const auto& p = cache->regions[vr].placement;
+    std::memcpy(p.server->region(p.region_index)->data() + roff, s, chunk);
+    addr += chunk;
+    s += chunk;
+    size -= chunk;
+  }
+  return Status::OK();
+}
+
+Status CacheClient::Peek(CacheId id, uint64_t addr, void* dst,
+                         uint64_t size) const {
+  const CacheEntry* cache = FindCache(id);
+  if (cache == nullptr) return Status::NotFound("unknown cache");
+  if (addr + size > cache->capacity || addr + size < addr) {
+    return Status::OutOfRange("peek beyond capacity");
+  }
+  uint8_t* d = static_cast<uint8_t*>(dst);
+  while (size > 0) {
+    const uint32_t vr = static_cast<uint32_t>(addr / cache->region_bytes);
+    const uint64_t roff = addr % cache->region_bytes;
+    const uint64_t chunk = std::min(size, cache->region_bytes - roff);
+    const auto& p = cache->regions[vr].placement;
+    std::memcpy(d, p.server->region(p.region_index)->data() + roff, chunk);
+    addr += chunk;
+    d += chunk;
+    size -= chunk;
+  }
+  return Status::OK();
+}
+
+Result<cluster::VmId> CacheClient::RegionVm(CacheId id,
+                                            uint32_t vregion) const {
+  const CacheEntry* c = FindCache(id);
+  if (c == nullptr) return Status::NotFound("unknown cache");
+  if (vregion >= c->regions.size()) {
+    return Status::OutOfRange("no such region");
+  }
+  return c->regions[vregion].placement.vm_id;
+}
+
+}  // namespace redy

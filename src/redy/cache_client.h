@@ -1,0 +1,364 @@
+#ifndef REDY_REDY_CACHE_CLIENT_H_
+#define REDY_REDY_CACHE_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/units.h"
+#include "redy/cache_manager.h"
+#include "redy/cache_server.h"
+#include "redy/config.h"
+#include "redy/cost_model.h"
+#include "redy/protocol.h"
+#include "redy/slo.h"
+#include "ringbuf/spsc_ring.h"
+#include "sim/poller.h"
+
+namespace redy {
+
+/// The Redy cache client (front end, Section 3.3). Lives with the
+/// application, exposes the Table 1 API (Create / Read / Write /
+/// Reshape / Delete), maps each cache's contiguous virtual address
+/// space onto physical regions on cache VMs through a region table,
+/// runs the client threads of the Section 4 data path, and carries out
+/// region migration when VMs are reclaimed or fail (Section 6.2).
+class CacheClient {
+ public:
+  using CacheId = uint64_t;
+  using Callback = std::function<void(Status)>;
+
+  struct Options {
+    /// Physical region size (1 GB in the paper; smaller by default here
+    /// so simulations stay light — regions are real memory).
+    uint64_t region_bytes = 64 * kMiB;
+    /// Capacity of each client thread's batch ring (requests).
+    uint32_t batch_ring_capacity = 1 << 14;
+    /// Slot size of the one-sided staging ring; ops larger than this
+    /// use a transient registered buffer.
+    uint64_t one_sided_slot_bytes = 64 * kKiB;
+
+    // --- Migration (Section 6.2) ---
+    /// Serve reads from the old VM while a region migrates.
+    bool unpaused_reads = true;
+    /// Pause writes only to the region currently being migrated
+    /// (instead of all migrating regions for the whole migration).
+    bool pause_per_region_writes = true;
+    /// Chunking of the migration transfer.
+    uint64_t migration_chunk_bytes = 256 * kKiB;
+    uint32_t migration_depth = 8;
+    /// Pacing of the transfer. The paper's tuned transfer moved 1 GB in
+    /// 1.09 s (~8 Gb/s effective), leaving the victim's NIC with ample
+    /// headroom to keep serving unpaused reads; we pace to the same
+    /// rate. Set to 0 for an unthrottled (line-rate) transfer.
+    double migration_bandwidth_bps = 8e9;
+    /// Automatically migrate/repair when the manager reports VM loss.
+    bool auto_recover = true;
+
+    CostModel costs;
+  };
+
+  /// Per-cache counters and latency histograms.
+  struct Stats {
+    Histogram read_latency_ns;
+    Histogram write_latency_ns;
+    uint64_t reads_completed = 0;
+    uint64_t writes_completed = 0;
+    uint64_t read_bytes = 0;
+    uint64_t write_bytes = 0;
+    uint64_t errors = 0;
+    uint64_t one_sided_ops = 0;
+    uint64_t batched_ops = 0;
+    uint64_t parked_ops = 0;
+
+    void Reset() { *this = Stats{}; }
+    uint64_t ops_completed() const {
+      return reads_completed + writes_completed;
+    }
+  };
+
+  /// Record of one completed VM migration (for the Fig. 15/16 benches).
+  struct MigrationEvent {
+    CacheId cache = 0;
+    cluster::VmId from = cluster::kInvalidVm;
+    cluster::VmId to = cluster::kInvalidVm;
+    sim::SimTime started = 0;
+    sim::SimTime finished = 0;
+    uint32_t regions = 0;
+    uint64_t bytes = 0;
+    bool data_lost = false;  // deadline hit before the copy finished
+  };
+
+  CacheClient(sim::Simulation* sim, rdma::Fabric* fabric,
+              CacheManager* manager, net::ServerId node, Options options);
+  ~CacheClient();
+
+  CacheClient(const CacheClient&) = delete;
+  CacheClient& operator=(const CacheClient&) = delete;
+
+  /// Table 1 Create: allocates a cache with the given capacity,
+  /// performance SLO and duration; optionally populates it with the
+  /// prefix of `file`. Fails with no effect if the SLO or capacity
+  /// cannot be satisfied.
+  Result<CacheId> Create(uint64_t capacity, const Slo& slo,
+                         sim::SimTime duration,
+                         const std::vector<uint8_t>* file = nullptr);
+
+  /// Creates a cache with an explicit RDMA configuration, bypassing the
+  /// SLO search (used by benchmarks and the measurement application).
+  Result<CacheId> CreateWithConfig(uint64_t capacity, const RdmaConfig& cfg,
+                                   uint32_t record_bytes, bool spot = false);
+
+  /// Creates a *replicated* cache: every region has a replica on a
+  /// different VM, writes are applied to both, reads go to the primary.
+  /// When a VM is lost, affected regions fail over to their replica
+  /// instantly (no copy, no data loss) and re-replicate in the
+  /// background — the Section 6.2 alternative to migration for
+  /// workloads that cannot tolerate a migration pause.
+  Result<CacheId> CreateReplicated(uint64_t capacity, const RdmaConfig& cfg,
+                                   uint32_t record_bytes, bool spot = false);
+
+  /// Whether a region currently has a live replica (replicated caches).
+  Result<bool> RegionReplicated(CacheId id, uint32_t vregion) const;
+
+  /// Table 1 Read/Write: asynchronous; `cb` runs when the operation
+  /// completes. `app_thread` selects the submitting application thread
+  /// (its requests are executed in order; threads map 1:1 onto client
+  /// threads modulo c). Returns ResourceExhausted when the batch ring
+  /// is full — the caller retries after completions drain.
+  Status Read(CacheId id, uint64_t addr, void* dst, uint64_t size,
+              Callback cb, uint32_t app_thread = 0);
+  Status Write(CacheId id, uint64_t addr, const void* src, uint64_t size,
+               Callback cb, uint32_t app_thread = 0);
+
+  /// Table 1 Reshape. Changing the SLO reallocates under the new
+  /// configuration and moves the data; changing only the capacity grows
+  /// or truncates in place. The cache must be quiescent (no in-flight
+  /// operations).
+  Status Reshape(CacheId id, uint64_t new_capacity, const Slo& new_slo);
+  Status ReshapeCapacity(CacheId id, uint64_t new_capacity);
+
+  /// Table 1 Delete.
+  Status Delete(CacheId id);
+
+  /// Migrates all of `cache`'s regions off `victim` (reclaimed or
+  /// failing VM) onto freshly allocated VMs. Runs asynchronously in
+  /// simulated time; `done` (optional) fires when migration completes.
+  Status MigrateVm(CacheId cache, cluster::VmId victim, sim::SimTime deadline,
+                   std::function<void(const MigrationEvent&)> done = nullptr);
+
+  /// Migrates an explicit set of virtual regions to freshly allocated
+  /// VMs (the Fig. 15/16 experiment migrates 1, 2, and 4 of a cache's
+  /// regions). Source VMs are not released (they may still hold other
+  /// regions).
+  Status MigrateRegions(CacheId cache, std::vector<uint32_t> vregions,
+                        sim::SimTime deadline,
+                        std::function<void(const MigrationEvent&)> done =
+                            nullptr);
+
+  // --- Introspection ---
+  uint64_t capacity(CacheId id) const;
+  Result<RdmaConfig> config(CacheId id) const;
+  Stats* stats(CacheId id);
+  void ResetStats(CacheId id);
+  /// In-flight operations (accepted, not yet completed).
+  uint64_t InFlight(CacheId id) const;
+  /// CPU cost an application actor should charge per Read/Write call.
+  uint64_t ApiCallCostNs() const;
+  const std::vector<MigrationEvent>& migrations() const {
+    return migration_log_;
+  }
+  /// The physical node (VM id) a virtual region currently lives on.
+  Result<cluster::VmId> RegionVm(CacheId id, uint32_t vregion) const;
+
+  /// Zero-time backdoor accessors used by experiment setup (bulk load)
+  /// and test verification: apply bytes directly to region memory
+  /// without consuming simulated time. Not part of the Table 1 API.
+  Status Poke(CacheId id, uint64_t addr, const void* src, uint64_t size);
+  Status Peek(CacheId id, uint64_t addr, void* dst, uint64_t size) const;
+  net::ServerId node() const { return node_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct CacheEntry;
+  struct ClientThread;
+
+  /// Aggregated state of one user-level Read/Write (may fan out into
+  /// several sub-operations across region boundaries).
+  struct OpState {
+    Callback cb;
+    uint32_t remaining = 0;
+    Status error;  // first failure, if any
+    sim::SimTime start = 0;
+    bool is_read = false;
+    uint64_t bytes = 0;
+    CacheEntry* cache = nullptr;
+  };
+
+  /// One sub-operation confined to a single virtual region.
+  struct SubOp {
+    OpCode op = OpCode::kRead;
+    uint32_t vregion = 0;
+    uint64_t offset = 0;  // offset within the region
+    uint32_t len = 0;
+    uint8_t* dst = nullptr;        // reads
+    const uint8_t* src = nullptr;  // writes
+    std::shared_ptr<OpState> state;
+    uint32_t thread = 0;                 // owning client thread
+    uint32_t staging_slot = UINT32_MAX;  // one-sided staging slot in use
+    bool issued = false;  // counted in its region's inflight_subops
+    bool to_replica = false;  // write twin targeting the replica
+  };
+
+  /// A virtual region and its current placement + pause state.
+  struct VRegion {
+    CacheManager::RegionPlacement placement;
+    /// Live replica placement, if the cache is replicated.
+    std::optional<CacheManager::RegionPlacement> replica;
+    bool reads_paused = false;
+    bool writes_paused = false;
+    bool repairing = false;  // re-replication in progress
+    uint32_t inflight_subops = 0;
+    std::vector<SubOp> parked;
+  };
+
+  struct Connection {
+    cluster::VmId vm = cluster::kInvalidVm;
+    CacheServer* server = nullptr;
+    rdma::QueuePair* qp = nullptr;
+    uint32_t conn_index = 0;  // index on the server
+    // Two-sided state.
+    rdma::RemoteKey req_ring_key;
+    uint64_t req_slot_bytes = 0;
+    rdma::MemoryRegion* req_staging = nullptr;
+    rdma::MemoryRegion* resp_ring = nullptr;
+    uint64_t resp_slot_bytes = 0;
+    uint64_t next_seq = 1;
+    uint64_t next_resp = 1;
+    uint32_t inflight_batches = 0;
+    std::vector<std::vector<SubOp>> slots;  // q outstanding batches
+    // One-sided state.
+    rdma::MemoryRegion* onesided_ring = nullptr;
+    std::vector<bool> onesided_slot_busy;
+    std::unordered_map<uint64_t, SubOp> onesided_ops;
+    std::unordered_map<uint64_t, rdma::MemoryRegion*> transient_mrs;
+    // Batch being accumulated.
+    std::vector<SubOp> current;
+  };
+
+  struct ClientThread {
+    uint32_t index = 0;
+    CacheEntry* cache = nullptr;
+    std::unique_ptr<ringbuf::SpscRing<SubOp>> ring;
+    std::deque<SubOp> replay;  // unparked ops, drained before the ring
+    std::unordered_map<cluster::VmId, std::unique_ptr<Connection>> conns;
+    std::unique_ptr<sim::Poller> poller;
+    Rng rng{1};
+    uint64_t next_wr_id = 1;
+    /// Consecutive empty polls; drives exponential poll back-off so an
+    /// idle cache does not flood the event queue (busy-polling a quiet
+    /// thread has no observable effect on results).
+    uint32_t idle_streak = 0;
+  };
+
+  struct CacheEntry {
+    CacheId id = 0;
+    RdmaConfig cfg;
+    uint32_t record_bytes = 8;
+    uint64_t capacity = 0;
+    uint64_t region_bytes = 0;
+    Slo slo;
+    bool spot = false;
+    bool deleted = false;
+    bool migrating = false;
+    std::vector<VRegion> regions;
+    std::vector<std::unique_ptr<ClientThread>> threads;
+    Stats stats;
+    uint64_t inflight_ops = 0;
+    double price_per_hour = 0.0;
+    bool replicated = false;
+  };
+
+  Result<CacheId> Install(CacheManager::Allocation alloc, uint64_t capacity,
+                          const Slo& slo, bool spot);
+  /// (Re)creates the cache's client threads for its current config.
+  void StartThreads(CacheEntry* cache);
+  /// Breaks and forgets all connections to `vm` across threads.
+  void DropConnections(CacheEntry& cache, cluster::VmId vm);
+  /// Breaks the QP and deregisters this connection's client-side
+  /// memory (staging/response/one-sided rings).
+  void ReleaseConnection(Connection& conn);
+  /// Completes every queued/in-flight sub-op with `status` (teardown).
+  void FailAllPending(CacheEntry& cache, const Status& status);
+  Status Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
+                const void* src, uint64_t size, Callback cb,
+                uint32_t app_thread);
+  CacheEntry* FindCache(CacheId id);
+  const CacheEntry* FindCache(CacheId id) const;
+
+  // --- client-thread data path ---
+  uint64_t PollThread(CacheEntry& cache, ClientThread& thread);
+  uint64_t DrainCompletions(CacheEntry& cache, ClientThread& thread,
+                            Connection& conn);
+  uint64_t DrainResponses(CacheEntry& cache, ClientThread& thread,
+                          Connection& conn);
+  uint64_t DrainSubmissions(CacheEntry& cache, ClientThread& thread);
+  /// Flushes conn.current as either a one-sided op or a batch write.
+  /// Returns consumed ns; sets *flushed=false if backpressured.
+  uint64_t Flush(CacheEntry& cache, ClientThread& thread, Connection& conn,
+                 bool* flushed);
+  /// Issues one sub-op as a one-sided verb. Consumes *op only when
+  /// *issued is set; on backpressure the op is left intact for retry.
+  uint64_t IssueOneSided(CacheEntry& cache, ClientThread& thread,
+                         Connection& conn, SubOp* op, bool* issued);
+  Result<Connection*> EnsureConnection(CacheEntry& cache,
+                                       ClientThread& thread,
+                                       cluster::VmId vm, CacheServer* server);
+  void CompleteSubOp(CacheEntry& cache, SubOp& op, const Status& status);
+  void ParkOp(CacheEntry& cache, SubOp op);
+  void ReplayParked(CacheEntry& cache, uint32_t vregion);
+
+  // --- migration internals ---
+  struct MigrationJob;
+  Status StartMigration(CacheId id, std::vector<uint32_t> vregions,
+                        cluster::VmId release_vm, sim::SimTime deadline,
+                        std::function<void(const MigrationEvent&)> done);
+  void MigrateNextRegion(std::shared_ptr<MigrationJob> job);
+  void FinishMigration(std::shared_ptr<MigrationJob> job);
+
+  /// Paced chunked one-sided copy of `bytes` from `src` to `dst`
+  /// region placements; `done(failed)` fires when the last chunk lands.
+  void TransferRegion(const CacheManager::RegionPlacement& src,
+                      const CacheManager::RegionPlacement& dst,
+                      uint64_t bytes, std::function<void(bool)> done);
+
+  // --- replication internals ---
+  /// Instant failover of replicated regions off `vm`, then background
+  /// re-replication.
+  void FailoverReplicated(CacheEntry& cache, cluster::VmId vm);
+  /// Allocates and fills a fresh replica for one degraded region.
+  void RepairReplica(CacheEntry* cache, uint32_t vregion);
+
+  void OnVmLoss(cluster::VmId vm, sim::SimTime deadline);
+
+  sim::Simulation* sim_;
+  rdma::Fabric* fabric_;
+  CacheManager* manager_;
+  net::ServerId node_;
+  rdma::Nic* nic_;
+  Options options_;
+  CacheId next_id_ = 1;
+  std::unordered_map<CacheId, std::unique_ptr<CacheEntry>> caches_;
+  std::vector<MigrationEvent> migration_log_;
+};
+
+}  // namespace redy
+
+#endif  // REDY_REDY_CACHE_CLIENT_H_

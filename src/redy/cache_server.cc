@@ -1,0 +1,239 @@
+#include "redy/cache_server.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace redy {
+
+CacheServer::CacheServer(sim::Simulation* sim, rdma::Fabric* fabric,
+                         const cluster::Vm& vm, const CostModel& costs)
+    : sim_(sim),
+      nic_(fabric->NicAt(vm.server)),
+      vm_(vm),
+      costs_(costs),
+      rng_(0xCACE ^ vm.id) {}
+
+CacheServer::~CacheServer() { Shutdown(); }
+
+Result<std::vector<rdma::RemoteKey>> CacheServer::AllocateRegions(
+    uint32_t n, uint64_t bytes) {
+  if (shutdown_) return Status::Unavailable("server shut down");
+  const uint64_t need = static_cast<uint64_t>(n) * bytes;
+  if (nic_->registered_bytes() + need > vm_.memory_bytes) {
+    return Status::ResourceExhausted("VM memory exhausted");
+  }
+  std::vector<rdma::RemoteKey> keys;
+  keys.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    rdma::MemoryRegion* mr = nic_->RegisterMemory(bytes);
+    regions_.push_back(mr);
+    keys.push_back(mr->remote_key());
+  }
+  return keys;
+}
+
+Result<CacheServer::ConnectionInfo> CacheServer::Connect(
+    const RdmaConfig& cfg, uint32_t record_bytes) {
+  if (shutdown_) return Status::Unavailable("server shut down");
+  cfg_ = cfg;
+
+  auto conn = std::make_unique<Connection>();
+  conn->qp = nic_->CreateQueuePair(cfg.q);
+  conn->queue_depth = cfg.q;
+
+  ConnectionInfo info;
+  info.server_qp = conn->qp;
+  info.queue_depth = cfg.q;
+  for (auto* mr : regions_) info.region_keys.push_back(mr->remote_key());
+
+  if (cfg.s > 0) {
+    // Two-sided path: allocate the request message ring clients write
+    // into and the staging buffer responses are posted from.
+    conn->request_slot_bytes = RequestSlotBytes(cfg.b, record_bytes);
+    conn->response_slot_bytes = ResponseSlotBytes(cfg.b, record_bytes);
+    conn->request_ring =
+        nic_->RegisterMemory(conn->request_slot_bytes * cfg.q);
+    conn->response_staging =
+        nic_->RegisterMemory(conn->response_slot_bytes * cfg.q);
+    info.request_ring_key = conn->request_ring->remote_key();
+    info.request_slot_bytes = conn->request_slot_bytes;
+  }
+
+  info.conn_index = static_cast<uint32_t>(connections_.size());
+  connections_.push_back(std::move(conn));
+  return info;
+}
+
+Status CacheServer::SetResponseRing(uint32_t conn, rdma::RemoteKey key,
+                                    uint64_t slot_bytes) {
+  if (conn >= connections_.size()) {
+    return Status::InvalidArgument("unknown connection");
+  }
+  connections_[conn]->client_response_ring = key;
+  connections_[conn]->response_slot_bytes = slot_bytes;
+  return Status::OK();
+}
+
+void CacheServer::Start(const RdmaConfig& cfg) {
+  cfg_ = cfg;
+  if (cfg.s == 0 || !threads_.empty()) return;
+  for (uint32_t t = 0; t < cfg.s; t++) {
+    auto poller = std::make_unique<sim::Poller>(
+        sim_, costs_.poll_interval_ns,
+        [this, t]() -> uint64_t { return PollConnections(t); });
+    poller->Start();
+    threads_.push_back(std::move(poller));
+  }
+}
+
+void CacheServer::Shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  for (auto& t : threads_) t->Stop();
+  threads_.clear();
+  for (auto& c : connections_) {
+    if (c->qp != nullptr) c->qp->Break();
+    if (c->request_ring != nullptr) nic_->DeregisterMemory(c->request_ring);
+    if (c->response_staging != nullptr) {
+      nic_->DeregisterMemory(c->response_staging);
+    }
+    c->request_ring = nullptr;
+    c->response_staging = nullptr;
+  }
+  for (auto* mr : regions_) nic_->DeregisterMemory(mr);
+  regions_.clear();
+}
+
+uint64_t CacheServer::PollConnections(uint32_t thread_index) {
+  // Connections are statically partitioned over server threads
+  // (connection i belongs to thread i % s).
+  uint64_t consumed = 0;
+  const uint32_t s = cfg_.s == 0 ? 1 : cfg_.s;
+  bool any = false;
+  for (size_t i = thread_index; i < connections_.size(); i += s) {
+    uint64_t c = ProcessBatch(*connections_[i]);
+    if (c > 0) any = true;
+    consumed += c;
+  }
+  if (!any) {
+    consumed += costs_.idle_poll_ns;
+    if (!costs_.numa_affinitized) {
+      consumed = std::max(consumed, costs_.numa_idle_poll_ns);
+      if (rng_.Bernoulli(costs_.sched_stall_probability)) {
+        consumed += static_cast<uint64_t>(rng_.Exponential(
+            static_cast<double>(costs_.sched_stall_mean_ns)));
+      }
+    }
+    if (idle_streaks_.size() <= thread_index) {
+      idle_streaks_.resize(thread_index + 1, 0);
+    }
+    idle_streaks_[thread_index]++;
+    const uint32_t doublings =
+        std::min(idle_streaks_[thread_index] / 64, 11u);
+    consumed = std::max<uint64_t>(consumed,
+                                  costs_.poll_interval_ns << doublings);
+  } else if (thread_index < idle_streaks_.size()) {
+    idle_streaks_[thread_index] = 0;
+  }
+  return consumed;
+}
+
+uint64_t CacheServer::ProcessBatch(Connection& conn) {
+  if (conn.request_ring == nullptr) return 0;
+  const uint32_t q = conn.queue_depth;
+  const uint64_t slot = (conn.next_seq - 1) % q;
+  uint8_t* base = conn.request_ring->data() + slot * conn.request_slot_bytes;
+
+  BatchHeader hdr;
+  std::memcpy(&hdr, base, sizeof(hdr));
+  if (hdr.seq != conn.next_seq) return 0;  // nothing new in this slot
+
+  // Don't consume a batch until the response write can be posted
+  // (counting responses whose deferred post hasn't fired yet).
+  if (conn.qp->outstanding() + conn.pending_posts >=
+      conn.qp->max_depth()) {
+    return 0;
+  }
+
+  uint64_t consumed = costs_.server_batch_detect_ns +
+                      costs_.server_batch_overhead_ns;
+  if (!costs_.numa_affinitized) consumed += costs_.numa_penalty_ns;
+
+  // Build the response batch in the staging slot while executing.
+  uint8_t* resp_base =
+      conn.response_staging->data() + slot * conn.response_slot_bytes;
+  uint64_t resp_off = sizeof(BatchHeader);
+
+  const uint8_t* req = base + sizeof(BatchHeader);
+  for (uint32_t i = 0; i < hdr.count; i++) {
+    RequestHeader rh;
+    std::memcpy(&rh, req, sizeof(rh));
+    req += sizeof(rh);
+
+    ResponseHeader resp;
+    resp.op = static_cast<uint8_t>(rh.op);
+    resp.len = 0;
+    consumed += costs_.server_request_ns;
+
+    if (rh.region >= regions_.size() ||
+        !regions_[rh.region]->InBounds(rh.offset, rh.len) ||
+        // Defensive: a response larger than the slot would corrupt the
+        // staging ring (the client routes such ops one-sided).
+        resp_off + sizeof(ResponseHeader) + rh.len >
+            conn.response_slot_bytes) {
+      resp.status = static_cast<uint8_t>(StatusCode::kOutOfRange);
+    } else if (rh.op == OpCode::kWrite) {
+      std::memcpy(regions_[rh.region]->data() + rh.offset, req, rh.len);
+      consumed += static_cast<uint64_t>(costs_.server_ns_per_byte * rh.len);
+      resp.status = static_cast<uint8_t>(StatusCode::kOk);
+    } else {
+      // Read: copy region bytes into the response payload.
+      std::memcpy(resp_base + resp_off + sizeof(ResponseHeader),
+                  regions_[rh.region]->data() + rh.offset, rh.len);
+      consumed += static_cast<uint64_t>(costs_.server_ns_per_byte * rh.len);
+      resp.status = static_cast<uint8_t>(StatusCode::kOk);
+      resp.len = rh.len;
+    }
+    std::memcpy(resp_base + resp_off, &resp, sizeof(resp));
+    resp_off += sizeof(resp) + resp.len;
+    if (rh.op == OpCode::kWrite) req += rh.len;
+  }
+
+  BatchHeader resp_hdr;
+  resp_hdr.seq = hdr.seq;
+  resp_hdr.count = hdr.count;
+  resp_hdr.bytes = static_cast<uint32_t>(resp_off);
+  std::memcpy(resp_base, &resp_hdr, sizeof(resp_hdr));
+
+  consumed += conn.qp->PostCostNs(
+      resp_off <= nic_->params().inline_threshold_bytes ? resp_off : 0);
+
+  // RDMA-write the response batch into the client's response ring.
+  // The post happens *after* the processing time just accounted: the
+  // server CPU is on the latency critical path of two-sided operations.
+  Connection* conn_ptr = &conn;
+  const uint64_t dst_off = slot * conn.response_slot_bytes;
+  const uint64_t resp_bytes = resp_off;
+  const uint64_t seq = hdr.seq;
+  conn.pending_posts++;
+  sim_->After(consumed, [this, conn_ptr, seq, slot, dst_off, resp_bytes] {
+    conn_ptr->pending_posts--;
+    if (shutdown_ || conn_ptr->qp == nullptr) return;
+    (void)conn_ptr->qp->PostWrite(
+        seq, conn_ptr->response_staging,
+        slot * conn_ptr->response_slot_bytes,
+        conn_ptr->client_response_ring, dst_off, resp_bytes);
+    // Drain our own send CQ so completions do not pile up.
+    rdma::WorkCompletion wc;
+    while (conn_ptr->qp->send_cq().Poll(&wc, 1) == 1) {
+    }
+  });
+
+  conn.next_seq++;
+  batches_processed_++;
+  return consumed;
+}
+
+}  // namespace redy

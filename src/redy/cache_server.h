@@ -1,0 +1,118 @@
+#ifndef REDY_REDY_CACHE_SERVER_H_
+#define REDY_REDY_CACHE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/vm_allocator.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "redy/config.h"
+#include "redy/cost_model.h"
+#include "redy/protocol.h"
+#include "rdma/nic.h"
+#include "rdma/queue_pair.h"
+#include "sim/poller.h"
+#include "sim/simulation.h"
+
+namespace redy {
+
+/// The cache-server agent that runs on each VM hosting cache memory
+/// (Fig. 4). It allocates physical regions, registers them with the
+/// NIC, accepts Connect requests, and — when the configuration uses
+/// server threads — polls per-connection message rings, executes
+/// request batches against region memory, and RDMA-writes response
+/// batches back (Section 4.2).
+class CacheServer {
+ public:
+  /// What the server returns from Connect: everything the client needs
+  /// to talk to this VM.
+  struct ConnectionInfo {
+    rdma::QueuePair* server_qp = nullptr;  // for the client QP to connect
+    /// Access tokens for the VM's physical regions, one per region.
+    std::vector<rdma::RemoteKey> region_keys;
+    /// Request message ring on the server (q slots of slot_bytes each);
+    /// null key when the connection is one-sided only.
+    rdma::RemoteKey request_ring_key;
+    uint64_t request_slot_bytes = 0;
+    uint32_t queue_depth = 0;
+    /// Index of this connection on the server (for SetResponseRing).
+    uint32_t conn_index = 0;
+  };
+
+  CacheServer(sim::Simulation* sim, rdma::Fabric* fabric,
+              const cluster::Vm& vm, const CostModel& costs);
+  ~CacheServer();
+
+  CacheServer(const CacheServer&) = delete;
+  CacheServer& operator=(const CacheServer&) = delete;
+
+  /// Allocates and registers `n` regions of `bytes` each. Called once
+  /// when the VM joins a cache (or grows).
+  Result<std::vector<rdma::RemoteKey>> AllocateRegions(uint32_t n,
+                                                       uint64_t bytes);
+
+  /// Handles a client Connect for one client-thread connection. Creates
+  /// the server-side QP, the message ring (if cfg.s > 0, sized for
+  /// batches of `record_bytes` records), and records where responses
+  /// must be written (the client passes its response ring's key after
+  /// connecting, via SetResponseRing).
+  Result<ConnectionInfo> Connect(const RdmaConfig& cfg,
+                                 uint32_t record_bytes);
+
+  /// Tells the server where connection `conn`'s responses go.
+  Status SetResponseRing(uint32_t conn, rdma::RemoteKey key,
+                         uint64_t slot_bytes);
+
+  /// Starts `cfg.s` server threads (no-op for s = 0).
+  void Start(const RdmaConfig& cfg);
+
+  /// Stops threads and invalidates regions (VM teardown).
+  void Shutdown();
+
+  rdma::Nic* nic() const { return nic_; }
+  const cluster::Vm& vm() const { return vm_; }
+  net::ServerId node() const { return vm_.server; }
+  uint32_t num_regions() const { return static_cast<uint32_t>(regions_.size()); }
+  rdma::MemoryRegion* region(uint32_t i) const { return regions_[i]; }
+  uint64_t batches_processed() const { return batches_processed_; }
+  bool running() const { return !threads_.empty(); }
+
+ private:
+  struct Connection {
+    rdma::QueuePair* qp = nullptr;
+    rdma::MemoryRegion* request_ring = nullptr;   // incoming batches
+    rdma::MemoryRegion* response_staging = nullptr;  // outgoing batches
+    rdma::RemoteKey client_response_ring;  // where to write responses
+    uint64_t request_slot_bytes = 0;
+    uint64_t response_slot_bytes = 0;
+    uint32_t queue_depth = 0;
+    uint64_t next_seq = 1;  // next batch sequence expected
+    uint32_t pending_posts = 0;  // responses built but not yet posted
+  };
+
+  /// One poll sweep of a server thread over its connections. Returns
+  /// consumed CPU time.
+  uint64_t PollConnections(uint32_t thread_index);
+  /// Processes the next pending batch on `conn` if present. Returns
+  /// consumed CPU time (0 if nothing arrived).
+  uint64_t ProcessBatch(Connection& conn);
+
+  sim::Simulation* sim_;
+  rdma::Nic* nic_;
+  cluster::Vm vm_;
+  CostModel costs_;
+  Rng rng_;
+  RdmaConfig cfg_;
+  std::vector<rdma::MemoryRegion*> regions_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<sim::Poller>> threads_;
+  std::vector<uint32_t> idle_streaks_;
+  uint64_t batches_processed_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace redy
+
+#endif  // REDY_REDY_CACHE_SERVER_H_

@@ -1,0 +1,70 @@
+#include "redy/config.h"
+
+#include <cstdio>
+
+namespace redy {
+
+std::string RdmaConfig::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[c=%u s=%u b=%u q=%u]", c, s, b, q);
+  return buf;
+}
+
+bool ConfigBounds::Valid(const RdmaConfig& cfg) const {
+  if (cfg.c < 1 || cfg.c > max_client_threads) return false;
+  if (cfg.s > cfg.c) return false;
+  if (cfg.b < 1 || cfg.b > MaxBatch()) return false;
+  if (cfg.s == 0 && cfg.b != 1) return false;
+  if (cfg.q < min_queue_depth || cfg.q > max_queue_depth) return false;
+  return true;
+}
+
+uint64_t ConfigBounds::SpaceSize() const {
+  const uint64_t C = max_client_threads;
+  const uint64_t B = MaxBatch();
+  const uint64_t qvals = max_queue_depth - min_queue_depth + 1;
+  uint64_t sum_c = 0;
+  for (uint64_t c = 1; c <= C; c++) sum_c += c + 1;
+  return sum_c * B * qvals - C * (B - 1) * qvals;
+}
+
+std::vector<uint32_t> ConfigBounds::ServerThreadValues() const {
+  std::vector<uint32_t> out;
+  for (uint32_t s = 0; s <= max_client_threads; s++) out.push_back(s);
+  return out;
+}
+
+std::vector<uint32_t> ConfigBounds::ClientThreadValues(uint32_t s) const {
+  std::vector<uint32_t> out;
+  const uint32_t lo = s == 0 ? 1 : s;  // s <= c
+  for (uint32_t c = lo; c <= max_client_threads; c++) out.push_back(c);
+  return out;
+}
+
+std::vector<uint32_t> ConfigBounds::BatchValues(uint32_t s) const {
+  if (s == 0) return {1};  // no server threads => batching disabled
+  std::vector<uint32_t> out;
+  for (uint32_t b = 1; b <= MaxBatch(); b++) out.push_back(b);
+  return out;
+}
+
+std::vector<uint32_t> ConfigBounds::QueueDepthValues() const {
+  std::vector<uint32_t> out;
+  for (uint32_t q = min_queue_depth; q <= max_queue_depth; q++) {
+    out.push_back(q);
+  }
+  return out;
+}
+
+std::vector<uint32_t> ConfigBounds::PowerOfTwoGrid(uint32_t lo, uint32_t hi) {
+  std::vector<uint32_t> out;
+  if (lo > hi) return out;
+  out.push_back(lo);
+  uint32_t v = 1;
+  while (v <= lo) v <<= 1;
+  for (; v < hi; v <<= 1) out.push_back(v);
+  if (out.back() != hi) out.push_back(hi);
+  return out;
+}
+
+}  // namespace redy

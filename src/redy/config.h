@@ -1,0 +1,68 @@
+#ifndef REDY_REDY_CONFIG_H_
+#define REDY_REDY_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redy {
+
+/// An RDMA configuration: the four performance variables of Table 2.
+///   c - client threads processing request batches
+///   s - cache-server threads (0 => pure one-sided access, no batching)
+///   b - requests per batch
+///   q - in-flight operations per connection (queue depth)
+struct RdmaConfig {
+  uint32_t c = 1;
+  uint32_t s = 0;
+  uint32_t b = 1;
+  uint32_t q = 1;
+
+  friend bool operator==(const RdmaConfig&, const RdmaConfig&) = default;
+
+  std::string ToString() const;
+};
+
+/// The bounds of the configuration space for a given deployment
+/// (Table 2): C client cores, record size (which caps the batch at
+/// 4 KB / record_size), NIC queue-depth limit Q, and the minimum queue
+/// depth `q_min` chosen by the fully-loaded-QP optimization.
+struct ConfigBounds {
+  uint32_t max_client_threads = 30;  // C
+  uint32_t record_bytes = 8;
+  uint32_t max_queue_depth = 16;  // Q (NIC spec)
+  uint32_t min_queue_depth = 1;   // "opt." in the paper's formula
+
+  /// ceil(4 KB / record size) — beyond 4 KB transfers, bandwidth
+  /// utilization stops improving (Section 5.1).
+  uint32_t MaxBatch() const {
+    const uint32_t kTransferCap = 4096;
+    return (kTransferCap + record_bytes - 1) / record_bytes;
+  }
+
+  /// Validates a configuration against the constraints:
+  /// 1 <= c <= C; 0 <= s <= c; s == 0 => b == 1; 1 <= b <= MaxBatch();
+  /// q_min <= q <= Q.
+  bool Valid(const RdmaConfig& cfg) const;
+
+  /// Size of the configuration space, the paper's Section 5.2 formula:
+  ///   (sum_{c=1..C} (c+1)) * B * Qvals - C * (B-1) * Qvals
+  /// where Qvals counts queue-depth options and the subtracted term
+  /// removes the invalid (s=0, b>1) combinations.
+  uint64_t SpaceSize() const;
+
+  /// All valid values of each parameter in increasing order (used by
+  /// the configuration tree).
+  std::vector<uint32_t> ServerThreadValues() const;           // 0..C
+  std::vector<uint32_t> ClientThreadValues(uint32_t s) const; // max(1,s)..C
+  std::vector<uint32_t> BatchValues(uint32_t s) const;        // 1 or 1..B
+  std::vector<uint32_t> QueueDepthValues() const;             // qmin..Q
+
+  /// Power-of-two (plus endpoint) grids for offline modeling's
+  /// interpolation (Section 5.2).
+  static std::vector<uint32_t> PowerOfTwoGrid(uint32_t lo, uint32_t hi);
+};
+
+}  // namespace redy
+
+#endif  // REDY_REDY_CONFIG_H_

@@ -1,0 +1,76 @@
+#ifndef REDY_REDY_COST_MODEL_H_
+#define REDY_REDY_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace redy {
+
+/// CPU-cost constants for the simulated Redy threads, and the knobs that
+/// turn the Section 4.3 static optimizations on/off (exercised by the
+/// Fig. 7/8 ablation benches). All times in nanoseconds of simulated
+/// thread occupancy.
+struct CostModel {
+  // --- Client thread ---
+  /// Dequeue one request from the (lock-free) batch ring.
+  uint64_t batch_ring_pop_ns = 18;
+  /// Append one request into the current request batch.
+  uint64_t batch_append_ns = 12;
+  /// Stage a finished batch into a message-ring slot (per batch + per
+  /// byte of payload copied).
+  uint64_t batch_stage_ns = 60;
+  double batch_stage_ns_per_byte = 0.06;
+  /// Handle one read response: copy payload to the app buffer and run
+  /// the callback.
+  uint64_t response_handle_ns = 30;
+  double response_copy_ns_per_byte = 0.06;
+  /// One poll sweep over CQs/response rings that finds nothing.
+  uint64_t idle_poll_ns = 25;
+
+  // --- Server thread ---
+  /// Detecting a newly arrived batch in a message ring.
+  uint64_t server_batch_detect_ns = 50;
+  /// Fixed per-batch processing overhead (header parse, response setup).
+  /// Amortized away by large batches; for singleton batches it is the
+  /// two-sided penalty the one-sided translation removes (Fig. 7).
+  uint64_t server_batch_overhead_ns = 900;
+  /// Per-request execution (dispatch + bounds check).
+  uint64_t server_request_ns = 22;
+  /// Per-byte memcpy cost executing reads/writes against region memory.
+  double server_ns_per_byte = 0.0625;  // ~16 GB/s per core
+
+  // --- Application-side call ---
+  /// Cost of the async Read/Write API call itself (enqueue into the
+  /// batch ring).
+  uint64_t api_call_ns = 30;
+
+  // --- Optimization toggles (Section 4.3) ---
+  /// Lock-free rings. When false, every ring operation takes a lock:
+  /// extra fixed cost plus occasional convoy stalls that blow up the
+  /// tail (Fig. 7 shows ~7x p99 inflation without lock-free rings).
+  bool lockfree_rings = true;
+  uint64_t lock_cost_ns = 250;
+  double lock_convoy_probability = 0.03;
+  uint64_t lock_convoy_mean_ns = 200'000;
+
+  /// Translate singleton batches into one-sided read/write.
+  bool one_sided_singletons = true;
+
+  /// NUMA-aware thread affinitization. When false, threads pay a
+  /// cross-socket penalty on every interaction and suffer occasional
+  /// OS-scheduling stalls (Section 4.3's ~30%/52% effect).
+  bool numa_affinitized = true;
+  uint64_t numa_penalty_ns = 400;
+  /// Poll granularity of a non-affinitized thread: every sweep snoops
+  /// cache lines across the socket interconnect, so detection of new
+  /// work is coarser (adds directly to latency).
+  uint64_t numa_idle_poll_ns = 400;
+  double sched_stall_probability = 0.003;
+  uint64_t sched_stall_mean_ns = 25'000;
+
+  /// Poll interval of client/server threads (busy-poll granularity).
+  uint64_t poll_interval_ns = 50;
+};
+
+}  // namespace redy
+
+#endif  // REDY_REDY_COST_MODEL_H_

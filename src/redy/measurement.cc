@@ -1,0 +1,113 @@
+#include "redy/measurement.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/poller.h"
+
+namespace redy {
+
+Result<MeasurementApp::Measured> MeasurementApp::Measure(
+    const RdmaConfig& cfg, const WorkloadOptions& workload) {
+  CacheClient& client = testbed_->client();
+  sim::Simulation& sim = testbed_->sim();
+
+  auto id_or = client.CreateWithConfig(workload.cache_bytes, cfg,
+                                       workload.record_bytes);
+  if (!id_or.ok()) return id_or.status();
+  const CacheClient::CacheId id = *id_or;
+
+  const uint64_t records = workload.cache_bytes / workload.record_bytes;
+  if (records == 0) {
+    client.Delete(id);
+    return Status::InvalidArgument("cache smaller than one record");
+  }
+
+  // Per-application-thread in-flight target: enough to keep b*q
+  // request slots full at saturation.
+  uint32_t target = workload.inflight_override;
+  if (target == 0) {
+    target = static_cast<uint32_t>(workload.load_factor *
+                                   static_cast<double>(cfg.b) * cfg.q);
+    if (target < 2) target = 2;
+  }
+
+  // One closed-loop application actor per client thread.
+  struct AppThread {
+    uint32_t index = 0;
+    uint32_t inflight = 0;
+    Rng rng{0};
+    std::vector<uint8_t> read_buf;
+    std::vector<uint8_t> write_buf;
+    std::unique_ptr<sim::Poller> poller;
+  };
+  std::vector<std::unique_ptr<AppThread>> apps;
+  const uint64_t api_cost = client.ApiCallCostNs();
+
+  for (uint32_t t = 0; t < cfg.c; t++) {
+    auto app = std::make_unique<AppThread>();
+    app->index = t;
+    app->rng = Rng(workload.seed * 1315423911u + t);
+    app->read_buf.resize(workload.record_bytes);
+    app->write_buf.resize(workload.record_bytes);
+    for (uint32_t i = 0; i < workload.record_bytes; i++) {
+      app->write_buf[i] = static_cast<uint8_t>(i * 131 + t);
+    }
+    AppThread* a = app.get();
+    app->poller = std::make_unique<sim::Poller>(
+        &sim, 50, [this, a, id, target, records, api_cost, &client,
+                   &workload]() -> uint64_t {
+          uint64_t consumed = 0;
+          while (a->inflight < target) {
+            const uint64_t rec = a->rng.Uniform(records);
+            const uint64_t addr = rec * workload.record_bytes;
+            const bool write = a->rng.Bernoulli(workload.write_fraction);
+            Status st;
+            auto cb = [a](Status) { a->inflight--; };
+            if (write) {
+              st = client.Write(id, addr, a->write_buf.data(),
+                                workload.record_bytes, cb, a->index);
+            } else {
+              st = client.Read(id, addr, a->read_buf.data(),
+                               workload.record_bytes, cb, a->index);
+            }
+            if (!st.ok()) break;  // ring full: retry next poll
+            a->inflight++;
+            consumed += api_cost;
+          }
+          return consumed == 0 ? 50 : consumed;
+        });
+    app->poller->Start();
+    apps.push_back(std::move(app));
+  }
+
+  sim.RunFor(workload.warmup);
+  client.ResetStats(id);
+  const sim::SimTime start = sim.Now();
+  sim.RunFor(workload.window);
+  const sim::SimTime elapsed = sim.Now() - start;
+
+  Measured out;
+  CacheClient::Stats* stats = client.stats(id);
+  out.ops = stats->ops_completed();
+  out.errors = stats->errors;
+  out.read_latency_ns = stats->read_latency_ns;
+  out.write_latency_ns = stats->write_latency_ns;
+  out.latency_ns.Merge(stats->read_latency_ns);
+  out.latency_ns.Merge(stats->write_latency_ns);
+  out.point.throughput_mops =
+      static_cast<double>(out.ops) / ToSeconds(elapsed) / 1e6;
+  out.point.latency_us = out.latency_ns.Mean() / 1e3;
+
+  for (auto& app : apps) app->poller->Stop();
+  // Let in-flight operations drain before tearing the cache down.
+  int rounds = 0;
+  while (client.InFlight(id) > 0 && rounds++ < 1'000'000) {
+    if (!sim.Step()) break;
+  }
+  client.Delete(id);
+  return out;
+}
+
+}  // namespace redy

@@ -1,0 +1,57 @@
+#ifndef REDY_REDY_MEASUREMENT_H_
+#define REDY_REDY_MEASUREMENT_H_
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "redy/config.h"
+#include "redy/slo.h"
+#include "redy/testbed.h"
+
+namespace redy {
+
+/// The built-in measurement application (Fig. 9): configures a cache
+/// with a candidate RDMA configuration, drives it with a closed-loop
+/// read/write workload from c application threads, and reports the
+/// measured latency and throughput. Used both by offline modeling and
+/// directly by the benchmark binaries.
+class MeasurementApp {
+ public:
+  struct WorkloadOptions {
+    uint64_t cache_bytes = 16 * kMiB;
+    uint32_t record_bytes = 8;
+    /// Fraction of operations that are writes.
+    double write_fraction = 0.5;
+    /// Per-application-thread in-flight target as a multiple of b*q
+    /// (keeps batches and queue pairs fully loaded at saturation).
+    double load_factor = 2.0;
+    /// Override the per-thread in-flight target (0 = derive from b*q).
+    uint32_t inflight_override = 0;
+    sim::SimTime warmup = 200 * kMicrosecond;
+    sim::SimTime window = 1500 * kMicrosecond;
+    uint64_t seed = 99;
+  };
+
+  struct Measured {
+    PerfPoint point;             // mean latency (us), throughput (MOPS)
+    Histogram latency_ns;        // merged read+write latency
+    Histogram read_latency_ns;
+    Histogram write_latency_ns;
+    uint64_t ops = 0;
+    uint64_t errors = 0;
+  };
+
+  explicit MeasurementApp(Testbed* testbed) : testbed_(testbed) {}
+
+  /// Measures one configuration end to end on the live (simulated)
+  /// fabric. Creates the cache, loads it, measures, and tears it down.
+  Result<Measured> Measure(const RdmaConfig& cfg,
+                           const WorkloadOptions& workload);
+
+ private:
+  Testbed* testbed_;
+};
+
+}  // namespace redy
+
+#endif  // REDY_REDY_MEASUREMENT_H_

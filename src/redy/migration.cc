@@ -1,0 +1,526 @@
+// Region migration and Reshape: the dynamic-memory-management half of
+// the cache client (Sections 3.3 and 6.2).
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "redy/cache_client.h"
+
+namespace redy {
+
+/// State of one in-progress VM migration. Regions move one at a time;
+/// the bandwidth-optimized transfer runs as chunked one-sided reads
+/// issued by the *new* VM against the old VM's regions.
+struct CacheClient::MigrationJob {
+  CacheClient* client = nullptr;
+  CacheEntry* cache = nullptr;
+  cluster::VmId victim = cluster::kInvalidVm;
+  sim::SimTime deadline = 0;
+  std::vector<uint32_t> vregions;
+  std::vector<CacheManager::RegionPlacement> targets;
+  size_t next = 0;
+  MigrationEvent event;
+  std::function<void(const MigrationEvent&)> done;
+
+  // Per-region transfer state.
+  rdma::QueuePair* qp = nullptr;    // on the target server's NIC
+  rdma::QueuePair* peer = nullptr;  // on the victim's NIC
+  std::unique_ptr<sim::Poller> driver;
+  uint64_t next_chunk_off = 0;
+  uint32_t chunks_out = 0;
+  bool chunk_failed = false;
+};
+
+Status CacheClient::MigrateVm(
+    CacheId id, cluster::VmId victim, sim::SimTime deadline,
+    std::function<void(const MigrationEvent&)> done) {
+  CacheEntry* cache = FindCache(id);
+  if (cache == nullptr || cache->deleted) {
+    return Status::NotFound("unknown cache");
+  }
+  std::vector<uint32_t> vregions;
+  for (uint32_t i = 0; i < cache->regions.size(); i++) {
+    if (cache->regions[i].placement.vm_id == victim) vregions.push_back(i);
+  }
+  if (vregions.empty()) return Status::OK();  // nothing to do
+  return StartMigration(id, std::move(vregions), victim, deadline,
+                        std::move(done));
+}
+
+Status CacheClient::MigrateRegions(
+    CacheId id, std::vector<uint32_t> vregions, sim::SimTime deadline,
+    std::function<void(const MigrationEvent&)> done) {
+  CacheEntry* cache = FindCache(id);
+  if (cache == nullptr || cache->deleted) {
+    return Status::NotFound("unknown cache");
+  }
+  for (uint32_t vr : vregions) {
+    if (vr >= cache->regions.size()) {
+      return Status::OutOfRange("no such region");
+    }
+  }
+  if (vregions.empty()) return Status::OK();
+  return StartMigration(id, std::move(vregions), cluster::kInvalidVm,
+                        deadline, std::move(done));
+}
+
+Status CacheClient::StartMigration(
+    CacheId id, std::vector<uint32_t> vregions, cluster::VmId release_vm,
+    sim::SimTime deadline,
+    std::function<void(const MigrationEvent&)> done) {
+  CacheEntry* cache = FindCache(id);
+  if (cache->migrating) {
+    return Status::FailedPrecondition("cache already migrating");
+  }
+
+  // Allocate replacement capacity under the cache's configuration, with
+  // a throughput-oriented transfer handled below.
+  auto alloc_or = manager_->AllocateWithConfig(
+      vregions.size() * cache->region_bytes, cache->cfg, cache->record_bytes,
+      cache->spot, node_, cache->region_bytes);
+  if (!alloc_or.ok()) return alloc_or.status();
+  REDY_CHECK(alloc_or->regions.size() == vregions.size());
+
+  cache->migrating = true;
+  auto job = std::make_shared<MigrationJob>();
+  job->client = this;
+  job->cache = cache;
+  job->victim = release_vm;
+  job->deadline = deadline;
+  job->vregions = vregions;
+  job->targets = alloc_or->regions;
+  job->done = std::move(done);
+  job->event.cache = id;
+  job->event.from = release_vm;
+  job->event.to = alloc_or->regions.front().vm_id;
+  job->event.started = sim_->Now();
+
+  // Pausing policy. The optimized scheme (Section 6.2) pauses writes
+  // only to the region currently being copied and never pauses reads;
+  // the baselines pause all affected regions for the whole migration.
+  for (uint32_t vr : job->vregions) {
+    if (!options_.pause_per_region_writes) {
+      cache->regions[vr].writes_paused = true;
+    }
+    if (!options_.unpaused_reads) {
+      cache->regions[vr].reads_paused = true;
+    }
+  }
+
+  MigrateNextRegion(job);
+  return Status::OK();
+}
+
+void CacheClient::MigrateNextRegion(std::shared_ptr<MigrationJob> job) {
+  CacheEntry& cache = *job->cache;
+  if (job->next >= job->vregions.size()) {
+    FinishMigration(job);
+    return;
+  }
+  const uint32_t vr_index = job->vregions[job->next];
+  VRegion& vr = cache.regions[vr_index];
+
+  // Writes to the region being copied must always pause (its bytes are
+  // being snapshotted); reads keep flowing to the old VM when the
+  // unpaused-reads optimization is on.
+  vr.writes_paused = true;
+  if (!options_.unpaused_reads) vr.reads_paused = true;
+
+  // Wait until in-flight writes to this region drain, then transfer.
+  // (In-flight *reads* are harmless: the old region stays intact and
+  // serves them until the placement swap.)
+  auto quiesce = std::make_shared<std::unique_ptr<sim::Poller>>();
+  *quiesce = std::make_unique<sim::Poller>(
+      sim_, options_.costs.poll_interval_ns,
+      [this, job, quiesce, vr_index]() -> uint64_t {
+        CacheEntry& cache = *job->cache;
+        VRegion& vr = cache.regions[vr_index];
+        // Conservative: wait for all sub-ops on the region (reads
+        // included) before snapshotting; reads keep being *submitted*
+        // and serviced during the transfer itself.
+        if (vr.inflight_subops > 0) return options_.costs.idle_poll_ns;
+        (*quiesce)->Stop();
+
+        // --- start the chunked transfer ---
+        const auto& old_p = vr.placement;
+        const auto& new_p = job->targets[job->next];
+        rdma::Nic* dst_nic = fabric_->NicAt(new_p.node);
+        job->qp = dst_nic->CreateQueuePair(options_.migration_depth);
+        job->peer =
+            fabric_->NicAt(old_p.node)->CreateQueuePair(
+                options_.migration_depth);
+        if (!job->qp->Connect(job->peer).ok()) {
+          job->chunk_failed = true;
+        }
+        job->next_chunk_off = 0;
+        job->chunks_out = 0;
+
+        rdma::MemoryRegion* dst_mr =
+            new_p.server->region(new_p.region_index);
+        const rdma::RemoteKey src_key = old_p.key;
+        const uint64_t region_bytes = job->cache->region_bytes;
+
+        // Pacing interval per chunk for the configured transfer rate.
+        const uint64_t pace_ns =
+            options_.migration_bandwidth_bps > 0
+                ? static_cast<uint64_t>(
+                      static_cast<double>(options_.migration_chunk_bytes) *
+                      8.0 / options_.migration_bandwidth_bps * 1e9)
+                : 0;
+
+        job->driver = std::make_unique<sim::Poller>(
+            sim_, std::max<uint64_t>(pace_ns, 250),
+            [this, job, dst_mr, src_key, region_bytes,
+             pace_ns]() -> uint64_t {
+              uint64_t consumed = 0;
+              rdma::WorkCompletion wc;
+              while (job->qp->send_cq().Poll(&wc, 1) == 1) {
+                REDY_CHECK(job->chunks_out > 0);
+                job->chunks_out--;
+                if (wc.status != StatusCode::kOk) job->chunk_failed = true;
+                consumed += 100;
+              }
+              // Paced: at most one chunk per interval when throttled;
+              // otherwise fill the queue depth.
+              while (!job->chunk_failed &&
+                     job->next_chunk_off < region_bytes &&
+                     job->qp->outstanding() < options_.migration_depth) {
+                const uint64_t len =
+                    std::min(options_.migration_chunk_bytes,
+                             region_bytes - job->next_chunk_off);
+                Status st = job->qp->PostRead(
+                    job->next_chunk_off, dst_mr, job->next_chunk_off,
+                    src_key, job->next_chunk_off, len);
+                if (!st.ok()) {
+                  job->chunk_failed = true;
+                  break;
+                }
+                job->chunks_out++;
+                job->next_chunk_off += len;
+                consumed += 200;
+                if (pace_ns > 0) break;
+              }
+              const bool finished =
+                  (job->next_chunk_off >= region_bytes ||
+                   job->chunk_failed) &&
+                  job->chunks_out == 0;
+              if (finished) {
+                job->driver->Stop();
+                // Finalize outside the poller body.
+                sim_->After(0, [this, job] {
+                  job->driver.reset();  // break the job<->poller cycle
+                  if (job->qp != nullptr) {
+                    job->qp->nic()->DestroyQueuePair(job->qp);
+                    job->qp = nullptr;
+                    job->peer = nullptr;
+                  }
+                  CacheEntry& cache = *job->cache;
+                  const uint32_t vr_index = job->vregions[job->next];
+                  VRegion& vr = cache.regions[vr_index];
+                  if (job->chunk_failed) job->event.data_lost = true;
+                  // Swap the region table entry to the new VM and
+                  // resume its writes (optimized mode).
+                  vr.placement = job->targets[job->next];
+                  if (options_.pause_per_region_writes) {
+                    vr.writes_paused = false;
+                    if (options_.unpaused_reads) vr.reads_paused = false;
+                    ReplayParked(cache, vr_index);
+                  }
+                  job->event.regions++;
+                  job->event.bytes += job->cache->region_bytes;
+                  job->next++;
+                  MigrateNextRegion(job);
+                });
+              }
+              return consumed == 0 ? 50 : consumed;
+            });
+        job->driver->Start();
+        // Destroy the quiesce poller once its last event completes,
+        // breaking the poller->body->poller reference cycle.
+        sim_->After(0, [quiesce] { quiesce->reset(); });
+        return 200;
+      });
+  (*quiesce)->Start();
+}
+
+void CacheClient::FinishMigration(std::shared_ptr<MigrationJob> job) {
+  CacheEntry& cache = *job->cache;
+  // Unpause everything that the baseline policies held back.
+  for (uint32_t vr : job->vregions) {
+    cache.regions[vr].writes_paused = false;
+    cache.regions[vr].reads_paused = false;
+    ReplayParked(cache, vr);
+  }
+
+  // Partial (per-region) migration: the source VMs still host other
+  // regions, so nothing is released.
+  if (job->victim == cluster::kInvalidVm) {
+    cache.migrating = false;
+    job->event.finished = sim_->Now();
+    migration_log_.push_back(job->event);
+    if (job->done) job->done(job->event);
+    return;
+  }
+
+  // Wait for any in-flight reads against the old VM to drain, then drop
+  // the connections, release the VM, and signal the old VM to
+  // terminate.
+  auto wait = std::make_shared<std::unique_ptr<sim::Poller>>();
+  *wait = std::make_unique<sim::Poller>(
+      sim_, options_.costs.poll_interval_ns,
+      [this, job, wait]() -> uint64_t {
+        CacheEntry& cache = *job->cache;
+        for (auto& t : cache.threads) {
+          auto it = t->conns.find(job->victim);
+          if (it == t->conns.end()) continue;
+          Connection& c = *it->second;
+          if (!c.onesided_ops.empty() || c.inflight_batches > 0 ||
+              !c.current.empty()) {
+            return options_.costs.idle_poll_ns;
+          }
+        }
+        (*wait)->Stop();
+        sim_->After(0, [wait] { wait->reset(); });
+        sim_->After(0, [this, job] {
+          CacheEntry& cache = *job->cache;
+          DropConnections(cache, job->victim);
+          manager_->ReleaseVm(job->victim);
+          cache.migrating = false;
+          job->event.finished = sim_->Now();
+          migration_log_.push_back(job->event);
+          if (job->done) job->done(job->event);
+        });
+        return 100;
+      });
+  (*wait)->Start();
+}
+
+void CacheClient::TransferRegion(const CacheManager::RegionPlacement& src,
+                                 const CacheManager::RegionPlacement& dst,
+                                 uint64_t bytes,
+                                 std::function<void(bool)> done) {
+  struct Xfer {
+    rdma::QueuePair* qp = nullptr;
+    rdma::QueuePair* peer = nullptr;
+    std::unique_ptr<sim::Poller> driver;
+    uint64_t next_off = 0;
+    uint32_t out = 0;
+    bool failed = false;
+    std::function<void(bool)> done;
+  };
+  auto x = std::make_shared<Xfer>();
+  x->done = std::move(done);
+
+  rdma::Nic* dst_nic = fabric_->NicAt(dst.node);
+  x->qp = dst_nic->CreateQueuePair(options_.migration_depth);
+  x->peer = fabric_->NicAt(src.node)->CreateQueuePair(
+      options_.migration_depth);
+  if (!x->qp->Connect(x->peer).ok()) x->failed = true;
+
+  rdma::MemoryRegion* dst_mr = dst.server->region(dst.region_index);
+  const rdma::RemoteKey src_key = src.key;
+  const uint64_t pace_ns =
+      options_.migration_bandwidth_bps > 0
+          ? static_cast<uint64_t>(
+                static_cast<double>(options_.migration_chunk_bytes) * 8.0 /
+                options_.migration_bandwidth_bps * 1e9)
+          : 0;
+
+  x->driver = std::make_unique<sim::Poller>(
+      sim_, std::max<uint64_t>(pace_ns, 250),
+      [this, x, dst_mr, src_key, bytes, pace_ns]() -> uint64_t {
+        uint64_t consumed = 0;
+        rdma::WorkCompletion wc;
+        while (x->qp->send_cq().Poll(&wc, 1) == 1) {
+          REDY_CHECK(x->out > 0);
+          x->out--;
+          if (wc.status != StatusCode::kOk) x->failed = true;
+          consumed += 100;
+        }
+        while (!x->failed && x->next_off < bytes &&
+               x->qp->outstanding() < options_.migration_depth) {
+          const uint64_t len = std::min(options_.migration_chunk_bytes,
+                                        bytes - x->next_off);
+          Status st = x->qp->PostRead(x->next_off, dst_mr, x->next_off,
+                                      src_key, x->next_off, len);
+          if (!st.ok()) {
+            x->failed = true;
+            break;
+          }
+          x->out++;
+          x->next_off += len;
+          consumed += 200;
+          if (pace_ns > 0) break;
+        }
+        if ((x->next_off >= bytes || x->failed) && x->out == 0) {
+          x->driver->Stop();
+          sim_->After(0, [this, x] {
+            x->driver.reset();  // break the cycle
+            if (x->qp != nullptr) {
+              x->qp->nic()->DestroyQueuePair(x->qp);
+              x->qp = nullptr;
+              x->peer = nullptr;
+            }
+            x->done(x->failed);
+          });
+        }
+        return consumed == 0 ? 50 : consumed;
+      });
+  x->driver->Start();
+}
+
+void CacheClient::OnVmLoss(cluster::VmId vm, sim::SimTime deadline) {
+  if (!options_.auto_recover) return;
+  // Collect first: recovery mutates cache state.
+  std::vector<CacheId> affected;
+  for (auto& [id, cache] : caches_) {
+    if (cache->deleted) continue;
+    for (const auto& vr : cache->regions) {
+      if (vr.placement.vm_id == vm ||
+          (vr.replica.has_value() && vr.replica->vm_id == vm)) {
+        affected.push_back(id);
+        break;
+      }
+    }
+  }
+  for (CacheId id : affected) {
+    CacheEntry* cache = FindCache(id);
+    if (cache->replicated) {
+      // Replicated caches fail over instantly instead of migrating.
+      FailoverReplicated(*cache, vm);
+      continue;
+    }
+    Status st = MigrateVm(id, vm, deadline);
+    if (!st.ok()) {
+      REDY_LOG_ERROR("auto-migration of cache %llu off VM %llu failed: %s",
+                     static_cast<unsigned long long>(id),
+                     static_cast<unsigned long long>(vm),
+                     st.ToString().c_str());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reshape (Section 3.3)
+// ---------------------------------------------------------------------------
+
+Status CacheClient::Reshape(CacheId id, uint64_t new_capacity,
+                            const Slo& new_slo) {
+  CacheEntry* cache = FindCache(id);
+  if (cache == nullptr || cache->deleted) {
+    return Status::NotFound("unknown cache");
+  }
+  if (cache->inflight_ops > 0 || cache->migrating) {
+    return Status::FailedPrecondition(
+        "Reshape requires a quiescent cache (I/O is stalled by the "
+        "caller during resizing, Section 6.2)");
+  }
+  const bool slo_unchanged =
+      new_slo.max_latency_us == cache->slo.max_latency_us &&
+      new_slo.min_throughput_mops == cache->slo.min_throughput_mops &&
+      new_slo.record_bytes == cache->slo.record_bytes;
+  if (slo_unchanged) return ReshapeCapacity(id, new_capacity);
+
+  // SLO changed: find new VMs satisfying it, move the data, then
+  // deallocate the old cache. On failure the cache is unchanged.
+  auto alloc_or =
+      manager_->Allocate(new_capacity, new_slo,
+                         cache->spot ? sim_->Now() + kHour : kDurationInfinite,
+                         node_, cache->region_bytes);
+  if (!alloc_or.ok()) return alloc_or.status();
+
+  // Copy surviving contents region by region (truncating if shrunk).
+  const size_t keep =
+      std::min(cache->regions.size(), alloc_or->regions.size());
+  for (size_t i = 0; i < keep; i++) {
+    const auto& old_p = cache->regions[i].placement;
+    const auto& new_p = alloc_or->regions[i];
+    std::memcpy(new_p.server->region(new_p.region_index)->data(),
+                old_p.server->region(old_p.region_index)->data(),
+                cache->region_bytes);
+  }
+
+  // Tear down the old side.
+  std::vector<cluster::VmId> old_vms;
+  for (const auto& vr : cache->regions) old_vms.push_back(vr.placement.vm_id);
+  std::sort(old_vms.begin(), old_vms.end());
+  old_vms.erase(std::unique(old_vms.begin(), old_vms.end()), old_vms.end());
+  for (cluster::VmId vm : old_vms) {
+    DropConnections(*cache, vm);
+    manager_->ReleaseVm(vm);
+  }
+
+  cache->regions.clear();
+  for (const auto& rp : alloc_or->regions) {
+    VRegion vr;
+    vr.placement = rp;
+    cache->regions.push_back(std::move(vr));
+  }
+  cache->cfg = alloc_or->config;
+  cache->slo = new_slo;
+  cache->record_bytes = new_slo.record_bytes;
+  cache->capacity = new_capacity;
+  cache->price_per_hour = alloc_or->price_per_hour;
+  StartThreads(cache);
+  return Status::OK();
+}
+
+Status CacheClient::ReshapeCapacity(CacheId id, uint64_t new_capacity) {
+  CacheEntry* cache = FindCache(id);
+  if (cache == nullptr || cache->deleted) {
+    return Status::NotFound("unknown cache");
+  }
+  if (cache->inflight_ops > 0 || cache->migrating) {
+    return Status::FailedPrecondition("Reshape requires a quiescent cache");
+  }
+  if (new_capacity == 0) return Status::InvalidArgument("zero capacity");
+
+  const uint32_t new_regions = static_cast<uint32_t>(
+      (new_capacity + cache->region_bytes - 1) / cache->region_bytes);
+  const uint32_t old_regions = static_cast<uint32_t>(cache->regions.size());
+
+  if (new_regions > old_regions) {
+    // Grow: allocate additional regions under the same configuration
+    // (same memory-to-core ratio, batch size, and queue depth).
+    auto alloc_or = manager_->AllocateWithConfig(
+        static_cast<uint64_t>(new_regions - old_regions) *
+            cache->region_bytes,
+        cache->cfg, cache->record_bytes, cache->spot, node_,
+        cache->region_bytes);
+    if (!alloc_or.ok()) return alloc_or.status();
+    for (const auto& rp : alloc_or->regions) {
+      VRegion vr;
+      vr.placement = rp;
+      cache->regions.push_back(std::move(vr));
+    }
+  } else if (new_regions < old_regions) {
+    // Shrink: truncate the tail and notify the manager of freed VMs
+    // (the Reallocate path).
+    std::vector<cluster::VmId> dropped;
+    for (uint32_t i = new_regions; i < old_regions; i++) {
+      dropped.push_back(cache->regions[i].placement.vm_id);
+    }
+    cache->regions.resize(new_regions);
+    std::sort(dropped.begin(), dropped.end());
+    dropped.erase(std::unique(dropped.begin(), dropped.end()),
+                  dropped.end());
+    for (cluster::VmId vm : dropped) {
+      bool still_used = false;
+      for (const auto& vr : cache->regions) {
+        if (vr.placement.vm_id == vm) {
+          still_used = true;
+          break;
+        }
+      }
+      if (!still_used) {
+        DropConnections(*cache, vm);
+        manager_->ReleaseVm(vm);
+      }
+    }
+  }
+  cache->capacity = new_capacity;
+  return Status::OK();
+}
+
+}  // namespace redy

@@ -1,0 +1,67 @@
+#ifndef REDY_REDY_PROTOCOL_H_
+#define REDY_REDY_PROTOCOL_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace redy {
+
+/// Wire format of the Redy request/response rings (Section 4.2).
+///
+/// A connection's *message ring* on the server has `q` slots, used
+/// round-robin; the client RDMA-writes one request batch per slot. The
+/// response ring mirrors it on the client. Slot occupancy is detected
+/// by a monotonically increasing batch sequence number in the header:
+/// the consumer of slot (seq % q) waits for the header to carry `seq`.
+/// RDMA's in-order delivery makes the header write visible only with
+/// the full batch (the simulator applies a batch's bytes atomically at
+/// DMA-completion time).
+
+enum class OpCode : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+};
+
+/// Header at the start of every request/response batch slot.
+struct BatchHeader {
+  uint64_t seq = 0;  // 0 = empty; batches are numbered from 1
+  uint32_t count = 0;
+  uint32_t bytes = 0;  // total batch bytes incl. header
+};
+static_assert(sizeof(BatchHeader) == 16);
+
+/// Per-request header inside a request batch. A write request is
+/// followed by `len` payload bytes; a read request carries no payload.
+struct RequestHeader {
+  OpCode op = OpCode::kRead;
+  uint8_t pad[3] = {};
+  uint32_t len = 0;
+  uint32_t region = 0;   // physical region index on the target VM
+  uint64_t offset = 0;   // offset within that region
+};
+static_assert(sizeof(RequestHeader) == 24 || sizeof(RequestHeader) == 20);
+
+/// Per-request header inside a response batch. A read response is
+/// followed by `len` payload bytes.
+struct ResponseHeader {
+  uint8_t status = 0;  // StatusCode numeric value
+  uint8_t op = 0;
+  uint8_t pad[2] = {};
+  uint32_t len = 0;
+};
+static_assert(sizeof(ResponseHeader) == 8);
+
+/// Slot sizing for a configuration with batch size `b` and record size
+/// `record_bytes` (the largest request/response a slot must hold).
+inline uint64_t RequestSlotBytes(uint32_t b, uint32_t record_bytes) {
+  return sizeof(BatchHeader) +
+         static_cast<uint64_t>(b) * (sizeof(RequestHeader) + record_bytes);
+}
+inline uint64_t ResponseSlotBytes(uint32_t b, uint32_t record_bytes) {
+  return sizeof(BatchHeader) +
+         static_cast<uint64_t>(b) * (sizeof(ResponseHeader) + record_bytes);
+}
+
+}  // namespace redy
+
+#endif  // REDY_REDY_PROTOCOL_H_

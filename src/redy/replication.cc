@@ -1,0 +1,134 @@
+// Cache replication: the Section 6.2 alternative to migration for
+// caches that cannot tolerate a migration pause. Every region keeps a
+// replica on a different VM; writes are applied to both copies, reads
+// are served by the primary. Losing a VM promotes replicas instantly
+// (no copy, no data loss) and degraded regions re-replicate in the
+// background.
+
+#include "common/logging.h"
+#include "redy/cache_client.h"
+
+namespace redy {
+
+Result<CacheClient::CacheId> CacheClient::CreateReplicated(
+    uint64_t capacity, const RdmaConfig& cfg, uint32_t record_bytes,
+    bool spot) {
+  auto id_or = CreateWithConfig(capacity, cfg, record_bytes, spot);
+  if (!id_or.ok()) return id_or;
+  CacheEntry* cache = FindCache(*id_or);
+
+  // Anti-affinity: replicas must survive the loss of any physical
+  // server hosting a primary.
+  std::vector<net::ServerId> primary_nodes;
+  for (const auto& vr : cache->regions) {
+    primary_nodes.push_back(vr.placement.node);
+  }
+  auto rep_or = manager_->AllocateWithConfig(
+      cache->regions.size() * cache->region_bytes, cfg, record_bytes, spot,
+      node_, cache->region_bytes, 5, &primary_nodes);
+  if (!rep_or.ok()) {
+    Delete(*id_or);
+    return rep_or.status();
+  }
+  REDY_CHECK(rep_or->regions.size() == cache->regions.size());
+  for (size_t i = 0; i < cache->regions.size(); i++) {
+    cache->regions[i].replica = rep_or->regions[i];
+  }
+  cache->price_per_hour += rep_or->price_per_hour;
+  cache->replicated = true;
+  return id_or;
+}
+
+Result<bool> CacheClient::RegionReplicated(CacheId id,
+                                           uint32_t vregion) const {
+  const CacheEntry* cache = FindCache(id);
+  if (cache == nullptr) return Status::NotFound("unknown cache");
+  if (vregion >= cache->regions.size()) {
+    return Status::OutOfRange("no such region");
+  }
+  return cache->regions[vregion].replica.has_value();
+}
+
+void CacheClient::FailoverReplicated(CacheEntry& cache, cluster::VmId vm) {
+  std::vector<uint32_t> orphaned;  // primary lost with no replica left
+  for (uint32_t i = 0; i < cache.regions.size(); i++) {
+    VRegion& vr = cache.regions[i];
+    bool degraded = false;
+    if (vr.replica.has_value() && vr.replica->vm_id == vm) {
+      vr.replica.reset();
+      degraded = true;
+    }
+    if (vr.placement.vm_id == vm) {
+      if (vr.replica.has_value()) {
+        // Instant promotion: the replica holds every acknowledged
+        // write, so reads continue without a pause or a copy.
+        vr.placement = *vr.replica;
+        vr.replica.reset();
+        degraded = true;
+      } else {
+        orphaned.push_back(i);
+      }
+    }
+    if (degraded && !vr.repairing) {
+      RepairReplica(&cache, i);
+    }
+  }
+  if (!orphaned.empty()) {
+    // Both copies gone (or the cache degraded before this loss): fall
+    // back to the migration path, accepting data loss for those
+    // regions.
+    (void)MigrateRegions(cache.id, orphaned, sim_->Now());
+  }
+}
+
+void CacheClient::RepairReplica(CacheEntry* cache, uint32_t vregion) {
+  VRegion& vr = cache->regions[vregion];
+  vr.repairing = true;
+
+  const std::vector<net::ServerId> avoid = {vr.placement.node};
+  auto target_or = manager_->AllocateWithConfig(
+      cache->region_bytes, cache->cfg, cache->record_bytes, cache->spot,
+      node_, cache->region_bytes, 5, &avoid);
+  if (!target_or.ok()) {
+    REDY_LOG_ERROR("re-replication allocation failed: %s",
+                   target_or.status().ToString().c_str());
+    vr.repairing = false;  // stays degraded; retried on next loss
+    return;
+  }
+  const CacheManager::RegionPlacement target = target_or->regions[0];
+
+  // Writes to the region pause while its bytes are snapshotted, exactly
+  // like a region migration; reads stay up (primary untouched).
+  vr.writes_paused = true;
+  const CacheId id = cache->id;
+  auto quiesce = std::make_shared<std::unique_ptr<sim::Poller>>();
+  *quiesce = std::make_unique<sim::Poller>(
+      sim_, options_.costs.poll_interval_ns,
+      [this, id, vregion, target, quiesce]() -> uint64_t {
+        CacheEntry* cache = FindCache(id);
+        if (cache == nullptr || cache->deleted) {
+          (*quiesce)->Stop();
+          sim_->After(0, [quiesce] { quiesce->reset(); });
+          return 0;
+        }
+        VRegion& vr = cache->regions[vregion];
+        if (vr.inflight_subops > 0) return options_.costs.idle_poll_ns;
+        (*quiesce)->Stop();
+        sim_->After(0, [quiesce] { quiesce->reset(); });
+
+        TransferRegion(vr.placement, target, cache->region_bytes,
+                       [this, id, vregion, target](bool failed) {
+                         CacheEntry* cache = FindCache(id);
+                         if (cache == nullptr || cache->deleted) return;
+                         VRegion& vr = cache->regions[vregion];
+                         if (!failed) vr.replica = target;
+                         vr.repairing = false;
+                         vr.writes_paused = false;
+                         ReplayParked(*cache, vregion);
+                       });
+        return 200;
+      });
+  (*quiesce)->Start();
+}
+
+}  // namespace redy

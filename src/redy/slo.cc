@@ -1,0 +1,15 @@
+#include "redy/slo.h"
+
+#include <cstdio>
+
+namespace redy {
+
+std::string Slo::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "[lat<=%.1fus tput>=%.2fMOPS rec=%uB]", max_latency_us,
+                min_throughput_mops, record_bytes);
+  return buf;
+}
+
+}  // namespace redy

@@ -1,0 +1,34 @@
+#ifndef REDY_REDY_SLO_H_
+#define REDY_REDY_SLO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace redy {
+
+/// A cache service-level objective: maximum average latency and minimum
+/// average throughput (Section 3.2). Reads and writes share one model
+/// because their performance is nearly identical in Redy (Section 5.2);
+/// the model conservatively uses the lower-performing operation.
+struct Slo {
+  double max_latency_us = 0.0;
+  double min_throughput_mops = 0.0;
+  uint32_t record_bytes = 8;
+
+  std::string ToString() const;
+};
+
+/// A measured or predicted performance point.
+struct PerfPoint {
+  double latency_us = 0.0;
+  double throughput_mops = 0.0;
+
+  bool Satisfies(const Slo& slo) const {
+    return latency_us <= slo.max_latency_us &&
+           throughput_mops >= slo.min_throughput_mops;
+  }
+};
+
+}  // namespace redy
+
+#endif  // REDY_REDY_SLO_H_

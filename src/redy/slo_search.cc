@@ -1,0 +1,89 @@
+#include "redy/slo_search.h"
+
+#include <vector>
+
+namespace redy {
+
+namespace {
+
+enum class Verdict { kInvalid, kContinue, kSuccess };
+
+struct SearchContext {
+  const PerfModel* model;
+  const Slo* slo;
+  bool prune;
+  RdmaConfig config;
+  SearchResult result;
+};
+
+// Levels: 1 = s, 2 = c, 3 = b, 4 = q, 5 = leaf. Mirrors Figure 10.
+Verdict Traverse(SearchContext& ctx, int level) {
+  if (level == 5) {
+    auto p_or = ctx.model->Estimate(ctx.config);
+    if (!p_or.ok()) return Verdict::kContinue;  // hole in the model
+    ctx.result.leaves_visited++;
+    const PerfPoint& p = *p_or;
+    if (p.latency_us > ctx.slo->max_latency_us) return Verdict::kInvalid;
+    if (p.throughput_mops >= ctx.slo->min_throughput_mops) {
+      ctx.result.predicted = p;
+      return Verdict::kSuccess;
+    }
+    return Verdict::kContinue;
+  }
+
+  const ConfigBounds& bounds = ctx.model->bounds();
+  std::vector<uint32_t> values;
+  switch (level) {
+    case 1:
+      values = bounds.ServerThreadValues();
+      break;
+    case 2:
+      values = bounds.ClientThreadValues(ctx.config.s);
+      break;
+    case 3:
+      values = bounds.BatchValues(ctx.config.s);
+      break;
+    case 4:
+      values = bounds.QueueDepthValues();
+      break;
+  }
+
+  Verdict node_result = Verdict::kInvalid;
+  for (uint32_t v : values) {
+    switch (level) {
+      case 1:
+        ctx.config.s = v;
+        break;
+      case 2:
+        ctx.config.c = v;
+        break;
+      case 3:
+        ctx.config.b = v;
+        break;
+      case 4:
+        ctx.config.q = v;
+        break;
+    }
+    const Verdict child = Traverse(ctx, level + 1);
+    if (child == Verdict::kSuccess) return Verdict::kSuccess;
+    if (child == Verdict::kInvalid && ctx.prune) {
+      // Larger sibling values can only increase latency: prune them.
+      return node_result;
+    }
+    if (child == Verdict::kContinue) node_result = Verdict::kContinue;
+  }
+  return node_result;
+}
+
+}  // namespace
+
+SearchResult SearchSloConfig(const PerfModel& model, const Slo& slo,
+                             bool prune) {
+  SearchContext ctx{&model, &slo, prune, RdmaConfig{}, SearchResult{}};
+  const Verdict v = Traverse(ctx, 1);
+  ctx.result.found = (v == Verdict::kSuccess);
+  if (ctx.result.found) ctx.result.config = ctx.config;
+  return ctx.result;
+}
+
+}  // namespace redy

@@ -1,0 +1,34 @@
+#ifndef REDY_REDY_SLO_SEARCH_H_
+#define REDY_REDY_SLO_SEARCH_H_
+
+#include <cstdint>
+
+#include "redy/config.h"
+#include "redy/perf_model.h"
+#include "redy/slo.h"
+
+namespace redy {
+
+/// Result of one online SLO search (the Figure 10 algorithm).
+struct SearchResult {
+  bool found = false;
+  RdmaConfig config;
+  PerfPoint predicted;
+  /// Leaves whose performance was evaluated — the pruning-effectiveness
+  /// metric reported in Section 5.2 (~25% fewer leaves with pruning).
+  uint64_t leaves_visited = 0;
+};
+
+/// Pre-order traversal of the five-level configuration tree
+/// (s -> c -> b -> q -> leaf), visiting cheaper configurations first and
+/// returning the first one whose *predicted* latency and throughput
+/// satisfy the SLO. With `prune` set (the paper's algorithm), an
+/// INVALID leaf (latency already above the SLO) prunes the remaining —
+/// larger — siblings at that level, since raising any parameter only
+/// raises latency.
+SearchResult SearchSloConfig(const PerfModel& model, const Slo& slo,
+                             bool prune = true);
+
+}  // namespace redy
+
+#endif  // REDY_REDY_SLO_SEARCH_H_

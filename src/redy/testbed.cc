@@ -1,0 +1,25 @@
+#include "redy/testbed.h"
+
+namespace redy {
+
+Testbed::Testbed(TestbedOptions options) : options_(options) {
+  net::Topology topo(options_.pods, options_.racks_per_pod,
+                     options_.servers_per_rack);
+  fabric_ = std::make_unique<rdma::Fabric>(&sim_, topo, options_.fabric);
+  allocator_ = std::make_unique<cluster::VmAllocator>(
+      &sim_, &fabric_->topology(), options_.cores_per_server,
+      options_.memory_per_server);
+  manager_ = std::make_unique<CacheManager>(&sim_, fabric_.get(),
+                                            allocator_.get(), options_.costs);
+  options_.client.costs = options_.costs;
+  client_ = std::make_unique<CacheClient>(&sim_, fabric_.get(),
+                                          manager_.get(), options_.app_node,
+                                          options_.client);
+}
+
+void Testbed::FailNode(net::ServerId node) {
+  fabric_->NicAt(node)->Fail();
+  allocator_->FailServer(node);
+}
+
+}  // namespace redy

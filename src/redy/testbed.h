@@ -1,0 +1,60 @@
+#ifndef REDY_REDY_TESTBED_H_
+#define REDY_REDY_TESTBED_H_
+
+#include <memory>
+
+#include "cluster/vm_allocator.h"
+#include "net/fabric_params.h"
+#include "net/topology.h"
+#include "redy/cache_client.h"
+#include "redy/cache_manager.h"
+#include "redy/cost_model.h"
+#include "rdma/nic.h"
+#include "sim/simulation.h"
+
+namespace redy {
+
+/// One-stop construction of a simulated deployment: event loop, data-
+/// center topology, RDMA fabric, VM allocator, cache manager, and a
+/// cache client colocated with the application on `app_node`. This is
+/// the entry point examples and benchmarks use.
+struct TestbedOptions {
+  int pods = 2;
+  int racks_per_pod = 2;
+  int servers_per_rack = 8;
+  uint32_t cores_per_server = 64;
+  uint64_t memory_per_server = 64 * kGiB;
+  net::ServerId app_node = 0;
+  net::FabricParams fabric;
+  CostModel costs;
+  CacheClient::Options client;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions options = {});
+
+  sim::Simulation& sim() { return sim_; }
+  rdma::Fabric& fabric() { return *fabric_; }
+  cluster::VmAllocator& allocator() { return *allocator_; }
+  CacheManager& manager() { return *manager_; }
+  CacheClient& client() { return *client_; }
+  net::ServerId app_node() const { return options_.app_node; }
+  const TestbedOptions& options() const { return options_; }
+
+  /// Kills a whole physical server: its NIC goes dark and every VM on
+  /// it is reported failed (deadline = now).
+  void FailNode(net::ServerId node);
+
+ private:
+  TestbedOptions options_;
+  sim::Simulation sim_;
+  std::unique_ptr<rdma::Fabric> fabric_;
+  std::unique_ptr<cluster::VmAllocator> allocator_;
+  std::unique_ptr<CacheManager> manager_;
+  std::unique_ptr<CacheClient> client_;
+};
+
+}  // namespace redy
+
+#endif  // REDY_REDY_TESTBED_H_

@@ -1,0 +1,108 @@
+#ifndef REDY_RINGBUF_MPMC_RING_H_
+#define REDY_RINGBUF_MPMC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace redy::ringbuf {
+
+/// Bounded multi-producer/multi-consumer lock-free queue using per-slot
+/// sequence numbers with compare-and-swap/fetch-and-add, after the design
+/// the paper cites ([33], Krizhanovsky; the structure is also known as
+/// the Vyukov bounded MPMC queue). Redy uses it as the *message ring*
+/// shared among threads when a connection is multiplexed.
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    cap = cap < 2 ? 2 : cap;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (size_t i = 0; i < cap; i++) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// Returns false when the ring is full.
+  bool TryPush(T value) {
+    Cell* cell;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Returns nullopt when the ring is empty.
+  std::optional<T> TryPop() {
+    Cell* cell;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    T value = std::move(cell->value);
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return value;
+  }
+
+  size_t Capacity() const { return mask_ + 1; }
+
+  /// Approximate occupancy; safe to call concurrently but may be stale.
+  size_t SizeApprox() const {
+    const size_t enq = enqueue_pos_.load(std::memory_order_acquire);
+    const size_t deq = dequeue_pos_.load(std::memory_order_acquire);
+    return enq >= deq ? enq - deq : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> sequence;
+    T value;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_;
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace redy::ringbuf
+
+#endif  // REDY_RINGBUF_MPMC_RING_H_

@@ -1,0 +1,83 @@
+#ifndef REDY_RINGBUF_SPSC_RING_H_
+#define REDY_RINGBUF_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace redy::ringbuf {
+
+/// Bounded single-producer/single-consumer lock-free ring buffer.
+///
+/// This is the *batch ring* of Section 4.3: each application thread
+/// feeds exactly one Redy client thread, so SPSC suffices and the fast
+/// path is a single release store. Head/tail live on separate cache
+/// lines to avoid false sharing.
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; usable slots = capacity.
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity + 1) cap <<= 1;  // one slot kept empty
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool TryPush(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buf_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> TryPop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = std::move(buf_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  /// Consumer-side peek without consuming.
+  const T* Front() const {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return nullptr;
+    return &buf_[tail];
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate size (exact when called from either endpoint's thread).
+  size_t Size() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  size_t Capacity() const { return mask_; }
+
+ private:
+  std::vector<T> buf_;
+  size_t mask_;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace redy::ringbuf
+
+#endif  // REDY_RINGBUF_SPSC_RING_H_

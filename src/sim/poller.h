@@ -1,0 +1,69 @@
+#ifndef REDY_SIM_POLLER_H_
+#define REDY_SIM_POLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/simulation.h"
+
+namespace redy::sim {
+
+/// Models a busy-polling thread pinned to a core: the body runs every
+/// `interval` ns of simulated time until Stop(). Redy client threads,
+/// cache-server threads, and the measurement app are all Pollers.
+///
+/// The body returns the time (ns) the iteration consumed; the next poll
+/// is scheduled max(interval, consumed) later, so a thread that did real
+/// work is busy for that long, while an idle thread spins at the poll
+/// interval.
+class Poller {
+ public:
+  using Body = std::function<uint64_t()>;
+
+  Poller(Simulation* sim, SimTime interval, Body body)
+      : sim_(sim), interval_(interval), body_(std::move(body)) {}
+  ~Poller() { Stop(); }
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Starts polling `delay` ns from now.
+  void Start(SimTime delay = 0) {
+    if (running_) return;
+    running_ = true;
+    Schedule(delay);
+  }
+
+  void Stop() {
+    if (!running_) return;
+    running_ = false;
+    if (pending_ != 0) {
+      sim_->Cancel(pending_);
+      pending_ = 0;
+    }
+  }
+
+  bool running() const { return running_; }
+
+ private:
+  void Schedule(SimTime delay) {
+    pending_ = sim_->After(delay, [this] {
+      pending_ = 0;
+      if (!running_) return;
+      const uint64_t consumed = body_();
+      if (!running_) return;  // body may have stopped us
+      Schedule(consumed > interval_ ? consumed : interval_);
+    });
+  }
+
+  Simulation* sim_;
+  SimTime interval_;
+  Body body_;
+  bool running_ = false;
+  uint64_t pending_ = 0;
+};
+
+}  // namespace redy::sim
+
+#endif  // REDY_SIM_POLLER_H_

@@ -1,0 +1,60 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace redy::sim {
+
+uint64_t Simulation::At(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  const uint64_t id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
+  return id;
+}
+
+bool Simulation::Cancel(uint64_t id) {
+  // Lazy cancellation: remember the id and skip it when popped. The
+  // cancelled-id list stays tiny because cancellations are rare (timer
+  // races in migration and spot-reclamation paths).
+  if (id == 0 || id >= next_id_) return false;
+  cancelled_ids_.push_back(id);
+  cancelled_++;
+  return true;
+}
+
+// Pops the top event. Returns true if an event was actually executed,
+// false if it had been cancelled. Precondition: queue not empty.
+bool Simulation::PopAndRun() {
+  Event ev = queue_.top();
+  queue_.pop();
+  auto it = std::find(cancelled_ids_.begin(), cancelled_ids_.end(), ev.id);
+  if (it != cancelled_ids_.end()) {
+    cancelled_ids_.erase(it);
+    cancelled_--;
+    return false;
+  }
+  REDY_CHECK(ev.time >= now_);
+  now_ = ev.time;
+  events_executed_++;
+  ev.cb();
+  return true;
+}
+
+void Simulation::Run() {
+  while (!queue_.empty()) PopAndRun();
+}
+
+void Simulation::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) PopAndRun();
+  if (now_ < t) now_ = t;
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    if (PopAndRun()) return true;
+  }
+  return false;
+}
+
+}  // namespace redy::sim

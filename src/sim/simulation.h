@@ -1,0 +1,85 @@
+#ifndef REDY_SIM_SIMULATION_H_
+#define REDY_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace redy::sim {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = uint64_t;
+
+/// Deterministic discrete-event simulator. Single real thread; every
+/// concurrent entity in the reproduction (application threads, Redy
+/// client/server threads, NICs, the VM allocator) is an event source on
+/// this queue. Events at the same timestamp fire in scheduling order,
+/// which keeps runs byte-for-byte reproducible.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (clamped to Now()).
+  /// Returns an id usable with Cancel().
+  uint64_t At(SimTime t, Callback cb);
+
+  /// Schedules `cb` to run `delay` ns from now.
+  uint64_t After(SimTime delay, Callback cb) { return At(now_ + delay, std::move(cb)); }
+
+  /// Cancels a pending event. No-op if it already fired. Returns whether
+  /// an event was actually cancelled.
+  bool Cancel(uint64_t id);
+
+  /// Runs events until the queue drains.
+  void Run();
+
+  /// Runs events with timestamp <= t, then sets Now() = t.
+  void RunUntil(SimTime t);
+
+  /// Runs for `delta` ns of simulated time.
+  void RunFor(SimTime delta) { RunUntil(now_ + delta); }
+
+  /// Runs a single event if one is pending; returns false if the queue
+  /// is empty.
+  bool Step();
+
+  /// Number of events executed so far (useful for tests/diagnostics).
+  uint64_t events_executed() const { return events_executed_; }
+  bool empty() const { return queue_.size() == cancelled_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-breaker: FIFO among same-time events
+    uint64_t id;
+    Callback cb;
+  };
+  struct EventCompare {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndRun();
+
+  std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
+  std::vector<uint64_t> cancelled_ids_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  uint64_t cancelled_ = 0;
+};
+
+}  // namespace redy::sim
+
+#endif  // REDY_SIM_SIMULATION_H_

@@ -1,0 +1,132 @@
+#include "ycsb/driver.h"
+
+#include "common/logging.h"
+#include "sim/poller.h"
+
+namespace redy::ycsb {
+
+Status Driver::Load() {
+  const uint32_t value_bytes = kv_->options().value_bytes;
+  return kv_->BulkLoad(0, options_.workload.records,
+                       [value_bytes](uint64_t key, void* value) {
+                         // Deterministic value pattern derived from the
+                         // key so reads can be verified.
+                         uint8_t* v = static_cast<uint8_t*>(value);
+                         for (uint32_t i = 0; i < value_bytes; i++) {
+                           v[i] = static_cast<uint8_t>(
+                               SplitMix64(key + i) & 0xff);
+                         }
+                       });
+}
+
+Driver::Result Driver::Run() {
+  struct Thread {
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<sim::Poller> poller;
+    std::vector<uint8_t> value_buf;
+    std::vector<uint8_t> read_buf;
+    uint32_t inflight = 0;
+    uint64_t ops = 0;
+    uint64_t errors = 0;
+    Histogram latency;
+    bool measuring = false;
+  };
+
+  std::vector<std::unique_ptr<Thread>> threads;
+  const uint32_t value_bytes = kv_->options().value_bytes;
+
+  for (uint32_t t = 0; t < options_.threads; t++) {
+    auto th = std::make_unique<Thread>();
+    th->workload = std::make_unique<Workload>(options_.workload, t);
+    th->value_buf.assign(value_bytes, static_cast<uint8_t>(t));
+    th->read_buf.assign(value_bytes, 0);
+    Thread* tp = th.get();
+    th->poller = std::make_unique<sim::Poller>(
+        sim_, 100, [this, tp, value_bytes]() -> uint64_t {
+          uint64_t consumed = 0;
+          // Bound synchronous work per poll so one thread's in-memory
+          // streak doesn't stall the simulated clock.
+          int budget = 64;
+          while (tp->inflight < options_.pipeline_depth && budget-- > 0) {
+            const uint64_t key = tp->workload->NextKey();
+            const bool is_read = tp->workload->NextIsRead();
+            const sim::SimTime issued = sim_->Now() + consumed;
+            Status st;
+            // Heap flag: the callback may fire synchronously (memory
+            // hit) or long after this stack frame is gone.
+            auto completed_sync = std::make_shared<bool>(false);
+            auto cb = [this, tp, issued, completed_sync](Status s) {
+              *completed_sync = true;
+              if (tp->measuring) {
+                tp->ops++;
+                if (!s.ok()) tp->errors++;
+                // Synchronous completions fire before the issue cost is
+                // charged to the clock; clamp to the modeled CPU cost.
+                const sim::SimTime now = sim_->Now();
+                tp->latency.Add(now > issued ? now - issued
+                                             : options_.mem_op_cost_ns);
+              }
+              if (tp->inflight > 0) tp->inflight--;
+            };
+            tp->inflight++;  // balanced in cb (sync or async)
+            if (is_read) {
+              st = kv_->Read(key, tp->read_buf.data(), cb);
+            } else {
+              st = kv_->Upsert(key, tp->value_buf.data(), cb);
+            }
+            if (!st.ok()) {
+              // Backpressure (e.g. log memory full): retry next poll.
+              tp->inflight--;
+              break;
+            }
+            consumed += *completed_sync ? options_.mem_op_cost_ns
+                                        : options_.issue_cost_ns;
+          }
+          return consumed == 0 ? 200 : consumed;
+        });
+    th->poller->Start();
+    threads.push_back(std::move(th));
+  }
+
+  sim_->RunFor(options_.warmup);
+  faster::FasterKv::Stats before = kv_->stats();
+  for (auto& th : threads) th->measuring = true;
+  const sim::SimTime start = sim_->Now();
+  sim_->RunFor(options_.window);
+  for (auto& th : threads) th->measuring = false;
+  const sim::SimTime elapsed = sim_->Now() - start;
+
+  Result out;
+  for (auto& th : threads) {
+    out.ops += th->ops;
+    out.errors += th->errors;
+    out.latency_ns.Merge(th->latency);
+    th->poller->Stop();
+  }
+  out.mops = static_cast<double>(out.ops) / ToSeconds(elapsed) / 1e6;
+  const faster::FasterKv::Stats after = kv_->stats();
+  out.store_stats.reads = after.reads - before.reads;
+  out.store_stats.mem_hits = after.mem_hits - before.mem_hits;
+  out.store_stats.read_cache_hits =
+      after.read_cache_hits - before.read_cache_hits;
+  out.store_stats.device_reads = after.device_reads - before.device_reads;
+  out.store_stats.not_found = after.not_found - before.not_found;
+  out.store_stats.upserts = after.upserts - before.upserts;
+  out.store_stats.in_place_updates =
+      after.in_place_updates - before.in_place_updates;
+  out.store_stats.appends = after.appends - before.appends;
+
+  // Drain stragglers so the store can be reused.
+  int guard = 0;
+  bool drained = false;
+  while (!drained && guard++ < 1'000'000) {
+    drained = true;
+    for (auto& th : threads) {
+      if (th->inflight > 0) drained = false;
+    }
+    if (!drained && !sim_->Step()) break;
+  }
+  return out;
+}
+
+}  // namespace redy::ycsb

@@ -1,0 +1,68 @@
+#ifndef REDY_YCSB_DRIVER_H_
+#define REDY_YCSB_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/units.h"
+#include "faster/store.h"
+#include "sim/simulation.h"
+#include "ycsb/workload.h"
+
+namespace redy::ycsb {
+
+/// Runs a YCSB benchmark against a FasterKv on the simulator: one
+/// closed-loop actor per FASTER client thread, each pipelining
+/// `pipeline_depth` asynchronous operations (FASTER's async device
+/// interface, Section 8.3).
+class Driver {
+ public:
+  struct Options {
+    uint32_t threads = 4;
+    /// In-flight async ops per thread (the depth FASTER's epoch-based
+    /// async sessions sustain). Calibrated so one FASTER thread over a
+    /// Redy tier lands near the paper's ~0.8 MOPS (Fig. 18a).
+    uint32_t pipeline_depth = 4;
+    /// CPU cost of an operation served from memory (key gen + index
+    /// lookup + copy); calibrated so all-in-memory FASTER runs at the
+    /// paper's ~1.25 MOPS/thread.
+    uint64_t mem_op_cost_ns = 760;
+    /// CPU cost to issue + complete an async (device-bound) operation.
+    /// Deliberately higher than the synchronous path: Section 8.3 notes
+    /// that FASTER's asynchronous device interface pays I/O code path
+    /// and context-switching overheads. Calibrated to the paper's
+    /// ~0.8 MOPS per thread over a Redy tier.
+    uint64_t issue_cost_ns = 1500;
+    sim::SimTime warmup = 20 * kMillisecond;
+    sim::SimTime window = 200 * kMillisecond;
+    WorkloadConfig workload;
+  };
+
+  struct Result {
+    double mops = 0;
+    uint64_t ops = 0;
+    uint64_t errors = 0;
+    Histogram latency_ns;
+    faster::FasterKv::Stats store_stats;  // delta over the window
+  };
+
+  Driver(sim::Simulation* sim, faster::FasterKv* kv, Options options)
+      : sim_(sim), kv_(kv), options_(options) {}
+
+  /// Bulk-loads `records` sequential keys (instantaneous; setup only).
+  Status Load();
+
+  /// Runs warmup + measurement window and reports throughput.
+  Result Run();
+
+ private:
+  sim::Simulation* sim_;
+  faster::FasterKv* kv_;
+  Options options_;
+};
+
+}  // namespace redy::ycsb
+
+#endif  // REDY_YCSB_DRIVER_H_

@@ -1,0 +1,61 @@
+#ifndef REDY_YCSB_WORKLOAD_H_
+#define REDY_YCSB_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "common/zipfian.h"
+
+namespace redy::ycsb {
+
+/// Key-access distribution of a YCSB run (Section 8.3 uses uniform and
+/// Zipfian with theta = 0.99).
+enum class Distribution {
+  kUniform,
+  kZipfian,
+};
+
+struct WorkloadConfig {
+  uint64_t records = 1'000'000;
+  Distribution distribution = Distribution::kUniform;
+  double zipf_theta = 0.99;
+  /// Fraction of operations that are reads (the paper's Section 8.3
+  /// runs are 100% reads, YCSB workload C).
+  double read_fraction = 1.0;
+  uint64_t seed = 0x9C5B;
+};
+
+/// Generates the key/op stream for one YCSB client thread.
+class Workload {
+ public:
+  Workload(const WorkloadConfig& config, uint32_t thread_index)
+      : config_(config),
+        rng_(config.seed * 0x9e3779b9 + thread_index),
+        zipf_(config.distribution == Distribution::kZipfian
+                  ? std::make_unique<ScrambledZipfianGenerator>(
+                        config.records, config.zipf_theta,
+                        config.seed * 31 + thread_index)
+                  : nullptr) {}
+
+  uint64_t NextKey() {
+    if (zipf_ != nullptr) return zipf_->Next();
+    return rng_.Uniform(config_.records);
+  }
+
+  bool NextIsRead() {
+    if (config_.read_fraction >= 1.0) return true;
+    return rng_.Bernoulli(config_.read_fraction);
+  }
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  Rng rng_;
+  std::unique_ptr<ScrambledZipfianGenerator> zipf_;
+};
+
+}  // namespace redy::ycsb
+
+#endif  // REDY_YCSB_WORKLOAD_H_

@@ -1,0 +1,156 @@
+// Edge-case and contract tests for the public API surface: argument
+// validation, Status plumbing, stats accounting, and the backdoor
+// accessors used by experiment setup.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "redy/cache_client.h"
+#include "redy/slo.h"
+#include "redy/testbed.h"
+
+namespace redy {
+namespace {
+
+class ApiEdgeTest : public ::testing::Test {
+ protected:
+  static TestbedOptions Opts() {
+    TestbedOptions o;
+    o.pods = 1;
+    o.racks_per_pod = 2;
+    o.servers_per_rack = 4;
+    o.client.region_bytes = 2 * kMiB;
+    return o;
+  }
+
+  ApiEdgeTest() : tb_(Opts()) {}
+
+  template <typename Pred>
+  bool RunUntil(Pred pred, int max_steps = 2'000'000) {
+    for (int i = 0; i < max_steps; i++) {
+      if (pred()) return true;
+      if (!tb_.sim().Step()) return pred();
+    }
+    return pred();
+  }
+
+  Testbed tb_;
+};
+
+TEST_F(ApiEdgeTest, OperationsOnUnknownCacheFail) {
+  char buf[8];
+  EXPECT_TRUE(tb_.client().Read(999, 0, buf, 8, [](Status) {}).IsNotFound());
+  EXPECT_TRUE(
+      tb_.client().Write(999, 0, buf, 8, [](Status) {}).IsNotFound());
+  EXPECT_TRUE(tb_.client().Delete(999).IsNotFound());
+  EXPECT_TRUE(tb_.client().ReshapeCapacity(999, kMiB).IsNotFound());
+  EXPECT_FALSE(tb_.client().config(999).ok());
+  EXPECT_EQ(tb_.client().stats(999), nullptr);
+  EXPECT_EQ(tb_.client().capacity(999), 0u);
+  EXPECT_FALSE(tb_.client().RegionVm(999, 0).ok());
+}
+
+TEST_F(ApiEdgeTest, CreateWithInvalidArgumentsFails) {
+  // Zero capacity.
+  EXPECT_FALSE(
+      tb_.client().CreateWithConfig(0, RdmaConfig{1, 0, 1, 4}, 8).ok());
+  // Create with an SLO but no registered model.
+  Slo slo{10.0, 1.0, 8};
+  EXPECT_FALSE(tb_.client().Create(kMiB, slo, kDurationInfinite).ok());
+}
+
+TEST_F(ApiEdgeTest, StatsAccountReadsWritesAndBytes) {
+  auto id_or =
+      tb_.client().CreateWithConfig(4 * kMiB, RdmaConfig{1, 0, 1, 4}, 64);
+  ASSERT_TRUE(id_or.ok());
+  const auto id = *id_or;
+  char buf[256] = {};
+  int done = 0;
+  ASSERT_TRUE(
+      tb_.client().Write(id, 0, buf, 256, [&](Status) { done++; }).ok());
+  ASSERT_TRUE(
+      tb_.client().Read(id, 0, buf, 128, [&](Status) { done++; }).ok());
+  ASSERT_TRUE(RunUntil([&] { return done == 2; }));
+
+  auto* stats = tb_.client().stats(id);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->writes_completed, 1u);
+  EXPECT_EQ(stats->reads_completed, 1u);
+  EXPECT_EQ(stats->write_bytes, 256u);
+  EXPECT_EQ(stats->read_bytes, 128u);
+  EXPECT_EQ(stats->errors, 0u);
+  EXPECT_GT(stats->read_latency_ns.Percentile(0.5), 1000u);
+  tb_.client().ResetStats(id);
+  EXPECT_EQ(stats->ops_completed(), 0u);
+  EXPECT_TRUE(tb_.client().Delete(id).ok());
+}
+
+TEST_F(ApiEdgeTest, InFlightTracksOutstandingOps) {
+  auto id_or =
+      tb_.client().CreateWithConfig(4 * kMiB, RdmaConfig{1, 0, 1, 4}, 64);
+  ASSERT_TRUE(id_or.ok());
+  const auto id = *id_or;
+  char buf[64] = {};
+  int done = 0;
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(
+        tb_.client().Read(id, i * 64, buf, 64, [&](Status) { done++; }).ok());
+  }
+  EXPECT_EQ(tb_.client().InFlight(id), 3u);
+  ASSERT_TRUE(RunUntil([&] { return done == 3; }));
+  EXPECT_EQ(tb_.client().InFlight(id), 0u);
+  EXPECT_TRUE(tb_.client().Delete(id).ok());
+}
+
+TEST_F(ApiEdgeTest, PokePeekRespectBounds) {
+  auto id_or =
+      tb_.client().CreateWithConfig(4 * kMiB, RdmaConfig{1, 0, 1, 4}, 64);
+  ASSERT_TRUE(id_or.ok());
+  const auto id = *id_or;
+  const char msg[] = "backdoor";
+  ASSERT_TRUE(tb_.client().Poke(id, 2 * kMiB - 4, msg, sizeof(msg)).ok());
+  char out[16] = {};
+  ASSERT_TRUE(tb_.client().Peek(id, 2 * kMiB - 4, out, sizeof(msg)).ok());
+  EXPECT_STREQ(out, msg);  // spans the region boundary
+  EXPECT_TRUE(
+      tb_.client().Poke(id, 4 * kMiB - 2, msg, sizeof(msg)).IsOutOfRange());
+  EXPECT_TRUE(
+      tb_.client().Peek(id, 4 * kMiB - 2, out, sizeof(msg)).IsOutOfRange());
+  EXPECT_TRUE(tb_.client().Peek(999, 0, out, 1).IsNotFound());
+  EXPECT_TRUE(tb_.client().Delete(id).ok());
+}
+
+TEST_F(ApiEdgeTest, SloAndPerfPointHelpers) {
+  Slo slo{100.0, 5.0, 8};
+  EXPECT_NE(slo.ToString().find("100.0"), std::string::npos);
+  EXPECT_TRUE((PerfPoint{50.0, 10.0}).Satisfies(slo));
+  EXPECT_FALSE((PerfPoint{150.0, 10.0}).Satisfies(slo));   // too slow
+  EXPECT_FALSE((PerfPoint{50.0, 1.0}).Satisfies(slo));     // too little
+  EXPECT_TRUE((PerfPoint{100.0, 5.0}).Satisfies(slo));     // boundary
+}
+
+TEST_F(ApiEdgeTest, ConfigToStringAndEquality) {
+  RdmaConfig a{1, 2, 3, 4};
+  RdmaConfig b{1, 2, 3, 4};
+  RdmaConfig c{1, 2, 3, 5};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.ToString(), "[c=1 s=2 b=3 q=4]");
+}
+
+TEST_F(ApiEdgeTest, MigrateUnknownRegionsRejected) {
+  auto id_or =
+      tb_.client().CreateWithConfig(4 * kMiB, RdmaConfig{1, 0, 1, 4}, 64);
+  ASSERT_TRUE(id_or.ok());
+  EXPECT_TRUE(tb_.client()
+                  .MigrateRegions(*id_or, {99}, tb_.sim().Now())
+                  .IsOutOfRange());
+  // Migrating zero regions or an absent VM is a harmless no-op.
+  EXPECT_TRUE(tb_.client().MigrateRegions(*id_or, {}, 0).ok());
+  EXPECT_TRUE(tb_.client().MigrateVm(*id_or, 424242, 0).ok());
+  EXPECT_TRUE(tb_.client().Delete(*id_or).ok());
+}
+
+}  // namespace
+}  // namespace redy

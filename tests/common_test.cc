@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "common/zipfian.h"
+
+namespace redy {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing cache");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: missing cache");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    REDY_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool fail) -> Result<int> {
+    if (fail) return Status::NotFound("x");
+    return 7;
+  };
+  auto consumer = [&](bool fail) -> Status {
+    int v = 0;
+    REDY_ASSIGN_OR_RETURN(v, producer(fail));
+    EXPECT_EQ(v, 7);
+    return Status::OK();
+  };
+  EXPECT_TRUE(consumer(false).ok());
+  EXPECT_TRUE(consumer(true).IsNotFound());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; i++) {
+    uint64_t v = rng.UniformRange(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; i++) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialHasRoughlyRightMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; i++) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(ZipfianTest, SamplesInRange) {
+  ZipfianGenerator gen(1000, 0.99, 3);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(gen.Next(), 1000u);
+  }
+}
+
+TEST(ZipfianTest, SkewFavorsSmallRanks) {
+  ZipfianGenerator gen(10000, 0.99, 3);
+  std::map<uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; i++) counts[gen.Next()]++;
+  // Rank 0 should dominate: ~10% of draws for theta=0.99, n=10k.
+  EXPECT_GT(counts[0], n / 20);
+  // And far exceed a mid-rank item.
+  EXPECT_GT(counts[0], 50 * (counts[5000] + 1));
+}
+
+TEST(ZipfianTest, ScrambledSpreadsHotKeys) {
+  ScrambledZipfianGenerator gen(10000, 0.99, 3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) counts[gen.Next()]++;
+  // The hottest key is no longer key 0 in general, but some key is hot.
+  int max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 100000 / 20);
+}
+
+TEST(HistogramTest, PercentilesAreOrderedAndTight) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; v++) h.Add(v);
+  EXPECT_EQ(h.count(), 10000u);
+  const uint64_t p50 = h.Percentile(0.50);
+  const uint64_t p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 9900.0 * 0.05);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10000u);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Add(100);
+  b.Add(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.max(), 300u);
+  EXPECT_EQ(a.min(), 100u);
+}
+
+TEST(HistogramTest, EmptyHistogramIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(kGiB, 1024ull * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(ToMicros(1500), 1.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(2 * kSecond), 2.0);
+}
+
+}  // namespace
+}  // namespace redy

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "faster/devices.h"
+#include "faster/hash_index.h"
+#include "faster/paged_store.h"
+#include "faster/read_cache.h"
+#include "faster/store.h"
+#include "faster/tiered_device.h"
+#include "sim/simulation.h"
+
+namespace redy {
+namespace {
+
+using faster::FasterKv;
+using faster::HashIndex;
+using faster::LocalMemoryDevice;
+using faster::PagedStore;
+using faster::ReadCache;
+using faster::SmbDirectDevice;
+using faster::SsdDevice;
+using faster::TieredDevice;
+
+TEST(PagedStoreTest, ReadBackWrites) {
+  PagedStore store(4096);
+  std::vector<uint8_t> data(10000);
+  for (size_t i = 0; i < data.size(); i++) data[i] = i & 0xff;
+  store.Write(12345, data.data(), data.size());
+  std::vector<uint8_t> out(data.size());
+  store.Read(12345, out.data(), out.size());
+  EXPECT_EQ(out, data);
+  // Unwritten ranges read as zero.
+  uint8_t z[16];
+  store.Read(1 << 30, z, 16);
+  for (uint8_t b : z) EXPECT_EQ(b, 0);
+  // Sparse: only ~3 pages materialized.
+  EXPECT_LE(store.pages_resident(), 4u);
+}
+
+TEST(HashIndexTest, LookupUpsertUpdate) {
+  HashIndex idx(16);
+  EXPECT_EQ(idx.Lookup(42), HashIndex::kNotFound);
+  idx.Upsert(42, 1000);
+  EXPECT_EQ(idx.Lookup(42), 1000u);
+  idx.Upsert(42, 2000);
+  EXPECT_EQ(idx.Lookup(42), 2000u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(HashIndexTest, GrowsUnderLoad) {
+  HashIndex idx(16);
+  for (uint64_t k = 0; k < 10000; k++) idx.Upsert(k, k * 8);
+  for (uint64_t k = 0; k < 10000; k++) {
+    ASSERT_EQ(idx.Lookup(k), k * 8) << k;
+  }
+  EXPECT_GE(idx.buckets(), 10000u);
+}
+
+TEST(HashIndexTest, UpdateIfIsConditional) {
+  HashIndex idx(16);
+  idx.Upsert(7, 100);
+  EXPECT_FALSE(idx.UpdateIf(7, 999, 200));
+  EXPECT_EQ(idx.Lookup(7), 100u);
+  EXPECT_TRUE(idx.UpdateIf(7, 100, 200));
+  EXPECT_EQ(idx.Lookup(7), 200u);
+  EXPECT_FALSE(idx.UpdateIf(8, 0, 1));  // absent key
+}
+
+TEST(ReadCacheTest, InsertLookupEvict) {
+  ReadCache cache(4 * 16, 16);  // 4 frames of 16B records
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_EQ(cache.frames(), 4u);
+  uint8_t rec[16];
+  for (uint64_t k = 0; k < 8; k++) {
+    std::memset(rec, static_cast<int>(k), sizeof(rec));
+    cache.Insert(k, rec);
+  }
+  EXPECT_LE(cache.size(), 4u);
+  // Most recent insert is present.
+  uint8_t out[16];
+  EXPECT_TRUE(cache.Lookup(7, out));
+  EXPECT_EQ(out[0], 7);
+  // Something old was evicted.
+  EXPECT_FALSE(cache.Lookup(0, out));
+}
+
+TEST(ReadCacheTest, InvalidateRemoves) {
+  ReadCache cache(64, 16);
+  uint8_t rec[16] = {1};
+  cache.Insert(5, rec);
+  uint8_t out[16];
+  EXPECT_TRUE(cache.Lookup(5, out));
+  cache.Invalidate(5);
+  EXPECT_FALSE(cache.Lookup(5, out));
+}
+
+TEST(ReadCacheTest, ZeroCapacityDisables) {
+  ReadCache cache(0, 16);
+  EXPECT_FALSE(cache.enabled());
+  uint8_t rec[16] = {};
+  cache.Insert(1, rec);  // no-op
+  EXPECT_FALSE(cache.Lookup(1, rec));
+}
+
+TEST(DevicesTest, LatencyOrderingLocalSmbSsd) {
+  sim::Simulation sim;
+  LocalMemoryDevice local(&sim);
+  SmbDirectDevice smb(&sim);
+  SsdDevice ssd(&sim);
+
+  uint8_t buf[64] = {};
+  sim::SimTime t_local = 0, t_smb = 0, t_ssd = 0;
+  local.ReadAsync(0, buf, 64, [&](Status) { t_local = sim.Now(); });
+  smb.ReadAsync(0, buf, 64, [&](Status) { t_smb = sim.Now(); });
+  ssd.ReadAsync(0, buf, 64, [&](Status) { t_ssd = sim.Now(); });
+  sim.Run();
+  EXPECT_LT(t_local, t_smb);
+  EXPECT_LT(t_smb, t_ssd);
+  // SSD ~100us, SMB tens of us — the Section 1.1 hierarchy.
+  EXPECT_GT(t_ssd, 80 * kMicrosecond);
+  EXPECT_LT(t_smb, 80 * kMicrosecond);
+}
+
+TEST(DevicesTest, SsdRoundTripsData) {
+  sim::Simulation sim;
+  SsdDevice ssd(&sim);
+  const char msg[] = "persistent bytes";
+  bool wrote = false;
+  ssd.WriteAsync(8192, msg, sizeof(msg), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    wrote = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(wrote);
+  char out[32] = {};
+  bool read = false;
+  ssd.ReadAsync(8192, out, sizeof(msg), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    read = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(read);
+  EXPECT_STREQ(out, msg);
+}
+
+TEST(DevicesTest, SsdQueuesUnderLoad) {
+  sim::Simulation sim;
+  SsdDevice ssd(&sim);
+  uint8_t buf[64];
+  std::vector<sim::SimTime> completions;
+  for (int i = 0; i < 64; i++) {
+    ssd.ReadAsync(i * 64, buf, 64, [&](Status) {
+      completions.push_back(sim.Now());
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(completions.size(), 64u);
+  // 64 IOs over 8 channels: the last completion reflects ~8 serialized
+  // service times, i.e. queueing is modeled.
+  EXPECT_GT(completions.back(), 4 * completions.front());
+}
+
+TEST(TieredDeviceTest, ReadsFromLowestCoveringTier) {
+  sim::Simulation sim;
+  LocalMemoryDevice fast(&sim, 100);
+  SsdDevice slow(&sim);
+  TieredDevice tiered({&fast, &slow});
+
+  const char msg[] = "tiered";
+  bool wrote = false;
+  tiered.WriteAsync(0, msg, sizeof(msg), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    wrote = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(wrote);
+
+  char out[16] = {};
+  const sim::SimTime start = sim.Now();
+  sim::SimTime t = 0;
+  tiered.ReadAsync(0, out, sizeof(msg), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    t = sim.Now();
+  });
+  sim.Run();
+  EXPECT_STREQ(out, msg);
+  // Served by the fast tier.
+  EXPECT_LT(t - start, 10 * kMicrosecond);
+  EXPECT_EQ(tiered.reads_on_tier(0), 1u);
+  EXPECT_EQ(tiered.reads_on_tier(1), 0u);
+}
+
+TEST(TieredDeviceTest, CommitPointControlsAck) {
+  sim::Simulation sim;
+  LocalMemoryDevice fast(&sim, 100);
+  SsdDevice slow(&sim);
+  // Commit at tier 0: ack as soon as the fast tier has the bytes.
+  TieredDevice tiered({&fast, &slow}, /*commit_point=*/0);
+  const char msg[] = "x";
+  sim::SimTime acked = 0;
+  tiered.WriteAsync(0, msg, 1, [&](Status) { acked = sim.Now(); });
+  sim.Run();
+  EXPECT_LT(acked, 10 * kMicrosecond);  // did not wait for the SSD
+}
+
+class FasterKvTest : public ::testing::Test {
+ protected:
+  FasterKvTest() : ssd_(&sim_) {
+    FasterKv::Options opt;
+    opt.log_memory_bytes = 64 * 16;  // tiny window: 64 records
+    opt.value_bytes = 8;
+    kv_ = std::make_unique<FasterKv>(&sim_, &ssd_, opt);
+  }
+
+  uint64_t Val(uint64_t key) { return key * 2654435761u; }
+
+  void UpsertSync(uint64_t key) {
+    const uint64_t v = Val(key);
+    bool done = false;
+    Status st = kv_->Upsert(key, &v, [&](Status s) {
+      EXPECT_TRUE(s.ok());
+      done = true;
+    });
+    int spins = 0;
+    while (st.IsResourceExhausted() && spins++ < 100000) {
+      sim_.Step();
+      st = kv_->Upsert(key, &v, [&](Status s) {
+        EXPECT_TRUE(s.ok());
+        done = true;
+      });
+    }
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    while (!done) {
+      ASSERT_TRUE(sim_.Step());
+    }
+  }
+
+  uint64_t ReadSync(uint64_t key, Status* status_out = nullptr) {
+    uint64_t out = 0;
+    bool done = false;
+    Status cb_status;
+    EXPECT_TRUE(kv_->Read(key, &out,
+                          [&](Status s) {
+                            cb_status = s;
+                            done = true;
+                          })
+                    .ok());
+    while (!done) {
+      if (!sim_.Step()) break;
+    }
+    EXPECT_TRUE(done);
+    if (status_out != nullptr) *status_out = cb_status;
+    return out;
+  }
+
+  sim::Simulation sim_;
+  SsdDevice ssd_;
+  std::unique_ptr<FasterKv> kv_;
+};
+
+TEST_F(FasterKvTest, UpsertReadRoundTrip) {
+  UpsertSync(1);
+  EXPECT_EQ(ReadSync(1), Val(1));
+  EXPECT_EQ(kv_->stats().mem_hits, 1u);
+}
+
+TEST_F(FasterKvTest, MissingKeyReturnsNotFound) {
+  Status st;
+  ReadSync(999, &st);
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST_F(FasterKvTest, SpilledRecordsComeBackFromDevice) {
+  // Insert far more than the 64-record memory window.
+  for (uint64_t k = 0; k < 500; k++) UpsertSync(k);
+  EXPECT_GT(kv_->head_mem(), 0u);
+  // Key 0 was evicted from memory; the read must hit the device and
+  // still return the right value.
+  const uint64_t before = kv_->stats().device_reads;
+  EXPECT_EQ(ReadSync(0), Val(0));
+  EXPECT_EQ(kv_->stats().device_reads, before + 1);
+}
+
+TEST_F(FasterKvTest, InPlaceUpdateInMutableRegion) {
+  UpsertSync(5);
+  const uint64_t appends_before = kv_->stats().appends;
+  UpsertSync(5);  // still at the tail: in place
+  EXPECT_EQ(kv_->stats().appends, appends_before);
+  EXPECT_GE(kv_->stats().in_place_updates, 1u);
+  EXPECT_EQ(ReadSync(5), Val(5));
+}
+
+TEST_F(FasterKvTest, BulkLoadPopulatesEverything) {
+  ASSERT_TRUE(kv_->BulkLoad(0, 1000,
+                            [](uint64_t key, void* value) {
+                              const uint64_t v = key + 7;
+                              std::memcpy(value, &v, 8);
+                            })
+                  .ok());
+  // Memory-resident tail record:
+  EXPECT_EQ(ReadSync(999), 999u + 7);
+  // Device-resident old record:
+  EXPECT_EQ(ReadSync(0), 0u + 7);
+}
+
+TEST_F(FasterKvTest, ReadCacheServesHotDeviceRecords) {
+  FasterKv::Options opt;
+  opt.log_memory_bytes = 64 * 16;
+  opt.read_cache_bytes = 16 * 1024;
+  opt.value_bytes = 8;
+  SsdDevice ssd2(&sim_);
+  FasterKv kv2(&sim_, &ssd2, opt);
+  ASSERT_TRUE(kv2.BulkLoad(0, 1000, [](uint64_t k, void* v) {
+                  std::memcpy(v, &k, 8);
+                }).ok());
+  auto read = [&](uint64_t key) {
+    uint64_t out = 0;
+    bool done = false;
+    EXPECT_TRUE(kv2.Read(key, &out, [&](Status s) {
+                     EXPECT_TRUE(s.ok());
+                     done = true;
+                   }).ok());
+    while (!done) {
+      if (!sim_.Step()) break;
+    }
+    return out;
+  };
+  EXPECT_EQ(read(3), 3u);  // device read, fills the cache
+  const uint64_t dev_before = kv2.stats().device_reads;
+  EXPECT_EQ(read(3), 3u);  // now a read-cache hit
+  EXPECT_EQ(kv2.stats().device_reads, dev_before);
+  EXPECT_GE(kv2.stats().read_cache_hits, 1u);
+}
+
+}  // namespace
+}  // namespace redy

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "redy/cache_manager.h"
+#include "redy/perf_model.h"
+#include "redy/slo_search.h"
+#include "redy/testbed.h"
+
+namespace redy {
+namespace {
+
+PerfPoint AnalyticPerf(const RdmaConfig& cfg) {
+  const double conn_tput = 0.22 * cfg.q * (1 + 0.8 * (cfg.b - 1));
+  const double server_cap = cfg.s == 0 ? 1e9 : cfg.s * 38.0;
+  const double tput = std::min(conn_tput * cfg.c, server_cap);
+  const double lat = 4.0 + 0.15 * (cfg.b - 1) + 1.2 * (cfg.q - 1) +
+                     0.002 * cfg.b * cfg.q * cfg.c;
+  return PerfPoint{lat, tput};
+}
+
+PerfModel BuildModel(uint32_t record_bytes) {
+  ConfigBounds b;
+  b.max_client_threads = 8;
+  b.record_bytes = record_bytes;
+  b.max_queue_depth = 8;
+  OfflineModeler::Options opt;
+  opt.early_termination = false;
+  return OfflineModeler::Build(b, AnalyticPerf, opt, nullptr);
+}
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  static TestbedOptions Opts() {
+    TestbedOptions o;
+    o.pods = 2;
+    o.racks_per_pod = 2;
+    o.servers_per_rack = 4;
+    o.client.region_bytes = 4 * kMiB;
+    return o;
+  }
+
+  ManagerTest() : tb_(Opts()) {
+    tb_.manager().SetModel(8, net::FabricParams::kIntraRackHops,
+                           BuildModel(8));
+  }
+
+  Testbed tb_;
+};
+
+TEST_F(ManagerTest, SearchConfigSatisfiesSlo) {
+  Slo slo{100.0, 20.0, 8};
+  auto cfg = tb_.manager().SearchConfig(slo, 1);
+  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+  const auto p = AnalyticPerf(*cfg);
+  EXPECT_LE(p.latency_us, slo.max_latency_us);
+  EXPECT_GE(p.throughput_mops, slo.min_throughput_mops);
+}
+
+TEST_F(ManagerTest, SearchConfigWithoutModelFails) {
+  Slo slo{100.0, 20.0, 64};  // no model registered for 64B records
+  EXPECT_TRUE(tb_.manager().SearchConfig(slo, 1).status().IsNotFound());
+}
+
+TEST_F(ManagerTest, AllocateEndToEnd) {
+  Slo slo{100.0, 20.0, 8};
+  auto alloc = tb_.manager().Allocate(8 * kMiB, slo, kDurationInfinite,
+                                      tb_.app_node(), 4 * kMiB);
+  ASSERT_TRUE(alloc.ok()) << alloc.status().ToString();
+  EXPECT_EQ(alloc->regions.size(), 2u);
+  EXPECT_GT(alloc->price_per_hour, 0.0);
+  EXPECT_FALSE(alloc->spot);
+  for (const auto& r : alloc->regions) {
+    EXPECT_NE(tb_.manager().ServerFor(r.vm_id), nullptr);
+  }
+  tb_.manager().Deallocate(*alloc);
+  EXPECT_EQ(tb_.allocator().UnallocatedMemory(),
+            tb_.allocator().TotalMemory());
+}
+
+TEST_F(ManagerTest, FiniteDurationUsesSpot) {
+  Slo slo{100.0, 20.0, 8};
+  auto alloc = tb_.manager().Allocate(4 * kMiB, slo, 10 * kMinute,
+                                      tb_.app_node(), 4 * kMiB);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_TRUE(alloc->spot);
+  const auto* vm = tb_.allocator().Find(alloc->regions[0].vm_id);
+  ASSERT_NE(vm, nullptr);
+  EXPECT_TRUE(vm->spot);
+  tb_.manager().Deallocate(*alloc);
+}
+
+TEST_F(ManagerTest, OneSidedConfigPrefersStrandedMemory) {
+  // Strand a server: fill all its cores with a workload VM, leaving
+  // memory behind. Place it away from the app node, since caches are
+  // never hosted on the client's own server.
+  auto filler =
+      tb_.allocator().Allocate(64, 8 * kGiB, false, tb_.app_node());
+  ASSERT_TRUE(filler.ok());
+  ASSERT_TRUE(tb_.allocator().server(filler->server).stranded());
+
+  auto alloc = tb_.manager().AllocateWithConfig(
+      4 * kMiB, RdmaConfig{1, 0, 1, 4}, 8, false, tb_.app_node(), 4 * kMiB);
+  ASSERT_TRUE(alloc.ok());
+  const auto* vm = tb_.allocator().Find(alloc->regions[0].vm_id);
+  ASSERT_NE(vm, nullptr);
+  EXPECT_TRUE(vm->memory_only);
+  EXPECT_EQ(vm->server, filler->server);
+  // Stranded memory is essentially free.
+  EXPECT_LT(alloc->price_per_hour, 0.01);
+  tb_.manager().Deallocate(*alloc);
+}
+
+TEST_F(ManagerTest, TwoSidedConfigNeedsCoresFromMenu) {
+  auto alloc = tb_.manager().AllocateWithConfig(
+      4 * kMiB, RdmaConfig{2, 2, 16, 4}, 8, false, tb_.app_node(), 4 * kMiB);
+  ASSERT_TRUE(alloc.ok());
+  const auto* vm = tb_.allocator().Find(alloc->regions[0].vm_id);
+  ASSERT_NE(vm, nullptr);
+  EXPECT_FALSE(vm->memory_only);
+  EXPECT_GE(vm->cores, 2u);
+  tb_.manager().Deallocate(*alloc);
+}
+
+TEST_F(ManagerTest, AllocateFailsAtomicallyWhenTooLarge) {
+  // A tiny cluster so the over-ask fails after placing a few VMs
+  // (regions are real memory; keep the transient footprint small).
+  TestbedOptions o = Opts();
+  o.memory_per_server = 16 * kMiB;
+  Testbed tb(o);
+  const uint64_t before = tb.allocator().UnallocatedMemory();
+  // More memory than the whole cluster holds.
+  auto alloc = tb.manager().AllocateWithConfig(
+      2 * kGiB, RdmaConfig{1, 0, 1, 4}, 8, false, tb.app_node(), 4 * kMiB);
+  EXPECT_FALSE(alloc.ok());
+  // No side effects (Section 3.2: "the request has no effect").
+  EXPECT_EQ(tb.allocator().UnallocatedMemory(), before);
+}
+
+TEST_F(ManagerTest, ImpossibleSloFailsAllocate) {
+  Slo slo{0.5, 10000.0, 8};
+  auto alloc = tb_.manager().Allocate(4 * kMiB, slo, kDurationInfinite,
+                                      tb_.app_node(), 4 * kMiB);
+  EXPECT_FALSE(alloc.ok());
+}
+
+TEST_F(ManagerTest, ReclaimNoticePropagatesToLossHandler) {
+  auto alloc = tb_.manager().AllocateWithConfig(
+      4 * kMiB, RdmaConfig{1, 0, 1, 4}, 8, /*spot=*/true, tb_.app_node(),
+      4 * kMiB);
+  ASSERT_TRUE(alloc.ok());
+  cluster::VmId lost = cluster::kInvalidVm;
+  sim::SimTime deadline = 0;
+  tb_.manager().SetVmLossHandler(
+      [&](cluster::VmId vm, sim::SimTime d) {
+        lost = vm;
+        deadline = d;
+      });
+  ASSERT_TRUE(tb_.allocator().Reclaim(alloc->regions[0].vm_id).ok());
+  EXPECT_EQ(lost, alloc->regions[0].vm_id);
+  EXPECT_GE(deadline, tb_.sim().Now() + 29 * kSecond);
+}
+
+}  // namespace
+}  // namespace redy

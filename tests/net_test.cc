@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "net/fabric_params.h"
+#include "net/link.h"
+#include "net/topology.h"
+
+namespace redy {
+namespace {
+
+using net::FabricParams;
+using net::Link;
+using net::Topology;
+
+TEST(TopologyTest, SwitchHopsMatchDataCenterTiers) {
+  // 2 pods x 3 racks x 4 servers.
+  Topology t(2, 3, 4);
+  EXPECT_EQ(t.num_servers(), 24);
+  EXPECT_EQ(t.SwitchHops(0, 0), 0);   // same server
+  EXPECT_EQ(t.SwitchHops(0, 3), 1);   // same rack (ToR)
+  EXPECT_EQ(t.SwitchHops(0, 4), 3);   // same pod, different rack
+  EXPECT_EQ(t.SwitchHops(0, 23), 5);  // different pod
+  // Symmetry.
+  for (net::ServerId a : {0u, 5u, 13u}) {
+    for (net::ServerId b : {2u, 11u, 23u}) {
+      EXPECT_EQ(t.SwitchHops(a, b), t.SwitchHops(b, a));
+    }
+  }
+}
+
+TEST(TopologyTest, ServersWithinRespectsHops) {
+  Topology t(2, 3, 4);
+  auto rack = t.ServersWithin(0, 1);
+  EXPECT_EQ(rack.size(), 3u);  // rack peers, self excluded
+  auto pod = t.ServersWithin(0, 3);
+  EXPECT_EQ(pod.size(), 11u);
+  auto all = t.ServersWithin(0, 5);
+  EXPECT_EQ(all.size(), 23u);
+}
+
+TEST(FabricParamsTest, OneWayGrowsWithHops) {
+  FabricParams p;
+  EXPECT_LT(p.OneWayNs(1), p.OneWayNs(3));
+  EXPECT_LT(p.OneWayNs(3), p.OneWayNs(5));
+  // 3-switch round trip matches the paper's ~2.9us median network RTT.
+  const double rtt_us = 2.0 * p.OneWayNs(3) / 1000.0;
+  EXPECT_GT(rtt_us, 2.0);
+  EXPECT_LT(rtt_us, 3.5);
+}
+
+TEST(FabricParamsTest, WireTimeScalesWithBytes) {
+  FabricParams p;
+  // 100 Gb/s: one MiB of payload serializes in ~84us.
+  const uint64_t t1 = p.WireTimeNs(1 << 20);
+  EXPECT_NEAR(static_cast<double>(t1), 84e3, 10e3);
+  EXPECT_LT(p.WireTimeNs(8), p.WireTimeNs(4096));
+}
+
+TEST(LinkTest, BackToBackTransfersQueue) {
+  FabricParams p;
+  Link link(&p);
+  const auto end1 = link.Reserve(0, 1 << 20);
+  const auto end2 = link.Reserve(0, 1 << 20);
+  EXPECT_GT(end2, end1);
+  EXPECT_NEAR(static_cast<double>(end2), 2.0 * static_cast<double>(end1),
+              static_cast<double>(end1) * 0.05);
+  // A transfer requested after the link idles starts immediately.
+  const auto end3 = link.Reserve(end2 + 1000, 0);
+  EXPECT_GE(end3, end2 + 1000);
+  EXPECT_EQ(link.bytes_sent(), 2ull * (1 << 20));
+}
+
+}  // namespace
+}  // namespace redy

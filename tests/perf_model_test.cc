@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "redy/config.h"
+#include "redy/perf_model.h"
+#include "redy/slo_search.h"
+
+namespace redy {
+namespace {
+
+// Analytic stand-in for real measurements: monotone in every parameter
+// (throughput up, latency up), which is the regime the paper's model
+// assumes between grid points.
+PerfPoint AnalyticPerf(const RdmaConfig& cfg) {
+  const double conn_tput = 0.22 * cfg.q * (1 + 0.8 * (cfg.b - 1));
+  const double server_cap = cfg.s == 0 ? 1e9 : cfg.s * 38.0;
+  const double tput = std::min(conn_tput * cfg.c, server_cap);
+  const double lat = 4.0 + 0.15 * (cfg.b - 1) + 1.2 * (cfg.q - 1) +
+                     0.002 * cfg.b * cfg.q * cfg.c;
+  return PerfPoint{lat, tput};
+}
+
+ConfigBounds SmallBounds() {
+  ConfigBounds b;
+  b.max_client_threads = 8;
+  b.record_bytes = 256;  // MaxBatch = 16
+  b.max_queue_depth = 8;
+  return b;
+}
+
+TEST(ConfigBoundsTest, ValidityConstraints) {
+  ConfigBounds b = SmallBounds();
+  EXPECT_TRUE(b.Valid({1, 0, 1, 1}));
+  EXPECT_TRUE(b.Valid({8, 8, 16, 8}));
+  EXPECT_FALSE(b.Valid({0, 0, 1, 1}));   // c < 1
+  EXPECT_FALSE(b.Valid({9, 0, 1, 1}));   // c > C
+  EXPECT_FALSE(b.Valid({2, 3, 1, 1}));   // s > c
+  EXPECT_FALSE(b.Valid({1, 0, 2, 1}));   // s=0 requires b=1
+  EXPECT_FALSE(b.Valid({1, 1, 17, 1}));  // b > 4KB/record
+  EXPECT_FALSE(b.Valid({1, 1, 1, 9}));   // q > NIC limit
+}
+
+TEST(ConfigBoundsTest, SpaceSizeMatchesBruteForce) {
+  ConfigBounds b = SmallBounds();
+  uint64_t count = 0;
+  for (uint32_t s = 0; s <= b.max_client_threads; s++) {
+    for (uint32_t c = 1; c <= b.max_client_threads; c++) {
+      for (uint32_t bb = 1; bb <= b.MaxBatch(); bb++) {
+        for (uint32_t q = b.min_queue_depth; q <= b.max_queue_depth; q++) {
+          if (b.Valid({c, s, bb, q})) count++;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(b.SpaceSize(), count);
+}
+
+TEST(ConfigBoundsTest, PaperScaleSpaceIsMillions) {
+  // Section 5.2: 30 usable cores, 8-byte records (B=512), Q=16 =>
+  // ~3M configurations per network distance.
+  ConfigBounds b;
+  b.max_client_threads = 30;
+  b.record_bytes = 8;
+  b.max_queue_depth = 16;
+  EXPECT_GT(b.SpaceSize(), 2'000'000u);
+  EXPECT_LT(b.SpaceSize(), 5'000'000u);
+}
+
+TEST(ConfigBoundsTest, PowerOfTwoGridHasEndpoints) {
+  auto g = ConfigBounds::PowerOfTwoGrid(1, 30);
+  EXPECT_EQ(g.front(), 1u);
+  EXPECT_EQ(g.back(), 30u);
+  for (size_t i = 1; i < g.size(); i++) EXPECT_LT(g[i - 1], g[i]);
+  auto g2 = ConfigBounds::PowerOfTwoGrid(1, 16);
+  EXPECT_EQ(g2, (std::vector<uint32_t>{1, 2, 4, 8, 16}));
+}
+
+TEST(PerfModelTest, ExactGridHitReturnsMeasurement) {
+  PerfModel model(SmallBounds());
+  model.AddMeasurement({1, 0, 1, 1}, PerfPoint{4.0, 0.25});
+  auto p = model.Estimate({1, 0, 1, 1});
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->latency_us, 4.0);
+  EXPECT_DOUBLE_EQ(p->throughput_mops, 0.25);
+}
+
+TEST(PerfModelTest, InterpolatesBetweenGridNeighbors) {
+  // f(1,1,1,3) should be the mean of f(1,1,1,2) and f(1,1,1,4)
+  // (the paper's example).
+  PerfModel model(SmallBounds());
+  model.AddMeasurement({1, 1, 1, 2}, PerfPoint{10.0, 1.0});
+  model.AddMeasurement({1, 1, 1, 4}, PerfPoint{20.0, 3.0});
+  auto p = model.Estimate({1, 1, 1, 3});
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->latency_us, 15.0, 1e-9);
+  EXPECT_NEAR(p->throughput_mops, 2.0, 1e-9);
+}
+
+TEST(PerfModelTest, EstimateFailsWithNoNeighbors) {
+  PerfModel model(SmallBounds());
+  EXPECT_FALSE(model.Estimate({1, 1, 1, 3}).ok());
+  EXPECT_FALSE(model.Estimate({99, 0, 1, 1}).ok());  // invalid config
+}
+
+TEST(OfflineModelerTest, GridIsFarSmallerThanSpace) {
+  ConfigBounds b;
+  b.max_client_threads = 30;
+  b.record_bytes = 8;
+  b.max_queue_depth = 16;
+  OfflineModeler::Stats stats;
+  OfflineModeler::Options opt;
+  opt.early_termination = false;
+  PerfModel model = OfflineModeler::Build(b, AnalyticPerf, opt, &stats);
+  // Paper: interpolation reduces ~3M configs to under two thousand.
+  EXPECT_LT(stats.measured, 2000u);
+  EXPECT_GT(stats.space_size, 2'000'000u);
+  EXPECT_EQ(stats.measured, model.num_measurements());
+}
+
+TEST(OfflineModelerTest, EarlyTerminationSkipsMeasurements) {
+  ConfigBounds b;
+  b.max_client_threads = 30;
+  b.record_bytes = 8;
+  b.max_queue_depth = 16;
+  OfflineModeler::Options full;
+  full.early_termination = false;
+  OfflineModeler::Stats full_stats;
+  OfflineModeler::Build(b, AnalyticPerf, full, &full_stats);
+
+  OfflineModeler::Options early;
+  early.early_termination = true;
+  OfflineModeler::Stats early_stats;
+  OfflineModeler::Build(b, AnalyticPerf, early, &early_stats);
+  EXPECT_LT(early_stats.measured, full_stats.measured);
+}
+
+TEST(OfflineModelerTest, InterpolatedModelIsAccurate) {
+  ConfigBounds b = SmallBounds();
+  OfflineModeler::Options opt;
+  opt.early_termination = false;
+  PerfModel model = OfflineModeler::Build(b, AnalyticPerf, opt, nullptr);
+
+  // Off-grid configurations estimate within a modest relative error of
+  // the analytic truth (the function is near-linear between grid
+  // points).
+  double worst = 0;
+  int checked = 0;
+  for (uint32_t s : {1u, 3u}) {
+    for (uint32_t c : {3u, 5u, 7u}) {
+      if (c < s) continue;
+      for (uint32_t bb : {3u, 6u, 12u}) {
+        for (uint32_t q : {3u, 5u, 7u}) {
+          auto est = model.Estimate({c, s, bb, q});
+          ASSERT_TRUE(est.ok());
+          const PerfPoint truth = AnalyticPerf({c, s, bb, q});
+          worst = std::max(worst,
+                           std::abs(est->latency_us - truth.latency_us) /
+                               truth.latency_us);
+          checked++;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 20);
+  EXPECT_LT(worst, 0.35);
+}
+
+TEST(SloSearchTest, FindsSatisfyingConfig) {
+  ConfigBounds b = SmallBounds();
+  OfflineModeler::Options opt;
+  opt.early_termination = false;
+  PerfModel model = OfflineModeler::Build(b, AnalyticPerf, opt, nullptr);
+
+  Slo slo{50.0, 10.0, 256};
+  SearchResult r = SearchSloConfig(model, slo);
+  ASSERT_TRUE(r.found);
+  EXPECT_LE(r.predicted.latency_us, slo.max_latency_us);
+  EXPECT_GE(r.predicted.throughput_mops, slo.min_throughput_mops);
+}
+
+TEST(SloSearchTest, ReturnsCheapestServerThreadCount) {
+  ConfigBounds b = SmallBounds();
+  OfflineModeler::Options opt;
+  opt.early_termination = false;
+  PerfModel model = OfflineModeler::Build(b, AnalyticPerf, opt, nullptr);
+
+  // A loose SLO must come back with s as small as possible (the tree
+  // visits s in increasing order and stops at the first success).
+  Slo loose{500.0, 0.1, 256};
+  SearchResult r = SearchSloConfig(model, loose);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.config.s, 0u);
+
+  // A throughput-hungry SLO needs server threads.
+  Slo heavy{500.0, 100.0, 256};
+  SearchResult r2 = SearchSloConfig(model, heavy);
+  ASSERT_TRUE(r2.found);
+  EXPECT_GT(r2.config.s, 0u);
+}
+
+TEST(SloSearchTest, ImpossibleSloFails) {
+  ConfigBounds b = SmallBounds();
+  OfflineModeler::Options opt;
+  opt.early_termination = false;
+  PerfModel model = OfflineModeler::Build(b, AnalyticPerf, opt, nullptr);
+  Slo impossible{1.0, 1000.0, 256};  // 1us at 1000 MOPS
+  EXPECT_FALSE(SearchSloConfig(model, impossible).found);
+}
+
+TEST(SloSearchTest, PruningReducesVisitedLeaves) {
+  ConfigBounds b = SmallBounds();
+  OfflineModeler::Options opt;
+  opt.early_termination = false;
+  PerfModel model = OfflineModeler::Build(b, AnalyticPerf, opt, nullptr);
+
+  // A latency-tight SLO exercises the pruning branch.
+  Slo slo{6.0, 2.0, 256};
+  SearchResult pruned = SearchSloConfig(model, slo, /*prune=*/true);
+  SearchResult full = SearchSloConfig(model, slo, /*prune=*/false);
+  EXPECT_EQ(pruned.found, full.found);
+  if (pruned.found && full.found) {
+    EXPECT_EQ(pruned.config, full.config);
+  }
+  EXPECT_LT(pruned.leaves_visited, full.leaves_visited);
+}
+
+TEST(SloSearchTest, SearchVisitsLeavesDeterministically) {
+  ConfigBounds b = SmallBounds();
+  OfflineModeler::Options opt;
+  opt.early_termination = false;
+  PerfModel model = OfflineModeler::Build(b, AnalyticPerf, opt, nullptr);
+  Slo slo{50.0, 10.0, 256};
+  SearchResult a = SearchSloConfig(model, slo);
+  SearchResult bb = SearchSloConfig(model, slo);
+  EXPECT_EQ(a.leaves_visited, bb.leaves_visited);
+  EXPECT_EQ(a.config, bb.config);
+}
+
+}  // namespace
+}  // namespace redy

@@ -1,0 +1,217 @@
+// Property-style parameterized sweeps (TEST_P) over the Redy data path
+// and the SLO machinery: invariants that must hold for *every*
+// configuration, not just the ones other tests happen to pick.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "redy/measurement.h"
+#include "redy/perf_model.h"
+#include "redy/slo_search.h"
+#include "redy/testbed.h"
+
+namespace redy {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Data-path round-trip integrity across configurations.
+// ---------------------------------------------------------------------------
+
+class ConfigRoundTrip
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t,
+                                                 uint32_t, uint32_t>> {};
+
+TEST_P(ConfigRoundTrip, EveryConfigMovesBytesFaithfully) {
+  const auto [c, s, b, q] = GetParam();
+  RdmaConfig cfg{c, s, b, q};
+
+  TestbedOptions o;
+  o.client.region_bytes = 2 * kMiB;
+  Testbed tb(o);
+  auto id_or = tb.client().CreateWithConfig(4 * kMiB, cfg, 64);
+  ASSERT_TRUE(id_or.ok()) << cfg.ToString() << ": "
+                          << id_or.status().ToString();
+  const auto id = *id_or;
+
+  // A pseudo-random batch of writes, then read everything back.
+  Rng rng(0xF00D ^ (c << 12) ^ (s << 8) ^ (b << 4) ^ q);
+  constexpr int kOps = 48;
+  std::vector<std::vector<uint8_t>> payloads(kOps);
+  std::vector<uint64_t> addrs(kOps);
+  int writes_done = 0;
+  for (int i = 0; i < kOps; i++) {
+    payloads[i].resize(64);
+    for (auto& byte : payloads[i]) {
+      byte = static_cast<uint8_t>(rng.Next());
+    }
+    addrs[i] = rng.Uniform(4 * kMiB / 64) * 64;
+    ASSERT_TRUE(tb.client()
+                    .Write(id, addrs[i], payloads[i].data(), 64,
+                           [&](Status st) {
+                             EXPECT_TRUE(st.ok()) << st.ToString();
+                             writes_done++;
+                           },
+                           i % c)
+                    .ok());
+  }
+  for (int guard = 0; writes_done < kOps && guard < 3'000'000; guard++) {
+    if (!tb.sim().Step()) break;
+  }
+  ASSERT_EQ(writes_done, kOps) << cfg.ToString();
+
+  // Read back in reverse order; later writes to the same address win,
+  // so verify against the final expected contents.
+  std::vector<std::vector<uint8_t>> expected(kOps);
+  {
+    // Reconstruct final memory contents per address.
+    std::vector<uint8_t> image(4 * kMiB, 0);
+    for (int i = 0; i < kOps; i++) {
+      std::copy(payloads[i].begin(), payloads[i].end(),
+                image.begin() + addrs[i]);
+    }
+    for (int i = 0; i < kOps; i++) {
+      expected[i].assign(image.begin() + addrs[i],
+                         image.begin() + addrs[i] + 64);
+    }
+  }
+  std::vector<std::vector<uint8_t>> results(kOps,
+                                            std::vector<uint8_t>(64, 0));
+  int reads_done = 0;
+  for (int i = 0; i < kOps; i++) {
+    ASSERT_TRUE(tb.client()
+                    .Read(id, addrs[i], results[i].data(), 64,
+                          [&](Status st) {
+                            EXPECT_TRUE(st.ok()) << st.ToString();
+                            reads_done++;
+                          },
+                          i % c)
+                    .ok());
+  }
+  for (int guard = 0; reads_done < kOps && guard < 3'000'000; guard++) {
+    if (!tb.sim().Step()) break;
+  }
+  ASSERT_EQ(reads_done, kOps) << cfg.ToString();
+  for (int i = 0; i < kOps; i++) {
+    EXPECT_EQ(results[i], expected[i]) << cfg.ToString() << " op " << i;
+  }
+  EXPECT_EQ(tb.client().stats(id)->errors, 0u);
+  EXPECT_TRUE(tb.client().Delete(id).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ConfigRoundTrip,
+    ::testing::Values(
+        std::make_tuple(1u, 0u, 1u, 1u),    // latency-optimal
+        std::make_tuple(1u, 0u, 1u, 8u),    // loaded one-sided
+        std::make_tuple(2u, 0u, 1u, 16u),   // multi-thread one-sided
+        std::make_tuple(1u, 1u, 1u, 2u),    // two-sided singleton
+        std::make_tuple(1u, 1u, 4u, 2u),    // small batches
+        std::make_tuple(2u, 1u, 8u, 4u),    // shared server thread
+        std::make_tuple(2u, 2u, 16u, 8u),   // thread per connection
+        std::make_tuple(4u, 2u, 32u, 16u),  // throughput-ish
+        std::make_tuple(4u, 4u, 61u, 3u)    // odd, off-grid values
+        ));
+
+// ---------------------------------------------------------------------------
+// SLO search invariants over random SLOs against an analytic model.
+// ---------------------------------------------------------------------------
+
+PerfPoint AnalyticPerf(const RdmaConfig& cfg) {
+  const double conn = 0.25 * cfg.q * (1 + 0.7 * (cfg.b - 1));
+  const double cap = cfg.s == 0 ? 1e9 : cfg.s * 40.0;
+  return PerfPoint{4.0 + 0.2 * (cfg.b - 1) + 1.1 * (cfg.q - 1) +
+                       0.003 * cfg.b * cfg.q * cfg.c,
+                   std::min(conn * cfg.c, cap)};
+}
+
+class SloSearchProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static PerfModel BuildModel() {
+    ConfigBounds b;
+    b.max_client_threads = 8;
+    b.record_bytes = 128;  // B = 32
+    b.max_queue_depth = 8;
+    OfflineModeler::Options opt;
+    opt.early_termination = false;
+    return OfflineModeler::Build(b, AnalyticPerf, opt, nullptr);
+  }
+};
+
+TEST_P(SloSearchProperty, FoundConfigsSatisfyAndPruningIsSound) {
+  static const PerfModel model = BuildModel();
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; i++) {
+    Slo slo;
+    slo.record_bytes = 128;
+    slo.max_latency_us = 3.0 + rng.NextDouble() * 60.0;
+    slo.min_throughput_mops = rng.NextDouble() * 120.0;
+
+    const SearchResult pruned = SearchSloConfig(model, slo, true);
+    const SearchResult full = SearchSloConfig(model, slo, false);
+
+    // Pruning never changes the outcome, only the visit count.
+    EXPECT_EQ(pruned.found, full.found);
+    EXPECT_LE(pruned.leaves_visited, full.leaves_visited);
+    if (pruned.found) {
+      EXPECT_EQ(pruned.config, full.config);
+      // The returned configuration is valid and predicted to satisfy.
+      EXPECT_TRUE(model.bounds().Valid(pruned.config));
+      EXPECT_LE(pruned.predicted.latency_us, slo.max_latency_us);
+      EXPECT_GE(pruned.predicted.throughput_mops,
+                slo.min_throughput_mops);
+      // Cheapest-s property: no smaller server-thread count has any
+      // satisfying configuration (grid scan oracle).
+      for (uint32_t s = 0; s < pruned.config.s; s++) {
+        for (uint32_t c = std::max(s, 1u); c <= 8; c++) {
+          for (uint32_t bb = 1; bb <= (s == 0 ? 1u : 32u); bb++) {
+            for (uint32_t q = 1; q <= 8; q++) {
+              auto p = model.Estimate({c, s, bb, q});
+              if (!p.ok()) continue;
+              EXPECT_FALSE(p->Satisfies(slo))
+                  << "s=" << s << " config beats chosen "
+                  << pruned.config.ToString();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SloSearchProperty,
+                         ::testing::Values(1ull, 7ull, 42ull, 1337ull));
+
+// ---------------------------------------------------------------------------
+// Interpolation sanity across the whole space: estimates are finite,
+// positive, and monotone-ish along q for fixed everything else.
+// ---------------------------------------------------------------------------
+
+TEST(PerfModelProperty, EstimatesAreFiniteEverywhere) {
+  ConfigBounds b;
+  b.max_client_threads = 8;
+  b.record_bytes = 512;  // B = 8
+  b.max_queue_depth = 8;
+  OfflineModeler::Options opt;
+  opt.early_termination = false;
+  PerfModel model = OfflineModeler::Build(b, AnalyticPerf, opt, nullptr);
+
+  for (uint32_t s = 0; s <= 8; s++) {
+    for (uint32_t c = std::max(s, 1u); c <= 8; c++) {
+      for (uint32_t bb = 1; bb <= (s == 0 ? 1u : 8u); bb++) {
+        for (uint32_t q = 1; q <= 8; q++) {
+          auto p = model.Estimate({c, s, bb, q});
+          ASSERT_TRUE(p.ok()) << RdmaConfig{c, s, bb, q}.ToString();
+          EXPECT_GT(p->latency_us, 0.0);
+          EXPECT_GT(p->throughput_mops, 0.0);
+          EXPECT_LT(p->latency_us, 1e6);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace redy

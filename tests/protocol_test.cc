@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "redy/protocol.h"
+
+namespace redy {
+namespace {
+
+TEST(ProtocolTest, HeaderSizesAreStable) {
+  // The wire format is shared between client and server staging code;
+  // a size change would silently corrupt ring slot layout.
+  EXPECT_EQ(sizeof(BatchHeader), 16u);
+  EXPECT_EQ(sizeof(ResponseHeader), 8u);
+  EXPECT_TRUE(sizeof(RequestHeader) == 20 || sizeof(RequestHeader) == 24);
+}
+
+TEST(ProtocolTest, RequestSlotHoldsWorstCaseBatch) {
+  // A slot must hold b write requests, each with a full payload.
+  for (uint32_t b : {1u, 8u, 512u}) {
+    for (uint32_t rec : {8u, 64u, 4096u}) {
+      const uint64_t slot = RequestSlotBytes(b, rec);
+      EXPECT_GE(slot, sizeof(BatchHeader) +
+                          b * (sizeof(RequestHeader) + rec));
+    }
+  }
+}
+
+TEST(ProtocolTest, ResponseSlotHoldsWorstCaseBatch) {
+  for (uint32_t b : {1u, 8u, 512u}) {
+    for (uint32_t rec : {8u, 64u, 4096u}) {
+      const uint64_t slot = ResponseSlotBytes(b, rec);
+      EXPECT_GE(slot, sizeof(BatchHeader) +
+                          b * (sizeof(ResponseHeader) + rec));
+    }
+  }
+}
+
+TEST(ProtocolTest, EmptySlotHasZeroSeq) {
+  BatchHeader h;
+  EXPECT_EQ(h.seq, 0u);  // batches are numbered from 1; 0 means empty
+}
+
+}  // namespace
+}  // namespace redy

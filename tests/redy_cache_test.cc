@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "redy/cache_client.h"
+#include "redy/measurement.h"
+#include "redy/testbed.h"
+
+namespace redy {
+namespace {
+
+class RedyCacheTest : public ::testing::Test {
+ protected:
+  static TestbedOptions SmallOptions() {
+    TestbedOptions o;
+    o.pods = 2;
+    o.racks_per_pod = 2;
+    o.servers_per_rack = 4;
+    o.client.region_bytes = 4 * kMiB;
+    return o;
+  }
+
+  RedyCacheTest() : tb_(SmallOptions()) {}
+
+  // Runs the sim until the predicate holds or the step budget runs out.
+  template <typename Pred>
+  bool RunUntil(Pred pred, int max_steps = 2'000'000) {
+    for (int i = 0; i < max_steps; i++) {
+      if (pred()) return true;
+      if (!tb_.sim().Step()) return pred();
+    }
+    return pred();
+  }
+
+  Testbed tb_;
+};
+
+TEST_F(RedyCacheTest, OneSidedWriteReadRoundTrip) {
+  auto id_or = tb_.client().CreateWithConfig(
+      8 * kMiB, RdmaConfig{1, 0, 1, 4}, /*record_bytes=*/64);
+  ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+  const auto id = *id_or;
+
+  const char msg[] = "stranded memory as a cache";
+  bool wrote = false;
+  ASSERT_TRUE(tb_.client()
+                  .Write(id, 4096, msg, sizeof(msg),
+                         [&](Status st) {
+                           EXPECT_TRUE(st.ok());
+                           wrote = true;
+                         })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return wrote; }));
+
+  char out[64] = {};
+  bool read = false;
+  ASSERT_TRUE(tb_.client()
+                  .Read(id, 4096, out, sizeof(msg),
+                        [&](Status st) {
+                          EXPECT_TRUE(st.ok());
+                          read = true;
+                        })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return read; }));
+  EXPECT_STREQ(out, msg);
+  EXPECT_TRUE(tb_.client().Delete(id).ok());
+}
+
+TEST_F(RedyCacheTest, BatchedTwoSidedRoundTrip) {
+  auto id_or = tb_.client().CreateWithConfig(
+      8 * kMiB, RdmaConfig{2, 1, 8, 4}, /*record_bytes=*/32);
+  ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+  const auto id = *id_or;
+
+  // Issue a burst of writes so batches actually form, then read back.
+  constexpr int kOps = 64;
+  std::vector<std::vector<uint8_t>> payloads(kOps);
+  int writes_done = 0;
+  for (int i = 0; i < kOps; i++) {
+    payloads[i].assign(32, static_cast<uint8_t>(i + 1));
+    ASSERT_TRUE(tb_.client()
+                    .Write(id, i * 32, payloads[i].data(), 32,
+                           [&](Status st) {
+                             EXPECT_TRUE(st.ok()) << st.ToString();
+                             writes_done++;
+                           },
+                           /*app_thread=*/i % 2)
+                    .ok());
+  }
+  ASSERT_TRUE(RunUntil([&] { return writes_done == kOps; }));
+
+  std::vector<std::vector<uint8_t>> results(kOps,
+                                            std::vector<uint8_t>(32, 0));
+  int reads_done = 0;
+  for (int i = 0; i < kOps; i++) {
+    ASSERT_TRUE(tb_.client()
+                    .Read(id, i * 32, results[i].data(), 32,
+                          [&](Status st) {
+                            EXPECT_TRUE(st.ok());
+                            reads_done++;
+                          },
+                          i % 2)
+                    .ok());
+  }
+  ASSERT_TRUE(RunUntil([&] { return reads_done == kOps; }));
+  for (int i = 0; i < kOps; i++) {
+    EXPECT_EQ(results[i], payloads[i]) << "record " << i;
+  }
+
+  // The burst must have produced real batching on the two-sided path.
+  EXPECT_GT(tb_.client().stats(id)->batched_ops, 0u);
+  EXPECT_TRUE(tb_.client().Delete(id).ok());
+}
+
+TEST_F(RedyCacheTest, OpsSpanningRegionBoundaries) {
+  auto id_or = tb_.client().CreateWithConfig(
+      12 * kMiB, RdmaConfig{1, 0, 1, 8}, 64);
+  ASSERT_TRUE(id_or.ok());
+  const auto id = *id_or;
+
+  // Write a buffer straddling the 4 MiB region boundary.
+  std::vector<uint8_t> buf(1 * kMiB);
+  for (size_t i = 0; i < buf.size(); i++) buf[i] = static_cast<uint8_t>(i);
+  const uint64_t addr = 4 * kMiB - 512 * kKiB;
+  bool wrote = false;
+  ASSERT_TRUE(tb_.client()
+                  .Write(id, addr, buf.data(), buf.size(),
+                         [&](Status st) {
+                           EXPECT_TRUE(st.ok());
+                           wrote = true;
+                         })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return wrote; }));
+
+  std::vector<uint8_t> out(buf.size(), 0);
+  bool read = false;
+  ASSERT_TRUE(tb_.client()
+                  .Read(id, addr, out.data(), out.size(),
+                        [&](Status st) {
+                          EXPECT_TRUE(st.ok());
+                          read = true;
+                        })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return read; }));
+  EXPECT_EQ(out, buf);
+  EXPECT_TRUE(tb_.client().Delete(id).ok());
+}
+
+TEST_F(RedyCacheTest, OutOfRangeIsRejected) {
+  auto id_or =
+      tb_.client().CreateWithConfig(4 * kMiB, RdmaConfig{1, 0, 1, 4}, 8);
+  ASSERT_TRUE(id_or.ok());
+  char buf[8];
+  EXPECT_TRUE(tb_.client()
+                  .Read(*id_or, 4 * kMiB - 4, buf, 8, [](Status) {})
+                  .IsOutOfRange());
+  EXPECT_TRUE(
+      tb_.client().Read(*id_or, 0, buf, 0, [](Status) {}).IsInvalidArgument());
+  EXPECT_TRUE(tb_.client().Delete(*id_or).ok());
+}
+
+TEST_F(RedyCacheTest, CreatePopulatesFromFile) {
+  std::vector<uint8_t> file(6 * kMiB);
+  for (size_t i = 0; i < file.size(); i++) {
+    file[i] = static_cast<uint8_t>(i * 2654435761u >> 3);
+  }
+  // Create requires a model; use CreateWithConfig + manual population
+  // via the file parameter of Create once a model exists is covered in
+  // manager tests. Here: config path + file.
+  auto id_or =
+      tb_.client().CreateWithConfig(6 * kMiB, RdmaConfig{1, 0, 1, 8}, 64);
+  ASSERT_TRUE(id_or.ok());
+  // Write then read the full contents through the cache to prove the
+  // address space is fully usable.
+  const auto id = *id_or;
+  bool wrote = false;
+  ASSERT_TRUE(tb_.client()
+                  .Write(id, 0, file.data(), file.size(),
+                         [&](Status st) {
+                           EXPECT_TRUE(st.ok());
+                           wrote = true;
+                         })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return wrote; }));
+  std::vector<uint8_t> out(file.size(), 0);
+  bool read = false;
+  ASSERT_TRUE(tb_.client()
+                  .Read(id, 0, out.data(), out.size(),
+                        [&](Status st) {
+                          EXPECT_TRUE(st.ok());
+                          read = true;
+                        })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return read; }));
+  EXPECT_EQ(out, file);
+  EXPECT_TRUE(tb_.client().Delete(id).ok());
+}
+
+TEST_F(RedyCacheTest, MeasurementAppReportsSaneNumbers) {
+  MeasurementApp app(&tb_);
+  MeasurementApp::WorkloadOptions w;
+  w.cache_bytes = 4 * kMiB;
+  w.record_bytes = 8;
+  w.warmup = 100 * kMicrosecond;
+  w.window = 500 * kMicrosecond;
+
+  // Latency-optimal configuration: ~a few microseconds, sub-MOPS.
+  auto lat_or = app.Measure(RdmaConfig{1, 0, 1, 1}, w);
+  ASSERT_TRUE(lat_or.ok()) << lat_or.status().ToString();
+  EXPECT_GT(lat_or->ops, 10u);
+  EXPECT_EQ(lat_or->errors, 0u);
+  EXPECT_GT(lat_or->point.latency_us, 1.0);
+  EXPECT_LT(lat_or->point.latency_us, 12.0);
+
+  // A batched configuration must deliver far more throughput.
+  auto tput_or = app.Measure(RdmaConfig{4, 2, 64, 8}, w);
+  ASSERT_TRUE(tput_or.ok()) << tput_or.status().ToString();
+  EXPECT_EQ(tput_or->errors, 0u);
+  EXPECT_GT(tput_or->point.throughput_mops,
+            5.0 * lat_or->point.throughput_mops);
+  // ...at the cost of latency.
+  EXPECT_GT(tput_or->point.latency_us, lat_or->point.latency_us);
+}
+
+TEST_F(RedyCacheTest, ReshapeCapacityGrowAndShrink) {
+  auto id_or =
+      tb_.client().CreateWithConfig(4 * kMiB, RdmaConfig{1, 0, 1, 4}, 64);
+  ASSERT_TRUE(id_or.ok());
+  const auto id = *id_or;
+
+  // Grow to 12 MiB.
+  ASSERT_TRUE(tb_.client().ReshapeCapacity(id, 12 * kMiB).ok());
+  EXPECT_EQ(tb_.client().capacity(id), 12 * kMiB);
+
+  // Data written into the grown part round-trips.
+  const char msg[] = "grown";
+  bool wrote = false, read = false;
+  char out[8] = {};
+  ASSERT_TRUE(tb_.client()
+                  .Write(id, 10 * kMiB, msg, sizeof(msg),
+                         [&](Status st) {
+                           EXPECT_TRUE(st.ok());
+                           wrote = true;
+                         })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return wrote; }));
+  ASSERT_TRUE(tb_.client()
+                  .Read(id, 10 * kMiB, out, sizeof(msg),
+                        [&](Status st) {
+                          EXPECT_TRUE(st.ok());
+                          read = true;
+                        })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return read; }));
+  EXPECT_STREQ(out, msg);
+
+  // Shrink back; accesses past the end now fail.
+  ASSERT_TRUE(tb_.client().ReshapeCapacity(id, 4 * kMiB).ok());
+  EXPECT_EQ(tb_.client().capacity(id), 4 * kMiB);
+  char buf[8];
+  EXPECT_TRUE(tb_.client()
+                  .Read(id, 10 * kMiB, buf, 8, [](Status) {})
+                  .IsOutOfRange());
+  EXPECT_TRUE(tb_.client().Delete(id).ok());
+}
+
+TEST_F(RedyCacheTest, WritesSmallerThanInlineThresholdAreFasterThanLarger) {
+  // Per-op write latency around the 172 B inlining threshold
+  // (Fig. 11b's step).
+  MeasurementApp app(&tb_);
+  MeasurementApp::WorkloadOptions w;
+  w.cache_bytes = 4 * kMiB;
+  w.write_fraction = 1.0;
+  w.warmup = 50 * kMicrosecond;
+  w.window = 300 * kMicrosecond;
+  w.inflight_override = 1;  // unloaded: pure latency
+
+  w.record_bytes = 128;  // inlined
+  auto small = app.Measure(RdmaConfig{1, 0, 1, 1}, w);
+  ASSERT_TRUE(small.ok());
+  w.record_bytes = 256;  // not inlined
+  auto large = app.Measure(RdmaConfig{1, 0, 1, 1}, w);
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(small->point.latency_us, large->point.latency_us);
+}
+
+}  // namespace
+}  // namespace redy

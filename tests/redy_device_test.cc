@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "faster/devices.h"
+#include "faster/redy_device.h"
+#include "faster/tiered_device.h"
+#include "redy/testbed.h"
+
+namespace redy {
+namespace {
+
+using faster::RedyDevice;
+using faster::SsdDevice;
+using faster::TieredDevice;
+
+class RedyDeviceTest : public ::testing::Test {
+ protected:
+  RedyDeviceTest() {
+    TestbedOptions o;
+    o.client.region_bytes = 4 * kMiB;
+    tb_ = std::make_unique<Testbed>(o);
+    auto id = tb_->client().CreateWithConfig(kCapacity,
+                                             RdmaConfig{2, 0, 1, 8}, 64);
+    EXPECT_TRUE(id.ok());
+    dev_ = std::make_unique<RedyDevice>(&tb_->sim(), &tb_->client(), *id,
+                                        kCapacity);
+  }
+
+  void Drive(bool* done) {
+    while (!*done) {
+      ASSERT_TRUE(tb_->sim().Step());
+    }
+  }
+
+  static constexpr uint64_t kCapacity = 8 * kMiB;
+  std::unique_ptr<Testbed> tb_;
+  std::unique_ptr<RedyDevice> dev_;
+};
+
+TEST_F(RedyDeviceTest, WriteThenReadRoundTrips) {
+  const char msg[] = "device bytes";
+  bool wrote = false;
+  dev_->WriteAsync(1000, msg, sizeof(msg), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    wrote = true;
+  });
+  Drive(&wrote);
+
+  char out[32] = {};
+  bool read = false;
+  dev_->ReadAsync(1000, out, sizeof(msg), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    read = true;
+  });
+  Drive(&read);
+  EXPECT_STREQ(out, msg);
+}
+
+TEST_F(RedyDeviceTest, CoversTracksHighWaterWindow) {
+  EXPECT_FALSE(dev_->Covers(0, 8));  // nothing written yet
+  const char byte = 'x';
+  bool wrote = false;
+  dev_->WriteAsync(100, &byte, 1, [&](Status) { wrote = true; });
+  Drive(&wrote);
+  EXPECT_TRUE(dev_->Covers(0, 100));
+  EXPECT_FALSE(dev_->Covers(0, 200));  // beyond the high-water mark
+}
+
+TEST_F(RedyDeviceTest, OldSuffixEvictsAfterWrap) {
+  // Write 1.5x the capacity: the first half must no longer be covered.
+  std::vector<uint8_t> chunk(kMiB, 0xAB);
+  uint64_t off = 0;
+  while (off < kCapacity + kCapacity / 2) {
+    bool done = false;
+    dev_->WriteAsync(off, chunk.data(), chunk.size(),
+                     [&](Status st) {
+                       EXPECT_TRUE(st.ok());
+                       done = true;
+                     });
+    Drive(&done);
+    off += chunk.size();
+  }
+  EXPECT_FALSE(dev_->Covers(0, kMiB));          // evicted prefix
+  EXPECT_TRUE(dev_->Covers(off - kMiB, kMiB));  // live tail
+  // Reading the evicted prefix reports NotFound so the tiered device
+  // falls through to the next tier.
+  bool read_done = false;
+  Status read_st;
+  std::vector<uint8_t> out(16);
+  dev_->ReadAsync(0, out.data(), out.size(), [&](Status st) {
+    read_st = st;
+    read_done = true;
+  });
+  // NotFound is reported synchronously.
+  EXPECT_TRUE(read_done);
+  EXPECT_TRUE(read_st.IsNotFound());
+}
+
+TEST_F(RedyDeviceTest, WrapAroundAccessSplitsCorrectly) {
+  // An access spanning the modulo boundary must land contiguously in
+  // the virtual log even though it is split inside the cache.
+  std::vector<uint8_t> data(1024);
+  for (size_t i = 0; i < data.size(); i++) data[i] = i & 0xff;
+  const uint64_t boundary_offset = kCapacity - 512;  // crosses the wrap
+
+  bool wrote = false;
+  dev_->WriteAsync(boundary_offset, data.data(), data.size(),
+                   [&](Status st) {
+                     EXPECT_TRUE(st.ok());
+                     wrote = true;
+                   });
+  Drive(&wrote);
+
+  std::vector<uint8_t> out(data.size(), 0);
+  bool read = false;
+  dev_->ReadAsync(boundary_offset, out.data(), out.size(),
+                  [&](Status st) {
+                    EXPECT_TRUE(st.ok());
+                    read = true;
+                  });
+  Drive(&read);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(RedyDeviceTest, TieredFallsThroughToSsdForEvictedRanges) {
+  SsdDevice ssd(&tb_->sim());
+  TieredDevice tiered({dev_.get(), &ssd}, /*commit_point=*/1);
+
+  // Fill 2x capacity through the tiered device: everything lands on the
+  // SSD, the last `capacity` bytes also in the Redy tier.
+  std::vector<uint8_t> chunk(kMiB);
+  uint64_t off = 0;
+  while (off < 2 * kCapacity) {
+    for (size_t i = 0; i < chunk.size(); i++) {
+      chunk[i] = static_cast<uint8_t>((off + i) * 31);
+    }
+    bool done = false;
+    tiered.WriteAsync(off, chunk.data(), chunk.size(),
+                      [&](Status st) {
+                        EXPECT_TRUE(st.ok());
+                        done = true;
+                      });
+    Drive(&done);
+    off += chunk.size();
+  }
+
+  // Old range: only the SSD has it.
+  std::vector<uint8_t> out(256);
+  bool read = false;
+  tiered.ReadAsync(123, out.data(), out.size(), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    read = true;
+  });
+  Drive(&read);
+  for (size_t i = 0; i < out.size(); i++) {
+    EXPECT_EQ(out[i], static_cast<uint8_t>((123 + i) * 31));
+  }
+  EXPECT_GE(tiered.reads_on_tier(1), 1u);
+
+  // Recent range: served by the Redy tier.
+  const uint64_t recent = 2 * kCapacity - 4096;
+  bool read2 = false;
+  tiered.ReadAsync(recent, out.data(), out.size(), [&](Status st) {
+    EXPECT_TRUE(st.ok());
+    read2 = true;
+  });
+  Drive(&read2);
+  for (size_t i = 0; i < out.size(); i++) {
+    EXPECT_EQ(out[i], static_cast<uint8_t>((recent + i) * 31));
+  }
+  EXPECT_GE(tiered.reads_on_tier(0), 1u);
+}
+
+}  // namespace
+}  // namespace redy

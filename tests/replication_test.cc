@@ -1,0 +1,209 @@
+// Tests for the replication extension (Section 6.2's "another
+// alternative is replicating the cache"): write duplication, instant
+// failover without data loss, and background re-replication.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "redy/cache_client.h"
+#include "redy/testbed.h"
+
+namespace redy {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  static TestbedOptions Opts() {
+    TestbedOptions o;
+    o.pods = 2;
+    o.racks_per_pod = 2;
+    o.servers_per_rack = 4;
+    o.client.region_bytes = 2 * kMiB;
+    return o;
+  }
+
+  ReplicationTest() : tb_(Opts()) {}
+
+  template <typename Pred>
+  bool RunUntil(Pred pred, int max_steps = 5'000'000) {
+    for (int i = 0; i < max_steps; i++) {
+      if (pred()) return true;
+      if (!tb_.sim().Step()) return pred();
+    }
+    return pred();
+  }
+
+  CacheClient::CacheId MakeCache() {
+    auto id = tb_.client().CreateReplicated(4 * kMiB,
+                                            RdmaConfig{1, 0, 1, 8}, 64);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return *id;
+  }
+
+  Testbed tb_;
+};
+
+TEST_F(ReplicationTest, CreateGivesEveryRegionAReplica) {
+  const auto id = MakeCache();
+  for (uint32_t r = 0; r < 2; r++) {
+    auto rep = tb_.client().RegionReplicated(id, r);
+    ASSERT_TRUE(rep.ok());
+    EXPECT_TRUE(*rep);
+  }
+  EXPECT_TRUE(tb_.client().Delete(id).ok());
+  // Both primary and replica VMs released.
+  EXPECT_EQ(tb_.allocator().UnallocatedMemory(),
+            tb_.allocator().TotalMemory());
+}
+
+TEST_F(ReplicationTest, WritesLandOnBothCopies) {
+  const auto id = MakeCache();
+  const char msg[] = "both copies";
+  bool done = false;
+  ASSERT_TRUE(tb_.client()
+                  .Write(id, 512, msg, sizeof(msg),
+                         [&](Status st) {
+                           EXPECT_TRUE(st.ok());
+                           done = true;
+                         })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return done; }));
+
+  // Kill the primary's VM: the replica is promoted and must already
+  // hold the write — readable with zero recovery delay.
+  auto vm = tb_.client().RegionVm(id, 0);
+  ASSERT_TRUE(vm.ok());
+  const net::ServerId node = tb_.allocator().Find(*vm)->server;
+  tb_.FailNode(node);
+
+  char out[16] = {};
+  bool read = false;
+  ASSERT_TRUE(tb_.client()
+                  .Read(id, 512, out, sizeof(msg),
+                        [&](Status st) {
+                          EXPECT_TRUE(st.ok()) << st.ToString();
+                          read = true;
+                        })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return read; }));
+  EXPECT_STREQ(out, msg);
+  // And the promoted primary is on a different VM now.
+  auto vm_after = tb_.client().RegionVm(id, 0);
+  ASSERT_TRUE(vm_after.ok());
+  EXPECT_NE(*vm_after, *vm);
+}
+
+TEST_F(ReplicationTest, FailoverLosesNoDataUnlikeMigration) {
+  const auto id = MakeCache();
+  std::vector<uint8_t> data(4 * kMiB);
+  for (size_t i = 0; i < data.size(); i++) {
+    data[i] = static_cast<uint8_t>(SplitMix64(i) >> 5);
+  }
+  bool wrote = false;
+  ASSERT_TRUE(tb_.client()
+                  .Write(id, 0, data.data(), data.size(),
+                         [&](Status st) {
+                           EXPECT_TRUE(st.ok());
+                           wrote = true;
+                         })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return wrote; }));
+
+  // Crash the primary node with NO notice. A migrating cache would
+  // lose the contents (cf. MigrationTest.NodeFailureRecoversWithData-
+  // Loss); the replicated cache must not.
+  auto vm = tb_.client().RegionVm(id, 0);
+  ASSERT_TRUE(vm.ok());
+  tb_.FailNode(tb_.allocator().Find(*vm)->server);
+
+  std::vector<uint8_t> out(data.size(), 0);
+  bool read = false;
+  ASSERT_TRUE(tb_.client()
+                  .Read(id, 0, out.data(), out.size(),
+                        [&](Status st) {
+                          EXPECT_TRUE(st.ok()) << st.ToString();
+                          read = true;
+                        })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return read; }));
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ReplicationTest, DegradedRegionsReReplicateInBackground) {
+  const auto id = MakeCache();
+  const char msg[] = "resilient";
+  bool wrote = false;
+  ASSERT_TRUE(tb_.client()
+                  .Write(id, 0, msg, sizeof(msg),
+                         [&](Status st) {
+                           EXPECT_TRUE(st.ok());
+                           wrote = true;
+                         })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return wrote; }));
+
+  auto vm = tb_.client().RegionVm(id, 0);
+  ASSERT_TRUE(vm.ok());
+  tb_.FailNode(tb_.allocator().Find(*vm)->server);
+
+  // After the repair completes, every region is replicated again.
+  ASSERT_TRUE(RunUntil([&] {
+    for (uint32_t r = 0; r < 2; r++) {
+      auto rep = tb_.client().RegionReplicated(id, r);
+      if (!rep.ok() || !*rep) return false;
+    }
+    return true;
+  }));
+
+  // A second failure of the new primary still loses nothing.
+  auto vm2 = tb_.client().RegionVm(id, 0);
+  ASSERT_TRUE(vm2.ok());
+  tb_.FailNode(tb_.allocator().Find(*vm2)->server);
+  char out[16] = {};
+  bool read = false;
+  ASSERT_TRUE(tb_.client()
+                  .Read(id, 0, out, sizeof(msg),
+                        [&](Status st) {
+                          EXPECT_TRUE(st.ok()) << st.ToString();
+                          read = true;
+                        })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return read; }));
+  EXPECT_STREQ(out, msg);
+}
+
+TEST_F(ReplicationTest, WritesDuringDegradedWindowStillApply) {
+  const auto id = MakeCache();
+  auto vm = tb_.client().RegionVm(id, 0);
+  ASSERT_TRUE(vm.ok());
+  tb_.FailNode(tb_.allocator().Find(*vm)->server);
+
+  // Immediately write while the region is degraded/repairing.
+  const char msg[] = "during repair";
+  bool wrote = false;
+  ASSERT_TRUE(tb_.client()
+                  .Write(id, 128, msg, sizeof(msg),
+                         [&](Status st) {
+                           EXPECT_TRUE(st.ok()) << st.ToString();
+                           wrote = true;
+                         })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return wrote; }));
+
+  char out[16] = {};
+  bool read = false;
+  ASSERT_TRUE(tb_.client()
+                  .Read(id, 128, out, sizeof(msg),
+                        [&](Status st) {
+                          EXPECT_TRUE(st.ok());
+                          read = true;
+                        })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return read; }));
+  EXPECT_STREQ(out, msg);
+}
+
+}  // namespace
+}  // namespace redy

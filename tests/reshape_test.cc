@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "redy/perf_model.h"
+#include "redy/testbed.h"
+
+namespace redy {
+namespace {
+
+PerfPoint AnalyticPerf(const RdmaConfig& cfg) {
+  const double conn = 0.25 * cfg.q * (1 + 0.7 * (cfg.b - 1));
+  const double cap = cfg.s == 0 ? 1e9 : cfg.s * 40.0;
+  return PerfPoint{4.0 + 0.2 * (cfg.b - 1) + 1.1 * (cfg.q - 1) +
+                       0.003 * cfg.b * cfg.q * cfg.c,
+                   std::min(conn * cfg.c, cap)};
+}
+
+class ReshapeTest : public ::testing::Test {
+ protected:
+  ReshapeTest() {
+    TestbedOptions o;
+    o.pods = 2;
+    o.racks_per_pod = 2;
+    o.servers_per_rack = 4;
+    o.client.region_bytes = 2 * kMiB;
+    tb_ = std::make_unique<Testbed>(o);
+
+    ConfigBounds b;
+    b.max_client_threads = 8;
+    b.record_bytes = 64;
+    b.max_queue_depth = 8;
+    OfflineModeler::Options opt;
+    opt.early_termination = false;
+    PerfModel model = OfflineModeler::Build(b, AnalyticPerf, opt, nullptr);
+    for (int hops : {1, 3, 5}) {
+      tb_->manager().SetModel(64, hops, model);
+    }
+  }
+
+  template <typename Pred>
+  bool RunUntil(Pred pred, int max_steps = 3'000'000) {
+    for (int i = 0; i < max_steps; i++) {
+      if (pred()) return true;
+      if (!tb_->sim().Step()) return pred();
+    }
+    return pred();
+  }
+
+  std::unique_ptr<Testbed> tb_;
+};
+
+TEST_F(ReshapeTest, SloChangeReallocatesAndPreservesData) {
+  Slo loose{200.0, 0.2, 64};
+  auto id_or = tb_->client().Create(4 * kMiB, loose, kDurationInfinite);
+  ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+  const auto id = *id_or;
+  const RdmaConfig before = *tb_->client().config(id);
+
+  // Fill with data, fully quiesced afterwards.
+  std::vector<uint8_t> data(4 * kMiB);
+  for (size_t i = 0; i < data.size(); i++) {
+    data[i] = static_cast<uint8_t>(SplitMix64(i) >> 3);
+  }
+  bool wrote = false;
+  ASSERT_TRUE(tb_->client()
+                  .Write(id, 0, data.data(), data.size(),
+                         [&](Status st) { wrote = st.ok(); })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return wrote; }));
+
+  // Demand much more throughput: a different configuration is needed.
+  Slo heavy{200.0, 60.0, 64};
+  ASSERT_TRUE(tb_->client().Reshape(id, 4 * kMiB, heavy).ok());
+  const RdmaConfig after = *tb_->client().config(id);
+  EXPECT_FALSE(after == before);
+  EXPECT_GT(after.s, 0u);  // throughput needs server threads
+
+  // Contents survived the reallocation; read through the new config.
+  std::vector<uint8_t> out(data.size(), 0);
+  bool read = false;
+  ASSERT_TRUE(tb_->client()
+                  .Read(id, 0, out.data(), out.size(),
+                        [&](Status st) { read = st.ok(); })
+                  .ok());
+  ASSERT_TRUE(RunUntil([&] { return read; }));
+  EXPECT_EQ(out, data);
+  EXPECT_TRUE(tb_->client().Delete(id).ok());
+}
+
+TEST_F(ReshapeTest, FailedSloChangeLeavesCacheUntouched) {
+  Slo loose{200.0, 0.2, 64};
+  auto id_or = tb_->client().Create(4 * kMiB, loose, kDurationInfinite);
+  ASSERT_TRUE(id_or.ok());
+  const auto id = *id_or;
+  const RdmaConfig before = *tb_->client().config(id);
+
+  // Impossible SLO: Reshape must fail and change nothing (Section 3.3).
+  Slo impossible{0.1, 100000.0, 64};
+  EXPECT_FALSE(tb_->client().Reshape(id, 4 * kMiB, impossible).ok());
+  EXPECT_TRUE(*tb_->client().config(id) == before);
+  EXPECT_EQ(tb_->client().capacity(id), 4 * kMiB);
+}
+
+TEST_F(ReshapeTest, ReshapeRejectedWhileIoInFlight) {
+  auto id_or =
+      tb_->client().CreateWithConfig(4 * kMiB, RdmaConfig{1, 0, 1, 4}, 64);
+  ASSERT_TRUE(id_or.ok());
+  const auto id = *id_or;
+  char buf[64] = {};
+  bool done = false;
+  ASSERT_TRUE(tb_->client()
+                  .Write(id, 0, buf, 64, [&](Status) { done = true; })
+                  .ok());
+  // In flight right now: Reshape must refuse.
+  EXPECT_TRUE(
+      tb_->client().ReshapeCapacity(id, 8 * kMiB).IsFailedPrecondition());
+  ASSERT_TRUE(RunUntil([&] { return done; }));
+  // Quiescent: allowed.
+  EXPECT_TRUE(tb_->client().ReshapeCapacity(id, 8 * kMiB).ok());
+}
+
+TEST_F(ReshapeTest, ShrinkTruncatesAndNeverGrowsUsage) {
+  auto id_or =
+      tb_->client().CreateWithConfig(8 * kMiB, RdmaConfig{1, 0, 1, 4}, 64);
+  ASSERT_TRUE(id_or.ok());
+  const uint64_t used_before = tb_->allocator().TotalMemory() -
+                               tb_->allocator().UnallocatedMemory();
+  ASSERT_TRUE(tb_->client().ReshapeCapacity(*id_or, 2 * kMiB).ok());
+  const uint64_t used_after = tb_->allocator().TotalMemory() -
+                              tb_->allocator().UnallocatedMemory();
+  // Regions packed onto one menu VM keep the VM alive; usage never
+  // grows on a shrink and the address space is truncated.
+  EXPECT_LE(used_after, used_before);
+  EXPECT_EQ(tb_->client().capacity(*id_or), 2 * kMiB);
+  char buf[8];
+  EXPECT_TRUE(tb_->client()
+                  .Read(*id_or, 4 * kMiB, buf, 8, [](Status) {})
+                  .IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace redy

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "ringbuf/mpmc_ring.h"
+#include "ringbuf/spsc_ring.h"
+
+namespace redy {
+namespace {
+
+TEST(SpscRingTest, PushPopSingleThread) {
+  ringbuf::SpscRing<int> ring(8);
+  for (int i = 0; i < 8; i++) EXPECT_TRUE(ring.TryPush(i));
+  for (int i = 0; i < 8; i++) {
+    auto v = ring.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, FullRejectsPush) {
+  ringbuf::SpscRing<int> ring(4);
+  size_t pushed = 0;
+  while (ring.TryPush(1)) pushed++;
+  EXPECT_EQ(pushed, ring.Capacity());
+  EXPECT_FALSE(ring.TryPush(1));
+  ring.TryPop();
+  EXPECT_TRUE(ring.TryPush(1));
+}
+
+TEST(SpscRingTest, FrontPeeksWithoutConsuming) {
+  ringbuf::SpscRing<int> ring(4);
+  EXPECT_EQ(ring.Front(), nullptr);
+  ring.TryPush(42);
+  ASSERT_NE(ring.Front(), nullptr);
+  EXPECT_EQ(*ring.Front(), 42);
+  EXPECT_EQ(ring.Size(), 1u);
+  EXPECT_EQ(*ring.TryPop(), 42);
+}
+
+TEST(SpscRingTest, ConcurrentProducerConsumer) {
+  // Real-thread stress: every value must arrive exactly once, in order.
+  ringbuf::SpscRing<uint64_t> ring(1024);
+  constexpr uint64_t kN = 1'000'000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kN; i++) {
+      while (!ring.TryPush(i)) {
+      }
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kN) {
+    auto v = ring.TryPop();
+    if (v.has_value()) {
+      ASSERT_EQ(*v, expected);
+      expected++;
+    }
+  }
+  producer.join();
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(MpmcRingTest, PushPopSingleThread) {
+  ringbuf::MpmcRing<int> ring(8);
+  for (int i = 0; i < 8; i++) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(9));
+  for (int i = 0; i < 8; i++) {
+    auto v = ring.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(MpmcRingTest, CapacityRoundsToPowerOfTwo) {
+  ringbuf::MpmcRing<int> ring(5);
+  EXPECT_EQ(ring.Capacity(), 8u);
+}
+
+TEST(MpmcRingTest, ConcurrentMultiProducerMultiConsumer) {
+  ringbuf::MpmcRing<uint64_t> ring(256);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr uint64_t kPerProducer = 100'000;
+
+  std::atomic<uint64_t> total_sum{0};
+  std::atomic<uint64_t> total_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; p++) {
+    threads.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; i++) {
+        const uint64_t v = p * kPerProducer + i + 1;
+        while (!ring.TryPush(v)) {
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; c++) {
+    threads.emplace_back([&] {
+      while (true) {
+        auto v = ring.TryPop();
+        if (v.has_value()) {
+          total_sum.fetch_add(*v, std::memory_order_relaxed);
+          total_count.fetch_add(1, std::memory_order_relaxed);
+        } else if (done.load(std::memory_order_acquire) &&
+                   ring.SizeApprox() == 0) {
+          // Final drain attempt before exiting.
+          auto last = ring.TryPop();
+          if (!last.has_value()) break;
+          total_sum.fetch_add(*last, std::memory_order_relaxed);
+          total_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; p++) threads[p].join();
+  done.store(true, std::memory_order_release);
+  for (int c = 0; c < kConsumers; c++) threads[kProducers + c].join();
+
+  const uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(total_count.load(), n);
+  EXPECT_EQ(total_sum.load(), n * (n + 1) / 2);
+}
+
+}  // namespace
+}  // namespace redy

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/poller.h"
+#include "sim/simulation.h"
+
+namespace redy {
+namespace {
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  sim::Simulation sim;
+  std::vector<int> order;
+  sim.At(300, [&] { order.push_back(3); });
+  sim.At(100, [&] { order.push_back(1); });
+  sim.At(200, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300u);
+}
+
+TEST(SimulationTest, SameTimeEventsAreFifo) {
+  sim::Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; i++) {
+    sim.At(50, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; i++) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulationTest, NestedSchedulingWorks) {
+  sim::Simulation sim;
+  int fired = 0;
+  sim.At(10, [&] {
+    fired++;
+    sim.After(5, [&] {
+      fired++;
+      EXPECT_EQ(sim.Now(), 15u);
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, PastEventsClampToNow) {
+  sim::Simulation sim;
+  sim.At(100, [] {});
+  sim.Run();
+  bool ran = false;
+  sim.At(50, [&] {
+    ran = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  sim::Simulation sim;
+  int fired = 0;
+  sim.At(10, [&] { fired++; });
+  sim.At(20, [&] { fired++; });
+  sim.At(30, [&] { fired++; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 20u);
+  sim.RunUntil(25);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 25u);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  sim::Simulation sim;
+  bool ran = false;
+  uint64_t id = sim.At(10, [&] { ran = true; });
+  bool other = false;
+  sim.At(20, [&] { other = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(other);
+}
+
+TEST(SimulationTest, CancelledHeadDoesNotLetLaterEventsJumpRunUntil) {
+  sim::Simulation sim;
+  bool late_ran = false;
+  uint64_t id = sim.At(10, [] {});
+  sim.At(100, [&] { late_ran = true; });
+  sim.Cancel(id);
+  sim.RunUntil(50);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.Now(), 50u);
+}
+
+TEST(PollerTest, PollsAtInterval) {
+  sim::Simulation sim;
+  int polls = 0;
+  sim::Poller poller(&sim, 100, [&]() -> uint64_t {
+    polls++;
+    return 0;
+  });
+  poller.Start();
+  sim.RunUntil(1000);
+  poller.Stop();
+  // t=0,100,...,1000 inclusive.
+  EXPECT_EQ(polls, 11);
+}
+
+TEST(PollerTest, BusyIterationsDelayNextPoll) {
+  sim::Simulation sim;
+  int polls = 0;
+  sim::Poller poller(&sim, 100, [&]() -> uint64_t {
+    polls++;
+    return 500;  // each iteration consumes 500ns
+  });
+  poller.Start();
+  sim.RunUntil(2000);
+  poller.Stop();
+  EXPECT_EQ(polls, 5);  // t=0,500,1000,1500,2000
+}
+
+TEST(PollerTest, StopFromInsideBody) {
+  sim::Simulation sim;
+  int polls = 0;
+  sim::Poller poller(&sim, 10, [&]() -> uint64_t {
+    polls++;
+    if (polls == 3) poller.Stop();
+    return 0;
+  });
+  poller.Start();
+  sim.Run();
+  EXPECT_EQ(polls, 3);
+}
+
+}  // namespace
+}  // namespace redy

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "redy/measurement.h"
+#include "redy/testbed.h"
+
+namespace redy {
+namespace {
+
+TEST(TestbedTest, WiresComponentsTogether) {
+  TestbedOptions o;
+  o.pods = 1;
+  o.racks_per_pod = 2;
+  o.servers_per_rack = 3;
+  o.cores_per_server = 8;
+  o.memory_per_server = 16 * kGiB;
+  Testbed tb(o);
+  EXPECT_EQ(tb.fabric().topology().num_servers(), 6);
+  EXPECT_EQ(tb.allocator().num_servers(), 6);
+  EXPECT_EQ(tb.allocator().server(0).cores_total, 8u);
+  EXPECT_EQ(tb.allocator().TotalMemory(), 6ull * 16 * kGiB);
+  EXPECT_EQ(tb.client().node(), o.app_node);
+}
+
+TEST(TestbedTest, FailNodeKillsNicAndVms) {
+  Testbed tb((TestbedOptions()));
+  auto vm = tb.allocator().Allocate(2, kGiB, false, net::ServerId{0});
+  ASSERT_TRUE(vm.ok());
+  const net::ServerId node = vm->server;
+  tb.FailNode(node);
+  EXPECT_TRUE(tb.fabric().NicAt(node)->failed());
+  EXPECT_EQ(tb.allocator().Find(vm->id), nullptr);
+  // The failed server is never chosen again.
+  for (int i = 0; i < 10; i++) {
+    auto v = tb.allocator().Allocate(1, kGiB, false, net::ServerId{0});
+    ASSERT_TRUE(v.ok());
+    EXPECT_NE(v->server, node);
+  }
+}
+
+TEST(TestbedTest, MeasurementIsDeterministic) {
+  auto run = [] {
+    Testbed tb((TestbedOptions()));
+    MeasurementApp app(&tb);
+    MeasurementApp::WorkloadOptions w;
+    w.cache_bytes = 2 * kMiB;
+    w.record_bytes = 8;
+    w.warmup = 50 * kMicrosecond;
+    w.window = 200 * kMicrosecond;
+    auto m = app.Measure(RdmaConfig{2, 1, 4, 4}, w);
+    EXPECT_TRUE(m.ok());
+    return m->ops;
+  };
+  const uint64_t a = run();
+  EXPECT_GT(a, 100u);
+  EXPECT_EQ(a, run());
+}
+
+TEST(TestbedTest, CostModelPropagatesToClient) {
+  TestbedOptions o;
+  o.costs.lockfree_rings = false;
+  o.costs.lock_cost_ns = 1234;
+  Testbed tb(o);
+  EXPECT_EQ(tb.client().ApiCallCostNs(),
+            o.costs.api_call_ns + 1234);
+}
+
+}  // namespace
+}  // namespace redy

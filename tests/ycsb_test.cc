@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "faster/devices.h"
+#include "faster/store.h"
+#include "sim/simulation.h"
+#include "ycsb/driver.h"
+#include "ycsb/workload.h"
+
+namespace redy {
+namespace {
+
+using ycsb::Distribution;
+using ycsb::Driver;
+using ycsb::Workload;
+using ycsb::WorkloadConfig;
+
+TEST(YcsbWorkloadTest, UniformCoversKeySpaceEvenly) {
+  WorkloadConfig cfg;
+  cfg.records = 100;
+  cfg.distribution = Distribution::kUniform;
+  Workload w(cfg, 0);
+  std::map<uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; i++) {
+    uint64_t k = w.NextKey();
+    ASSERT_LT(k, cfg.records);
+    counts[k]++;
+  }
+  // Every key hit, none wildly over-represented.
+  EXPECT_EQ(counts.size(), cfg.records);
+  for (auto& [k, c] : counts) {
+    EXPECT_GT(c, n / 100 / 3);
+    EXPECT_LT(c, n / 100 * 3);
+  }
+}
+
+TEST(YcsbWorkloadTest, ZipfianIsSkewed) {
+  WorkloadConfig cfg;
+  cfg.records = 100000;
+  cfg.distribution = Distribution::kZipfian;
+  Workload w(cfg, 0);
+  std::map<uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; i++) counts[w.NextKey()]++;
+  // Scrambled Zipf: far fewer distinct keys touched than uniform would.
+  EXPECT_LT(counts.size(), 60000u);
+  int max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, n / 100);  // one key gets >1% of traffic
+}
+
+TEST(YcsbWorkloadTest, ThreadsGetIndependentStreams) {
+  WorkloadConfig cfg;
+  cfg.records = 1 << 20;
+  Workload a(cfg, 0), b(cfg, 1);
+  int same = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (a.NextKey() == b.NextKey()) same++;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(YcsbWorkloadTest, ReadFractionIsRespected) {
+  WorkloadConfig cfg;
+  cfg.read_fraction = 0.5;
+  Workload w(cfg, 0);
+  int reads = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (w.NextIsRead()) reads++;
+  }
+  EXPECT_NEAR(reads, 5000, 300);
+  cfg.read_fraction = 1.0;
+  Workload all_reads(cfg, 0);
+  for (int i = 0; i < 100; i++) EXPECT_TRUE(all_reads.NextIsRead());
+}
+
+TEST(YcsbDriverTest, RunsAgainstLocalDeviceAndCountsOps) {
+  sim::Simulation sim;
+  faster::LocalMemoryDevice dev(&sim);
+  faster::FasterKv::Options fo;
+  fo.log_memory_bytes = kMiB;
+  fo.value_bytes = 8;
+  faster::FasterKv kv(&sim, &dev, fo);
+
+  Driver::Options d;
+  d.threads = 2;
+  d.warmup = kMillisecond;
+  d.window = 10 * kMillisecond;
+  d.workload.records = 10000;
+  Driver driver(&sim, &kv, d);
+  ASSERT_TRUE(driver.Load().ok());
+  auto r = driver.Run();
+  EXPECT_GT(r.ops, 1000u);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.mops, 0.1);
+  EXPECT_EQ(r.store_stats.reads,
+            r.store_stats.mem_hits + r.store_stats.read_cache_hits +
+                r.store_stats.device_reads + r.store_stats.not_found);
+}
+
+TEST(YcsbDriverTest, MixedWorkloadDoesUpserts) {
+  sim::Simulation sim;
+  faster::LocalMemoryDevice dev(&sim);
+  faster::FasterKv::Options fo;
+  fo.log_memory_bytes = kMiB;
+  faster::FasterKv kv(&sim, &dev, fo);
+
+  Driver::Options d;
+  d.threads = 1;
+  d.warmup = kMillisecond;
+  d.window = 5 * kMillisecond;
+  d.workload.records = 1000;
+  d.workload.read_fraction = 0.5;
+  Driver driver(&sim, &kv, d);
+  ASSERT_TRUE(driver.Load().ok());
+  auto r = driver.Run();
+  EXPECT_GT(r.store_stats.upserts, 100u);
+  EXPECT_GT(r.store_stats.reads, 100u);
+  EXPECT_EQ(r.errors, 0u);
+}
+
+TEST(YcsbDriverTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    sim::Simulation sim;
+    faster::LocalMemoryDevice dev(&sim);
+    faster::FasterKv::Options fo;
+    fo.log_memory_bytes = kMiB;
+    faster::FasterKv kv(&sim, &dev, fo);
+    Driver::Options d;
+    d.threads = 2;
+    d.warmup = kMillisecond;
+    d.window = 5 * kMillisecond;
+    d.workload.records = 5000;
+    Driver driver(&sim, &kv, d);
+    driver.Load();
+    return driver.Run().ops;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace redy
