@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inline.dir/ablation_inline.cc.o"
+  "CMakeFiles/ablation_inline.dir/ablation_inline.cc.o.d"
+  "ablation_inline"
+  "ablation_inline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

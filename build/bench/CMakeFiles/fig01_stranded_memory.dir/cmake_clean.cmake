@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_stranded_memory.dir/fig01_stranded_memory.cc.o"
+  "CMakeFiles/fig01_stranded_memory.dir/fig01_stranded_memory.cc.o.d"
+  "fig01_stranded_memory"
+  "fig01_stranded_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_stranded_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_stranding_durations.dir/fig02_stranding_durations.cc.o"
+  "CMakeFiles/fig02_stranding_durations.dir/fig02_stranding_durations.cc.o.d"
+  "fig02_stranding_durations"
+  "fig02_stranding_durations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_stranding_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_stranding_durations.
+# This may be replaced when dependencies are built.

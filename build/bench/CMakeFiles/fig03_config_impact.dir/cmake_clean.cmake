@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_config_impact.dir/fig03_config_impact.cc.o"
+  "CMakeFiles/fig03_config_impact.dir/fig03_config_impact.cc.o.d"
+  "fig03_config_impact"
+  "fig03_config_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_config_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_offline_modeling.dir/fig09_offline_modeling.cc.o"
+  "CMakeFiles/fig09_offline_modeling.dir/fig09_offline_modeling.cc.o.d"
+  "fig09_offline_modeling"
+  "fig09_offline_modeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_offline_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_online_search.dir/fig10_online_search.cc.o"
+  "CMakeFiles/fig10_online_search.dir/fig10_online_search.cc.o.d"
+  "fig10_online_search"
+  "fig10_online_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_online_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

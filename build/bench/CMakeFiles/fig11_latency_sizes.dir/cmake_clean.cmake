@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_latency_sizes.dir/fig11_latency_sizes.cc.o"
+  "CMakeFiles/fig11_latency_sizes.dir/fig11_latency_sizes.cc.o.d"
+  "fig11_latency_sizes"
+  "fig11_latency_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_latency_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

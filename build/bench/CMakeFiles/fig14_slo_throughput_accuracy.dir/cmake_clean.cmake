@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_slo_throughput_accuracy.dir/fig14_slo_throughput_accuracy.cc.o"
+  "CMakeFiles/fig14_slo_throughput_accuracy.dir/fig14_slo_throughput_accuracy.cc.o.d"
+  "fig14_slo_throughput_accuracy"
+  "fig14_slo_throughput_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_slo_throughput_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

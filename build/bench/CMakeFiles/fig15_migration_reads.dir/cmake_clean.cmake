@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_migration_reads.dir/fig15_migration_reads.cc.o"
+  "CMakeFiles/fig15_migration_reads.dir/fig15_migration_reads.cc.o.d"
+  "fig15_migration_reads"
+  "fig15_migration_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_migration_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_migration_writes.dir/fig16_migration_writes.cc.o"
+  "CMakeFiles/fig16_migration_writes.dir/fig16_migration_writes.cc.o.d"
+  "fig16_migration_writes"
+  "fig16_migration_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_migration_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_faster_ycsb.dir/fig18_faster_ycsb.cc.o"
+  "CMakeFiles/fig18_faster_ycsb.dir/fig18_faster_ycsb.cc.o.d"
+  "fig18_faster_ycsb"
+  "fig18_faster_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_faster_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

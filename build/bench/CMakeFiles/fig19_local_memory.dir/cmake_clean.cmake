@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_local_memory.dir/fig19_local_memory.cc.o"
+  "CMakeFiles/fig19_local_memory.dir/fig19_local_memory.cc.o.d"
+  "fig19_local_memory"
+  "fig19_local_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_local_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_fabric.dir/raw_fabric.cc.o"
+  "CMakeFiles/raw_fabric.dir/raw_fabric.cc.o.d"
+  "raw_fabric"
+  "raw_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

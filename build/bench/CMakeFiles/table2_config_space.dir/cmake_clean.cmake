@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_config_space.dir/table2_config_space.cc.o"
+  "CMakeFiles/table2_config_space.dir/table2_config_space.cc.o.d"
+  "table2_config_space"
+  "table2_config_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_config_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

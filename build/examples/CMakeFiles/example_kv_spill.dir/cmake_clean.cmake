@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kv_spill.dir/kv_spill.cpp.o"
+  "CMakeFiles/example_kv_spill.dir/kv_spill.cpp.o.d"
+  "example_kv_spill"
+  "example_kv_spill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kv_spill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_kv_spill.
+# This may be replaced when dependencies are built.

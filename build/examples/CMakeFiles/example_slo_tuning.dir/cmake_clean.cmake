@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_slo_tuning.dir/slo_tuning.cpp.o"
+  "CMakeFiles/example_slo_tuning.dir/slo_tuning.cpp.o.d"
+  "example_slo_tuning"
+  "example_slo_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_slo_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spot_eviction.dir/spot_eviction.cpp.o"
+  "CMakeFiles/example_spot_eviction.dir/spot_eviction.cpp.o.d"
+  "example_spot_eviction"
+  "example_spot_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spot_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

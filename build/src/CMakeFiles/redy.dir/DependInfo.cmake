@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/trace.cc" "src/CMakeFiles/redy.dir/cluster/trace.cc.o" "gcc" "src/CMakeFiles/redy.dir/cluster/trace.cc.o.d"
+  "/root/repo/src/cluster/vm_allocator.cc" "src/CMakeFiles/redy.dir/cluster/vm_allocator.cc.o" "gcc" "src/CMakeFiles/redy.dir/cluster/vm_allocator.cc.o.d"
+  "/root/repo/src/cluster/vm_types.cc" "src/CMakeFiles/redy.dir/cluster/vm_types.cc.o" "gcc" "src/CMakeFiles/redy.dir/cluster/vm_types.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/redy.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/redy.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/redy.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/redy.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/redy.dir/common/random.cc.o" "gcc" "src/CMakeFiles/redy.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/redy.dir/common/status.cc.o" "gcc" "src/CMakeFiles/redy.dir/common/status.cc.o.d"
+  "/root/repo/src/common/zipfian.cc" "src/CMakeFiles/redy.dir/common/zipfian.cc.o" "gcc" "src/CMakeFiles/redy.dir/common/zipfian.cc.o.d"
+  "/root/repo/src/faster/devices.cc" "src/CMakeFiles/redy.dir/faster/devices.cc.o" "gcc" "src/CMakeFiles/redy.dir/faster/devices.cc.o.d"
+  "/root/repo/src/faster/store.cc" "src/CMakeFiles/redy.dir/faster/store.cc.o" "gcc" "src/CMakeFiles/redy.dir/faster/store.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/redy.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/redy.dir/net/topology.cc.o.d"
+  "/root/repo/src/rdma/nic.cc" "src/CMakeFiles/redy.dir/rdma/nic.cc.o" "gcc" "src/CMakeFiles/redy.dir/rdma/nic.cc.o.d"
+  "/root/repo/src/rdma/queue_pair.cc" "src/CMakeFiles/redy.dir/rdma/queue_pair.cc.o" "gcc" "src/CMakeFiles/redy.dir/rdma/queue_pair.cc.o.d"
+  "/root/repo/src/redy/cache_client.cc" "src/CMakeFiles/redy.dir/redy/cache_client.cc.o" "gcc" "src/CMakeFiles/redy.dir/redy/cache_client.cc.o.d"
+  "/root/repo/src/redy/cache_manager.cc" "src/CMakeFiles/redy.dir/redy/cache_manager.cc.o" "gcc" "src/CMakeFiles/redy.dir/redy/cache_manager.cc.o.d"
+  "/root/repo/src/redy/cache_server.cc" "src/CMakeFiles/redy.dir/redy/cache_server.cc.o" "gcc" "src/CMakeFiles/redy.dir/redy/cache_server.cc.o.d"
+  "/root/repo/src/redy/config.cc" "src/CMakeFiles/redy.dir/redy/config.cc.o" "gcc" "src/CMakeFiles/redy.dir/redy/config.cc.o.d"
+  "/root/repo/src/redy/measurement.cc" "src/CMakeFiles/redy.dir/redy/measurement.cc.o" "gcc" "src/CMakeFiles/redy.dir/redy/measurement.cc.o.d"
+  "/root/repo/src/redy/migration.cc" "src/CMakeFiles/redy.dir/redy/migration.cc.o" "gcc" "src/CMakeFiles/redy.dir/redy/migration.cc.o.d"
+  "/root/repo/src/redy/perf_model.cc" "src/CMakeFiles/redy.dir/redy/perf_model.cc.o" "gcc" "src/CMakeFiles/redy.dir/redy/perf_model.cc.o.d"
+  "/root/repo/src/redy/replication.cc" "src/CMakeFiles/redy.dir/redy/replication.cc.o" "gcc" "src/CMakeFiles/redy.dir/redy/replication.cc.o.d"
+  "/root/repo/src/redy/slo.cc" "src/CMakeFiles/redy.dir/redy/slo.cc.o" "gcc" "src/CMakeFiles/redy.dir/redy/slo.cc.o.d"
+  "/root/repo/src/redy/slo_search.cc" "src/CMakeFiles/redy.dir/redy/slo_search.cc.o" "gcc" "src/CMakeFiles/redy.dir/redy/slo_search.cc.o.d"
+  "/root/repo/src/redy/testbed.cc" "src/CMakeFiles/redy.dir/redy/testbed.cc.o" "gcc" "src/CMakeFiles/redy.dir/redy/testbed.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/redy.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/redy.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/ycsb/driver.cc" "src/CMakeFiles/redy.dir/ycsb/driver.cc.o" "gcc" "src/CMakeFiles/redy.dir/ycsb/driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

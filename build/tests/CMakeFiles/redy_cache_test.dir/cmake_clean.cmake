@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redy_cache_test.dir/redy_cache_test.cc.o"
+  "CMakeFiles/redy_cache_test.dir/redy_cache_test.cc.o.d"
+  "redy_cache_test"
+  "redy_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redy_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

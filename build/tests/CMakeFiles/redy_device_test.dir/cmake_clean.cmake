@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redy_device_test.dir/redy_device_test.cc.o"
+  "CMakeFiles/redy_device_test.dir/redy_device_test.cc.o.d"
+  "redy_device_test"
+  "redy_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redy_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
