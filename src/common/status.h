@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kAborted = 8,
   kInternal = 9,
   kUnimplemented = 10,
+  kDeadlineExceeded = 11,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "NotFound", ...).
@@ -71,6 +72,9 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -92,6 +96,9 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

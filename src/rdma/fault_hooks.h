@@ -1,0 +1,37 @@
+#ifndef REDY_RDMA_FAULT_HOOKS_H_
+#define REDY_RDMA_FAULT_HOOKS_H_
+
+#include <cstdint>
+
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+namespace redy::rdma {
+
+/// Fault-injection hook interface consulted by the simulated fabric.
+/// The fabric holds an optional pointer to an implementation (the chaos
+/// fault injector); when none is installed every query is a no-op and
+/// the fabric behaves exactly as before. Keeping the interface here
+/// lets src/rdma stay independent of src/chaos.
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  /// Extra one-way latency (degraded link / latency spike) to charge a
+  /// transfer from `src` to `dst` posted at the current simulated time.
+  virtual uint64_t ExtraLatencyNs(net::ServerId src, net::ServerId dst) = 0;
+
+  /// True when a WQE between `src` and `dst` must complete with a
+  /// transport error (lossy link or a link currently flapped down).
+  virtual bool WqeError(net::ServerId src, net::ServerId dst) = 0;
+
+  /// Earliest time a completion involving `server`'s NIC may be
+  /// delivered (gray failure: the NIC is alive but its completion
+  /// pipeline is stalled). Returns `t` unchanged when no stall covers it.
+  virtual sim::SimTime ReleaseTimeNs(net::ServerId server,
+                                     sim::SimTime t) = 0;
+};
+
+}  // namespace redy::rdma
+
+#endif  // REDY_RDMA_FAULT_HOOKS_H_

@@ -69,6 +69,11 @@ void Nic::DestroyQueuePair(QueuePair* qp) {
   // events holding the pointer stay valid (they observe broken()).
 }
 
+sim::SimTime Nic::ReleaseTime(sim::SimTime t) const {
+  FaultHooks* hooks = fabric_->fault_hooks();
+  return hooks == nullptr ? t : hooks->ReleaseTimeNs(server_, t);
+}
+
 void Nic::Fail() {
   if (failed_) return;
   failed_ = true;

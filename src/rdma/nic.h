@@ -14,6 +14,7 @@
 #include "net/fabric_params.h"
 #include "net/link.h"
 #include "net/topology.h"
+#include "rdma/fault_hooks.h"
 #include "rdma/memory_region.h"
 #include "sim/simulation.h"
 
@@ -50,6 +51,11 @@ class Nic {
   /// Models the NIC (its server/VM) going away. All QPs flush.
   void Fail();
   bool failed() const { return failed_; }
+
+  /// Earliest time a completion on this NIC may be delivered, honoring
+  /// any injected gray-failure stall window (identity when no fault
+  /// hooks are installed).
+  sim::SimTime ReleaseTime(sim::SimTime t) const;
 
   sim::Simulation* sim() const { return sim_; }
   Fabric* fabric() const { return fabric_; }
@@ -100,10 +106,16 @@ class Fabric {
   const net::FabricParams& params() const { return params_; }
   net::FabricParams& mutable_params() { return params_; }
 
+  /// Installs (or clears, with nullptr) the fault-injection hooks the
+  /// fabric consults on every transfer. Not owned.
+  void set_fault_hooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
+  FaultHooks* fault_hooks() const { return fault_hooks_; }
+
  private:
   sim::Simulation* sim_;
   net::Topology topology_;
   net::FabricParams params_;
+  FaultHooks* fault_hooks_ = nullptr;
   std::unordered_map<net::ServerId, std::unique_ptr<Nic>> nics_;
 };
 

@@ -56,6 +56,10 @@ void QueuePair::DeliverReady() {
     ready_.erase(it);
     next_deliver_seq_++;
     t = std::max(t, last_completion_);
+    // Injected gray failure: a stalled NIC (either endpoint) holds its
+    // completions until the stall window closes.
+    t = nic_->ReleaseTime(t);
+    if (peer_ != nullptr) t = peer_->nic_->ReleaseTime(t);
     last_completion_ = t;
     nic_->sim()->At(t, [this, wc, t]() mutable {
       wc.completed_at = t;
@@ -85,15 +89,23 @@ Status QueuePair::PostWrite(uint64_t wr_id, const MemoryRegion* mr,
   sim::Simulation* sim = nic_->sim();
   const bool inlined = len <= p.inline_threshold_bytes;
 
+  // Fault injection: a doomed WQE travels normally but completes with a
+  // transport error; degraded links add one-way latency.
+  FaultHooks* hooks = nic_->fabric()->fault_hooks();
+  const net::ServerId src = nic_->server();
+  const net::ServerId dst = peer_->nic_->server();
+  const bool doomed = hooks != nullptr && hooks->WqeError(src, dst);
+  const uint64_t extra_ns =
+      hooks == nullptr ? 0 : hooks->ExtraLatencyNs(src, dst);
+
   // The per-QP pipeline is computed at post time so stages stay FIFO:
   // issue -> (PCIe fetch) -> wire serialization -> propagation -> DMA.
   const sim::SimTime issue = IssueSlot(sim->Now());
   const sim::SimTime fetch_done = issue + (inlined ? 0 : p.pcie_fetch_ns);
   const sim::SimTime wire_end = nic_->tx_link().Reserve(fetch_done, len);
   const sim::SimTime landed =
-      wire_end +
-      nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server()) +
-      p.nic_remote_dma_ns;
+      wire_end + nic_->fabric()->OneWayNs(src, dst) + p.nic_remote_dma_ns +
+      extra_ns;
 
   // Inline payloads snapshot at post time (real NICs copy them into the
   // WQE); non-inline payloads are fetched over PCIe at fetch_done.
@@ -108,10 +120,11 @@ Status QueuePair::PostWrite(uint64_t wr_id, const MemoryRegion* mr,
     });
   }
 
-  sim->At(landed, [this, seq, wr_id, key, remote_offset, len, payload]() {
+  sim->At(landed, [this, seq, wr_id, key, remote_offset, len, payload,
+                   doomed]() {
     WorkCompletion wc{wr_id, Opcode::kWrite, StatusCode::kOk,
                       static_cast<uint32_t>(len), 0};
-    if (broken_ || peer_ == nullptr || peer_->nic_->failed()) {
+    if (doomed || broken_ || peer_ == nullptr || peer_->nic_->failed()) {
       wc.status = StatusCode::kUnavailable;
     } else {
       auto mr_or = peer_->nic_->Resolve(key);
@@ -141,22 +154,28 @@ Status QueuePair::PostRead(uint64_t wr_id, MemoryRegion* mr,
 
   sim::Simulation* sim = nic_->sim();
 
+  FaultHooks* hooks = nic_->fabric()->fault_hooks();
+  const net::ServerId src = nic_->server();
+  const net::ServerId dst = peer_->nic_->server();
+  const bool doomed = hooks != nullptr && hooks->WqeError(src, dst);
+  const uint64_t extra_ns =
+      hooks == nullptr ? 0 : hooks->ExtraLatencyNs(src, dst);
+
   const sim::SimTime issue = IssueSlot(sim->Now());
   // Read request is header-only on the wire.
   const sim::SimTime req_wire_end = nic_->tx_link().Reserve(issue, 0);
   const sim::SimTime req_arrive =
-      req_wire_end +
-      nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server());
+      req_wire_end + nic_->fabric()->OneWayNs(src, dst) + extra_ns;
 
   sim->At(req_arrive, [this, seq, wr_id, mr, local_offset, key, remote_offset,
-                       len]() {
+                       len, doomed]() {
     const net::FabricParams& p = nic_->params();
     sim::Simulation* sim = nic_->sim();
     WorkCompletion wc{wr_id, Opcode::kRead, StatusCode::kOk,
                       static_cast<uint32_t>(len), 0};
     const uint64_t one_way =
         nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server());
-    if (broken_ || peer_ == nullptr || peer_->nic_->failed()) {
+    if (doomed || broken_ || peer_ == nullptr || peer_->nic_->failed()) {
       wc.status = StatusCode::kUnavailable;
       Complete(seq, wc, sim->Now() + one_way);
       return;
@@ -171,11 +190,16 @@ Status QueuePair::PostRead(uint64_t wr_id, MemoryRegion* mr,
     // response on its own transmit link.
     std::vector<uint8_t> payload((*mr_or)->data() + remote_offset,
                                  (*mr_or)->data() + remote_offset + len);
+    FaultHooks* hooks = nic_->fabric()->fault_hooks();
+    const uint64_t resp_extra =
+        hooks == nullptr
+            ? 0
+            : hooks->ExtraLatencyNs(peer_->nic_->server(), nic_->server());
     const sim::SimTime fetch_done = sim->Now() + p.pcie_fetch_ns;
     const sim::SimTime resp_wire_end =
         peer_->nic_->tx_link().Reserve(fetch_done, len);
     const sim::SimTime landed =
-        resp_wire_end + one_way + p.nic_remote_dma_ns;
+        resp_wire_end + one_way + p.nic_remote_dma_ns + resp_extra;
     sim->At(landed, [this, seq, wc, mr, local_offset, len,
                      payload = std::move(payload)]() mutable {
       if (broken_) {
@@ -202,20 +226,27 @@ Status QueuePair::PostSend(uint64_t wr_id, const MemoryRegion* mr,
   sim::Simulation* sim = nic_->sim();
   const bool inlined = len <= p.inline_threshold_bytes;
 
+  FaultHooks* hooks = nic_->fabric()->fault_hooks();
+  const net::ServerId src = nic_->server();
+  const net::ServerId dst = peer_->nic_->server();
+  const bool doomed = hooks != nullptr && hooks->WqeError(src, dst);
+  const uint64_t extra_ns =
+      hooks == nullptr ? 0 : hooks->ExtraLatencyNs(src, dst);
+
   const sim::SimTime issue = IssueSlot(sim->Now());
   const sim::SimTime fetch_done = issue + (inlined ? 0 : p.pcie_fetch_ns);
   const sim::SimTime wire_end = nic_->tx_link().Reserve(fetch_done, len);
   const sim::SimTime landed =
-      wire_end +
-      nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server()) +
-      p.nic_remote_dma_ns;
+      wire_end + nic_->fabric()->OneWayNs(src, dst) + p.nic_remote_dma_ns +
+      extra_ns;
   std::vector<uint8_t> payload(mr->data() + local_offset,
                                mr->data() + local_offset + len);
 
-  sim->At(landed, [this, seq, wr_id, len, payload = std::move(payload)]() {
+  sim->At(landed, [this, seq, wr_id, len, payload = std::move(payload),
+                   doomed]() {
     WorkCompletion wc{wr_id, Opcode::kSend, StatusCode::kOk,
                       static_cast<uint32_t>(len), 0};
-    if (broken_ || peer_ == nullptr || peer_->nic_->failed()) {
+    if (doomed || broken_ || peer_ == nullptr || peer_->nic_->failed()) {
       wc.status = StatusCode::kUnavailable;
       Complete(seq, wc, nic_->sim()->Now());
       return;

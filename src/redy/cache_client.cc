@@ -86,7 +86,8 @@ Result<CacheClient::CacheId> CacheClient::CreateWithConfig(
     uint64_t capacity, const RdmaConfig& cfg, uint32_t record_bytes,
     bool spot) {
   auto alloc_or = manager_->AllocateWithConfig(
-      capacity, cfg, record_bytes, spot, node_, options_.region_bytes);
+      capacity, cfg, record_bytes, spot, node_, options_.region_bytes,
+      /*max_hops=*/5, /*avoid_nodes=*/nullptr, options_.max_regions_per_vm);
   if (!alloc_or.ok()) return alloc_or.status();
   Slo slo;
   slo.record_bytes = record_bytes;
@@ -280,6 +281,55 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
 
 uint64_t CacheClient::PollThread(CacheEntry& cache, ClientThread& thread) {
   uint64_t consumed = 0;
+  const sim::SimTime now = sim_->Now();
+
+  // Resilience sweep: connections whose QP broke are torn down so the
+  // next op rebuilds them, and connections carrying a sub-op past its
+  // deadline are reset (the stalled in-flight work fails with
+  // DeadlineExceeded and retries if enabled). Collected first because
+  // ResetConnection erases from thread.conns.
+  std::vector<cluster::VmId> reset_broken;
+  std::vector<cluster::VmId> reset_expired;
+  for (auto& [vm, conn] : thread.conns) {
+    if (conn->qp == nullptr || conn->qp->broken()) {
+      reset_broken.push_back(vm);
+      continue;
+    }
+    if (options_.sub_op_timeout_ns == 0) continue;
+    uint64_t expired = 0;
+    for (const auto& [wr, op] : conn->onesided_ops) {
+      if (op.issued_at + options_.sub_op_timeout_ns <= now) expired++;
+    }
+    for (const auto& slot_ops : conn->slots) {
+      for (const SubOp& op : slot_ops) {
+        if (op.issued_at + options_.sub_op_timeout_ns <= now) expired++;
+      }
+    }
+    if (expired > 0) {
+      cache.stats.timeouts += expired;
+      reset_expired.push_back(vm);
+    }
+  }
+  for (cluster::VmId vm : reset_broken) {
+    consumed += ResetConnection(cache, thread, vm,
+                                Status::Unavailable("connection broken"));
+  }
+  for (cluster::VmId vm : reset_expired) {
+    consumed += ResetConnection(
+        cache, thread, vm,
+        Status::DeadlineExceeded("sub-op deadline exceeded"));
+  }
+
+  // Retries whose backoff elapsed re-enter through the replay queue.
+  for (auto it = thread.delayed.begin(); it != thread.delayed.end();) {
+    if (it->due <= now) {
+      thread.replay.push_back(std::move(it->op));
+      it = thread.delayed.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
   for (auto& [vm, conn] : thread.conns) {
     consumed += DrainCompletions(cache, thread, *conn);
     consumed += DrainResponses(cache, thread, *conn);
@@ -296,6 +346,9 @@ uint64_t CacheClient::PollThread(CacheEntry& cache, ClientThread& thread) {
   }
 
   if (consumed == 0) {
+    // Pending backoffs keep the poller at full rate: a retry must be
+    // picked up promptly, not after an idle-back-off sleep.
+    if (!thread.delayed.empty()) return options_.costs.poll_interval_ns;
     consumed = options_.costs.idle_poll_ns;
     if (!options_.costs.numa_affinitized) {
       consumed = std::max(consumed, options_.costs.numa_idle_poll_ns);
@@ -321,7 +374,6 @@ uint64_t CacheClient::PollThread(CacheEntry& cache, ClientThread& thread) {
 uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
                                        ClientThread& thread,
                                        Connection& conn) {
-  (void)thread;
   uint64_t consumed = 0;
   rdma::WorkCompletion wc;
   while (conn.qp != nullptr && conn.qp->send_cq().Poll(&wc, 1) == 1) {
@@ -363,19 +415,20 @@ uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
         conn.onesided_slot_busy[op.staging_slot] = false;
       }
       cache.stats.one_sided_ops++;
-      CompleteSubOp(cache, op, st);
+      FinishSubOp(cache, thread, op, st);
     } else if (kind == kWrKindBatch) {
       if (wc.status == StatusCode::kOk) continue;  // request delivered
       // The request batch never reached the server: fail its ops.
       const uint64_t seq = id;
       const uint32_t slot = static_cast<uint32_t>((seq - 1) % cache.cfg.q);
       if (slot < conn.slots.size() && !conn.slots[slot].empty()) {
-        for (SubOp& op : conn.slots[slot]) {
-          CompleteSubOp(cache, op,
-                        Status(wc.status, "request batch failed"));
-        }
+        std::vector<SubOp> ops = std::move(conn.slots[slot]);
         conn.slots[slot].clear();
         if (conn.inflight_batches > 0) conn.inflight_batches--;
+        for (SubOp& op : ops) {
+          FinishSubOp(cache, thread, op,
+                      Status(wc.status, "request batch failed"));
+        }
       }
     }
   }
@@ -384,7 +437,6 @@ uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
 
 uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
                                      Connection& conn) {
-  (void)thread;
   if (conn.resp_ring == nullptr) return 0;
   uint64_t consumed = 0;
   const uint32_t q = cache.cfg.q;
@@ -414,7 +466,7 @@ uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
       p += rh.len;
       consumed += options_.costs.response_handle_ns;
       cache.stats.batched_ops++;
-      CompleteSubOp(cache, op, st);
+      FinishSubOp(cache, thread, op, st);
     }
     ops.clear();
     // Clear the header so a stale seq can never confuse a later lap.
@@ -463,10 +515,26 @@ uint64_t CacheClient::DrainSubmissions(CacheEntry& cache,
       continue;
     }
     if (op.to_replica && !vr.replica.has_value()) {
-      // Degraded region (replica lost, repair pending): the primary
-      // write carries the operation.
-      CompleteSubOp(cache, op, Status::OK());
-      continue;
+      if (op.op == OpCode::kWrite) {
+        // Degraded region (replica lost, repair pending): the primary
+        // write carries the operation.
+        CompleteSubOp(cache, op, Status::OK());
+        continue;
+      }
+      // Hedged read whose replica vanished: fall back to the primary.
+      op.to_replica = false;
+    }
+    // Health-based diversion: a read whose primary VM keeps losing its
+    // connection goes to the replica instead of queueing up behind
+    // another reset cycle.
+    if (options_.hedge_reads_to_replica && op.op == OpCode::kRead &&
+        !op.to_replica && vr.replica.has_value()) {
+      auto h = thread.vm_health.find(vr.placement.vm_id);
+      if (h != thread.vm_health.end() &&
+          h->second >= options_.unhealthy_after) {
+        op.to_replica = true;
+        cache.stats.hedged_to_replica++;
+      }
     }
     const CacheManager::RegionPlacement& placement =
         op.to_replica ? *vr.replica : vr.placement;
@@ -474,7 +542,7 @@ uint64_t CacheClient::DrainSubmissions(CacheEntry& cache,
     auto conn_or =
         EnsureConnection(cache, thread, placement.vm_id, placement.server);
     if (!conn_or.ok()) {
-      CompleteSubOp(cache, op, conn_or.status());
+      FinishSubOp(cache, thread, op, conn_or.status());
       continue;
     }
     Connection& conn = **conn_or;
@@ -518,8 +586,8 @@ uint64_t CacheClient::IssueOneSided(CacheEntry& cache, ClientThread& thread,
                                     bool* issued) {
   *issued = false;
   if (conn.qp == nullptr || conn.qp->broken()) {
-    CompleteSubOp(cache, *op, Status::Unavailable("connection broken"));
-    *issued = true;  // consumed (failed), don't retry
+    FinishSubOp(cache, thread, *op, Status::Unavailable("connection broken"));
+    *issued = true;  // consumed here (failed or queued for retry)
     return 0;
   }
   if (conn.qp->outstanding() >= cache.cfg.q) return 0;  // backpressure
@@ -527,7 +595,15 @@ uint64_t CacheClient::IssueOneSided(CacheEntry& cache, ClientThread& thread,
   uint64_t consumed = 0;
   const VRegion& vr = cache.regions[op->vregion];
   if (op->to_replica && !vr.replica.has_value()) {
-    CompleteSubOp(cache, *op, Status::OK());  // degraded region
+    if (op->op == OpCode::kWrite) {
+      CompleteSubOp(cache, *op, Status::OK());  // degraded region
+      *issued = true;
+      return 0;
+    }
+    // Hedged read whose replica vanished: re-route to the primary
+    // (this connection is the replica VM's).
+    op->to_replica = false;
+    thread.replay.push_back(std::move(*op));
     *issued = true;
     return 0;
   }
@@ -588,12 +664,13 @@ uint64_t CacheClient::IssueOneSided(CacheEntry& cache, ClientThread& thread,
       conn.transient_mrs.erase(tr);
     }
     if (st.IsResourceExhausted()) return consumed;  // retry later
-    CompleteSubOp(cache, *op, st);
+    FinishSubOp(cache, thread, *op, st);
     *issued = true;
     return consumed;
   }
   cache.regions[op->vregion].inflight_subops++;
   op->issued = true;
+  op->issued_at = sim_->Now();
   conn.onesided_ops.emplace(wr, std::move(*op));
   *issued = true;
   return consumed;
@@ -622,10 +699,11 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
   }
 
   if (conn.qp == nullptr || conn.qp->broken()) {
-    for (SubOp& op : conn.current) {
-      CompleteSubOp(cache, op, Status::Unavailable("connection broken"));
-    }
+    std::vector<SubOp> ops = std::move(conn.current);
     conn.current.clear();
+    for (SubOp& op : ops) {
+      FinishSubOp(cache, thread, op, Status::Unavailable("connection broken"));
+    }
     *flushed = true;
     return consumed;
   }
@@ -634,12 +712,18 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
     return consumed;  // backpressure
   }
 
-  // Replica twins whose replica vanished while queued complete as
-  // no-ops (the primary write carries the operation).
+  // Sub-ops whose replica vanished while queued: write twins complete
+  // as no-ops (the primary write carries the operation); hedged reads
+  // re-route to the primary through the replay queue.
   for (size_t i = 0; i < conn.current.size();) {
     SubOp& op = conn.current[i];
     if (op.to_replica && !cache.regions[op.vregion].replica.has_value()) {
-      CompleteSubOp(cache, op, Status::OK());
+      if (op.op == OpCode::kWrite) {
+        CompleteSubOp(cache, op, Status::OK());
+      } else {
+        op.to_replica = false;
+        thread.replay.push_back(std::move(op));
+      }
       conn.current.erase(conn.current.begin() + static_cast<long>(i));
     } else {
       i++;
@@ -688,8 +772,9 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
       off <= fabric_->params().inline_threshold_bytes ? off : 0);
   if (!st.ok()) {
     if (st.IsResourceExhausted()) return consumed;  // retry later
-    for (SubOp& op : conn.current) CompleteSubOp(cache, op, st);
+    std::vector<SubOp> ops = std::move(conn.current);
     conn.current.clear();
+    for (SubOp& op : ops) FinishSubOp(cache, thread, op, st);
     *flushed = true;
     return consumed;
   }
@@ -697,6 +782,7 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
   for (SubOp& op : conn.current) {
     cache.regions[op.vregion].inflight_subops++;
     op.issued = true;
+    op.issued_at = sim_->Now();
   }
   conn.slots[slot] = std::move(conn.current);
   conn.current.clear();
@@ -783,6 +869,95 @@ void CacheClient::CompleteSubOp(CacheEntry& cache, SubOp& op,
   op.state.reset();
 }
 
+void CacheClient::FinishSubOp(CacheEntry& cache, ClientThread& thread,
+                              SubOp& op, const Status& status) {
+  if (status.ok() && op.state != nullptr) {
+    // A success clears the target VM's health record.
+    const VRegion& vr = cache.regions[op.vregion];
+    const cluster::VmId vm = op.to_replica && vr.replica.has_value()
+                                 ? vr.replica->vm_id
+                                 : vr.placement.vm_id;
+    thread.vm_health.erase(vm);
+  }
+  if (MaybeRetry(cache, thread, op, status)) return;
+  CompleteSubOp(cache, op, status);
+}
+
+bool CacheClient::MaybeRetry(CacheEntry& cache, ClientThread& thread,
+                             SubOp& op, const Status& status) {
+  if (status.ok() || cache.deleted || op.state == nullptr) return false;
+  if (op.attempts >= options_.max_retries) return false;
+  // Only transport-level failures are retryable: the op may simply not
+  // have reached (or returned from) the server. Server rejections
+  // (bounds, protocol) are deterministic and surface immediately.
+  if (!status.IsUnavailable() && !status.IsDeadlineExceeded()) return false;
+
+  if (op.issued) {
+    VRegion& vr = cache.regions[op.vregion];
+    REDY_CHECK(vr.inflight_subops > 0);
+    vr.inflight_subops--;
+    op.issued = false;
+  }
+  op.staging_slot = UINT32_MAX;  // the old slot/ring is gone or freed
+  op.attempts++;
+  cache.stats.retries++;
+
+  // Hedge retried reads to the replica: the primary just failed, the
+  // replica holds the same bytes.
+  if (options_.hedge_reads_to_replica && op.op == OpCode::kRead &&
+      !op.to_replica &&
+      cache.regions[op.vregion].replica.has_value()) {
+    op.to_replica = true;
+    cache.stats.hedged_to_replica++;
+  }
+
+  // Exponential backoff with +-50% jitter (decorrelates retry storms
+  // across threads; all randomness is the thread's seeded rng).
+  uint64_t base = options_.retry_backoff_ns;
+  for (uint32_t i = 1; i < op.attempts && base < options_.retry_backoff_max_ns;
+       i++) {
+    base <<= 1;
+  }
+  base = std::min(base, options_.retry_backoff_max_ns);
+  const uint64_t backoff = base / 2 + thread.rng.Uniform(base + 1);
+  thread.delayed.push_back(DelayedOp{sim_->Now() + backoff, std::move(op)});
+  return true;
+}
+
+uint64_t CacheClient::ResetConnection(CacheEntry& cache, ClientThread& thread,
+                                      cluster::VmId vm,
+                                      const Status& status) {
+  auto it = thread.conns.find(vm);
+  if (it == thread.conns.end()) return 0;
+  Connection& conn = *it->second;
+
+  // Strip every sub-op the connection carries, then release it. The QP
+  // break cancels in-flight remote effects (their landed handlers
+  // observe broken_), so a retried write can never race its own ghost.
+  std::vector<SubOp> inflight;
+  for (auto& [wr, op] : conn.onesided_ops) inflight.push_back(std::move(op));
+  conn.onesided_ops.clear();
+  for (auto& slot_ops : conn.slots) {
+    for (SubOp& op : slot_ops) inflight.push_back(std::move(op));
+    slot_ops.clear();
+  }
+  for (SubOp& op : conn.current) inflight.push_back(std::move(op));
+  conn.current.clear();
+  conn.inflight_batches = 0;
+  ReleaseConnection(conn);
+  thread.conns.erase(it);
+
+  cache.stats.reconnects++;
+  thread.vm_health[vm]++;
+
+  uint64_t consumed = options_.costs.response_handle_ns;
+  for (SubOp& op : inflight) {
+    FinishSubOp(cache, thread, op, status);
+    consumed += options_.costs.response_handle_ns;
+  }
+  return consumed;
+}
+
 void CacheClient::FailAllPending(CacheEntry& cache, const Status& status) {
   for (auto& t : cache.threads) {
     while (true) {
@@ -792,6 +967,8 @@ void CacheClient::FailAllPending(CacheEntry& cache, const Status& status) {
     }
     for (SubOp& op : t->replay) CompleteSubOp(cache, op, status);
     t->replay.clear();
+    for (DelayedOp& d : t->delayed) CompleteSubOp(cache, d.op, status);
+    t->delayed.clear();
     for (auto& [vm, conn] : t->conns) {
       for (SubOp& op : conn->current) CompleteSubOp(cache, op, status);
       conn->current.clear();

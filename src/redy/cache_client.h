@@ -44,6 +44,10 @@ class CacheClient {
     /// Slot size of the one-sided staging ring; ops larger than this
     /// use a transient registered buffer.
     uint64_t one_sided_slot_bytes = 64 * kKiB;
+    /// Cap on regions per cache VM (0 = unlimited). A nonzero cap makes
+    /// region fan-out across VMs deterministic and bounds how many
+    /// regions one VM loss takes down.
+    uint32_t max_regions_per_vm = 0;
 
     // --- Migration (Section 6.2) ---
     /// Serve reads from the old VM while a region migrates.
@@ -62,6 +66,28 @@ class CacheClient {
     /// Automatically migrate/repair when the manager reports VM loss.
     bool auto_recover = true;
 
+    // --- Resilience (fault tolerance) ---
+    /// Retries for sub-ops failing with a retryable status (Unavailable
+    /// or DeadlineExceeded). 0 disables retries: failures surface to
+    /// the caller immediately (the historical behavior).
+    uint32_t max_retries = 0;
+    /// Per-sub-op deadline measured from issue. When any in-flight
+    /// sub-op exceeds it, the owning connection is torn down and lazily
+    /// re-established, and every sub-op it carried completes with
+    /// DeadlineExceeded (then retries, if enabled). 0 disables
+    /// deadlines — a stalled NIC then blocks its ops forever.
+    uint64_t sub_op_timeout_ns = 0;
+    /// Exponential backoff between retries (doubles per attempt, with
+    /// +-50% jitter to avoid synchronized retry storms), capped below.
+    uint64_t retry_backoff_ns = 5 * kMicrosecond;
+    uint64_t retry_backoff_max_ns = 1 * kMillisecond;
+    /// Send retried reads — and new reads whose primary connection is
+    /// unhealthy — to the region's replica when one exists.
+    bool hedge_reads_to_replica = true;
+    /// Consecutive connection resets after which a VM counts as
+    /// unhealthy (reads divert to replicas until a sub-op succeeds).
+    uint32_t unhealthy_after = 2;
+
     CostModel costs;
   };
 
@@ -77,6 +103,10 @@ class CacheClient {
     uint64_t one_sided_ops = 0;
     uint64_t batched_ops = 0;
     uint64_t parked_ops = 0;
+    uint64_t retries = 0;
+    uint64_t timeouts = 0;
+    uint64_t reconnects = 0;
+    uint64_t hedged_to_replica = 0;
 
     void Reset() { *this = Stats{}; }
     uint64_t ops_completed() const {
@@ -214,7 +244,9 @@ class CacheClient {
     uint32_t thread = 0;                 // owning client thread
     uint32_t staging_slot = UINT32_MAX;  // one-sided staging slot in use
     bool issued = false;  // counted in its region's inflight_subops
-    bool to_replica = false;  // write twin targeting the replica
+    bool to_replica = false;  // write twin / hedged read to the replica
+    uint32_t attempts = 0;        // completed (failed) issue attempts
+    sim::SimTime issued_at = 0;   // deadline base, set at issue
   };
 
   /// A virtual region and its current placement + pause state.
@@ -253,11 +285,21 @@ class CacheClient {
     std::vector<SubOp> current;
   };
 
+  /// A retryable sub-op waiting out its backoff before re-submission.
+  struct DelayedOp {
+    sim::SimTime due = 0;
+    SubOp op;
+  };
+
   struct ClientThread {
     uint32_t index = 0;
     CacheEntry* cache = nullptr;
     std::unique_ptr<ringbuf::SpscRing<SubOp>> ring;
     std::deque<SubOp> replay;  // unparked ops, drained before the ring
+    std::deque<DelayedOp> delayed;  // retries waiting out their backoff
+    /// Consecutive connection resets per VM; cleared by any successful
+    /// sub-op against the VM. Drives read diversion to replicas.
+    std::unordered_map<cluster::VmId, uint32_t> vm_health;
     std::unordered_map<cluster::VmId, std::unique_ptr<Connection>> conns;
     std::unique_ptr<sim::Poller> poller;
     Rng rng{1};
@@ -322,6 +364,18 @@ class CacheClient {
                                        ClientThread& thread,
                                        cluster::VmId vm, CacheServer* server);
   void CompleteSubOp(CacheEntry& cache, SubOp& op, const Status& status);
+  /// Completion front door for the data path: retries retryable
+  /// failures (when enabled) instead of surfacing them, tracks
+  /// per-VM health, and falls through to CompleteSubOp otherwise.
+  void FinishSubOp(CacheEntry& cache, ClientThread& thread, SubOp& op,
+                   const Status& status);
+  bool MaybeRetry(CacheEntry& cache, ClientThread& thread, SubOp& op,
+                  const Status& status);
+  /// Tears down the connection to `vm`: every in-flight sub-op it
+  /// carries finishes with `status` (retrying when eligible) and the
+  /// next op targeting the VM rebuilds the connection from scratch.
+  uint64_t ResetConnection(CacheEntry& cache, ClientThread& thread,
+                           cluster::VmId vm, const Status& status);
   void ParkOp(CacheEntry& cache, SubOp op);
   void ReplayParked(CacheEntry& cache, uint32_t vregion);
 
@@ -330,8 +384,8 @@ class CacheClient {
   Status StartMigration(CacheId id, std::vector<uint32_t> vregions,
                         cluster::VmId release_vm, sim::SimTime deadline,
                         std::function<void(const MigrationEvent&)> done);
-  void MigrateNextRegion(std::shared_ptr<MigrationJob> job);
-  void FinishMigration(std::shared_ptr<MigrationJob> job);
+  void MigrateNextRegion(MigrationJob* job);
+  void FinishMigration(MigrationJob* job);
 
   /// Paced chunked one-sided copy of `bytes` from `src` to `dst`
   /// region placements; `done(failed)` fires when the last chunk lands.
@@ -357,6 +411,14 @@ class CacheClient {
   CacheId next_id_ = 1;
   std::unordered_map<CacheId, std::unique_ptr<CacheEntry>> caches_;
   std::vector<MigrationEvent> migration_log_;
+  /// In-flight background activities (migration jobs, region transfers,
+  /// quiesce pollers). Ownership lives here — their pollers capture raw
+  /// pointers, never shared_ptrs, so there are no reference cycles —
+  /// and entries erase themselves on completion; whatever teardown
+  /// catches mid-flight is released by the destructor (pollers cancel
+  /// their pending events safely).
+  uint64_t next_bg_id_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<void>> background_;
 };
 
 }  // namespace redy

@@ -102,7 +102,8 @@ Result<CacheManager::Allocation> CacheManager::Allocate(
 Result<CacheManager::Allocation> CacheManager::AllocateWithConfig(
     uint64_t capacity, const RdmaConfig& config, uint32_t record_bytes,
     bool spot, net::ServerId client_node, uint64_t region_bytes,
-    int max_hops, const std::vector<net::ServerId>* avoid_nodes) {
+    int max_hops, const std::vector<net::ServerId>* avoid_nodes,
+    uint32_t max_regions_per_vm) {
   if (capacity == 0 || region_bytes == 0) {
     return Status::InvalidArgument("capacity and region size must be > 0");
   }
@@ -141,12 +142,14 @@ Result<CacheManager::Allocation> CacheManager::AllocateWithConfig(
     Result<cluster::Vm> vm_or = Status::NotFound("unset");
     double price = 0.0;
     bool memory_only = false;
-    uint32_t vm_regions = remaining;
+    uint32_t vm_regions = max_regions_per_vm == 0
+                              ? remaining
+                              : std::min(remaining, max_regions_per_vm);
 
     if (config.s == 0) {
       // Try stranded memory first, geometrically backing off the piece
       // size until something fits.
-      for (uint32_t r = remaining; r >= 1; r = (r == 1 ? 0 : (r + 1) / 2)) {
+      for (uint32_t r = vm_regions; r >= 1; r = (r == 1 ? 0 : (r + 1) / 2)) {
         const uint64_t mem = r * region_bytes + ring_overhead;
         auto stranded = allocator_->Allocate(
             0, mem, spot, client_node, max_hops, /*memory_only=*/true,

@@ -81,7 +81,10 @@ class CacheManager {
   /// Allocate with an explicitly chosen configuration (used by
   /// benchmarks, Reshape with unchanged SLO, and migration targets).
   /// `avoid_nodes` provides anti-affinity (replicas must not share a
-  /// physical server with their primary).
+  /// physical server with their primary). `max_regions_per_vm` caps how
+  /// many regions a single VM may host (0 = unlimited): tests use it to
+  /// pin down region-to-VM fan-out deterministically, deployments to
+  /// bound the blast radius of a single VM loss.
   Result<Allocation> AllocateWithConfig(uint64_t capacity,
                                         const RdmaConfig& config,
                                         uint32_t record_bytes, bool spot,
@@ -89,7 +92,8 @@ class CacheManager {
                                         uint64_t region_bytes,
                                         int max_hops = 5,
                                         const std::vector<net::ServerId>*
-                                            avoid_nodes = nullptr);
+                                            avoid_nodes = nullptr,
+                                        uint32_t max_regions_per_vm = 0);
 
   /// Releases every VM in `allocation` (Deallocate).
   void Deallocate(const Allocation& allocation);

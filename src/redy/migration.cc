@@ -27,6 +27,10 @@ struct CacheClient::MigrationJob {
   rdma::QueuePair* qp = nullptr;    // on the target server's NIC
   rdma::QueuePair* peer = nullptr;  // on the victim's NIC
   std::unique_ptr<sim::Poller> driver;
+  /// Quiesce/drain poller for the current phase. Reassigned per phase
+  /// (never from inside its own body, so the replacement is safe).
+  std::unique_ptr<sim::Poller> gate;
+  uint64_t bg_id = 0;  // key in CacheClient::background_
   uint64_t next_chunk_off = 0;
   uint32_t chunks_out = 0;
   bool chunk_failed = false;
@@ -108,11 +112,13 @@ Status CacheClient::StartMigration(
     }
   }
 
-  MigrateNextRegion(job);
+  job->bg_id = next_bg_id_++;
+  background_[job->bg_id] = job;
+  MigrateNextRegion(job.get());
   return Status::OK();
 }
 
-void CacheClient::MigrateNextRegion(std::shared_ptr<MigrationJob> job) {
+void CacheClient::MigrateNextRegion(MigrationJob* job) {
   CacheEntry& cache = *job->cache;
   if (job->next >= job->vregions.size()) {
     FinishMigration(job);
@@ -130,17 +136,16 @@ void CacheClient::MigrateNextRegion(std::shared_ptr<MigrationJob> job) {
   // Wait until in-flight writes to this region drain, then transfer.
   // (In-flight *reads* are harmless: the old region stays intact and
   // serves them until the placement swap.)
-  auto quiesce = std::make_shared<std::unique_ptr<sim::Poller>>();
-  *quiesce = std::make_unique<sim::Poller>(
+  job->gate = std::make_unique<sim::Poller>(
       sim_, options_.costs.poll_interval_ns,
-      [this, job, quiesce, vr_index]() -> uint64_t {
+      [this, job, vr_index]() -> uint64_t {
         CacheEntry& cache = *job->cache;
         VRegion& vr = cache.regions[vr_index];
         // Conservative: wait for all sub-ops on the region (reads
         // included) before snapshotting; reads keep being *submitted*
         // and serviced during the transfer itself.
         if (vr.inflight_subops > 0) return options_.costs.idle_poll_ns;
-        (*quiesce)->Stop();
+        job->gate->Stop();
 
         // --- start the chunked transfer ---
         const auto& old_p = vr.placement;
@@ -236,15 +241,12 @@ void CacheClient::MigrateNextRegion(std::shared_ptr<MigrationJob> job) {
               return consumed == 0 ? 50 : consumed;
             });
         job->driver->Start();
-        // Destroy the quiesce poller once its last event completes,
-        // breaking the poller->body->poller reference cycle.
-        sim_->After(0, [quiesce] { quiesce->reset(); });
         return 200;
       });
-  (*quiesce)->Start();
+  job->gate->Start();
 }
 
-void CacheClient::FinishMigration(std::shared_ptr<MigrationJob> job) {
+void CacheClient::FinishMigration(MigrationJob* job) {
   CacheEntry& cache = *job->cache;
   // Unpause everything that the baseline policies held back.
   for (uint32_t vr : job->vregions) {
@@ -259,17 +261,19 @@ void CacheClient::FinishMigration(std::shared_ptr<MigrationJob> job) {
     cache.migrating = false;
     job->event.finished = sim_->Now();
     migration_log_.push_back(job->event);
-    if (job->done) job->done(job->event);
+    auto done = std::move(job->done);
+    const MigrationEvent ev = job->event;
+    background_.erase(job->bg_id);  // destroys the job
+    if (done) done(ev);
     return;
   }
 
   // Wait for any in-flight reads against the old VM to drain, then drop
   // the connections, release the VM, and signal the old VM to
   // terminate.
-  auto wait = std::make_shared<std::unique_ptr<sim::Poller>>();
-  *wait = std::make_unique<sim::Poller>(
+  job->gate = std::make_unique<sim::Poller>(
       sim_, options_.costs.poll_interval_ns,
-      [this, job, wait]() -> uint64_t {
+      [this, job]() -> uint64_t {
         CacheEntry& cache = *job->cache;
         for (auto& t : cache.threads) {
           auto it = t->conns.find(job->victim);
@@ -280,8 +284,7 @@ void CacheClient::FinishMigration(std::shared_ptr<MigrationJob> job) {
             return options_.costs.idle_poll_ns;
           }
         }
-        (*wait)->Stop();
-        sim_->After(0, [wait] { wait->reset(); });
+        job->gate->Stop();
         sim_->After(0, [this, job] {
           CacheEntry& cache = *job->cache;
           DropConnections(cache, job->victim);
@@ -289,11 +292,14 @@ void CacheClient::FinishMigration(std::shared_ptr<MigrationJob> job) {
           cache.migrating = false;
           job->event.finished = sim_->Now();
           migration_log_.push_back(job->event);
-          if (job->done) job->done(job->event);
+          auto done = std::move(job->done);
+          const MigrationEvent ev = job->event;
+          background_.erase(job->bg_id);  // destroys the job
+          if (done) done(ev);
         });
         return 100;
       });
-  (*wait)->Start();
+  job->gate->Start();
 }
 
 void CacheClient::TransferRegion(const CacheManager::RegionPlacement& src,
@@ -311,6 +317,8 @@ void CacheClient::TransferRegion(const CacheManager::RegionPlacement& src,
   };
   auto x = std::make_shared<Xfer>();
   x->done = std::move(done);
+  const uint64_t bg = next_bg_id_++;
+  background_[bg] = x;
 
   rdma::Nic* dst_nic = fabric_->NicAt(dst.node);
   x->qp = dst_nic->CreateQueuePair(options_.migration_depth);
@@ -329,40 +337,43 @@ void CacheClient::TransferRegion(const CacheManager::RegionPlacement& src,
 
   x->driver = std::make_unique<sim::Poller>(
       sim_, std::max<uint64_t>(pace_ns, 250),
-      [this, x, dst_mr, src_key, bytes, pace_ns]() -> uint64_t {
+      [this, xp = x.get(), bg, dst_mr, src_key, bytes,
+       pace_ns]() -> uint64_t {
         uint64_t consumed = 0;
         rdma::WorkCompletion wc;
-        while (x->qp->send_cq().Poll(&wc, 1) == 1) {
-          REDY_CHECK(x->out > 0);
-          x->out--;
-          if (wc.status != StatusCode::kOk) x->failed = true;
+        while (xp->qp->send_cq().Poll(&wc, 1) == 1) {
+          REDY_CHECK(xp->out > 0);
+          xp->out--;
+          if (wc.status != StatusCode::kOk) xp->failed = true;
           consumed += 100;
         }
-        while (!x->failed && x->next_off < bytes &&
-               x->qp->outstanding() < options_.migration_depth) {
+        while (!xp->failed && xp->next_off < bytes &&
+               xp->qp->outstanding() < options_.migration_depth) {
           const uint64_t len = std::min(options_.migration_chunk_bytes,
-                                        bytes - x->next_off);
-          Status st = x->qp->PostRead(x->next_off, dst_mr, x->next_off,
-                                      src_key, x->next_off, len);
+                                        bytes - xp->next_off);
+          Status st = xp->qp->PostRead(xp->next_off, dst_mr, xp->next_off,
+                                       src_key, xp->next_off, len);
           if (!st.ok()) {
-            x->failed = true;
+            xp->failed = true;
             break;
           }
-          x->out++;
-          x->next_off += len;
+          xp->out++;
+          xp->next_off += len;
           consumed += 200;
           if (pace_ns > 0) break;
         }
-        if ((x->next_off >= bytes || x->failed) && x->out == 0) {
-          x->driver->Stop();
-          sim_->After(0, [this, x] {
-            x->driver.reset();  // break the cycle
-            if (x->qp != nullptr) {
-              x->qp->nic()->DestroyQueuePair(x->qp);
-              x->qp = nullptr;
-              x->peer = nullptr;
+        if ((xp->next_off >= bytes || xp->failed) && xp->out == 0) {
+          xp->driver->Stop();
+          sim_->After(0, [this, xp, bg] {
+            if (xp->qp != nullptr) {
+              xp->qp->nic()->DestroyQueuePair(xp->qp);
+              xp->qp = nullptr;
+              xp->peer = nullptr;
             }
-            x->done(x->failed);
+            auto done = std::move(xp->done);
+            const bool failed = xp->failed;
+            background_.erase(bg);  // destroys the Xfer and its poller
+            done(failed);
           });
         }
         return consumed == 0 ? 50 : consumed;

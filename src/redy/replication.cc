@@ -25,7 +25,8 @@ Result<CacheClient::CacheId> CacheClient::CreateReplicated(
   }
   auto rep_or = manager_->AllocateWithConfig(
       cache->regions.size() * cache->region_bytes, cfg, record_bytes, spot,
-      node_, cache->region_bytes, 5, &primary_nodes);
+      node_, cache->region_bytes, 5, &primary_nodes,
+      options_.max_regions_per_vm);
   if (!rep_or.ok()) {
     Delete(*id_or);
     return rep_or.status();
@@ -101,20 +102,23 @@ void CacheClient::RepairReplica(CacheEntry* cache, uint32_t vregion) {
   // like a region migration; reads stay up (primary untouched).
   vr.writes_paused = true;
   const CacheId id = cache->id;
+  const uint64_t bg = next_bg_id_++;
   auto quiesce = std::make_shared<std::unique_ptr<sim::Poller>>();
+  background_[bg] = quiesce;
   *quiesce = std::make_unique<sim::Poller>(
       sim_, options_.costs.poll_interval_ns,
-      [this, id, vregion, target, quiesce]() -> uint64_t {
+      [this, id, vregion, target, bg,
+       q = quiesce.get()]() -> uint64_t {
         CacheEntry* cache = FindCache(id);
         if (cache == nullptr || cache->deleted) {
-          (*quiesce)->Stop();
-          sim_->After(0, [quiesce] { quiesce->reset(); });
+          (*q)->Stop();
+          sim_->After(0, [this, bg] { background_.erase(bg); });
           return 0;
         }
         VRegion& vr = cache->regions[vregion];
         if (vr.inflight_subops > 0) return options_.costs.idle_poll_ns;
-        (*quiesce)->Stop();
-        sim_->After(0, [quiesce] { quiesce->reset(); });
+        (*q)->Stop();
+        sim_->After(0, [this, bg] { background_.erase(bg); });
 
         TransferRegion(vr.placement, target, cache->region_bytes,
                        [this, id, vregion, target](bool failed) {

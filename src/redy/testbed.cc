@@ -8,7 +8,7 @@ Testbed::Testbed(TestbedOptions options) : options_(options) {
   fabric_ = std::make_unique<rdma::Fabric>(&sim_, topo, options_.fabric);
   allocator_ = std::make_unique<cluster::VmAllocator>(
       &sim_, &fabric_->topology(), options_.cores_per_server,
-      options_.memory_per_server);
+      options_.memory_per_server, options_.reclaim_notice);
   manager_ = std::make_unique<CacheManager>(&sim_, fabric_.get(),
                                             allocator_.get(), options_.costs);
   options_.client.costs = options_.costs;
@@ -20,6 +20,16 @@ Testbed::Testbed(TestbedOptions options) : options_(options) {
 void Testbed::FailNode(net::ServerId node) {
   fabric_->NicAt(node)->Fail();
   allocator_->FailServer(node);
+}
+
+chaos::FaultInjector* Testbed::EnableChaos(chaos::FaultInjector::Options opts) {
+  if (chaos_ == nullptr) {
+    if (opts.client == 0) opts.client = options_.app_node;
+    chaos_ = std::make_unique<chaos::FaultInjector>(&sim_, fabric_.get(),
+                                                    opts);
+  }
+  chaos_->Install();
+  return chaos_.get();
 }
 
 }  // namespace redy

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "chaos/fault_injector.h"
 #include "cluster/vm_allocator.h"
 #include "net/fabric_params.h"
 #include "net/topology.h"
@@ -25,6 +26,8 @@ struct TestbedOptions {
   uint32_t cores_per_server = 64;
   uint64_t memory_per_server = 64 * kGiB;
   net::ServerId app_node = 0;
+  /// Early-warning window spot VMs get before reclamation.
+  sim::SimTime reclaim_notice = 30 * kSecond;
   net::FabricParams fabric;
   CostModel costs;
   CacheClient::Options client;
@@ -46,6 +49,12 @@ class Testbed {
   /// it is reported failed (deadline = now).
   void FailNode(net::ServerId node);
 
+  /// Creates (on first use) the fault injector and installs its hooks
+  /// into the fabric. `opts.client` defaults to the app node when left
+  /// at 0. The testbed owns the injector.
+  chaos::FaultInjector* EnableChaos(chaos::FaultInjector::Options opts);
+  chaos::FaultInjector* chaos() { return chaos_.get(); }
+
  private:
   TestbedOptions options_;
   sim::Simulation sim_;
@@ -53,6 +62,7 @@ class Testbed {
   std::unique_ptr<cluster::VmAllocator> allocator_;
   std::unique_ptr<CacheManager> manager_;
   std::unique_ptr<CacheClient> client_;
+  std::unique_ptr<chaos::FaultInjector> chaos_;
 };
 
 }  // namespace redy

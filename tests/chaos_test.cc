@@ -1,0 +1,386 @@
+// Chaos tests: deterministic fault injection (gray failures, lossy
+// links, flaps, NIC stalls) against the client's retry/timeout/
+// reconnect machinery. The soak asserts the resilience contract: every
+// callback fires, acknowledged data is never corrupted, error rates
+// stay bounded while faults are active, and the system fully recovers
+// once the schedule drains.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "chaos/fault_injector.h"
+#include "redy/cache_client.h"
+#include "redy/testbed.h"
+
+namespace redy {
+namespace {
+
+constexpr uint64_t kRecord = 64;
+
+uint8_t FillByte(uint64_t idx, uint64_t i) {
+  return static_cast<uint8_t>(idx * 131 + i * 7 + 13);
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  /// Testbed with the resilience machinery switched on.
+  static TestbedOptions ResilientOpts() {
+    TestbedOptions o;
+    o.pods = 2;
+    o.racks_per_pod = 2;
+    o.servers_per_rack = 4;
+    o.client.region_bytes = 2 * kMiB;
+    o.client.max_retries = 6;
+    o.client.sub_op_timeout_ns = 200 * kMicrosecond;
+    o.client.retry_backoff_ns = 5 * kMicrosecond;
+    o.client.retry_backoff_max_ns = 200 * kMicrosecond;
+    return o;
+  }
+
+  /// Testbed with resilience off (surface every fault to the caller).
+  static TestbedOptions FragileOpts() {
+    TestbedOptions o = ResilientOpts();
+    o.client.max_retries = 0;
+    o.client.sub_op_timeout_ns = 0;
+    return o;
+  }
+
+  template <typename Pred>
+  static bool RunUntil(Testbed& tb, Pred pred, int max_steps = 20'000'000) {
+    for (int i = 0; i < max_steps; i++) {
+      if (pred()) return true;
+      if (!tb.sim().Step()) return pred();
+    }
+    return pred();
+  }
+
+  static net::ServerId NodeOfRegion(Testbed& tb, CacheClient::CacheId id,
+                                    uint32_t vregion) {
+    auto vm = tb.client().RegionVm(id, vregion);
+    EXPECT_TRUE(vm.ok());
+    return tb.allocator().Find(*vm)->server;
+  }
+};
+
+// --- Injector mechanics -----------------------------------------------------
+
+TEST_F(ChaosTest, StallWindowDefersCompletions) {
+  Testbed tb(FragileOpts());
+  auto id_or =
+      tb.client().CreateWithConfig(2 * kMiB, RdmaConfig{1, 0, 1, 8}, 64);
+  ASSERT_TRUE(id_or.ok());
+  const net::ServerId node = NodeOfRegion(tb, *id_or, 0);
+
+  chaos::FaultInjector::Options copts;
+  copts.servers = {node};
+  auto* chaos = tb.EnableChaos(copts);
+  const sim::SimTime stall_end = tb.sim().Now() + 300 * kMicrosecond;
+  chaos->AddStall(node, tb.sim().Now(), 300 * kMicrosecond);
+
+  // A read that normally completes in a few microseconds is held until
+  // the stall window closes — the NIC is alive but delivers nothing.
+  char buf[64];
+  sim::SimTime done_at = 0;
+  ASSERT_TRUE(tb.client()
+                  .Read(*id_or, 0, buf, sizeof(buf),
+                        [&](Status st) {
+                          EXPECT_TRUE(st.ok()) << st.ToString();
+                          done_at = tb.sim().Now();
+                        })
+                  .ok());
+  ASSERT_TRUE(RunUntil(tb, [&] { return done_at != 0; }));
+  EXPECT_GE(done_at, stall_end);
+  EXPECT_GT(chaos->stall_holds(), 0u);
+}
+
+TEST_F(ChaosTest, FlapFailsOpsWhenRetriesAreOff) {
+  Testbed tb(FragileOpts());
+  auto id_or =
+      tb.client().CreateWithConfig(2 * kMiB, RdmaConfig{1, 0, 1, 8}, 64);
+  ASSERT_TRUE(id_or.ok());
+  const net::ServerId node = NodeOfRegion(tb, *id_or, 0);
+
+  auto* chaos = tb.EnableChaos({});
+  chaos->AddFlap(tb.app_node(), node, tb.sim().Now(), 200 * kMicrosecond);
+
+  char buf[64] = {7};
+  int completed = 0, failed = 0;
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(tb.client()
+                    .Write(*id_or, i * 64, buf, 64,
+                           [&](Status st) {
+                             completed++;
+                             if (!st.ok()) failed++;
+                           })
+                    .ok());
+  }
+  ASSERT_TRUE(RunUntil(tb, [&] { return completed == 8; }));
+  EXPECT_EQ(failed, 8) << "a downed link with no retries fails every op";
+  EXPECT_GT(chaos->injected_errors(), 0u);
+}
+
+TEST_F(ChaosTest, RetriesMaskATransientFlap) {
+  Testbed tb(ResilientOpts());
+  auto id_or =
+      tb.client().CreateWithConfig(2 * kMiB, RdmaConfig{1, 0, 1, 8}, 64);
+  ASSERT_TRUE(id_or.ok());
+  const net::ServerId node = NodeOfRegion(tb, *id_or, 0);
+
+  auto* chaos = tb.EnableChaos({});
+  chaos->AddFlap(tb.app_node(), node, tb.sim().Now(), 100 * kMicrosecond);
+
+  char buf[64] = {9};
+  int completed = 0, failed = 0;
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(tb.client()
+                    .Write(*id_or, i * 64, buf, 64,
+                           [&](Status st) {
+                             completed++;
+                             if (!st.ok()) failed++;
+                           })
+                    .ok());
+  }
+  ASSERT_TRUE(RunUntil(tb, [&] { return completed == 8; }));
+  EXPECT_EQ(failed, 0) << "backoff outlasts the 100 us flap";
+  const auto* stats = tb.client().stats(*id_or);
+  EXPECT_GT(stats->retries, 0u);
+}
+
+TEST_F(ChaosTest, DegradedLinkAddsLatency) {
+  Testbed tb(FragileOpts());
+  auto id_or =
+      tb.client().CreateWithConfig(2 * kMiB, RdmaConfig{1, 0, 1, 8}, 64);
+  ASSERT_TRUE(id_or.ok());
+  const net::ServerId node = NodeOfRegion(tb, *id_or, 0);
+
+  char buf[64];
+  // Baseline round trip.
+  sim::SimTime t0 = tb.sim().Now(), done = 0;
+  ASSERT_TRUE(tb.client()
+                  .Read(*id_or, 0, buf, 64,
+                        [&](Status) { done = tb.sim().Now(); })
+                  .ok());
+  ASSERT_TRUE(RunUntil(tb, [&] { return done != 0; }));
+  const sim::SimTime baseline = done - t0;
+
+  constexpr uint64_t kExtra = 20 * kMicrosecond;
+  chaos::FaultInjector::Options copts;
+  copts.spike_p = 0.0;  // fixed extra only, no random spikes
+  auto* chaos = tb.EnableChaos(copts);
+  chaos->AddDegrade(tb.app_node(), node, tb.sim().Now(), 1 * kMillisecond,
+                    kExtra);
+
+  t0 = tb.sim().Now();
+  done = 0;
+  ASSERT_TRUE(tb.client()
+                  .Read(*id_or, 0, buf, 64,
+                        [&](Status) { done = tb.sim().Now(); })
+                  .ok());
+  ASSERT_TRUE(RunUntil(tb, [&] { return done != 0; }));
+  EXPECT_GE(done - t0, baseline + kExtra - 1);
+  EXPECT_GT(chaos->injected_delays(), 0u);
+}
+
+// --- Soak -------------------------------------------------------------------
+
+struct SoakCounts {
+  uint64_t submitted = 0;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  uint64_t corrupt = 0;
+  uint64_t retries = 0;
+  uint64_t timeouts = 0;
+  uint64_t reconnects = 0;
+  uint64_t injected = 0;
+
+  bool operator==(const SoakCounts& o) const {
+    return submitted == o.submitted && ok == o.ok && failed == o.failed &&
+           corrupt == o.corrupt && retries == o.retries &&
+           timeouts == o.timeouts && reconnects == o.reconnects &&
+           injected == o.injected;
+  }
+};
+
+class ChaosSoakTest : public ChaosTest {
+ protected:
+  /// Mixed read/write traffic against a cache while a seeded random
+  /// fault schedule unfolds, then a clean run after the last fault.
+  /// Reads target a pre-populated half of the cache (so any successful
+  /// read has exactly one correct value); writes are write-once per
+  /// record (so acknowledged writes have exactly one correct read-back).
+  static SoakCounts RunSoak(uint64_t seed, const RdmaConfig& cfg) {
+    SoakCounts counts;
+    Testbed tb(ResilientOpts());
+    auto id_or = tb.client().CreateWithConfig(4 * kMiB, cfg, 64);
+    EXPECT_TRUE(id_or.ok()) << id_or.status().ToString();
+    if (!id_or.ok()) return counts;
+    const auto id = *id_or;
+
+    const uint64_t records = 4 * kMiB / kRecord;
+    const uint64_t read_base = records / 2;
+
+    // Pre-populate the read half with its pattern.
+    {
+      std::vector<uint8_t> half((records - read_base) * kRecord);
+      for (uint64_t j = 0; j < half.size(); j++) {
+        half[j] = FillByte(read_base + j / kRecord, j % kRecord);
+      }
+      EXPECT_TRUE(
+          tb.client().Poke(id, read_base * kRecord, half.data(), half.size())
+              .ok());
+    }
+
+    // Seeded fault schedule over the cache's nodes.
+    chaos::FaultInjector::Options copts;
+    copts.seed = seed;
+    copts.start = tb.sim().Now();
+    copts.horizon = 4 * kMillisecond;
+    copts.degrade_windows = 3;
+    copts.lossy_windows = 3;
+    copts.flap_windows = 2;
+    copts.stall_windows = 2;
+    copts.min_window_ns = 50 * kMicrosecond;
+    copts.max_window_ns = 400 * kMicrosecond;
+    const uint32_t nregions =
+        static_cast<uint32_t>(4 * kMiB / tb.options().client.region_bytes);
+    for (uint32_t r = 0; r < nregions; r++) {
+      copts.servers.push_back(NodeOfRegion(tb, id, r));
+    }
+    auto* chaos = tb.EnableChaos(copts);
+    chaos->Arm();
+
+    uint64_t completed = 0;
+    uint64_t next_write_idx = 0;
+    Rng traffic_rng(seed ^ 0xABCDEF);
+    std::vector<std::unique_ptr<std::vector<uint8_t>>> bufs;
+    std::unordered_map<uint64_t, bool> write_acked;
+
+    auto pump = [&](int nops) {
+      for (int i = 0; i < nops; i++) {
+        const bool do_write =
+            traffic_rng.Bernoulli(0.5) && next_write_idx < read_base;
+        const uint32_t app_thread = static_cast<uint32_t>(i);
+        if (do_write) {
+          const uint64_t idx = next_write_idx++;
+          auto data = std::make_unique<std::vector<uint8_t>>(kRecord);
+          for (uint64_t j = 0; j < kRecord; j++) {
+            (*data)[j] = FillByte(idx, j);
+          }
+          counts.submitted++;
+          EXPECT_TRUE(tb.client()
+                          .Write(id, idx * kRecord, data->data(), kRecord,
+                                 [&counts, &completed, &write_acked,
+                                  idx](Status st) {
+                                   completed++;
+                                   if (st.ok()) {
+                                     counts.ok++;
+                                     write_acked[idx] = true;
+                                   } else {
+                                     counts.failed++;
+                                   }
+                                 },
+                                 app_thread)
+                          .ok());
+          bufs.push_back(std::move(data));
+        } else {
+          const uint64_t idx =
+              read_base + traffic_rng.Uniform(records - read_base);
+          auto dst = std::make_unique<std::vector<uint8_t>>(kRecord);
+          auto* p = dst.get();
+          counts.submitted++;
+          EXPECT_TRUE(tb.client()
+                          .Read(id, idx * kRecord, p->data(), kRecord,
+                                [&counts, &completed, idx, p](Status st) {
+                                  completed++;
+                                  if (!st.ok()) {
+                                    counts.failed++;
+                                    return;
+                                  }
+                                  counts.ok++;
+                                  for (uint64_t j = 0; j < kRecord; j++) {
+                                    if ((*p)[j] != FillByte(idx, j)) {
+                                      counts.corrupt++;
+                                      break;
+                                    }
+                                  }
+                                },
+                                app_thread)
+                          .ok());
+          bufs.push_back(std::move(dst));
+        }
+      }
+    };
+
+    // Keep traffic flowing until the whole fault schedule has played
+    // out. Every burst must drain: no op may hang forever.
+    while (tb.sim().Now() <= chaos->last_fault_end()) {
+      pump(64);
+      EXPECT_TRUE(
+          RunUntil(tb, [&] { return completed == counts.submitted; }))
+          << "ops hung under faults at t=" << tb.sim().Now();
+      tb.sim().RunFor(20 * kMicrosecond);
+    }
+
+    // Full recovery: past the last fault, fresh traffic is clean.
+    tb.sim().RunFor(1 * kMillisecond);
+    const uint64_t failed_during_faults = counts.failed;
+    pump(128);
+    EXPECT_TRUE(RunUntil(tb, [&] { return completed == counts.submitted; }));
+    EXPECT_EQ(counts.failed, failed_during_faults)
+        << "no failures after the fault schedule drained";
+
+    // Acknowledged writes must read back exactly (write-once records).
+    std::vector<uint8_t> readback(kRecord);
+    for (const auto& [idx, acked] : write_acked) {
+      EXPECT_TRUE(
+          tb.client().Peek(id, idx * kRecord, readback.data(), kRecord).ok());
+      for (uint64_t j = 0; j < kRecord; j++) {
+        if (readback[j] != FillByte(idx, j)) {
+          counts.corrupt++;
+          break;
+        }
+      }
+    }
+
+    const auto* stats = tb.client().stats(id);
+    counts.retries = stats->retries;
+    counts.timeouts = stats->timeouts;
+    counts.reconnects = stats->reconnects;
+    counts.injected = chaos->injected_errors() + chaos->injected_delays() +
+                      chaos->injected_spikes() + chaos->stall_holds();
+
+    EXPECT_EQ(counts.corrupt, 0u) << "acknowledged data corrupted";
+    EXPECT_GT(counts.injected, 0u) << "fault schedule never hit traffic";
+    // Bounded failure rate: retries absorb most transient faults.
+    EXPECT_LE(counts.failed, counts.submitted * 3 / 10)
+        << counts.failed << " of " << counts.submitted << " ops failed";
+    return counts;
+  }
+};
+
+TEST_F(ChaosSoakTest, OneSidedSurvivesSeededSchedules) {
+  for (uint64_t seed : {11u, 23u, 47u}) {
+    SCOPED_TRACE(testing::Message() << "seed=" << seed);
+    RunSoak(seed, RdmaConfig{2, 0, 1, 8});
+  }
+}
+
+TEST_F(ChaosSoakTest, TwoSidedSurvivesSeededSchedules) {
+  for (uint64_t seed : {5u, 19u, 31u}) {
+    SCOPED_TRACE(testing::Message() << "seed=" << seed);
+    RunSoak(seed, RdmaConfig{2, 1, 8, 4});
+  }
+}
+
+TEST_F(ChaosSoakTest, SameSeedSameOutcome) {
+  const SoakCounts a = RunSoak(7, RdmaConfig{2, 0, 1, 8});
+  const SoakCounts b = RunSoak(7, RdmaConfig{2, 0, 1, 8});
+  EXPECT_TRUE(a == b) << "fault injection must be bit-for-bit reproducible";
+}
+
+}  // namespace
+}  // namespace redy

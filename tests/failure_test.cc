@@ -106,33 +106,24 @@ TEST_F(FailureTest, TwoSidedPathSurvivesServerShutdown) {
 }
 
 TEST_F(FailureTest, MultiVmCacheLosesOnlyAffectedRegions) {
-  // Force a multi-VM cache by making regions too big for one VM.
+  // Force a multi-VM cache deterministically: cap regions per VM at 1,
+  // so 3 regions always land on 3 distinct VMs — and size physical
+  // servers so the cheapest fitting VM type (D2, 8 GiB) exactly fills
+  // one server, putting every VM on its own physical server.
   TestbedOptions o = Opts();
   o.client.region_bytes = 4 * kMiB;
-  o.memory_per_server = 8 * kGiB;  // fits exactly one 8 GiB menu VM
+  o.client.max_regions_per_vm = 1;
+  o.memory_per_server = 8 * kGiB;
   Testbed tb(o);
-  // 3 regions; the cheapest fitting VM type (D2, 8 GiB) holds them all,
-  // so shrink per-VM memory by loading servers with filler VMs first.
-  for (int i = 0; i < tb.allocator().num_servers(); i++) {
-    (void)tb.allocator().Allocate(1, 8 * kGiB - 9 * kMiB, false);
-  }
-  // Now every server only has ~9 MiB free: each VM hosts at most 2
-  // regions, so 3 regions span >= 2 VMs... unless allocation fails
-  // entirely, in which case skip (environment-dependent sizing).
   auto id_or = tb.client().CreateWithConfig(12 * kMiB,
                                             RdmaConfig{1, 0, 1, 4}, 64);
-  if (!id_or.ok()) {
-    GTEST_SKIP() << "could not build multi-VM layout: "
-                 << id_or.status().ToString();
-  }
+  ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
   const auto id = *id_or;
   auto vm0 = tb.client().RegionVm(id, 0);
   auto vm2 = tb.client().RegionVm(id, 2);
   ASSERT_TRUE(vm0.ok());
   ASSERT_TRUE(vm2.ok());
-  if (*vm0 == *vm2) {
-    GTEST_SKIP() << "regions landed on one VM";
-  }
+  ASSERT_NE(*vm0, *vm2) << "cap of 1 region/VM must separate regions";
 
   // Data in region 2 must survive the loss of region 0's VM.
   const char msg[] = "survivor";

@@ -1,0 +1,142 @@
+// Spot-reclamation notice window (Section 6.2): the allocator warns
+// `reclaim_notice` ahead, the client races a migration against the
+// deadline, and the outcome — data moved or data lost — is decided by
+// whether the transfer beats the force-free.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "cluster/vm_allocator.h"
+#include "redy/cache_client.h"
+#include "redy/testbed.h"
+
+namespace redy {
+namespace {
+
+class ReclaimTest : public ::testing::Test {
+ protected:
+  static TestbedOptions Opts(sim::SimTime notice) {
+    TestbedOptions o;
+    o.pods = 2;
+    o.racks_per_pod = 2;
+    o.servers_per_rack = 4;
+    o.reclaim_notice = notice;
+    o.client.region_bytes = 2 * kMiB;
+    return o;
+  }
+
+  template <typename Pred>
+  static bool RunUntil(Testbed& tb, Pred pred, int max_steps = 5'000'000) {
+    for (int i = 0; i < max_steps; i++) {
+      if (pred()) return true;
+      if (!tb.sim().Step()) return pred();
+    }
+    return pred();
+  }
+};
+
+TEST_F(ReclaimTest, NoticeFiresHandlerAndForceFreesAtDeadline) {
+  sim::Simulation sim;
+  net::Topology topo(1, 1, 4);
+  constexpr sim::SimTime kNotice = 7 * kMillisecond;
+  cluster::VmAllocator alloc(&sim, &topo, 64, 64 * kGiB, kNotice);
+
+  cluster::VmId seen = cluster::kInvalidVm;
+  sim::SimTime seen_deadline = 0;
+  alloc.SetReclaimHandler(
+      [&](const cluster::Vm& vm, sim::SimTime deadline) {
+        seen = vm.id;
+        seen_deadline = deadline;
+      });
+
+  auto ondemand = alloc.Allocate(2, 8 * kGiB, /*spot=*/false);
+  ASSERT_TRUE(ondemand.ok());
+  EXPECT_TRUE(alloc.Reclaim(ondemand->id).IsFailedPrecondition())
+      << "only spot VMs get reclamation notices";
+
+  auto spot = alloc.Allocate(2, 8 * kGiB, /*spot=*/true);
+  ASSERT_TRUE(spot.ok());
+  ASSERT_TRUE(alloc.Reclaim(spot->id).ok());
+  // The notice is synchronous and carries deadline = now + notice.
+  EXPECT_EQ(seen, spot->id);
+  EXPECT_EQ(seen_deadline, sim.Now() + kNotice);
+
+  // The VM survives until the deadline, then its resources vanish.
+  sim.RunFor(kNotice - 1);
+  EXPECT_NE(alloc.Find(spot->id), nullptr);
+  sim.RunFor(2);
+  EXPECT_EQ(alloc.Find(spot->id), nullptr);
+}
+
+TEST_F(ReclaimTest, MigrationBeatsGenerousDeadline) {
+  // 2 MiB at the ~8 Gb/s paced transfer rate moves in ~2 ms; a 500 ms
+  // notice leaves plenty of room, so the data must survive.
+  Testbed tb(Opts(500 * kMillisecond));
+  auto id_or = tb.client().CreateWithConfig(2 * kMiB, RdmaConfig{1, 0, 1, 8},
+                                            64, /*spot=*/true);
+  ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+  const auto id = *id_or;
+
+  std::vector<uint8_t> pattern(64 * kKiB);
+  for (size_t i = 0; i < pattern.size(); i++) {
+    pattern[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  ASSERT_TRUE(tb.client().Poke(id, 0, pattern.data(), pattern.size()).ok());
+
+  auto vm = tb.client().RegionVm(id, 0);
+  ASSERT_TRUE(vm.ok());
+  const sim::SimTime deadline = tb.sim().Now() + tb.options().reclaim_notice;
+  ASSERT_TRUE(tb.allocator().Reclaim(*vm).ok());
+
+  ASSERT_TRUE(RunUntil(tb, [&] { return !tb.client().migrations().empty(); }));
+  const auto& ev = tb.client().migrations().back();
+  EXPECT_FALSE(ev.data_lost);
+  EXPECT_LE(ev.finished, deadline);
+  EXPECT_EQ(ev.from, *vm);
+
+  // The region now lives elsewhere and its bytes came along.
+  auto new_vm = tb.client().RegionVm(id, 0);
+  ASSERT_TRUE(new_vm.ok());
+  EXPECT_NE(*new_vm, *vm);
+  std::vector<uint8_t> out(pattern.size());
+  ASSERT_TRUE(tb.client().Peek(id, 0, out.data(), out.size()).ok());
+  EXPECT_EQ(std::memcmp(out.data(), pattern.data(), pattern.size()), 0);
+}
+
+TEST_F(ReclaimTest, ForceFreeBeforeTransferSetsDataLost) {
+  // A 100 us notice cannot fit the ~2 ms transfer: the server shuts
+  // down at the deadline mid-copy and the event records the loss.
+  Testbed tb(Opts(100 * kMicrosecond));
+  auto id_or = tb.client().CreateWithConfig(2 * kMiB, RdmaConfig{1, 0, 1, 8},
+                                            64, /*spot=*/true);
+  ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+  const auto id = *id_or;
+
+  auto vm = tb.client().RegionVm(id, 0);
+  ASSERT_TRUE(vm.ok());
+  ASSERT_TRUE(tb.allocator().Reclaim(*vm).ok());
+
+  ASSERT_TRUE(RunUntil(tb, [&] { return !tb.client().migrations().empty(); }));
+  const auto& ev = tb.client().migrations().back();
+  EXPECT_TRUE(ev.data_lost);
+
+  // The cache stays usable on its replacement VM despite the loss.
+  auto new_vm = tb.client().RegionVm(id, 0);
+  ASSERT_TRUE(new_vm.ok());
+  EXPECT_NE(*new_vm, *vm);
+  char buf[64] = {42};
+  bool ok_after = false;
+  ASSERT_TRUE(tb.client()
+                  .Write(id, 0, buf, sizeof(buf),
+                         [&](Status st) {
+                           EXPECT_TRUE(st.ok()) << st.ToString();
+                           ok_after = true;
+                         })
+                  .ok());
+  ASSERT_TRUE(RunUntil(tb, [&] { return ok_after; }));
+}
+
+}  // namespace
+}  // namespace redy
