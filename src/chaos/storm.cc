@@ -1,0 +1,33 @@
+#include "chaos/storm.h"
+
+#include "common/logging.h"
+
+namespace redy::chaos {
+
+ReclamationStorm::ReclamationStorm(sim::Simulation* sim,
+                                   cluster::VmAllocator* allocator,
+                                   Options opts)
+    : sim_(sim), allocator_(allocator), opts_(std::move(opts)) {}
+
+void ReclamationStorm::Arm() {
+  Rng rng(SplitMix64(opts_.seed ^ 0x5702f1));
+  for (size_t i = 0; i < opts_.victims.size(); i++) {
+    const sim::SimTime offset =
+        opts_.stagger > 0 ? rng.Uniform(opts_.stagger + 1) : 0;
+    const sim::SimTime t = opts_.start + offset;
+    notice_times_.push_back(t);
+    const cluster::VmId victim = opts_.victims[i];
+    sim_->At(t, [this, victim] {
+      if (allocator_->Find(victim) == nullptr) return;  // already gone
+      Status st = allocator_->Reclaim(victim);
+      if (st.ok()) {
+        reclaims_issued_++;
+        const sim::SimTime deadline =
+            sim_->Now() + allocator_->reclaim_notice();
+        if (deadline > last_deadline_) last_deadline_ = deadline;
+      }
+    });
+  }
+}
+
+}  // namespace redy::chaos

@@ -1,0 +1,61 @@
+#ifndef REDY_CHAOS_STORM_H_
+#define REDY_CHAOS_STORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/vm_allocator.h"
+#include "common/random.h"
+#include "sim/simulation.h"
+
+namespace redy::chaos {
+
+/// Deterministic reclamation-storm generator: issues spot-reclamation
+/// notices for a set of victim VMs with seeded, staggered start times,
+/// so several notice windows overlap (the adversarial schedule the
+/// recovery supervisor's EDF scheduler is built for). Composes with
+/// FaultInjector for gray faults during the storm — this class only
+/// drives the allocator.
+class ReclamationStorm {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Earliest notice time.
+    sim::SimTime start = 0;
+    /// Each victim's notice lands at start + U[0, stagger] (0 = all
+    /// notices at `start`). Offsets are drawn per victim in order, so
+    /// the schedule is a pure function of (seed, victims).
+    sim::SimTime stagger = 0;
+    std::vector<cluster::VmId> victims;
+  };
+
+  ReclamationStorm(sim::Simulation* sim, cluster::VmAllocator* allocator,
+                   Options opts);
+
+  /// Schedules one reclaim notice per victim. Call once.
+  void Arm();
+
+  /// Absolute notice times, index-aligned with options().victims
+  /// (populated by Arm).
+  const std::vector<sim::SimTime>& notice_times() const {
+    return notice_times_;
+  }
+  /// Notices actually delivered so far (a victim freed before its
+  /// notice fires is skipped).
+  uint64_t reclaims_issued() const { return reclaims_issued_; }
+  /// Simulated time at which the last force-free completes.
+  sim::SimTime last_deadline() const { return last_deadline_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  sim::Simulation* sim_;
+  cluster::VmAllocator* allocator_;
+  Options opts_;
+  std::vector<sim::SimTime> notice_times_;
+  uint64_t reclaims_issued_ = 0;
+  sim::SimTime last_deadline_ = 0;
+};
+
+}  // namespace redy::chaos
+
+#endif  // REDY_CHAOS_STORM_H_

@@ -112,6 +112,29 @@ void VmAllocator::Free(VmId id) {
   s.cores_used -= it->second.cores;
   s.memory_used -= it->second.memory_bytes;
   vms_.erase(it);
+  // Capacity appeared: wake every waiter, deferred through the event
+  // queue so callbacks may freely Allocate/Free without re-entering us.
+  if (!waiters_.empty()) {
+    auto fired = std::move(waiters_);
+    waiters_.clear();
+    for (auto& [wid, cb] : fired) sim_->After(0, std::move(cb));
+  }
+}
+
+uint64_t VmAllocator::WaitForCapacity(std::function<void()> cb) {
+  const uint64_t id = next_waiter_id_++;
+  waiters_.emplace_back(id, std::move(cb));
+  return id;
+}
+
+bool VmAllocator::CancelWaitForCapacity(uint64_t id) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->first == id) {
+      waiters_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 Status VmAllocator::Reclaim(VmId id) {

@@ -88,7 +88,16 @@ class VmAllocator {
                           nullptr);
 
   /// Releases a VM's resources. Unknown ids are ignored (idempotent).
+  /// Freeing capacity fires every registered capacity waiter once.
   void Free(VmId id);
+
+  /// Registers a one-shot callback fired (via the event queue, in
+  /// registration order) the next time any VM frees capacity. Recovery
+  /// paths park here instead of polling when allocation fails with
+  /// ResourceExhausted. Returns an id usable with
+  /// CancelWaitForCapacity.
+  uint64_t WaitForCapacity(std::function<void()> cb);
+  bool CancelWaitForCapacity(uint64_t id);
 
   /// Registers the handler invoked when a spot VM gets a reclamation
   /// notice (at most one handler; the Redy cache manager).
@@ -108,6 +117,7 @@ class VmAllocator {
     return servers_[id];
   }
   const Vm* Find(VmId id) const;
+  sim::SimTime reclaim_notice() const { return reclaim_notice_; }
   int num_servers() const { return static_cast<int>(servers_.size()); }
   const net::Topology& topology() const { return *topology_; }
 
@@ -131,6 +141,9 @@ class VmAllocator {
   VmId next_id_ = 1;
   size_t spread_cursor_ = 0;
   ReclaimHandler reclaim_handler_;
+  /// One-shot capacity waiters, fired in registration order on Free.
+  std::vector<std::pair<uint64_t, std::function<void()>>> waiters_;
+  uint64_t next_waiter_id_ = 1;
 };
 
 }  // namespace redy::cluster

@@ -169,6 +169,9 @@ Status CacheClient::Delete(CacheId id) {
   CacheEntry* cache = FindCache(id);
   if (cache == nullptr) return Status::NotFound("unknown cache");
   cache->deleted = true;
+  // Recovery work on this cache is moot now; tear it down before the
+  // region table goes away (releases queued targets and copy links).
+  AbortCacheRecovery(*cache);
   // Outstanding operations complete with an error instead of silently
   // losing their callbacks.
   FailAllPending(*cache, Status::Aborted("cache deleted"));
@@ -1093,6 +1096,12 @@ Result<cluster::VmId> CacheClient::RegionVm(CacheId id,
     return Status::OutOfRange("no such region");
   }
   return c->regions[vregion].placement.vm_id;
+}
+
+Result<uint64_t> CacheClient::RegionSize(CacheId id) const {
+  const CacheEntry* c = FindCache(id);
+  if (c == nullptr) return Status::NotFound("unknown cache");
+  return c->region_bytes;
 }
 
 }  // namespace redy

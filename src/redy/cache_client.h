@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -63,8 +64,32 @@ class CacheClient {
     /// headroom to keep serving unpaused reads; we pace to the same
     /// rate. Set to 0 for an unthrottled (line-rate) transfer.
     double migration_bandwidth_bps = 8e9;
+    /// Aggregate migration bandwidth across *all* concurrent region
+    /// copies (reclamation storms). Concurrency is capped at
+    /// total/per-transfer rate; per-copy pacing also splits any link
+    /// shared by several copies. 0 = no aggregate cap.
+    double migration_total_bandwidth_bps = 8e9;
+    /// Schedule overlapping migrations earliest-deadline-first instead
+    /// of racing every transfer at once. Under a storm EDF finishes
+    /// whole regions before their force-free; naive racing splits the
+    /// bandwidth and tends to lose a little of everything.
+    bool edf_migration = true;
+    /// Cap on resume attempts per region copy (gray faults can make a
+    /// transfer fail repeatedly; past this the region counts as lost).
+    uint32_t migration_max_resumes = 64;
+    /// Backoff base between target re-allocation attempts during
+    /// recovery (doubles per attempt; also woken by allocator capacity).
+    uint64_t recovery_alloc_backoff_ns = 50 * kMicrosecond;
     /// Automatically migrate/repair when the manager reports VM loss.
     bool auto_recover = true;
+
+    // --- Re-replication repair (Section 6.2) ---
+    /// Allocation attempts before a degraded region gives up repairing
+    /// (it stays degraded; the next loss retries).
+    uint32_t repair_max_attempts = 8;
+    /// Backoff base between repair allocation attempts (doubles per
+    /// attempt, capped at 100 ms; also woken by allocator capacity).
+    uint64_t repair_backoff_ns = 100 * kMicrosecond;
 
     // --- Resilience (fault tolerance) ---
     /// Retries for sub-ops failing with a retryable status (Unavailable
@@ -107,6 +132,12 @@ class CacheClient {
     uint64_t timeouts = 0;
     uint64_t reconnects = 0;
     uint64_t hedged_to_replica = 0;
+    // Recovery supervisor (reclamation storms, Section 6.2).
+    uint64_t migration_resumes = 0;    // region copies resumed mid-flight
+    uint64_t migration_retargets = 0;  // copies re-pointed at a fresh VM
+    uint64_t repairs_started = 0;      // re-replication jobs started
+    uint64_t repairs_completed = 0;    // replicas restored
+    uint64_t storm_regions_lost = 0;   // regions force-freed mid-copy
 
     void Reset() { *this = Stats{}; }
     uint64_t ops_completed() const {
@@ -122,8 +153,17 @@ class CacheClient {
     sim::SimTime started = 0;
     sim::SimTime finished = 0;
     uint32_t regions = 0;
+    /// Bytes that made it to the new placement: the full region for a
+    /// clean copy, the acknowledged prefix for a lost one.
     uint64_t bytes = 0;
     bool data_lost = false;  // deadline hit before the copy finished
+    uint32_t regions_lost = 0;    // regions whose source died mid-copy
+    uint64_t bytes_lost = 0;      // unacked bytes of those regions
+    uint32_t resumes = 0;         // copies resumed from the acked prefix
+    uint32_t retargets = 0;       // copies re-pointed at a fresh VM
+    /// Virtual-region indices that lost data (exact loss accounting for
+    /// the storm soak and the Testbed invariant checker).
+    std::vector<uint32_t> lost_vregions;
   };
 
   CacheClient(sim::Simulation* sim, rdma::Fabric* fabric,
@@ -207,6 +247,22 @@ class CacheClient {
   }
   /// The physical node (VM id) a virtual region currently lives on.
   Result<cluster::VmId> RegionVm(CacheId id, uint32_t vregion) const;
+  /// Physical region size of a cache (set at allocation time).
+  Result<uint64_t> RegionSize(CacheId id) const;
+
+  // --- Recovery supervisor introspection ---
+  /// Migration jobs queued or running plus repair jobs in flight.
+  uint64_t PendingRecoveries() const;
+  /// Structural invariant sweep (used by the Testbed checker after
+  /// every recovery): no region placed on a dead VM, no replica
+  /// sharing a node with its primary, pause/ownership flags
+  /// consistent. Returns human-readable violations (empty = clean).
+  std::vector<std::string> CheckInvariants() const;
+  /// Called after every completed recovery action ("migration",
+  /// "failover", "repair") — the Testbed invariant checker hooks here.
+  void SetRecoveryListener(std::function<void(const char*)> listener) {
+    recovery_listener_ = std::move(listener);
+  }
 
   /// Zero-time backdoor accessors used by experiment setup (bulk load)
   /// and test verification: apply bytes directly to region memory
@@ -257,6 +313,7 @@ class CacheClient {
     bool reads_paused = false;
     bool writes_paused = false;
     bool repairing = false;  // re-replication in progress
+    bool migrating = false;  // owned by an active migration copy
     uint32_t inflight_subops = 0;
     std::vector<SubOp> parked;
   };
@@ -319,7 +376,9 @@ class CacheClient {
     Slo slo;
     bool spot = false;
     bool deleted = false;
-    bool migrating = false;
+    /// Outstanding recovery work (migration jobs queued or running).
+    /// Nonzero blocks Reshape, exactly like the old `migrating` flag.
+    uint32_t recovery_tasks = 0;
     std::vector<VRegion> regions;
     std::vector<std::unique_ptr<ClientThread>> threads;
     Stats stats;
@@ -379,13 +438,48 @@ class CacheClient {
   void ParkOp(CacheEntry& cache, SubOp op);
   void ReplayParked(CacheEntry& cache, uint32_t vregion);
 
-  // --- migration internals ---
+  // --- migration internals (recovery supervisor) ---
   struct MigrationJob;
   Status StartMigration(CacheId id, std::vector<uint32_t> vregions,
                         cluster::VmId release_vm, sim::SimTime deadline,
                         std::function<void(const MigrationEvent&)> done);
+  /// Admits queued jobs: EDF order under the transfer-slot cap, or
+  /// everything at once in naive mode.
+  void PumpRecovery();
+  void StartJob(MigrationJob* job);
   void MigrateNextRegion(MigrationJob* job);
+  /// (Re)starts the copy of the job's current region: picks a live
+  /// source (primary or replica), (re)allocates a target when needed,
+  /// then launches the chunked transfer from the acked prefix.
+  void StartRegionCopy(MigrationJob* job);
+  void BeginChunkCopy(MigrationJob* job);
+  void HandleCopyEnd(MigrationJob* job);
+  /// Both copies of the region are gone (or resumes exhausted):
+  /// account the loss exactly and move on with the acked prefix.
+  void RegionLost(MigrationJob* job);
+  /// Commits the copied region to the region table and unpauses it.
+  void SwapRegion(MigrationJob* job);
+  /// Re-entry point for deferred continuations (alloc backoff,
+  /// capacity wakeups); no-op if the job completed meanwhile.
+  void ResumeRegion(uint64_t bg_id);
   void FinishMigration(MigrationJob* job);
+  void FinalizeMigration(MigrationJob* job);
+  /// Tears down every queued/running job of a deleted cache.
+  void AbortCacheRecovery(CacheEntry& cache);
+  /// A placement is usable as copy endpoint: VM alive, NIC up, and no
+  /// passed reclamation deadline.
+  bool VmUsable(const CacheManager::RegionPlacement& p) const;
+  uint32_t TransferSlots() const;
+  /// Pacing interval for one chunk given current link sharing.
+  uint64_t CopyPaceNs(net::ServerId src, net::ServerId dst) const;
+  void AcquireCopyLink(MigrationJob* job, net::ServerId src,
+                       net::ServerId dst);
+  void ReleaseCopyLink(MigrationJob* job);
+  void LinkAcquire(net::ServerId src, net::ServerId dst);
+  void LinkRelease(net::ServerId src, net::ServerId dst);
+  /// Background (repair) copies yield to deadline-driven migrations.
+  bool CanStartBackgroundCopy() const;
+  void NotifyRecovery(const char* kind);
 
   /// Paced chunked one-sided copy of `bytes` from `src` to `dst`
   /// region placements; `done(failed)` fires when the last chunk lands.
@@ -395,10 +489,17 @@ class CacheClient {
 
   // --- replication internals ---
   /// Instant failover of replicated regions off `vm`, then background
-  /// re-replication.
-  void FailoverReplicated(CacheEntry& cache, cluster::VmId vm);
-  /// Allocates and fills a fresh replica for one degraded region.
+  /// re-replication. `deadline` is when the VM's memory vanishes:
+  /// orphaned regions (both copies gone) migrate against it, copying
+  /// out as much as the notice window allows.
+  void FailoverReplicated(CacheEntry& cache, cluster::VmId vm,
+                          sim::SimTime deadline);
+  /// Allocates and fills a fresh replica for one degraded region
+  /// (bounded retries with backoff + allocator capacity waitlist).
   void RepairReplica(CacheEntry* cache, uint32_t vregion);
+  void ScheduleRepair(CacheId id, uint32_t vregion, uint32_t attempt,
+                      uint64_t delay_ns);
+  void RepairAttempt(CacheId id, uint32_t vregion, uint32_t attempt);
 
   void OnVmLoss(cluster::VmId vm, sim::SimTime deadline);
 
@@ -419,6 +520,23 @@ class CacheClient {
   /// their pending events safely).
   uint64_t next_bg_id_ = 1;
   std::unordered_map<uint64_t, std::shared_ptr<void>> background_;
+
+  // --- recovery supervisor state ---
+  /// Jobs admitted but waiting for a transfer slot, EDF-ordered on pop.
+  std::vector<MigrationJob*> migration_queue_;
+  /// Every live job (queued or running) by background id; async
+  /// continuations look jobs up here instead of capturing pointers.
+  std::unordered_map<uint64_t, MigrationJob*> migration_jobs_;
+  uint32_t running_jobs_ = 0;
+  /// Region copies currently moving bytes (splits the aggregate cap).
+  uint32_t copies_active_ = 0;
+  /// Copies touching each physical node (splits the per-link cap).
+  std::unordered_map<net::ServerId, uint32_t> busy_links_;
+  /// Reclamation deadlines by VM: a VM whose deadline passed is dead
+  /// as a copy endpoint even if the manager still has its agent.
+  std::unordered_map<cluster::VmId, sim::SimTime> vm_deadlines_;
+  std::function<void(const char*)> recovery_listener_;
+  uint64_t pending_repairs_ = 0;
 };
 
 }  // namespace redy

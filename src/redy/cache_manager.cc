@@ -225,6 +225,10 @@ void CacheManager::Deallocate(const Allocation& allocation) {
 }
 
 void CacheManager::ReleaseVm(cluster::VmId vm) {
+  // Idempotent by construction: a reclaimed VM's agent was already shut
+  // down (its entry intentionally survives until release so raw
+  // RegionPlacement::server pointers stay valid), a double release
+  // finds no entry, and Free ignores ids the allocator no longer knows.
   auto it = servers_.find(vm);
   if (it != servers_.end()) {
     it->second->Shutdown();

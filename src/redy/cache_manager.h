@@ -95,9 +95,15 @@ class CacheManager {
                                             avoid_nodes = nullptr,
                                         uint32_t max_regions_per_vm = 0);
 
-  /// Releases every VM in `allocation` (Deallocate).
+  /// Releases every VM in `allocation` (Deallocate). Idempotent, like
+  /// ReleaseVm.
   void Deallocate(const Allocation& allocation);
-  /// Releases a single VM (after its regions migrated away).
+  /// Releases a single VM (after its regions migrated away). Safe and
+  /// idempotent in every failure interleaving the recovery supervisor
+  /// produces: releasing a VM that was already force-freed by the
+  /// allocator, already released, or already shut down is a no-op
+  /// (Shutdown early-returns, the allocator ignores unknown ids, and
+  /// VM ids are never reused).
   void ReleaseVm(cluster::VmId vm);
 
   /// The client registers here to learn about VM loss.

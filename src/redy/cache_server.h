@@ -78,6 +78,9 @@ class CacheServer {
   rdma::MemoryRegion* region(uint32_t i) const { return regions_[i]; }
   uint64_t batches_processed() const { return batches_processed_; }
   bool running() const { return !threads_.empty(); }
+  /// Whether the agent has not been shut down. Note running() is false
+  /// for one-sided servers (no threads); liveness checks must use this.
+  bool alive() const { return !shutdown_; }
 
  private:
   struct Connection {

@@ -1,7 +1,25 @@
-// Region migration and Reshape: the dynamic-memory-management half of
-// the cache client (Sections 3.3 and 6.2).
+// Region migration, the recovery supervisor, and Reshape: the
+// dynamic-memory-management half of the cache client (Sections 3.3 and
+// 6.2).
+//
+// Migration is built to survive adversarial schedules, not just the
+// calm single-loss case:
+//  - Overlapping reclamation notices (a "storm") queue as jobs and are
+//    admitted earliest-deadline-first under a transfer-slot cap derived
+//    from the aggregate migration bandwidth, so whole regions complete
+//    before their force-free instead of every transfer racing at a
+//    fraction of the rate and losing a little of everything.
+//  - Each region copy tracks its acknowledged prefix (completions are
+//    delivered in post order per QP, so the prefix is contiguous). A
+//    copy that dies resumes from that prefix, re-targets to a freshly
+//    allocated VM when the destination is gone, and falls back to the
+//    replica as copy source when the primary dies first.
+//  - When both copies of a region are gone, the loss is accounted
+//    exactly (bytes_lost / lost_vregions) and the region re-homes to a
+//    blank replacement so the cache stays structurally intact.
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "common/logging.h"
@@ -9,31 +27,45 @@
 
 namespace redy {
 
-/// State of one in-progress VM migration. Regions move one at a time;
-/// the bandwidth-optimized transfer runs as chunked one-sided reads
-/// issued by the *new* VM against the old VM's regions.
+/// State of one queued or running migration job. Regions move one at a
+/// time; the bandwidth-optimized transfer runs as chunked one-sided
+/// reads issued by the *new* VM against the current source copy.
 struct CacheClient::MigrationJob {
   CacheClient* client = nullptr;
-  CacheEntry* cache = nullptr;
+  CacheId cache_id = 0;
   cluster::VmId victim = cluster::kInvalidVm;
   sim::SimTime deadline = 0;
   std::vector<uint32_t> vregions;
-  std::vector<CacheManager::RegionPlacement> targets;
   size_t next = 0;
+  bool running = false;
   MigrationEvent event;
   std::function<void(const MigrationEvent&)> done;
+  uint64_t bg_id = 0;          // key in background_ / migration_jobs_
+  uint64_t deadline_event = 0; // force-admit watcher (0 = none/fired)
 
-  // Per-region transfer state.
+  // Per-region copy state, reset by MigrateNextRegion.
+  std::optional<CacheManager::RegionPlacement> target;
+  CacheManager::RegionPlacement source;
+  bool from_replica = false;     // copying out of the replica
+  bool alloc_waiting = false;    // parked on allocator backoff/waitlist
+  uint32_t alloc_attempts = 0;
+  uint64_t acked_off = 0;        // contiguous acknowledged prefix
+  uint64_t next_chunk_off = 0;
+  uint32_t chunks_out = 0;
+  std::deque<uint32_t> chunk_lens;  // lens of in-flight chunks, in order
+  bool copy_failed = false;
+  uint32_t region_resumes = 0;
+  bool loss_accounted = false;
+  bool link_held = false;
+  net::ServerId link_src = net::kInvalidServer;
+  net::ServerId link_dst = net::kInvalidServer;
+
   rdma::QueuePair* qp = nullptr;    // on the target server's NIC
-  rdma::QueuePair* peer = nullptr;  // on the victim's NIC
+  rdma::QueuePair* peer = nullptr;  // on the source's NIC
   std::unique_ptr<sim::Poller> driver;
   /// Quiesce/drain poller for the current phase. Reassigned per phase
   /// (never from inside its own body, so the replacement is safe).
   std::unique_ptr<sim::Poller> gate;
-  uint64_t bg_id = 0;  // key in CacheClient::background_
-  uint64_t next_chunk_off = 0;
-  uint32_t chunks_out = 0;
-  bool chunk_failed = false;
 };
 
 Status CacheClient::MigrateVm(
@@ -74,58 +106,221 @@ Status CacheClient::StartMigration(
     sim::SimTime deadline,
     std::function<void(const MigrationEvent&)> done) {
   CacheEntry* cache = FindCache(id);
-  if (cache->migrating) {
-    return Status::FailedPrecondition("cache already migrating");
+
+  // Regions already claimed by a queued or running job stay that job's
+  // problem (overlapping notices can nominate the same region twice).
+  auto claimed = [&](uint32_t vri) {
+    for (const auto& [bg, j] : migration_jobs_) {
+      if (j->cache_id != id) continue;
+      for (size_t k = j->running ? j->next : 0; k < j->vregions.size();
+           k++) {
+        if (j->vregions[k] == vri) return true;
+      }
+    }
+    return false;
+  };
+  std::vector<uint32_t> fresh;
+  for (uint32_t vri : vregions) {
+    if (!claimed(vri)) fresh.push_back(vri);
   }
+  if (fresh.empty()) return Status::OK();
 
-  // Allocate replacement capacity under the cache's configuration, with
-  // a throughput-oriented transfer handled below.
-  auto alloc_or = manager_->AllocateWithConfig(
-      vregions.size() * cache->region_bytes, cache->cfg, cache->record_bytes,
-      cache->spot, node_, cache->region_bytes);
-  if (!alloc_or.ok()) return alloc_or.status();
-  REDY_CHECK(alloc_or->regions.size() == vregions.size());
-
-  cache->migrating = true;
   auto job = std::make_shared<MigrationJob>();
   job->client = this;
-  job->cache = cache;
+  job->cache_id = id;
   job->victim = release_vm;
   job->deadline = deadline;
-  job->vregions = vregions;
-  job->targets = alloc_or->regions;
+  job->vregions = std::move(fresh);
   job->done = std::move(done);
   job->event.cache = id;
   job->event.from = release_vm;
-  job->event.to = alloc_or->regions.front().vm_id;
   job->event.started = sim_->Now();
+  job->bg_id = next_bg_id_++;
+  background_[job->bg_id] = job;
+  migration_jobs_[job->bg_id] = job.get();
+  cache->recovery_tasks++;
 
   // Pausing policy. The optimized scheme (Section 6.2) pauses writes
   // only to the region currently being copied and never pauses reads;
-  // the baselines pause all affected regions for the whole migration.
-  for (uint32_t vr : job->vregions) {
+  // the baselines pause all affected regions for the whole migration —
+  // from the notice, not from admission.
+  for (uint32_t vri : job->vregions) {
     if (!options_.pause_per_region_writes) {
-      cache->regions[vr].writes_paused = true;
+      cache->regions[vri].writes_paused = true;
     }
     if (!options_.unpaused_reads) {
-      cache->regions[vr].reads_paused = true;
+      cache->regions[vri].reads_paused = true;
     }
   }
 
-  job->bg_id = next_bg_id_++;
-  background_[job->bg_id] = job;
-  MigrateNextRegion(job.get());
+  // Backstop: a job still queued when its force-free arrives is
+  // admitted regardless of the slot cap so its regions at least re-home
+  // (salvaging from the replica when one exists).
+  if (deadline > sim_->Now()) {
+    job->deadline_event = sim_->At(deadline, [this, bg = job->bg_id] {
+      auto it = migration_jobs_.find(bg);
+      if (it == migration_jobs_.end()) return;
+      MigrationJob* j = it->second;
+      j->deadline_event = 0;
+      if (j->running) return;
+      auto qit = std::find(migration_queue_.begin(), migration_queue_.end(),
+                           j);
+      if (qit != migration_queue_.end()) migration_queue_.erase(qit);
+      StartJob(j);
+    });
+  }
+
+  migration_queue_.push_back(job.get());
+  PumpRecovery();
   return Status::OK();
 }
 
+void CacheClient::PumpRecovery() {
+  while (!migration_queue_.empty()) {
+    if (options_.edf_migration && running_jobs_ >= TransferSlots()) break;
+    // Earliest deadline first; admission order breaks ties.
+    size_t best = 0;
+    for (size_t i = 1; i < migration_queue_.size(); i++) {
+      MigrationJob* a = migration_queue_[i];
+      MigrationJob* b = migration_queue_[best];
+      if (a->deadline < b->deadline ||
+          (a->deadline == b->deadline && a->bg_id < b->bg_id)) {
+        best = i;
+      }
+    }
+    MigrationJob* job = migration_queue_[best];
+    migration_queue_.erase(migration_queue_.begin() +
+                           static_cast<ptrdiff_t>(best));
+    StartJob(job);
+  }
+}
+
+void CacheClient::StartJob(MigrationJob* job) {
+  job->running = true;
+  running_jobs_++;
+  MigrateNextRegion(job);
+}
+
+uint32_t CacheClient::TransferSlots() const {
+  const double per = options_.migration_bandwidth_bps;
+  const double total = options_.migration_total_bandwidth_bps;
+  if (per <= 0 || total <= 0) return UINT32_MAX;
+  return std::max(1u, static_cast<uint32_t>(total / per));
+}
+
+uint64_t CacheClient::CopyPaceNs(net::ServerId src, net::ServerId dst) const {
+  double rate = options_.migration_bandwidth_bps;
+  const double total = options_.migration_total_bandwidth_bps;
+  if (total > 0 && copies_active_ > 0) {
+    const double share = total / copies_active_;
+    rate = rate <= 0 ? share : std::min(rate, share);
+  }
+  if (options_.migration_bandwidth_bps > 0) {
+    // A node touched by several concurrent copies splits its budget.
+    for (net::ServerId n : {src, dst}) {
+      auto it = busy_links_.find(n);
+      if (it != busy_links_.end() && it->second > 1) {
+        rate = std::min(rate,
+                        options_.migration_bandwidth_bps / it->second);
+      }
+      if (dst == src) break;
+    }
+  }
+  if (rate <= 0) return 0;
+  return static_cast<uint64_t>(
+      static_cast<double>(options_.migration_chunk_bytes) * 8.0 / rate *
+      1e9);
+}
+
+void CacheClient::LinkAcquire(net::ServerId src, net::ServerId dst) {
+  copies_active_++;
+  busy_links_[src]++;
+  if (dst != src) busy_links_[dst]++;
+}
+
+void CacheClient::LinkRelease(net::ServerId src, net::ServerId dst) {
+  REDY_CHECK(copies_active_ > 0);
+  copies_active_--;
+  auto drop = [this](net::ServerId n) {
+    auto it = busy_links_.find(n);
+    REDY_CHECK(it != busy_links_.end() && it->second > 0);
+    if (--it->second == 0) busy_links_.erase(it);
+  };
+  drop(src);
+  if (dst != src) drop(dst);
+}
+
+void CacheClient::AcquireCopyLink(MigrationJob* job, net::ServerId src,
+                                  net::ServerId dst) {
+  REDY_CHECK(!job->link_held);
+  job->link_held = true;
+  job->link_src = src;
+  job->link_dst = dst;
+  LinkAcquire(src, dst);
+}
+
+void CacheClient::ReleaseCopyLink(MigrationJob* job) {
+  if (!job->link_held) return;
+  job->link_held = false;
+  LinkRelease(job->link_src, job->link_dst);
+}
+
+bool CacheClient::CanStartBackgroundCopy() const {
+  if (!options_.edf_migration) return true;
+  return migration_queue_.empty() && copies_active_ < TransferSlots();
+}
+
+bool CacheClient::VmUsable(const CacheManager::RegionPlacement& p) const {
+  if (p.vm_id == cluster::kInvalidVm) return false;
+  CacheServer* server = manager_->ServerFor(p.vm_id);
+  if (server == nullptr || !server->alive()) return false;
+  if (fabric_->NicAt(p.node)->failed()) return false;
+  auto it = vm_deadlines_.find(p.vm_id);
+  return it == vm_deadlines_.end() || sim_->Now() < it->second;
+}
+
+void CacheClient::NotifyRecovery(const char* kind) {
+  if (recovery_listener_) recovery_listener_(kind);
+}
+
+uint64_t CacheClient::PendingRecoveries() const {
+  return migration_jobs_.size() + pending_repairs_;
+}
+
 void CacheClient::MigrateNextRegion(MigrationJob* job) {
-  CacheEntry& cache = *job->cache;
+  CacheEntry& cache = *FindCache(job->cache_id);
+  // Skip regions that no longer need this job: re-homed by a failover
+  // meanwhile, or owned by another copy.
+  while (job->next < job->vregions.size()) {
+    const VRegion& vr = cache.regions[job->vregions[job->next]];
+    bool stale = vr.migrating;
+    if (job->victim != cluster::kInvalidVm &&
+        vr.placement.vm_id != job->victim) {
+      stale = true;
+    }
+    if (!stale) break;
+    job->next++;
+  }
   if (job->next >= job->vregions.size()) {
     FinishMigration(job);
     return;
   }
   const uint32_t vr_index = job->vregions[job->next];
   VRegion& vr = cache.regions[vr_index];
+  vr.migrating = true;
+
+  // Fresh per-region copy state.
+  job->target.reset();
+  job->from_replica = false;
+  job->alloc_waiting = false;
+  job->alloc_attempts = 0;
+  job->acked_off = 0;
+  job->next_chunk_off = 0;
+  job->chunks_out = 0;
+  job->chunk_lens.clear();
+  job->copy_failed = false;
+  job->region_resumes = 0;
+  job->loss_accounted = false;
 
   // Writes to the region being copied must always pause (its bytes are
   // being snapshotted); reads keep flowing to the old VM when the
@@ -133,148 +328,277 @@ void CacheClient::MigrateNextRegion(MigrationJob* job) {
   vr.writes_paused = true;
   if (!options_.unpaused_reads) vr.reads_paused = true;
 
-  // Wait until in-flight writes to this region drain, then transfer.
+  // Wait until in-flight sub-ops on this region drain, then transfer.
   // (In-flight *reads* are harmless: the old region stays intact and
   // serves them until the placement swap.)
   job->gate = std::make_unique<sim::Poller>(
       sim_, options_.costs.poll_interval_ns,
       [this, job, vr_index]() -> uint64_t {
-        CacheEntry& cache = *job->cache;
+        CacheEntry& cache = *FindCache(job->cache_id);
         VRegion& vr = cache.regions[vr_index];
-        // Conservative: wait for all sub-ops on the region (reads
-        // included) before snapshotting; reads keep being *submitted*
-        // and serviced during the transfer itself.
         if (vr.inflight_subops > 0) return options_.costs.idle_poll_ns;
         job->gate->Stop();
-
-        // --- start the chunked transfer ---
-        const auto& old_p = vr.placement;
-        const auto& new_p = job->targets[job->next];
-        rdma::Nic* dst_nic = fabric_->NicAt(new_p.node);
-        job->qp = dst_nic->CreateQueuePair(options_.migration_depth);
-        job->peer =
-            fabric_->NicAt(old_p.node)->CreateQueuePair(
-                options_.migration_depth);
-        if (!job->qp->Connect(job->peer).ok()) {
-          job->chunk_failed = true;
-        }
-        job->next_chunk_off = 0;
-        job->chunks_out = 0;
-
-        rdma::MemoryRegion* dst_mr =
-            new_p.server->region(new_p.region_index);
-        const rdma::RemoteKey src_key = old_p.key;
-        const uint64_t region_bytes = job->cache->region_bytes;
-
-        // Pacing interval per chunk for the configured transfer rate.
-        const uint64_t pace_ns =
-            options_.migration_bandwidth_bps > 0
-                ? static_cast<uint64_t>(
-                      static_cast<double>(options_.migration_chunk_bytes) *
-                      8.0 / options_.migration_bandwidth_bps * 1e9)
-                : 0;
-
-        job->driver = std::make_unique<sim::Poller>(
-            sim_, std::max<uint64_t>(pace_ns, 250),
-            [this, job, dst_mr, src_key, region_bytes,
-             pace_ns]() -> uint64_t {
-              uint64_t consumed = 0;
-              rdma::WorkCompletion wc;
-              while (job->qp->send_cq().Poll(&wc, 1) == 1) {
-                REDY_CHECK(job->chunks_out > 0);
-                job->chunks_out--;
-                if (wc.status != StatusCode::kOk) job->chunk_failed = true;
-                consumed += 100;
-              }
-              // Paced: at most one chunk per interval when throttled;
-              // otherwise fill the queue depth.
-              while (!job->chunk_failed &&
-                     job->next_chunk_off < region_bytes &&
-                     job->qp->outstanding() < options_.migration_depth) {
-                const uint64_t len =
-                    std::min(options_.migration_chunk_bytes,
-                             region_bytes - job->next_chunk_off);
-                Status st = job->qp->PostRead(
-                    job->next_chunk_off, dst_mr, job->next_chunk_off,
-                    src_key, job->next_chunk_off, len);
-                if (!st.ok()) {
-                  job->chunk_failed = true;
-                  break;
-                }
-                job->chunks_out++;
-                job->next_chunk_off += len;
-                consumed += 200;
-                if (pace_ns > 0) break;
-              }
-              const bool finished =
-                  (job->next_chunk_off >= region_bytes ||
-                   job->chunk_failed) &&
-                  job->chunks_out == 0;
-              if (finished) {
-                job->driver->Stop();
-                // Finalize outside the poller body.
-                sim_->After(0, [this, job] {
-                  job->driver.reset();  // break the job<->poller cycle
-                  if (job->qp != nullptr) {
-                    job->qp->nic()->DestroyQueuePair(job->qp);
-                    job->qp = nullptr;
-                    job->peer = nullptr;
-                  }
-                  CacheEntry& cache = *job->cache;
-                  const uint32_t vr_index = job->vregions[job->next];
-                  VRegion& vr = cache.regions[vr_index];
-                  if (job->chunk_failed) job->event.data_lost = true;
-                  // Swap the region table entry to the new VM and
-                  // resume its writes (optimized mode).
-                  vr.placement = job->targets[job->next];
-                  if (options_.pause_per_region_writes) {
-                    vr.writes_paused = false;
-                    if (options_.unpaused_reads) vr.reads_paused = false;
-                    ReplayParked(cache, vr_index);
-                  }
-                  job->event.regions++;
-                  job->event.bytes += job->cache->region_bytes;
-                  job->next++;
-                  MigrateNextRegion(job);
-                });
-              }
-              return consumed == 0 ? 50 : consumed;
-            });
-        job->driver->Start();
+        sim_->After(0, [this, bg = job->bg_id] {
+          auto it = migration_jobs_.find(bg);
+          if (it != migration_jobs_.end()) StartRegionCopy(it->second);
+        });
         return 200;
       });
   job->gate->Start();
 }
 
+void CacheClient::StartRegionCopy(MigrationJob* job) {
+  CacheEntry& cache = *FindCache(job->cache_id);
+  const uint32_t vr_index = job->vregions[job->next];
+  VRegion& vr = cache.regions[vr_index];
+
+  // A target that died under us is abandoned along with whatever
+  // reached it; the copy re-targets and starts over.
+  if (job->target.has_value() && !VmUsable(*job->target)) {
+    job->target.reset();
+    job->acked_off = 0;
+    cache.stats.migration_retargets++;
+    job->event.retargets++;
+  }
+
+  // Ensure a target exists before probing sources, so a total source
+  // loss still re-homes the region (blank) instead of stranding it.
+  if (!job->target.has_value()) {
+    std::vector<net::ServerId> avoid;
+    if (vr.replica.has_value()) avoid.push_back(vr.replica->node);
+    auto alloc_or = manager_->AllocateWithConfig(
+        cache.region_bytes, cache.cfg, cache.record_bytes, cache.spot,
+        node_, cache.region_bytes, /*max_hops=*/5,
+        avoid.empty() ? nullptr : &avoid);
+    if (!alloc_or.ok()) {
+      // Out of capacity: exponential backoff, woken early by the
+      // allocator's capacity waitlist. alloc_waiting dedupes the two
+      // wakeups.
+      job->alloc_waiting = true;
+      const uint64_t delay = options_.recovery_alloc_backoff_ns
+                             << std::min<uint32_t>(job->alloc_attempts, 6);
+      job->alloc_attempts++;
+      const uint64_t bg = job->bg_id;
+      sim_->After(delay, [this, bg] { ResumeRegion(bg); });
+      manager_->allocator()->WaitForCapacity(
+          [this, bg] { ResumeRegion(bg); });
+      return;
+    }
+    job->target = alloc_or->regions.front();
+    job->acked_off = 0;
+    if (job->event.to == cluster::kInvalidVm) {
+      job->event.to = job->target->vm_id;
+    }
+  }
+
+  // Pick a live copy source: the primary, unless it already died and
+  // the replica holds every acknowledged byte; back to the primary if
+  // the replica is the one that is gone.
+  if (!job->from_replica && VmUsable(vr.placement)) {
+    job->source = vr.placement;
+  } else if (vr.replica.has_value() && VmUsable(*vr.replica)) {
+    job->source = *vr.replica;
+    job->from_replica = true;
+  } else if (VmUsable(vr.placement)) {
+    job->source = vr.placement;
+    job->from_replica = false;
+  } else {
+    RegionLost(job);
+    return;
+  }
+  BeginChunkCopy(job);
+}
+
+void CacheClient::ResumeRegion(uint64_t bg_id) {
+  auto it = migration_jobs_.find(bg_id);
+  if (it == migration_jobs_.end() || !it->second->alloc_waiting) return;
+  it->second->alloc_waiting = false;
+  StartRegionCopy(it->second);
+}
+
+void CacheClient::BeginChunkCopy(MigrationJob* job) {
+  CacheEntry& cache = *FindCache(job->cache_id);
+  const CacheManager::RegionPlacement src = job->source;
+  const CacheManager::RegionPlacement dst = *job->target;
+  AcquireCopyLink(job, src.node, dst.node);
+
+  job->copy_failed = false;
+  job->qp = fabric_->NicAt(dst.node)->CreateQueuePair(
+      options_.migration_depth);
+  job->peer = fabric_->NicAt(src.node)->CreateQueuePair(
+      options_.migration_depth);
+  if (!job->qp->Connect(job->peer).ok()) job->copy_failed = true;
+  job->next_chunk_off = job->acked_off;  // resume at the acked prefix
+  job->chunks_out = 0;
+  job->chunk_lens.clear();
+
+  rdma::MemoryRegion* dst_mr = dst.server->region(dst.region_index);
+  const rdma::RemoteKey src_key = src.key;
+  const uint64_t region_bytes = cache.region_bytes;
+
+  job->driver = std::make_unique<sim::Poller>(
+      sim_, 250,
+      [this, job, dst_mr, src_key, region_bytes,
+       src_node = src.node, dst_node = dst.node]() -> uint64_t {
+        uint64_t consumed = 0;
+        rdma::WorkCompletion wc;
+        while (job->qp->send_cq().Poll(&wc, 1) == 1) {
+          REDY_CHECK(job->chunks_out > 0);
+          job->chunks_out--;
+          const uint32_t len = job->chunk_lens.front();
+          job->chunk_lens.pop_front();
+          if (wc.status != StatusCode::kOk) {
+            job->copy_failed = true;
+          } else if (!job->copy_failed) {
+            // Completions arrive in post order per QP, so successes
+            // before the first failure extend a contiguous prefix.
+            job->acked_off += len;
+          }
+          consumed += 100;
+        }
+        // A source that vanished stops producing completions only for
+        // chunks not yet posted; stop posting against it.
+        if (!job->copy_failed && job->next_chunk_off < region_bytes &&
+            !VmUsable(job->source)) {
+          job->copy_failed = true;
+        }
+        // Pacing adapts to the current link sharing every iteration.
+        const uint64_t pace_ns = CopyPaceNs(src_node, dst_node);
+        while (!job->copy_failed && job->next_chunk_off < region_bytes &&
+               job->qp->outstanding() < options_.migration_depth) {
+          const uint64_t len =
+              std::min(options_.migration_chunk_bytes,
+                       region_bytes - job->next_chunk_off);
+          Status st = job->qp->PostRead(job->next_chunk_off, dst_mr,
+                                        job->next_chunk_off, src_key,
+                                        job->next_chunk_off, len);
+          if (!st.ok()) {
+            job->copy_failed = true;
+            break;
+          }
+          job->chunks_out++;
+          job->chunk_lens.push_back(static_cast<uint32_t>(len));
+          job->next_chunk_off += len;
+          consumed += 200;
+          if (pace_ns > 0) break;  // at most one chunk per pace interval
+        }
+        const bool finished =
+            (job->next_chunk_off >= region_bytes || job->copy_failed) &&
+            job->chunks_out == 0;
+        if (finished) {
+          job->driver->Stop();
+          // Finalize outside the poller body.
+          sim_->After(0, [this, bg = job->bg_id] {
+            auto it = migration_jobs_.find(bg);
+            if (it != migration_jobs_.end()) HandleCopyEnd(it->second);
+          });
+        }
+        if (consumed == 0) return 50;
+        return pace_ns > consumed ? pace_ns : consumed;
+      });
+  job->driver->Start();
+}
+
+void CacheClient::HandleCopyEnd(MigrationJob* job) {
+  job->driver.reset();
+  if (job->qp != nullptr) {
+    job->qp->nic()->DestroyQueuePair(job->qp);
+    job->qp = nullptr;
+    job->peer = nullptr;
+  }
+  ReleaseCopyLink(job);
+  CacheEntry& cache = *FindCache(job->cache_id);
+
+  if (!VmUsable(*job->target)) {
+    // Target died under the copy: StartRegionCopy drops it, allocates a
+    // fresh one, and restarts from offset 0.
+    StartRegionCopy(job);
+    return;
+  }
+  if (!job->copy_failed) {
+    job->event.bytes += cache.region_bytes;
+    SwapRegion(job);
+    MigrateNextRegion(job);
+    return;
+  }
+  // Transfer failed (gray fault, source loss, broken QP): resume from
+  // the acknowledged prefix, bounded so a persistently failing copy
+  // eventually counts as lost.
+  if (job->region_resumes >= options_.migration_max_resumes) {
+    RegionLost(job);
+    return;
+  }
+  job->region_resumes++;
+  cache.stats.migration_resumes++;
+  job->event.resumes++;
+  StartRegionCopy(job);
+}
+
+void CacheClient::RegionLost(MigrationJob* job) {
+  CacheEntry& cache = *FindCache(job->cache_id);
+  const uint32_t vr_index = job->vregions[job->next];
+  if (!job->loss_accounted) {
+    job->loss_accounted = true;
+    job->event.data_lost = true;
+    job->event.regions_lost++;
+    job->event.lost_vregions.push_back(vr_index);
+    job->event.bytes_lost += cache.region_bytes - job->acked_off;
+    job->event.bytes += job->acked_off;
+    cache.stats.storm_regions_lost++;
+  }
+  // The acked prefix (possibly empty) already sits on the target; the
+  // region re-homes there so the cache stays usable.
+  SwapRegion(job);
+  MigrateNextRegion(job);
+}
+
+void CacheClient::SwapRegion(MigrationJob* job) {
+  CacheEntry& cache = *FindCache(job->cache_id);
+  const uint32_t vr_index = job->vregions[job->next];
+  VRegion& vr = cache.regions[vr_index];
+  vr.placement = *job->target;
+  vr.migrating = false;
+  if (options_.pause_per_region_writes) {
+    vr.writes_paused = false;
+    if (options_.unpaused_reads) vr.reads_paused = false;
+    ReplayParked(cache, vr_index);
+  }
+  job->event.regions++;
+  job->target.reset();
+  job->from_replica = false;
+  job->next++;
+}
+
 void CacheClient::FinishMigration(MigrationJob* job) {
-  CacheEntry& cache = *job->cache;
-  // Unpause everything that the baseline policies held back.
-  for (uint32_t vr : job->vregions) {
-    cache.regions[vr].writes_paused = false;
-    cache.regions[vr].reads_paused = false;
-    ReplayParked(cache, vr);
+  CacheEntry& cache = *FindCache(job->cache_id);
+  // Unpause everything the baseline policies held back, except regions
+  // currently owned by another job's copy.
+  for (uint32_t vri : job->vregions) {
+    VRegion& vr = cache.regions[vri];
+    if (vr.migrating) continue;
+    vr.writes_paused = false;
+    vr.reads_paused = false;
+    ReplayParked(cache, vri);
+  }
+  if (job->deadline_event != 0) {
+    sim_->Cancel(job->deadline_event);
+    job->deadline_event = 0;
   }
 
   // Partial (per-region) migration: the source VMs still host other
   // regions, so nothing is released.
   if (job->victim == cluster::kInvalidVm) {
-    cache.migrating = false;
-    job->event.finished = sim_->Now();
-    migration_log_.push_back(job->event);
-    auto done = std::move(job->done);
-    const MigrationEvent ev = job->event;
-    background_.erase(job->bg_id);  // destroys the job
-    if (done) done(ev);
+    FinalizeMigration(job);
     return;
   }
 
-  // Wait for any in-flight reads against the old VM to drain, then drop
-  // the connections, release the VM, and signal the old VM to
-  // terminate.
+  // Wait for any in-flight ops against the old VM to drain, then drop
+  // the connections and release the VM (safe after a force-free: the
+  // manager's release path is idempotent).
   job->gate = std::make_unique<sim::Poller>(
       sim_, options_.costs.poll_interval_ns,
       [this, job]() -> uint64_t {
-        CacheEntry& cache = *job->cache;
+        CacheEntry& cache = *FindCache(job->cache_id);
         for (auto& t : cache.threads) {
           auto it = t->conns.find(job->victim);
           if (it == t->conns.end()) continue;
@@ -285,21 +609,121 @@ void CacheClient::FinishMigration(MigrationJob* job) {
           }
         }
         job->gate->Stop();
-        sim_->After(0, [this, job] {
-          CacheEntry& cache = *job->cache;
-          DropConnections(cache, job->victim);
-          manager_->ReleaseVm(job->victim);
-          cache.migrating = false;
-          job->event.finished = sim_->Now();
-          migration_log_.push_back(job->event);
-          auto done = std::move(job->done);
-          const MigrationEvent ev = job->event;
-          background_.erase(job->bg_id);  // destroys the job
-          if (done) done(ev);
+        sim_->After(0, [this, bg = job->bg_id] {
+          auto jit = migration_jobs_.find(bg);
+          if (jit == migration_jobs_.end()) return;
+          MigrationJob* j = jit->second;
+          DropConnections(*FindCache(j->cache_id), j->victim);
+          manager_->ReleaseVm(j->victim);
+          FinalizeMigration(j);
         });
         return 100;
       });
   job->gate->Start();
+}
+
+void CacheClient::FinalizeMigration(MigrationJob* job) {
+  CacheEntry* cache = FindCache(job->cache_id);
+  if (cache != nullptr) {
+    REDY_CHECK(cache->recovery_tasks > 0);
+    cache->recovery_tasks--;
+  }
+  REDY_CHECK(running_jobs_ > 0);
+  running_jobs_--;
+  job->event.finished = sim_->Now();
+  migration_log_.push_back(job->event);
+  auto done = std::move(job->done);
+  const MigrationEvent ev = job->event;
+  migration_jobs_.erase(job->bg_id);
+  background_.erase(job->bg_id);  // destroys the job
+  NotifyRecovery("migration");
+  if (done) done(ev);
+  PumpRecovery();
+}
+
+void CacheClient::AbortCacheRecovery(CacheEntry& cache) {
+  std::vector<MigrationJob*> jobs;
+  for (const auto& [bg, j] : migration_jobs_) {
+    if (j->cache_id == cache.id) jobs.push_back(j);
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const MigrationJob* a, const MigrationJob* b) {
+              return a->bg_id < b->bg_id;
+            });
+  for (MigrationJob* job : jobs) {
+    auto qit = std::find(migration_queue_.begin(), migration_queue_.end(),
+                         job);
+    if (qit != migration_queue_.end()) {
+      migration_queue_.erase(qit);
+    } else if (job->running) {
+      REDY_CHECK(running_jobs_ > 0);
+      running_jobs_--;
+    }
+    if (job->deadline_event != 0) sim_->Cancel(job->deadline_event);
+    job->gate.reset();
+    job->driver.reset();
+    if (job->qp != nullptr) {
+      job->qp->nic()->DestroyQueuePair(job->qp);
+      job->qp = nullptr;
+      job->peer = nullptr;
+    }
+    ReleaseCopyLink(job);
+    if (job->target.has_value()) manager_->ReleaseVm(job->target->vm_id);
+    REDY_CHECK(cache.recovery_tasks > 0);
+    cache.recovery_tasks--;
+    migration_jobs_.erase(job->bg_id);
+    background_.erase(job->bg_id);  // destroys the job
+  }
+  if (!jobs.empty()) PumpRecovery();
+}
+
+std::vector<std::string> CacheClient::CheckInvariants() const {
+  std::vector<std::string> violations;
+  char buf[192];
+  // Region indices covered by queued/running jobs: their placement may
+  // legitimately point at a dying VM until the copy lands.
+  auto covered = [&](CacheId id, uint32_t vri) {
+    for (const auto& [bg, j] : migration_jobs_) {
+      if (j->cache_id != id) continue;
+      for (size_t k = j->running ? j->next : 0; k < j->vregions.size();
+           k++) {
+        if (j->vregions[k] == vri) return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& [id, cache] : caches_) {
+    if (cache->deleted) continue;
+    for (uint32_t i = 0; i < cache->regions.size(); i++) {
+      const VRegion& vr = cache->regions[i];
+      if (!vr.migrating && !covered(id, i) && !VmUsable(vr.placement)) {
+        std::snprintf(buf, sizeof(buf),
+                      "cache %llu region %u placed on dead VM %llu",
+                      static_cast<unsigned long long>(id), i,
+                      static_cast<unsigned long long>(vr.placement.vm_id));
+        violations.emplace_back(buf);
+      }
+      if (vr.replica.has_value()) {
+        if (vr.replica->node == vr.placement.node) {
+          std::snprintf(buf, sizeof(buf),
+                        "cache %llu region %u replica shares node %u with "
+                        "its primary",
+                        static_cast<unsigned long long>(id), i,
+                        static_cast<unsigned>(vr.placement.node));
+          violations.emplace_back(buf);
+        }
+        if (!VmUsable(*vr.replica)) {
+          std::snprintf(buf, sizeof(buf),
+                        "cache %llu region %u replica on dead VM %llu",
+                        static_cast<unsigned long long>(id), i,
+                        static_cast<unsigned long long>(
+                            vr.replica->vm_id));
+          violations.emplace_back(buf);
+        }
+      }
+    }
+  }
+  return violations;
 }
 
 void CacheClient::TransferRegion(const CacheManager::RegionPlacement& src,
@@ -320,25 +744,22 @@ void CacheClient::TransferRegion(const CacheManager::RegionPlacement& src,
   const uint64_t bg = next_bg_id_++;
   background_[bg] = x;
 
-  rdma::Nic* dst_nic = fabric_->NicAt(dst.node);
-  x->qp = dst_nic->CreateQueuePair(options_.migration_depth);
+  // Repair/background copies share the migration bandwidth budget.
+  LinkAcquire(src.node, dst.node);
+
+  x->qp = fabric_->NicAt(dst.node)->CreateQueuePair(
+      options_.migration_depth);
   x->peer = fabric_->NicAt(src.node)->CreateQueuePair(
       options_.migration_depth);
   if (!x->qp->Connect(x->peer).ok()) x->failed = true;
 
   rdma::MemoryRegion* dst_mr = dst.server->region(dst.region_index);
   const rdma::RemoteKey src_key = src.key;
-  const uint64_t pace_ns =
-      options_.migration_bandwidth_bps > 0
-          ? static_cast<uint64_t>(
-                static_cast<double>(options_.migration_chunk_bytes) * 8.0 /
-                options_.migration_bandwidth_bps * 1e9)
-          : 0;
 
   x->driver = std::make_unique<sim::Poller>(
-      sim_, std::max<uint64_t>(pace_ns, 250),
+      sim_, 250,
       [this, xp = x.get(), bg, dst_mr, src_key, bytes,
-       pace_ns]() -> uint64_t {
+       src_node = src.node, dst_node = dst.node]() -> uint64_t {
         uint64_t consumed = 0;
         rdma::WorkCompletion wc;
         while (xp->qp->send_cq().Poll(&wc, 1) == 1) {
@@ -347,6 +768,7 @@ void CacheClient::TransferRegion(const CacheManager::RegionPlacement& src,
           if (wc.status != StatusCode::kOk) xp->failed = true;
           consumed += 100;
         }
+        const uint64_t pace_ns = CopyPaceNs(src_node, dst_node);
         while (!xp->failed && xp->next_off < bytes &&
                xp->qp->outstanding() < options_.migration_depth) {
           const uint64_t len = std::min(options_.migration_chunk_bytes,
@@ -364,24 +786,29 @@ void CacheClient::TransferRegion(const CacheManager::RegionPlacement& src,
         }
         if ((xp->next_off >= bytes || xp->failed) && xp->out == 0) {
           xp->driver->Stop();
-          sim_->After(0, [this, xp, bg] {
+          sim_->After(0, [this, xp, bg, src_node, dst_node] {
             if (xp->qp != nullptr) {
               xp->qp->nic()->DestroyQueuePair(xp->qp);
               xp->qp = nullptr;
               xp->peer = nullptr;
             }
+            LinkRelease(src_node, dst_node);
             auto done = std::move(xp->done);
             const bool failed = xp->failed;
             background_.erase(bg);  // destroys the Xfer and its poller
             done(failed);
           });
         }
-        return consumed == 0 ? 50 : consumed;
+        if (consumed == 0) return 50;
+        return pace_ns > consumed ? pace_ns : consumed;
       });
   x->driver->Start();
 }
 
 void CacheClient::OnVmLoss(cluster::VmId vm, sim::SimTime deadline) {
+  // Record the death sentence first: even with auto-recovery off, the
+  // VM must stop counting as a usable copy endpoint at its deadline.
+  vm_deadlines_[vm] = deadline;
   if (!options_.auto_recover) return;
   // Collect first: recovery mutates cache state.
   std::vector<CacheId> affected;
@@ -395,11 +822,13 @@ void CacheClient::OnVmLoss(cluster::VmId vm, sim::SimTime deadline) {
       }
     }
   }
+  std::sort(affected.begin(), affected.end());
   for (CacheId id : affected) {
     CacheEntry* cache = FindCache(id);
     if (cache->replicated) {
       // Replicated caches fail over instantly instead of migrating.
-      FailoverReplicated(*cache, vm);
+      FailoverReplicated(*cache, vm, deadline);
+      NotifyRecovery("failover");
       continue;
     }
     Status st = MigrateVm(id, vm, deadline);
@@ -422,7 +851,7 @@ Status CacheClient::Reshape(CacheId id, uint64_t new_capacity,
   if (cache == nullptr || cache->deleted) {
     return Status::NotFound("unknown cache");
   }
-  if (cache->inflight_ops > 0 || cache->migrating) {
+  if (cache->inflight_ops > 0 || cache->recovery_tasks > 0) {
     return Status::FailedPrecondition(
         "Reshape requires a quiescent cache (I/O is stalled by the "
         "caller during resizing, Section 6.2)");
@@ -482,7 +911,7 @@ Status CacheClient::ReshapeCapacity(CacheId id, uint64_t new_capacity) {
   if (cache == nullptr || cache->deleted) {
     return Status::NotFound("unknown cache");
   }
-  if (cache->inflight_ops > 0 || cache->migrating) {
+  if (cache->inflight_ops > 0 || cache->recovery_tasks > 0) {
     return Status::FailedPrecondition("Reshape requires a quiescent cache");
   }
   if (new_capacity == 0) return Status::InvalidArgument("zero capacity");

@@ -3,7 +3,11 @@
 // replica on a different VM; writes are applied to both copies, reads
 // are served by the primary. Losing a VM promotes replicas instantly
 // (no copy, no data loss) and degraded regions re-replicate in the
-// background.
+// background through a bounded-retry repair loop that preserves
+// anti-affinity and parks on the allocator's capacity waitlist when
+// the cluster is full.
+
+#include <algorithm>
 
 #include "common/logging.h"
 #include "redy/cache_client.h"
@@ -50,7 +54,8 @@ Result<bool> CacheClient::RegionReplicated(CacheId id,
   return cache->regions[vregion].replica.has_value();
 }
 
-void CacheClient::FailoverReplicated(CacheEntry& cache, cluster::VmId vm) {
+void CacheClient::FailoverReplicated(CacheEntry& cache, cluster::VmId vm,
+                                     sim::SimTime deadline) {
   std::vector<uint32_t> orphaned;  // primary lost with no replica left
   for (uint32_t i = 0; i < cache.regions.size(); i++) {
     VRegion& vr = cache.regions[i];
@@ -76,60 +81,145 @@ void CacheClient::FailoverReplicated(CacheEntry& cache, cluster::VmId vm) {
   }
   if (!orphaned.empty()) {
     // Both copies gone (or the cache degraded before this loss): fall
-    // back to the migration path, accepting data loss for those
-    // regions.
-    (void)MigrateRegions(cache.id, orphaned, sim_->Now());
+    // back to the migration path against the real loss deadline — the
+    // notice window is still copy time, not forfeit.
+    (void)MigrateRegions(cache.id, orphaned, deadline);
   }
 }
 
 void CacheClient::RepairReplica(CacheEntry* cache, uint32_t vregion) {
   VRegion& vr = cache->regions[vregion];
   vr.repairing = true;
+  cache->stats.repairs_started++;
+  pending_repairs_++;
+  ScheduleRepair(cache->id, vregion, /*attempt=*/0, /*delay_ns=*/0);
+}
+
+void CacheClient::ScheduleRepair(CacheId id, uint32_t vregion,
+                                 uint32_t attempt, uint64_t delay_ns) {
+  if (delay_ns == 0) {
+    RepairAttempt(id, vregion, attempt);
+    return;
+  }
+  // Fire on whichever comes first: the backoff timer or the allocator
+  // reporting freed capacity. The guard makes the pair one-shot.
+  auto fired = std::make_shared<bool>(false);
+  auto once = [this, id, vregion, attempt, fired] {
+    if (*fired) return;
+    *fired = true;
+    RepairAttempt(id, vregion, attempt);
+  };
+  sim_->After(delay_ns, once);
+  manager_->allocator()->WaitForCapacity(once);
+}
+
+void CacheClient::RepairAttempt(CacheId id, uint32_t vregion,
+                                uint32_t attempt) {
+  CacheEntry* cache = FindCache(id);
+  if (cache == nullptr || cache->deleted) {
+    REDY_CHECK(pending_repairs_ > 0);
+    pending_repairs_--;
+    return;
+  }
+  VRegion& vr = cache->regions[vregion];
+  if (!vr.repairing || vr.replica.has_value()) {
+    // Repaired or re-homed by another path meanwhile.
+    REDY_CHECK(pending_repairs_ > 0);
+    pending_repairs_--;
+    return;
+  }
+  if (vr.migrating) {
+    // The region is mid-migration; let that land and try again.
+    ScheduleRepair(id, vregion, attempt, options_.repair_backoff_ns);
+    return;
+  }
 
   const std::vector<net::ServerId> avoid = {vr.placement.node};
   auto target_or = manager_->AllocateWithConfig(
       cache->region_bytes, cache->cfg, cache->record_bytes, cache->spot,
       node_, cache->region_bytes, 5, &avoid);
   if (!target_or.ok()) {
-    REDY_LOG_ERROR("re-replication allocation failed: %s",
-                   target_or.status().ToString().c_str());
-    vr.repairing = false;  // stays degraded; retried on next loss
+    if (attempt + 1 >= options_.repair_max_attempts) {
+      REDY_LOG_ERROR("re-replication allocation failed after %u attempts: %s",
+                     attempt + 1, target_or.status().ToString().c_str());
+      vr.repairing = false;  // stays degraded; retried on next loss
+      REDY_CHECK(pending_repairs_ > 0);
+      pending_repairs_--;
+      return;
+    }
+    const uint64_t delay = std::min<uint64_t>(
+        options_.repair_backoff_ns << attempt, 100 * kMillisecond);
+    ScheduleRepair(id, vregion, attempt + 1, delay);
     return;
   }
   const CacheManager::RegionPlacement target = target_or->regions[0];
 
   // Writes to the region pause while its bytes are snapshotted, exactly
-  // like a region migration; reads stay up (primary untouched).
+  // like a region migration; reads stay up (primary untouched). The
+  // copy also waits its turn behind deadline-driven migrations — a
+  // repair is background work with no force-free attached.
   vr.writes_paused = true;
-  const CacheId id = cache->id;
   const uint64_t bg = next_bg_id_++;
   auto quiesce = std::make_shared<std::unique_ptr<sim::Poller>>();
   background_[bg] = quiesce;
   *quiesce = std::make_unique<sim::Poller>(
       sim_, options_.costs.poll_interval_ns,
-      [this, id, vregion, target, bg,
+      [this, id, vregion, target, attempt, bg,
        q = quiesce.get()]() -> uint64_t {
         CacheEntry* cache = FindCache(id);
         if (cache == nullptr || cache->deleted) {
           (*q)->Stop();
+          manager_->ReleaseVm(target.vm_id);
+          REDY_CHECK(pending_repairs_ > 0);
+          pending_repairs_--;
           sim_->After(0, [this, bg] { background_.erase(bg); });
           return 0;
         }
         VRegion& vr = cache->regions[vregion];
-        if (vr.inflight_subops > 0) return options_.costs.idle_poll_ns;
+        if (vr.inflight_subops > 0 || !CanStartBackgroundCopy()) {
+          return options_.costs.idle_poll_ns;
+        }
         (*q)->Stop();
         sim_->After(0, [this, bg] { background_.erase(bg); });
 
-        TransferRegion(vr.placement, target, cache->region_bytes,
-                       [this, id, vregion, target](bool failed) {
-                         CacheEntry* cache = FindCache(id);
-                         if (cache == nullptr || cache->deleted) return;
-                         VRegion& vr = cache->regions[vregion];
-                         if (!failed) vr.replica = target;
-                         vr.repairing = false;
-                         vr.writes_paused = false;
-                         ReplayParked(*cache, vregion);
-                       });
+        TransferRegion(
+            vr.placement, target, cache->region_bytes,
+            [this, id, vregion, target, attempt](bool failed) {
+              CacheEntry* cache = FindCache(id);
+              if (cache == nullptr || cache->deleted) {
+                manager_->ReleaseVm(target.vm_id);
+                REDY_CHECK(pending_repairs_ > 0);
+                pending_repairs_--;
+                return;
+              }
+              VRegion& vr = cache->regions[vregion];
+              vr.writes_paused = false;
+              ReplayParked(*cache, vregion);
+              if (failed) {
+                // Don't leak the fresh VM; retry bounded.
+                manager_->ReleaseVm(target.vm_id);
+                if (attempt + 1 >= options_.repair_max_attempts) {
+                  REDY_LOG_ERROR(
+                      "re-replication transfer failed after %u attempts",
+                      attempt + 1);
+                  vr.repairing = false;  // stays degraded
+                  REDY_CHECK(pending_repairs_ > 0);
+                  pending_repairs_--;
+                  return;
+                }
+                const uint64_t delay = std::min<uint64_t>(
+                    options_.repair_backoff_ns << attempt,
+                    100 * kMillisecond);
+                ScheduleRepair(id, vregion, attempt + 1, delay);
+                return;
+              }
+              vr.replica = target;
+              vr.repairing = false;
+              cache->stats.repairs_completed++;
+              REDY_CHECK(pending_repairs_ > 0);
+              pending_repairs_--;
+              NotifyRecovery("repair");
+            });
         return 200;
       });
   (*quiesce)->Start();

@@ -1,7 +1,11 @@
 #ifndef REDY_REDY_TESTBED_H_
 #define REDY_REDY_TESTBED_H_
 
+#include <map>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "chaos/fault_injector.h"
 #include "cluster/vm_allocator.h"
@@ -55,6 +59,22 @@ class Testbed {
   chaos::FaultInjector* EnableChaos(chaos::FaultInjector::Options opts);
   chaos::FaultInjector* chaos() { return chaos_.get(); }
 
+  /// Installs a recovery listener on the client so the structural
+  /// invariants (no region on a dead VM, anti-affinity, acked bytes
+  /// survived) are swept after every completed recovery action.
+  /// Violations accumulate in invariant_violations().
+  void EnableInvariantChecks();
+  /// One invariant sweep right now; returns this sweep's violations.
+  std::vector<std::string> CheckInvariantsNow();
+  /// Records application-acknowledged bytes as ground truth for the
+  /// acked-bytes-survived invariant (latest record per address wins).
+  void RecordAckedBytes(CacheClient::CacheId cache, uint64_t addr,
+                        const void* data, uint64_t size);
+  uint64_t invariant_checks() const { return invariant_checks_; }
+  const std::vector<std::string>& invariant_violations() const {
+    return invariant_violations_;
+  }
+
  private:
   TestbedOptions options_;
   sim::Simulation sim_;
@@ -63,6 +83,11 @@ class Testbed {
   std::unique_ptr<CacheManager> manager_;
   std::unique_ptr<CacheClient> client_;
   std::unique_ptr<chaos::FaultInjector> chaos_;
+  /// Acked ground truth keyed by (cache, address).
+  std::map<std::pair<CacheClient::CacheId, uint64_t>, std::vector<uint8_t>>
+      acked_;
+  uint64_t invariant_checks_ = 0;
+  std::vector<std::string> invariant_violations_;
 };
 
 }  // namespace redy

@@ -142,6 +142,60 @@ TEST_F(ManagerTest, ImpossibleSloFailsAllocate) {
   EXPECT_FALSE(alloc.ok());
 }
 
+TEST_F(ManagerTest, ReleaseVmIsIdempotent) {
+  auto alloc = tb_.manager().AllocateWithConfig(
+      4 * kMiB, RdmaConfig{1, 0, 1, 4}, 8, false, tb_.app_node(), 4 * kMiB);
+  ASSERT_TRUE(alloc.ok());
+  const cluster::VmId vm = alloc->regions[0].vm_id;
+  tb_.manager().ReleaseVm(vm);
+  EXPECT_EQ(tb_.manager().ServerFor(vm), nullptr);
+  // Double release and a Deallocate covering the same VM are no-ops.
+  tb_.manager().ReleaseVm(vm);
+  tb_.manager().Deallocate(*alloc);
+  EXPECT_EQ(tb_.allocator().UnallocatedMemory(),
+            tb_.allocator().TotalMemory());
+}
+
+TEST_F(ManagerTest, ReleaseVmAfterReclaimDeadlineIsSafe) {
+  auto alloc = tb_.manager().AllocateWithConfig(
+      4 * kMiB, RdmaConfig{1, 0, 1, 4}, 8, /*spot=*/true, tb_.app_node(),
+      4 * kMiB);
+  ASSERT_TRUE(alloc.ok());
+  const cluster::VmId vm = alloc->regions[0].vm_id;
+  ASSERT_TRUE(tb_.allocator().Reclaim(vm).ok());
+  tb_.sim().RunFor(31 * kSecond);  // past the notice: force-freed
+
+  // The allocator force-freed the VM, but the manager's agent entry
+  // survives (raw RegionPlacement::server pointers must stay valid
+  // until the client releases); it is just shut down.
+  EXPECT_EQ(tb_.allocator().Find(vm), nullptr);
+  ASSERT_NE(tb_.manager().ServerFor(vm), nullptr);
+  EXPECT_FALSE(tb_.manager().ServerFor(vm)->alive());
+
+  // Releasing after the force-free is the normal supervisor epilogue:
+  // it drops the entry and must not double-free anything.
+  tb_.manager().ReleaseVm(vm);
+  EXPECT_EQ(tb_.manager().ServerFor(vm), nullptr);
+  tb_.manager().ReleaseVm(vm);
+  EXPECT_EQ(tb_.allocator().UnallocatedMemory(),
+            tb_.allocator().TotalMemory());
+}
+
+TEST_F(ManagerTest, ReleaseVmAfterServerFailureIsSafe) {
+  auto alloc = tb_.manager().AllocateWithConfig(
+      4 * kMiB, RdmaConfig{1, 0, 1, 4}, 8, false, tb_.app_node(), 4 * kMiB);
+  ASSERT_TRUE(alloc.ok());
+  const cluster::VmId vm = alloc->regions[0].vm_id;
+  tb_.FailNode(tb_.allocator().Find(vm)->server);
+  tb_.sim().RunFor(1);  // let the deadline-now shutdown event run
+
+  tb_.manager().ReleaseVm(vm);
+  EXPECT_EQ(tb_.manager().ServerFor(vm), nullptr);
+  tb_.manager().Deallocate(*alloc);  // repeat via the bulk path
+  EXPECT_EQ(tb_.allocator().UnallocatedMemory(),
+            tb_.allocator().TotalMemory());
+}
+
 TEST_F(ManagerTest, ReclaimNoticePropagatesToLossHandler) {
   auto alloc = tb_.manager().AllocateWithConfig(
       4 * kMiB, RdmaConfig{1, 0, 1, 4}, 8, /*spot=*/true, tb_.app_node(),
