@@ -20,10 +20,12 @@ struct Outcome {
   double price_per_hour_factor = 1.0;
 };
 
-Outcome RunScenario(bool replicated, bool hard_failure) {
+Outcome RunScenario(bool replicated, bool hard_failure,
+                    bool traced = false) {
   TestbedOptions o = bench::BenchTestbed();
   o.client.region_bytes = 8 * kMiB;
   Testbed tb(o);
+  if (traced) bench::AttachBenchTelemetry(tb);
 
   const uint64_t kCap = 24 * kMiB;
   auto id_or =
@@ -86,12 +88,14 @@ Outcome RunScenario(bool replicated, bool hard_failure) {
   }
   out.data_survived = read_st.ok() && check == data;
   out.price_per_hour_factor = replicated ? 2.0 : 1.0;
+  if (traced) bench::WriteBenchTelemetry(tb);
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchTelemetry(argc, argv);
   bench::PrintHeader("Recovery-strategy ablation (migration vs replication)",
                      "Section 6.2 design alternatives");
 
@@ -118,5 +122,12 @@ int main() {
               "survives hard failures with\ninstant promotion (its recovery "
               "time is the background re-replication,\nnot an availability "
               "gap). This is exactly the trade-off Section 6.2\nsketches.\n");
+
+  if (bench::BenchTelemetryFlags().any()) {
+    std::printf("\n[telemetry] re-running replicated hard-failure scenario "
+                "with tracing\n");
+    (void)RunScenario(/*replicated=*/true, /*hard_failure=*/true,
+                      /*traced=*/true);
+  }
   return 0;
 }

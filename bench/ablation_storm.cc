@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "chaos/fault_injector.h"
 #include "chaos/storm.h"
 #include "redy/cache_client.h"
 
@@ -34,7 +35,10 @@ struct Row {
   uint32_t regions_lost = 0;
 };
 
-Row Run(uint32_t n, bool edf) {
+/// `traced` turns on the span tracer, arms a deterministic set of gray-
+/// fault windows overlapping the storm, and dumps the telemetry
+/// artifacts requested on the command line when the run finishes.
+Row Run(uint32_t n, bool edf, bool traced = false) {
   TestbedOptions o;
   o.pods = 2;
   o.racks_per_pod = 2;
@@ -44,6 +48,7 @@ Row Run(uint32_t n, bool edf) {
   o.client.edf_migration = edf;
   o.reclaim_notice = 3 * kMillisecond;
   Testbed tb(o);
+  if (traced) bench::AttachBenchTelemetry(tb);
 
   const uint64_t cap = kRegions * kRegion;
   auto id_or =
@@ -70,6 +75,17 @@ Row Run(uint32_t n, bool edf) {
     sopts.victims.push_back(*vm);
   }
   chaos::ReclamationStorm storm(&tb.sim(), &tb.allocator(), sopts);
+  if (traced) {
+    storm.set_telemetry(&tb.telemetry());
+    // Explicit (seed-independent) gray-fault windows overlapping the
+    // storm so the trace shows fault windows next to the migrations.
+    chaos::FaultInjector* inj = tb.EnableChaos({});
+    inj->AddDegrade(tb.app_node(), 1, sopts.start, 1 * kMillisecond,
+                    2 * kMicrosecond);
+    inj->AddLossy(tb.app_node(), 2, sopts.start + 500 * kMicrosecond,
+                  1 * kMillisecond, 0.05);
+    inj->AddStall(3, sopts.start, 500 * kMicrosecond);
+  }
   storm.Arm();
 
   for (int i = 0; i < 200'000'000; i++) {
@@ -92,12 +108,14 @@ Row Run(uint32_t n, bool edf) {
     row.bytes_lost += ev.bytes_lost;
     row.regions_lost += ev.regions_lost;
   }
+  if (traced) bench::WriteBenchTelemetry(tb);
   return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchTelemetry(argc, argv);
   bench::PrintHeader(
       "Storm-scheduling ablation (EDF vs naive racing)",
       "Section 6.2 migration under overlapping reclamations");
@@ -122,5 +140,10 @@ int main() {
       "as the storm widens. Naive racing splits the bandwidth across\n"
       "every transfer at once, so no region finishes: everything it\n"
       "moves is the salvaged prefix of a region whose tail is lost.\n");
+
+  if (bench::BenchTelemetryFlags().any()) {
+    std::printf("\n[telemetry] re-running n=4 EDF with tracing enabled\n");
+    (void)Run(4, /*edf=*/true, /*traced=*/true);
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,66 @@
 #include "redy/testbed.h"
 
 namespace redy::bench {
+
+/// Telemetry output destinations parsed from the command line. Shared
+/// by every figure binary: `--trace-out=<path>` dumps a Perfetto
+/// trace_event JSON, `--metrics-out=<path>` dumps the metrics registry
+/// as JSON. Both default to off (empty).
+struct TelemetryFlags {
+  std::string trace_out;
+  std::string metrics_out;
+  bool any() const { return !trace_out.empty() || !metrics_out.empty(); }
+};
+
+inline TelemetryFlags& BenchTelemetryFlags() {
+  static TelemetryFlags flags;
+  return flags;
+}
+
+/// Parses --trace-out=/--metrics-out= into BenchTelemetryFlags().
+/// Unknown arguments are ignored (binaries keep their own flags).
+inline void InitBenchTelemetry(int argc, char** argv) {
+  TelemetryFlags& flags = BenchTelemetryFlags();
+  for (int i = 1; i < argc; i++) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      flags.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      flags.metrics_out = arg + 14;
+    }
+  }
+}
+
+/// Turns tracing on for `tb` when a trace destination was requested.
+inline void AttachBenchTelemetry(Testbed& tb) {
+  if (!BenchTelemetryFlags().trace_out.empty()) {
+    tb.telemetry().tracer().Enable();
+  }
+}
+
+/// Writes the requested telemetry artifacts from `tb` (call once, after
+/// the instrumented run finishes).
+inline void WriteBenchTelemetry(Testbed& tb) {
+  const TelemetryFlags& flags = BenchTelemetryFlags();
+  auto dump = [](const std::string& path, const std::string& body,
+                 const char* what) {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[telemetry] cannot open %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("[telemetry] wrote %s (%zu bytes) to %s\n", what,
+                body.size(), path.c_str());
+  };
+  if (!flags.trace_out.empty()) {
+    dump(flags.trace_out, tb.telemetry().tracer().ExportJson(), "trace");
+  }
+  if (!flags.metrics_out.empty()) {
+    dump(flags.metrics_out, tb.telemetry().metrics().ToJson(), "metrics");
+  }
+}
 
 inline void PrintHeader(const std::string& title, const std::string& ref) {
   std::printf("==============================================================\n");

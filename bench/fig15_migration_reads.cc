@@ -6,7 +6,8 @@
 
 using namespace redy;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchTelemetry(argc, argv);
   bench::PrintHeader("Impact of region migration on reads",
                      "Fig. 15 + Section 7.4 (migration speed)");
 
@@ -28,5 +29,11 @@ int main() {
               "%.0f GB can be\nevacuated within the 30 s reclamation "
               "notice (paper: <= 27 GB).\n",
               region_s * 1e3, s_per_gb, 30.0 / s_per_gb);
+
+  if (bench::BenchTelemetryFlags().any()) {
+    std::printf("\n[telemetry] re-running optimized timeline with tracing\n");
+    (void)bench::RunMigrationTimeline(/*reads=*/true, /*optimized=*/true,
+                                      /*traced=*/true);
+  }
   return 0;
 }

@@ -6,7 +6,8 @@
 
 using namespace redy;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::InitBenchTelemetry(argc, argv);
   bench::PrintHeader("Impact of region migration on writes",
                      "Fig. 16 (Section 7.4)");
 
@@ -17,5 +18,11 @@ int main() {
   bench::PrintTimeline("write", opt, naive, "15% / 25% / 57%",
                        "drops by at most ~15% (one region of seven paused "
                        "at a time)");
+
+  if (bench::BenchTelemetryFlags().any()) {
+    std::printf("\n[telemetry] re-running optimized timeline with tracing\n");
+    (void)bench::RunMigrationTimeline(/*reads=*/false, /*optimized=*/true,
+                                      /*traced=*/true);
+  }
   return 0;
 }

@@ -25,12 +25,14 @@ struct TimelineResult {
   std::vector<double> bucket_mops;  // 10 ms buckets for the plot
 };
 
-inline TimelineResult RunMigrationTimeline(bool reads, bool optimized) {
+inline TimelineResult RunMigrationTimeline(bool reads, bool optimized,
+                                           bool traced = false) {
   TestbedOptions o = BenchTestbed();
   o.client.region_bytes = 32 * kMiB;
   o.client.unpaused_reads = optimized;
   o.client.pause_per_region_writes = optimized;
   Testbed tb(o);
+  if (traced) AttachBenchTelemetry(tb);
 
   const uint64_t kRegions = 7;
   const uint64_t kCapacity = kRegions * o.client.region_bytes;
@@ -122,6 +124,7 @@ inline TimelineResult RunMigrationTimeline(bool reads, bool optimized) {
     for (uint64_t i = ms; i < ms + 10; i++) ops += ops_per_ms[i];
     result.bucket_mops.push_back(static_cast<double>(ops) / 10e3);
   }
+  if (traced) WriteBenchTelemetry(tb);
   return result;
 }
 

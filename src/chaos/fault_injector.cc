@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace redy::chaos {
 
@@ -54,20 +55,29 @@ void FaultInjector::AddDegrade(net::ServerId a, net::ServerId b,
   degrades_[PairKey(a, b)].push_back(w);
   degrades_[PairKey(b, a)].push_back(w);
   last_fault_end_ = std::max(last_fault_end_, w.end);
+  TraceWindow("degrade", w.start, w.end, {"src", a}, {"dst", b});
 }
 
-void FaultInjector::AddLossy(net::ServerId a, net::ServerId b,
-                             sim::SimTime start, uint64_t duration_ns,
-                             double p) {
+void FaultInjector::AddLossyWindow(net::ServerId a, net::ServerId b,
+                                   sim::SimTime start, uint64_t duration_ns,
+                                   double p) {
   const LossWindow w{start, start + duration_ns, p};
   losses_[PairKey(a, b)].push_back(w);
   losses_[PairKey(b, a)].push_back(w);
   last_fault_end_ = std::max(last_fault_end_, w.end);
 }
 
+void FaultInjector::AddLossy(net::ServerId a, net::ServerId b,
+                             sim::SimTime start, uint64_t duration_ns,
+                             double p) {
+  AddLossyWindow(a, b, start, duration_ns, p);
+  TraceWindow("lossy", start, start + duration_ns, {"src", a}, {"dst", b});
+}
+
 void FaultInjector::AddFlap(net::ServerId a, net::ServerId b,
                             sim::SimTime start, uint64_t duration_ns) {
-  AddLossy(a, b, start, duration_ns, 1.0);
+  AddLossyWindow(a, b, start, duration_ns, 1.0);
+  TraceWindow("flap", start, start + duration_ns, {"src", a}, {"dst", b});
 }
 
 void FaultInjector::AddStall(net::ServerId server, sim::SimTime start,
@@ -75,6 +85,25 @@ void FaultInjector::AddStall(net::ServerId server, sim::SimTime start,
   const StallWindow w{start, start + duration_ns};
   stalls_[server].push_back(w);
   last_fault_end_ = std::max(last_fault_end_, w.end);
+  TraceWindow("stall", w.start, w.end, {"server", server}, {});
+}
+
+telemetry::SpanTracer* FaultInjector::ActiveTracer() const {
+  telemetry::Telemetry* tel = fabric_->telemetry();
+  if (tel == nullptr || !tel->tracer().enabled()) return nullptr;
+  return &tel->tracer();
+}
+
+void FaultInjector::TraceWindow(const char* name, sim::SimTime start,
+                                sim::SimTime end, telemetry::TraceArg a0,
+                                telemetry::TraceArg a1) {
+  telemetry::SpanTracer* tr = ActiveTracer();
+  if (tr == nullptr) return;
+  if (trace_track_ == 0) trace_track_ = tr->NewTrack("chaos", "faults");
+  tr->Instant(trace_track_, name, "fault", start, a0, a1);
+  const telemetry::SpanId id = tr->NextId();
+  tr->AsyncBegin(trace_track_, name, "fault", id, start, a0, a1);
+  tr->AsyncEnd(trace_track_, name, "fault", id, end);
 }
 
 uint64_t FaultInjector::ExtraLatencyNs(net::ServerId src, net::ServerId dst) {
@@ -103,6 +132,11 @@ bool FaultInjector::WqeError(net::ServerId src, net::ServerId dst) {
   for (const LossWindow& w : it->second) {
     if (now >= w.start && now < w.end && rng_.Bernoulli(w.p)) {
       injected_errors_++;
+      if (telemetry::SpanTracer* tr = ActiveTracer()) {
+        if (trace_track_ == 0) trace_track_ = tr->NewTrack("chaos", "faults");
+        tr->Instant(trace_track_, "injected_error", "fault", now,
+                    {"src", src}, {"dst", dst});
+      }
       return true;
     }
   }

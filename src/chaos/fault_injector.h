@@ -11,6 +11,7 @@
 #include "rdma/fault_hooks.h"
 #include "rdma/nic.h"
 #include "sim/simulation.h"
+#include "telemetry/trace.h"
 
 namespace redy::chaos {
 
@@ -120,6 +121,14 @@ class FaultInjector : public rdma::FaultHooks {
   net::ServerId PickServer();
   uint64_t PickDuration();
   sim::SimTime PickStart();
+  void AddLossyWindow(net::ServerId a, net::ServerId b, sim::SimTime start,
+                      uint64_t duration_ns, double p);
+  /// Emits the window onto the "chaos" trace lane (instant at the start
+  /// plus a [start, end) span) when tracing is enabled; no-op otherwise.
+  void TraceWindow(const char* name, sim::SimTime start, sim::SimTime end,
+                   telemetry::TraceArg a0, telemetry::TraceArg a1);
+  /// The fabric's tracer when telemetry is installed and enabled.
+  telemetry::SpanTracer* ActiveTracer() const;
 
   sim::Simulation* sim_;
   rdma::Fabric* fabric_;
@@ -131,6 +140,7 @@ class FaultInjector : public rdma::FaultHooks {
   std::unordered_map<net::ServerId, std::vector<StallWindow>> stalls_;
 
   sim::SimTime last_fault_end_ = 0;
+  telemetry::TrackId trace_track_ = 0;
   uint64_t injected_errors_ = 0;
   uint64_t injected_spikes_ = 0;
   uint64_t injected_delays_ = 0;

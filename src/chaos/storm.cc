@@ -1,6 +1,7 @@
 #include "chaos/storm.h"
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace redy::chaos {
 
@@ -25,6 +26,12 @@ void ReclamationStorm::Arm() {
         const sim::SimTime deadline =
             sim_->Now() + allocator_->reclaim_notice();
         if (deadline > last_deadline_) last_deadline_ = deadline;
+        if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+          telemetry::SpanTracer& tr = telemetry_->tracer();
+          if (trace_track_ == 0) trace_track_ = tr.NewTrack("chaos", "storm");
+          tr.Instant(trace_track_, "reclaim_notice", "storm", sim_->Now(),
+                     {"vm", victim}, {"deadline", deadline});
+        }
       }
     });
   }

@@ -8,6 +8,10 @@
 #include "common/random.h"
 #include "sim/simulation.h"
 
+namespace redy::telemetry {
+class Telemetry;
+}  // namespace redy::telemetry
+
 namespace redy::chaos {
 
 /// Deterministic reclamation-storm generator: issues spot-reclamation
@@ -32,6 +36,10 @@ class ReclamationStorm {
   ReclamationStorm(sim::Simulation* sim, cluster::VmAllocator* allocator,
                    Options opts);
 
+  /// Optional telemetry sink (not owned): delivered notices appear as
+  /// "reclaim_notice" instants on a "chaos / storm" trace lane.
+  void set_telemetry(telemetry::Telemetry* tel) { telemetry_ = tel; }
+
   /// Schedules one reclaim notice per victim. Call once.
   void Arm();
 
@@ -51,6 +59,8 @@ class ReclamationStorm {
   sim::Simulation* sim_;
   cluster::VmAllocator* allocator_;
   Options opts_;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  uint32_t trace_track_ = 0;
   std::vector<sim::SimTime> notice_times_;
   uint64_t reclaims_issued_ = 0;
   sim::SimTime last_deadline_ = 0;

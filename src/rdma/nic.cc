@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <string>
+
 #include "common/logging.h"
 #include "rdma/queue_pair.h"
+#include "telemetry/telemetry.h"
 
 namespace redy::rdma {
 
@@ -55,9 +58,32 @@ QueuePair* Nic::CreateQueuePair(uint32_t max_depth) {
   max_depth = std::min(max_depth, params().max_queue_depth);
   auto qp = std::make_unique<QueuePair>(this, max_depth);
   QueuePair* out = qp.get();
+  out->trace_id_ = fabric_->NextQpTraceId();
   qps_.push_back(out);
   owned_qps_.push_back(std::move(qp));
   return out;
+}
+
+void Nic::CountWqePosted() {
+  telemetry::Telemetry* tel = fabric_->telemetry();
+  if (tel == nullptr) return;
+  if (wqe_posted_ == nullptr) {
+    wqe_posted_ = tel->metrics().GetCounter(
+        "rdma.wqe_posted", {{"server", std::to_string(server_)}});
+  }
+  wqe_posted_->Inc();
+}
+
+void Nic::CountWqeCompleted(bool ok) {
+  telemetry::Telemetry* tel = fabric_->telemetry();
+  if (tel == nullptr) return;
+  if (wqe_completed_ == nullptr) {
+    const telemetry::Labels labels{{"server", std::to_string(server_)}};
+    wqe_completed_ = tel->metrics().GetCounter("rdma.wqe_completed", labels);
+    wqe_errors_ = tel->metrics().GetCounter("rdma.wqe_errors", labels);
+  }
+  wqe_completed_->Inc();
+  if (!ok) wqe_errors_->Inc();
 }
 
 void Nic::DestroyQueuePair(QueuePair* qp) {
@@ -77,6 +103,12 @@ sim::SimTime Nic::ReleaseTime(sim::SimTime t) const {
 void Nic::Fail() {
   if (failed_) return;
   failed_ = true;
+  if (telemetry::Telemetry* tel = fabric_->telemetry();
+      tel != nullptr && tel->tracer().enabled()) {
+    telemetry::SpanTracer& tr = tel->tracer();
+    tr.Instant(fabric_->FabricTraceTrack(tr), "nic_failed", "fabric",
+               sim_->Now(), {"server", server_});
+  }
   for (QueuePair* qp : qps_) {
     qp->Break();
     if (qp->peer() != nullptr) qp->peer()->Break();
@@ -87,6 +119,13 @@ void Nic::Fail() {
 Fabric::Fabric(sim::Simulation* sim, net::Topology topology,
                net::FabricParams params)
     : sim_(sim), topology_(topology), params_(params) {}
+
+uint32_t Fabric::FabricTraceTrack(telemetry::SpanTracer& tracer) {
+  if (fabric_trace_track_ == 0) {
+    fabric_trace_track_ = tracer.NewTrack("rdma", "fabric");
+  }
+  return fabric_trace_track_;
+}
 
 Nic* Fabric::NicAt(net::ServerId server) {
   auto it = nics_.find(server);

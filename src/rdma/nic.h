@@ -18,6 +18,12 @@
 #include "rdma/memory_region.h"
 #include "sim/simulation.h"
 
+namespace redy::telemetry {
+class Counter;
+class SpanTracer;
+class Telemetry;
+}  // namespace redy::telemetry
+
 namespace redy::rdma {
 
 class Fabric;
@@ -66,6 +72,12 @@ class Nic {
   /// Total bytes of registered regions (diagnostics).
   uint64_t registered_bytes() const { return registered_bytes_; }
 
+  /// Telemetry: per-NIC WQE counters, lazily registered under the
+  /// fabric's telemetry with a {"server": N} label. No-ops (and cost
+  /// one branch) when the fabric has no telemetry installed.
+  void CountWqePosted();
+  void CountWqeCompleted(bool ok);
+
  private:
   friend class QueuePair;
 
@@ -81,6 +93,9 @@ class Nic {
       retired_regions_;
   std::vector<QueuePair*> qps_;
   std::vector<std::unique_ptr<QueuePair>> owned_qps_;
+  telemetry::Counter* wqe_posted_ = nullptr;
+  telemetry::Counter* wqe_completed_ = nullptr;
+  telemetry::Counter* wqe_errors_ = nullptr;
 };
 
 /// The fabric connects NICs through the data-center topology and owns
@@ -111,11 +126,28 @@ class Fabric {
   void set_fault_hooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
   FaultHooks* fault_hooks() const { return fault_hooks_; }
 
+  /// Installs (or clears, with nullptr) the telemetry domain the NICs
+  /// and queue pairs instrument themselves with. Not owned. Same
+  /// pattern as the fault hooks: nullptr means no instrumentation.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+  telemetry::Telemetry* telemetry() const { return telemetry_; }
+
+  /// Stable per-fabric queue-pair ordinal for trace track naming.
+  uint64_t NextQpTraceId() { return next_qp_trace_id_++; }
+  /// Fabric-wide event lane ("nic failed", topology-level instants);
+  /// lazily registered with `tracer`.
+  uint32_t FabricTraceTrack(telemetry::SpanTracer& tracer);
+
  private:
   sim::Simulation* sim_;
   net::Topology topology_;
   net::FabricParams params_;
   FaultHooks* fault_hooks_ = nullptr;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  uint64_t next_qp_trace_id_ = 1;
+  uint32_t fabric_trace_track_ = 0;
   std::unordered_map<net::ServerId, std::unique_ptr<Nic>> nics_;
 };
 

@@ -1,17 +1,36 @@
 #include "rdma/queue_pair.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <vector>
 
 #include "common/logging.h"
 #include "rdma/nic.h"
+#include "telemetry/telemetry.h"
 
 namespace redy::rdma {
 
 QueuePair::QueuePair(Nic* nic, uint32_t max_depth)
     : nic_(nic), max_depth_(max_depth) {}
+
+telemetry::SpanTracer* QueuePair::ActiveTracer() const {
+  telemetry::Telemetry* tel = nic_->fabric()->telemetry();
+  if (tel == nullptr || !tel->tracer().enabled()) return nullptr;
+  return &tel->tracer();
+}
+
+uint32_t QueuePair::TraceTrack(telemetry::SpanTracer& tracer) {
+  if (trace_track_ == 0) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "qp %llu srv %u",
+                  static_cast<unsigned long long>(trace_id_),
+                  static_cast<unsigned>(nic_->server()));
+    trace_track_ = tracer.NewTrack("rdma", name);
+  }
+  return trace_track_;
+}
 
 Status QueuePair::Connect(QueuePair* peer) {
   if (peer == nullptr || peer == this) {
@@ -61,6 +80,14 @@ void QueuePair::DeliverReady() {
     t = nic_->ReleaseTime(t);
     if (peer_ != nullptr) t = peer_->nic_->ReleaseTime(t);
     last_completion_ = t;
+    nic_->CountWqeCompleted(wc.status == StatusCode::kOk);
+    if (telemetry::SpanTracer* tr = ActiveTracer()) {
+      // Recorded now (deterministically), stamped with the delivery
+      // time the sequencer just fixed.
+      tr->Instant(TraceTrack(*tr), "completion", "wqe", t,
+                  {"wr_id", wc.wr_id},
+                  {"status", static_cast<uint64_t>(wc.status)});
+    }
     nic_->sim()->At(t, [this, wc, t]() mutable {
       wc.completed_at = t;
       send_cq_.Push(wc);
@@ -106,6 +133,25 @@ Status QueuePair::PostWrite(uint64_t wr_id, const MemoryRegion* mr,
   const sim::SimTime landed =
       wire_end + nic_->fabric()->OneWayNs(src, dst) + p.nic_remote_dma_ns +
       extra_ns;
+
+  // WQE lifecycle trace: the whole pipeline is known at post time, so
+  // the span and its stage children are recorded here with their
+  // precomputed timestamps (doorbell -> DMA fetch -> wire -> landed).
+  nic_->CountWqePosted();
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    const uint32_t tk = TraceTrack(*tr);
+    const uint64_t span = tr->NextId();
+    tr->Instant(tk, "doorbell", "wqe", sim->Now(), {"wr_id", wr_id});
+    tr->AsyncBegin(tk, "write", "wqe", span, issue, {"wr_id", wr_id},
+                   {"len", len});
+    if (!inlined) {
+      tr->AsyncBegin(tk, "dma_fetch", "wqe", span, issue);
+      tr->AsyncEnd(tk, "dma_fetch", "wqe", span, fetch_done);
+    }
+    tr->AsyncBegin(tk, "wire", "wqe", span, fetch_done);
+    tr->AsyncEnd(tk, "wire", "wqe", span, wire_end);
+    tr->AsyncEnd(tk, "write", "wqe", span, landed);
+  }
 
   // Inline payloads snapshot at post time (real NICs copy them into the
   // WQE); non-inline payloads are fetched over PCIe at fetch_done.
@@ -167,22 +213,44 @@ Status QueuePair::PostRead(uint64_t wr_id, MemoryRegion* mr,
   const sim::SimTime req_arrive =
       req_wire_end + nic_->fabric()->OneWayNs(src, dst) + extra_ns;
 
+  // Request-side WQE trace; the response stages are recorded when the
+  // request reaches the responder (they depend on its link state).
+  nic_->CountWqePosted();
+  uint64_t span = 0;
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    const uint32_t tk = TraceTrack(*tr);
+    span = tr->NextId();
+    tr->Instant(tk, "doorbell", "wqe", sim->Now(), {"wr_id", wr_id});
+    tr->AsyncBegin(tk, "read", "wqe", span, issue, {"wr_id", wr_id},
+                   {"len", len});
+    tr->AsyncBegin(tk, "req_wire", "wqe", span, issue);
+    tr->AsyncEnd(tk, "req_wire", "wqe", span, req_wire_end);
+  }
+
   sim->At(req_arrive, [this, seq, wr_id, mr, local_offset, key, remote_offset,
-                       len, doomed]() {
+                       len, doomed, span]() {
     const net::FabricParams& p = nic_->params();
     sim::Simulation* sim = nic_->sim();
     WorkCompletion wc{wr_id, Opcode::kRead, StatusCode::kOk,
                       static_cast<uint32_t>(len), 0};
     const uint64_t one_way =
         nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server());
+    auto end_read_span = [this, span](sim::SimTime ts) {
+      if (span == 0) return;
+      if (telemetry::SpanTracer* tr = ActiveTracer()) {
+        tr->AsyncEnd(TraceTrack(*tr), "read", "wqe", span, ts);
+      }
+    };
     if (doomed || broken_ || peer_ == nullptr || peer_->nic_->failed()) {
       wc.status = StatusCode::kUnavailable;
+      end_read_span(sim->Now());
       Complete(seq, wc, sim->Now() + one_way);
       return;
     }
     auto mr_or = peer_->nic_->Resolve(key);
     if (!mr_or.ok() || !(*mr_or)->InBounds(remote_offset, len)) {
       wc.status = StatusCode::kAborted;
+      end_read_span(sim->Now());
       Complete(seq, wc, sim->Now() + one_way);
       return;
     }
@@ -200,6 +268,16 @@ Status QueuePair::PostRead(uint64_t wr_id, MemoryRegion* mr,
         peer_->nic_->tx_link().Reserve(fetch_done, len);
     const sim::SimTime landed =
         resp_wire_end + one_way + p.nic_remote_dma_ns + resp_extra;
+    if (span != 0) {
+      if (telemetry::SpanTracer* tr = ActiveTracer()) {
+        const uint32_t tk = TraceTrack(*tr);
+        tr->AsyncBegin(tk, "resp_fetch", "wqe", span, sim->Now());
+        tr->AsyncEnd(tk, "resp_fetch", "wqe", span, fetch_done);
+        tr->AsyncBegin(tk, "resp_wire", "wqe", span, fetch_done);
+        tr->AsyncEnd(tk, "resp_wire", "wqe", span, resp_wire_end);
+        tr->AsyncEnd(tk, "read", "wqe", span, landed);
+      }
+    }
     sim->At(landed, [this, seq, wc, mr, local_offset, len,
                      payload = std::move(payload)]() mutable {
       if (broken_) {
@@ -239,6 +317,21 @@ Status QueuePair::PostSend(uint64_t wr_id, const MemoryRegion* mr,
   const sim::SimTime landed =
       wire_end + nic_->fabric()->OneWayNs(src, dst) + p.nic_remote_dma_ns +
       extra_ns;
+  nic_->CountWqePosted();
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    const uint32_t tk = TraceTrack(*tr);
+    const uint64_t span = tr->NextId();
+    tr->Instant(tk, "doorbell", "wqe", sim->Now(), {"wr_id", wr_id});
+    tr->AsyncBegin(tk, "send", "wqe", span, issue, {"wr_id", wr_id},
+                   {"len", len});
+    if (!inlined) {
+      tr->AsyncBegin(tk, "dma_fetch", "wqe", span, issue);
+      tr->AsyncEnd(tk, "dma_fetch", "wqe", span, fetch_done);
+    }
+    tr->AsyncBegin(tk, "wire", "wqe", span, fetch_done);
+    tr->AsyncEnd(tk, "wire", "wqe", span, wire_end);
+    tr->AsyncEnd(tk, "send", "wqe", span, landed);
+  }
   std::vector<uint8_t> payload(mr->data() + local_offset,
                                mr->data() + local_offset + len);
 

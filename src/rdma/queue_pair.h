@@ -12,6 +12,10 @@
 #include "rdma/memory_region.h"
 #include "rdma/rdma.h"
 
+namespace redy::telemetry {
+class SpanTracer;
+}  // namespace redy::telemetry
+
 namespace redy::rdma {
 
 class Nic;
@@ -71,6 +75,9 @@ class QueuePair {
   /// Flushes the QP: outstanding and future operations fail.
   void Break();
 
+  /// Stable fabric-wide trace ordinal (assigned at creation).
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
   friend class Nic;
 
@@ -89,6 +96,11 @@ class QueuePair {
   /// reliable-connected QP does.
   void Complete(uint64_t seq, WorkCompletion wc, sim::SimTime t);
   void DeliverReady();
+  /// The fabric's span tracer when telemetry is installed and tracing
+  /// is enabled; nullptr otherwise (the common, zero-cost case).
+  telemetry::SpanTracer* ActiveTracer() const;
+  /// This QP's trace lane, registered on first use.
+  uint32_t TraceTrack(telemetry::SpanTracer& tracer);
 
   Nic* nic_;
   QueuePair* peer_ = nullptr;
@@ -103,6 +115,8 @@ class QueuePair {
   CompletionQueue send_cq_;
   CompletionQueue recv_cq_;
   std::deque<PostedRecv> posted_recvs_;
+  uint64_t trace_id_ = 0;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace redy::rdma

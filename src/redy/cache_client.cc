@@ -26,6 +26,16 @@ CacheClient::CacheClient(sim::Simulation* sim, rdma::Fabric* fabric,
       node_(node),
       nic_(fabric->NicAt(node)),
       options_(options) {
+  if (options_.telemetry != nullptr) {
+    tel_ = options_.telemetry;
+  } else {
+    owned_telemetry_ = std::make_unique<telemetry::Telemetry>(sim_);
+    tel_ = owned_telemetry_.get();
+  }
+  gauge_copies_active_ =
+      tel_->metrics().GetGauge("redy.recovery.copies_active");
+  gauge_pending_recoveries_ =
+      tel_->metrics().GetGauge("redy.recovery.pending");
   manager_->SetVmLossHandler(
       [this](cluster::VmId vm, sim::SimTime deadline) {
         OnVmLoss(vm, deadline);
@@ -99,6 +109,7 @@ Result<CacheClient::CacheId> CacheClient::Install(
     bool spot) {
   auto cache = std::make_unique<CacheEntry>();
   cache->id = next_id_++;
+  RegisterCacheMetrics(cache.get());
   cache->cfg = alloc.config;
   cache->record_bytes = slo.record_bytes;
   cache->capacity = capacity;
@@ -243,6 +254,12 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
   state->is_read = (op == OpCode::kRead);
   state->bytes = size;
   state->cache = cache;
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    state->span = tr->NextId();
+    tr->AsyncBegin(CacheTrack(*cache, *tr),
+                   state->is_read ? "read" : "write", "op", state->span,
+                   state->start, {"addr", addr}, {"bytes", size});
+  }
 
   uint64_t off = addr;
   uint64_t remaining = size;
@@ -275,6 +292,7 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
     if (s != nullptr) s += chunk;
   }
   cache->inflight_ops++;
+  cache->ctr.inflight->Set(static_cast<int64_t>(cache->inflight_ops));
   return Status::OK();
 }
 
@@ -309,7 +327,11 @@ uint64_t CacheClient::PollThread(CacheEntry& cache, ClientThread& thread) {
       }
     }
     if (expired > 0) {
-      cache.stats.timeouts += expired;
+      cache.ctr.timeouts->Inc(expired);
+      if (telemetry::SpanTracer* tr = ActiveTracer()) {
+        tr->Instant(CacheTrack(cache, *tr), "timeout", "op", now,
+                    {"vm", vm}, {"expired", expired});
+      }
       reset_expired.push_back(vm);
     }
   }
@@ -417,7 +439,7 @@ uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
       if (op.staging_slot != UINT32_MAX) {
         conn.onesided_slot_busy[op.staging_slot] = false;
       }
-      cache.stats.one_sided_ops++;
+      cache.ctr.one_sided_ops->Inc();
       FinishSubOp(cache, thread, op, st);
     } else if (kind == kWrKindBatch) {
       if (wc.status == StatusCode::kOk) continue;  // request delivered
@@ -468,7 +490,7 @@ uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
       }
       p += rh.len;
       consumed += options_.costs.response_handle_ns;
-      cache.stats.batched_ops++;
+      cache.ctr.batched_ops->Inc();
       FinishSubOp(cache, thread, op, st);
     }
     ops.clear();
@@ -513,7 +535,11 @@ uint64_t CacheClient::DrainSubmissions(CacheEntry& cache,
     const bool paused = (op.op == OpCode::kRead && vr.reads_paused) ||
                         (op.op == OpCode::kWrite && vr.writes_paused);
     if (paused) {
-      cache.stats.parked_ops++;
+      cache.ctr.parked_ops->Inc();
+      if (telemetry::SpanTracer* tr = ActiveTracer()) {
+        tr->Instant(CacheTrack(cache, *tr), "park", "op", sim_->Now(),
+                    {"vregion", op.vregion});
+      }
       vr.parked.push_back(std::move(op));
       continue;
     }
@@ -536,7 +562,11 @@ uint64_t CacheClient::DrainSubmissions(CacheEntry& cache,
       if (h != thread.vm_health.end() &&
           h->second >= options_.unhealthy_after) {
         op.to_replica = true;
-        cache.stats.hedged_to_replica++;
+        cache.ctr.hedged_to_replica->Inc();
+        if (telemetry::SpanTracer* tr = ActiveTracer()) {
+          tr->Instant(CacheTrack(cache, *tr), "hedge_to_replica", "op",
+                      sim_->Now(), {"vregion", op.vregion});
+        }
       }
     }
     const CacheManager::RegionPlacement& placement =
@@ -791,6 +821,10 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
   conn.current.clear();
   conn.inflight_batches++;
   conn.next_seq++;
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    tr->Instant(CacheTrack(cache, *tr), "batch_flush", "op", sim_->Now(),
+                {"ops", conn.slots[slot].size()}, {"bytes", off});
+  }
   *flushed = true;
   return consumed;
 }
@@ -854,19 +888,27 @@ void CacheClient::CompleteSubOp(CacheEntry& cache, SubOp& op,
     const uint64_t latency = sim_->Now() - state.start;
     if (state.error.ok()) {
       if (state.is_read) {
-        cache.stats.reads_completed++;
-        cache.stats.read_bytes += state.bytes;
-        cache.stats.read_latency_ns.Add(latency);
+        cache.ctr.reads_completed->Inc();
+        cache.ctr.read_bytes->Inc(state.bytes);
+        cache.ctr.read_latency->Add(latency);
       } else {
-        cache.stats.writes_completed++;
-        cache.stats.write_bytes += state.bytes;
-        cache.stats.write_latency_ns.Add(latency);
+        cache.ctr.writes_completed->Inc();
+        cache.ctr.write_bytes->Inc(state.bytes);
+        cache.ctr.write_latency->Add(latency);
       }
     } else {
-      cache.stats.errors++;
+      cache.ctr.errors->Inc();
+    }
+    if (state.span != 0) {
+      if (telemetry::SpanTracer* tr = ActiveTracer()) {
+        tr->AsyncEnd(CacheTrack(cache, *tr),
+                     state.is_read ? "read" : "write", "op", state.span,
+                     sim_->Now(), {"ok", state.error.ok() ? 1u : 0u});
+      }
     }
     REDY_CHECK(cache.inflight_ops > 0);
     cache.inflight_ops--;
+    cache.ctr.inflight->Set(static_cast<int64_t>(cache.inflight_ops));
     if (state.cb) state.cb(state.error);
   }
   op.state.reset();
@@ -903,7 +945,11 @@ bool CacheClient::MaybeRetry(CacheEntry& cache, ClientThread& thread,
   }
   op.staging_slot = UINT32_MAX;  // the old slot/ring is gone or freed
   op.attempts++;
-  cache.stats.retries++;
+  cache.ctr.retries->Inc();
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    tr->Instant(CacheTrack(cache, *tr), "retry", "op", sim_->Now(),
+                {"vregion", op.vregion}, {"attempt", op.attempts});
+  }
 
   // Hedge retried reads to the replica: the primary just failed, the
   // replica holds the same bytes.
@@ -911,7 +957,7 @@ bool CacheClient::MaybeRetry(CacheEntry& cache, ClientThread& thread,
       !op.to_replica &&
       cache.regions[op.vregion].replica.has_value()) {
     op.to_replica = true;
-    cache.stats.hedged_to_replica++;
+    cache.ctr.hedged_to_replica->Inc();
   }
 
   // Exponential backoff with +-50% jitter (decorrelates retry storms
@@ -950,7 +996,11 @@ uint64_t CacheClient::ResetConnection(CacheEntry& cache, ClientThread& thread,
   ReleaseConnection(conn);
   thread.conns.erase(it);
 
-  cache.stats.reconnects++;
+  cache.ctr.reconnects->Inc();
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    tr->Instant(CacheTrack(cache, *tr), "conn_reset", "op", sim_->Now(),
+                {"vm", vm});
+  }
   thread.vm_health[vm]++;
 
   uint64_t consumed = options_.costs.response_handle_ns;
@@ -993,7 +1043,7 @@ void CacheClient::FailAllPending(CacheEntry& cache, const Status& status) {
 }
 
 void CacheClient::ParkOp(CacheEntry& cache, SubOp op) {
-  cache.stats.parked_ops++;
+  cache.ctr.parked_ops->Inc();
   cache.regions[op.vregion].parked.push_back(std::move(op));
 }
 
@@ -1031,14 +1081,117 @@ Result<RdmaConfig> CacheClient::config(CacheId id) const {
   return c->cfg;
 }
 
+void CacheClient::RegisterCacheMetrics(CacheEntry* cache) {
+  telemetry::MetricsRegistry& m = tel_->metrics();
+  const telemetry::Labels labels{{"cache", std::to_string(cache->id)}};
+  CacheCounters& k = cache->ctr;
+  k.reads_completed = m.GetCounter("redy.client.reads_completed", labels);
+  k.writes_completed = m.GetCounter("redy.client.writes_completed", labels);
+  k.read_bytes = m.GetCounter("redy.client.read_bytes", labels);
+  k.write_bytes = m.GetCounter("redy.client.write_bytes", labels);
+  k.errors = m.GetCounter("redy.client.errors", labels);
+  k.one_sided_ops = m.GetCounter("redy.client.one_sided_ops", labels);
+  k.batched_ops = m.GetCounter("redy.client.batched_ops", labels);
+  k.parked_ops = m.GetCounter("redy.client.parked_ops", labels);
+  k.retries = m.GetCounter("redy.client.retries", labels);
+  k.timeouts = m.GetCounter("redy.client.timeouts", labels);
+  k.reconnects = m.GetCounter("redy.client.reconnects", labels);
+  k.hedged_to_replica =
+      m.GetCounter("redy.client.hedged_to_replica", labels);
+  k.migration_resumes =
+      m.GetCounter("redy.recovery.migration_resumes", labels);
+  k.migration_retargets =
+      m.GetCounter("redy.recovery.migration_retargets", labels);
+  k.repairs_started = m.GetCounter("redy.recovery.repairs_started", labels);
+  k.repairs_completed =
+      m.GetCounter("redy.recovery.repairs_completed", labels);
+  k.storm_regions_lost =
+      m.GetCounter("redy.recovery.storm_regions_lost", labels);
+  k.read_latency = m.GetHistogram("redy.client.read_latency_ns", labels);
+  k.write_latency = m.GetHistogram("redy.client.write_latency_ns", labels);
+  k.inflight = m.GetGauge("redy.client.inflight_ops", labels);
+}
+
+void CacheClient::RefreshStatsView(CacheEntry& cache) {
+  const CacheCounters& k = cache.ctr;
+  const Stats& b = cache.baseline;
+  Stats& v = cache.stats_view;
+  v.reads_completed = k.reads_completed->Value() - b.reads_completed;
+  v.writes_completed = k.writes_completed->Value() - b.writes_completed;
+  v.read_bytes = k.read_bytes->Value() - b.read_bytes;
+  v.write_bytes = k.write_bytes->Value() - b.write_bytes;
+  v.errors = k.errors->Value() - b.errors;
+  v.one_sided_ops = k.one_sided_ops->Value() - b.one_sided_ops;
+  v.batched_ops = k.batched_ops->Value() - b.batched_ops;
+  v.parked_ops = k.parked_ops->Value() - b.parked_ops;
+  v.retries = k.retries->Value() - b.retries;
+  v.timeouts = k.timeouts->Value() - b.timeouts;
+  v.reconnects = k.reconnects->Value() - b.reconnects;
+  v.hedged_to_replica = k.hedged_to_replica->Value() - b.hedged_to_replica;
+  v.migration_resumes = k.migration_resumes->Value() - b.migration_resumes;
+  v.migration_retargets =
+      k.migration_retargets->Value() - b.migration_retargets;
+  v.repairs_started = k.repairs_started->Value() - b.repairs_started;
+  v.repairs_completed = k.repairs_completed->Value() - b.repairs_completed;
+  v.storm_regions_lost =
+      k.storm_regions_lost->Value() - b.storm_regions_lost;
+  // Latency histograms reset with ResetStats (quantiles are
+  // per-interval), so the cumulative view is the since-reset view.
+  v.read_latency_ns = k.read_latency->cumulative();
+  v.write_latency_ns = k.write_latency->cumulative();
+}
+
 CacheClient::Stats* CacheClient::stats(CacheId id) {
   CacheEntry* c = FindCache(id);
-  return c == nullptr ? nullptr : &c->stats;
+  if (c == nullptr) return nullptr;
+  RefreshStatsView(*c);
+  return &c->stats_view;
 }
 
 void CacheClient::ResetStats(CacheId id) {
   CacheEntry* c = FindCache(id);
-  if (c != nullptr) c->stats.Reset();
+  if (c == nullptr) return;
+  // Re-base the view on the current counter values. The registry
+  // counters themselves are monotonic and keep counting — a repair or
+  // migration poller incrementing mid-reset loses nothing.
+  Stats& b = c->baseline;
+  const CacheCounters& k = c->ctr;
+  b.reads_completed = k.reads_completed->Value();
+  b.writes_completed = k.writes_completed->Value();
+  b.read_bytes = k.read_bytes->Value();
+  b.write_bytes = k.write_bytes->Value();
+  b.errors = k.errors->Value();
+  b.one_sided_ops = k.one_sided_ops->Value();
+  b.batched_ops = k.batched_ops->Value();
+  b.parked_ops = k.parked_ops->Value();
+  b.retries = k.retries->Value();
+  b.timeouts = k.timeouts->Value();
+  b.reconnects = k.reconnects->Value();
+  b.hedged_to_replica = k.hedged_to_replica->Value();
+  b.migration_resumes = k.migration_resumes->Value();
+  b.migration_retargets = k.migration_retargets->Value();
+  b.repairs_started = k.repairs_started->Value();
+  b.repairs_completed = k.repairs_completed->Value();
+  b.storm_regions_lost = k.storm_regions_lost->Value();
+  c->ctr.read_latency->Reset();
+  c->ctr.write_latency->Reset();
+  RefreshStatsView(*c);
+}
+
+telemetry::TrackId CacheClient::CacheTrack(CacheEntry& cache,
+                                           telemetry::SpanTracer& tracer) {
+  if (cache.trace_track == 0) {
+    cache.trace_track =
+        tracer.NewTrack("client", "cache " + std::to_string(cache.id));
+  }
+  return cache.trace_track;
+}
+
+telemetry::TrackId CacheClient::RecoveryTrack(telemetry::SpanTracer& tracer) {
+  if (recovery_track_ == 0) {
+    recovery_track_ = tracer.NewTrack("client", "recovery");
+  }
+  return recovery_track_;
 }
 
 uint64_t CacheClient::InFlight(CacheId id) const {

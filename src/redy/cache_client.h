@@ -22,6 +22,7 @@
 #include "redy/slo.h"
 #include "ringbuf/spsc_ring.h"
 #include "sim/poller.h"
+#include "telemetry/telemetry.h"
 
 namespace redy {
 
@@ -113,10 +114,20 @@ class CacheClient {
     /// unhealthy (reads divert to replicas until a sub-op succeeds).
     uint32_t unhealthy_after = 2;
 
+    /// Telemetry domain (metrics registry + span tracer) the client
+    /// instruments itself with. Not owned; the Testbed wires its own.
+    /// nullptr makes the client construct a private domain so the
+    /// registry-backed Stats always work.
+    telemetry::Telemetry* telemetry = nullptr;
+
     CostModel costs;
   };
 
-  /// Per-cache counters and latency histograms.
+  /// Per-cache counters and latency histograms. This is a *snapshot
+  /// view*: the live values are monotonic atomic counters in the
+  /// telemetry registry (safe against background pollers incrementing
+  /// concurrently with ResetStats), and stats() materializes them here
+  /// relative to the last ResetStats baseline.
   struct Stats {
     Histogram read_latency_ns;
     Histogram write_latency_ns;
@@ -236,8 +247,18 @@ class CacheClient {
   // --- Introspection ---
   uint64_t capacity(CacheId id) const;
   Result<RdmaConfig> config(CacheId id) const;
+  /// Refreshes and returns the cache's Stats snapshot (values since
+  /// the last ResetStats). The pointer stays valid and is refreshed in
+  /// place on every stats()/ResetStats() call for this cache.
   Stats* stats(CacheId id);
+  /// Zeroes the per-cache snapshot by re-basing it on the current
+  /// registry counters. Safe while background pollers (repair,
+  /// migration, data path) are incrementing: the monotonic counters
+  /// are never written, so no concurrent increment can be lost.
   void ResetStats(CacheId id);
+  /// The telemetry domain this client records into (the Options one,
+  /// or the private fallback).
+  telemetry::Telemetry& telemetry() { return *tel_; }
   /// In-flight operations (accepted, not yet completed).
   uint64_t InFlight(CacheId id) const;
   /// CPU cost an application actor should charge per Read/Write call.
@@ -286,6 +307,9 @@ class CacheClient {
     bool is_read = false;
     uint64_t bytes = 0;
     CacheEntry* cache = nullptr;
+    /// Trace span covering the whole op (0 when tracing was off at
+    /// submit).
+    telemetry::SpanId span = 0;
   };
 
   /// One sub-operation confined to a single virtual region.
@@ -316,6 +340,8 @@ class CacheClient {
     bool migrating = false;  // owned by an active migration copy
     uint32_t inflight_subops = 0;
     std::vector<SubOp> parked;
+    /// Trace span of the in-flight repair (0 = none / tracing off).
+    telemetry::SpanId repair_span = 0;
   };
 
   struct Connection {
@@ -367,6 +393,33 @@ class CacheClient {
     uint32_t idle_streak = 0;
   };
 
+  /// Registry-backed live counters of one cache: monotonic atomics
+  /// owned by the telemetry registry (labels {"cache": id}), registered
+  /// at Install and never reset — ResetStats re-bases the Stats view
+  /// instead, so background pollers can keep incrementing concurrently.
+  struct CacheCounters {
+    telemetry::Counter* reads_completed = nullptr;
+    telemetry::Counter* writes_completed = nullptr;
+    telemetry::Counter* read_bytes = nullptr;
+    telemetry::Counter* write_bytes = nullptr;
+    telemetry::Counter* errors = nullptr;
+    telemetry::Counter* one_sided_ops = nullptr;
+    telemetry::Counter* batched_ops = nullptr;
+    telemetry::Counter* parked_ops = nullptr;
+    telemetry::Counter* retries = nullptr;
+    telemetry::Counter* timeouts = nullptr;
+    telemetry::Counter* reconnects = nullptr;
+    telemetry::Counter* hedged_to_replica = nullptr;
+    telemetry::Counter* migration_resumes = nullptr;
+    telemetry::Counter* migration_retargets = nullptr;
+    telemetry::Counter* repairs_started = nullptr;
+    telemetry::Counter* repairs_completed = nullptr;
+    telemetry::Counter* storm_regions_lost = nullptr;
+    telemetry::WindowedHistogram* read_latency = nullptr;
+    telemetry::WindowedHistogram* write_latency = nullptr;
+    telemetry::Gauge* inflight = nullptr;
+  };
+
   struct CacheEntry {
     CacheId id = 0;
     RdmaConfig cfg;
@@ -381,14 +434,38 @@ class CacheClient {
     uint32_t recovery_tasks = 0;
     std::vector<VRegion> regions;
     std::vector<std::unique_ptr<ClientThread>> threads;
-    Stats stats;
+    CacheCounters ctr;
+    /// Snapshot handed out by stats(); stable address, refreshed in
+    /// place (tests hold the pointer across ResetStats).
+    Stats stats_view;
+    /// Counter values captured at the last ResetStats.
+    Stats baseline;
     uint64_t inflight_ops = 0;
     double price_per_hour = 0.0;
     bool replicated = false;
+    /// Per-cache trace lane in the "client" process (lazy).
+    telemetry::TrackId trace_track = 0;
   };
 
   Result<CacheId> Install(CacheManager::Allocation alloc, uint64_t capacity,
                           const Slo& slo, bool spot);
+  /// Registers the cache's counters/histograms with the telemetry
+  /// registry (labels {"cache": id}).
+  void RegisterCacheMetrics(CacheEntry* cache);
+  /// Rebuilds the Stats snapshot from the registry counters minus the
+  /// cache's ResetStats baseline.
+  void RefreshStatsView(CacheEntry& cache);
+  /// The span tracer iff tracing is currently enabled.
+  telemetry::SpanTracer* ActiveTracer() const {
+    return tel_->tracer().enabled() ? &tel_->tracer() : nullptr;
+  }
+  /// Per-cache trace lane ("client" process), registered on first use.
+  telemetry::TrackId CacheTrack(CacheEntry& cache,
+                                telemetry::SpanTracer& tracer);
+  /// Shared recovery-supervisor lane (migration/repair job spans).
+  telemetry::TrackId RecoveryTrack(telemetry::SpanTracer& tracer);
+  /// Closes the region's open "repair" span, if any.
+  void EndRepairSpan(VRegion& vr);
   /// (Re)creates the cache's client threads for its current config.
   void StartThreads(CacheEntry* cache);
   /// Breaks and forgets all connections to `vm` across threads.
@@ -509,6 +586,14 @@ class CacheClient {
   net::ServerId node_;
   rdma::Nic* nic_;
   Options options_;
+  /// Private fallback telemetry when Options carries none (declared
+  /// before tel_ so tel_ can point at it).
+  std::unique_ptr<telemetry::Telemetry> owned_telemetry_;
+  telemetry::Telemetry* tel_ = nullptr;
+  telemetry::TrackId recovery_track_ = 0;
+  /// Recovery-supervisor gauges (client-wide, label-free).
+  telemetry::Gauge* gauge_copies_active_ = nullptr;
+  telemetry::Gauge* gauge_pending_recoveries_ = nullptr;
   CacheId next_id_ = 1;
   std::unordered_map<CacheId, std::unique_ptr<CacheEntry>> caches_;
   std::vector<MigrationEvent> migration_log_;

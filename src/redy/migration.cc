@@ -42,6 +42,7 @@ struct CacheClient::MigrationJob {
   std::function<void(const MigrationEvent&)> done;
   uint64_t bg_id = 0;          // key in background_ / migration_jobs_
   uint64_t deadline_event = 0; // force-admit watcher (0 = none/fired)
+  telemetry::SpanId trace_span = 0;  // open "migration_job" span (0 = none)
 
   // Per-region copy state, reset by MigrateNextRegion.
   std::optional<CacheManager::RegionPlacement> target;
@@ -139,6 +140,13 @@ Status CacheClient::StartMigration(
   background_[job->bg_id] = job;
   migration_jobs_[job->bg_id] = job.get();
   cache->recovery_tasks++;
+  gauge_pending_recoveries_->Set(static_cast<int64_t>(PendingRecoveries()));
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    job->trace_span = tr->NextId();
+    tr->AsyncBegin(RecoveryTrack(*tr), "migration_job", "recovery",
+                   job->trace_span, sim_->Now(), {"cache", id},
+                   {"deadline", deadline});
+  }
 
   // Pausing policy. The optimized scheme (Section 6.2) pauses writes
   // only to the region currently being copied and never pauses reads;
@@ -198,6 +206,10 @@ void CacheClient::PumpRecovery() {
 void CacheClient::StartJob(MigrationJob* job) {
   job->running = true;
   running_jobs_++;
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    tr->Instant(RecoveryTrack(*tr), "job_admitted", "recovery", sim_->Now(),
+                {"cache", job->cache_id}, {"regions", job->vregions.size()});
+  }
   MigrateNextRegion(job);
 }
 
@@ -234,6 +246,7 @@ uint64_t CacheClient::CopyPaceNs(net::ServerId src, net::ServerId dst) const {
 
 void CacheClient::LinkAcquire(net::ServerId src, net::ServerId dst) {
   copies_active_++;
+  gauge_copies_active_->Set(static_cast<int64_t>(copies_active_));
   busy_links_[src]++;
   if (dst != src) busy_links_[dst]++;
 }
@@ -241,6 +254,7 @@ void CacheClient::LinkAcquire(net::ServerId src, net::ServerId dst) {
 void CacheClient::LinkRelease(net::ServerId src, net::ServerId dst) {
   REDY_CHECK(copies_active_ > 0);
   copies_active_--;
+  gauge_copies_active_->Set(static_cast<int64_t>(copies_active_));
   auto drop = [this](net::ServerId n) {
     auto it = busy_links_.find(n);
     REDY_CHECK(it != busy_links_.end() && it->second > 0);
@@ -357,8 +371,13 @@ void CacheClient::StartRegionCopy(MigrationJob* job) {
   if (job->target.has_value() && !VmUsable(*job->target)) {
     job->target.reset();
     job->acked_off = 0;
-    cache.stats.migration_retargets++;
+    cache.ctr.migration_retargets->Inc();
     job->event.retargets++;
+    if (telemetry::SpanTracer* tr = ActiveTracer()) {
+      tr->Instant(RecoveryTrack(*tr), "retarget", "recovery", sim_->Now(),
+                  {"cache", job->cache_id},
+                  {"vregion", job->vregions[job->next]});
+    }
   }
 
   // Ensure a target exists before probing sources, so a total source
@@ -453,6 +472,11 @@ void CacheClient::BeginChunkCopy(MigrationJob* job) {
             // Completions arrive in post order per QP, so successes
             // before the first failure extend a contiguous prefix.
             job->acked_off += len;
+            if (telemetry::SpanTracer* tr = ActiveTracer()) {
+              tr->Instant(RecoveryTrack(*tr), "chunk_acked", "recovery",
+                          sim_->Now(), {"cache", job->cache_id},
+                          {"acked_off", job->acked_off});
+            }
           }
           consumed += 100;
         }
@@ -529,8 +553,12 @@ void CacheClient::HandleCopyEnd(MigrationJob* job) {
     return;
   }
   job->region_resumes++;
-  cache.stats.migration_resumes++;
+  cache.ctr.migration_resumes->Inc();
   job->event.resumes++;
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    tr->Instant(RecoveryTrack(*tr), "resume", "recovery", sim_->Now(),
+                {"cache", job->cache_id}, {"acked_off", job->acked_off});
+  }
   StartRegionCopy(job);
 }
 
@@ -544,7 +572,11 @@ void CacheClient::RegionLost(MigrationJob* job) {
     job->event.lost_vregions.push_back(vr_index);
     job->event.bytes_lost += cache.region_bytes - job->acked_off;
     job->event.bytes += job->acked_off;
-    cache.stats.storm_regions_lost++;
+    cache.ctr.storm_regions_lost->Inc();
+    if (telemetry::SpanTracer* tr = ActiveTracer()) {
+      tr->Instant(RecoveryTrack(*tr), "region_lost", "recovery", sim_->Now(),
+                  {"cache", job->cache_id}, {"vregion", vr_index});
+    }
   }
   // The acked prefix (possibly empty) already sits on the target; the
   // region re-homes there so the cache stays usable.
@@ -632,10 +664,18 @@ void CacheClient::FinalizeMigration(MigrationJob* job) {
   running_jobs_--;
   job->event.finished = sim_->Now();
   migration_log_.push_back(job->event);
+  if (job->trace_span != 0) {
+    if (telemetry::SpanTracer* tr = ActiveTracer()) {
+      tr->AsyncEnd(RecoveryTrack(*tr), "migration_job", "recovery",
+                   job->trace_span, sim_->Now(), {"cache", job->cache_id},
+                   {"bytes", job->event.bytes});
+    }
+  }
   auto done = std::move(job->done);
   const MigrationEvent ev = job->event;
   migration_jobs_.erase(job->bg_id);
   background_.erase(job->bg_id);  // destroys the job
+  gauge_pending_recoveries_->Set(static_cast<int64_t>(PendingRecoveries()));
   NotifyRecovery("migration");
   if (done) done(ev);
   PumpRecovery();
@@ -660,6 +700,12 @@ void CacheClient::AbortCacheRecovery(CacheEntry& cache) {
       running_jobs_--;
     }
     if (job->deadline_event != 0) sim_->Cancel(job->deadline_event);
+    if (job->trace_span != 0) {
+      if (telemetry::SpanTracer* tr = ActiveTracer()) {
+        tr->AsyncEnd(RecoveryTrack(*tr), "migration_job", "recovery",
+                     job->trace_span, sim_->Now());
+      }
+    }
     job->gate.reset();
     job->driver.reset();
     if (job->qp != nullptr) {
@@ -674,7 +720,10 @@ void CacheClient::AbortCacheRecovery(CacheEntry& cache) {
     migration_jobs_.erase(job->bg_id);
     background_.erase(job->bg_id);  // destroys the job
   }
-  if (!jobs.empty()) PumpRecovery();
+  if (!jobs.empty()) {
+    gauge_pending_recoveries_->Set(static_cast<int64_t>(PendingRecoveries()));
+    PumpRecovery();
+  }
 }
 
 std::vector<std::string> CacheClient::CheckInvariants() const {

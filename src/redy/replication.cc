@@ -71,6 +71,10 @@ void CacheClient::FailoverReplicated(CacheEntry& cache, cluster::VmId vm,
         vr.placement = *vr.replica;
         vr.replica.reset();
         degraded = true;
+        if (telemetry::SpanTracer* tr = ActiveTracer()) {
+          tr->Instant(RecoveryTrack(*tr), "failover", "recovery", sim_->Now(),
+                      {"cache", cache.id}, {"vregion", i});
+        }
       } else {
         orphaned.push_back(i);
       }
@@ -90,9 +94,24 @@ void CacheClient::FailoverReplicated(CacheEntry& cache, cluster::VmId vm,
 void CacheClient::RepairReplica(CacheEntry* cache, uint32_t vregion) {
   VRegion& vr = cache->regions[vregion];
   vr.repairing = true;
-  cache->stats.repairs_started++;
+  cache->ctr.repairs_started->Inc();
   pending_repairs_++;
+  gauge_pending_recoveries_->Set(static_cast<int64_t>(PendingRecoveries()));
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    vr.repair_span = tr->NextId();
+    tr->AsyncBegin(RecoveryTrack(*tr), "repair", "recovery", vr.repair_span,
+                   sim_->Now(), {"cache", cache->id}, {"vregion", vregion});
+  }
   ScheduleRepair(cache->id, vregion, /*attempt=*/0, /*delay_ns=*/0);
+}
+
+void CacheClient::EndRepairSpan(VRegion& vr) {
+  if (vr.repair_span == 0) return;
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    tr->AsyncEnd(RecoveryTrack(*tr), "repair", "recovery", vr.repair_span,
+                 sim_->Now());
+  }
+  vr.repair_span = 0;
 }
 
 void CacheClient::ScheduleRepair(CacheId id, uint32_t vregion,
@@ -119,13 +138,16 @@ void CacheClient::RepairAttempt(CacheId id, uint32_t vregion,
   if (cache == nullptr || cache->deleted) {
     REDY_CHECK(pending_repairs_ > 0);
     pending_repairs_--;
+    gauge_pending_recoveries_->Set(static_cast<int64_t>(PendingRecoveries()));
     return;
   }
   VRegion& vr = cache->regions[vregion];
   if (!vr.repairing || vr.replica.has_value()) {
     // Repaired or re-homed by another path meanwhile.
+    EndRepairSpan(vr);
     REDY_CHECK(pending_repairs_ > 0);
     pending_repairs_--;
+    gauge_pending_recoveries_->Set(static_cast<int64_t>(PendingRecoveries()));
     return;
   }
   if (vr.migrating) {
@@ -143,8 +165,11 @@ void CacheClient::RepairAttempt(CacheId id, uint32_t vregion,
       REDY_LOG_ERROR("re-replication allocation failed after %u attempts: %s",
                      attempt + 1, target_or.status().ToString().c_str());
       vr.repairing = false;  // stays degraded; retried on next loss
+      EndRepairSpan(vr);
       REDY_CHECK(pending_repairs_ > 0);
       pending_repairs_--;
+      gauge_pending_recoveries_->Set(
+          static_cast<int64_t>(PendingRecoveries()));
       return;
     }
     const uint64_t delay = std::min<uint64_t>(
@@ -172,6 +197,8 @@ void CacheClient::RepairAttempt(CacheId id, uint32_t vregion,
           manager_->ReleaseVm(target.vm_id);
           REDY_CHECK(pending_repairs_ > 0);
           pending_repairs_--;
+          gauge_pending_recoveries_->Set(
+              static_cast<int64_t>(PendingRecoveries()));
           sim_->After(0, [this, bg] { background_.erase(bg); });
           return 0;
         }
@@ -190,6 +217,8 @@ void CacheClient::RepairAttempt(CacheId id, uint32_t vregion,
                 manager_->ReleaseVm(target.vm_id);
                 REDY_CHECK(pending_repairs_ > 0);
                 pending_repairs_--;
+                gauge_pending_recoveries_->Set(
+                    static_cast<int64_t>(PendingRecoveries()));
                 return;
               }
               VRegion& vr = cache->regions[vregion];
@@ -203,8 +232,11 @@ void CacheClient::RepairAttempt(CacheId id, uint32_t vregion,
                       "re-replication transfer failed after %u attempts",
                       attempt + 1);
                   vr.repairing = false;  // stays degraded
+                  EndRepairSpan(vr);
                   REDY_CHECK(pending_repairs_ > 0);
                   pending_repairs_--;
+                  gauge_pending_recoveries_->Set(
+                      static_cast<int64_t>(PendingRecoveries()));
                   return;
                 }
                 const uint64_t delay = std::min<uint64_t>(
@@ -215,9 +247,12 @@ void CacheClient::RepairAttempt(CacheId id, uint32_t vregion,
               }
               vr.replica = target;
               vr.repairing = false;
-              cache->stats.repairs_completed++;
+              cache->ctr.repairs_completed->Inc();
+              EndRepairSpan(vr);
               REDY_CHECK(pending_repairs_ > 0);
               pending_repairs_--;
+              gauge_pending_recoveries_->Set(
+                  static_cast<int64_t>(PendingRecoveries()));
               NotifyRecovery("repair");
             });
         return 200;

@@ -9,13 +9,16 @@ namespace redy {
 Testbed::Testbed(TestbedOptions options) : options_(options) {
   net::Topology topo(options_.pods, options_.racks_per_pod,
                      options_.servers_per_rack);
+  telemetry_ = std::make_unique<telemetry::Telemetry>(&sim_);
   fabric_ = std::make_unique<rdma::Fabric>(&sim_, topo, options_.fabric);
+  fabric_->set_telemetry(telemetry_.get());
   allocator_ = std::make_unique<cluster::VmAllocator>(
       &sim_, &fabric_->topology(), options_.cores_per_server,
       options_.memory_per_server, options_.reclaim_notice);
   manager_ = std::make_unique<CacheManager>(&sim_, fabric_.get(),
                                             allocator_.get(), options_.costs);
   options_.client.costs = options_.costs;
+  options_.client.telemetry = telemetry_.get();
   client_ = std::make_unique<CacheClient>(&sim_, fabric_.get(),
                                           manager_.get(), options_.app_node,
                                           options_.client);

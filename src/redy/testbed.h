@@ -16,6 +16,7 @@
 #include "redy/cost_model.h"
 #include "rdma/nic.h"
 #include "sim/simulation.h"
+#include "telemetry/telemetry.h"
 
 namespace redy {
 
@@ -46,6 +47,10 @@ class Testbed {
   cluster::VmAllocator& allocator() { return *allocator_; }
   CacheManager& manager() { return *manager_; }
   CacheClient& client() { return *client_; }
+  /// The deployment-wide telemetry sink: shared by the fabric, the
+  /// client, and (when enabled) the fault injector. Tracing is off by
+  /// default; call Telemetry().tracer().Enable() to record spans.
+  telemetry::Telemetry& telemetry() { return *telemetry_; }
   net::ServerId app_node() const { return options_.app_node; }
   const TestbedOptions& options() const { return options_; }
 
@@ -78,6 +83,7 @@ class Testbed {
  private:
   TestbedOptions options_;
   sim::Simulation sim_;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
   std::unique_ptr<rdma::Fabric> fabric_;
   std::unique_ptr<cluster::VmAllocator> allocator_;
   std::unique_ptr<CacheManager> manager_;

@@ -1,0 +1,245 @@
+#include "telemetry/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace redy::telemetry {
+
+namespace {
+
+/// Minimal JSON string escaping (metric names and label values are
+/// ASCII identifiers in practice, but stay correct anyway).
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+void AppendHistogramJson(std::string* out, const char* key,
+                         const Histogram& h) {
+  *out += '"';
+  *out += key;
+  *out += "\":{\"count\":";
+  AppendU64(out, h.count());
+  *out += ",\"min\":";
+  AppendU64(out, h.min());
+  *out += ",\"max\":";
+  AppendU64(out, h.max());
+  *out += ",\"p50\":";
+  AppendU64(out, h.Percentile(0.5));
+  *out += ",\"p99\":";
+  AppendU64(out, h.Percentile(0.99));
+  *out += ",\"p999\":";
+  AppendU64(out, h.Percentile(0.999));
+  *out += '}';
+}
+
+std::string LabelString(const Labels& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); i++) {
+    if (i != 0) out += ',';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  return out;
+}
+
+}  // namespace
+
+WindowedHistogram::WindowedHistogram(sim::Simulation* sim,
+                                     sim::SimTime window_ns)
+    : sim_(sim), window_ns_(window_ns == 0 ? 1 : window_ns) {
+  window_index_ = sim_->Now() / window_ns_;
+}
+
+void WindowedHistogram::MaybeRotate() {
+  const uint64_t idx = sim_->Now() / window_ns_;
+  if (idx == window_index_) return;
+  if (idx == window_index_ + 1) {
+    // The window that just closed carries current_'s samples.
+    std::swap(last_, current_);
+  } else {
+    // At least one whole empty window elapsed: the last completed
+    // window has no samples.
+    last_.Reset();
+  }
+  current_.Reset();
+  window_index_ = idx;
+}
+
+void WindowedHistogram::Add(uint64_t value_ns) {
+  MaybeRotate();
+  cumulative_.Add(value_ns);
+  current_.Add(value_ns);
+}
+
+void WindowedHistogram::Reset() {
+  cumulative_.Reset();
+  current_.Reset();
+  last_.Reset();
+  window_index_ = sim_->Now() / window_ns_;
+}
+
+const Histogram& WindowedHistogram::last_window() {
+  MaybeRotate();
+  return last_;
+}
+
+const Histogram& WindowedHistogram::current_window() {
+  MaybeRotate();
+  return current_;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Lookup(const std::string& name,
+                                                const Labels& labels,
+                                                Kind kind) {
+  std::string key = name;
+  key += '|';
+  key += LabelString(labels);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    REDY_CHECK(it->second->kind == kind);
+    return it->second;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->kind = kind;
+  Entry* out = entry.get();
+  entries_.push_back(std::move(entry));
+  index_.emplace(std::move(key), out);
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  Entry* e = Lookup(name, labels, Kind::kCounter);
+  if (e->counter == nullptr) e->counter = std::make_unique<Counter>();
+  return e->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  Entry* e = Lookup(name, labels, Kind::kGauge);
+  if (e->gauge == nullptr) e->gauge = std::make_unique<Gauge>();
+  return e->gauge.get();
+}
+
+WindowedHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                 const Labels& labels,
+                                                 sim::SimTime window_ns) {
+  Entry* e = Lookup(name, labels, Kind::kHistogram);
+  if (e->histogram == nullptr) {
+    e->histogram = std::make_unique<WindowedHistogram>(sim_, window_ns);
+  }
+  return e->histogram.get();
+}
+
+std::string MetricsRegistry::ToJson() {
+  std::string out;
+  out.reserve(256 + entries_.size() * 96);
+  out += "{\"sim_now_ns\":";
+  AppendU64(&out, sim_->Now());
+  out += ",\"metrics\":[";
+  for (size_t i = 0; i < entries_.size(); i++) {
+    Entry& e = *entries_[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":";
+    AppendJsonString(&out, e.name);
+    out += ",\"labels\":{";
+    for (size_t l = 0; l < e.labels.size(); l++) {
+      if (l != 0) out += ',';
+      AppendJsonString(&out, e.labels[l].first);
+      out += ':';
+      AppendJsonString(&out, e.labels[l].second);
+    }
+    out += "},";
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "\"type\":\"counter\",\"value\":";
+        AppendU64(&out, e.counter->Value());
+        break;
+      case Kind::kGauge:
+        out += "\"type\":\"gauge\",\"value\":";
+        AppendI64(&out, e.gauge->Value());
+        break;
+      case Kind::kHistogram:
+        out += "\"type\":\"histogram\",\"window_ns\":";
+        AppendU64(&out, e.histogram->window_ns());
+        out += ',';
+        AppendHistogramJson(&out, "cumulative", e.histogram->cumulative());
+        out += ',';
+        AppendHistogramJson(&out, "last_window", e.histogram->last_window());
+        break;
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsRegistry::ToTable() {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-44s %-24s %s\n", "metric", "labels",
+                "value");
+  out += buf;
+  for (const auto& entry : entries_) {
+    Entry& e = *entry;
+    const std::string labels = LabelString(e.labels);
+    switch (e.kind) {
+      case Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%-44s %-24s %" PRIu64 "\n",
+                      e.name.c_str(), labels.c_str(), e.counter->Value());
+        break;
+      case Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%-44s %-24s %" PRId64 "\n",
+                      e.name.c_str(), labels.c_str(), e.gauge->Value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = e.histogram->cumulative();
+        std::snprintf(buf, sizeof(buf),
+                      "%-44s %-24s count=%" PRIu64 " p50=%" PRIu64
+                      " p99=%" PRIu64 " max=%" PRIu64 "\n",
+                      e.name.c_str(), labels.c_str(), h.count(),
+                      h.Percentile(0.5), h.Percentile(0.99), h.max());
+        break;
+      }
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace redy::telemetry

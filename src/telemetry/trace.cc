@@ -1,0 +1,235 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace redy::telemetry {
+
+namespace {
+
+void AppendJsonString(std::string* out, const char* s) {
+  out->push_back('"');
+  for (; *s != '\0'; s++) {
+    const char c = *s;
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// trace_event timestamps are microseconds; print simulated ns as
+/// µs with exactly three decimals from integer arithmetic, so the
+/// output is bit-exact across runs and platforms.
+void AppendMicros(std::string* out, sim::SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                ns % 1000);
+  *out += buf;
+}
+
+}  // namespace
+
+SpanTracer::SpanTracer(sim::Simulation* sim, Options opts)
+    : sim_(sim), opts_(opts) {
+  if (opts_.ring_capacity < 16) opts_.ring_capacity = 16;
+}
+
+TrackId SpanTracer::NewTrack(const char* process, std::string thread) {
+  uint32_t pid = 0;
+  for (size_t i = 0; i < processes_.size(); i++) {
+    if (std::strcmp(processes_[i], process) == 0) {
+      pid = static_cast<uint32_t>(i + 1);
+      break;
+    }
+  }
+  if (pid == 0) {
+    processes_.push_back(process);
+    pid = static_cast<uint32_t>(processes_.size());
+  }
+  uint32_t tid = 1;
+  for (const Track& t : tracks_) {
+    if (t.pid == pid) tid++;
+  }
+  Track track;
+  track.process = process;
+  track.thread = std::move(thread);
+  track.pid = pid;
+  track.tid = tid;
+  track.ring.resize(opts_.ring_capacity);
+  tracks_.push_back(std::move(track));
+  return static_cast<TrackId>(tracks_.size());
+}
+
+void SpanTracer::Record(TrackId track, char ph, const char* name,
+                        const char* cat, SpanId id, sim::SimTime ts,
+                        TraceArg a0, TraceArg a1) {
+  if (!enabled_) return;
+  REDY_CHECK(track >= 1 && track <= tracks_.size());
+  Track& t = tracks_[track - 1];
+  Event& e = t.ring[t.written % t.ring.size()];
+  e.seq = next_seq_++;
+  e.ts = ts;
+  e.id = id;
+  e.name = name;
+  e.cat = cat;
+  e.ph = ph;
+  e.a0 = a0;
+  e.a1 = a1;
+  t.written++;
+  recorded_++;
+}
+
+void SpanTracer::AsyncBegin(TrackId track, const char* name, const char* cat,
+                            SpanId id, sim::SimTime ts, TraceArg a0,
+                            TraceArg a1) {
+  Record(track, 'b', name, cat, id, ts, a0, a1);
+}
+
+void SpanTracer::AsyncEnd(TrackId track, const char* name, const char* cat,
+                          SpanId id, sim::SimTime ts, TraceArg a0,
+                          TraceArg a1) {
+  Record(track, 'e', name, cat, id, ts, a0, a1);
+}
+
+SpanId SpanTracer::BeginSpan(TrackId track, const char* name, const char* cat,
+                             SpanId parent) {
+  if (!enabled_) return 0;
+  const SpanId id = NextId();
+  Record(track, 'b', name, cat, id, sim_->Now(), {"parent", parent}, {});
+  return id;
+}
+
+void SpanTracer::EndSpan(TrackId track, const char* name, const char* cat,
+                         SpanId id) {
+  if (id == 0) return;
+  Record(track, 'e', name, cat, id, sim_->Now(), {}, {});
+}
+
+void SpanTracer::Instant(TrackId track, const char* name, const char* cat,
+                         sim::SimTime ts, TraceArg a0, TraceArg a1) {
+  Record(track, 'i', name, cat, 0, ts, a0, a1);
+}
+
+uint64_t SpanTracer::dropped_events() const {
+  uint64_t dropped = 0;
+  for (const Track& t : tracks_) {
+    if (t.written > t.ring.size()) dropped += t.written - t.ring.size();
+  }
+  return dropped;
+}
+
+void SpanTracer::Clear() {
+  for (Track& t : tracks_) t.written = 0;
+  recorded_ = 0;
+  next_seq_ = 1;
+}
+
+std::string SpanTracer::ExportJson() const {
+  // Gather the retained events of every track (oldest first), then
+  // order globally by (ts, record order) for a stable byte-exact file.
+  struct Ref {
+    const Event* e;
+    const Track* t;
+  };
+  std::vector<Ref> refs;
+  for (const Track& t : tracks_) {
+    const uint64_t cap = t.ring.size();
+    const uint64_t n = std::min<uint64_t>(t.written, cap);
+    const uint64_t first = t.written - n;
+    for (uint64_t i = 0; i < n; i++) {
+      refs.push_back(Ref{&t.ring[(first + i) % cap], &t});
+    }
+  }
+  std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    if (a.e->ts != b.e->ts) return a.e->ts < b.e->ts;
+    return a.e->seq < b.e->seq;
+  });
+
+  std::string out;
+  out.reserve(512 + refs.size() * 128);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first_event = true;
+  auto sep = [&] {
+    if (!first_event) out += ",\n";
+    first_event = false;
+  };
+
+  // Metadata: process and thread names, in registration order.
+  for (size_t i = 0; i < processes_.size(); i++) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += std::to_string(i + 1);
+    out += ",\"args\":{\"name\":";
+    AppendJsonString(&out, processes_[i]);
+    out += "}}";
+  }
+  for (const Track& t : tracks_) {
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    out += std::to_string(t.pid);
+    out += ",\"tid\":";
+    out += std::to_string(t.tid);
+    out += ",\"args\":{\"name\":";
+    AppendJsonString(&out, t.thread.c_str());
+    out += "}}";
+  }
+
+  char buf[40];
+  for (const Ref& r : refs) {
+    const Event& e = *r.e;
+    sep();
+    out += "{\"ph\":\"";
+    out += e.ph;
+    out += "\",\"name\":";
+    AppendJsonString(&out, e.name);
+    out += ",\"cat\":";
+    AppendJsonString(&out, e.cat == nullptr ? "" : e.cat);
+    out += ",\"pid\":";
+    out += std::to_string(r.t->pid);
+    out += ",\"tid\":";
+    out += std::to_string(r.t->tid);
+    out += ",\"ts\":";
+    AppendMicros(&out, e.ts);
+    if (e.ph == 'b' || e.ph == 'e') {
+      std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%" PRIx64 "\"", e.id);
+      out += buf;
+    }
+    if (e.ph == 'i') out += ",\"s\":\"t\"";
+    if (e.a0.key != nullptr || e.a1.key != nullptr) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const TraceArg* a : {&e.a0, &e.a1}) {
+        if (a->key == nullptr) continue;
+        if (!first_arg) out += ',';
+        first_arg = false;
+        AppendJsonString(&out, a->key);
+        out += ':';
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, a->value);
+        out += buf;
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace redy::telemetry
