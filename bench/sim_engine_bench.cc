@@ -1,0 +1,584 @@
+// Wall-clock benchmark of the simulator engine hot path: pooled
+// intrusive events + O(1) cancellation + idle-poller parking, measured
+// against an embedded copy of the pre-overhaul engine (std::function
+// callbacks on a std::priority_queue with lazy list-scan cancellation).
+//
+// Unlike the fig* binaries this measures *real* time, not simulated
+// time: the engine is pure overhead, so events/sec is the figure of
+// merit. Results go to BENCH_sim_engine.json; CI re-runs the bench and
+// compares the new/legacy *speedup ratios* against the committed
+// baseline (ratios are machine-independent, absolute events/sec are
+// not).
+//
+// Flags:
+//   --out=<path>       JSON output (default BENCH_sim_engine.json)
+//   --baseline=<path>  committed baseline; exit 1 on a >20% ratio drop
+//   --timed=<label>:<command>  also run <command> via the shell and
+//                      record its wall seconds as "timed_<label>" (CI
+//                      uses this for the seeded chaos soak and fig15
+//                      re-runs); repeatable, fails if the command does
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include "redy/measurement.h"
+#include "redy/testbed.h"
+#include "sim/poller.h"
+#include "sim/simulation.h"
+
+namespace redy::bench {
+namespace {
+
+/// Pin the process to the CPU it is currently on. Core migration
+/// mid-benchmark (or the two engines of a ratio landing on cores with
+/// different load/frequency) is the largest noise source on shared
+/// machines; pinning keeps every trial of both engines on one core so
+/// the interleaved minima see the same conditions. Best-effort: a
+/// restricted affinity mask just leaves scheduling as-is.
+void PinToCurrentCpu() {
+#if defined(__linux__)
+  const int cpu = sched_getcpu();
+  if (cpu < 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  (void)sched_setaffinity(0, sizeof(set), &set);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Legacy engine (pre-overhaul), verbatim semantics: heap-allocating
+// std::function callbacks, binary priority_queue of whole Event
+// structs, Cancel() as an id list scanned linearly on every pop.
+// ---------------------------------------------------------------------------
+
+namespace legacy {
+
+using SimTime = uint64_t;
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime Now() const { return now_; }
+
+  uint64_t At(SimTime t, Callback cb) {
+    if (t < now_) t = now_;
+    const uint64_t id = next_id_++;
+    queue_.push(Event{t, next_seq_++, id, std::move(cb)});
+    return id;
+  }
+  uint64_t After(SimTime delay, Callback cb) {
+    return At(now_ + delay, std::move(cb));
+  }
+
+  bool Cancel(uint64_t id) {
+    if (id == 0 || id >= next_id_) return false;
+    cancelled_ids_.push_back(id);
+    return true;
+  }
+
+  void Run() {
+    while (!queue_.empty()) PopAndRun();
+  }
+  void RunUntil(SimTime t) {
+    while (!queue_.empty() && queue_.top().time <= t) PopAndRun();
+    if (now_ < t) now_ = t;
+  }
+  bool Step() {
+    while (!queue_.empty()) {
+      if (PopAndRun()) return true;
+    }
+    return false;
+  }
+
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    uint64_t id;
+    Callback cb;
+  };
+  struct EventCompare {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndRun() {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it =
+        std::find(cancelled_ids_.begin(), cancelled_ids_.end(), ev.id);
+    if (it != cancelled_ids_.end()) {
+      cancelled_ids_.erase(it);
+      return false;
+    }
+    now_ = ev.time;
+    events_executed_++;
+    ev.cb();
+    return true;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, EventCompare> queue_;
+  std::vector<uint64_t> cancelled_ids_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_executed_ = 0;
+};
+
+class Poller {
+ public:
+  using Body = std::function<uint64_t()>;
+
+  Poller(Simulation* sim, SimTime interval, Body body)
+      : sim_(sim), interval_(interval), body_(std::move(body)) {}
+  ~Poller() { Stop(); }
+
+  void Start(SimTime delay = 0) {
+    if (running_) return;
+    running_ = true;
+    Schedule(delay);
+  }
+  void Stop() {
+    if (!running_) return;
+    running_ = false;
+    if (pending_ != 0) {
+      sim_->Cancel(pending_);
+      pending_ = 0;
+    }
+  }
+
+ private:
+  void Schedule(SimTime delay) {
+    pending_ = sim_->After(delay, [this] {
+      pending_ = 0;
+      if (!running_) return;
+      const uint64_t consumed = body_();
+      if (!running_) return;
+      Schedule(consumed > interval_ ? consumed : interval_);
+    });
+  }
+
+  Simulation* sim_;
+  SimTime interval_;
+  Body body_;
+  bool running_ = false;
+  uint64_t pending_ = 0;
+};
+
+}  // namespace legacy
+
+double WallSecondsOf(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Best-of-N for a ratio's two sides, with the trials interleaved
+/// (A, B, A, B, ...) instead of back-to-back blocks. Shared-machine
+/// noise (CI runners, laptops on battery) only ever makes a run
+/// *slower*, so each side's minimum is the best estimate of its true
+/// cost; interleaving additionally makes frequency drift and co-tenant
+/// interference hit both engines in the same window, so the two minima
+/// come from comparable machine conditions and the ratio is far less
+/// noisy than block measurement.
+std::pair<double, double> BestInterleavedSecondsOf(
+    int trials, const std::function<void()>& fn_a,
+    const std::function<void()>& fn_b) {
+  double best_a = WallSecondsOf(fn_a);
+  double best_b = WallSecondsOf(fn_b);
+  for (int i = 1; i < trials; i++) {
+    best_a = std::min(best_a, WallSecondsOf(fn_a));
+    best_b = std::min(best_b, WallSecondsOf(fn_b));
+  }
+  return {best_a, best_b};
+}
+
+// ---------------------------------------------------------------------------
+// Workloads (engine-generic)
+// ---------------------------------------------------------------------------
+
+/// Self-rescheduling event chain: 24 bytes of capture, so it exercises
+/// the inline-callback path on the new engine and the std::function
+/// heap allocation on the legacy one.
+template <typename Sim>
+struct ChurnChain {
+  Sim* sim;
+  uint64_t* remaining;
+  uint64_t* lcg;
+
+  void operator()() const {
+    if (*remaining == 0) return;
+    --*remaining;
+    *lcg = *lcg * 6364136223846793005ull + 1442695040888963407ull;
+    sim->After((*lcg >> 33) % 1000, ChurnChain{sim, remaining, lcg});
+  }
+};
+
+/// Steady-state schedule/fire churn: kChains concurrent chains, each
+/// firing reschedules one successor. Total `events` callbacks.
+template <typename Sim>
+uint64_t RunEventChurn(uint64_t events) {
+  Sim sim;
+  uint64_t remaining = events;
+  uint64_t lcg = 0x9E3779B97F4A7C15ull;
+  constexpr int kChains = 64;
+  for (int i = 0; i < kChains; i++) {
+    sim.At(i, ChurnChain<Sim>{&sim, &remaining, &lcg});
+  }
+  sim.Run();
+  return sim.events_executed();
+}
+
+/// Timer-race pattern: every scheduled guard is cancelled before it
+/// fires (the retry/deadline/migration-timeout shape). Legacy pays a
+/// linear cancelled-list scan per pop; the new engine unlinks in O(1).
+template <typename Sim>
+uint64_t RunCancelHeavy(uint64_t rounds) {
+  Sim sim;
+  uint64_t fired = 0;
+  constexpr uint64_t kBatch = 8192;
+  std::vector<uint64_t> handles;
+  handles.reserve(kBatch);
+  for (uint64_t done = 0; done < rounds; done += kBatch) {
+    handles.clear();
+    for (uint64_t i = 0; i < kBatch; i++) {
+      handles.push_back(
+          sim.After(1000 + i, [&fired] { fired++; }));
+    }
+    // Cancel every other guard (they "lost the race")...
+    for (uint64_t i = 0; i < kBatch; i += 2) sim.Cancel(handles[i]);
+    // ...then drain the survivors.
+    sim.Run();
+  }
+  return rounds + rounds / 2 + fired;  // schedules + cancels + fires
+}
+
+/// Mostly-idle poller fleet: 32 polling threads, a 1-us work burst per
+/// 1 ms of simulated time. With parking the threads sleep between
+/// bursts; without it every thread burns an event per 50 ns tick.
+template <typename Sim, typename PollerT, bool kPark>
+uint64_t RunIdlePollers(uint64_t sim_ns) {
+  Sim sim;
+  constexpr int kPollers = 32;
+  struct Thread {
+    std::unique_ptr<PollerT> poller;
+    uint32_t idle = 0;
+    uint64_t work = 0;
+  };
+  std::vector<Thread> threads(kPollers);
+  for (auto& t : threads) {
+    Thread* tp = &t;
+    t.poller = std::make_unique<PollerT>(&sim, 50, [tp]() -> uint64_t {
+      if (tp->work > 0) {
+        tp->work--;
+        tp->idle = 0;
+        return 100;
+      }
+      tp->idle++;
+      if constexpr (kPark) {
+        if (tp->idle >= 64) tp->poller->Park();
+      }
+      return 25;
+    });
+    t.poller->Start();
+  }
+  // Work bursts: every 1 ms, hand each thread 20 work items.
+  for (uint64_t t = 1'000'000; t < sim_ns; t += 1'000'000) {
+    sim.At(t, [&threads] {
+      for (auto& th : threads) {
+        th.work += 20;
+        if constexpr (kPark) th.poller->Wake();
+      }
+    });
+  }
+  sim.RunUntil(sim_ns);
+  for (auto& t : threads) t.poller->Stop();
+  return sim.events_executed();
+}
+
+/// End-to-end: a small MeasurementApp run on the real Redy stack, with
+/// idle-poller parking on vs off (the legacy engine cannot run the
+/// stack, so this isolates the parking contribution in situ).
+double RunE2eMeasurement(bool park) {
+  TestbedOptions opt;
+  opt.pods = 1;
+  opt.racks_per_pod = 4;
+  opt.servers_per_rack = 1;
+  opt.client.region_bytes = 4 * kMiB;
+  opt.client.costs.park_idle_pollers = park;
+  Testbed tb(opt);
+  MeasurementApp app(&tb);
+  MeasurementApp::WorkloadOptions w;
+  w.cache_bytes = 2 * kMiB;
+  w.record_bytes = 64;
+  w.warmup = 100 * kMicrosecond;
+  w.window = 2 * kMillisecond;
+  RdmaConfig cfg;
+  cfg.c = 2;
+  cfg.s = 1;
+  cfg.b = 4;
+  cfg.q = 8;
+  auto m = app.Measure(cfg, w);
+  if (!m.ok()) {
+    std::fprintf(stderr, "e2e measurement failed: %s\n",
+                 m.status().message().c_str());
+    return 0.0;
+  }
+  return m->point.throughput_mops;
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+struct WorkloadResult {
+  std::string name;
+  double new_events_per_sec = 0;
+  double legacy_events_per_sec = 0;
+  double speedup = 0;  // new/legacy events-per-sec (or wall-time) ratio
+};
+
+/// Pulls `"name"` ... `"speedup": <v>` out of a baseline JSON without a
+/// JSON library (the file is machine-written by this binary).
+double BaselineSpeedup(const std::string& json, const std::string& name) {
+  const size_t at = json.find("\"" + name + "\"");
+  if (at == std::string::npos) return 0;
+  const size_t key = json.find("\"speedup\":", at);
+  if (key == std::string::npos) return 0;
+  return std::strtod(json.c_str() + key + 10, nullptr);
+}
+
+}  // namespace
+}  // namespace redy::bench
+
+int main(int argc, char** argv) {
+  using namespace redy::bench;
+  std::string out_path = "BENCH_sim_engine.json";
+  std::string baseline_path;
+  struct TimedRun {
+    std::string label;
+    std::string cmd;
+  };
+  std::vector<TimedRun> timed_runs;
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
+    }
+    if (std::strncmp(argv[i], "--timed=", 8) == 0) {
+      const std::string spec = argv[i] + 8;
+      const size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "bad --timed spec (want label:command)\n");
+        return 1;
+      }
+      timed_runs.push_back(
+          TimedRun{spec.substr(0, colon), spec.substr(colon + 1)});
+    }
+  }
+
+  PinToCurrentCpu();
+
+  std::printf("=============================================================\n");
+  std::printf("Simulator engine wall-clock benchmark (new vs legacy engine)\n");
+  std::printf("=============================================================\n");
+
+  std::vector<WorkloadResult> results;
+
+  {
+    WorkloadResult r;
+    r.name = "event_churn";
+    constexpr uint64_t kEvents = 4'000'000;
+    uint64_t new_events = 0, legacy_events = 0;
+    const auto [tn, tl] = BestInterleavedSecondsOf(
+        7,
+        [&] { new_events = RunEventChurn<redy::sim::Simulation>(kEvents); },
+        [&] { legacy_events = RunEventChurn<legacy::Simulation>(kEvents); });
+    r.new_events_per_sec = static_cast<double>(new_events) / tn;
+    r.legacy_events_per_sec = static_cast<double>(legacy_events) / tl;
+    r.speedup = r.new_events_per_sec / r.legacy_events_per_sec;
+    results.push_back(r);
+  }
+
+  {
+    WorkloadResult r;
+    r.name = "cancel_heavy";
+    constexpr uint64_t kRounds = 1'000'000;
+    uint64_t new_ops = 0, legacy_ops = 0;
+    const auto [tn, tl] = BestInterleavedSecondsOf(
+        5,
+        [&] { new_ops = RunCancelHeavy<redy::sim::Simulation>(kRounds); },
+        [&] { legacy_ops = RunCancelHeavy<legacy::Simulation>(kRounds); });
+    r.new_events_per_sec = static_cast<double>(new_ops) / tn;
+    r.legacy_events_per_sec = static_cast<double>(legacy_ops) / tl;
+    r.speedup = r.new_events_per_sec / r.legacy_events_per_sec;
+    results.push_back(r);
+  }
+
+  {
+    WorkloadResult r;
+    r.name = "idle_poller";
+    constexpr uint64_t kSimNs = 50'000'000;  // 50 ms simulated
+    uint64_t new_events = 0, legacy_events = 0;
+    const double tn = WallSecondsOf([&] {
+      new_events = RunIdlePollers<redy::sim::Simulation, redy::sim::Poller,
+                                  /*kPark=*/true>(kSimNs);
+    });
+    const double tl = WallSecondsOf([&] {
+      legacy_events = RunIdlePollers<legacy::Simulation, legacy::Poller,
+                                     /*kPark=*/false>(kSimNs);
+    });
+    // Same simulated scenario on both engines; the figure of merit is
+    // wall time to complete it (parking removes events entirely, so a
+    // per-event rate would hide the win).
+    r.new_events_per_sec = static_cast<double>(new_events) / tn;
+    r.legacy_events_per_sec = static_cast<double>(legacy_events) / tl;
+    r.speedup = tl / tn;
+    results.push_back(r);
+  }
+
+  {
+    WorkloadResult r;
+    r.name = "e2e_park";
+    double mops_on = 0, mops_off = 0;
+    const double wall_on =
+        WallSecondsOf([&] { mops_on = RunE2eMeasurement(/*park=*/true); });
+    const double wall_off =
+        WallSecondsOf([&] { mops_off = RunE2eMeasurement(/*park=*/false); });
+    // Parking replaces the old idle back-off, whose detection delay
+    // perturbed simulated timing after long idle runs; print both so
+    // drift is visible (loaded runs should match closely).
+    std::printf("e2e throughput: park on %.4f Mops, park off (back-off) "
+                "%.4f Mops\n",
+                mops_on, mops_off);
+    r.new_events_per_sec = wall_on;     // wall seconds, not a rate
+    r.legacy_events_per_sec = wall_off;
+    r.speedup = wall_off / wall_on;
+    results.push_back(r);
+  }
+
+  // Timed external re-runs (seeded chaos soak, fig15): wall seconds
+  // on the overhauled engine, recorded to track the perf trajectory.
+  bool timed_ok = true;
+  struct TimedResult {
+    std::string label;
+    double wall_s;
+  };
+  std::vector<TimedResult> timed_results;
+  for (const auto& t : timed_runs) {
+    int rc = 0;
+    const double wall =
+        WallSecondsOf([&] { rc = std::system(t.cmd.c_str()); });
+    if (rc != 0) {
+      std::fprintf(stderr, "FAIL: timed run %s exited %d: %s\n",
+                   t.label.c_str(), rc, t.cmd.c_str());
+      timed_ok = false;
+      continue;
+    }
+    std::printf("timed_%-12s %.2fs  (%s)\n", t.label.c_str(), wall,
+                t.cmd.c_str());
+    timed_results.push_back(TimedResult{t.label, wall});
+  }
+
+  std::ostringstream json;
+  json << "{\n";
+  for (size_t i = 0; i < results.size(); i++) {
+    const auto& r = results[i];
+    std::printf("%-12s new: %12.0f /s   legacy: %12.0f /s   speedup: %5.2fx\n",
+                r.name.c_str(), r.new_events_per_sec,
+                r.legacy_events_per_sec, r.speedup);
+    json << "  \"" << r.name << "\": {\"new\": " << r.new_events_per_sec
+         << ", \"legacy\": " << r.legacy_events_per_sec
+         << ", \"speedup\": " << r.speedup << "}";
+    json << (i + 1 < results.size() || !timed_results.empty() ? ",\n"
+                                                              : "\n");
+  }
+  // Timed entries carry no "speedup" key and sit after every entry
+  // that does, so the baseline ratio scan never misattributes them.
+  for (size_t i = 0; i < timed_results.size(); i++) {
+    json << "  \"timed_" << timed_results[i].label
+         << "\": {\"wall_s\": " << timed_results[i].wall_s << "}";
+    json << (i + 1 < timed_results.size() ? ",\n" : "\n");
+  }
+  json << "}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Acceptance floors for the engine overhaul itself.
+  bool ok = timed_ok;
+  for (const auto& r : results) {
+    if (r.name == "event_churn" && r.speedup < 3.0) {
+      std::fprintf(stderr, "FAIL: event_churn speedup %.2fx < 3x\n",
+                   r.speedup);
+      ok = false;
+    }
+    if (r.name == "idle_poller" && r.speedup < 5.0) {
+      std::fprintf(stderr, "FAIL: idle_poller speedup %.2fx < 5x\n",
+                   r.speedup);
+      ok = false;
+    }
+  }
+
+  // Regression gate against the committed baseline: compare speedup
+  // *ratios* (machine-independent), fail on a >20% drop.
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n",
+                   baseline_path.c_str());
+      ok = false;
+    } else {
+      std::stringstream buf;
+      buf << in.rdbuf();
+      const std::string base = buf.str();
+      // Ratios are compared capped at 20x: idle_poller's ratio is
+      // "parked engine vs a spin loop doing nothing", lands in the
+      // hundreds, and its exact value tracks the *legacy* spin speed —
+      // a >20% swing there is measurement weather, not an engine
+      // regression. Entries whose baseline ratio is ~1x (e2e_park) are
+      // parity checks, not speedups, and are skipped.
+      constexpr double kRatioCap = 20.0;
+      for (const auto& r : results) {
+        const double want = BaselineSpeedup(base, r.name);
+        if (want <= 1.5) continue;
+        const double have = std::min(r.speedup, kRatioCap);
+        if (have < 0.8 * std::min(want, kRatioCap)) {
+          std::fprintf(stderr,
+                       "FAIL: %s speedup %.2fx regressed >20%% vs "
+                       "baseline %.2fx\n",
+                       r.name.c_str(), r.speedup, want);
+          ok = false;
+        } else {
+          std::printf("%-12s vs baseline %.2fx: ok\n", r.name.c_str(),
+                      want);
+        }
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}

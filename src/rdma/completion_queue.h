@@ -2,6 +2,8 @@
 #define REDY_RDMA_COMPLETION_QUEUE_H_
 
 #include <deque>
+#include <functional>
+#include <utility>
 
 #include "rdma/rdma.h"
 
@@ -25,13 +27,22 @@ class CompletionQueue {
     return n;
   }
 
-  void Push(const WorkCompletion& wc) { entries_.push_back(wc); }
+  void Push(const WorkCompletion& wc) {
+    entries_.push_back(wc);
+    if (on_push_) on_push_();
+  }
+
+  /// Observer invoked whenever a completion is pushed (the simulator's
+  /// stand-in for a CQ doorbell/event). Used to Wake() parked pollers;
+  /// must not change simulated state.
+  void SetNotifier(std::function<void()> fn) { on_push_ = std::move(fn); }
 
   size_t Size() const { return entries_.size(); }
   bool Empty() const { return entries_.empty(); }
 
  private:
   std::deque<WorkCompletion> entries_;
+  std::function<void()> on_push_;
 };
 
 }  // namespace redy::rdma

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "rdma/rdma.h"
@@ -39,12 +41,25 @@ class MemoryRegion {
     return offset + len <= data_.size() && offset + len >= offset;
   }
 
+  /// Observer invoked (at the landing event's simulated time) after a
+  /// remote RDMA write/send deposits bytes into this region — the
+  /// simulator's stand-in for the cache-line snoop a busy-polling
+  /// thread would observe. Work sources use it to Wake() parked
+  /// pollers (DESIGN.md §9); it must not change simulated state.
+  void SetRemoteWriteNotifier(std::function<void()> fn) {
+    on_remote_write_ = std::move(fn);
+  }
+  void NotifyRemoteWrite() {
+    if (on_remote_write_) on_remote_write_();
+  }
+
  private:
   Nic* nic_;
   uint32_t lkey_;
   uint32_t rkey_;
   bool valid_ = true;
   std::vector<uint8_t> data_;
+  std::function<void()> on_remote_write_;
 };
 
 }  // namespace redy::rdma

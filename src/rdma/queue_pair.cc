@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "rdma/nic.h"
+#include "sim/inline_function.h"
 #include "telemetry/telemetry.h"
 
 namespace redy::rdma {
@@ -88,12 +89,17 @@ void QueuePair::DeliverReady() {
                   {"wr_id", wc.wr_id},
                   {"status", static_cast<uint64_t>(wc.status)});
     }
-    nic_->sim()->At(t, [this, wc, t]() mutable {
+    auto deliver = [this, wc, t]() mutable {
       wc.completed_at = t;
       send_cq_.Push(wc);
       REDY_CHECK(outstanding_ > 0);
       outstanding_--;
-    });
+    };
+    // Completion delivery runs once per WQE: it must never fall back to
+    // a heap-allocated callback.
+    static_assert(sim::InlineFunction::fits_inline<decltype(deliver)>(),
+                  "QP completion-delivery lambda must stay inline");
+    nic_->sim()->At(t, std::move(deliver));
   }
 }
 
@@ -178,6 +184,7 @@ Status QueuePair::PostWrite(uint64_t wr_id, const MemoryRegion* mr,
         wc.status = StatusCode::kAborted;  // remote access error
       } else {
         std::memcpy((*mr_or)->data() + remote_offset, payload->data(), len);
+        (*mr_or)->NotifyRemoteWrite();
       }
     }
     const sim::SimTime back =
@@ -362,6 +369,7 @@ Status QueuePair::PostSend(uint64_t wr_id, const MemoryRegion* mr,
       return;
     }
     std::memcpy(rv.mr->data() + rv.offset, payload.data(), len);
+    rv.mr->NotifyRemoteWrite();
     WorkCompletion rwc{rv.wr_id, Opcode::kRecv, StatusCode::kOk,
                        static_cast<uint32_t>(len), nic_->sim()->Now()};
     peer_->recv_cq_.Push(rwc);

@@ -293,6 +293,7 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
   }
   cache->inflight_ops++;
   cache->ctr.inflight->Set(static_cast<int64_t>(cache->inflight_ops));
+  if (thread.poller) thread.poller->Wake();
   return Status::OK();
 }
 
@@ -382,18 +383,51 @@ uint64_t CacheClient::PollThread(CacheEntry& cache, ClientThread& thread) {
             static_cast<double>(options_.costs.sched_stall_mean_ns)));
       }
     }
-    // Exponential back-off after a long idle run (event-count hygiene;
-    // the first 64 idle polls stay at full rate so latency is
-    // unaffected under any active load).
     thread.idle_streak++;
-    const uint32_t doublings = std::min(thread.idle_streak / 64, 11u);
-    consumed = std::max<uint64_t>(consumed,
-                                  options_.costs.poll_interval_ns
-                                      << doublings);
+    if (options_.costs.park_idle_pollers &&
+        options_.costs.numa_affinitized) {
+      // Park once the thread has been provably quiet for a while and
+      // has nothing in flight (so every arrival path wakes it). The
+      // first park_after_idle_polls sweeps stay at full rate, so
+      // latency under any active load is unaffected.
+      if (thread.idle_streak >= options_.costs.park_after_idle_polls &&
+          ThreadFullyIdle(thread)) {
+        thread.poller->Park();
+      }
+    } else {
+      // Legacy exponential back-off after a long idle run (event-count
+      // hygiene for the !numa path, whose idle sweep draws rng).
+      const uint32_t doublings = std::min(thread.idle_streak / 64, 11u);
+      consumed = std::max<uint64_t>(consumed,
+                                    options_.costs.poll_interval_ns
+                                        << doublings);
+    }
   } else {
     thread.idle_streak = 0;
   }
   return consumed;
+}
+
+bool CacheClient::ThreadFullyIdle(const ClientThread& thread) {
+  if (!thread.ring->Empty() || !thread.replay.empty() ||
+      !thread.delayed.empty()) {
+    return false;
+  }
+  for (const auto& [vm, conn] : thread.conns) {
+    if (conn->inflight_batches > 0 || !conn->onesided_ops.empty() ||
+        !conn->current.empty()) {
+      return false;
+    }
+    if (conn->qp != nullptr && !conn->qp->send_cq().Empty()) return false;
+  }
+  return true;
+}
+
+void CacheClient::WakeThread(CacheId id, uint32_t thread_index) {
+  CacheEntry* cache = FindCache(id);
+  if (cache == nullptr || cache->deleted || cache->threads.empty()) return;
+  auto& thread = *cache->threads[thread_index % cache->threads.size()];
+  if (thread.poller) thread.poller->Wake();
 }
 
 uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
@@ -849,6 +883,14 @@ Result<CacheClient::Connection*> CacheClient::EnsureConnection(
   REDY_RETURN_IF_ERROR(conn->qp->Connect(info.server_qp));
   conn->slots.resize(cache.cfg.q);
 
+  // Completions and landed responses are what this busy-polling thread
+  // snoops for; have them wake its poller if parked. Captures ids, not
+  // pointers: the lambdas outlive any one connection or cache.
+  const CacheId wake_id = cache.id;
+  const uint32_t wake_thread = thread.index;
+  conn->qp->send_cq().SetNotifier(
+      [this, wake_id, wake_thread] { WakeThread(wake_id, wake_thread); });
+
   if (cache.cfg.s > 0) {
     conn->req_ring_key = info.request_ring_key;
     conn->req_slot_bytes = info.request_slot_bytes;
@@ -858,6 +900,8 @@ Result<CacheClient::Connection*> CacheClient::EnsureConnection(
         ResponseSlotBytes(cache.cfg.b, cache.record_bytes);
     conn->resp_ring =
         nic_->RegisterMemory(conn->resp_slot_bytes * cache.cfg.q);
+    conn->resp_ring->SetRemoteWriteNotifier(
+        [this, wake_id, wake_thread] { WakeThread(wake_id, wake_thread); });
     REDY_RETURN_IF_ERROR(server->SetResponseRing(
         conn->conn_index, conn->resp_ring->remote_key(),
         conn->resp_slot_bytes));
@@ -1052,6 +1096,7 @@ void CacheClient::ReplayParked(CacheEntry& cache, uint32_t vregion) {
   for (SubOp& op : vr.parked) {
     const uint32_t t = op.thread % cache.threads.size();
     cache.threads[t]->replay.push_back(std::move(op));
+    if (cache.threads[t]->poller) cache.threads[t]->poller->Wake();
   }
   vr.parked.clear();
 }

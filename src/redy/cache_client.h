@@ -483,6 +483,15 @@ class CacheClient {
 
   // --- client-thread data path ---
   uint64_t PollThread(CacheEntry& cache, ClientThread& thread);
+  /// Whether the thread has nothing queued and nothing in flight, so
+  /// every way new work can reach it fires a Wake() (Submit, replay,
+  /// retry expiry, response-ring write, CQ push) and its poller may
+  /// park. In-flight work keeps it polling: deadline sweeps and broken-
+  /// QP detection have no wake source.
+  static bool ThreadFullyIdle(const ClientThread& thread);
+  /// Wakes cache thread `thread_index`'s poller if parked. Safe to call
+  /// from notifiers: looks the thread up by value, no-op after delete.
+  void WakeThread(CacheId id, uint32_t thread_index);
   uint64_t DrainCompletions(CacheEntry& cache, ClientThread& thread,
                             Connection& conn);
   uint64_t DrainResponses(CacheEntry& cache, ClientThread& thread,

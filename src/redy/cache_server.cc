@@ -59,6 +59,13 @@ Result<CacheServer::ConnectionInfo> CacheServer::Connect(
         nic_->RegisterMemory(conn->response_slot_bytes * cfg.q);
     info.request_ring_key = conn->request_ring->remote_key();
     info.request_slot_bytes = conn->request_slot_bytes;
+    // A batch landing in the request ring is what a busy-polling server
+    // thread would snoop; use it to wake the owning thread if parked.
+    // Capture the index, not the thread pointer: threads are created by
+    // Start() (possibly after Connect) and torn down by Shutdown().
+    const uint32_t conn_index = static_cast<uint32_t>(connections_.size());
+    conn->request_ring->SetRemoteWriteNotifier(
+        [this, conn_index] { WakeThread(conn_index); });
   }
 
   info.conn_index = static_cast<uint32_t>(connections_.size());
@@ -112,8 +119,9 @@ uint64_t CacheServer::PollConnections(uint32_t thread_index) {
   uint64_t consumed = 0;
   const uint32_t s = cfg_.s == 0 ? 1 : cfg_.s;
   bool any = false;
+  bool blocked = false;
   for (size_t i = thread_index; i < connections_.size(); i += s) {
-    uint64_t c = ProcessBatch(*connections_[i]);
+    uint64_t c = ProcessBatch(*connections_[i], &blocked);
     if (c > 0) any = true;
     consumed += c;
   }
@@ -130,17 +138,34 @@ uint64_t CacheServer::PollConnections(uint32_t thread_index) {
       idle_streaks_.resize(thread_index + 1, 0);
     }
     idle_streaks_[thread_index]++;
-    const uint32_t doublings =
-        std::min(idle_streaks_[thread_index] / 64, 11u);
-    consumed = std::max<uint64_t>(consumed,
-                                  costs_.poll_interval_ns << doublings);
+    if (costs_.park_idle_pollers && costs_.numa_affinitized) {
+      // Every way work can arrive here is a request-ring write, which
+      // wakes us via the notifier — except a depth-blocked batch, whose
+      // unblocking deferred post makes no ring write; keep polling then.
+      if (!blocked &&
+          idle_streaks_[thread_index] >= costs_.park_after_idle_polls) {
+        threads_[thread_index]->Park();
+      }
+    } else {
+      // Legacy exponential idle back-off (kept for the !numa path whose
+      // idle sweep has rng side effects parking would elide).
+      const uint32_t doublings =
+          std::min(idle_streaks_[thread_index] / 64, 11u);
+      consumed = std::max<uint64_t>(consumed,
+                                    costs_.poll_interval_ns << doublings);
+    }
   } else if (thread_index < idle_streaks_.size()) {
     idle_streaks_[thread_index] = 0;
   }
   return consumed;
 }
 
-uint64_t CacheServer::ProcessBatch(Connection& conn) {
+void CacheServer::WakeThread(uint32_t conn_index) {
+  if (shutdown_ || threads_.empty()) return;
+  threads_[conn_index % threads_.size()]->Wake();
+}
+
+uint64_t CacheServer::ProcessBatch(Connection& conn, bool* blocked) {
   if (conn.request_ring == nullptr) return 0;
   const uint32_t q = conn.queue_depth;
   const uint64_t slot = (conn.next_seq - 1) % q;
@@ -154,6 +179,7 @@ uint64_t CacheServer::ProcessBatch(Connection& conn) {
   // (counting responses whose deferred post hasn't fired yet).
   if (conn.qp->outstanding() + conn.pending_posts >=
       conn.qp->max_depth()) {
+    *blocked = true;
     return 0;
   }
 

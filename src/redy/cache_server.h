@@ -99,8 +99,14 @@ class CacheServer {
   /// consumed CPU time.
   uint64_t PollConnections(uint32_t thread_index);
   /// Processes the next pending batch on `conn` if present. Returns
-  /// consumed CPU time (0 if nothing arrived).
-  uint64_t ProcessBatch(Connection& conn);
+  /// consumed CPU time (0 if nothing arrived). Sets `*blocked` when a
+  /// batch is waiting but cannot be consumed because the QP is at send
+  /// depth — the owning thread must keep polling (no ring write will
+  /// announce the deferred post that unblocks it).
+  uint64_t ProcessBatch(Connection& conn, bool* blocked);
+  /// Wakes the (possibly parked) thread that owns connection
+  /// `conn_index`. Invoked by the request-ring remote-write notifier.
+  void WakeThread(uint32_t conn_index);
 
   sim::Simulation* sim_;
   rdma::Nic* nic_;

@@ -69,6 +69,18 @@ struct CostModel {
 
   /// Poll interval of client/server threads (busy-poll granularity).
   uint64_t poll_interval_ns = 50;
+
+  /// Engine optimization (no modeled-hardware meaning): a client/server
+  /// thread that has been idle for `park_after_idle_polls` consecutive
+  /// sweeps parks its poller instead of rescheduling every interval;
+  /// the work source that next feeds it wakes it back on the tick phase
+  /// it would have observed. Only engaged when the idle sweep is
+  /// side-effect free (requires `numa_affinitized`, whose off-state
+  /// draws rng in the idle path), so parking cannot perturb simulated
+  /// results. When parking is off the historical exponential idle
+  /// back-off applies instead.
+  bool park_idle_pollers = true;
+  uint32_t park_after_idle_polls = 64;
 };
 
 }  // namespace redy

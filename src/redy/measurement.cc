@@ -64,7 +64,12 @@ Result<MeasurementApp::Measured> MeasurementApp::Measure(
             const uint64_t addr = rec * workload.record_bytes;
             const bool write = a->rng.Bernoulli(workload.write_fraction);
             Status st;
-            auto cb = [a](Status) { a->inflight--; };
+            auto cb = [a](Status) {
+              a->inflight--;
+              // The actor may have parked on a full pipeline; this
+              // completion is what frees a slot.
+              if (a->poller) a->poller->Wake();
+            };
             if (write) {
               st = client.Write(id, addr, a->write_buf.data(),
                                 workload.record_bytes, cb, a->index);
@@ -76,7 +81,16 @@ Result<MeasurementApp::Measured> MeasurementApp::Measure(
             a->inflight++;
             consumed += api_cost;
           }
-          return consumed == 0 ? 50 : consumed;
+          if (consumed == 0) {
+            // Pipeline full: nothing changes until a completion fires,
+            // and every completion Wake()s this actor.
+            if (a->inflight > 0 &&
+                client.options().costs.park_idle_pollers) {
+              a->poller->Park();
+            }
+            return 50;
+          }
+          return consumed;
         });
     app->poller->Start();
     apps.push_back(std::move(app));

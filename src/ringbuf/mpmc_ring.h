@@ -15,9 +15,17 @@ namespace redy::ringbuf {
 /// the paper cites ([33], Krizhanovsky; the structure is also known as
 /// the Vyukov bounded MPMC queue). Redy uses it as the *message ring*
 /// shared among threads when a connection is multiplexed.
+/// Layout: the producer-shared enqueue cursor and the consumer-shared
+/// dequeue cursor live on separate 64-byte cache lines (and away from
+/// the read-only cells_/mask_ line), so enqueuers CASing one cursor
+/// never invalidate the line dequeuers are spinning on. Per-slot
+/// sequence numbers already give slot-local synchronization, so no
+/// index caching applies here (unlike SpscRing).
 template <typename T>
 class MpmcRing {
  public:
+  static constexpr size_t kCacheLine = 64;
+
   explicit MpmcRing(size_t capacity) {
     size_t cap = 1;
     while (cap < capacity) cap <<= 1;
@@ -84,6 +92,11 @@ class MpmcRing {
 
   size_t Capacity() const { return mask_ + 1; }
 
+  /// Layout probes for tests: the two cursor lines must be 64-byte
+  /// aligned and distinct (see ringbuf_test.cc).
+  const void* producer_line() const { return &enqueue_pos_; }
+  const void* consumer_line() const { return &dequeue_pos_; }
+
   /// Approximate occupancy; safe to call concurrently but may be stale.
   size_t SizeApprox() const {
     const size_t enq = enqueue_pos_.load(std::memory_order_acquire);
@@ -99,8 +112,8 @@ class MpmcRing {
 
   std::unique_ptr<Cell[]> cells_;
   size_t mask_;
-  alignas(64) std::atomic<size_t> enqueue_pos_{0};
-  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+  alignas(kCacheLine) std::atomic<size_t> enqueue_pos_{0};
+  alignas(kCacheLine) std::atomic<size_t> dequeue_pos_{0};
 };
 
 }  // namespace redy::ringbuf

@@ -15,11 +15,20 @@ namespace redy::ringbuf {
 ///
 /// This is the *batch ring* of Section 4.3: each application thread
 /// feeds exactly one Redy client thread, so SPSC suffices and the fast
-/// path is a single release store. Head/tail live on separate cache
-/// lines to avoid false sharing.
+/// path is a single release store.
+///
+/// Layout: the producer-owned index (head_, plus the producer's cached
+/// snapshot of tail_) and the consumer-owned index (tail_, plus the
+/// consumer's cached snapshot of head_) live on separate 64-byte cache
+/// lines, so the two endpoints never false-share. The cached snapshots
+/// cut cross-core traffic further: the hot path compares against the
+/// local copy and re-reads the opposite atomic only when the ring looks
+/// full (producer) or empty (consumer).
 template <typename T>
 class SpscRing {
  public:
+  static constexpr size_t kCacheLine = 64;
+
   /// Capacity is rounded up to a power of two; usable slots = capacity.
   explicit SpscRing(size_t capacity) {
     size_t cap = 1;
@@ -35,7 +44,10 @@ class SpscRing {
   bool TryPush(T value) {
     const size_t head = head_.load(std::memory_order_relaxed);
     const size_t next = (head + 1) & mask_;
-    if (next == tail_.load(std::memory_order_acquire)) return false;
+    if (next == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (next == cached_tail_) return false;
+    }
     buf_[head] = std::move(value);
     head_.store(next, std::memory_order_release);
     return true;
@@ -44,7 +56,10 @@ class SpscRing {
   /// Consumer side. Returns nullopt when empty.
   std::optional<T> TryPop() {
     const size_t tail = tail_.load(std::memory_order_relaxed);
-    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return std::nullopt;
+    }
     T value = std::move(buf_[tail]);
     tail_.store((tail + 1) & mask_, std::memory_order_release);
     return value;
@@ -53,7 +68,10 @@ class SpscRing {
   /// Consumer-side peek without consuming.
   const T* Front() const {
     const size_t tail = tail_.load(std::memory_order_relaxed);
-    if (tail == head_.load(std::memory_order_acquire)) return nullptr;
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return nullptr;
+    }
     return &buf_[tail];
   }
 
@@ -71,11 +89,22 @@ class SpscRing {
 
   size_t Capacity() const { return mask_; }
 
+  /// Layout probes for tests: the two index lines must be 64-byte
+  /// aligned and distinct (see ringbuf_test.cc).
+  const void* producer_line() const { return &head_; }
+  const void* consumer_line() const { return &tail_; }
+
  private:
   std::vector<T> buf_;
   size_t mask_;
-  alignas(64) std::atomic<size_t> head_{0};
-  alignas(64) std::atomic<size_t> tail_{0};
+  /// Producer-owned line: write index + cached copy of the consumer's.
+  alignas(kCacheLine) std::atomic<size_t> head_{0};
+  size_t cached_tail_ = 0;
+  /// Consumer-owned line: read index + cached copy of the producer's.
+  /// cached_head_ is mutable so the logically-const Front() can refresh
+  /// it (consumer-side only, like TryPop).
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};
+  mutable size_t cached_head_ = 0;
 };
 
 }  // namespace redy::ringbuf

@@ -1,58 +1,105 @@
 #include "sim/simulation.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace redy::sim {
 
-uint64_t Simulation::At(SimTime t, Callback cb) {
-  if (t < now_) t = now_;
-  const uint64_t id = next_id_++;
-  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
-  return id;
+namespace {
+
+/// Handles pack (generation << 32) | slot (see Enqueue). Generations
+/// start at 1, so a valid handle is never 0 and the historical
+/// `0 = no event` sentinel used by callers (e.g. Poller) keeps working.
+inline uint32_t HandleSlot(uint64_t handle) {
+  return static_cast<uint32_t>(handle);
+}
+inline uint32_t HandleGeneration(uint64_t handle) {
+  return static_cast<uint32_t>(handle >> 32);
 }
 
-bool Simulation::Cancel(uint64_t id) {
-  // Lazy cancellation: remember the id and skip it when popped. The
-  // cancelled-id list stays tiny because cancellations are rare (timer
-  // races in migration and spot-reclamation paths).
-  if (id == 0 || id >= next_id_) return false;
-  cancelled_ids_.push_back(id);
-  cancelled_++;
+}  // namespace
+
+Simulation::~Simulation() = default;
+
+uint32_t Simulation::GrowSlot() {
+  const uint32_t slot = slots_in_use_++;
+  if (slot / kSlabSize == slabs_.size()) {
+    slabs_.push_back(std::make_unique<EventRec[]>(kSlabSize));
+  }
+  return slot;
+}
+
+bool Simulation::Cancel(uint64_t handle) {
+  const uint32_t slot = HandleSlot(handle);
+  const uint32_t generation = HandleGeneration(handle);
+  if (generation == 0 || slot >= slots_in_use_) return false;
+  EventRec& rec = Rec(slot);
+  // Stale handle: the event fired or was cancelled already (possibly
+  // the slot now carries an unrelated event). Fired events fail the
+  // generation check (the fire path bumps it before invoking); already-
+  // cancelled events fail the engaged-callback check. Exactly one
+  // Cancel per scheduled event can ever succeed, so double-cancel /
+  // cancel-after-fire cannot skew accounting.
+  if (rec.generation != generation || !rec.cb) {
+    return false;
+  }
+  // O(1) slot invalidation: kill the record and drop its captures now;
+  // the heap entry is discarded lazily when it reaches the top. The
+  // slot cannot be reused until then (it only joins the free list at
+  // discard time), so the dead entry can never alias a new event.
+  rec.cb.Reset();
+  live_--;
   return true;
 }
 
-// Pops the top event. Returns true if an event was actually executed,
-// false if it had been cancelled. Precondition: queue not empty.
-bool Simulation::PopAndRun() {
-  Event ev = queue_.top();
-  queue_.pop();
-  auto it = std::find(cancelled_ids_.begin(), cancelled_ids_.end(), ev.id);
-  if (it != cancelled_ids_.end()) {
-    cancelled_ids_.erase(it);
-    cancelled_--;
+bool Simulation::RunTop() {
+  const HeapEntry top = heap_[0];
+  // Pop the root: sift the displaced last entry down into the hole.
+  const size_t last = heap_.size() - 1;
+  if (last != 0) {
+    const HeapEntry moved = heap_[last];
+    heap_.pop_back();
+    SiftDownRoot(moved);
+  } else {
+    heap_.pop_back();
+  }
+  EventRec& rec = Rec(top.slot);
+  if (!rec.cb) {
+    // A cancelled event's entry surfacing: recycle the slot. Simulated
+    // time does not advance — under eager removal this entry would
+    // never have been seen at all.
+    FreeSlot(top.slot);
     return false;
   }
-  REDY_CHECK(ev.time >= now_);
-  now_ = ev.time;
+  REDY_CHECK(top.time >= now_);
+  now_ = top.time;
+  // Bump the generation *before* running the callback: Cancel() of
+  // this event's own handle from inside the callback must be rejected,
+  // and the callback may freely schedule or cancel other events. The
+  // slot stays off the free list until the callback returns, so the
+  // callable runs in place — no relocate out of the record — and
+  // cannot be clobbered by a reschedule.
+  rec.generation++;
+  live_--;
   events_executed_++;
-  ev.cb();
+  rec.cb();
+  FreeSlot(top.slot);
   return true;
 }
 
 void Simulation::Run() {
-  while (!queue_.empty()) PopAndRun();
+  while (live_ > 0) RunTop();
 }
 
 void Simulation::RunUntil(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) PopAndRun();
+  while (!heap_.empty() && heap_[0].time <= t) RunTop();
   if (now_ < t) now_ = t;
 }
 
 bool Simulation::Step() {
-  while (!queue_.empty()) {
-    if (PopAndRun()) return true;
+  while (!heap_.empty()) {
+    if (RunTop()) return true;
   }
   return false;
 }

@@ -67,6 +67,11 @@ Driver::Result Driver::Run() {
                                              : options_.mem_op_cost_ns);
               }
               if (tp->inflight > 0) tp->inflight--;
+              // The driver thread may have parked on a full pipeline;
+              // this completion is what frees a slot. (No-op for the
+              // synchronous-completion case: the body is still running
+              // and has not parked.)
+              if (tp->poller) tp->poller->Wake();
             };
             tp->inflight++;  // balanced in cb (sync or async)
             if (is_read) {
@@ -82,7 +87,15 @@ Driver::Result Driver::Run() {
             consumed += *completed_sync ? options_.mem_op_cost_ns
                                         : options_.issue_cost_ns;
           }
-          return consumed == 0 ? 200 : consumed;
+          if (consumed == 0) {
+            // Pipeline full: nothing changes until a completion fires,
+            // and every completion Wake()s this thread.
+            if (tp->inflight >= options_.pipeline_depth) {
+              tp->poller->Park();
+            }
+            return 200;
+          }
+          return consumed;
         });
     th->poller->Start();
     threads.push_back(std::move(th));

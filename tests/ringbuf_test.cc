@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -10,6 +11,13 @@
 
 namespace redy {
 namespace {
+
+/// Distance in bytes between two member addresses.
+uint64_t ByteDistance(const void* a, const void* b) {
+  const auto x = reinterpret_cast<uintptr_t>(a);
+  const auto y = reinterpret_cast<uintptr_t>(b);
+  return x > y ? x - y : y - x;
+}
 
 TEST(SpscRingTest, PushPopSingleThread) {
   ringbuf::SpscRing<int> ring(8);
@@ -62,6 +70,62 @@ TEST(SpscRingTest, ConcurrentProducerConsumer) {
   }
   producer.join();
   EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, IndexLinesAreCacheLineAlignedAndDistinct) {
+  using Ring = ringbuf::SpscRing<int>;
+  Ring ring(8);
+  const void* prod = ring.producer_line();
+  const void* cons = ring.consumer_line();
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(prod) % Ring::kCacheLine, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(cons) % Ring::kCacheLine, 0u);
+  // The producer's index (+ its cached tail snapshot) and the
+  // consumer's index (+ its cached head snapshot) must never share a
+  // cache line, or the endpoints false-share on every op.
+  EXPECT_GE(ByteDistance(prod, cons), Ring::kCacheLine);
+}
+
+TEST(SpscRingTest, CachedIndicesSurviveWraparoundTransitions) {
+  // Drive many full->empty->full transitions on a tiny ring: each one
+  // forces both endpoints' cached snapshots stale and refreshed. Any
+  // missed refresh shows up as a wrong reject/accept or lost value.
+  ringbuf::SpscRing<int> ring(4);
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 1000; round++) {
+    while (ring.TryPush(next_push)) next_push++;
+    EXPECT_FALSE(ring.TryPush(next_push));  // full is really full
+    EXPECT_EQ(ring.Size(), ring.Capacity());
+    while (true) {
+      const int* front = ring.Front();
+      auto v = ring.TryPop();
+      if (!v.has_value()) {
+        EXPECT_EQ(front, nullptr);
+        break;
+      }
+      ASSERT_NE(front, nullptr);
+      EXPECT_EQ(*front, *v);
+      EXPECT_EQ(*v, next_pop);
+      next_pop++;
+    }
+    EXPECT_TRUE(ring.Empty());
+    // Partial refill keeps the indices off the slab boundaries.
+    EXPECT_TRUE(ring.TryPush(next_push));
+    next_push++;
+    EXPECT_EQ(*ring.TryPop(), next_pop);
+    next_pop++;
+  }
+  EXPECT_EQ(next_push, next_pop);
+}
+
+TEST(MpmcRingTest, CursorLinesAreCacheLineAlignedAndDistinct) {
+  using Ring = ringbuf::MpmcRing<int>;
+  Ring ring(8);
+  const void* prod = ring.producer_line();
+  const void* cons = ring.consumer_line();
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(prod) % Ring::kCacheLine, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(cons) % Ring::kCacheLine, 0u);
+  EXPECT_GE(ByteDistance(prod, cons), Ring::kCacheLine);
 }
 
 TEST(MpmcRingTest, PushPopSingleThread) {

@@ -1,7 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <random>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/poller.h"
 #include "sim/simulation.h"
 
@@ -95,6 +103,189 @@ TEST(SimulationTest, CancelledHeadDoesNotLetLaterEventsJumpRunUntil) {
   EXPECT_EQ(sim.Now(), 50u);
 }
 
+TEST(SimulationTest, DoubleCancelReturnsFalseAndKeepsAccounting) {
+  sim::Simulation sim;
+  bool ran = false;
+  uint64_t id = sim.At(10, [&] { ran = true; });
+  sim.At(20, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending(), 1u);
+  // Historically a second Cancel of the same handle inflated the
+  // cancelled-event count and broke empty(); it must be a no-op.
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.empty());
+  sim.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulationTest, CancelAfterFireReturnsFalse) {
+  sim::Simulation sim;
+  int fired = 0;
+  uint64_t id = sim.At(10, [&] { fired++; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Cancel(id));
+  // The stale cancel must not disturb later scheduling.
+  sim.At(20, [&] { fired++; });
+  EXPECT_FALSE(sim.empty());
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, CancelFromInsideCallback) {
+  sim::Simulation sim;
+  bool victim_ran = false;
+  uint64_t victim = sim.At(20, [&] { victim_ran = true; });
+  bool cancelled = false;
+  sim.At(10, [&] { cancelled = sim.Cancel(victim); });
+  sim.Run();
+  EXPECT_TRUE(cancelled);
+  EXPECT_FALSE(victim_ran);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulationTest, StaleHandleOfReusedSlotIsRejected) {
+  sim::Simulation sim;
+  // Cancel an event, then schedule another: whether or not the pool
+  // has recycled the cancelled slot yet, the old handle must stay dead
+  // (disengaged callback until the lazy discard, generation tag after).
+  uint64_t old_id = sim.At(10, [] {});
+  ASSERT_TRUE(sim.Cancel(old_id));
+  bool ran = false;
+  uint64_t new_id = sim.At(20, [&] { ran = true; });
+  EXPECT_NE(old_id, new_id);
+  // Cancelling via the stale handle must not kill the new event.
+  EXPECT_FALSE(sim.Cancel(old_id));
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulationTest, CallbackCanReuseItsOwnSlot) {
+  sim::Simulation sim;
+  // The running event's slot returns to the pool only after its
+  // callback finishes (the callable runs in place), so a callback
+  // that schedules gets a different slot; ordering must hold and the
+  // original slot must recycle cleanly afterwards.
+  std::vector<int> order;
+  sim.At(10, [&] {
+    order.push_back(1);
+    sim.After(5, [&] { order.push_back(2); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(SimulationTest, RandomizedScheduleCancelMatchesReferenceModel) {
+  // Differential test of the pooled 4-ary heap against a trivially
+  // correct reference: random interleaving of schedules, cancels
+  // (fresh, stale, double) and steps must fire the same events in the
+  // same (time, seq) order.
+  sim::Simulation sim;
+  std::mt19937 rng(12345);
+  std::multimap<std::pair<uint64_t, uint64_t>, int> reference;
+  std::vector<std::pair<uint64_t, uint64_t>> live;  // (handle, key-seq)
+  std::vector<uint64_t> dead_handles;
+  std::vector<int> fired;
+  std::vector<int> expected;
+  uint64_t seq = 0;
+  int next_tag = 0;
+
+  for (int step = 0; step < 20'000; step++) {
+    const uint32_t roll = rng() % 100;
+    if (roll < 55) {
+      const uint64_t t = sim.Now() + rng() % 500;
+      const int tag = next_tag++;
+      const uint64_t s = seq++;
+      uint64_t h = sim.At(t, [&fired, tag] { fired.push_back(tag); });
+      reference.emplace(std::make_pair(std::max(t, sim.Now()), s), tag);
+      live.emplace_back(h, s);
+    } else if (roll < 70 && !live.empty()) {
+      const size_t i = rng() % live.size();
+      auto [h, s] = live[i];
+      EXPECT_TRUE(sim.Cancel(h));
+      for (auto it = reference.begin(); it != reference.end(); ++it) {
+        if (it->first.second == s) {
+          reference.erase(it);
+          break;
+        }
+      }
+      live.erase(live.begin() + i);
+      dead_handles.push_back(h);
+    } else if (roll < 80 && !dead_handles.empty()) {
+      EXPECT_FALSE(sim.Cancel(dead_handles[rng() % dead_handles.size()]));
+    } else {
+      if (sim.Step()) {
+        ASSERT_FALSE(reference.empty());
+        auto it = reference.begin();
+        expected.push_back(it->second);
+        const uint64_t s = it->first.second;
+        reference.erase(it);
+        live.erase(std::remove_if(live.begin(), live.end(),
+                                  [s](auto& p) { return p.second == s; }),
+                   live.end());
+      }
+    }
+    ASSERT_EQ(sim.pending(), reference.size());
+  }
+  sim.Run();
+  for (const auto& [key, tag] : reference) expected.push_back(tag);
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(InlineFunctionTest, InvokesInlineCallable) {
+  int hits = 0;
+  auto small = [&hits] { hits++; };
+  static_assert(sim::InlineFunction::fits_inline<decltype(small)>());
+  sim::InlineFunction f(small);
+  EXPECT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunctionTest, LargeCaptureFallsBackToHeap) {
+  std::array<uint64_t, 32> payload{};
+  payload[0] = 7;
+  payload[31] = 9;
+  auto big = [payload] { EXPECT_EQ(payload[0] + payload[31], 16u); };
+  static_assert(!sim::InlineFunction::fits_inline<decltype(big)>());
+  sim::InlineFunction f(std::move(big));
+  f();
+}
+
+TEST(InlineFunctionTest, MoveTransfersStateAndDestroysOnce) {
+  struct Probe {
+    std::shared_ptr<int> alive = std::make_shared<int>(0);
+  };
+  Probe probe;
+  std::weak_ptr<int> watch = probe.alive;
+  {
+    sim::InlineFunction a([probe = std::move(probe)] {});
+    sim::InlineFunction b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_FALSE(watch.expired());
+    sim::InlineFunction c = std::move(b);
+    EXPECT_TRUE(static_cast<bool>(c));
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunctionTest, ResetReleasesCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  sim::InlineFunction f([token = std::move(token)] {});
+  EXPECT_FALSE(watch.expired());
+  f.Reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
 TEST(PollerTest, PollsAtInterval) {
   sim::Simulation sim;
   int polls = 0;
@@ -133,6 +324,115 @@ TEST(PollerTest, StopFromInsideBody) {
   poller.Start();
   sim.Run();
   EXPECT_EQ(polls, 3);
+}
+
+TEST(PollerTest, RestartAfterStopResumesPolling) {
+  sim::Simulation sim;
+  std::vector<sim::SimTime> polls;
+  sim::Poller poller(&sim, 100, [&]() -> uint64_t {
+    polls.push_back(sim.Now());
+    return 0;
+  });
+  poller.Start();
+  sim.RunUntil(250);
+  poller.Stop();
+  sim.RunUntil(1000);
+  EXPECT_EQ(polls, (std::vector<sim::SimTime>{0, 100, 200}));
+  poller.Start();
+  sim.RunUntil(1250);
+  poller.Stop();
+  EXPECT_EQ(polls,
+            (std::vector<sim::SimTime>{0, 100, 200, 1000, 1100, 1200}));
+}
+
+TEST(PollerTest, ParkInsideBodyAndWakeRealignsToTickPhase) {
+  sim::Simulation sim;
+  std::vector<sim::SimTime> polls;
+  bool park_next = false;
+  sim::Poller poller(&sim, 100, [&]() -> uint64_t {
+    polls.push_back(sim.Now());
+    if (park_next) {
+      park_next = false;
+      poller.Park();
+    }
+    return 0;
+  });
+  poller.Start();
+  sim.At(150, [&] { park_next = true; });  // body at t=200 parks
+  // Wake off-phase: the next poll must land on the original 100ns
+  // cadence (t=300), not at the wake time.
+  sim.At(250, [&] { poller.Wake(); });
+  sim.RunUntil(400);
+  poller.Stop();
+  EXPECT_EQ(polls, (std::vector<sim::SimTime>{0, 100, 200, 300, 400}));
+}
+
+TEST(PollerTest, ParkOutsideBodyCancelsPendingAndWakeCatchesUp) {
+  sim::Simulation sim;
+  std::vector<sim::SimTime> polls;
+  sim::Poller poller(&sim, 100, [&]() -> uint64_t {
+    polls.push_back(sim.Now());
+    return 0;
+  });
+  poller.Start();
+  // Park between ticks: the pending t=300 poll is cancelled. Waking at
+  // t=650 realigns to the first original tick >= 650, i.e. t=700.
+  sim.At(250, [&] { poller.Park(); });
+  sim.At(650, [&] { poller.Wake(); });
+  sim.RunUntil(900);
+  poller.Stop();
+  EXPECT_EQ(polls,
+            (std::vector<sim::SimTime>{0, 100, 200, 700, 800, 900}));
+  EXPECT_TRUE(sim.empty());  // a parked poller leaves no event behind
+}
+
+TEST(PollerTest, WakeInsideBodyAfterParkKeepsSingleSchedule) {
+  // A body that parks and is synchronously woken (e.g. its own work
+  // source fires re-entrantly) must not double-schedule the next poll.
+  sim::Simulation sim;
+  int polls = 0;
+  sim::Poller poller(&sim, 100, [&]() -> uint64_t {
+    polls++;
+    poller.Park();
+    poller.Wake();
+    return 0;
+  });
+  poller.Start();
+  sim.RunUntil(500);
+  poller.Stop();
+  EXPECT_EQ(polls, 6);  // t=0..500: the park/wake pair is a no-op
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(PollerTest, ParkWakeRunsAreDeterministic) {
+  // Two same-seed runs of a park/wake-heavy scenario must execute the
+  // same events at the same times.
+  auto run = [](std::vector<sim::SimTime>* polls) -> uint64_t {
+    sim::Simulation sim;
+    std::mt19937 rng(99);
+    uint32_t idle = 0;
+    sim::Poller poller(&sim, 50, [&]() -> uint64_t {
+      polls->push_back(sim.Now());
+      if (++idle >= 4) poller.Park();
+      return 25;
+    });
+    poller.Start();
+    for (int i = 0; i < 50; i++) {
+      sim.At(rng() % 100'000, [&] {
+        idle = 0;
+        poller.Wake();
+      });
+    }
+    sim.RunUntil(100'000);
+    poller.Stop();
+    return sim.events_executed();
+  };
+  std::vector<sim::SimTime> a, b;
+  const uint64_t ea = run(&a);
+  const uint64_t eb = run(&b);
+  EXPECT_EQ(ea, eb);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
 }
 
 }  // namespace
