@@ -1,0 +1,54 @@
+#ifndef REDY_COMMON_SLAB_POOL_H_
+#define REDY_COMMON_SLAB_POOL_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace redy::common {
+
+/// Address-stable object pool for per-operation state on the data path.
+/// The steady-state contract is zero allocations per op: Acquire() pops
+/// a recycled record from the free list, Release() pushes it back, and
+/// the backing deque only grows when the in-flight population exceeds
+/// every previous high-water mark. Records are never destroyed until
+/// the pool itself dies, so generation counters stored inside them
+/// survive recycling (the client's OpState gen-tag relies on this).
+///
+/// Not thread-safe: each client thread / device owns its own pool, like
+/// the simulator's event pool.
+template <typename T>
+class SlabPool {
+ public:
+  SlabPool() = default;
+  explicit SlabPool(size_t prealloc) {
+    for (size_t i = 0; i < prealloc; i++) free_.push_back(&slab_.emplace_back());
+  }
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// Borrows a record. Contents are whatever the previous user left
+  /// (plus any monotonic fields like generation tags); the caller
+  /// reinitializes the fields it uses.
+  T* Acquire() {
+    if (free_.empty()) return &slab_.emplace_back();
+    T* t = free_.back();
+    free_.pop_back();
+    return t;
+  }
+
+  /// Returns a record to the free list. The pointer stays valid (the
+  /// slab is a deque) but must not be dereferenced by the old owner.
+  void Release(T* t) { free_.push_back(t); }
+
+  size_t allocated() const { return slab_.size(); }
+  size_t free_count() const { return free_.size(); }
+
+ private:
+  std::deque<T> slab_;
+  std::vector<T*> free_;
+};
+
+}  // namespace redy::common
+#endif  // REDY_COMMON_SLAB_POOL_H_

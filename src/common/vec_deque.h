@@ -1,0 +1,74 @@
+#ifndef REDY_COMMON_VEC_DEQUE_H_
+#define REDY_COMMON_VEC_DEQUE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace redy::common {
+
+/// Growable ring-buffer deque whose capacity persists across drain
+/// cycles (DESIGN.md §10). std::deque allocates and frees block nodes
+/// as pushes and pops cross block boundaries — steady-state heap churn
+/// on queues that oscillate around empty, like the client replay
+/// queue. This container only allocates when occupancy exceeds its
+/// historical high water mark. Power-of-two capacity, front/back
+/// pushes, front pops, indexed access from the front.
+template <typename T>
+class VecDeque {
+ public:
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return buf_.size(); }
+
+  T& operator[](size_t i) { return buf_[(head_ + i) & mask_]; }
+  const T& operator[](size_t i) const { return buf_[(head_ + i) & mask_]; }
+
+  T& front() { return buf_[head_]; }
+
+  void push_back(T&& v) {
+    if (size_ == buf_.size()) Grow();
+    buf_[(head_ + size_) & mask_] = std::move(v);
+    size_++;
+  }
+
+  void push_front(T&& v) {
+    if (size_ == buf_.size()) Grow();
+    head_ = (head_ + buf_.size() - 1) & mask_;
+    buf_[head_] = std::move(v);
+    size_++;
+  }
+
+  void pop_front() {
+    buf_[head_] = T();  // drop payload now, not at the next overwrite
+    head_ = (head_ + 1) & mask_;
+    size_--;
+  }
+
+  void clear() {
+    for (size_t i = 0; i < size_; i++) buf_[(head_ + i) & mask_] = T();
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void Grow() {
+    const size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (size_t i = 0; i < size_; i++) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  std::vector<T> buf_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace redy::common
+
+#endif  // REDY_COMMON_VEC_DEQUE_H_

@@ -3,17 +3,39 @@
 #include <algorithm>
 
 namespace redy::faster {
+namespace {
+
+/// Extract-and-release before firing: the callback may re-enter the
+/// device and reuse the record.
+void Fire(common::SlabPool<DeviceIo>& pool, DeviceIo* io, const Status& s) {
+  IDevice::Callback cb = std::move(io->cb);
+  io->cb = IDevice::Callback();
+  pool.Release(io);
+  if (cb) cb(s);
+}
+
+}  // namespace
 
 void LocalMemoryDevice::ReadAsync(uint64_t offset, void* dst, uint64_t len,
                                   Callback cb) {
   store_.Read(offset, dst, len);
-  sim_->After(latency_ns_, [cb = std::move(cb)] { cb(Status::OK()); });
+  DeviceIo* io = io_pool_.Acquire();
+  io->cb = std::move(cb);
+  auto fire = [this, io] { Fire(io_pool_, io, Status::OK()); };
+  static_assert(sim::InlineFunction::fits_inline<decltype(fire)>(),
+                "device completion must not heap-allocate");
+  sim_->After(latency_ns_, fire);
 }
 
 void LocalMemoryDevice::WriteAsync(uint64_t offset, const void* src,
                                    uint64_t len, Callback cb) {
   store_.Write(offset, src, len);
-  sim_->After(latency_ns_, [cb = std::move(cb)] { cb(Status::OK()); });
+  DeviceIo* io = io_pool_.Acquire();
+  io->cb = std::move(cb);
+  auto fire = [this, io] { Fire(io_pool_, io, Status::OK()); };
+  static_assert(sim::InlineFunction::fits_inline<decltype(fire)>(),
+                "device completion must not heap-allocate");
+  sim_->After(latency_ns_, fire);
 }
 
 sim::SimTime SsdDevice::Schedule(uint64_t len, bool is_write) {
@@ -37,10 +59,18 @@ void SsdDevice::ReadAsync(uint64_t offset, void* dst, uint64_t len,
   reads_++;
   const sim::SimTime done = Schedule(len, /*is_write=*/false);
   // Snapshot semantics: the data is captured at completion time.
-  sim_->At(done, [this, offset, dst, len, cb = std::move(cb)] {
-    store_.Read(offset, dst, len);
-    cb(Status::OK());
-  });
+  DeviceIo* io = io_pool_.Acquire();
+  io->cb = std::move(cb);
+  io->offset = offset;
+  io->dst = dst;
+  io->len = len;
+  auto fire = [this, io] {
+    store_.Read(io->offset, io->dst, io->len);
+    Fire(io_pool_, io, Status::OK());
+  };
+  static_assert(sim::InlineFunction::fits_inline<decltype(fire)>(),
+                "device completion must not heap-allocate");
+  sim_->At(done, fire);
 }
 
 void SsdDevice::WriteAsync(uint64_t offset, const void* src, uint64_t len,
@@ -49,7 +79,12 @@ void SsdDevice::WriteAsync(uint64_t offset, const void* src, uint64_t len,
   // The device DMA-reads the caller's buffer at submission.
   store_.Write(offset, src, len);
   const sim::SimTime done = Schedule(len, /*is_write=*/true);
-  sim_->At(done, [cb = std::move(cb)] { cb(Status::OK()); });
+  DeviceIo* io = io_pool_.Acquire();
+  io->cb = std::move(cb);
+  auto fire = [this, io] { Fire(io_pool_, io, Status::OK()); };
+  static_assert(sim::InlineFunction::fits_inline<decltype(fire)>(),
+                "device completion must not heap-allocate");
+  sim_->At(done, fire);
 }
 
 sim::SimTime SmbDirectDevice::Schedule(uint64_t len) {
@@ -66,17 +101,30 @@ sim::SimTime SmbDirectDevice::Schedule(uint64_t len) {
 void SmbDirectDevice::ReadAsync(uint64_t offset, void* dst, uint64_t len,
                                 Callback cb) {
   const sim::SimTime done = Schedule(len);
-  sim_->At(done, [this, offset, dst, len, cb = std::move(cb)] {
-    store_.Read(offset, dst, len);
-    cb(Status::OK());
-  });
+  DeviceIo* io = io_pool_.Acquire();
+  io->cb = std::move(cb);
+  io->offset = offset;
+  io->dst = dst;
+  io->len = len;
+  auto fire = [this, io] {
+    store_.Read(io->offset, io->dst, io->len);
+    Fire(io_pool_, io, Status::OK());
+  };
+  static_assert(sim::InlineFunction::fits_inline<decltype(fire)>(),
+                "device completion must not heap-allocate");
+  sim_->At(done, fire);
 }
 
 void SmbDirectDevice::WriteAsync(uint64_t offset, const void* src,
                                  uint64_t len, Callback cb) {
   store_.Write(offset, src, len);
   const sim::SimTime done = Schedule(len);
-  sim_->At(done, [cb = std::move(cb)] { cb(Status::OK()); });
+  DeviceIo* io = io_pool_.Acquire();
+  io->cb = std::move(cb);
+  auto fire = [this, io] { Fire(io_pool_, io, Status::OK()); };
+  static_assert(sim::InlineFunction::fits_inline<decltype(fire)>(),
+                "device completion must not heap-allocate");
+  sim_->At(done, fire);
 }
 
 }  // namespace redy::faster

@@ -5,12 +5,24 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/slab_pool.h"
 #include "common/units.h"
 #include "faster/idevice.h"
 #include "faster/paged_store.h"
 #include "sim/simulation.h"
 
 namespace redy::faster {
+
+/// Pooled in-flight I/O record shared by the simple device models. The
+/// completion timer lambda captures only {device, record*}, keeping it
+/// within the scheduler's inline budget regardless of how large the
+/// caller's callback is — no allocation per I/O (DESIGN.md §10).
+struct DeviceIo {
+  IDevice::Callback cb;
+  uint64_t offset = 0;
+  void* dst = nullptr;
+  uint64_t len = 0;
+};
 
 /// Local DRAM device: sub-microsecond latency, used as a baseline tier
 /// and in tests.
@@ -32,6 +44,7 @@ class LocalMemoryDevice : public IDevice {
   sim::Simulation* sim_;
   uint64_t latency_ns_;
   PagedStore store_;
+  common::SlabPool<DeviceIo> io_pool_;
 };
 
 /// Server-attached NVMe SSD, calibrated to the paper's Section 1.1
@@ -72,6 +85,7 @@ class SsdDevice : public IDevice {
   Rng rng_;
   std::vector<sim::SimTime> channel_free_;
   PagedStore store_;
+  common::SlabPool<DeviceIo> io_pool_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
 };
@@ -108,6 +122,7 @@ class SmbDirectDevice : public IDevice {
   SmbDirectParams params_;
   std::vector<sim::SimTime> worker_free_;
   PagedStore store_;
+  common::SlabPool<DeviceIo> io_pool_;
 };
 
 }  // namespace redy::faster

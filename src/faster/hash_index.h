@@ -23,26 +23,17 @@ class HashIndex {
 
   /// Returns the log address of `key`, or kNotFound.
   uint64_t Lookup(uint64_t key) const {
-    const uint64_t mask = slots_.size() - 1;
-    uint64_t i = SplitMix64(key) & mask;
-    while (slots_[i].used) {
-      if (slots_[i].key == key) return slots_[i].address;
-      i = (i + 1) & mask;
-    }
-    return kNotFound;
+    const uint64_t i = FindSlot(key);
+    return slots_[i].used ? slots_[i].address : kNotFound;
   }
 
   /// Inserts or updates the address of `key`.
   void Upsert(uint64_t key, uint64_t address) {
     if (size_ * 10 >= slots_.size() * 7) Grow();
-    const uint64_t mask = slots_.size() - 1;
-    uint64_t i = SplitMix64(key) & mask;
-    while (slots_[i].used) {
-      if (slots_[i].key == key) {
-        slots_[i].address = address;
-        return;
-      }
-      i = (i + 1) & mask;
+    const uint64_t i = FindSlot(key);
+    if (slots_[i].used) {
+      slots_[i].address = address;
+      return;
     }
     slots_[i] = Slot{key, address, true};
     size_++;
@@ -51,17 +42,10 @@ class HashIndex {
   /// Compare-and-swap update: sets the address only if it still equals
   /// `expected` (used by read-cache eviction to revert safely).
   bool UpdateIf(uint64_t key, uint64_t expected, uint64_t address) {
-    const uint64_t mask = slots_.size() - 1;
-    uint64_t i = SplitMix64(key) & mask;
-    while (slots_[i].used) {
-      if (slots_[i].key == key) {
-        if (slots_[i].address != expected) return false;
-        slots_[i].address = address;
-        return true;
-      }
-      i = (i + 1) & mask;
-    }
-    return false;
+    const uint64_t i = FindSlot(key);
+    if (!slots_[i].used || slots_[i].address != expected) return false;
+    slots_[i].address = address;
+    return true;
   }
 
   uint64_t size() const { return size_; }
@@ -73,6 +57,18 @@ class HashIndex {
     uint64_t address = 0;
     bool used = false;
   };
+
+  /// The single probe loop behind Lookup/Upsert/UpdateIf (previously
+  /// triplicated): returns the index of the slot holding `key`, or of
+  /// the first empty slot on its probe chain. The table never exceeds
+  /// 70% load, so an empty slot always terminates the walk — including
+  /// chains that wrap past the end of the table.
+  uint64_t FindSlot(uint64_t key) const {
+    const uint64_t mask = slots_.size() - 1;
+    uint64_t i = SplitMix64(key) & mask;
+    while (slots_[i].used && slots_[i].key != key) i = (i + 1) & mask;
+    return i;
+  }
 
   void Grow() {
     std::vector<Slot> old = std::move(slots_);

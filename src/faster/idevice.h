@@ -2,9 +2,9 @@
 #define REDY_FASTER_IDEVICE_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "common/inline_callable.h"
 #include "common/status.h"
 
 namespace redy::faster {
@@ -15,7 +15,11 @@ namespace redy::faster {
 /// store real bytes — reads return what was written.
 class IDevice {
  public:
-  using Callback = std::function<void(Status)>;
+  /// Move-only with a 128-byte inline budget: device completion chains
+  /// (tiered fan-out, Redy retry joins) nest one callback inside the
+  /// next, so the I/O tier gets double the client-facing budget. No
+  /// heap allocation per I/O at steady state (DESIGN.md §10).
+  using Callback = common::InlineCallable<void(Status), 128>;
 
   virtual ~IDevice() = default;
 

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 namespace redy::faster {
@@ -12,6 +11,12 @@ namespace redy::faster {
 /// Sparse byte store backing the simulated devices: pages materialize
 /// on first write, so a "multi-GB" device only consumes memory for the
 /// bytes actually written.
+///
+/// The page table is a direct-indexed vector (page number -> buffer),
+/// not a hash map: device offsets are dense from zero (the hybrid log
+/// appends sequentially), so indexing is a bounds check plus a load —
+/// no hashing on the I/O path (DESIGN.md §10). The table grows
+/// geometrically; unwritten slots hold nullptr and read as zeros.
 class PagedStore {
  public:
   explicit PagedStore(uint64_t page_bytes = 64 * 1024)
@@ -36,11 +41,12 @@ class PagedStore {
       const uint64_t page = offset / page_bytes_;
       const uint64_t off = offset % page_bytes_;
       const uint64_t chunk = std::min(len, page_bytes_ - off);
-      auto it = pages_.find(page);
-      if (it == pages_.end()) {
+      const uint8_t* p =
+          page < pages_.size() ? pages_[page].get() : nullptr;
+      if (p == nullptr) {
         std::memset(d, 0, chunk);  // never-written bytes read as zero
       } else {
-        std::memcpy(d, it->second.get() + off, chunk);
+        std::memcpy(d, p + off, chunk);
       }
       offset += chunk;
       d += chunk;
@@ -48,21 +54,24 @@ class PagedStore {
     }
   }
 
-  uint64_t pages_resident() const { return pages_.size(); }
+  uint64_t pages_resident() const { return resident_; }
 
  private:
   uint8_t* PageFor(uint64_t page) {
-    auto it = pages_.find(page);
-    if (it == pages_.end()) {
-      auto buf = std::make_unique<uint8_t[]>(page_bytes_);
-      std::memset(buf.get(), 0, page_bytes_);
-      it = pages_.emplace(page, std::move(buf)).first;
+    if (page >= pages_.size()) {
+      pages_.resize(std::max<uint64_t>(page + 1, pages_.size() * 2));
     }
-    return it->second.get();
+    if (pages_[page] == nullptr) {
+      pages_[page] = std::make_unique<uint8_t[]>(page_bytes_);
+      std::memset(pages_[page].get(), 0, page_bytes_);
+      resident_++;
+    }
+    return pages_[page].get();
   }
 
   uint64_t page_bytes_;
-  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+  uint64_t resident_ = 0;
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
 };
 
 }  // namespace redy::faster

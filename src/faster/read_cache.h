@@ -3,8 +3,9 @@
 
 #include <cstdint>
 #include <cstring>
-#include <unordered_map>
 #include <vector>
+
+#include "common/flat_map.h"
 
 namespace redy::faster {
 
@@ -13,6 +14,11 @@ namespace redy::faster {
 /// CLOCK (second-chance) replacement over fixed-size record frames.
 /// This is the knob the paper turns in Figs. 18b/18c/18e-h and 19:
 /// local memory = hybrid-log memory + this cache.
+///
+/// The key->frame index is an open-addressed flat map reserved at
+/// twice the frame count up front, so steady-state lookups and the
+/// insert/evict churn at full capacity never rehash or allocate
+/// (DESIGN.md §10).
 class ReadCache {
  public:
   /// `record_bytes` is the fixed record frame size; capacity_bytes is
@@ -23,6 +29,7 @@ class ReadCache {
     data_.resize(frames_ * static_cast<uint64_t>(record_bytes_));
     keys_.assign(frames_, kEmpty);
     referenced_.assign(frames_, false);
+    map_.Reserve(2 * frames_);
   }
 
   bool enabled() const { return frames_ > 0; }
@@ -30,10 +37,10 @@ class ReadCache {
 
   /// Copies the cached record for `key` into `dst` (record_bytes).
   bool Lookup(uint64_t key, void* dst) {
-    auto it = map_.find(key);
-    if (it == map_.end()) return false;
-    referenced_[it->second] = true;
-    std::memcpy(dst, &data_[it->second * record_bytes_], record_bytes_);
+    const uint64_t* frame = map_.Find(key);
+    if (frame == nullptr) return false;
+    referenced_[*frame] = true;
+    std::memcpy(dst, &data_[*frame * record_bytes_], record_bytes_);
     hits_++;
     return true;
   }
@@ -41,25 +48,24 @@ class ReadCache {
   /// Inserts (or refreshes) a record, evicting via CLOCK if needed.
   void Insert(uint64_t key, const void* record) {
     if (frames_ == 0) return;
-    auto it = map_.find(key);
+    const uint64_t* existing = map_.Find(key);
     uint64_t frame;
-    if (it != map_.end()) {
-      frame = it->second;
+    if (existing != nullptr) {
+      frame = *existing;
     } else {
       frame = Evict();
       keys_[frame] = key;
-      map_[key] = frame;
+      map_.Insert(key, frame);
     }
     std::memcpy(&data_[frame * record_bytes_], record, record_bytes_);
     referenced_[frame] = true;
   }
 
   void Invalidate(uint64_t key) {
-    auto it = map_.find(key);
-    if (it == map_.end()) return;
-    keys_[it->second] = kEmpty;
-    referenced_[it->second] = false;
-    map_.erase(it);
+    uint64_t frame;
+    if (!map_.Take(key, &frame)) return;
+    keys_[frame] = kEmpty;
+    referenced_[frame] = false;
   }
 
   uint64_t hits() const { return hits_; }
@@ -76,7 +82,7 @@ class ReadCache {
         referenced_[hand_] = false;  // second chance
         continue;
       }
-      map_.erase(keys_[hand_]);
+      map_.Erase(keys_[hand_]);
       keys_[hand_] = kEmpty;
       return hand_;
     }
@@ -87,7 +93,7 @@ class ReadCache {
   std::vector<uint8_t> data_;
   std::vector<uint64_t> keys_;
   std::vector<bool> referenced_;
-  std::unordered_map<uint64_t, uint64_t> map_;
+  common::FlatMap<uint64_t> map_;
   uint64_t hand_ = 0;
   uint64_t hits_ = 0;
 };

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/slab_pool.h"
 #include "faster/idevice.h"
 #include "redy/cache_client.h"
 
@@ -16,6 +17,11 @@ namespace redy::faster {
 /// which Covers() then reports as absent so reads fall through to the
 /// next tier. Submission backpressure (a full client batch ring) is
 /// absorbed with a short retry instead of being surfaced to FASTER.
+///
+/// Per-I/O join state (splitting a wrapping access into two cache ops
+/// and merging their completions) lives in a slab pool, so the piece
+/// callbacks capture only {this, record*} and the steady-state I/O
+/// path never allocates (DESIGN.md §10).
 class RedyDevice : public IDevice {
  public:
   RedyDevice(sim::Simulation* sim, CacheClient* client,
@@ -28,17 +34,12 @@ class RedyDevice : public IDevice {
       cb(Status::NotFound("evicted from Redy tier"));
       return;
     }
-    SubmitPieces(offset, dst, nullptr, len, std::move(cb));
+    Submit(offset, dst, nullptr, len, /*end=*/0, std::move(cb));
   }
 
   void WriteAsync(uint64_t offset, const void* src, uint64_t len,
                   Callback cb) override {
-    const uint64_t end = offset + len;
-    SubmitPieces(offset, nullptr, src, len,
-                 [this, end, cb = std::move(cb)](Status s) {
-                   if (s.ok() && end > high_water_) high_water_ = end;
-                   cb(s);
-                 });
+    Submit(offset, nullptr, src, len, offset + len, std::move(cb));
   }
 
   void WriteSync(uint64_t offset, const void* src, uint64_t len) override {
@@ -64,50 +65,71 @@ class RedyDevice : public IDevice {
   CacheClient::CacheId cache_id() const { return cache_; }
 
  private:
+  /// Pooled per-I/O state: the device callback plus the join of the
+  /// (at most two) cache ops the access maps onto. `end` carries the
+  /// high-water advance for writes (0 for reads).
+  struct Pending {
+    Callback cb;
+    Status error;
+    uint64_t end = 0;
+    int remaining = 0;
+  };
+
   /// Splits an access that wraps the modulo boundary into <= 2 cache
-  /// ops and joins their completions.
-  void SubmitPieces(uint64_t offset, void* dst, const void* src,
-                    uint64_t len, Callback cb) {
+  /// ops and joins their completions on a pooled record.
+  void Submit(uint64_t offset, void* dst, const void* src, uint64_t len,
+              uint64_t end, Callback cb) {
     const uint64_t a = offset % capacity_;
     const uint64_t first = std::min(len, capacity_ - a);
-    if (first == len) {
-      SubmitOne(a, dst, src, len, std::move(cb));
-      return;
+    Pending* p = pending_pool_.Acquire();
+    p->cb = std::move(cb);
+    p->error = Status::OK();
+    p->end = end;
+    p->remaining = first == len ? 1 : 2;
+    SubmitOne(a, dst, src, first, p);
+    if (first < len) {
+      SubmitOne(0,
+                dst == nullptr ? nullptr
+                               : static_cast<uint8_t*>(dst) + first,
+                src == nullptr ? nullptr
+                               : static_cast<const uint8_t*>(src) + first,
+                len - first, p);
     }
-    struct Join {
-      Callback cb;
-      int remaining = 2;
-      Status error;
-    };
-    auto join = std::make_shared<Join>();
-    join->cb = std::move(cb);
-    auto piece_cb = [join](Status s) {
-      if (!s.ok() && join->error.ok()) join->error = s;
-      if (--join->remaining == 0) join->cb(join->error);
-    };
-    SubmitOne(a, dst, src, first, piece_cb);
-    SubmitOne(0, dst == nullptr ? nullptr : static_cast<uint8_t*>(dst) + first,
-              src == nullptr ? nullptr
-                             : static_cast<const uint8_t*>(src) + first,
-              len - first, piece_cb);
   }
 
   void SubmitOne(uint64_t cache_addr, void* dst, const void* src,
-                 uint64_t len, Callback cb) {
+                 uint64_t len, Pending* p) {
     const uint32_t thread = next_thread_++;
+    auto piece_cb = [this, p](Status s) { OnPiece(p, s); };
+    static_assert(CacheClient::Callback::fits_inline<decltype(piece_cb)>(),
+                  "piece callback must not heap-allocate");
     Status st =
         src == nullptr
-            ? client_->Read(cache_, cache_addr, dst, len, cb, thread)
-            : client_->Write(cache_, cache_addr, src, len, cb, thread);
+            ? client_->Read(cache_, cache_addr, dst, len, piece_cb, thread)
+            : client_->Write(cache_, cache_addr, src, len, piece_cb, thread);
     if (st.IsResourceExhausted()) {
       // Batch ring momentarily full: retry shortly.
-      sim_->After(500, [this, cache_addr, dst, src, len,
-                        cb = std::move(cb)]() mutable {
-        SubmitOne(cache_addr, dst, src, len, std::move(cb));
-      });
+      auto retry = [this, cache_addr, dst, src, len, p] {
+        SubmitOne(cache_addr, dst, src, len, p);
+      };
+      static_assert(sim::InlineFunction::fits_inline<decltype(retry)>(),
+                    "submit retry must not heap-allocate");
+      sim_->After(500, retry);
       return;
     }
-    if (!st.ok()) cb(st);
+    if (!st.ok()) OnPiece(p, st);
+  }
+
+  void OnPiece(Pending* p, Status s) {
+    if (!s.ok() && p->error.ok()) p->error = s;
+    if (--p->remaining > 0) return;
+    if (p->error.ok() && p->end > high_water_) high_water_ = p->end;
+    // Release before firing: the callback may re-enter this device.
+    Callback cb = std::move(p->cb);
+    const Status err = p->error;
+    p->cb = Callback();
+    pending_pool_.Release(p);
+    if (cb) cb(err);
   }
 
   sim::Simulation* sim_;
@@ -116,6 +138,7 @@ class RedyDevice : public IDevice {
   uint64_t capacity_;
   uint64_t high_water_ = 0;
   uint32_t next_thread_ = 0;
+  common::SlabPool<Pending> pending_pool_;
 };
 
 }  // namespace redy::faster

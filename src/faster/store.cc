@@ -19,6 +19,7 @@ FasterKv::FasterKv(sim::Simulation* sim, IDevice* device, Options options)
   uint64_t mem = options_.log_memory_bytes / rec * rec;
   if (mem < 16 * rec) mem = 16 * rec;
   memory_.assign(mem, 0);
+  frame_scratch_.resize(rec);
 }
 
 uint64_t FasterKv::MutableBoundary() const {
@@ -33,11 +34,22 @@ bool FasterKv::EnsureRoom() {
   // Evict the oldest record frame; it must be durable on the device
   // (write-through), i.e. no write below the new head may be pending.
   const uint64_t new_head = head_mem_ + rec;
-  if (!pending_writes_.empty() && *pending_writes_.begin() < new_head) {
-    return false;  // flush in progress; caller retries
+  for (const uint64_t w : pending_writes_) {
+    if (w < new_head) return false;  // flush in progress; caller retries
   }
   head_mem_ = new_head;
   return true;
+}
+
+void FasterKv::RetireWrite(uint64_t addr) {
+  for (size_t i = 0; i < pending_writes_.size(); i++) {
+    if (pending_writes_[i] == addr) {
+      pending_writes_[i] = pending_writes_.back();
+      pending_writes_.pop_back();
+      return;
+    }
+  }
+  REDY_CHECK(false);  // completion for a write we never issued
 }
 
 Status FasterKv::Read(uint64_t key, void* value_out, Callback cb) {
@@ -56,33 +68,41 @@ Status FasterKv::Read(uint64_t key, void* value_out, Callback cb) {
     return Status::OK();
   }
   // Hot-record cache.
-  std::vector<uint8_t> frame(rec);
-  if (read_cache_.enabled() && read_cache_.Lookup(key, frame.data())) {
+  if (read_cache_.enabled() && read_cache_.Lookup(key, frame_scratch_.data())) {
     stats_.read_cache_hits++;
-    std::memcpy(value_out, frame.data() + 8, options_.value_bytes);
+    std::memcpy(value_out, frame_scratch_.data() + 8, options_.value_bytes);
     cb(Status::OK());
     return Status::OK();
   }
-  // Device read.
+  // Device read on a pooled record (buffer capacity persists, so a
+  // settled read path allocates nothing).
   stats_.device_reads++;
-  auto buf = std::make_shared<std::vector<uint8_t>>(rec);
-  device_->ReadAsync(
-      addr, buf->data(), rec,
-      [this, key, value_out, buf, cb = std::move(cb)](Status st) {
-        if (!st.ok()) {
-          cb(st);
-          return;
-        }
-        uint64_t stored_key;
-        std::memcpy(&stored_key, buf->data(), 8);
-        if (stored_key != key) {
-          cb(Status::Internal("log record key mismatch"));
-          return;
-        }
-        std::memcpy(value_out, buf->data() + 8, options_.value_bytes);
-        if (read_cache_.enabled()) read_cache_.Insert(key, buf->data());
-        cb(Status::OK());
-      });
+  PendingRead* pr = read_pool_.Acquire();
+  pr->cb = std::move(cb);
+  pr->key = key;
+  pr->value_out = value_out;
+  pr->buf.resize(rec);
+  auto done = [this, pr](Status st) {
+    Status result = std::move(st);
+    if (result.ok()) {
+      uint64_t stored_key;
+      std::memcpy(&stored_key, pr->buf.data(), 8);
+      if (stored_key != pr->key) {
+        result = Status::Internal("log record key mismatch");
+      } else {
+        std::memcpy(pr->value_out, pr->buf.data() + 8, options_.value_bytes);
+        if (read_cache_.enabled()) read_cache_.Insert(pr->key, pr->buf.data());
+      }
+    }
+    // Release before firing: the callback may re-enter Read.
+    Callback done_cb = std::move(pr->cb);
+    pr->cb = Callback();
+    read_pool_.Release(pr);
+    done_cb(result);
+  };
+  static_assert(IDevice::Callback::fits_inline<decltype(done)>(),
+                "device read completion must not heap-allocate");
+  device_->ReadAsync(addr, pr->buf.data(), rec, done);
   return Status::OK();
 }
 
@@ -98,13 +118,14 @@ Status FasterKv::Upsert(uint64_t key, const void* value, Callback cb) {
     stats_.in_place_updates++;
     std::memcpy(MemFrame(existing) + 8, value, options_.value_bytes);
     if (read_cache_.enabled()) read_cache_.Invalidate(key);
-    pending_writes_.insert(existing);
-    device_->WriteAsync(existing, MemFrame(existing), rec,
-                        [this, existing, cb = std::move(cb)](Status st) {
-                          pending_writes_.erase(
-                              pending_writes_.find(existing));
-                          cb(st);
-                        });
+    pending_writes_.push_back(existing);
+    auto done = [this, existing, cb = std::move(cb)](Status st) mutable {
+      RetireWrite(existing);
+      cb(st);
+    };
+    static_assert(IDevice::Callback::fits_inline<decltype(done)>(),
+                  "device write completion must not heap-allocate");
+    device_->WriteAsync(existing, MemFrame(existing), rec, std::move(done));
     return Status::OK();
   }
 
@@ -121,12 +142,14 @@ Status FasterKv::Upsert(uint64_t key, const void* value, Callback cb) {
   std::memcpy(frame + 8, value, options_.value_bytes);
   index_.Upsert(key, addr);
   if (read_cache_.enabled()) read_cache_.Invalidate(key);
-  pending_writes_.insert(addr);
-  device_->WriteAsync(addr, frame, rec,
-                      [this, addr, cb = std::move(cb)](Status st) {
-                        pending_writes_.erase(pending_writes_.find(addr));
-                        cb(st);
-                      });
+  pending_writes_.push_back(addr);
+  auto done = [this, addr, cb = std::move(cb)](Status st) mutable {
+    RetireWrite(addr);
+    cb(st);
+  };
+  static_assert(IDevice::Callback::fits_inline<decltype(done)>(),
+                "device write completion must not heap-allocate");
+  device_->WriteAsync(addr, frame, rec, std::move(done));
   return Status::OK();
 }
 

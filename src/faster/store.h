@@ -2,11 +2,13 @@
 #define REDY_FASTER_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
-#include <set>
 #include <vector>
 
+#include "common/inline_callable.h"
 #include "common/result.h"
+#include "common/slab_pool.h"
 #include "faster/hash_index.h"
 #include "faster/idevice.h"
 #include "faster/read_cache.h"
@@ -48,7 +50,10 @@ class FasterKv {
     void Reset() { *this = Stats{}; }
   };
 
-  using Callback = std::function<void(Status)>;
+  /// Move-only, 64-byte inline budget: a store op fires exactly one of
+  /// these, and no steady-state caller needs a capture past 64 bytes
+  /// (DESIGN.md §10).
+  using Callback = common::InlineCallable<void(Status), 64>;
 
   FasterKv(sim::Simulation* sim, IDevice* device, Options options);
 
@@ -78,12 +83,24 @@ class FasterKv {
   IDevice* device() const { return device_; }
 
  private:
+  /// Pooled per-read state for device reads: the device callback
+  /// captures only {this, record*}; the frame buffer's capacity
+  /// persists across ops, so a settled read path never allocates.
+  struct PendingRead {
+    Callback cb;
+    uint64_t key = 0;
+    void* value_out = nullptr;
+    std::vector<uint8_t> buf;
+  };
+
   uint64_t MutableBoundary() const;
   uint8_t* MemFrame(uint64_t addr) {
     return &memory_[addr % memory_.size()];
   }
   /// Tries to free room for one record; false if blocked on flushes.
   bool EnsureRoom();
+  /// Removes one instance of `addr` from the in-flight write list.
+  void RetireWrite(uint64_t addr);
 
   sim::Simulation* sim_;
   IDevice* device_;
@@ -93,7 +110,12 @@ class FasterKv {
   std::vector<uint8_t> memory_;  // circular in-memory log window
   uint64_t tail_ = 0;
   uint64_t head_mem_ = 0;
-  std::multiset<uint64_t> pending_writes_;  // device writes in flight
+  /// Device writes in flight, unsorted. Bounded by the device queue, so
+  /// the min scan in EnsureRoom is short; insert is push_back and erase
+  /// is swap-pop — no node allocation per write (vs the old multiset).
+  std::vector<uint64_t> pending_writes_;
+  common::SlabPool<PendingRead> read_pool_;
+  std::vector<uint8_t> frame_scratch_;  // read-cache lookup staging
   Stats stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/slab_pool.h"
 #include "faster/idevice.h"
 
 namespace redy::faster {
@@ -13,6 +14,10 @@ namespace redy::faster {
 /// the higher tiers. Reads are serviced by the lowest tier that has the
 /// data; appends go to all tiers and are acknowledged once the
 /// *commit-point* tier (and everything below it) has applied them.
+///
+/// Write fan-out joins live in a slab pool so the per-tier callbacks
+/// capture only {this, join*, counted} and steady-state appends never
+/// allocate (DESIGN.md §10).
 class TieredDevice : public IDevice {
  public:
   /// `commit_point` is the index of the lowest tier whose completion
@@ -22,13 +27,13 @@ class TieredDevice : public IDevice {
       : tiers_(std::move(tiers)),
         commit_point_(commit_point < 0
                           ? static_cast<int>(tiers_.size()) - 1
-                          : commit_point) {}
+                          : commit_point),
+        reads_per_tier_(tiers_.size(), 0) {}
 
   void ReadAsync(uint64_t offset, void* dst, uint64_t len,
                  Callback cb) override {
     for (size_t i = 0; i < tiers_.size(); i++) {
       if (tiers_[i]->Covers(offset, len)) {
-        reads_per_tier_.resize(tiers_.size(), 0);
         reads_per_tier_[i]++;
         tiers_[i]->ReadAsync(offset, dst, len, std::move(cb));
         return;
@@ -42,21 +47,26 @@ class TieredDevice : public IDevice {
     // Fan the append out to every tier; acknowledge at the commit
     // point. Tiers above the commit point still receive the write but
     // their completion is not awaited.
-    struct Join {
-      Callback cb;
-      int remaining;
-      Status error;
-    };
-    auto join = std::make_shared<Join>();
+    Join* join = join_pool_.Acquire();
     join->cb = std::move(cb);
+    join->error = Status::OK();
     join->remaining = commit_point_ + 1;
     for (size_t i = 0; i < tiers_.size(); i++) {
       const bool counted = static_cast<int>(i) <= commit_point_;
-      tiers_[i]->WriteAsync(offset, src, len, [join, counted](Status s) {
+      auto tier_cb = [this, join, counted](Status s) {
         if (!counted) return;
         if (!s.ok() && join->error.ok()) join->error = s;
-        if (--join->remaining == 0) join->cb(join->error);
-      });
+        if (--join->remaining > 0) return;
+        // Release before firing: the callback may re-enter the device.
+        Callback done = std::move(join->cb);
+        const Status err = join->error;
+        join->cb = Callback();
+        join_pool_.Release(join);
+        if (done) done(err);
+      };
+      static_assert(Callback::fits_inline<decltype(tier_cb)>(),
+                    "tier write callback must not heap-allocate");
+      tiers_[i]->WriteAsync(offset, src, len, tier_cb);
     }
   }
 
@@ -78,9 +88,17 @@ class TieredDevice : public IDevice {
   }
 
  private:
+  /// Pooled write fan-out join (see class comment).
+  struct Join {
+    Callback cb;
+    Status error;
+    int remaining = 0;
+  };
+
   std::vector<IDevice*> tiers_;
   int commit_point_;
   std::vector<uint64_t> reads_per_tier_;
+  common::SlabPool<Join> join_pool_;
 };
 
 }  // namespace redy::faster

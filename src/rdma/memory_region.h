@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <cstring>
-#include <functional>
 #include <utility>
 #include <vector>
 
 #include "rdma/rdma.h"
+#include "sim/inline_function.h"
 
 namespace redy::rdma {
 
@@ -46,7 +46,7 @@ class MemoryRegion {
   /// simulator's stand-in for the cache-line snoop a busy-polling
   /// thread would observe. Work sources use it to Wake() parked
   /// pollers (DESIGN.md §9); it must not change simulated state.
-  void SetRemoteWriteNotifier(std::function<void()> fn) {
+  void SetRemoteWriteNotifier(sim::InlineFunction fn) {
     on_remote_write_ = std::move(fn);
   }
   void NotifyRemoteWrite() {
@@ -59,7 +59,7 @@ class MemoryRegion {
   uint32_t rkey_;
   bool valid_ = true;
   std::vector<uint8_t> data_;
-  std::function<void()> on_remote_write_;
+  sim::InlineFunction on_remote_write_;
 };
 
 }  // namespace redy::rdma

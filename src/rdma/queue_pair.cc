@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <memory>
 #include <vector>
 
 #include "common/logging.h"
@@ -14,7 +13,16 @@
 namespace redy::rdma {
 
 QueuePair::QueuePair(Nic* nic, uint32_t max_depth)
-    : nic_(nic), max_depth_(max_depth) {}
+    : nic_(nic), max_depth_(max_depth) {
+  // The sequencer window (sequenced-but-undelivered ops) is bounded by
+  // the queue depth: an op occupies its outstanding_ slot from post
+  // until its delivery event fires, and every undelivered seq still
+  // counts there. A power-of-two ring of that size replaces the old
+  // std::map node allocation per completion.
+  size_t cap = 16;
+  while (cap < max_depth_) cap <<= 1;
+  ready_.resize(cap);
+}
 
 telemetry::SpanTracer* QueuePair::ActiveTracer() const {
   telemetry::Telemetry* tel = nic_->fabric()->telemetry();
@@ -61,7 +69,12 @@ sim::SimTime QueuePair::IssueSlot(sim::SimTime earliest) {
 }
 
 void QueuePair::Complete(uint64_t seq, WorkCompletion wc, sim::SimTime t) {
-  ready_.emplace(seq, std::make_pair(wc, t));
+  REDY_CHECK(seq - next_deliver_seq_ < ready_.size());
+  ReadySlot& slot = ready_[seq & (ready_.size() - 1)];
+  REDY_CHECK(!slot.used);
+  slot.wc = wc;
+  slot.t = t;
+  slot.used = true;
   DeliverReady();
 }
 
@@ -70,10 +83,11 @@ void QueuePair::DeliverReady() {
   // simulated finish time precedes an earlier op's is held back and
   // delivered at the earlier op's time, exactly like an RC QP.
   while (true) {
-    auto it = ready_.find(next_deliver_seq_);
-    if (it == ready_.end()) return;
-    auto [wc, t] = it->second;
-    ready_.erase(it);
+    ReadySlot& slot = ready_[next_deliver_seq_ & (ready_.size() - 1)];
+    if (!slot.used) return;
+    WorkCompletion wc = slot.wc;
+    sim::SimTime t = slot.t;
+    slot.used = false;
     next_deliver_seq_++;
     t = std::max(t, last_completion_);
     // Injected gray failure: a stalled NIC (either endpoint) holds its
@@ -160,20 +174,25 @@ Status QueuePair::PostWrite(uint64_t wr_id, const MemoryRegion* mr,
   }
 
   // Inline payloads snapshot at post time (real NICs copy them into the
-  // WQE); non-inline payloads are fetched over PCIe at fetch_done.
-  auto payload = std::make_shared<std::vector<uint8_t>>();
+  // WQE); non-inline payloads are fetched over PCIe at fetch_done. The
+  // buffer comes from the per-QP pool and is released when the landing
+  // event consumes it (the fetch event precedes the landing event, so a
+  // raw pooled pointer needs no shared ownership).
+  std::vector<uint8_t>* payload = AcquirePayload();
   if (inlined) {
     payload->assign(mr->data() + local_offset,
                     mr->data() + local_offset + len);
   } else {
-    const uint8_t* src = mr->data() + local_offset;
-    sim->At(fetch_done, [payload, src, len] {
-      payload->assign(src, src + len);
-    });
+    const uint8_t* fetch_src = mr->data() + local_offset;
+    auto fetch = [payload, fetch_src, len] {
+      payload->assign(fetch_src, fetch_src + len);
+    };
+    static_assert(sim::InlineFunction::fits_inline<decltype(fetch)>(),
+                  "PCIe-fetch lambda must stay inline");
+    sim->At(fetch_done, std::move(fetch));
   }
 
-  sim->At(landed, [this, seq, wr_id, key, remote_offset, len, payload,
-                   doomed]() {
+  auto land = [this, seq, wr_id, key, doomed, remote_offset, len, payload]() {
     WorkCompletion wc{wr_id, Opcode::kWrite, StatusCode::kOk,
                       static_cast<uint32_t>(len), 0};
     if (doomed || broken_ || peer_ == nullptr || peer_->nic_->failed()) {
@@ -187,11 +206,15 @@ Status QueuePair::PostWrite(uint64_t wr_id, const MemoryRegion* mr,
         (*mr_or)->NotifyRemoteWrite();
       }
     }
+    ReleasePayload(payload);
     const sim::SimTime back =
         nic_->sim()->Now() +
         nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server());
     Complete(seq, wc, back);
-  });
+  };
+  static_assert(sim::InlineFunction::fits_inline<decltype(land)>(),
+                "write-landing lambda must stay inline");
+  sim->At(landed, std::move(land));
   return Status::OK();
 }
 
@@ -234,8 +257,22 @@ Status QueuePair::PostRead(uint64_t wr_id, MemoryRegion* mr,
     tr->AsyncEnd(tk, "req_wire", "wqe", span, req_wire_end);
   }
 
-  sim->At(req_arrive, [this, seq, wr_id, mr, local_offset, key, remote_offset,
-                       len, doomed, span]() {
+  // The responder-arrival stage needs more context than the scheduler's
+  // inline budget holds, so it travels as a pooled record and the event
+  // captures three words.
+  ReadOp* op = read_op_pool_.Acquire();
+  *op = ReadOp{wr_id, mr, local_offset, key, remote_offset, len, span, doomed};
+  auto arrive = [this, seq, op]() {
+    const uint64_t wr_id = op->wr_id;
+    MemoryRegion* mr = op->mr;
+    const uint64_t local_offset = op->local_offset;
+    const RemoteKey key = op->key;
+    const uint64_t remote_offset = op->remote_offset;
+    const uint64_t len = op->len;
+    const uint64_t span = op->span;
+    const bool doomed = op->doomed;
+    read_op_pool_.Release(op);
+
     const net::FabricParams& p = nic_->params();
     sim::Simulation* sim = nic_->sim();
     WorkCompletion wc{wr_id, Opcode::kRead, StatusCode::kOk,
@@ -263,8 +300,9 @@ Status QueuePair::PostRead(uint64_t wr_id, MemoryRegion* mr,
     }
     // Responder NIC fetches the data over PCIe, then serializes the
     // response on its own transmit link.
-    std::vector<uint8_t> payload((*mr_or)->data() + remote_offset,
-                                 (*mr_or)->data() + remote_offset + len);
+    std::vector<uint8_t>* payload = AcquirePayload();
+    payload->assign((*mr_or)->data() + remote_offset,
+                    (*mr_or)->data() + remote_offset + len);
     FaultHooks* hooks = nic_->fabric()->fault_hooks();
     const uint64_t resp_extra =
         hooks == nullptr
@@ -285,16 +323,24 @@ Status QueuePair::PostRead(uint64_t wr_id, MemoryRegion* mr,
         tr->AsyncEnd(tk, "read", "wqe", span, landed);
       }
     }
-    sim->At(landed, [this, seq, wc, mr, local_offset, len,
-                     payload = std::move(payload)]() mutable {
+    auto land = [this, seq, wr_id, mr, local_offset, len, payload]() {
+      WorkCompletion wc{wr_id, Opcode::kRead, StatusCode::kOk,
+                        static_cast<uint32_t>(len), 0};
       if (broken_) {
         wc.status = StatusCode::kUnavailable;
       } else {
-        std::memcpy(mr->data() + local_offset, payload.data(), len);
+        std::memcpy(mr->data() + local_offset, payload->data(), len);
       }
+      ReleasePayload(payload);
       Complete(seq, wc, nic_->sim()->Now());
-    });
-  });
+    };
+    static_assert(sim::InlineFunction::fits_inline<decltype(land)>(),
+                  "read-landing lambda must stay inline");
+    sim->At(landed, std::move(land));
+  };
+  static_assert(sim::InlineFunction::fits_inline<decltype(arrive)>(),
+                "read responder-arrival lambda must stay inline");
+  sim->At(req_arrive, std::move(arrive));
   return Status::OK();
 }
 
@@ -339,42 +385,42 @@ Status QueuePair::PostSend(uint64_t wr_id, const MemoryRegion* mr,
     tr->AsyncEnd(tk, "wire", "wqe", span, wire_end);
     tr->AsyncEnd(tk, "send", "wqe", span, landed);
   }
-  std::vector<uint8_t> payload(mr->data() + local_offset,
-                               mr->data() + local_offset + len);
+  std::vector<uint8_t>* payload = AcquirePayload();
+  payload->assign(mr->data() + local_offset, mr->data() + local_offset + len);
 
-  sim->At(landed, [this, seq, wr_id, len, payload = std::move(payload),
-                   doomed]() {
+  auto land = [this, seq, wr_id, len, payload, doomed]() {
     WorkCompletion wc{wr_id, Opcode::kSend, StatusCode::kOk,
                       static_cast<uint32_t>(len), 0};
+    sim::SimTime back = nic_->sim()->Now();
     if (doomed || broken_ || peer_ == nullptr || peer_->nic_->failed()) {
       wc.status = StatusCode::kUnavailable;
-      Complete(seq, wc, nic_->sim()->Now());
-      return;
+    } else {
+      back +=
+          nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server());
+      if (peer_->posted_recvs_.empty()) {
+        // Receiver-not-ready: a real RC QP would retry; the Redy
+        // protocol pre-posts receives, so treat it as an error.
+        wc.status = StatusCode::kFailedPrecondition;
+      } else {
+        PostedRecv rv = peer_->posted_recvs_.front();
+        peer_->posted_recvs_.pop_front();
+        if (rv.capacity < len) {
+          wc.status = StatusCode::kOutOfRange;
+        } else {
+          std::memcpy(rv.mr->data() + rv.offset, payload->data(), len);
+          rv.mr->NotifyRemoteWrite();
+          WorkCompletion rwc{rv.wr_id, Opcode::kRecv, StatusCode::kOk,
+                             static_cast<uint32_t>(len), nic_->sim()->Now()};
+          peer_->recv_cq_.Push(rwc);
+        }
+      }
     }
-    const sim::SimTime back =
-        nic_->sim()->Now() +
-        nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server());
-    if (peer_->posted_recvs_.empty()) {
-      // Receiver-not-ready: a real RC QP would retry; the Redy protocol
-      // pre-posts receives, so treat it as an error.
-      wc.status = StatusCode::kFailedPrecondition;
-      Complete(seq, wc, back);
-      return;
-    }
-    PostedRecv rv = peer_->posted_recvs_.front();
-    peer_->posted_recvs_.pop_front();
-    if (rv.capacity < len) {
-      wc.status = StatusCode::kOutOfRange;
-      Complete(seq, wc, back);
-      return;
-    }
-    std::memcpy(rv.mr->data() + rv.offset, payload.data(), len);
-    rv.mr->NotifyRemoteWrite();
-    WorkCompletion rwc{rv.wr_id, Opcode::kRecv, StatusCode::kOk,
-                       static_cast<uint32_t>(len), nic_->sim()->Now()};
-    peer_->recv_cq_.Push(rwc);
+    ReleasePayload(payload);
     Complete(seq, wc, back);
-  });
+  };
+  static_assert(sim::InlineFunction::fits_inline<decltype(land)>(),
+                "send-landing lambda must stay inline");
+  sim->At(landed, std::move(land));
   return Status::OK();
 }
 
@@ -393,6 +439,12 @@ void QueuePair::Break() {
   broken_ = true;
   // In-flight operations observe broken_ when their events fire and
   // complete with kUnavailable, so outstanding_ drains naturally.
+  //
+  // Ring the send-CQ doorbell (without enqueueing anything): a poller
+  // parked while waiting only on a remote response has no pending send
+  // event to wake it, and this is the simulator's stand-in for the
+  // async error event a real NIC raises on the QP error transition.
+  send_cq_.Notify();
 }
 
 }  // namespace redy::rdma

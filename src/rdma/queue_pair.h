@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <utility>
 #include <vector>
 
+#include "common/slab_pool.h"
 #include "common/status.h"
 #include "rdma/completion_queue.h"
 #include "rdma/memory_region.h"
@@ -25,6 +25,12 @@ class Nic;
 /// loss or duplication (Section 4.1). The simulator enforces in-order
 /// completion delivery per QP and a bounded number of in-flight
 /// operations (the queue depth).
+///
+/// The data path is allocation-free at steady state: payload snapshots
+/// come from a per-QP buffer pool (capacity persists across ops), the
+/// completion sequencer is a fixed ring sized by the queue depth, and
+/// every event lambda is static_assert'd to fit the scheduler's inline
+/// capture budget (DESIGN.md §10).
 class QueuePair {
  public:
   QueuePair(Nic* nic, uint32_t max_depth);
@@ -88,6 +94,32 @@ class QueuePair {
     uint64_t capacity;
   };
 
+  /// One slot of the in-order completion sequencer. The window of
+  /// sequenced-but-undelivered ops is bounded by the queue depth (an op
+  /// holds its outstanding_ slot until its delivery event fires), so a
+  /// fixed power-of-two ring indexed by `seq & mask` replaces the old
+  /// std::map and its node allocation per completion.
+  struct ReadySlot {
+    WorkCompletion wc;
+    sim::SimTime t = 0;
+    bool used = false;
+  };
+
+  /// Pooled per-read state: the responder-arrival lambda needs nine
+  /// fields of context, which would overflow the scheduler's inline
+  /// capture budget and silently heap-allocate. Pooling the record keeps
+  /// the capture at {this, seq, op*}.
+  struct ReadOp {
+    uint64_t wr_id;
+    MemoryRegion* mr;
+    uint64_t local_offset;
+    RemoteKey key;
+    uint64_t remote_offset;
+    uint64_t len;
+    uint64_t span;
+    bool doomed;
+  };
+
   Status CheckPostable() const;
   /// Reserves the NIC issue slot honoring the per-QP WQE rate cap.
   sim::SimTime IssueSlot(sim::SimTime earliest);
@@ -96,6 +128,10 @@ class QueuePair {
   /// reliable-connected QP does.
   void Complete(uint64_t seq, WorkCompletion wc, sim::SimTime t);
   void DeliverReady();
+  /// Borrows/returns a payload snapshot buffer. Buffer capacity persists
+  /// across ops, so a settled workload snapshots without allocating.
+  std::vector<uint8_t>* AcquirePayload() { return payload_pool_.Acquire(); }
+  void ReleasePayload(std::vector<uint8_t>* p) { payload_pool_.Release(p); }
   /// The fabric's span tracer when telemetry is installed and tracing
   /// is enabled; nullptr otherwise (the common, zero-cost case).
   telemetry::SpanTracer* ActiveTracer() const;
@@ -111,7 +147,9 @@ class QueuePair {
   sim::SimTime last_completion_ = 0;
   uint64_t next_post_seq_ = 0;
   uint64_t next_deliver_seq_ = 0;
-  std::map<uint64_t, std::pair<WorkCompletion, sim::SimTime>> ready_;
+  std::vector<ReadySlot> ready_;  // power-of-two ring, see ReadySlot
+  common::SlabPool<std::vector<uint8_t>> payload_pool_;
+  common::SlabPool<ReadOp> read_op_pool_;
   CompletionQueue send_cq_;
   CompletionQueue recv_cq_;
   std::deque<PostedRecv> posted_recvs_;

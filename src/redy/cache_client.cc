@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "sim/inline_function.h"
 
 namespace redy {
 
@@ -160,11 +161,18 @@ void CacheClient::ReleaseConnection(Connection& conn) {
   if (conn.onesided_ring != nullptr) {
     nic_->DeregisterMemory(conn.onesided_ring);
   }
-  for (auto& [wr, mr] : conn.transient_mrs) nic_->DeregisterMemory(mr);
+  // FlatMap traversal is hash-ordered; deregister in wr-id order so
+  // teardown stays deterministic regardless of table layout.
+  std::vector<std::pair<uint64_t, rdma::MemoryRegion*>> mrs;
+  conn.transient_mrs.ForEach([&](uint64_t wr, rdma::MemoryRegion* mr) {
+    mrs.emplace_back(wr, mr);
+  });
+  std::sort(mrs.begin(), mrs.end());
+  for (auto& [wr, mr] : mrs) nic_->DeregisterMemory(mr);
   conn.req_staging = nullptr;
   conn.resp_ring = nullptr;
   conn.onesided_ring = nullptr;
-  conn.transient_mrs.clear();
+  conn.transient_mrs.Clear();
 }
 
 void CacheClient::DropConnections(CacheEntry& cache, cluster::VmId vm) {
@@ -247,13 +255,17 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
     return Status::ResourceExhausted("client thread batch ring full");
   }
 
-  auto state = std::make_shared<OpState>();
+  // Borrow a pooled op record; recycled fields are reinitialized here
+  // (gen is monotonic and deliberately left alone).
+  OpState* state = op_pool_.Acquire();
   state->cb = std::move(cb);
   state->remaining = total_pieces;
+  state->error = Status::OK();
   state->start = sim_->Now();
   state->is_read = (op == OpCode::kRead);
   state->bytes = size;
   state->cache = cache;
+  state->span = 0;
   if (telemetry::SpanTracer* tr = ActiveTracer()) {
     state->span = tr->NextId();
     tr->AsyncBegin(CacheTrack(*cache, *tr),
@@ -277,6 +289,7 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
     sub.dst = d;
     sub.src = s;
     sub.state = state;
+    sub.state_gen = state->gen;
     sub.thread = thread.index;
     if (duplicate) {
       SubOp twin = sub;
@@ -319,12 +332,13 @@ uint64_t CacheClient::PollThread(CacheEntry& cache, ClientThread& thread) {
     }
     if (options_.sub_op_timeout_ns == 0) continue;
     uint64_t expired = 0;
-    for (const auto& [wr, op] : conn->onesided_ops) {
+    conn->onesided_ops.ForEach([&](uint64_t, const SubOp& op) {
       if (op.issued_at + options_.sub_op_timeout_ns <= now) expired++;
-    }
-    for (const auto& slot_ops : conn->slots) {
-      for (const SubOp& op : slot_ops) {
-        if (op.issued_at + options_.sub_op_timeout_ns <= now) expired++;
+    });
+    for (uint32_t s = 0; s < conn->slot_count.size(); s++) {
+      const SubOp* ops = conn->slot_arena.data() + s * conn->slot_stride;
+      for (uint32_t i = 0; i < conn->slot_count[s]; i++) {
+        if (ops[i].issued_at + options_.sub_op_timeout_ns <= now) expired++;
       }
     }
     if (expired > 0) {
@@ -386,12 +400,18 @@ uint64_t CacheClient::PollThread(CacheEntry& cache, ClientThread& thread) {
     thread.idle_streak++;
     if (options_.costs.park_idle_pollers &&
         options_.costs.numa_affinitized) {
-      // Park once the thread has been provably quiet for a while and
-      // has nothing in flight (so every arrival path wakes it). The
-      // first park_after_idle_polls sweeps stay at full rate, so
-      // latency under any active load is unaffected.
-      if (thread.idle_streak >= options_.costs.park_after_idle_polls &&
-          ThreadFullyIdle(thread)) {
+      // Park when every way work can reach this thread is wired to
+      // Wake() it: submissions and replays wake explicitly, one-sided
+      // completions land on the notifier-wired send CQ, two-sided
+      // responses land on the notifier-wired response ring, and a QP
+      // error rings the send-CQ doorbell. A thread waiting out an op's
+      // RTT otherwise burns ~RTT/poll_interval empty sweeps per op,
+      // which dominates data-path wall clock. Timeout-armed configs
+      // only park once provably quiet for a while with nothing in
+      // flight, because sub-op expiry is observed by the sweep itself.
+      if (ThreadWaitingOnRemote(thread) ||
+          (thread.idle_streak >= options_.costs.park_after_idle_polls &&
+           ThreadFullyIdle(thread))) {
         thread.poller->Park();
       }
     } else {
@@ -406,6 +426,26 @@ uint64_t CacheClient::PollThread(CacheEntry& cache, ClientThread& thread) {
     thread.idle_streak = 0;
   }
   return consumed;
+}
+
+bool CacheClient::ThreadWaitingOnRemote(const ClientThread& thread) const {
+  // Sub-op expiry is detected by the polling sweep, not by an event,
+  // so any armed timeout requires the cadence.
+  if (options_.sub_op_timeout_ns != 0) return false;
+  if (!thread.ring->Empty() || !thread.replay.empty() ||
+      !thread.delayed.empty()) {
+    return false;
+  }
+  for (const auto& [vm, conn] : thread.conns) {
+    // A broken QP is torn down by the resilience sweep; an unflushed
+    // batch or undrained completion is local work. In-flight remote
+    // ops are fine: their terminal events (send-CQ push, response-ring
+    // landing, error doorbell) all wake this thread.
+    if (conn->qp == nullptr || conn->qp->broken()) return false;
+    if (!conn->current.empty()) return false;
+    if (!conn->qp->send_cq().Empty()) return false;
+  }
+  return true;
 }
 
 bool CacheClient::ThreadFullyIdle(const ClientThread& thread) {
@@ -439,19 +479,19 @@ uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
     const uint64_t kind = wc.wr_id & kWrKindMask;
     const uint64_t id = wc.wr_id & kWrIdMask;
     if (kind == kWrKindOneSided) {
-      auto it = conn.onesided_ops.find(id);
-      if (it == conn.onesided_ops.end()) continue;
-      SubOp op = std::move(it->second);
-      conn.onesided_ops.erase(it);
+      // Single-probe consume of the in-flight record (find+erase fused).
+      SubOp op;
+      if (!conn.onesided_ops.Take(id, &op)) continue;
+      rdma::MemoryRegion* transient = nullptr;
+      conn.transient_mrs.Take(id, &transient);
       Status st = wc.status == StatusCode::kOk
                       ? Status::OK()
                       : Status(wc.status, "one-sided op failed");
       if (st.ok() && op.op == OpCode::kRead) {
         // Copy from the staging slot (or transient buffer) to the app.
         const uint8_t* payload = nullptr;
-        auto tr = conn.transient_mrs.find(id);
-        if (tr != conn.transient_mrs.end()) {
-          payload = tr->second->data();
+        if (transient != nullptr) {
+          payload = transient->data();
         } else if (op.staging_slot != UINT32_MAX) {
           payload = conn.onesided_ring->data() +
                     op.staging_slot * options_.one_sided_slot_bytes;
@@ -465,11 +505,7 @@ uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
       } else {
         consumed += options_.costs.response_handle_ns;
       }
-      auto tr = conn.transient_mrs.find(id);
-      if (tr != conn.transient_mrs.end()) {
-        nic_->DeregisterMemory(tr->second);
-        conn.transient_mrs.erase(tr);
-      }
+      if (transient != nullptr) nic_->DeregisterMemory(transient);
       if (op.staging_slot != UINT32_MAX) {
         conn.onesided_slot_busy[op.staging_slot] = false;
       }
@@ -480,12 +516,13 @@ uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
       // The request batch never reached the server: fail its ops.
       const uint64_t seq = id;
       const uint32_t slot = static_cast<uint32_t>((seq - 1) % cache.cfg.q);
-      if (slot < conn.slots.size() && !conn.slots[slot].empty()) {
-        std::vector<SubOp> ops = std::move(conn.slots[slot]);
-        conn.slots[slot].clear();
+      if (slot < conn.slot_count.size() && conn.slot_count[slot] > 0) {
+        const uint32_t n = conn.slot_count[slot];
+        conn.slot_count[slot] = 0;
+        SubOp* ops = conn.slot_arena.data() + slot * conn.slot_stride;
         if (conn.inflight_batches > 0) conn.inflight_batches--;
-        for (SubOp& op : ops) {
-          FinishSubOp(cache, thread, op,
+        for (uint32_t i = 0; i < n; i++) {
+          FinishSubOp(cache, thread, ops[i],
                       Status(wc.status, "request batch failed"));
         }
       }
@@ -506,10 +543,12 @@ uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
     std::memcpy(&hdr, base, sizeof(hdr));
     if (hdr.seq != conn.next_resp) break;
 
-    std::vector<SubOp>& ops = conn.slots[slot];
-    REDY_CHECK(ops.size() == hdr.count);
+    const uint32_t count = conn.slot_count[slot];
+    REDY_CHECK(count == hdr.count);
+    SubOp* ops = conn.slot_arena.data() + slot * conn.slot_stride;
     const uint8_t* p = base + sizeof(BatchHeader);
-    for (SubOp& op : ops) {
+    for (uint32_t i = 0; i < count; i++) {
+      SubOp& op = ops[i];
       ResponseHeader rh;
       std::memcpy(&rh, p, sizeof(rh));
       p += sizeof(rh);
@@ -527,7 +566,7 @@ uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
       cache.ctr.batched_ops->Inc();
       FinishSubOp(cache, thread, op, st);
     }
-    ops.clear();
+    conn.slot_count[slot] = 0;
     // Clear the header so a stale seq can never confuse a later lap.
     BatchHeader zero;
     std::memcpy(base, &zero, sizeof(zero));
@@ -592,9 +631,8 @@ uint64_t CacheClient::DrainSubmissions(CacheEntry& cache,
     // another reset cycle.
     if (options_.hedge_reads_to_replica && op.op == OpCode::kRead &&
         !op.to_replica && vr.replica.has_value()) {
-      auto h = thread.vm_health.find(vr.placement.vm_id);
-      if (h != thread.vm_health.end() &&
-          h->second >= options_.unhealthy_after) {
+      const uint32_t* h = thread.vm_health.Find(vr.placement.vm_id);
+      if (h != nullptr && *h >= options_.unhealthy_after) {
         op.to_replica = true;
         cache.ctr.hedged_to_replica->Inc();
         if (telemetry::SpanTracer* tr = ActiveTracer()) {
@@ -700,7 +738,7 @@ uint64_t CacheClient::IssueOneSided(CacheEntry& cache, ClientThread& thread,
     staging_off = slot * options_.one_sided_slot_bytes;
   } else {
     staging = nic_->RegisterMemory(op->len);
-    conn.transient_mrs[wr] = staging;
+    conn.transient_mrs.Insert(wr, staging);
   }
 
   Status st;
@@ -725,10 +763,9 @@ uint64_t CacheClient::IssueOneSided(CacheEntry& cache, ClientThread& thread,
       conn.onesided_slot_busy[op->staging_slot] = false;
       op->staging_slot = UINT32_MAX;
     }
-    auto tr = conn.transient_mrs.find(wr);
-    if (tr != conn.transient_mrs.end()) {
-      nic_->DeregisterMemory(tr->second);
-      conn.transient_mrs.erase(tr);
+    rdma::MemoryRegion* transient = nullptr;
+    if (conn.transient_mrs.Take(wr, &transient)) {
+      nic_->DeregisterMemory(transient);
     }
     if (st.IsResourceExhausted()) return consumed;  // retry later
     FinishSubOp(cache, thread, *op, st);
@@ -738,7 +775,8 @@ uint64_t CacheClient::IssueOneSided(CacheEntry& cache, ClientThread& thread,
   cache.regions[op->vregion].inflight_subops++;
   op->issued = true;
   op->issued_at = sim_->Now();
-  conn.onesided_ops.emplace(wr, std::move(*op));
+  conn.onesided_ops.Insert(wr, *op);
+  op->state = nullptr;  // ownership moved to the in-flight table
   *issued = true;
   return consumed;
 }
@@ -851,13 +889,19 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
     op.issued = true;
     op.issued_at = sim_->Now();
   }
-  conn.slots[slot] = std::move(conn.current);
+  // Bump-copy the batch into its fixed-stride arena slot: SubOps are
+  // trivially copyable, so this is one memcpy-class move with no
+  // per-flush vector churn.
+  REDY_CHECK(conn.current.size() <= conn.slot_stride);
+  conn.slot_count[slot] = static_cast<uint32_t>(conn.current.size());
+  std::copy(conn.current.begin(), conn.current.end(),
+            conn.slot_arena.data() + slot * conn.slot_stride);
   conn.current.clear();
   conn.inflight_batches++;
   conn.next_seq++;
   if (telemetry::SpanTracer* tr = ActiveTracer()) {
     tr->Instant(CacheTrack(cache, *tr), "batch_flush", "op", sim_->Now(),
-                {"ops", conn.slots[slot].size()}, {"bytes", off});
+                {"ops", conn.slot_count[slot]}, {"bytes", off});
   }
   *flushed = true;
   return consumed;
@@ -881,17 +925,29 @@ Result<CacheClient::Connection*> CacheClient::EnsureConnection(
   conn->qp = nic_->CreateQueuePair(
       std::max<uint32_t>(cache.cfg.q, 2));  // room for response writes
   REDY_RETURN_IF_ERROR(conn->qp->Connect(info.server_qp));
-  conn->slots.resize(cache.cfg.q);
+  // Data-path convention (DESIGN.md §10): in-flight tables are reserved
+  // at several times the connection's depth bound, so steady-state
+  // occupancy stays low, probe loops exit on their first predictable
+  // branch, and the tables never rehash on the data path.
+  conn->onesided_ops.Reserve(4 * cache.cfg.q);
+  conn->transient_mrs.Reserve(4 * cache.cfg.q);
+  conn->current.reserve(cache.cfg.b);
 
   // Completions and landed responses are what this busy-polling thread
   // snoops for; have them wake its poller if parked. Captures ids, not
   // pointers: the lambdas outlive any one connection or cache.
   const CacheId wake_id = cache.id;
   const uint32_t wake_thread = thread.index;
-  conn->qp->send_cq().SetNotifier(
-      [this, wake_id, wake_thread] { WakeThread(wake_id, wake_thread); });
+  auto wake = [this, wake_id, wake_thread] { WakeThread(wake_id, wake_thread); };
+  static_assert(sim::InlineFunction::fits_inline<decltype(wake)>(),
+                "poller wake notifier must stay inline");
+  conn->qp->send_cq().SetNotifier(wake);
 
   if (cache.cfg.s > 0) {
+    // Preallocate the batch arena: q slots of stride b.
+    conn->slot_stride = cache.cfg.b;
+    conn->slot_arena.resize(static_cast<size_t>(cache.cfg.q) * cache.cfg.b);
+    conn->slot_count.assign(cache.cfg.q, 0);
     conn->req_ring_key = info.request_ring_key;
     conn->req_slot_bytes = info.request_slot_bytes;
     conn->req_staging =
@@ -900,8 +956,7 @@ Result<CacheClient::Connection*> CacheClient::EnsureConnection(
         ResponseSlotBytes(cache.cfg.b, cache.record_bytes);
     conn->resp_ring =
         nic_->RegisterMemory(conn->resp_slot_bytes * cache.cfg.q);
-    conn->resp_ring->SetRemoteWriteNotifier(
-        [this, wake_id, wake_thread] { WakeThread(wake_id, wake_thread); });
+    conn->resp_ring->SetRemoteWriteNotifier(wake);
     REDY_RETURN_IF_ERROR(server->SetResponseRing(
         conn->conn_index, conn->resp_ring->remote_key(),
         conn->resp_slot_bytes));
@@ -916,6 +971,12 @@ void CacheClient::CompleteSubOp(CacheEntry& cache, SubOp& op,
                                 const Status& status) {
   if (op.state == nullptr) return;
   OpState& state = *op.state;
+  if (state.gen != op.state_gen) {
+    // Stale copy: the op this SubOp belonged to already completed and
+    // its record was recycled. Nothing to do.
+    op.state = nullptr;
+    return;
+  }
   if (!status.ok() && state.error.ok()) state.error = status;
   // Sub-ops counted against their region at issue time are released
   // here; ops that failed before issue (e.g. a broken connection at
@@ -953,20 +1014,30 @@ void CacheClient::CompleteSubOp(CacheEntry& cache, SubOp& op,
     REDY_CHECK(cache.inflight_ops > 0);
     cache.inflight_ops--;
     cache.ctr.inflight->Set(static_cast<int64_t>(cache.inflight_ops));
-    if (state.cb) state.cb(state.error);
+    // Release the record before firing the callback: the callback may
+    // re-enter Submit (and reuse the slot) or delete the cache. The
+    // generation bump invalidates any stale SubOp copies first.
+    Callback cb = std::move(state.cb);
+    const Status err = state.error;
+    state.cb = Callback();
+    state.gen++;
+    op_pool_.Release(op.state);
+    op.state = nullptr;
+    if (cb) cb(err);
+    return;
   }
-  op.state.reset();
+  op.state = nullptr;
 }
 
 void CacheClient::FinishSubOp(CacheEntry& cache, ClientThread& thread,
                               SubOp& op, const Status& status) {
-  if (status.ok() && op.state != nullptr) {
+  if (status.ok() && op.state != nullptr && op.state->gen == op.state_gen) {
     // A success clears the target VM's health record.
     const VRegion& vr = cache.regions[op.vregion];
     const cluster::VmId vm = op.to_replica && vr.replica.has_value()
                                  ? vr.replica->vm_id
                                  : vr.placement.vm_id;
-    thread.vm_health.erase(vm);
+    thread.vm_health.Erase(vm);
   }
   if (MaybeRetry(cache, thread, op, status)) return;
   CompleteSubOp(cache, op, status);
@@ -974,7 +1045,10 @@ void CacheClient::FinishSubOp(CacheEntry& cache, ClientThread& thread,
 
 bool CacheClient::MaybeRetry(CacheEntry& cache, ClientThread& thread,
                              SubOp& op, const Status& status) {
-  if (status.ok() || cache.deleted || op.state == nullptr) return false;
+  if (status.ok() || cache.deleted || op.state == nullptr ||
+      op.state->gen != op.state_gen) {
+    return false;
+  }
   if (op.attempts >= options_.max_retries) return false;
   // Only transport-level failures are retryable: the op may simply not
   // have reached (or returned from) the server. Server rejections
@@ -1028,13 +1102,26 @@ uint64_t CacheClient::ResetConnection(CacheEntry& cache, ClientThread& thread,
   // break cancels in-flight remote effects (their landed handlers
   // observe broken_), so a retried write can never race its own ghost.
   std::vector<SubOp> inflight;
-  for (auto& [wr, op] : conn.onesided_ops) inflight.push_back(std::move(op));
-  conn.onesided_ops.clear();
-  for (auto& slot_ops : conn.slots) {
-    for (SubOp& op : slot_ops) inflight.push_back(std::move(op));
-    slot_ops.clear();
+  {
+    // FlatMap iteration order depends on table history; sort by wr-id so
+    // the failure callbacks fire in post order (determinism).
+    std::vector<std::pair<uint64_t, SubOp>> onesided;
+    conn.onesided_ops.ForEach([&](uint64_t wr, const SubOp& op) {
+      onesided.emplace_back(wr, op);
+    });
+    std::sort(onesided.begin(), onesided.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    conn.onesided_ops.Clear();
+    for (auto& [wr, op] : onesided) inflight.push_back(op);
   }
-  for (SubOp& op : conn.current) inflight.push_back(std::move(op));
+  for (size_t s = 0; s < conn.slot_count.size(); s++) {
+    SubOp* ops = conn.slot_arena.data() + s * conn.slot_stride;
+    for (uint32_t i = 0; i < conn.slot_count[s]; i++) {
+      inflight.push_back(ops[i]);
+    }
+    conn.slot_count[s] = 0;
+  }
+  for (SubOp& op : conn.current) inflight.push_back(op);
   conn.current.clear();
   conn.inflight_batches = 0;
   ReleaseConnection(conn);
@@ -1062,22 +1149,32 @@ void CacheClient::FailAllPending(CacheEntry& cache, const Status& status) {
       if (!op.has_value()) break;
       CompleteSubOp(cache, *op, status);
     }
-    for (SubOp& op : t->replay) CompleteSubOp(cache, op, status);
+    for (size_t i = 0; i < t->replay.size(); i++) {
+      CompleteSubOp(cache, t->replay[i], status);
+    }
     t->replay.clear();
     for (DelayedOp& d : t->delayed) CompleteSubOp(cache, d.op, status);
     t->delayed.clear();
     for (auto& [vm, conn] : t->conns) {
       for (SubOp& op : conn->current) CompleteSubOp(cache, op, status);
       conn->current.clear();
-      for (auto& slot_ops : conn->slots) {
-        for (SubOp& op : slot_ops) CompleteSubOp(cache, op, status);
-        slot_ops.clear();
+      for (size_t s = 0; s < conn->slot_count.size(); s++) {
+        SubOp* ops = conn->slot_arena.data() + s * conn->slot_stride;
+        const uint32_t n = conn->slot_count[s];
+        conn->slot_count[s] = 0;
+        for (uint32_t i = 0; i < n; i++) CompleteSubOp(cache, ops[i], status);
       }
       conn->inflight_batches = 0;
-      for (auto& [wr, op] : conn->onesided_ops) {
-        CompleteSubOp(cache, op, status);
-      }
-      conn->onesided_ops.clear();
+      // Sort by wr-id: FlatMap iteration order is not the insertion
+      // order, and callback firing order must be deterministic.
+      std::vector<std::pair<uint64_t, SubOp>> onesided;
+      conn->onesided_ops.ForEach([&](uint64_t wr, const SubOp& op) {
+        onesided.emplace_back(wr, op);
+      });
+      std::sort(onesided.begin(), onesided.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      conn->onesided_ops.Clear();
+      for (auto& [wr, op] : onesided) CompleteSubOp(cache, op, status);
     }
   }
   for (VRegion& vr : cache.regions) {

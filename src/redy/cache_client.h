@@ -10,10 +10,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/histogram.h"
+#include "common/inline_callable.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/slab_pool.h"
 #include "common/units.h"
+#include "common/vec_deque.h"
 #include "redy/cache_manager.h"
 #include "redy/cache_server.h"
 #include "redy/config.h"
@@ -35,7 +39,11 @@ namespace redy {
 class CacheClient {
  public:
   using CacheId = uint64_t;
-  using Callback = std::function<void(Status)>;
+  /// Completion callback of one Read/Write. A small-buffer callable
+  /// instead of std::function: the data path runs one per op, and the
+  /// hot callers' captures (a pointer and a few scalars) fit inline, so
+  /// steady state allocates nothing (DESIGN.md §10). Move-only.
+  using Callback = common::InlineCallable<void(Status), 64>;
 
   struct Options {
     /// Physical region size (1 GB in the paper; smaller by default here
@@ -298,10 +306,15 @@ class CacheClient {
   struct ClientThread;
 
   /// Aggregated state of one user-level Read/Write (may fan out into
-  /// several sub-operations across region boundaries).
+  /// several sub-operations across region boundaries). Records live in
+  /// the client's slab pool and are recycled, not freed: Submit borrows
+  /// one, the last completing sub-op returns it. The generation counter
+  /// survives recycling and stamps every SubOp referencing the record,
+  /// so a stale sub-op copy can never act on a recycled op.
   struct OpState {
     Callback cb;
     uint32_t remaining = 0;
+    uint32_t gen = 0;
     Status error;  // first failure, if any
     sim::SimTime start = 0;
     bool is_read = false;
@@ -320,7 +333,11 @@ class CacheClient {
     uint32_t len = 0;
     uint8_t* dst = nullptr;        // reads
     const uint8_t* src = nullptr;  // writes
-    std::shared_ptr<OpState> state;
+    /// Pooled parent op + the generation it was borrowed under. A
+    /// mismatch marks this SubOp as a stale copy of an op that already
+    /// completed; CompleteSubOp ignores it.
+    OpState* state = nullptr;
+    uint32_t state_gen = 0;
     uint32_t thread = 0;                 // owning client thread
     uint32_t staging_slot = UINT32_MAX;  // one-sided staging slot in use
     bool issued = false;  // counted in its region's inflight_subops
@@ -328,6 +345,11 @@ class CacheClient {
     uint32_t attempts = 0;        // completed (failed) issue attempts
     sim::SimTime issued_at = 0;   // deadline base, set at issue
   };
+  // SubOps are staged in rings, arenas and flat maps by value; keeping
+  // them trivially copyable makes every such move a memcpy and lets the
+  // batch arena live as one contiguous allocation.
+  static_assert(std::is_trivially_copyable_v<SubOp>,
+                "SubOp must stay trivially copyable (data-path arenas)");
 
   /// A virtual region and its current placement + pause state.
   struct VRegion {
@@ -358,12 +380,24 @@ class CacheClient {
     uint64_t next_seq = 1;
     uint64_t next_resp = 1;
     uint32_t inflight_batches = 0;
-    std::vector<std::vector<SubOp>> slots;  // q outstanding batches
+    /// The q outstanding batches, staged in one preallocated arena of
+    /// fixed stride b (slot i's ops live at [i*b, i*b + slot_count[i])).
+    /// Flushing bump-copies the accumulated batch in; completion walks
+    /// the slot in place. Replaces a vector-of-vectors whose inner
+    /// vectors reallocated on every flush.
+    std::vector<SubOp> slot_arena;
+    std::vector<uint32_t> slot_count;
+    uint32_t slot_stride = 0;
     // One-sided state.
     rdma::MemoryRegion* onesided_ring = nullptr;
     std::vector<bool> onesided_slot_busy;
-    std::unordered_map<uint64_t, SubOp> onesided_ops;
-    std::unordered_map<uint64_t, rdma::MemoryRegion*> transient_mrs;
+    /// In-flight one-sided ops by wr-id. Reserved at several times the
+    /// queue depth so steady-state occupancy stays low and probe loops
+    /// exit on their first, predictable branch (DESIGN.md §10). Not
+    /// iterated in any rng- or event-ordering-sensitive way: teardown
+    /// paths collect and sort by wr-id first.
+    common::FlatMap<SubOp> onesided_ops;
+    common::FlatMap<rdma::MemoryRegion*> transient_mrs;
     // Batch being accumulated.
     std::vector<SubOp> current;
   };
@@ -378,11 +412,17 @@ class CacheClient {
     uint32_t index = 0;
     CacheEntry* cache = nullptr;
     std::unique_ptr<ringbuf::SpscRing<SubOp>> ring;
-    std::deque<SubOp> replay;  // unparked ops, drained before the ring
+    /// Unparked ops, drained before the ring. Ring-buffer deque: the
+    /// queue oscillates around empty under backpressure, and
+    /// std::deque's block churn at that boundary was the last
+    /// steady-state allocation on the one-sided path.
+    common::VecDeque<SubOp> replay;
     std::deque<DelayedOp> delayed;  // retries waiting out their backoff
     /// Consecutive connection resets per VM; cleared by any successful
     /// sub-op against the VM. Drives read diversion to replicas.
-    std::unordered_map<cluster::VmId, uint32_t> vm_health;
+    /// Hashed flat (never iterated): the data path consults it once per
+    /// submitted read.
+    common::FlatMap<uint32_t> vm_health;
     std::unordered_map<cluster::VmId, std::unique_ptr<Connection>> conns;
     std::unique_ptr<sim::Poller> poller;
     Rng rng{1};
@@ -489,6 +529,12 @@ class CacheClient {
   /// park. In-flight work keeps it polling: deadline sweeps and broken-
   /// QP detection have no wake source.
   static bool ThreadFullyIdle(const ClientThread& thread);
+  /// Whether the thread is quiescent apart from in-flight remote ops
+  /// whose terminal events are all wired to Wake() it (send-CQ push,
+  /// response-ring landing, QP error doorbell), so it may park for the
+  /// rest of the RTT instead of sweeping through it. Requires sub-op
+  /// timeouts to be disarmed: expiry is observed by the sweep itself.
+  bool ThreadWaitingOnRemote(const ClientThread& thread) const;
   /// Wakes cache thread `thread_index`'s poller if parked. Safe to call
   /// from notifiers: looks the thread up by value, no-op after delete.
   void WakeThread(CacheId id, uint32_t thread_index);
@@ -604,6 +650,8 @@ class CacheClient {
   telemetry::Gauge* gauge_copies_active_ = nullptr;
   telemetry::Gauge* gauge_pending_recoveries_ = nullptr;
   CacheId next_id_ = 1;
+  /// Slab of OpState records recycled across user ops (see OpState).
+  common::SlabPool<OpState> op_pool_;
   std::unordered_map<CacheId, std::unique_ptr<CacheEntry>> caches_;
   std::vector<MigrationEvent> migration_log_;
   /// In-flight background activities (migration jobs, region transfers,
@@ -625,10 +673,12 @@ class CacheClient {
   /// Region copies currently moving bytes (splits the aggregate cap).
   uint32_t copies_active_ = 0;
   /// Copies touching each physical node (splits the per-link cap).
-  std::unordered_map<net::ServerId, uint32_t> busy_links_;
+  /// Flat-hashed (never iterated): consulted on every chunk pace.
+  common::FlatMap<uint32_t> busy_links_;
   /// Reclamation deadlines by VM: a VM whose deadline passed is dead
   /// as a copy endpoint even if the manager still has its agent.
-  std::unordered_map<cluster::VmId, sim::SimTime> vm_deadlines_;
+  /// Flat-hashed (never iterated): consulted per placement check.
+  common::FlatMap<sim::SimTime> vm_deadlines_;
   std::function<void(const char*)> recovery_listener_;
   uint64_t pending_repairs_ = 0;
 };

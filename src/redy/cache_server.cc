@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "sim/inline_function.h"
 
 namespace redy {
 
@@ -86,6 +87,8 @@ Status CacheServer::SetResponseRing(uint32_t conn, rdma::RemoteKey key,
 void CacheServer::Start(const RdmaConfig& cfg) {
   cfg_ = cfg;
   if (cfg.s == 0 || !threads_.empty()) return;
+  // Sized once here so the poll path never reallocates (DESIGN.md §10).
+  idle_streaks_.assign(cfg.s, 0);
   for (uint32_t t = 0; t < cfg.s; t++) {
     auto poller = std::make_unique<sim::Poller>(
         sim_, costs_.poll_interval_ns,
@@ -133,9 +136,6 @@ uint64_t CacheServer::PollConnections(uint32_t thread_index) {
         consumed += static_cast<uint64_t>(rng_.Exponential(
             static_cast<double>(costs_.sched_stall_mean_ns)));
       }
-    }
-    if (idle_streaks_.size() <= thread_index) {
-      idle_streaks_.resize(thread_index + 1, 0);
     }
     idle_streaks_[thread_index]++;
     if (costs_.park_idle_pollers && costs_.numa_affinitized) {
@@ -244,7 +244,7 @@ uint64_t CacheServer::ProcessBatch(Connection& conn, bool* blocked) {
   const uint64_t resp_bytes = resp_off;
   const uint64_t seq = hdr.seq;
   conn.pending_posts++;
-  sim_->After(consumed, [this, conn_ptr, seq, slot, dst_off, resp_bytes] {
+  auto deferred_post = [this, conn_ptr, seq, slot, dst_off, resp_bytes] {
     conn_ptr->pending_posts--;
     if (shutdown_ || conn_ptr->qp == nullptr) return;
     (void)conn_ptr->qp->PostWrite(
@@ -255,7 +255,10 @@ uint64_t CacheServer::ProcessBatch(Connection& conn, bool* blocked) {
     rdma::WorkCompletion wc;
     while (conn_ptr->qp->send_cq().Poll(&wc, 1) == 1) {
     }
-  });
+  };
+  static_assert(sim::InlineFunction::fits_inline<decltype(deferred_post)>(),
+                "deferred response post must not heap-allocate");
+  sim_->After(consumed, std::move(deferred_post));
 
   conn.next_seq++;
   batches_processed_++;

@@ -230,10 +230,9 @@ uint64_t CacheClient::CopyPaceNs(net::ServerId src, net::ServerId dst) const {
   if (options_.migration_bandwidth_bps > 0) {
     // A node touched by several concurrent copies splits its budget.
     for (net::ServerId n : {src, dst}) {
-      auto it = busy_links_.find(n);
-      if (it != busy_links_.end() && it->second > 1) {
-        rate = std::min(rate,
-                        options_.migration_bandwidth_bps / it->second);
+      const uint32_t* busy = busy_links_.Find(n);
+      if (busy != nullptr && *busy > 1) {
+        rate = std::min(rate, options_.migration_bandwidth_bps / *busy);
       }
       if (dst == src) break;
     }
@@ -256,9 +255,9 @@ void CacheClient::LinkRelease(net::ServerId src, net::ServerId dst) {
   copies_active_--;
   gauge_copies_active_->Set(static_cast<int64_t>(copies_active_));
   auto drop = [this](net::ServerId n) {
-    auto it = busy_links_.find(n);
-    REDY_CHECK(it != busy_links_.end() && it->second > 0);
-    if (--it->second == 0) busy_links_.erase(it);
+    uint32_t* busy = busy_links_.Find(n);
+    REDY_CHECK(busy != nullptr && *busy > 0);
+    if (--*busy == 0) busy_links_.Erase(n);
   };
   drop(src);
   if (dst != src) drop(dst);
@@ -289,8 +288,8 @@ bool CacheClient::VmUsable(const CacheManager::RegionPlacement& p) const {
   CacheServer* server = manager_->ServerFor(p.vm_id);
   if (server == nullptr || !server->alive()) return false;
   if (fabric_->NicAt(p.node)->failed()) return false;
-  auto it = vm_deadlines_.find(p.vm_id);
-  return it == vm_deadlines_.end() || sim_->Now() < it->second;
+  const sim::SimTime* deadline = vm_deadlines_.Find(p.vm_id);
+  return deadline == nullptr || sim_->Now() < *deadline;
 }
 
 void CacheClient::NotifyRecovery(const char* kind) {

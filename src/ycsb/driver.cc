@@ -28,6 +28,9 @@ Driver::Result Driver::Run() {
     uint32_t inflight = 0;
     uint64_t ops = 0;
     uint64_t errors = 0;
+    /// Completions ever observed; comparing a pre-issue snapshot
+    /// detects synchronous completion without a per-op heap flag.
+    uint64_t completions = 0;
     Histogram latency;
     bool measuring = false;
   };
@@ -52,11 +55,13 @@ Driver::Result Driver::Run() {
             const bool is_read = tp->workload->NextIsRead();
             const sim::SimTime issued = sim_->Now() + consumed;
             Status st;
-            // Heap flag: the callback may fire synchronously (memory
-            // hit) or long after this stack frame is gone.
-            auto completed_sync = std::make_shared<bool>(false);
-            auto cb = [this, tp, issued, completed_sync](Status s) {
-              *completed_sync = true;
+            // The callback may fire synchronously (memory hit) or long
+            // after this stack frame is gone; the only sim work that can
+            // run inside the kv_ call is this op's own completion, so a
+            // bumped counter after the call means "completed in place".
+            const uint64_t completions_before = tp->completions;
+            auto cb = [this, tp, issued](Status s) {
+              tp->completions++;
               if (tp->measuring) {
                 tp->ops++;
                 if (!s.ok()) tp->errors++;
@@ -73,6 +78,9 @@ Driver::Result Driver::Run() {
               // and has not parked.)
               if (tp->poller) tp->poller->Wake();
             };
+            static_assert(
+                faster::FasterKv::Callback::fits_inline<decltype(cb)>(),
+                "YCSB completion callback must not heap-allocate");
             tp->inflight++;  // balanced in cb (sync or async)
             if (is_read) {
               st = kv_->Read(key, tp->read_buf.data(), cb);
@@ -84,8 +92,9 @@ Driver::Result Driver::Run() {
               tp->inflight--;
               break;
             }
-            consumed += *completed_sync ? options_.mem_op_cost_ns
-                                        : options_.issue_cost_ns;
+            consumed += tp->completions > completions_before
+                            ? options_.mem_op_cost_ns
+                            : options_.issue_cost_ns;
           }
           if (consumed == 0) {
             // Pipeline full: nothing changes until a completion fires,

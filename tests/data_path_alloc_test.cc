@@ -1,0 +1,126 @@
+// Steady-state zero-allocation regression tests for the Redy data
+// path (DESIGN.md §10). Every operator-new form funnels through a
+// global counter; after a warm-up phase that sizes rings, pools, and
+// flat maps, a full issue->completion batch on the client one-sided
+// path and on the two-sided batched path (which drives the server
+// poll loop, batch execution, and the deferred response post) must
+// allocate NOTHING. A regression here means a per-op allocation crept
+// back in — shared_ptr op state, an oversized event-lambda capture
+// falling back to the heap, or a hash map rehashing mid-flight.
+
+#include <gtest/gtest.h>
+
+#include <execinfo.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "redy/cache_client.h"
+#include "redy/testbed.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (same pattern as telemetry_test.cc).
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<bool> g_trap{false};  // debugging aid: trap on first alloc
+
+void* CountedAlloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (g_trap.load(std::memory_order_relaxed)) {
+    g_trap.store(false, std::memory_order_relaxed);
+    void* frames[32];
+    const int n = backtrace(frames, 32);
+    backtrace_symbols_fd(frames, n, 2);
+    g_trap.store(true, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace redy {
+namespace {
+
+constexpr int kBatchOps = 64;
+constexpr uint64_t kRecordBytes = 64;
+
+/// Issues `kBatchOps` alternating reads and writes, runs the simulator
+/// until all complete, and returns the number of heap allocations the
+/// whole round trip performed.
+uint64_t RunBatch(Testbed& tb, CacheClient::CacheId id,
+                  std::vector<uint8_t>& buf) {
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  int done = 0;
+  auto cb = [&done](Status s) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    done++;
+  };
+  static_assert(CacheClient::Callback::fits_inline<decltype(cb)>(),
+                "test callback must stay inline");
+  for (int i = 0; i < kBatchOps; i++) {
+    const uint64_t addr = static_cast<uint64_t>(i) * kRecordBytes;
+    Status st = (i % 2 == 0)
+                    ? tb.client().Read(id, addr, buf.data(), buf.size(), cb)
+                    : tb.client().Write(id, addr, buf.data(), buf.size(), cb);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  while (done < kBatchOps && tb.sim().Step()) {
+  }
+  EXPECT_EQ(done, kBatchOps);
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+// One-sided path (s == 0): reads become RDMA READs from the persistent
+// staging ring, writes become RDMA WRITEs. Client issue, QP transfer,
+// sequencer delivery, and completion drain must all run pool-to-pool.
+TEST(DataPathAllocTest, OneSidedSteadyStateAllocatesNothing) {
+  Testbed tb;
+  auto id_or = tb.client().CreateWithConfig(
+      8 * kMiB, RdmaConfig{1, 0, 1, 8}, kRecordBytes);
+  ASSERT_TRUE(id_or.ok());
+  std::vector<uint8_t> buf(kRecordBytes, 0xAB);
+
+  // Warm-up: registers the staging ring, sizes the in-flight flat
+  // maps, fills the payload/op pools, grows the event pool.
+  for (int i = 0; i < 4; i++) (void)RunBatch(tb, *id_or, buf);
+
+  if (std::getenv("REDY_TRAP_ALLOC") != nullptr) g_trap = true;
+  EXPECT_EQ(RunBatch(tb, *id_or, buf), 0u)
+      << "one-sided issue->completion allocated on the steady state";
+  g_trap = false;
+}
+
+// Two-sided batched path (s > 0): ops accumulate into slot batches,
+// the server poll thread consumes them, executes the batch, and
+// RDMA-writes the response ring. Covers the server's poll loop and
+// deferred-post event as well as the client's response drain.
+TEST(DataPathAllocTest, TwoSidedBatchAndServerPollAllocateNothing) {
+  Testbed tb;
+  auto id_or = tb.client().CreateWithConfig(
+      8 * kMiB, RdmaConfig{1, 1, 8, 4}, kRecordBytes);
+  ASSERT_TRUE(id_or.ok());
+  std::vector<uint8_t> buf(kRecordBytes, 0xCD);
+
+  for (int i = 0; i < 4; i++) (void)RunBatch(tb, *id_or, buf);
+
+  if (std::getenv("REDY_TRAP_ALLOC") != nullptr) g_trap = true;
+  EXPECT_EQ(RunBatch(tb, *id_or, buf), 0u)
+      << "two-sided batch path (client + server poll) allocated on the "
+         "steady state";
+  g_trap = false;
+}
+
+}  // namespace
+}  // namespace redy

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <set>
 #include <vector>
@@ -333,6 +334,48 @@ TEST_F(FasterKvTest, ReadCacheServesHotDeviceRecords) {
   EXPECT_EQ(read(3), 3u);  // now a read-cache hit
   EXPECT_EQ(kv2.stats().device_reads, dev_before);
   EXPECT_GE(kv2.stats().read_cache_hits, 1u);
+}
+
+// Probe chains must survive wrapping past the end of the slot array at
+// high load. Brute-force keys hashing to the last buckets of a minimal
+// 16-slot table, chain them through the wraparound, and exercise all
+// three FindSlot users (Lookup / Upsert-update / UpdateIf) on wrapped
+// entries.
+TEST(HashIndexTest, ProbeChainWrapsAroundAtHighLoad) {
+  HashIndex idx(16);
+  ASSERT_EQ(idx.buckets(), 16u);
+  const uint64_t mask = idx.buckets() - 1;
+  // Five keys that all hash to the last slot: the chain occupies
+  // slots 15, 0, 1, 2, 3.
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; keys.size() < 5; k++) {
+    if ((SplitMix64(k) & mask) == mask) keys.push_back(k);
+  }
+  for (size_t i = 0; i < keys.size(); i++) {
+    idx.Upsert(keys[i], 1000 + i);
+  }
+  for (size_t i = 0; i < keys.size(); i++) {
+    EXPECT_EQ(idx.Lookup(keys[i]), 1000 + i) << "lost wrapped entry " << i;
+  }
+  // A missing key on the same chain terminates at the first empty slot
+  // past the wrap instead of walking forever.
+  uint64_t missing = keys.back() + 1;
+  while ((SplitMix64(missing) & mask) != mask ||
+         std::find(keys.begin(), keys.end(), missing) != keys.end()) {
+    missing++;
+  }
+  EXPECT_EQ(idx.Lookup(missing), HashIndex::kNotFound);
+  // Update-in-place of a wrapped entry must find the same slot.
+  idx.Upsert(keys[4], 77);
+  EXPECT_EQ(idx.Lookup(keys[4]), 77u);
+  EXPECT_EQ(idx.size(), 5u);
+  // Conditional update across the wrap: wrong expectation refuses,
+  // right one lands.
+  EXPECT_FALSE(idx.UpdateIf(keys[3], 9999, 1));
+  EXPECT_EQ(idx.Lookup(keys[3]), 1003u);
+  EXPECT_TRUE(idx.UpdateIf(keys[3], 1003, 55));
+  EXPECT_EQ(idx.Lookup(keys[3]), 55u);
+  EXPECT_FALSE(idx.UpdateIf(missing, 0, 1));
 }
 
 }  // namespace

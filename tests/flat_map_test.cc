@@ -1,0 +1,197 @@
+// common::FlatMap unit tests: basic insert/find/erase semantics, the
+// single-probe Take() completion idiom, backward-shift deletion across
+// table wraparound, Reserve's no-rehash guarantee, and a long
+// randomized parity run against std::unordered_map.
+
+#include "common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+
+namespace redy {
+namespace {
+
+using common::FlatMap;
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(42), nullptr);
+
+  m.Insert(42, 7);
+  ASSERT_NE(m.Find(42), nullptr);
+  EXPECT_EQ(*m.Find(42), 7);
+  EXPECT_EQ(m.size(), 1u);
+
+  m.Insert(42, 9);  // overwrite, not duplicate
+  EXPECT_EQ(*m.Find(42), 9);
+  EXPECT_EQ(m.size(), 1u);
+
+  EXPECT_TRUE(m.Erase(42));
+  EXPECT_FALSE(m.Erase(42));
+  EXPECT_EQ(m.Find(42), nullptr);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMapTest, OperatorIndexDefaultConstructs) {
+  FlatMap<uint32_t> m;
+  m[5]++;
+  m[5]++;
+  m[9]++;
+  EXPECT_EQ(*m.Find(5), 2u);
+  EXPECT_EQ(*m.Find(9), 1u);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMapTest, TakeMovesOutAndErases) {
+  FlatMap<std::string> m;
+  m.Insert(1, std::string("hello"));
+  std::string out;
+  EXPECT_TRUE(m.Take(1, &out));
+  EXPECT_EQ(out, "hello");
+  EXPECT_EQ(m.Find(1), nullptr);
+  EXPECT_FALSE(m.Take(1, &out));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMapTest, ClearReleasesEntries) {
+  FlatMap<int> m;
+  for (uint64_t k = 0; k < 100; k++) m.Insert(k, static_cast<int>(k));
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+  for (uint64_t k = 0; k < 100; k++) EXPECT_EQ(m.Find(k), nullptr);
+  // Reusable after Clear.
+  m.Insert(3, 33);
+  EXPECT_EQ(*m.Find(3), 33);
+}
+
+TEST(FlatMapTest, ForEachVisitsEveryEntryOnce) {
+  FlatMap<uint64_t> m;
+  for (uint64_t k = 100; k < 164; k++) m.Insert(k, k * 2);
+  std::vector<std::pair<uint64_t, uint64_t>> seen;
+  m.ForEach([&](uint64_t k, uint64_t v) { seen.emplace_back(k, v); });
+  ASSERT_EQ(seen.size(), 64u);
+  std::sort(seen.begin(), seen.end());
+  for (uint64_t i = 0; i < 64; i++) {
+    EXPECT_EQ(seen[i].first, 100 + i);
+    EXPECT_EQ(seen[i].second, (100 + i) * 2);
+  }
+}
+
+TEST(FlatMapTest, ReservePreventsRehash) {
+  FlatMap<int> m;
+  m.Reserve(1000);
+  const size_t cap = m.capacity();
+  // Reserve must leave room for n entries under the 70% load factor.
+  EXPECT_LT(1000u * 10, cap * 7);
+  for (uint64_t k = 0; k < 1000; k++) m.Insert(k, 1);
+  EXPECT_EQ(m.capacity(), cap);  // no rehash while within the reserve
+}
+
+TEST(FlatMapTest, GrowsPastLoadFactorAndKeepsEntries) {
+  FlatMap<uint64_t> m;  // starts at capacity 16
+  const size_t initial_cap = m.capacity();
+  for (uint64_t k = 0; k < 10000; k++) m.Insert(k ^ 0x9e3779b9, k);
+  EXPECT_GT(m.capacity(), initial_cap);
+  EXPECT_EQ(m.size(), 10000u);
+  for (uint64_t k = 0; k < 10000; k++) {
+    const uint64_t* v = m.Find(k ^ 0x9e3779b9);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k);
+  }
+}
+
+// Backward-shift deletion must relocate entries whose probe chain
+// wraps past the end of the slot array. Brute-force keys whose hash
+// lands on the last slot of a capacity-16 table, chain several of them
+// through the wraparound, then erase the chain head.
+TEST(FlatMapTest, BackwardShiftAcrossWraparound) {
+  FlatMap<uint64_t> m(16);
+  ASSERT_EQ(m.capacity(), 16u);
+  const size_t mask = m.capacity() - 1;
+  std::vector<uint64_t> tail_keys;
+  for (uint64_t k = 0; tail_keys.size() < 5; k++) {
+    if ((SplitMix64(k) & mask) == mask) tail_keys.push_back(k);
+  }
+  // All five collide on slot 15: the chain occupies 15, 0, 1, 2, 3.
+  for (uint64_t k : tail_keys) m.Insert(k, k + 1000);
+  for (uint64_t k : tail_keys) {
+    ASSERT_NE(m.Find(k), nullptr);
+    EXPECT_EQ(*m.Find(k), k + 1000);
+  }
+  // Erase the head: every wrapped entry must shift back and stay
+  // findable.
+  EXPECT_TRUE(m.Erase(tail_keys[0]));
+  for (size_t i = 1; i < tail_keys.size(); i++) {
+    ASSERT_NE(m.Find(tail_keys[i]), nullptr) << "lost key after wrap shift";
+    EXPECT_EQ(*m.Find(tail_keys[i]), tail_keys[i] + 1000);
+  }
+  // Erase from the middle of the wrapped run too.
+  EXPECT_TRUE(m.Erase(tail_keys[2]));
+  EXPECT_NE(m.Find(tail_keys[1]), nullptr);
+  EXPECT_NE(m.Find(tail_keys[3]), nullptr);
+  EXPECT_NE(m.Find(tail_keys[4]), nullptr);
+}
+
+// Long randomized parity run against unordered_map: mixed inserts,
+// overwrites, erases, takes, and lookups with a key range small enough
+// to force constant collision churn.
+TEST(FlatMapTest, RandomizedParityWithUnorderedMap) {
+  FlatMap<uint64_t> m;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  std::mt19937_64 rng(0xF1A7);
+  for (int step = 0; step < 200000; step++) {
+    const uint64_t key = rng() % 512;
+    switch (rng() % 4) {
+      case 0: {  // insert/overwrite
+        const uint64_t v = rng();
+        m.Insert(key, v);
+        ref[key] = v;
+        break;
+      }
+      case 1: {  // erase
+        EXPECT_EQ(m.Erase(key), ref.erase(key) > 0);
+        break;
+      }
+      case 2: {  // take
+        uint64_t out = 0;
+        auto it = ref.find(key);
+        const bool took = m.Take(key, &out);
+        EXPECT_EQ(took, it != ref.end());
+        if (it != ref.end()) {
+          EXPECT_EQ(out, it->second);
+          ref.erase(it);
+        }
+        break;
+      }
+      default: {  // lookup
+        const uint64_t* v = m.Find(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(v != nullptr, it != ref.end());
+        if (v != nullptr) {
+          EXPECT_EQ(*v, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  // Final content parity.
+  std::vector<std::pair<uint64_t, uint64_t>> got;
+  m.ForEach([&](uint64_t k, uint64_t v) { got.emplace_back(k, v); });
+  std::vector<std::pair<uint64_t, uint64_t>> want(ref.begin(), ref.end());
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace redy
