@@ -1,0 +1,79 @@
+#include "chaos/buggify.h"
+
+#include <utility>
+
+namespace redy::chaos {
+
+const char* BuggifyPointName(BuggifyPoint p) {
+  switch (p) {
+    case BuggifyPoint::kDelayReclaimNotice:
+      return "delay_reclaim_notice";
+    case BuggifyPoint::kSkipDrainGate:
+      return "skip_drain_gate";
+    case BuggifyPoint::kDropLeaseRenewal:
+      return "drop_lease_renewal";
+    case BuggifyPoint::kDelayRevoke:
+      return "delay_revoke";
+  }
+  return "unknown";
+}
+
+Buggify::Buggify(uint64_t seed, double p) : rng_(seed), p_(p) {}
+
+Buggify::Buggify(std::vector<bool> schedule)
+    : replay_(true), schedule_(std::move(schedule)) {}
+
+bool Buggify::Decide(BuggifyPoint point) {
+  bool fired;
+  if (replay_) {
+    fired = cursor_ < schedule_.size() && schedule_[cursor_];
+    cursor_++;
+  } else {
+    fired = rng_.Bernoulli(p_);
+  }
+  log_.push_back(Decision{point, fired});
+  return fired;
+}
+
+sim::SimTime Buggify::DelayNs(BuggifyPoint point) const {
+  switch (point) {
+    case BuggifyPoint::kDelayReclaimNotice:
+      // Long enough that traffic keeps flowing against the doomed
+      // placement while the notice sits unprocessed.
+      return 200 * kMicrosecond;
+    case BuggifyPoint::kDelayRevoke:
+      // Long enough for the first migration chunks to be read before
+      // the fence goes up.
+      return 100 * kMicrosecond;
+    default:
+      return 0;
+  }
+}
+
+std::vector<bool> Buggify::Schedule() const {
+  std::vector<bool> out;
+  out.reserve(log_.size());
+  for (const Decision& d : log_) out.push_back(d.fired);
+  return out;
+}
+
+uint64_t Buggify::fired() const {
+  uint64_t n = 0;
+  for (const Decision& d : log_) n += d.fired ? 1 : 0;
+  return n;
+}
+
+std::string Buggify::LogToString(const std::vector<Decision>& log) {
+  std::string out;
+  for (uint64_t i = 0; i < log.size(); i++) {
+    out += std::to_string(i);
+    out += ' ';
+    out += BuggifyPointName(log[i].point);
+    out += ' ';
+    out += log[i].fired ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace redy::chaos

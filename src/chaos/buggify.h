@@ -1,0 +1,91 @@
+#ifndef REDY_CHAOS_BUGGIFY_H_
+#define REDY_CHAOS_BUGGIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace redy::chaos {
+
+/// FoundationDB-style "buggify" decision points: named places in the
+/// recovery/fencing code where the implementation may deliberately take
+/// the adversarial branch — delay a reclamation notice, skip the
+/// migration drain gate, drop a lease renewal, reorder a revocation
+/// after in-flight writes. The schedule explorer searches seeds over
+/// these decisions; a failing run's decision log *is* the schedule and
+/// can be replayed (and shrunk) byte-identically.
+enum class BuggifyPoint : uint32_t {
+  /// Defer the client's handling of a spot-reclamation notice (the
+  /// deadline clock still starts on time — only the reaction is late).
+  kDelayReclaimNotice = 0,
+  /// Let the migration drain gate pass while writes are still in
+  /// flight (models a missing/buggy drain barrier).
+  kSkipDrainGate = 1,
+  /// Drop a lease acquisition/renewal request on the floor (models a
+  /// lost renewal message; the client retries later).
+  kDropLeaseRenewal = 2,
+  /// Delay the epoch revocation until after the region copy has begun
+  /// (reorders the revoke against in-flight WRITEs).
+  kDelayRevoke = 3,
+};
+
+/// Number of distinct BuggifyPoint values.
+inline constexpr uint32_t kNumBuggifyPoints = 4;
+
+const char* BuggifyPointName(BuggifyPoint p);
+
+class Buggify {
+ public:
+  struct Decision {
+    BuggifyPoint point;
+    bool fired;
+  };
+
+  /// Record mode: every Decide() draws fired ~ Bernoulli(p) from the
+  /// seeded generator and appends to the log. The log, in consultation
+  /// order, is the schedule.
+  Buggify(uint64_t seed, double p);
+
+  /// Replay mode: consultation i returns schedule[i]; consultations
+  /// past the end of the schedule return false (the tail of a shrunk
+  /// schedule). The consulted points are still logged, so a replay's
+  /// decision sequence can be compared against the original.
+  explicit Buggify(std::vector<bool> schedule);
+
+  Buggify(const Buggify&) = delete;
+  Buggify& operator=(const Buggify&) = delete;
+
+  /// Consults the next decision for `point`. Deterministic given the
+  /// construction arguments and the (deterministic) consultation order.
+  bool Decide(BuggifyPoint point);
+
+  /// Extra simulated delay injected when a delay-type point fires.
+  /// Fixed per point so replays are byte-identical.
+  sim::SimTime DelayNs(BuggifyPoint point) const;
+
+  const std::vector<Decision>& log() const { return log_; }
+  /// Fired flags in consultation order — the shrinkable schedule.
+  std::vector<bool> Schedule() const;
+  uint64_t decisions() const { return log_.size(); }
+  uint64_t fired() const;
+
+  /// Human/artifact serialization of a decision log: one
+  /// "<index> <point-name> <fired>" line per consultation.
+  static std::string LogToString(const std::vector<Decision>& log);
+
+ private:
+  bool replay_ = false;
+  std::vector<bool> schedule_;
+  uint64_t cursor_ = 0;
+  Rng rng_{1};
+  double p_ = 0.0;
+  std::vector<Decision> log_;
+};
+
+}  // namespace redy::chaos
+
+#endif  // REDY_CHAOS_BUGGIFY_H_

@@ -1,0 +1,100 @@
+#ifndef REDY_CHAOS_SCHEDULE_EXPLORER_H_
+#define REDY_CHAOS_SCHEDULE_EXPLORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/buggify.h"
+
+namespace redy::chaos {
+
+/// Outcome of one deterministic scenario run under a buggify schedule.
+struct RunOutcome {
+  /// Some application-acknowledged bytes read back wrong (or not at
+  /// all) after the dust settled. This is the safety violation the
+  /// explorer hunts.
+  bool corrupted = false;
+  uint64_t corrupt_records = 0;
+  /// Checksum over the run's observable end state (readback bytes,
+  /// statuses, decision log). Two runs of the same schedule must
+  /// produce the same fingerprint, byte for byte.
+  uint64_t fingerprint = 0;
+  /// Buggify decisions consulted, in order. The fired flags are the
+  /// schedule.
+  std::vector<Buggify::Decision> log;
+  /// Human-readable description of the first violation (artifact).
+  std::string detail;
+};
+
+/// Searches randomized buggify schedules for one that violates the
+/// acked-bytes-survive invariant, then shrinks the failing schedule to
+/// a minimal deterministic repro (greedy delta debugging over the
+/// fired decisions) and proves the repro replays byte-identically.
+class ScheduleExplorer {
+ public:
+  /// One fully deterministic simulated run driven by the given buggify
+  /// decisions. The scenario must not consume any entropy besides the
+  /// buggify consultations, so a replayed schedule reproduces the run
+  /// exactly.
+  using Scenario = std::function<RunOutcome(Buggify&)>;
+
+  struct Options {
+    uint64_t seed_start = 1;
+    uint32_t seed_budget = 20;
+    /// Probability each consulted decision point fires in record mode.
+    double buggify_p = 0.25;
+  };
+
+  struct Result {
+    bool found_failure = false;
+    uint64_t failing_seed = 0;
+    uint32_t seeds_explored = 0;
+    /// Schedule of the first failing seed, as recorded.
+    std::vector<bool> original_schedule;
+    /// Minimal schedule that still fails (trailing no-ops trimmed,
+    /// every remaining fired decision is load-bearing).
+    std::vector<bool> shrunk_schedule;
+    /// Replays spent shrinking.
+    uint64_t shrink_replays = 0;
+    /// The shrunk schedule was replayed twice with identical
+    /// fingerprints and decision logs.
+    bool replay_deterministic = false;
+    /// Outcome of the final shrunk replay (carries the decision log
+    /// and violation detail for artifacts).
+    RunOutcome failure;
+  };
+
+  ScheduleExplorer(Scenario scenario, Options opts);
+
+  /// Seed sweep -> first failure -> shrink -> determinism proof.
+  Result Explore();
+
+  /// One replay of an explicit schedule.
+  RunOutcome Replay(const std::vector<bool>& schedule);
+
+  /// Artifact serialization of a result (schedule bits, decision log,
+  /// violation detail).
+  static std::string ResultToString(const Result& r);
+
+ private:
+  std::vector<bool> Shrink(std::vector<bool> schedule, uint64_t* replays);
+
+  Scenario scenario_;
+  Options opts_;
+};
+
+/// The canonical scenario: region migrations under reclamation, with
+/// writes deliberately left in flight at each cutover. Mixed two-sided
+/// record writes and one-sided slab writes; every acknowledged write is
+/// read back at the end. With `epoch_fencing` off, a schedule that
+/// skips the drain gate lets a zombie write acknowledge against the old
+/// region after its chunk was snapshotted — silently lost on the new
+/// placement. With fencing on, the revocation turns the same schedule
+/// into a retried (and redirected) write instead.
+ScheduleExplorer::Scenario MigrationScenario(bool epoch_fencing);
+
+}  // namespace redy::chaos
+
+#endif  // REDY_CHAOS_SCHEDULE_EXPLORER_H_

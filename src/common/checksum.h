@@ -1,0 +1,67 @@
+#ifndef REDY_COMMON_CHECKSUM_H_
+#define REDY_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace redy {
+
+// XXH-style non-cryptographic checksum: an 8-byte-word multiply-rotate
+// loop with a byte tail and a final avalanche. Used for end-to-end
+// payload integrity (protocol op headers, migration chunk copies) —
+// fast enough to run on every simulated transfer, strong enough that a
+// bit flip or a zombie write is detected with overwhelming probability.
+// Hand-rolled so the repo stays dependency-free; not a frame-compatible
+// XXH64 implementation.
+
+namespace checksum_internal {
+
+inline constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+inline constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+
+inline uint64_t Rotl(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t Avalanche(uint64_t h) {
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace checksum_internal
+
+/// 64-bit checksum of `len` bytes starting at `data`, mixed with `seed`.
+inline uint64_t Checksum64(const uint8_t* data, uint64_t len,
+                           uint64_t seed = 0) {
+  using namespace checksum_internal;
+  uint64_t h = seed + kPrime3 + len * kPrime2;
+  const uint8_t* p = data;
+  const uint8_t* const word_end = data + (len & ~uint64_t{7});
+  while (p != word_end) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = Rotl(h ^ (w * kPrime2), 27) * kPrime1 + kPrime2;
+    p += 8;
+  }
+  const uint8_t* const end = data + len;
+  while (p != end) {
+    h = Rotl(h ^ (*p++ * kPrime1), 11) * kPrime2;
+  }
+  return Avalanche(h);
+}
+
+/// 32-bit fold of Checksum64, for wire headers with 4-byte fields.
+inline uint32_t Checksum32(const uint8_t* data, uint64_t len,
+                           uint64_t seed = 0) {
+  const uint64_t h = Checksum64(data, len, seed);
+  return static_cast<uint32_t>(h) ^ static_cast<uint32_t>(h >> 32);
+}
+
+}  // namespace redy
+
+#endif  // REDY_COMMON_CHECKSUM_H_

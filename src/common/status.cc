@@ -28,6 +28,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kProtectionError:
+      return "ProtectionError";
+    case StatusCode::kDataCorruption:
+      return "DataCorruption";
   }
   return "Unknown";
 }

@@ -23,6 +23,12 @@ enum class StatusCode : int {
   kInternal = 9,
   kUnimplemented = 10,
   kDeadlineExceeded = 11,
+  // A remote access was fenced off: the rkey was revoked (stale access
+  // epoch), the region was deregistered, or a region lease lapsed.
+  kProtectionError = 12,
+  // Payload bytes failed an end-to-end integrity check (checksum
+  // mismatch) — the data arrived, but it is not the data that was sent.
+  kDataCorruption = 13,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "NotFound", ...).
@@ -75,6 +81,12 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status ProtectionError(std::string msg) {
+    return Status(StatusCode::kProtectionError, std::move(msg));
+  }
+  static Status DataCorruption(std::string msg) {
+    return Status(StatusCode::kDataCorruption, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -98,6 +110,12 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsProtectionError() const {
+    return code_ == StatusCode::kProtectionError;
+  }
+  bool IsDataCorruption() const {
+    return code_ == StatusCode::kDataCorruption;
   }
 
   /// "OK" or "<CodeName>: <message>".

@@ -29,8 +29,17 @@ class MemoryRegion {
   uint64_t size() const { return data_.size(); }
 
   uint32_t lkey() const { return lkey_; }
-  RemoteKey remote_key() const { return RemoteKey{rkey_}; }
+  RemoteKey remote_key() const { return RemoteKey{rkey_, epoch_}; }
   Nic* nic() const { return nic_; }
+
+  /// Access epoch for fenced one-sided writes. Bumping it (a revocation)
+  /// invalidates every RemoteKey minted before the bump: stale-epoch
+  /// WRITEs complete with kProtectionError. Reads are deliberately not
+  /// epoch-checked — a revoked region is write-frozen but stays readable
+  /// until deregistration (migration chunk copies and un-paused reads
+  /// keep working through the cutover).
+  uint32_t epoch() const { return epoch_; }
+  void RevokeEpoch() { epoch_++; }
 
   /// A deregistered region rejects all remote access (used when a region
   /// is reclaimed or its VM is torn down).
@@ -57,6 +66,7 @@ class MemoryRegion {
   Nic* nic_;
   uint32_t lkey_;
   uint32_t rkey_;
+  uint32_t epoch_ = 0;
   bool valid_ = true;
   std::vector<uint8_t> data_;
   sim::InlineFunction on_remote_write_;

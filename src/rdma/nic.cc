@@ -46,10 +46,13 @@ void Nic::DeregisterMemory(MemoryRegion* mr) {
   }
 }
 
-Result<MemoryRegion*> Nic::Resolve(RemoteKey key) {
+Result<MemoryRegion*> Nic::Resolve(RemoteKey key, bool check_epoch) {
   auto it = regions_.find(key.rkey);
   if (it == regions_.end() || !it->second->valid()) {
-    return Status::NotFound("no region for rkey");
+    return Status::ProtectionError("no region for rkey");
+  }
+  if (check_epoch && key.epoch != it->second->epoch()) {
+    return Status::ProtectionError("stale rkey epoch");
   }
   return it->second.get();
 }
@@ -84,6 +87,16 @@ void Nic::CountWqeCompleted(bool ok) {
   }
   wqe_completed_->Inc();
   if (!ok) wqe_errors_->Inc();
+}
+
+void Nic::CountProtectionError() {
+  telemetry::Telemetry* tel = fabric_->telemetry();
+  if (tel == nullptr) return;
+  if (protection_errors_ == nullptr) {
+    protection_errors_ = tel->metrics().GetCounter(
+        "rdma.protection_errors", {{"server", std::to_string(server_)}});
+  }
+  protection_errors_->Inc();
 }
 
 void Nic::DestroyQueuePair(QueuePair* qp) {

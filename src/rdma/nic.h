@@ -47,8 +47,13 @@ class Nic {
   /// Deregisters a region: remote accesses start failing.
   void DeregisterMemory(MemoryRegion* mr);
 
-  /// Resolves an access token to a region on this NIC.
-  Result<MemoryRegion*> Resolve(RemoteKey key);
+  /// Resolves an access token to a region on this NIC. Fails with
+  /// kProtectionError when the region is gone (deregistered) or, if
+  /// `check_epoch` is set, when the key's access epoch is stale — a
+  /// revoked rkey. WRITE landings check the epoch; READ landings pass
+  /// check_epoch=false (revoked regions stay readable, see
+  /// MemoryRegion::epoch()).
+  Result<MemoryRegion*> Resolve(RemoteKey key, bool check_epoch = true);
 
   /// Creates a queue pair on this NIC (unconnected).
   QueuePair* CreateQueuePair(uint32_t max_depth);
@@ -77,6 +82,9 @@ class Nic {
   /// one branch) when the fabric has no telemetry installed.
   void CountWqePosted();
   void CountWqeCompleted(bool ok);
+  /// Counts a WQE rejected by the fence (stale epoch / dropped MR):
+  /// "rdma.protection_errors" with the same {"server": N} label.
+  void CountProtectionError();
 
  private:
   friend class QueuePair;
@@ -96,6 +104,7 @@ class Nic {
   telemetry::Counter* wqe_posted_ = nullptr;
   telemetry::Counter* wqe_completed_ = nullptr;
   telemetry::Counter* wqe_errors_ = nullptr;
+  telemetry::Counter* protection_errors_ = nullptr;
 };
 
 /// The fabric connects NICs through the data-center topology and owns

@@ -198,8 +198,14 @@ Status QueuePair::PostWrite(uint64_t wr_id, const MemoryRegion* mr,
     if (doomed || broken_ || peer_ == nullptr || peer_->nic_->failed()) {
       wc.status = StatusCode::kUnavailable;
     } else {
+      // The fence: a WRITE whose rkey no longer resolves (deregistered
+      // region) or carries a stale access epoch (revoked key) must not
+      // deposit a single byte — it completes with kProtectionError.
       auto mr_or = peer_->nic_->Resolve(key);
-      if (!mr_or.ok() || !(*mr_or)->InBounds(remote_offset, len)) {
+      if (!mr_or.ok()) {
+        wc.status = mr_or.status().code();
+        peer_->nic_->CountProtectionError();
+      } else if (!(*mr_or)->InBounds(remote_offset, len)) {
         wc.status = StatusCode::kAborted;  // remote access error
       } else {
         std::memcpy((*mr_or)->data() + remote_offset, payload->data(), len);
@@ -291,8 +297,18 @@ Status QueuePair::PostRead(uint64_t wr_id, MemoryRegion* mr,
       Complete(seq, wc, sim->Now() + one_way);
       return;
     }
-    auto mr_or = peer_->nic_->Resolve(key);
-    if (!mr_or.ok() || !(*mr_or)->InBounds(remote_offset, len)) {
+    // Reads skip the epoch check: a revoked region is write-frozen but
+    // stays readable until deregistration (migration chunk copies read
+    // the frozen source through the cutover).
+    auto mr_or = peer_->nic_->Resolve(key, /*check_epoch=*/false);
+    if (!mr_or.ok()) {
+      wc.status = mr_or.status().code();
+      peer_->nic_->CountProtectionError();
+      end_read_span(sim->Now());
+      Complete(seq, wc, sim->Now() + one_way);
+      return;
+    }
+    if (!(*mr_or)->InBounds(remote_offset, len)) {
       wc.status = StatusCode::kAborted;
       end_read_span(sim->Now());
       Complete(seq, wc, sim->Now() + one_way);

@@ -20,8 +20,15 @@ enum class Opcode : uint8_t {
 
 /// The access token a cache server hands to clients for each registered
 /// region (the paper's "RDMA access-tokens, one per region").
+///
+/// `epoch` is the access epoch the key was minted under. Revoking a
+/// region (at migration cutover, before its VM can be reassigned) bumps
+/// the region's epoch, so every outstanding key becomes stale and
+/// one-sided WRITEs carrying it fail with kProtectionError instead of
+/// landing on memory that may now belong to someone else.
 struct RemoteKey {
   uint32_t rkey = 0;
+  uint32_t epoch = 0;
 
   friend bool operator==(const RemoteKey&, const RemoteKey&) = default;
 };

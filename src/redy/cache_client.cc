@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "chaos/buggify.h"
 #include "common/logging.h"
 #include "sim/inline_function.h"
 
@@ -326,7 +327,7 @@ uint64_t CacheClient::PollThread(CacheEntry& cache, ClientThread& thread) {
   std::vector<cluster::VmId> reset_broken;
   std::vector<cluster::VmId> reset_expired;
   for (auto& [vm, conn] : thread.conns) {
-    if (conn->qp == nullptr || conn->qp->broken()) {
+    if (conn->qp == nullptr || conn->qp->broken() || conn->poisoned) {
       reset_broken.push_back(vm);
       continue;
     }
@@ -487,6 +488,10 @@ uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
       Status st = wc.status == StatusCode::kOk
                       ? Status::OK()
                       : Status(wc.status, "one-sided op failed");
+      if (wc.status == StatusCode::kProtectionError) {
+        // The NIC fenced this op off (revoked epoch / dropped MR).
+        cache.ctr.fence_stale_rejected->Inc();
+      }
       if (st.ok() && op.op == OpCode::kRead) {
         // Copy from the staging slot (or transient buffer) to the app.
         const uint8_t* payload = nullptr;
@@ -513,19 +518,15 @@ uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
       FinishSubOp(cache, thread, op, st);
     } else if (kind == kWrKindBatch) {
       if (wc.status == StatusCode::kOk) continue;  // request delivered
-      // The request batch never reached the server: fail its ops.
-      const uint64_t seq = id;
-      const uint32_t slot = static_cast<uint32_t>((seq - 1) % cache.cfg.q);
-      if (slot < conn.slot_count.size() && conn.slot_count[slot] > 0) {
-        const uint32_t n = conn.slot_count[slot];
-        conn.slot_count[slot] = 0;
-        SubOp* ops = conn.slot_arena.data() + slot * conn.slot_stride;
-        if (conn.inflight_batches > 0) conn.inflight_batches--;
-        for (uint32_t i = 0; i < n; i++) {
-          FinishSubOp(cache, thread, ops[i],
-                      Status(wc.status, "request batch failed"));
-        }
-      }
+      // The request batch never reached the server's ring. The server
+      // consumes batches strictly in sequence order, so the hole a
+      // dropped batch leaves makes every later batch on this
+      // connection invisible to it — writing off just this batch would
+      // strand the rest until their deadline expires. Poison the whole
+      // connection instead: the resilience sweep tears it down, fails
+      // all staged ops with a retryable status, and the next op
+      // reconnects with a fresh sequence space.
+      conn.poisoned = true;
     }
   }
   return consumed;
@@ -543,9 +544,42 @@ uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
     std::memcpy(&hdr, base, sizeof(hdr));
     if (hdr.seq != conn.next_resp) break;
 
+    // Stale-response guard: if the batch that carried this seq was
+    // already written off (a NIC send error freed its queue depth, and
+    // the slot may since have been restaged for seq + q), the server's
+    // late response must be discarded without touching the arena or the
+    // depth accounting — both were settled when the batch was failed.
+    if (conn.slot_count[slot] == 0 || conn.slot_seq[slot] != hdr.seq) {
+      consumed += options_.costs.response_handle_ns;
+      BatchHeader zero;
+      std::memcpy(base, &zero, sizeof(zero));
+      conn.next_resp++;
+      continue;
+    }
+
     const uint32_t count = conn.slot_count[slot];
-    REDY_CHECK(count == hdr.count);
     SubOp* ops = conn.slot_arena.data() + slot * conn.slot_stride;
+    // Structural validation before interpreting any entry: a truncated,
+    // overrunning, or count-mismatched batch fails every op it carried
+    // with a typed error and consumes the slot — never a misparse. The
+    // connection stays up (tearing it down here would invalidate the
+    // caller's iteration over thread.conns).
+    const Status batch_st =
+        ValidateResponseSlot(base, conn.resp_slot_bytes, count);
+    if (!batch_st.ok()) {
+      cache.ctr.checksum_mismatches->Inc();
+      for (uint32_t i = 0; i < count; i++) {
+        FinishSubOp(cache, thread, ops[i],
+                    Status::DataCorruption("malformed response batch"));
+      }
+      consumed += options_.costs.response_handle_ns;
+      conn.slot_count[slot] = 0;
+      BatchHeader zero;
+      std::memcpy(base, &zero, sizeof(zero));
+      if (conn.inflight_batches > 0) conn.inflight_batches--;
+      conn.next_resp++;
+      continue;
+    }
     const uint8_t* p = base + sizeof(BatchHeader);
     for (uint32_t i = 0; i < count; i++) {
       SubOp& op = ops[i];
@@ -556,6 +590,35 @@ uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
                       ? Status::OK()
                       : Status(static_cast<StatusCode>(rh.status),
                                "server rejected request");
+      if (options_.verify_checksums) {
+        // Content validation: checksum first (a flipped bit anywhere
+        // reads as corruption), then the epoch echo for fenced writes.
+        const Status entry_st = ValidateResponseEntry(
+            rh, p, op.epoch,
+            options_.epoch_fencing && op.op == OpCode::kWrite);
+        if (!entry_st.ok()) {
+          if (entry_st.IsDataCorruption()) {
+            cache.ctr.checksum_mismatches->Inc();
+          } else {
+            cache.ctr.fence_stale_rejected->Inc();
+          }
+          st = entry_st;
+        }
+      }
+      VRegion& op_vr = cache.regions[op.vregion];
+      if (st.ok() && !op.to_replica && options_.lease_ttl_ns > 0) {
+        // Piggybacked renewal: a healthy two-sided response proves the
+        // placement is still serving this client under this epoch.
+        op_vr.lease_expires_at = sim_->Now() + options_.lease_ttl_ns;
+      }
+      if (op.op == OpCode::kLease) {
+        // Header-only control op: no OpState to complete.
+        op_vr.lease_pending = false;
+        if (st.ok()) cache.ctr.lease_renewals->Inc();
+        p += rh.len;
+        consumed += options_.costs.response_handle_ns;
+        continue;
+      }
       if (st.ok() && op.op == OpCode::kRead) {
         if (op.dst != nullptr) std::memcpy(op.dst, p, rh.len);
         consumed += static_cast<uint64_t>(
@@ -570,7 +633,7 @@ uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
     // Clear the header so a stale seq can never confuse a later lap.
     BatchHeader zero;
     std::memcpy(base, &zero, sizeof(zero));
-    conn.inflight_batches--;
+    if (conn.inflight_batches > 0) conn.inflight_batches--;
     conn.next_resp++;
   }
   return consumed;
@@ -625,6 +688,30 @@ uint64_t CacheClient::DrainSubmissions(CacheEntry& cache,
       }
       // Hedged read whose replica vanished: fall back to the primary.
       op.to_replica = false;
+    }
+    // Lease freshness fence (two-sided configs, DESIGN.md §7): a write
+    // against a region whose lease lapsed is deferred until a renewal
+    // round trip confirms no revocation was missed. Bounded: past the
+    // deferral budget the write fails with ProtectionError.
+    if (options_.epoch_fencing && options_.lease_ttl_ns > 0 &&
+        cache.cfg.s > 0 && op.op == OpCode::kWrite && !op.to_replica &&
+        op.len <= cache.record_bytes && vr.lease_expires_at != 0 &&
+        sim_->Now() >= vr.lease_expires_at) {
+      if (!vr.lease_pending) RequestLease(cache, thread, op.vregion);
+      // Deferrals are tracked separately from op.attempts: waiting on a
+      // lease renewal must not consume the retry budget of an op that
+      // later hits a real fault.
+      if (op.lease_defers < options_.max_retries + 4) {
+        op.lease_defers++;
+        cache.ctr.lease_expirations->Inc();
+        thread.delayed.push_back(DelayedOp{
+            sim_->Now() + options_.retry_backoff_ns, std::move(op)});
+        continue;
+      }
+      // Renewal is slow or being dropped: issue anyway. Correctness
+      // never rests on the lease — the server's epoch check and the
+      // response epoch echo still fence a stale write; deferring only
+      // avoids issuing writes that are already doomed.
     }
     // Health-based diversion: a read whose primary VM keeps losing its
     // connection goes to the replica instead of queueing up behind
@@ -714,6 +801,7 @@ uint64_t CacheClient::IssueOneSided(CacheEntry& cache, ClientThread& thread,
   }
   const rdma::RemoteKey key =
       op->to_replica ? vr.replica->key : vr.placement.key;
+  op->epoch = key.epoch;
   const uint64_t wr = thread.next_wr_id++;
 
   rdma::MemoryRegion* staging = nullptr;
@@ -791,7 +879,9 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
   uint64_t consumed = 0;
 
   // Single-request batches translate to one-sided verbs (Section 4.3).
+  // Lease round trips are message-ring control ops and never convert.
   if (conn.current.size() == 1 && options_.costs.one_sided_singletons &&
+      conn.current[0].op != OpCode::kLease &&
       conn.current[0].len <= options_.one_sided_slot_bytes) {
     bool issued = false;
     consumed = IssueOneSided(cache, thread, conn, &conn.current[0], &issued);
@@ -812,7 +902,15 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
     *flushed = true;
     return consumed;
   }
+  // Backpressure. Depth alone is not enough: a batch written off early
+  // (NIC send error) frees its depth while its arena slot still holds
+  // the staged ops of a batch the server may yet answer — so the slot
+  // for next_seq must itself be free, or staging into it would destroy
+  // a live batch's ops (they would never complete).
+  const uint32_t next_slot =
+      static_cast<uint32_t>((conn.next_seq - 1) % cache.cfg.q);
   if (conn.inflight_batches >= cache.cfg.q ||
+      conn.slot_count[next_slot] != 0 ||
       conn.qp->outstanding() >= conn.qp->max_depth()) {
     return consumed;  // backpressure
   }
@@ -845,14 +943,19 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
   uint8_t* base = conn.req_staging->data() + slot * conn.req_slot_bytes;
 
   uint64_t off = sizeof(BatchHeader);
-  for (const SubOp& op : conn.current) {
+  for (SubOp& op : conn.current) {
     const VRegion& vr = cache.regions[op.vregion];
+    const rdma::RemoteKey rkey =
+        op.to_replica ? vr.replica->key : vr.placement.key;
     RequestHeader rh;
     rh.op = op.op;
     rh.len = op.len;
     rh.region = op.to_replica ? vr.replica->region_index
                               : vr.placement.region_index;
+    rh.epoch = rkey.epoch;
     rh.offset = op.offset;
+    rh.checksum = RequestChecksum(rh, op.src);
+    op.epoch = rkey.epoch;
     std::memcpy(base + off, &rh, sizeof(rh));
     off += sizeof(rh);
     if (op.op == OpCode::kWrite) {
@@ -885,8 +988,13 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
   }
 
   for (SubOp& op : conn.current) {
-    cache.regions[op.vregion].inflight_subops++;
-    op.issued = true;
+    // Lease round trips are control ops: they carry no OpState and are
+    // not counted against their region's in-flight window (a pending
+    // lease must not hold up a migration drain gate).
+    if (op.op != OpCode::kLease) {
+      cache.regions[op.vregion].inflight_subops++;
+      op.issued = true;
+    }
     op.issued_at = sim_->Now();
   }
   // Bump-copy the batch into its fixed-stride arena slot: SubOps are
@@ -894,6 +1002,7 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
   // per-flush vector churn.
   REDY_CHECK(conn.current.size() <= conn.slot_stride);
   conn.slot_count[slot] = static_cast<uint32_t>(conn.current.size());
+  conn.slot_seq[slot] = seq;
   std::copy(conn.current.begin(), conn.current.end(),
             conn.slot_arena.data() + slot * conn.slot_stride);
   conn.current.clear();
@@ -948,6 +1057,7 @@ Result<CacheClient::Connection*> CacheClient::EnsureConnection(
     conn->slot_stride = cache.cfg.b;
     conn->slot_arena.resize(static_cast<size_t>(cache.cfg.q) * cache.cfg.b);
     conn->slot_count.assign(cache.cfg.q, 0);
+    conn->slot_seq.assign(cache.cfg.q, 0);
     conn->req_ring_key = info.request_ring_key;
     conn->req_slot_bytes = info.request_slot_bytes;
     conn->req_staging =
@@ -969,6 +1079,15 @@ Result<CacheClient::Connection*> CacheClient::EnsureConnection(
 
 void CacheClient::CompleteSubOp(CacheEntry& cache, SubOp& op,
                                 const Status& status) {
+  if (op.op == OpCode::kLease) {
+    // Control op: no OpState. A lease round trip that dies with its
+    // connection just clears the pending flag so the next deferred
+    // write re-requests one.
+    if (op.vregion < cache.regions.size()) {
+      cache.regions[op.vregion].lease_pending = false;
+    }
+    return;
+  }
   if (op.state == nullptr) return;
   OpState& state = *op.state;
   if (state.gen != op.state_gen) {
@@ -1049,11 +1168,27 @@ bool CacheClient::MaybeRetry(CacheEntry& cache, ClientThread& thread,
       op.state->gen != op.state_gen) {
     return false;
   }
-  if (op.attempts >= options_.max_retries) return false;
-  // Only transport-level failures are retryable: the op may simply not
-  // have reached (or returned from) the server. Server rejections
-  // (bounds, protocol) are deterministic and surface immediately.
-  if (!status.IsUnavailable() && !status.IsDeadlineExceeded()) return false;
+  // A fenced-off op (revoked epoch at a migration cutover) re-routes to
+  // the post-cutover placement: re-submission parks it behind the
+  // region's pause and it replays against the new placement with a
+  // fresh key. Gets a retry floor even when retries are disabled —
+  // fence redirects are the designed cutover path, not a failure.
+  const bool fence_redirect =
+      options_.epoch_fencing && status.IsProtectionError();
+  if (fence_redirect) {
+    if (op.attempts >= std::max(options_.max_retries, 4u)) return false;
+  } else {
+    if (op.attempts >= options_.max_retries) return false;
+    // Only transport-level failures are retryable: the op may simply
+    // not have reached (or returned from) the server. Server
+    // rejections (bounds, protocol) are deterministic and surface
+    // immediately. Corruption is transport-level: the bytes (not the
+    // op) were bad, and a fresh attempt restages them.
+    if (!status.IsUnavailable() && !status.IsDeadlineExceeded() &&
+        !status.IsDataCorruption()) {
+      return false;
+    }
+  }
 
   if (op.issued) {
     VRegion& vr = cache.regions[op.vregion];
@@ -1064,6 +1199,7 @@ bool CacheClient::MaybeRetry(CacheEntry& cache, ClientThread& thread,
   op.staging_slot = UINT32_MAX;  // the old slot/ring is gone or freed
   op.attempts++;
   cache.ctr.retries->Inc();
+  if (fence_redirect) cache.ctr.fence_redirects->Inc();
   if (telemetry::SpanTracer* tr = ActiveTracer()) {
     tr->Instant(CacheTrack(cache, *tr), "retry", "op", sim_->Now(),
                 {"vregion", op.vregion}, {"attempt", op.attempts});
@@ -1198,6 +1334,29 @@ void CacheClient::ReplayParked(CacheEntry& cache, uint32_t vregion) {
   vr.parked.clear();
 }
 
+bool CacheClient::BuggifyFires(chaos::Buggify* b, uint32_t point) const {
+  return b != nullptr && b->Decide(static_cast<chaos::BuggifyPoint>(point));
+}
+
+void CacheClient::RequestLease(CacheEntry& cache, ClientThread& thread,
+                               uint32_t vregion) {
+  VRegion& vr = cache.regions[vregion];
+  if (BuggifyFires(options_.buggify,
+                   static_cast<uint32_t>(
+                       chaos::BuggifyPoint::kDropLeaseRenewal))) {
+    // Modeled message loss: the renewal never leaves the client. The
+    // next deferred write re-requests one.
+    return;
+  }
+  vr.lease_pending = true;
+  SubOp lease;
+  lease.op = OpCode::kLease;
+  lease.vregion = vregion;
+  lease.thread = thread.index;
+  thread.replay.push_back(std::move(lease));
+  if (thread.poller) thread.poller->Wake();
+}
+
 // ---------------------------------------------------------------------------
 // Introspection
 // ---------------------------------------------------------------------------
@@ -1249,6 +1408,14 @@ void CacheClient::RegisterCacheMetrics(CacheEntry* cache) {
       m.GetCounter("redy.recovery.repairs_completed", labels);
   k.storm_regions_lost =
       m.GetCounter("redy.recovery.storm_regions_lost", labels);
+  k.fence_revocations = m.GetCounter("fence.revocations", labels);
+  k.fence_stale_rejected = m.GetCounter("fence.stale_rejected", labels);
+  k.fence_redirects = m.GetCounter("fence.redirects", labels);
+  k.lease_renewals = m.GetCounter("fence.lease_renewals", labels);
+  k.lease_expirations = m.GetCounter("fence.lease_expirations", labels);
+  k.checksum_mismatches =
+      m.GetCounter("integrity.checksum_mismatches", labels);
+  k.chunks_verified = m.GetCounter("integrity.chunks_verified", labels);
   k.read_latency = m.GetHistogram("redy.client.read_latency_ns", labels);
   k.write_latency = m.GetHistogram("redy.client.write_latency_ns", labels);
   k.inflight = m.GetGauge("redy.client.inflight_ops", labels);
@@ -1277,6 +1444,15 @@ void CacheClient::RefreshStatsView(CacheEntry& cache) {
   v.repairs_completed = k.repairs_completed->Value() - b.repairs_completed;
   v.storm_regions_lost =
       k.storm_regions_lost->Value() - b.storm_regions_lost;
+  v.fence_revocations = k.fence_revocations->Value() - b.fence_revocations;
+  v.fence_stale_rejected =
+      k.fence_stale_rejected->Value() - b.fence_stale_rejected;
+  v.fence_redirects = k.fence_redirects->Value() - b.fence_redirects;
+  v.lease_renewals = k.lease_renewals->Value() - b.lease_renewals;
+  v.lease_expirations = k.lease_expirations->Value() - b.lease_expirations;
+  v.checksum_mismatches =
+      k.checksum_mismatches->Value() - b.checksum_mismatches;
+  v.chunks_verified = k.chunks_verified->Value() - b.chunks_verified;
   // Latency histograms reset with ResetStats (quantiles are
   // per-interval), so the cumulative view is the since-reset view.
   v.read_latency_ns = k.read_latency->cumulative();
@@ -1315,6 +1491,13 @@ void CacheClient::ResetStats(CacheId id) {
   b.repairs_started = k.repairs_started->Value();
   b.repairs_completed = k.repairs_completed->Value();
   b.storm_regions_lost = k.storm_regions_lost->Value();
+  b.fence_revocations = k.fence_revocations->Value();
+  b.fence_stale_rejected = k.fence_stale_rejected->Value();
+  b.fence_redirects = k.fence_redirects->Value();
+  b.lease_renewals = k.lease_renewals->Value();
+  b.lease_expirations = k.lease_expirations->Value();
+  b.checksum_mismatches = k.checksum_mismatches->Value();
+  b.chunks_verified = k.chunks_verified->Value();
   c->ctr.read_latency->Reset();
   c->ctr.write_latency->Reset();
   RefreshStatsView(*c);

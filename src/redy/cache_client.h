@@ -30,6 +30,10 @@
 
 namespace redy {
 
+namespace chaos {
+class Buggify;
+}  // namespace chaos
+
 /// The Redy cache client (front end, Section 3.3). Lives with the
 /// application, exposes the Table 1 API (Create / Read / Write /
 /// Reshape / Delete), maps each cache's contiguous virtual address
@@ -122,6 +126,30 @@ class CacheClient {
     /// unhealthy (reads divert to replicas until a sub-op succeeds).
     uint32_t unhealthy_after = 2;
 
+    // --- Fencing & integrity (DESIGN.md §7) ---
+    /// Epoch-fence remote access: revoke a region's rkeys at migration
+    /// cutover (drain -> revoke -> redirect), gate two-sided writes on
+    /// a fresh lease, and redirect kProtectionError completions to the
+    /// post-migration placement. Disabling this is the ablation knob:
+    /// stale keys then stay valid forever and a zombie write can land
+    /// on a migrated (reassignable) region silently.
+    bool epoch_fencing = true;
+    /// End-to-end payload checksums: op headers carry a checksum the
+    /// server verifies before applying writes; responses and migration
+    /// chunk copies are verified on arrival. Detects silent corruption,
+    /// not just loss.
+    bool verify_checksums = true;
+    /// Lease TTL for two-sided configurations (s > 0). A write against
+    /// a region whose lease lapsed is deferred until a renewal round
+    /// trip confirms the client hasn't missed a revocation. Renewal
+    /// piggybacks on every successful two-sided response. 0 disables
+    /// lease gating (the NIC/server epoch check remains the hard
+    /// fence).
+    uint64_t lease_ttl_ns = 1 * kMillisecond;
+    /// Buggify decision points for the chaos-schedule explorer (not
+    /// owned; nullptr = no fault injection at decision points).
+    chaos::Buggify* buggify = nullptr;
+
     /// Telemetry domain (metrics registry + span tracer) the client
     /// instruments itself with. Not owned; the Testbed wires its own.
     /// nullptr makes the client construct a private domain so the
@@ -157,6 +185,14 @@ class CacheClient {
     uint64_t repairs_started = 0;      // re-replication jobs started
     uint64_t repairs_completed = 0;    // replicas restored
     uint64_t storm_regions_lost = 0;   // regions force-freed mid-copy
+    // Fencing & integrity (DESIGN.md §7).
+    uint64_t fence_revocations = 0;    // epoch bumps at migration cutover
+    uint64_t fence_stale_rejected = 0; // ops fenced off with ProtectionError
+    uint64_t fence_redirects = 0;      // fenced ops re-routed post-cutover
+    uint64_t lease_renewals = 0;       // explicit kLease grants
+    uint64_t lease_expirations = 0;    // writes deferred on a lapsed lease
+    uint64_t checksum_mismatches = 0;  // end-to-end integrity failures
+    uint64_t chunks_verified = 0;      // migration/repair chunks checked
 
     void Reset() { *this = Stats{}; }
     uint64_t ops_completed() const {
@@ -343,7 +379,13 @@ class CacheClient {
     bool issued = false;  // counted in its region's inflight_subops
     bool to_replica = false;  // write twin / hedged read to the replica
     uint32_t attempts = 0;        // completed (failed) issue attempts
+    /// Times this op was parked waiting on a lease renewal. Kept apart
+    /// from `attempts` so lease hiccups never eat the retry budget.
+    uint32_t lease_defers = 0;
     sim::SimTime issued_at = 0;   // deadline base, set at issue
+    /// Access epoch the op was issued under (stamped at flush/issue
+    /// from the placement key; echoed back in two-sided responses).
+    uint32_t epoch = 0;
   };
   // SubOps are staged in rings, arenas and flat maps by value; keeping
   // them trivially copyable makes every such move a memcpy and lets the
@@ -362,6 +404,12 @@ class CacheClient {
     bool migrating = false;  // owned by an active migration copy
     uint32_t inflight_subops = 0;
     std::vector<SubOp> parked;
+    /// Lease state for two-sided configs (DESIGN.md §7). 0 = no lease
+    /// held yet (bootstrap: the first ops run unfenced client-side; the
+    /// server epoch check is the hard fence). Renewed by every
+    /// successful two-sided response against this region.
+    sim::SimTime lease_expires_at = 0;
+    bool lease_pending = false;  // an explicit kLease round trip in flight
     /// Trace span of the in-flight repair (0 = none / tracing off).
     telemetry::SpanId repair_span = 0;
   };
@@ -387,7 +435,17 @@ class CacheClient {
     /// vectors reallocated on every flush.
     std::vector<SubOp> slot_arena;
     std::vector<uint32_t> slot_count;
+    /// Sequence number of the batch currently staged in each slot,
+    /// cross-checked against the response header's seq so a reordered
+    /// or duplicated response write can never be charged against a
+    /// slot's newer occupant (defense in depth — see DrainResponses).
+    std::vector<uint64_t> slot_seq;
     uint32_t slot_stride = 0;
+    /// Set when a request batch is reported lost at send time. The
+    /// server consumes batches strictly in sequence order, so a hole
+    /// in the sequence strands every later batch; the resilience sweep
+    /// tears a poisoned connection down and retries its staged ops.
+    bool poisoned = false;
     // One-sided state.
     rdma::MemoryRegion* onesided_ring = nullptr;
     std::vector<bool> onesided_slot_busy;
@@ -455,6 +513,13 @@ class CacheClient {
     telemetry::Counter* repairs_started = nullptr;
     telemetry::Counter* repairs_completed = nullptr;
     telemetry::Counter* storm_regions_lost = nullptr;
+    telemetry::Counter* fence_revocations = nullptr;
+    telemetry::Counter* fence_stale_rejected = nullptr;
+    telemetry::Counter* fence_redirects = nullptr;
+    telemetry::Counter* lease_renewals = nullptr;
+    telemetry::Counter* lease_expirations = nullptr;
+    telemetry::Counter* checksum_mismatches = nullptr;
+    telemetry::Counter* chunks_verified = nullptr;
     telemetry::WindowedHistogram* read_latency = nullptr;
     telemetry::WindowedHistogram* write_latency = nullptr;
     telemetry::Gauge* inflight = nullptr;
@@ -569,6 +634,13 @@ class CacheClient {
                            cluster::VmId vm, const Status& status);
   void ParkOp(CacheEntry& cache, SubOp op);
   void ReplayParked(CacheEntry& cache, uint32_t vregion);
+  /// Enqueues an explicit kLease round trip for the region (two-sided;
+  /// re-arms the lease after an idle expiry). Consults the
+  /// kDropLeaseRenewal buggify point.
+  void RequestLease(CacheEntry& cache, ClientThread& thread,
+                    uint32_t vregion);
+  /// Consults a buggify decision point (false when none installed).
+  bool BuggifyFires(chaos::Buggify* b, uint32_t point) const;
 
   // --- migration internals (recovery supervisor) ---
   struct MigrationJob;
@@ -591,6 +663,14 @@ class CacheClient {
   void RegionLost(MigrationJob* job);
   /// Commits the copied region to the region table and unpauses it.
   void SwapRegion(MigrationJob* job);
+  /// Revokes remote access to a (drained, write-paused) placement by
+  /// bumping its region's access epoch: every outstanding rkey goes
+  /// stale and late WRITEs fence off with kProtectionError. Called at
+  /// the drain-gate pass of a migration, before the first chunk is
+  /// read, so the copy snapshots a write-frozen region.
+  void RevokePlacement(CacheId cache_id,
+                       const CacheManager::RegionPlacement& placement,
+                       uint32_t vregion);
   /// Re-entry point for deferred continuations (alloc backoff,
   /// capacity wakeups); no-op if the job completed meanwhile.
   void ResumeRegion(uint64_t bg_id);
@@ -634,6 +714,10 @@ class CacheClient {
   void RepairAttempt(CacheId id, uint32_t vregion, uint32_t attempt);
 
   void OnVmLoss(cluster::VmId vm, sim::SimTime deadline);
+  /// The recovery reaction to a VM-loss notice (failover / migrate).
+  /// Split from OnVmLoss so the kDelayReclaimNotice buggify point can
+  /// defer the reaction while the deadline clock runs.
+  void HandleVmLoss(cluster::VmId vm, sim::SimTime deadline);
 
   sim::Simulation* sim_;
   rdma::Fabric* fabric_;

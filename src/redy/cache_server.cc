@@ -192,44 +192,85 @@ uint64_t CacheServer::ProcessBatch(Connection& conn, bool* blocked) {
       conn.response_staging->data() + slot * conn.response_slot_bytes;
   uint64_t resp_off = sizeof(BatchHeader);
 
+  // Structural hardening: never walk past the batch's declared end (or
+  // the slot, whichever is smaller). A malformed batch stops the walk;
+  // the short response count surfaces on the client as a typed
+  // kDataCorruption, not a misparse.
   const uint8_t* req = base + sizeof(BatchHeader);
-  for (uint32_t i = 0; i < hdr.count; i++) {
+  const uint8_t* const req_end =
+      base + std::min<uint64_t>(hdr.bytes, conn.request_slot_bytes);
+  bool malformed =
+      hdr.bytes < sizeof(BatchHeader) || hdr.bytes > conn.request_slot_bytes;
+  uint32_t processed = 0;
+  for (uint32_t i = 0; !malformed && i < hdr.count; i++) {
+    if (req + sizeof(RequestHeader) > req_end) {
+      malformed = true;
+      break;
+    }
     RequestHeader rh;
     std::memcpy(&rh, req, sizeof(rh));
     req += sizeof(rh);
+    if (rh.op == OpCode::kWrite &&
+        rh.len > static_cast<uint64_t>(req_end - req)) {
+      malformed = true;
+      break;
+    }
 
     ResponseHeader resp;
     resp.op = static_cast<uint8_t>(rh.op);
     resp.len = 0;
     consumed += costs_.server_request_ns;
 
-    if (rh.region >= regions_.size() ||
-        !regions_[rh.region]->InBounds(rh.offset, rh.len) ||
+    rdma::MemoryRegion* region =
+        rh.region < regions_.size() ? regions_[rh.region] : nullptr;
+    // Responses echo the region's *current* epoch; a kLease response's
+    // epoch is the granted lease token.
+    resp.epoch = region != nullptr ? region->epoch() : 0;
+    if (region == nullptr || !region->InBounds(rh.offset, rh.len) ||
         // Defensive: a response larger than the slot would corrupt the
         // staging ring (the client routes such ops one-sided).
         resp_off + sizeof(ResponseHeader) + rh.len >
             conn.response_slot_bytes) {
       resp.status = static_cast<uint8_t>(StatusCode::kOutOfRange);
-    } else if (rh.op == OpCode::kWrite) {
-      std::memcpy(regions_[rh.region]->data() + rh.offset, req, rh.len);
-      consumed += static_cast<uint64_t>(costs_.server_ns_per_byte * rh.len);
+    } else if (RequestChecksum(rh, req) != rh.checksum) {
+      // End-to-end integrity: the op (and, for writes, its payload)
+      // does not match what the client staged. Never apply it.
+      resp.status = static_cast<uint8_t>(StatusCode::kDataCorruption);
+    } else if (rh.op == OpCode::kLease) {
       resp.status = static_cast<uint8_t>(StatusCode::kOk);
+    } else if (rh.op == OpCode::kWrite) {
+      if (rh.epoch != region->epoch()) {
+        // Fenced: the key this write was issued under was revoked at a
+        // migration cutover. Reject loudly instead of landing it on
+        // memory that may have moved on.
+        resp.status = static_cast<uint8_t>(StatusCode::kProtectionError);
+      } else {
+        std::memcpy(region->data() + rh.offset, req, rh.len);
+        consumed +=
+            static_cast<uint64_t>(costs_.server_ns_per_byte * rh.len);
+        resp.status = static_cast<uint8_t>(StatusCode::kOk);
+      }
     } else {
-      // Read: copy region bytes into the response payload.
+      // Read: copy region bytes into the response payload. Reads are
+      // deliberately not epoch-fenced — a revoked region stays
+      // readable until deregistration.
       std::memcpy(resp_base + resp_off + sizeof(ResponseHeader),
-                  regions_[rh.region]->data() + rh.offset, rh.len);
+                  region->data() + rh.offset, rh.len);
       consumed += static_cast<uint64_t>(costs_.server_ns_per_byte * rh.len);
       resp.status = static_cast<uint8_t>(StatusCode::kOk);
       resp.len = rh.len;
     }
+    resp.checksum =
+        ResponseChecksum(resp, resp_base + resp_off + sizeof(ResponseHeader));
     std::memcpy(resp_base + resp_off, &resp, sizeof(resp));
     resp_off += sizeof(resp) + resp.len;
     if (rh.op == OpCode::kWrite) req += rh.len;
+    processed++;
   }
 
   BatchHeader resp_hdr;
   resp_hdr.seq = hdr.seq;
-  resp_hdr.count = hdr.count;
+  resp_hdr.count = processed;
   resp_hdr.bytes = static_cast<uint32_t>(resp_off);
   std::memcpy(resp_base, &resp_hdr, sizeof(resp_hdr));
 

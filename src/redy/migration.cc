@@ -22,6 +22,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "chaos/buggify.h"
+#include "common/checksum.h"
 #include "common/logging.h"
 #include "redy/cache_client.h"
 
@@ -54,6 +56,7 @@ struct CacheClient::MigrationJob {
   uint64_t next_chunk_off = 0;
   uint32_t chunks_out = 0;
   std::deque<uint32_t> chunk_lens;  // lens of in-flight chunks, in order
+  std::deque<uint64_t> chunk_sums;  // source checksums, parallel to lens
   bool copy_failed = false;
   uint32_t region_resumes = 0;
   bool loss_accounted = false;
@@ -331,6 +334,7 @@ void CacheClient::MigrateNextRegion(MigrationJob* job) {
   job->next_chunk_off = 0;
   job->chunks_out = 0;
   job->chunk_lens.clear();
+  job->chunk_sums.clear();
   job->copy_failed = false;
   job->region_resumes = 0;
   job->loss_accounted = false;
@@ -344,13 +348,44 @@ void CacheClient::MigrateNextRegion(MigrationJob* job) {
   // Wait until in-flight sub-ops on this region drain, then transfer.
   // (In-flight *reads* are harmless: the old region stays intact and
   // serves them until the placement swap.)
+  //
+  // Buggify can disable the drain barrier outright; the copy then races
+  // whatever is still in flight, and only the epoch revocation below
+  // keeps those zombie writes from landing silently behind the copy.
+  const bool skip_drain = BuggifyFires(
+      options_.buggify,
+      static_cast<uint32_t>(chaos::BuggifyPoint::kSkipDrainGate));
   job->gate = std::make_unique<sim::Poller>(
       sim_, options_.costs.poll_interval_ns,
-      [this, job, vr_index]() -> uint64_t {
+      [this, job, vr_index, skip_drain]() -> uint64_t {
         CacheEntry& cache = *FindCache(job->cache_id);
         VRegion& vr = cache.regions[vr_index];
-        if (vr.inflight_subops > 0) return options_.costs.idle_poll_ns;
+        if (!skip_drain && vr.inflight_subops > 0) {
+          return options_.costs.idle_poll_ns;
+        }
         job->gate->Stop();
+        // Fence before the first chunk is read: bump the old placement's
+        // rkey epoch so in-flight one-sided writes (and any later op
+        // issued against a stale cached key) complete with
+        // ProtectionError instead of mutating bytes the copy already
+        // snapshotted. Buggify can reorder the revoke after the copy
+        // start; the placement is captured *now* so a delayed revoke
+        // still fences the old region, never the post-swap one.
+        if (options_.epoch_fencing) {
+          const CacheManager::RegionPlacement old_placement = vr.placement;
+          const CacheId cid = job->cache_id;
+          if (BuggifyFires(options_.buggify,
+                           static_cast<uint32_t>(
+                               chaos::BuggifyPoint::kDelayRevoke))) {
+            sim_->After(
+                options_.buggify->DelayNs(chaos::BuggifyPoint::kDelayRevoke),
+                [this, cid, old_placement, vr_index] {
+                  RevokePlacement(cid, old_placement, vr_index);
+                });
+          } else {
+            RevokePlacement(cid, old_placement, vr_index);
+          }
+        }
         sim_->After(0, [this, bg = job->bg_id] {
           auto it = migration_jobs_.find(bg);
           if (it != migration_jobs_.end()) StartRegionCopy(it->second);
@@ -358,6 +393,22 @@ void CacheClient::MigrateNextRegion(MigrationJob* job) {
         return 200;
       });
   job->gate->Start();
+}
+
+void CacheClient::RevokePlacement(
+    CacheId cache_id, const CacheManager::RegionPlacement& placement,
+    uint32_t vregion) {
+  CacheEntry* cache = FindCache(cache_id);
+  if (cache == nullptr || cache->deleted) return;
+  if (placement.server == nullptr) return;
+  rdma::MemoryRegion* mr = placement.server->region(placement.region_index);
+  if (mr == nullptr || !mr->valid()) return;
+  mr->RevokeEpoch();
+  cache->ctr.fence_revocations->Inc();
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    tr->Instant(RecoveryTrack(*tr), "revoke", "recovery", sim_->Now(),
+                {"cache", cache_id}, {"vregion", vregion});
+  }
 }
 
 void CacheClient::StartRegionCopy(MigrationJob* job) {
@@ -449,14 +500,16 @@ void CacheClient::BeginChunkCopy(MigrationJob* job) {
   job->next_chunk_off = job->acked_off;  // resume at the acked prefix
   job->chunks_out = 0;
   job->chunk_lens.clear();
+  job->chunk_sums.clear();
 
   rdma::MemoryRegion* dst_mr = dst.server->region(dst.region_index);
+  rdma::MemoryRegion* src_mr = src.server->region(src.region_index);
   const rdma::RemoteKey src_key = src.key;
   const uint64_t region_bytes = cache.region_bytes;
 
   job->driver = std::make_unique<sim::Poller>(
       sim_, 250,
-      [this, job, dst_mr, src_key, region_bytes,
+      [this, job, dst_mr, src_mr, src_key, region_bytes,
        src_node = src.node, dst_node = dst.node]() -> uint64_t {
         uint64_t consumed = 0;
         rdma::WorkCompletion wc;
@@ -465,16 +518,43 @@ void CacheClient::BeginChunkCopy(MigrationJob* job) {
           job->chunks_out--;
           const uint32_t len = job->chunk_lens.front();
           job->chunk_lens.pop_front();
+          const uint64_t want_sum = job->chunk_sums.front();
+          job->chunk_sums.pop_front();
           if (wc.status != StatusCode::kOk) {
             job->copy_failed = true;
           } else if (!job->copy_failed) {
             // Completions arrive in post order per QP, so successes
-            // before the first failure extend a contiguous prefix.
-            job->acked_off += len;
-            if (telemetry::SpanTracer* tr = ActiveTracer()) {
-              tr->Instant(RecoveryTrack(*tr), "chunk_acked", "recovery",
-                          sim_->Now(), {"cache", job->cache_id},
-                          {"acked_off", job->acked_off});
+            // before the first failure extend a contiguous prefix. The
+            // chunk now sits at [acked_off, acked_off+len) on the
+            // target; re-checksum it against the source-side sum taken
+            // at post time. A mismatch means the source mutated under
+            // the read (a zombie write racing the copy) — fail the
+            // copy without advancing the acked prefix so the resume
+            // re-reads the chunk.
+            bool chunk_ok = true;
+            if (options_.verify_checksums) {
+              CacheEntry& c = *FindCache(job->cache_id);
+              c.ctr.chunks_verified->Inc();
+              if (Checksum64(dst_mr->data() + job->acked_off, len) !=
+                  want_sum) {
+                chunk_ok = false;
+                c.ctr.checksum_mismatches->Inc();
+                job->copy_failed = true;
+                if (telemetry::SpanTracer* tr = ActiveTracer()) {
+                  tr->Instant(RecoveryTrack(*tr), "chunk_corrupt",
+                              "recovery", sim_->Now(),
+                              {"cache", job->cache_id},
+                              {"off", job->acked_off});
+                }
+              }
+            }
+            if (chunk_ok) {
+              job->acked_off += len;
+              if (telemetry::SpanTracer* tr = ActiveTracer()) {
+                tr->Instant(RecoveryTrack(*tr), "chunk_acked", "recovery",
+                            sim_->Now(), {"cache", job->cache_id},
+                            {"acked_off", job->acked_off});
+              }
             }
           }
           consumed += 100;
@@ -501,6 +581,12 @@ void CacheClient::BeginChunkCopy(MigrationJob* job) {
           }
           job->chunks_out++;
           job->chunk_lens.push_back(static_cast<uint32_t>(len));
+          // Source-side checksum at post time: the copy is only correct
+          // if the source stays frozen until the read lands.
+          job->chunk_sums.push_back(
+              options_.verify_checksums
+                  ? Checksum64(src_mr->data() + job->next_chunk_off, len)
+                  : 0);
           job->next_chunk_off += len;
           consumed += 200;
           if (pace_ns > 0) break;  // at most one chunk per pace interval
@@ -588,6 +674,10 @@ void CacheClient::SwapRegion(MigrationJob* job) {
   const uint32_t vr_index = job->vregions[job->next];
   VRegion& vr = cache.regions[vr_index];
   vr.placement = *job->target;
+  // The lease followed the old placement; the first op against the new
+  // one re-establishes it (piggybacked on its response).
+  vr.lease_expires_at = 0;
+  vr.lease_pending = false;
   vr.migrating = false;
   if (options_.pause_per_region_writes) {
     vr.writes_paused = false;
@@ -781,9 +871,13 @@ void CacheClient::TransferRegion(const CacheManager::RegionPlacement& src,
   struct Xfer {
     rdma::QueuePair* qp = nullptr;
     rdma::QueuePair* peer = nullptr;
+    rdma::MemoryRegion* src_mr = nullptr;
     std::unique_ptr<sim::Poller> driver;
     uint64_t next_off = 0;
     uint32_t out = 0;
+    std::deque<uint32_t> lens;   // in-flight chunk lens, post order
+    std::deque<uint64_t> offs;   // matching destination offsets
+    std::deque<uint64_t> sums;   // matching source-side checksums
     bool failed = false;
     std::function<void(bool)> done;
   };
@@ -802,6 +896,7 @@ void CacheClient::TransferRegion(const CacheManager::RegionPlacement& src,
   if (!x->qp->Connect(x->peer).ok()) x->failed = true;
 
   rdma::MemoryRegion* dst_mr = dst.server->region(dst.region_index);
+  x->src_mr = src.server->region(src.region_index);
   const rdma::RemoteKey src_key = src.key;
 
   x->driver = std::make_unique<sim::Poller>(
@@ -813,7 +908,22 @@ void CacheClient::TransferRegion(const CacheManager::RegionPlacement& src,
         while (xp->qp->send_cq().Poll(&wc, 1) == 1) {
           REDY_CHECK(xp->out > 0);
           xp->out--;
-          if (wc.status != StatusCode::kOk) xp->failed = true;
+          const uint32_t len = xp->lens.front();
+          xp->lens.pop_front();
+          const uint64_t off = xp->offs.front();
+          xp->offs.pop_front();
+          const uint64_t want = xp->sums.front();
+          xp->sums.pop_front();
+          if (wc.status != StatusCode::kOk) {
+            xp->failed = true;
+          } else if (!xp->failed && options_.verify_checksums &&
+                     Checksum64(dst_mr->data() + off, len) != want) {
+            // Replica repair shares the end-to-end integrity contract
+            // with migration: a chunk that lands differently from the
+            // source snapshot fails the whole transfer (the caller
+            // retries or accounts the loss), never goes live corrupt.
+            xp->failed = true;
+          }
           consumed += 100;
         }
         const uint64_t pace_ns = CopyPaceNs(src_node, dst_node);
@@ -828,6 +938,12 @@ void CacheClient::TransferRegion(const CacheManager::RegionPlacement& src,
             break;
           }
           xp->out++;
+          xp->lens.push_back(static_cast<uint32_t>(len));
+          xp->offs.push_back(xp->next_off);
+          xp->sums.push_back(
+              options_.verify_checksums
+                  ? Checksum64(xp->src_mr->data() + xp->next_off, len)
+                  : 0);
           xp->next_off += len;
           consumed += 200;
           if (pace_ns > 0) break;
@@ -857,6 +973,21 @@ void CacheClient::OnVmLoss(cluster::VmId vm, sim::SimTime deadline) {
   // Record the death sentence first: even with auto-recovery off, the
   // VM must stop counting as a usable copy endpoint at its deadline.
   vm_deadlines_[vm] = deadline;
+  // Buggify may sit on the notice. The deadline clock above is already
+  // running — only the reaction is late, exactly like a control-plane
+  // message stuck in a slow queue.
+  if (BuggifyFires(options_.buggify,
+                   static_cast<uint32_t>(
+                       chaos::BuggifyPoint::kDelayReclaimNotice))) {
+    sim_->After(
+        options_.buggify->DelayNs(chaos::BuggifyPoint::kDelayReclaimNotice),
+        [this, vm, deadline] { HandleVmLoss(vm, deadline); });
+    return;
+  }
+  HandleVmLoss(vm, deadline);
+}
+
+void CacheClient::HandleVmLoss(cluster::VmId vm, sim::SimTime deadline) {
   if (!options_.auto_recover) return;
   // Collect first: recovery mutates cache state.
   std::vector<CacheId> affected;

@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <cstring>
 
+#include "common/checksum.h"
+#include "common/status.h"
+
 namespace redy {
 
 /// Wire format of the Redy request/response rings (Section 4.2).
@@ -16,10 +19,21 @@ namespace redy {
 /// RDMA's in-order delivery makes the header write visible only with
 /// the full batch (the simulator applies a batch's bytes atomically at
 /// DMA-completion time).
+///
+/// Fencing & integrity (DESIGN.md §7): every op header carries the
+/// region's access epoch and a payload checksum. The server rejects
+/// writes whose epoch is stale (the client raced a migration cutover)
+/// and writes whose payload fails the checksum; responses are stamped
+/// with the region's current epoch and checksummed the same way, so
+/// the client detects truncated, misdirected, or bit-flipped entries
+/// with typed errors instead of misparsing them.
 
 enum class OpCode : uint8_t {
   kRead = 0,
   kWrite = 1,
+  // Lease acquisition/renewal for a region: header-only round trip over
+  // the message ring; the response's `epoch` is the granted epoch.
+  kLease = 2,
 };
 
 /// Header at the start of every request/response batch slot.
@@ -31,15 +45,19 @@ struct BatchHeader {
 static_assert(sizeof(BatchHeader) == 16);
 
 /// Per-request header inside a request batch. A write request is
-/// followed by `len` payload bytes; a read request carries no payload.
+/// followed by `len` payload bytes; read and lease requests carry no
+/// payload.
 struct RequestHeader {
   OpCode op = OpCode::kRead;
   uint8_t pad[3] = {};
   uint32_t len = 0;
-  uint32_t region = 0;   // physical region index on the target VM
-  uint64_t offset = 0;   // offset within that region
+  uint32_t region = 0;    // physical region index on the target VM
+  uint32_t epoch = 0;     // access epoch the op was issued under
+  uint32_t checksum = 0;  // RequestChecksum() over header fields + payload
+  uint32_t pad2 = 0;
+  uint64_t offset = 0;    // offset within that region
 };
-static_assert(sizeof(RequestHeader) == 24 || sizeof(RequestHeader) == 20);
+static_assert(sizeof(RequestHeader) == 32);
 
 /// Per-request header inside a response batch. A read response is
 /// followed by `len` payload bytes.
@@ -48,8 +66,10 @@ struct ResponseHeader {
   uint8_t op = 0;
   uint8_t pad[2] = {};
   uint32_t len = 0;
+  uint32_t epoch = 0;     // region's current epoch at serve time
+  uint32_t checksum = 0;  // ResponseChecksum() over header fields + payload
 };
-static_assert(sizeof(ResponseHeader) == 8);
+static_assert(sizeof(ResponseHeader) == 16);
 
 /// Slot sizing for a configuration with batch size `b` and record size
 /// `record_bytes` (the largest request/response a slot must hold).
@@ -60,6 +80,84 @@ inline uint64_t RequestSlotBytes(uint32_t b, uint32_t record_bytes) {
 inline uint64_t ResponseSlotBytes(uint32_t b, uint32_t record_bytes) {
   return sizeof(BatchHeader) +
          static_cast<uint64_t>(b) * (sizeof(ResponseHeader) + record_bytes);
+}
+
+/// Checksum of a request: all header fields except the checksum itself,
+/// plus the payload bytes (writes only — `payload` must point at
+/// `rh.len` bytes when op == kWrite and is ignored otherwise).
+inline uint32_t RequestChecksum(const RequestHeader& rh,
+                                const uint8_t* payload) {
+  const uint64_t seed = (static_cast<uint64_t>(rh.op) << 56) ^
+                        (static_cast<uint64_t>(rh.len) << 32) ^
+                        (static_cast<uint64_t>(rh.region) << 20) ^
+                        (static_cast<uint64_t>(rh.epoch) << 8) ^
+                        (rh.offset * 0x9E3779B97F4A7C15ULL);
+  const uint64_t payload_len = rh.op == OpCode::kWrite ? rh.len : 0;
+  return Checksum32(payload, payload_len, seed);
+}
+
+/// Checksum of a response: all header fields except the checksum itself,
+/// plus the payload bytes (`payload` must point at `rh.len` bytes).
+inline uint32_t ResponseChecksum(const ResponseHeader& rh,
+                                 const uint8_t* payload) {
+  const uint64_t seed = (static_cast<uint64_t>(rh.status) << 48) ^
+                        (static_cast<uint64_t>(rh.op) << 40) ^
+                        (static_cast<uint64_t>(rh.len) << 16) ^
+                        rh.epoch;
+  return Checksum32(payload, rh.len, seed);
+}
+
+/// Structural validation of a response batch occupying `slot_bytes`
+/// bytes at `base` (the caller has already matched the sequence
+/// number). Rejects truncated or overrunning layouts before any entry
+/// is interpreted:
+///  - kInvalidArgument: batch byte count out of range, or an entry
+///    (header or payload) extends past the declared batch end.
+///  - kDataCorruption: entry count disagrees with the ops the client
+///    actually staged into this slot.
+inline Status ValidateResponseSlot(const uint8_t* base, uint64_t slot_bytes,
+                                   uint32_t expected_count) {
+  BatchHeader hdr;
+  std::memcpy(&hdr, base, sizeof(hdr));
+  if (hdr.bytes < sizeof(BatchHeader) || hdr.bytes > slot_bytes) {
+    return Status::InvalidArgument("response batch bytes out of range");
+  }
+  if (hdr.count != expected_count) {
+    return Status::DataCorruption("response batch count mismatch");
+  }
+  const uint8_t* p = base + sizeof(BatchHeader);
+  const uint8_t* const end = base + hdr.bytes;
+  for (uint32_t i = 0; i < hdr.count; i++) {
+    if (p + sizeof(ResponseHeader) > end) {
+      return Status::InvalidArgument("truncated response entry header");
+    }
+    ResponseHeader rh;
+    std::memcpy(&rh, p, sizeof(rh));
+    p += sizeof(ResponseHeader);
+    if (rh.len > static_cast<uint64_t>(end - p)) {
+      return Status::InvalidArgument("response payload overruns batch");
+    }
+    p += rh.len;
+  }
+  return Status::OK();
+}
+
+/// Content validation of one response entry (header `rh`, payload at
+/// `payload`): checksum first (a flipped bit anywhere, including the
+/// epoch field, reads as corruption, not as a fence event), then — for
+/// successful entries, when `check_epoch` — the epoch echo against the
+/// epoch the op was issued under.
+inline Status ValidateResponseEntry(const ResponseHeader& rh,
+                                    const uint8_t* payload,
+                                    uint32_t expected_epoch,
+                                    bool check_epoch) {
+  if (ResponseChecksum(rh, payload) != rh.checksum) {
+    return Status::DataCorruption("response checksum mismatch");
+  }
+  if (check_epoch && rh.status == 0 && rh.epoch != expected_epoch) {
+    return Status::ProtectionError("response epoch mismatch");
+  }
+  return Status::OK();
 }
 
 }  // namespace redy

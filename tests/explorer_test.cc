@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chaos/schedule_explorer.h"
+
+namespace redy::chaos {
+namespace {
+
+ScheduleExplorer::Options CiBudget() {
+  ScheduleExplorer::Options o;
+  o.seed_start = 1;
+  o.seed_budget = 20;
+  o.buggify_p = 0.25;
+  return o;
+}
+
+uint64_t Fired(const std::vector<bool>& schedule) {
+  return static_cast<uint64_t>(
+      std::count(schedule.begin(), schedule.end(), true));
+}
+
+// The ablation: with epoch fencing off, the explorer must find a
+// schedule under which a zombie write — acknowledged against the old
+// region after its chunk was snapshotted — silently corrupts acked
+// bytes, within the CI seed budget. The failing schedule must shrink
+// to a minimal repro that replays byte-identically.
+TEST(ScheduleExplorerTest, UnfencedExplorerFindsAndShrinksZombieWrite) {
+  ScheduleExplorer explorer(MigrationScenario(/*epoch_fencing=*/false),
+                            CiBudget());
+  ScheduleExplorer::Result r = explorer.Explore();
+  ASSERT_TRUE(r.found_failure)
+      << "no corruption found in " << r.seeds_explored << " seeds";
+  EXPECT_TRUE(r.failure.corrupted);
+  EXPECT_GT(r.failure.corrupt_records, 0u);
+
+  // Shrinking never adds decisions, keeps at least one (a fault-free
+  // run must be clean), and every survivor is load-bearing: clearing
+  // any remaining fired decision makes the run pass.
+  ASSERT_GE(Fired(r.shrunk_schedule), 1u);
+  EXPECT_LE(Fired(r.shrunk_schedule), Fired(r.original_schedule));
+  EXPECT_LE(r.shrunk_schedule.size(), r.original_schedule.size());
+  for (size_t i = 0; i < r.shrunk_schedule.size(); i++) {
+    if (!r.shrunk_schedule[i]) continue;
+    std::vector<bool> relaxed = r.shrunk_schedule;
+    relaxed[i] = false;
+    EXPECT_FALSE(explorer.Replay(relaxed).corrupted)
+        << "decision " << i << " is not load-bearing";
+  }
+
+  // The minimal repro is a deterministic artifact: two replays agree
+  // on the fingerprint and the full decision sequence.
+  EXPECT_TRUE(r.replay_deterministic) << ScheduleExplorer::ResultToString(r);
+}
+
+// The same adversarial schedule that corrupts the unfenced build is
+// survived with fencing on: the revocation turns the zombie write into
+// a retried (redirected) one.
+TEST(ScheduleExplorerTest, FencingDefeatsTheShrunkSchedule) {
+  ScheduleExplorer unfenced(MigrationScenario(/*epoch_fencing=*/false),
+                            CiBudget());
+  ScheduleExplorer::Result r = unfenced.Explore();
+  ASSERT_TRUE(r.found_failure);
+
+  ScheduleExplorer fenced(MigrationScenario(/*epoch_fencing=*/true),
+                          CiBudget());
+  RunOutcome outcome = fenced.Replay(r.shrunk_schedule);
+  EXPECT_FALSE(outcome.corrupted) << outcome.detail;
+}
+
+// A fault-free run (all decisions false) is clean and byte-identical
+// across replays in both fencing modes.
+TEST(ScheduleExplorerTest, QuiescentScheduleIsCleanAndDeterministic) {
+  for (bool fenced : {false, true}) {
+    ScheduleExplorer explorer(MigrationScenario(fenced), CiBudget());
+    RunOutcome a = explorer.Replay({});
+    RunOutcome b = explorer.Replay({});
+    EXPECT_FALSE(a.corrupted) << a.detail;
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.log.size(), b.log.size());
+  }
+}
+
+}  // namespace
+}  // namespace redy::chaos

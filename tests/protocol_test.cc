@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "redy/protocol.h"
 
 namespace redy {
@@ -9,8 +12,8 @@ TEST(ProtocolTest, HeaderSizesAreStable) {
   // The wire format is shared between client and server staging code;
   // a size change would silently corrupt ring slot layout.
   EXPECT_EQ(sizeof(BatchHeader), 16u);
-  EXPECT_EQ(sizeof(ResponseHeader), 8u);
-  EXPECT_TRUE(sizeof(RequestHeader) == 20 || sizeof(RequestHeader) == 24);
+  EXPECT_EQ(sizeof(RequestHeader), 32u);
+  EXPECT_EQ(sizeof(ResponseHeader), 16u);
 }
 
 TEST(ProtocolTest, RequestSlotHoldsWorstCaseBatch) {
@@ -37,6 +40,180 @@ TEST(ProtocolTest, ResponseSlotHoldsWorstCaseBatch) {
 TEST(ProtocolTest, EmptySlotHasZeroSeq) {
   BatchHeader h;
   EXPECT_EQ(h.seq, 0u);  // batches are numbered from 1; 0 means empty
+}
+
+// ---------------------------------------------------------------------------
+// Checksums
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, RequestChecksumCoversHeaderAndPayload) {
+  uint8_t payload[32];
+  for (size_t i = 0; i < sizeof(payload); i++) {
+    payload[i] = static_cast<uint8_t>(i * 7 + 1);
+  }
+  RequestHeader rh;
+  rh.op = OpCode::kWrite;
+  rh.len = sizeof(payload);
+  rh.region = 3;
+  rh.epoch = 9;
+  rh.offset = 4096;
+  const uint32_t sum = RequestChecksum(rh, payload);
+
+  // Any header field change, or any payload bit flip, changes the sum.
+  RequestHeader other = rh;
+  other.epoch = 10;
+  EXPECT_NE(RequestChecksum(other, payload), sum);
+  other = rh;
+  other.offset = 4097;
+  EXPECT_NE(RequestChecksum(other, payload), sum);
+  payload[17] ^= 0x01;
+  EXPECT_NE(RequestChecksum(rh, payload), sum);
+  payload[17] ^= 0x01;
+  EXPECT_EQ(RequestChecksum(rh, payload), sum);
+
+  // Reads ignore the payload pointer: header-only coverage.
+  rh.op = OpCode::kRead;
+  EXPECT_EQ(RequestChecksum(rh, nullptr), RequestChecksum(rh, payload));
+}
+
+TEST(ProtocolTest, ResponseChecksumRoundTrips) {
+  uint8_t payload[16] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ResponseHeader rh;
+  rh.status = 0;
+  rh.op = static_cast<uint8_t>(OpCode::kRead);
+  rh.len = sizeof(payload);
+  rh.epoch = 2;
+  rh.checksum = ResponseChecksum(rh, payload);
+  EXPECT_TRUE(ValidateResponseEntry(rh, payload, /*expected_epoch=*/2,
+                                    /*check_epoch=*/true)
+                  .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Negative paths: every malformed shape must be rejected with a typed
+// error before any entry is interpreted.
+// ---------------------------------------------------------------------------
+
+class ResponseSlotTest : public ::testing::Test {
+ protected:
+  // Builds a well-formed response slot with `count` ok read entries of
+  // `len` payload bytes each.
+  std::vector<uint8_t> BuildSlot(uint32_t count, uint32_t len,
+                                 uint32_t epoch = 1) {
+    const uint64_t slot_bytes = ResponseSlotBytes(count ? count : 1, len);
+    std::vector<uint8_t> slot(slot_bytes, 0);
+    uint64_t off = sizeof(BatchHeader);
+    for (uint32_t i = 0; i < count; i++) {
+      ResponseHeader rh;
+      rh.status = 0;
+      rh.op = static_cast<uint8_t>(OpCode::kRead);
+      rh.len = len;
+      rh.epoch = epoch;
+      uint8_t* payload = slot.data() + off + sizeof(ResponseHeader);
+      for (uint32_t b = 0; b < len; b++) {
+        payload[b] = static_cast<uint8_t>(i + b + 1);
+      }
+      rh.checksum = ResponseChecksum(rh, payload);
+      std::memcpy(slot.data() + off, &rh, sizeof(rh));
+      off += sizeof(rh) + len;
+    }
+    BatchHeader hdr;
+    hdr.seq = 1;
+    hdr.count = count;
+    hdr.bytes = static_cast<uint32_t>(off);
+    std::memcpy(slot.data(), &hdr, sizeof(hdr));
+    return slot;
+  }
+};
+
+TEST_F(ResponseSlotTest, WellFormedSlotValidates) {
+  auto slot = BuildSlot(3, 8);
+  EXPECT_TRUE(ValidateResponseSlot(slot.data(), slot.size(), 3).ok());
+}
+
+TEST_F(ResponseSlotTest, TruncatedBatchIsInvalidArgument) {
+  auto slot = BuildSlot(2, 8);
+  // Batch claims fewer bytes than one entry header needs.
+  BatchHeader hdr;
+  std::memcpy(&hdr, slot.data(), sizeof(hdr));
+  hdr.bytes = sizeof(BatchHeader) + sizeof(ResponseHeader) / 2;
+  std::memcpy(slot.data(), &hdr, sizeof(hdr));
+  Status st = ValidateResponseSlot(slot.data(), slot.size(), 2);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST_F(ResponseSlotTest, BatchBytesBeyondSlotIsInvalidArgument) {
+  auto slot = BuildSlot(2, 8);
+  BatchHeader hdr;
+  std::memcpy(&hdr, slot.data(), sizeof(hdr));
+  hdr.bytes = static_cast<uint32_t>(slot.size()) + 1;
+  std::memcpy(slot.data(), &hdr, sizeof(hdr));
+  Status st = ValidateResponseSlot(slot.data(), slot.size(), 2);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST_F(ResponseSlotTest, PayloadOverrunIsInvalidArgument) {
+  auto slot = BuildSlot(1, 8);
+  // Entry claims more payload than the batch holds.
+  ResponseHeader rh;
+  std::memcpy(&rh, slot.data() + sizeof(BatchHeader), sizeof(rh));
+  rh.len = 1 << 20;
+  std::memcpy(slot.data() + sizeof(BatchHeader), &rh, sizeof(rh));
+  Status st = ValidateResponseSlot(slot.data(), slot.size(), 1);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST_F(ResponseSlotTest, CountMismatchIsDataCorruption) {
+  auto slot = BuildSlot(2, 8);
+  // The client staged 3 ops in this slot; a 2-entry response is a
+  // short (corrupt) batch, not a parse error.
+  Status st = ValidateResponseSlot(slot.data(), slot.size(), 3);
+  EXPECT_TRUE(st.IsDataCorruption()) << st.ToString();
+}
+
+TEST_F(ResponseSlotTest, BitFlippedEntryIsDataCorruption) {
+  auto slot = BuildSlot(1, 16);
+  // Flip one payload bit; the entry checksum catches it.
+  slot[sizeof(BatchHeader) + sizeof(ResponseHeader) + 5] ^= 0x20;
+  ResponseHeader rh;
+  std::memcpy(&rh, slot.data() + sizeof(BatchHeader), sizeof(rh));
+  Status st = ValidateResponseEntry(
+      rh, slot.data() + sizeof(BatchHeader) + sizeof(ResponseHeader),
+      /*expected_epoch=*/1, /*check_epoch=*/true);
+  EXPECT_TRUE(st.IsDataCorruption()) << st.ToString();
+}
+
+TEST_F(ResponseSlotTest, FlippedEpochFieldReadsAsCorruptionNotFence) {
+  // A bit flip in the epoch *field* must be reported as corruption:
+  // the checksum covers the epoch, and checksum mismatch is checked
+  // first, so a damaged entry can never masquerade as a fence event.
+  auto slot = BuildSlot(1, 8, /*epoch=*/1);
+  ResponseHeader rh;
+  std::memcpy(&rh, slot.data() + sizeof(BatchHeader), sizeof(rh));
+  rh.epoch ^= 0x4;
+  Status st = ValidateResponseEntry(
+      rh, slot.data() + sizeof(BatchHeader) + sizeof(ResponseHeader),
+      /*expected_epoch=*/1, /*check_epoch=*/true);
+  EXPECT_TRUE(st.IsDataCorruption()) << st.ToString();
+}
+
+TEST_F(ResponseSlotTest, StaleEpochEchoIsProtectionError) {
+  // A well-formed, checksum-valid entry whose epoch echo disagrees
+  // with the epoch the op was issued under is the fence signal.
+  auto slot = BuildSlot(1, 8, /*epoch=*/7);
+  ResponseHeader rh;
+  std::memcpy(&rh, slot.data() + sizeof(BatchHeader), sizeof(rh));
+  Status st = ValidateResponseEntry(
+      rh, slot.data() + sizeof(BatchHeader) + sizeof(ResponseHeader),
+      /*expected_epoch=*/6, /*check_epoch=*/true);
+  EXPECT_TRUE(st.IsProtectionError()) << st.ToString();
+
+  // With epoch checking off (the ablation), the same entry passes.
+  EXPECT_TRUE(ValidateResponseEntry(
+                  rh,
+                  slot.data() + sizeof(BatchHeader) + sizeof(ResponseHeader),
+                  /*expected_epoch=*/6, /*check_epoch=*/false)
+                  .ok());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "net/topology.h"
 #include "rdma/nic.h"
 #include "rdma/queue_pair.h"
+#include "redy/cache_server.h"
 #include "sim/simulation.h"
 
 namespace redy {
@@ -198,7 +199,71 @@ TEST_F(RdmaTest, RemoteAccessToInvalidRegionFails) {
   ASSERT_TRUE(cqp_->PostWrite(1, local, 0, key, 0, 8).ok());
   auto wcs = Drain();
   ASSERT_EQ(wcs.size(), 1u);
-  EXPECT_EQ(wcs[0].status, StatusCode::kAborted);
+  EXPECT_EQ(wcs[0].status, StatusCode::kProtectionError);
+}
+
+TEST_F(RdmaTest, DeregisterWhileWriteInFlightNeverTouchesBytes) {
+  MemoryRegion* local = client_nic_->RegisterMemory(4096);
+  MemoryRegion* remote = server_nic_->RegisterMemory(4096);
+  const rdma::RemoteKey key = remote->remote_key();
+  std::memset(remote->data(), 0xAB, 64);
+
+  std::memset(local->data(), 0xCD, 64);
+  ASSERT_TRUE(cqp_->PostWrite(1, local, 0, key, 0, 64).ok());
+  // Deregister while the WQE is in flight. The region's storage stays
+  // alive through the NIC's retirement grace period, so the old bytes
+  // remain observable — and must remain untouched.
+  server_nic_->DeregisterMemory(remote);
+
+  auto wcs = Drain();
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kProtectionError);
+  for (int i = 0; i < 64; i++) {
+    ASSERT_EQ(remote->data()[i], 0xAB) << "freed byte " << i << " mutated";
+  }
+}
+
+TEST_F(RdmaTest, StaleEpochWriteIsFencedFreshKeySucceeds) {
+  MemoryRegion* local = client_nic_->RegisterMemory(4096);
+  MemoryRegion* remote = server_nic_->RegisterMemory(4096);
+  const rdma::RemoteKey stale = remote->remote_key();
+  std::memset(remote->data(), 0, 16);
+
+  remote->RevokeEpoch();
+  std::memset(local->data(), 0x5A, 16);
+  ASSERT_TRUE(cqp_->PostWrite(1, local, 0, stale, 0, 16).ok());
+  auto wcs = Drain();
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kProtectionError);
+  for (int i = 0; i < 16; i++) {
+    ASSERT_EQ(remote->data()[i], 0) << "fenced write landed at byte " << i;
+  }
+
+  // A key minted after the revocation carries the new epoch and works.
+  ASSERT_TRUE(
+      cqp_->PostWrite(2, local, 0, remote->remote_key(), 0, 16).ok());
+  wcs = Drain();
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kOk);
+  EXPECT_EQ(remote->data()[0], 0x5A);
+}
+
+TEST_F(RdmaTest, ReadsSurviveEpochRevocation) {
+  // A revoked region is write-frozen but stays readable until
+  // deregistration: migration chunk copies and unpaused reads keep
+  // flowing through the cutover.
+  MemoryRegion* local = client_nic_->RegisterMemory(4096);
+  MemoryRegion* remote = server_nic_->RegisterMemory(4096);
+  const char msg[] = "still readable";
+  std::memcpy(remote->data(), msg, sizeof(msg));
+  const rdma::RemoteKey stale = remote->remote_key();
+  remote->RevokeEpoch();
+
+  ASSERT_TRUE(cqp_->PostRead(1, local, 0, stale, 0, sizeof(msg)).ok());
+  auto wcs = Drain();
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kOk);
+  EXPECT_EQ(std::memcmp(local->data(), msg, sizeof(msg)), 0);
 }
 
 TEST_F(RdmaTest, RemoteOutOfBoundsFails) {
@@ -226,6 +291,35 @@ TEST_F(RdmaTest, NicFailureFlushesInFlightOps) {
   }
   // New posts on a broken QP are rejected synchronously.
   EXPECT_FALSE(cqp_->PostWrite(9, local, 0, remote->remote_key(), 0, 8).ok());
+}
+
+TEST_F(RdmaTest, ServerShutdownFencesInFlightWrites) {
+  // CacheServer::Shutdown deregisters every region it serves. A write
+  // already in flight against one of them must complete with
+  // kProtectionError and leave the (retired, still-observable) bytes
+  // untouched.
+  cluster::Vm vm;
+  vm.id = 1;
+  vm.server = 1;
+  vm.memory_bytes = 64 * kMiB;
+  redy::CacheServer server(&sim_, &fabric_, vm, redy::CostModel{});
+  auto keys_or = server.AllocateRegions(1, 4096);
+  ASSERT_TRUE(keys_or.ok());
+  rdma::MemoryRegion* region = server.region(0);
+  ASSERT_NE(region, nullptr);
+  std::memset(region->data(), 0x11, 32);
+
+  MemoryRegion* local = client_nic_->RegisterMemory(4096);
+  std::memset(local->data(), 0x22, 32);
+  ASSERT_TRUE(cqp_->PostWrite(5, local, 0, (*keys_or)[0], 0, 32).ok());
+  server.Shutdown();
+
+  auto wcs = Drain();
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kProtectionError);
+  for (int i = 0; i < 32; i++) {
+    ASSERT_EQ(region->data()[i], 0x11) << "freed byte " << i << " mutated";
+  }
 }
 
 TEST_F(RdmaTest, SendRecvDeliversToPostedBuffer) {
