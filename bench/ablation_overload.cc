@@ -1,0 +1,429 @@
+// Ablation: the overload-resilience machinery (DESIGN.md §12) on vs
+// off under a seeded four-tenant OverloadStorm whose demand surges land
+// on NIC-stalled cache nodes. "Budgets on" is the full stack — tenant
+// token buckets with priority classes, retry/hedge budgets, per-VM
+// circuit breakers, server kBusy pushback + credit flow, and brownout.
+// "Budgets off" keeps the identical retry machinery (same max_retries,
+// timeouts, backoff) but removes every governor.
+//
+// The metric is *timely goodput*: completions within a 1 ms SLO per
+// simulated millisecond. Raw completions cannot distinguish the arms —
+// the unbudgeted client happily buffers the whole surge and serves it
+// minutes of RTTs late, which counts as throughput but is worthless to
+// a caller that moved on. That is the metastable signature: with the
+// governors off the backlog (and its retry echo) outlives the trigger,
+// so even recovery-phase completions arrive seconds of queueing later,
+// while the budgeted stack rejects excess demand in O(1) at the front
+// door and keeps everything it accepts inside the SLO.
+//
+// Modes:
+//   (none)                    pretty table over two seeds + takeaway
+//   --gate                    CI gate: budgets-on must drain every seed
+//                             and beat budgets-off on timely goodput
+//   --soak --seed-start=S --seeds=N
+//                             nightly shard: same contract over [S,S+N)
+//   --trace-out=/--metrics-out=
+//                             telemetry artifacts from a traced re-run
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "chaos/fault_injector.h"
+#include "chaos/overload_storm.h"
+#include "redy/cache_client.h"
+
+using namespace redy;
+
+namespace {
+
+constexpr uint64_t kRecord = 64;
+/// Completion deadline for "timely" goodput: generous (hundreds of
+/// RTTs) so only real queueing collapse — not a stall blip absorbed by
+/// a retry — pushes an op past it.
+constexpr sim::SimTime kSlo = 1 * kMillisecond;
+
+struct Row {
+  uint64_t seed = 0;
+  bool budgets = false;
+  uint64_t offered = 0;   // submit attempts (front-door rejects included)
+  uint64_t accepted = 0;  // Submit returned OK
+  uint64_t ok = 0;        // completions with Status OK
+  uint64_t ok_timely = 0;  // OK within the SLO, measured from submit
+  uint64_t late = 0;       // OK but past the SLO (worthless to the caller)
+  uint64_t failed = 0;     // completions with an error
+  uint64_t fast_rejected = 0;  // quota / brownout front-door rejections
+  uint64_t retries = 0;
+  double p99_us = 0;          // completion latency p99 of OK ops
+  uint64_t timely_storm = 0;  // timely completions inside the storm window
+  uint64_t timely_recovery = 0;  // ... in the post-storm window
+  double storm_ms = 0;
+  double recovery_ms = 0;
+  double drain_ms = 0;  // storm end -> last accepted op completed
+  bool drained = false;
+  /// Timely completions per simulated millisecond over the whole
+  /// episode (pump + recovery + drain). Undrained runs are charged the
+  /// full drain cap, so a hung op is a goodput loss, not a footnote.
+  double goodput_per_ms = 0;
+};
+
+/// Completion-side accounting shared by every op callback.
+struct Acct {
+  sim::Simulation* sim = nullptr;
+  uint64_t completed = 0;
+  uint64_t ok = 0;
+  uint64_t ok_timely = 0;
+  uint64_t late = 0;
+  uint64_t failed = 0;
+  std::vector<double> lat_us;
+
+  void Done(sim::SimTime submitted, Status st) {
+    completed++;
+    if (!st.ok()) {
+      failed++;
+      return;
+    }
+    ok++;
+    const sim::SimTime lat = sim->Now() - submitted;
+    lat_us.push_back(static_cast<double>(lat) / kMicrosecond);
+    if (lat <= kSlo) {
+      ok_timely++;
+    } else {
+      late++;
+    }
+  }
+};
+
+TestbedOptions Opts(bool budgets) {
+  TestbedOptions o;
+  o.pods = 2;
+  o.racks_per_pod = 2;
+  o.servers_per_rack = 4;
+  o.client.region_bytes = 2 * kMiB;
+  // Identical retry machinery in both arms: the ablation removes the
+  // governors, not the retries.
+  o.client.max_retries = 6;
+  o.client.sub_op_timeout_ns = 150 * kMicrosecond;
+  o.client.retry_backoff_ns = 5 * kMicrosecond;
+  o.client.retry_backoff_max_ns = 200 * kMicrosecond;
+  if (budgets) {
+    o.client.retry_budget_fraction = 0.2;
+    o.client.hedge_budget_fraction = 0.1;
+    o.client.budget_min_reserve = 10.0;
+    o.client.circuit_breakers = true;
+    o.client.breaker_trip_failures = 6;
+    o.client.breaker_open_ns = 100 * kMicrosecond;
+    o.client.credit_flow = true;
+    o.client.brownout = true;
+    o.client.brownout_trip_signals = 24;
+    o.client.brownout_window_ns = 100 * kMicrosecond;
+    o.client.brownout_duration_ns = 100 * kMicrosecond;
+    o.server_overload.busy_pushback = true;
+    o.server_overload.credit_flow = true;
+  }
+  return o;
+}
+
+net::ServerId NodeOfRegion(Testbed& tb, CacheClient::CacheId id,
+                           uint32_t vregion) {
+  auto vm = tb.client().RegionVm(id, vregion);
+  REDY_CHECK(vm.ok());
+  return tb.allocator().Find(*vm)->server;
+}
+
+Row Run(uint64_t seed, bool budgets, bool traced = false) {
+  Row row;
+  row.seed = seed;
+  row.budgets = budgets;
+  Testbed tb(Opts(budgets));
+  if (traced) bench::AttachBenchTelemetry(tb);
+
+  // Two client threads per tenant so a stalled tenant's ready backlog
+  // can cross the server shed watermarks.
+  const RdmaConfig cfg{2, 1, 8, 4};
+  CacheClient::CacheId ids[4];
+  auto t0_or = tb.client().CreateReplicated(2 * kMiB, cfg, 64);
+  REDY_CHECK(t0_or.ok());
+  ids[0] = *t0_or;
+  for (int t = 1; t < 4; t++) {
+    auto id_or = tb.client().CreateWithConfig(2 * kMiB, cfg, 64);
+    REDY_CHECK(id_or.ok());
+    ids[t] = *id_or;
+  }
+  if (budgets) {
+    // Tenant 0 (replicated) is top priority with no quota; 1-3 carry
+    // quotas sized just under their cache node's service capacity, in
+    // descending priority: admission keeps accepted work inside the
+    // SLO instead of queueing the surge.
+    REDY_CHECK(tb.client().SetTenantQuota(ids[0], 0, 0, 0).ok());
+    REDY_CHECK(tb.client().SetTenantQuota(ids[1], 4e6, 64, 1).ok());
+    REDY_CHECK(tb.client().SetTenantQuota(ids[2], 3e6, 64, 2).ok());
+    REDY_CHECK(tb.client().SetTenantQuota(ids[3], 4e6, 128, 3).ok());
+  }
+
+  // Demand surges for every tenant plus NIC stalls on three of the
+  // four cache nodes, all inside the storm window: surges land on
+  // degraded capacity.
+  chaos::OverloadStorm::Options sopts;
+  sopts.seed = seed;
+  sopts.start = tb.sim().Now();
+  sopts.duration = 2 * kMillisecond;
+  sopts.tenants = 4;
+  sopts.surges_per_tenant = 2;
+  sopts.surge_ns = 400 * kMicrosecond;
+  sopts.surge_multiplier = 6.0;
+  sopts.stall_victims = {NodeOfRegion(tb, ids[3], 0),
+                         NodeOfRegion(tb, ids[0], 0),
+                         NodeOfRegion(tb, ids[1], 0)};
+  sopts.stall_ns = 400 * kMicrosecond;
+  chaos::OverloadStorm storm(&tb.sim(), sopts);
+  if (traced) storm.set_telemetry(&tb.telemetry());
+  chaos::FaultInjector::Options copts;
+  copts.seed = seed;
+  copts.servers = sopts.stall_victims;
+  storm.Arm(tb.EnableChaos(copts));
+
+  Acct acct;
+  acct.sim = &tb.sim();
+  uint64_t next_idx[4] = {0, 0, 0, 0};
+  uint32_t submit_seq[4] = {0, 0, 0, 0};
+  std::vector<uint64_t> acked[4];
+  std::vector<std::unique_ptr<std::vector<uint8_t>>> bufs;
+  Rng traffic_rng(seed ^ 0x5041D);
+  const uint32_t base_per_tick[4] = {8, 48, 48, 48};
+
+  auto submit_one = [&](uint32_t t, bool is_read) {
+    row.offered++;
+    const uint32_t app_thread = submit_seq[t]++;
+    if (is_read && acked[t].empty()) is_read = false;
+    Acct* a = &acct;
+    const sim::SimTime now = tb.sim().Now();
+    Status st;
+    if (is_read) {
+      const uint64_t idx = acked[t][traffic_rng.Uniform(acked[t].size())];
+      auto dst = std::make_unique<std::vector<uint8_t>>(kRecord);
+      st = tb.client().Read(
+          ids[t], idx * kRecord, dst->data(), kRecord,
+          [a, now](Status cs) { a->Done(now, cs); }, app_thread);
+      if (st.ok()) bufs.push_back(std::move(dst));
+    } else {
+      const uint64_t idx = next_idx[t];
+      auto data = std::make_unique<std::vector<uint8_t>>(kRecord);
+      for (uint64_t j = 0; j < kRecord; j++) {
+        (*data)[j] = static_cast<uint8_t>(t * 37 + idx * 131 + j * 7 + 13);
+      }
+      std::vector<uint64_t>* av = &acked[t];
+      st = tb.client().Write(
+          ids[t], idx * kRecord, data->data(), kRecord,
+          [a, now, av, idx](Status cs) {
+            a->Done(now, cs);
+            if (cs.ok()) av->push_back(idx);
+          },
+          app_thread);
+      if (st.ok()) {
+        next_idx[t]++;
+        bufs.push_back(std::move(data));
+      }
+    }
+    if (st.ok()) {
+      row.accepted++;
+    } else {
+      REDY_CHECK(st.IsResourceExhausted() || st.IsUnavailable());
+      row.fast_rejected++;
+    }
+  };
+
+  auto pump = [&](sim::SimTime until, double mult_floor) {
+    while (tb.sim().Now() < until) {
+      for (uint32_t t = 0; t < 4; t++) {
+        const double mult =
+            std::max(mult_floor, storm.DemandMultiplier(t, tb.sim().Now()));
+        const uint32_t n =
+            static_cast<uint32_t>(base_per_tick[t] * mult + 0.5);
+        for (uint32_t k = 0; k < n; k++) {
+          submit_one(t, /*is_read=*/(k % 4) == 3);
+        }
+      }
+      tb.sim().RunFor(10 * kMicrosecond);
+    }
+  };
+
+  // Phase 1 — the storm: elevated open-loop load while surges and
+  // stalls are active.
+  const sim::SimTime t0 = tb.sim().Now();
+  pump(storm.last_surge_end(), 1.0);
+  const sim::SimTime t_storm_end = tb.sim().Now();
+  row.timely_storm = acct.ok_timely;
+  row.storm_ms = static_cast<double>(t_storm_end - t0) / kMillisecond;
+
+  // Phase 2 — recovery: the trigger is gone and the offered load drops
+  // back to base rate. A resilient stack serves this inside the SLO
+  // immediately; a collapsed one is still churning through its surge
+  // backlog and retry echo, so even fresh ops queue behind it.
+  pump(t_storm_end + 1500 * kMicrosecond, 1.0);
+  const sim::SimTime t_recovery_end = tb.sim().Now();
+  row.timely_recovery = acct.ok_timely - row.timely_storm;
+  row.recovery_ms =
+      static_cast<double>(t_recovery_end - t_storm_end) / kMillisecond;
+
+  // Phase 3 — drain: every accepted op must complete (the liveness
+  // contract). A run that cannot drain within the cap is charged the
+  // whole cap.
+  const sim::SimTime drain_cap = t_recovery_end + 30 * kMillisecond;
+  while (acct.completed < row.accepted && tb.sim().Now() < drain_cap) {
+    if (!tb.sim().Step()) break;
+  }
+  row.drained = acct.completed == row.accepted;
+  const sim::SimTime t_end = row.drained ? tb.sim().Now() : drain_cap;
+  row.drain_ms = static_cast<double>(t_end - t_storm_end) / kMillisecond;
+
+  row.ok = acct.ok;
+  row.ok_timely = acct.ok_timely;
+  row.late = acct.late;
+  row.failed = acct.failed;
+  row.p99_us = bench::Percentile(acct.lat_us, 0.99);
+  for (int t = 0; t < 4; t++) {
+    const auto* s = tb.client().stats(ids[t]);
+    row.retries += s->retries;
+    if (std::getenv("OVERLOAD_DEBUG") != nullptr) {
+      std::printf(
+          "[dbg] t%d adm_rej=%llu shed_ops=%llu busy=%llu timeouts=%llu "
+          "retries=%llu rbudget_exh=%llu hbudget_exh=%llu trips=%llu "
+          "brownouts=%llu errors=%llu\n",
+          t, (unsigned long long)s->admission_rejected,
+          (unsigned long long)s->shed_ops, (unsigned long long)s->busy_pushbacks,
+          (unsigned long long)s->timeouts, (unsigned long long)s->retries,
+          (unsigned long long)s->retry_budget_exhausted,
+          (unsigned long long)s->hedge_budget_exhausted,
+          (unsigned long long)s->breaker_trips,
+          (unsigned long long)s->brownout_trips, (unsigned long long)s->errors);
+    }
+  }
+  row.goodput_per_ms = static_cast<double>(acct.ok_timely) /
+                       (static_cast<double>(t_end - t0) / kMillisecond);
+  if (traced) bench::WriteBenchTelemetry(tb);
+  return row;
+}
+
+void PrintRow(const Row& r) {
+  std::printf(
+      "%-6llu %-8s %8llu %8llu %8llu %7llu %7llu %8llu %8llu %8.0f %9.1f "
+      "%9.1f %9.2f %s %10.1f\n",
+      static_cast<unsigned long long>(r.seed), r.budgets ? "on" : "off",
+      static_cast<unsigned long long>(r.offered),
+      static_cast<unsigned long long>(r.accepted),
+      static_cast<unsigned long long>(r.ok_timely),
+      static_cast<unsigned long long>(r.late),
+      static_cast<unsigned long long>(r.failed),
+      static_cast<unsigned long long>(r.fast_rejected),
+      static_cast<unsigned long long>(r.retries), r.p99_us,
+      static_cast<double>(r.timely_storm) / r.storm_ms,
+      static_cast<double>(r.timely_recovery) / r.recovery_ms, r.drain_ms,
+      r.drained ? "yes" : "NO ", r.goodput_per_ms);
+}
+
+void PrintTableHeader() {
+  std::printf("%-6s %-8s %8s %8s %8s %7s %7s %8s %8s %8s %9s %9s %9s %s %10s\n",
+              "seed", "budgets", "offered", "accept", "timely", "late",
+              "failed", "fastrej", "retries", "p99 us", "storm/ms",
+              "recov/ms", "drain ms", "drn", "goodput/ms");
+}
+
+uint64_t FlagU64(int argc, char** argv, const char* name, uint64_t def) {
+  const size_t len = std::strlen(name);
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--", 2) == 0 &&
+        std::strncmp(argv[i] + 2, name, len) == 0 && argv[i][2 + len] == '=') {
+      return std::strtoull(argv[i] + 2 + len + 1, nullptr, 10);
+    }
+  }
+  return def;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; i++) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// The CI contract: with budgets on, every seed drains (no op hangs in
+/// the storm's wake), and aggregate timely goodput beats the unbudgeted
+/// arm — admission control plus budgets must buy useful throughput,
+/// not just politeness.
+int RunContract(const std::vector<uint64_t>& seeds) {
+  PrintTableHeader();
+  double on_total = 0, off_total = 0;
+  bool all_on_drained = true;
+  for (uint64_t seed : seeds) {
+    const Row off = Run(seed, /*budgets=*/false);
+    const Row on = Run(seed, /*budgets=*/true);
+    PrintRow(off);
+    PrintRow(on);
+    on_total += on.goodput_per_ms;
+    off_total += off.goodput_per_ms;
+    if (!on.drained) all_on_drained = false;
+  }
+  std::printf(
+      "\naggregate timely goodput/ms: budgets-on %.1f vs budgets-off %.1f\n",
+      on_total, off_total);
+  if (!all_on_drained) {
+    std::printf("FAIL: a budgets-on run left ops hanging after the storm\n");
+    return 1;
+  }
+  if (on_total <= off_total) {
+    std::printf("FAIL: budgets-on must beat budgets-off on timely goodput\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::InitBenchTelemetry(argc, argv);
+  bench::PrintHeader(
+      "Overload ablation (admission control + budgets vs naive retries)",
+      "DESIGN.md §12 four-tenant storm, metastable-collapse ablation");
+
+  if (HasFlag(argc, argv, "gate")) {
+    return RunContract({11, 29, 47});
+  }
+  if (HasFlag(argc, argv, "soak")) {
+    const uint64_t start = FlagU64(argc, argv, "seed-start", 1);
+    const uint64_t n = FlagU64(argc, argv, "seeds", 10);
+    std::vector<uint64_t> seeds;
+    for (uint64_t s = start; s < start + n; s++) seeds.push_back(s);
+    return RunContract(seeds);
+  }
+
+  PrintTableHeader();
+  for (uint64_t seed : {7u, 21u}) {
+    for (bool budgets : {false, true}) {
+      PrintRow(Run(seed, budgets));
+    }
+  }
+  std::printf(
+      "\ntakeaway: the unbudgeted client accepts the whole surge, so the\n"
+      "backlog — amplified by timed-out ops retrying into the stall —\n"
+      "outlives the trigger: completions keep arriving, but milliseconds\n"
+      "of queueing late, and even recovery-phase traffic queues behind\n"
+      "the echo (the metastable signature: p99 explodes, timely goodput\n"
+      "collapses). With quotas, retry/hedge budgets, kBusy pushback and\n"
+      "brownout on, excess demand is rejected in O(1) at the front door,\n"
+      "retries stay a bounded fraction of fresh traffic, and everything\n"
+      "the system accepts it serves inside the SLO — through the storm\n"
+      "and instantly after it.\n");
+
+  if (bench::BenchTelemetryFlags().any()) {
+    std::printf("\n[telemetry] re-running seed=7 budgets-on with tracing\n");
+    (void)Run(7, /*budgets=*/true, /*traced=*/true);
+  }
+  return 0;
+}

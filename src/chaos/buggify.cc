@@ -14,6 +14,10 @@ const char* BuggifyPointName(BuggifyPoint p) {
       return "drop_lease_renewal";
     case BuggifyPoint::kDelayRevoke:
       return "delay_revoke";
+    case BuggifyPoint::kDropCreditGrant:
+      return "drop_credit_grant";
+    case BuggifyPoint::kIgnoreBusyPushback:
+      return "ignore_busy_pushback";
   }
   return "unknown";
 }

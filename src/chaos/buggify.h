@@ -31,10 +31,17 @@ enum class BuggifyPoint : uint32_t {
   /// Delay the epoch revocation until after the region copy has begun
   /// (reorders the revoke against in-flight WRITEs).
   kDelayRevoke = 3,
+  /// Drop a server credit grant on the floor (models a client that
+  /// misses a flow-control update and keeps sending at its old window).
+  kDropCreditGrant = 4,
+  /// Ignore a kBusy pushback's extended backoff and retry at the normal
+  /// cadence (models a client that defeats the server's slow-down
+  /// signal — the adversarial branch of a metastable retry storm).
+  kIgnoreBusyPushback = 5,
 };
 
 /// Number of distinct BuggifyPoint values.
-inline constexpr uint32_t kNumBuggifyPoints = 4;
+inline constexpr uint32_t kNumBuggifyPoints = 6;
 
 const char* BuggifyPointName(BuggifyPoint p);
 

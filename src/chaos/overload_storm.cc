@@ -1,0 +1,68 @@
+#include "chaos/overload_storm.h"
+
+#include <algorithm>
+
+#include "chaos/fault_injector.h"
+#include "telemetry/telemetry.h"
+
+namespace redy::chaos {
+
+OverloadStorm::OverloadStorm(sim::Simulation* sim, Options opts)
+    : sim_(sim), opts_(std::move(opts)) {
+  // The surge schedule is fixed at construction — a pure function of
+  // (seed, options) — so DemandMultiplier is consultable from any
+  // driver without ordering concerns.
+  Rng rng(SplitMix64(opts_.seed ^ 0x0ead10adULL));
+  for (uint32_t t = 0; t < opts_.tenants; t++) {
+    for (uint32_t s = 0; s < opts_.surges_per_tenant; s++) {
+      Surge surge;
+      surge.tenant = t;
+      surge.start =
+          opts_.start +
+          (opts_.duration > 0 ? rng.Uniform(opts_.duration) : 0);
+      surge.end = surge.start + opts_.surge_ns;
+      surge.multiplier = opts_.surge_multiplier;
+      surges_.push_back(surge);
+      last_surge_end_ = std::max(last_surge_end_, surge.end);
+    }
+  }
+  // Deterministic presentation order (tenant, then start) regardless of
+  // draw order, for logs and tests that enumerate surges.
+  std::sort(surges_.begin(), surges_.end(),
+            [](const Surge& a, const Surge& b) {
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+}
+
+void OverloadStorm::Arm(FaultInjector* injector) {
+  if (injector == nullptr || opts_.stall_victims.empty()) return;
+  // Stalls are drawn from their own stream so adding victims never
+  // perturbs the surge schedule of the same seed.
+  Rng rng(SplitMix64(opts_.seed ^ 0x57a11));
+  for (net::ServerId victim : opts_.stall_victims) {
+    const sim::SimTime start =
+        opts_.start + (opts_.duration > 0 ? rng.Uniform(opts_.duration) : 0);
+    injector->AddStall(victim, start, opts_.stall_ns);
+    last_surge_end_ = std::max(last_surge_end_, start + opts_.stall_ns);
+    if (telemetry_ != nullptr && telemetry_->tracer().enabled()) {
+      telemetry::SpanTracer& tr = telemetry_->tracer();
+      const telemetry::TrackId track = tr.NewTrack("chaos", "storm");
+      tr.Instant(track, "overload_stall", "storm", start, {"server", victim},
+                 {"duration", opts_.stall_ns});
+    }
+  }
+}
+
+double OverloadStorm::DemandMultiplier(uint32_t tenant,
+                                       sim::SimTime now) const {
+  double m = 1.0;
+  for (const Surge& s : surges_) {
+    if (s.tenant != tenant) continue;
+    if (now >= s.start && now < s.end) m = std::max(m, s.multiplier);
+  }
+  return m;
+}
+
+}  // namespace redy::chaos

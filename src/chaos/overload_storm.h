@@ -1,0 +1,91 @@
+#ifndef REDY_CHAOS_OVERLOAD_STORM_H_
+#define REDY_CHAOS_OVERLOAD_STORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+namespace redy::telemetry {
+class Telemetry;
+}  // namespace redy::telemetry
+
+namespace redy::chaos {
+
+class FaultInjector;
+
+/// Deterministic overload-storm generator (DESIGN.md §12): the demand
+/// side of chaos. Where ReclamationStorm kills capacity and
+/// FaultInjector grays it out, OverloadStorm multiplies *offered load*:
+/// each tenant gets a seeded schedule of demand surges (windows in
+/// which the open-loop driver should submit at `surge_multiplier` times
+/// its base rate), optionally composed with NIC stall windows on victim
+/// servers so demand peaks land exactly while capacity is degraded —
+/// the classic recipe for metastable congestion collapse.
+///
+/// The storm never touches the system directly: the surge schedule is a
+/// pure function of (seed, options) that drivers consult via
+/// DemandMultiplier(), so a given seed reproduces the same overload
+/// byte for byte. Stall windows go through the FaultInjector.
+class OverloadStorm {
+ public:
+  struct Surge {
+    uint32_t tenant = 0;
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+    double multiplier = 1.0;
+  };
+
+  struct Options {
+    uint64_t seed = 1;
+    /// Storm window: surges start in [start, start + duration).
+    sim::SimTime start = 0;
+    sim::SimTime duration = 2 * kMillisecond;
+    /// Number of tenants DemandMultiplier answers for.
+    uint32_t tenants = 4;
+    /// Surges drawn per tenant; each lasts surge_ns and multiplies the
+    /// tenant's base offered load by surge_multiplier.
+    uint32_t surges_per_tenant = 2;
+    sim::SimTime surge_ns = 300 * kMicrosecond;
+    double surge_multiplier = 4.0;
+    /// NIC stall windows armed on these servers (victim cache VMs'
+    /// hosts), each stall_ns long, placed inside the storm window so
+    /// a demand surge meets a capacity dip.
+    std::vector<net::ServerId> stall_victims;
+    sim::SimTime stall_ns = 100 * kMicrosecond;
+  };
+
+  OverloadStorm(sim::Simulation* sim, Options opts);
+
+  /// Optional telemetry sink (not owned): armed stalls appear as
+  /// "overload_stall" instants on a "chaos / storm" trace lane.
+  void set_telemetry(telemetry::Telemetry* tel) { telemetry_ = tel; }
+
+  /// Installs the stall windows into `injector` (which must already be
+  /// Install()ed on the fabric). Call once; no-op without victims.
+  void Arm(FaultInjector* injector);
+
+  /// The offered-load multiplier for `tenant` at `now`: 1.0 outside
+  /// every surge, the surge's multiplier inside one (overlapping
+  /// surges of the same tenant do not stack — the max wins).
+  double DemandMultiplier(uint32_t tenant, sim::SimTime now) const;
+
+  const std::vector<Surge>& surges() const { return surges_; }
+  /// Simulated time after which no surge (or armed stall) is active.
+  sim::SimTime last_surge_end() const { return last_surge_end_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  sim::Simulation* sim_;
+  Options opts_;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  std::vector<Surge> surges_;
+  sim::SimTime last_surge_end_ = 0;
+};
+
+}  // namespace redy::chaos
+
+#endif  // REDY_CHAOS_OVERLOAD_STORM_H_

@@ -32,6 +32,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ProtectionError";
     case StatusCode::kDataCorruption:
       return "DataCorruption";
+    case StatusCode::kBusy:
+      return "Busy";
   }
   return "Unknown";
 }

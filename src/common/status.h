@@ -29,6 +29,11 @@ enum class StatusCode : int {
   // Payload bytes failed an end-to-end integrity check (checksum
   // mismatch) — the data arrived, but it is not the data that was sent.
   kDataCorruption = 13,
+  // Explicit overload pushback: the server shed the request instead of
+  // queueing it (credit-based flow control, DESIGN.md §12). Retryable,
+  // but with a longer backoff than a transport fault — the server is
+  // telling the client to slow down, not that the request was lost.
+  kBusy = 14,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "NotFound", ...).
@@ -87,6 +92,9 @@ class Status {
   static Status DataCorruption(std::string msg) {
     return Status(StatusCode::kDataCorruption, std::move(msg));
   }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -117,6 +125,7 @@ class Status {
   bool IsDataCorruption() const {
     return code_ == StatusCode::kDataCorruption;
   }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

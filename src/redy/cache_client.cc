@@ -38,6 +38,11 @@ CacheClient::CacheClient(sim::Simulation* sim, rdma::Fabric* fabric,
       tel_->metrics().GetGauge("redy.recovery.copies_active");
   gauge_pending_recoveries_ =
       tel_->metrics().GetGauge("redy.recovery.pending");
+  retry_budget_.Configure(options_.retry_budget_fraction,
+                          options_.budget_min_reserve);
+  hedge_budget_.Configure(options_.hedge_budget_fraction,
+                          options_.budget_min_reserve);
+  breakers_.Reserve(64);
   manager_->SetVmLossHandler(
       [this](cluster::VmId vm, sim::SimTime deadline) {
         OnVmLoss(vm, deadline);
@@ -256,6 +261,20 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
     return Status::ResourceExhausted("client thread batch ring full");
   }
 
+  // Per-tenant admission control: an over-quota submission fails fast
+  // instead of queueing work its own quota will starve (DESIGN.md §12).
+  if (cache->quota.configured() && !cache->quota.TryTake(sim_->Now())) {
+    cache->ctr.admission_rejected->Inc();
+    return Status::ResourceExhausted("tenant quota exceeded");
+  }
+  // Brownout: under sustained overload the lowest-priority tenants are
+  // shed at the front door, before any remote work — byte-exact.
+  if (options_.brownout && BrownoutSheds(cache->priority)) {
+    cache->ctr.shed_ops->Inc();
+    cache->ctr.shed_bytes->Inc(size);
+    return Status::Unavailable("brownout: low-priority traffic shed");
+  }
+
   // Borrow a pooled op record; recycled fields are reinitialized here
   // (gen is monotonic and deliberately left alone).
   OpState* state = op_pool_.Acquire();
@@ -274,10 +293,22 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
                    state->start, {"addr", addr}, {"bytes", size});
   }
 
+  // Count the op in flight before the first piece can complete:
+  // a piece failing synchronously below must find the op accounted.
+  cache->inflight_ops++;
+  cache->ctr.inflight->Set(static_cast<int64_t>(cache->inflight_ops));
+
+  // The capacity pre-check makes the pushes below succeed in every
+  // single-submitter schedule, but a full ring mid-split must not
+  // crash or half-apply a replicated write silently: once any piece
+  // fails to stage, no further piece is pushed and the un-pushed
+  // remainder completes with ResourceExhausted, so the op's callback
+  // surfaces the backpressure instead of a REDY_CHECK abort.
   uint64_t off = addr;
   uint64_t remaining = size;
   uint8_t* d = static_cast<uint8_t*>(dst);
   const uint8_t* s = static_cast<const uint8_t*>(src);
+  uint32_t failed_pieces = 0;
   while (remaining > 0) {
     const uint32_t vr = static_cast<uint32_t>(off / cache->region_bytes);
     const uint64_t roff = off % cache->region_bytes;
@@ -295,18 +326,36 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
     if (duplicate) {
       SubOp twin = sub;
       twin.to_replica = true;
-      const bool pushed_twin = thread.ring->TryPush(std::move(twin));
-      REDY_CHECK(pushed_twin);
+      if (failed_pieces > 0 || !thread.ring->TryPush(std::move(twin))) {
+        failed_pieces++;
+      } else {
+        retry_budget_.Deposit();
+        hedge_budget_.Deposit();
+      }
     }
-    const bool pushed = thread.ring->TryPush(std::move(sub));
-    REDY_CHECK(pushed);  // capacity checked above
+    if (failed_pieces > 0 || !thread.ring->TryPush(std::move(sub))) {
+      failed_pieces++;
+    } else {
+      retry_budget_.Deposit();
+      hedge_budget_.Deposit();
+    }
     off += chunk;
     remaining -= chunk;
     if (d != nullptr) d += chunk;
     if (s != nullptr) s += chunk;
   }
-  cache->inflight_ops++;
-  cache->ctr.inflight->Set(static_cast<int64_t>(cache->inflight_ops));
+  if (failed_pieces > 0) {
+    const Status st =
+        Status::ResourceExhausted("client thread batch ring full");
+    const uint32_t gen = state->gen;
+    for (uint32_t i = 0; i < failed_pieces; i++) {
+      SubOp fail;
+      fail.op = op;
+      fail.state = state;
+      fail.state_gen = gen;
+      CompleteSubOp(*cache, fail, st);
+    }
+  }
   if (thread.poller) thread.poller->Wake();
   return Status::OK();
 }
@@ -344,6 +393,9 @@ uint64_t CacheClient::PollThread(CacheEntry& cache, ClientThread& thread) {
     }
     if (expired > 0) {
       cache.ctr.timeouts->Inc(expired);
+      // Timeouts are overload signals too: a saturated server looks
+      // like a slow one long before it starts pushing back explicitly.
+      NoteOverloadSignal(cache, expired);
       if (telemetry::SpanTracer* tr = ActiveTracer()) {
         tr->Instant(CacheTrack(cache, *tr), "timeout", "op", now,
                     {"vm", vm}, {"expired", expired});
@@ -544,6 +596,16 @@ uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
     std::memcpy(&hdr, base, sizeof(hdr));
     if (hdr.seq != conn.next_resp) break;
 
+    // Credit grant (DESIGN.md §12): the server sizes our send window to
+    // its current backlog. 0 carries no grant (legacy servers); the
+    // kDropCreditGrant buggify point models a grant lost in transit.
+    if (options_.credit_flow && hdr.credits != 0 &&
+        !BuggifyFires(options_.buggify,
+                      static_cast<uint32_t>(
+                          chaos::BuggifyPoint::kDropCreditGrant))) {
+      conn.send_window = std::max(1u, std::min(hdr.credits, q));
+    }
+
     // Stale-response guard: if the batch that carried this seq was
     // already written off (a NIC send error freed its queue depth, and
     // the slot may since have been restaged for seq + q), the server's
@@ -719,12 +781,44 @@ uint64_t CacheClient::DrainSubmissions(CacheEntry& cache,
     if (options_.hedge_reads_to_replica && op.op == OpCode::kRead &&
         !op.to_replica && vr.replica.has_value()) {
       const uint32_t* h = thread.vm_health.Find(vr.placement.vm_id);
-      if (h != nullptr && *h >= options_.unhealthy_after) {
+      // Divert only when the replica actually looks healthier than the
+      // primary (else the hedge piles load onto the sicker VM) and the
+      // hedge budget grants it.
+      if (h != nullptr && *h >= options_.unhealthy_after &&
+          ReplicaHedgeUseful(cache, thread, vr) && TryWithdrawHedge(cache)) {
         op.to_replica = true;
         cache.ctr.hedged_to_replica->Inc();
         if (telemetry::SpanTracer* tr = ActiveTracer()) {
           tr->Instant(CacheTrack(cache, *tr), "hedge_to_replica", "op",
                       sim_->Now(), {"vregion", op.vregion});
+        }
+      }
+    }
+    // Circuit breaker (DESIGN.md §12): an open breaker means the target
+    // VM keeps failing transport-level — don't queue more work behind
+    // it. Reads divert to a breaker-clear replica; everything else
+    // (primary writes, replica twins) sheds with Unavailable, which is
+    // never acked, so a half-shed replicated write surfaces as an error
+    // instead of silently diverging the copies.
+    if (options_.circuit_breakers) {
+      const cluster::VmId target_vm =
+          op.to_replica ? vr.replica->vm_id : vr.placement.vm_id;
+      if (!BreakerAllows(cache, target_vm)) {
+        if (op.op == OpCode::kRead && !op.to_replica &&
+            vr.replica.has_value() &&
+            BreakerAllows(cache, vr.replica->vm_id)) {
+          op.to_replica = true;
+          cache.ctr.hedged_to_replica->Inc();
+        } else {
+          const Status st = Status::Unavailable("circuit breaker open");
+          cache.ctr.shed_ops->Inc();
+          cache.ctr.shed_bytes->Inc(op.len);
+          // Straight to retry/completion: a breaker shed must not feed
+          // the breaker's own failure window (FinishSubOp would).
+          if (!MaybeRetry(cache, thread, op, st)) {
+            CompleteSubOp(cache, op, st);
+          }
+          continue;
         }
       }
     }
@@ -909,7 +1003,13 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
   // a live batch's ops (they would never complete).
   const uint32_t next_slot =
       static_cast<uint32_t>((conn.next_seq - 1) % cache.cfg.q);
-  if (conn.inflight_batches >= cache.cfg.q ||
+  // Credit flow shrinks the effective window below q when the server
+  // granted fewer credits (clamped to [1, q] so progress never stops).
+  const uint32_t window =
+      options_.credit_flow && conn.send_window != 0
+          ? std::min(cache.cfg.q, std::max(1u, conn.send_window))
+          : cache.cfg.q;
+  if (conn.inflight_batches >= window ||
       conn.slot_count[next_slot] != 0 ||
       conn.qp->outstanding() >= conn.qp->max_depth()) {
     return consumed;  // backpressure
@@ -949,6 +1049,7 @@ uint64_t CacheClient::Flush(CacheEntry& cache, ClientThread& thread,
         op.to_replica ? vr.replica->key : vr.placement.key;
     RequestHeader rh;
     rh.op = op.op;
+    rh.priority = cache.priority;
     rh.len = op.len;
     rh.region = op.to_replica ? vr.replica->region_index
                               : vr.placement.region_index;
@@ -1041,6 +1142,7 @@ Result<CacheClient::Connection*> CacheClient::EnsureConnection(
   conn->onesided_ops.Reserve(4 * cache.cfg.q);
   conn->transient_mrs.Reserve(4 * cache.cfg.q);
   conn->current.reserve(cache.cfg.b);
+  conn->send_window = cache.cfg.q;  // full window until a grant shrinks it
 
   // Completions and landed responses are what this busy-polling thread
   // snoops for; have them wake its poller if parked. Captures ids, not
@@ -1150,13 +1252,26 @@ void CacheClient::CompleteSubOp(CacheEntry& cache, SubOp& op,
 
 void CacheClient::FinishSubOp(CacheEntry& cache, ClientThread& thread,
                               SubOp& op, const Status& status) {
-  if (status.ok() && op.state != nullptr && op.state->gen == op.state_gen) {
-    // A success clears the target VM's health record.
+  const bool live = op.state != nullptr && op.state->gen == op.state_gen;
+  if (live && op.vregion < cache.regions.size()) {
     const VRegion& vr = cache.regions[op.vregion];
     const cluster::VmId vm = op.to_replica && vr.replica.has_value()
                                  ? vr.replica->vm_id
                                  : vr.placement.vm_id;
-    thread.vm_health.Erase(vm);
+    if (status.ok()) {
+      // A success clears the target VM's health record.
+      thread.vm_health.Erase(vm);
+      RecordBreakerResult(cache, vm, true);
+    } else if (status.IsUnavailable() || status.IsDeadlineExceeded() ||
+               status.IsBusy()) {
+      // Transport-ish failures (and explicit pushback) feed the VM's
+      // breaker; deterministic rejections (bounds, protocol) do not.
+      RecordBreakerResult(cache, vm, false);
+    }
+  }
+  if (live && status.IsBusy()) {
+    cache.ctr.busy_pushbacks->Inc();
+    NoteOverloadSignal(cache);
   }
   if (MaybeRetry(cache, thread, op, status)) return;
   CompleteSubOp(cache, op, status);
@@ -1183,9 +1298,18 @@ bool CacheClient::MaybeRetry(CacheEntry& cache, ClientThread& thread,
     // not have reached (or returned from) the server. Server
     // rejections (bounds, protocol) are deterministic and surface
     // immediately. Corruption is transport-level: the bytes (not the
-    // op) were bad, and a fresh attempt restages them.
+    // op) were bad, and a fresh attempt restages them. Busy is the
+    // server's explicit pushback: retryable, with a longer backoff.
     if (!status.IsUnavailable() && !status.IsDeadlineExceeded() &&
-        !status.IsDataCorruption()) {
+        !status.IsDataCorruption() && !status.IsBusy()) {
+      return false;
+    }
+    // Global retry budget (DESIGN.md §12): retries are capped at a
+    // fraction of fresh traffic, so a correlated failure burst decays
+    // instead of metastasizing. Fence redirects above are exempt —
+    // they are the designed migration cutover path, not a failure.
+    if (retry_budget_.enabled() && !retry_budget_.TryWithdraw()) {
+      cache.ctr.retry_budget_exhausted->Inc();
       return false;
     }
   }
@@ -1206,10 +1330,13 @@ bool CacheClient::MaybeRetry(CacheEntry& cache, ClientThread& thread,
   }
 
   // Hedge retried reads to the replica: the primary just failed, the
-  // replica holds the same bytes.
+  // replica holds the same bytes — unless the replica looks even less
+  // healthy, or the hedge budget is spent.
   if (options_.hedge_reads_to_replica && op.op == OpCode::kRead &&
       !op.to_replica &&
-      cache.regions[op.vregion].replica.has_value()) {
+      cache.regions[op.vregion].replica.has_value() &&
+      ReplicaHedgeUseful(cache, thread, cache.regions[op.vregion]) &&
+      TryWithdrawHedge(cache)) {
     op.to_replica = true;
     cache.ctr.hedged_to_replica->Inc();
   }
@@ -1217,6 +1344,15 @@ bool CacheClient::MaybeRetry(CacheEntry& cache, ClientThread& thread,
   // Exponential backoff with +-50% jitter (decorrelates retry storms
   // across threads; all randomness is the thread's seeded rng).
   uint64_t base = options_.retry_backoff_ns;
+  // Explicit kBusy pushback asked for air, not a fast retry; the
+  // kIgnoreBusyPushback buggify point models a client that retries a
+  // busy server as eagerly as a crashed one.
+  if (status.IsBusy() &&
+      !BuggifyFires(options_.buggify,
+                    static_cast<uint32_t>(
+                        chaos::BuggifyPoint::kIgnoreBusyPushback))) {
+    base *= std::max<uint64_t>(1, options_.busy_backoff_multiplier);
+  }
   for (uint32_t i = 1; i < op.attempts && base < options_.retry_backoff_max_ns;
        i++) {
     base <<= 1;
@@ -1338,6 +1474,104 @@ bool CacheClient::BuggifyFires(chaos::Buggify* b, uint32_t point) const {
   return b != nullptr && b->Decide(static_cast<chaos::BuggifyPoint>(point));
 }
 
+// ---------------------------------------------------------------------------
+// Overload resilience (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+Status CacheClient::SetTenantQuota(CacheId id, double ops_per_sec,
+                                   double burst, uint8_t priority) {
+  CacheEntry* cache = FindCache(id);
+  if (cache == nullptr || cache->deleted) {
+    return Status::NotFound("unknown cache");
+  }
+  cache->quota.Configure(ops_per_sec, burst, sim_->Now());
+  cache->priority = priority;
+  return Status::OK();
+}
+
+void CacheClient::NoteOverloadSignal(CacheEntry& cache, uint64_t count) {
+  if (!options_.brownout) return;
+  const sim::SimTime now = sim_->Now();
+  if (now - brownout_.window_start > options_.brownout_window_ns) {
+    brownout_.window_start = now;
+    brownout_.signals = 0;
+  }
+  brownout_.signals += count;
+  if (brownout_.signals < options_.brownout_trip_signals) return;
+  brownout_.signals = 0;
+  brownout_.window_start = now;
+  // Tripping again while a shedding window is already active means the
+  // current level is not enough: escalate to the next priority class.
+  brownout_.level =
+      now < brownout_.until ? std::min(brownout_.level + 1, 2u) : 1;
+  brownout_.until = now + options_.brownout_duration_ns;
+  cache.ctr.brownout_trips->Inc();
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    tr->Instant(CacheTrack(cache, *tr), "brownout_trip", "op", now,
+                {"level", brownout_.level});
+  }
+}
+
+bool CacheClient::BrownoutSheds(uint8_t priority) const {
+  if (priority == 0) return false;  // highest class is never shed
+  if (brownout_.level == 0 || sim_->Now() >= brownout_.until) return false;
+  const uint8_t floor = brownout_.level >= 2 ? 1 : 2;
+  return priority >= floor;
+}
+
+bool CacheClient::BreakerAllows(CacheEntry& cache, cluster::VmId vm) {
+  if (!options_.circuit_breakers) return true;
+  overload::CircuitBreaker* b = breakers_.Find(vm);
+  if (b == nullptr) return true;  // no failure history: closed
+  const bool was_open = b->state == overload::CircuitBreaker::kOpen;
+  if (!b->Allow(sim_->Now())) return false;
+  if (was_open) {
+    // This admission is the half-open probe.
+    cache.ctr.breaker_probes->Inc();
+  }
+  return true;
+}
+
+void CacheClient::RecordBreakerResult(CacheEntry& cache, cluster::VmId vm,
+                                      bool success) {
+  if (!options_.circuit_breakers || vm == cluster::kInvalidVm) return;
+  if (success) {
+    overload::CircuitBreaker* b = breakers_.Find(vm);
+    if (b != nullptr) b->RecordSuccess();
+    return;
+  }
+  overload::CircuitBreaker& b = breakers_[vm];
+  if (b.RecordFailure(sim_->Now(), options_.breaker_trip_failures,
+                      options_.breaker_open_ns)) {
+    cache.ctr.breaker_trips->Inc();
+    if (telemetry::SpanTracer* tr = ActiveTracer()) {
+      tr->Instant(CacheTrack(cache, *tr), "breaker_trip", "op", sim_->Now(),
+                  {"vm", vm});
+    }
+  }
+}
+
+bool CacheClient::TryWithdrawHedge(CacheEntry& cache) {
+  if (hedge_budget_.TryWithdraw()) return true;
+  cache.ctr.hedge_budget_exhausted->Inc();
+  return false;
+}
+
+bool CacheClient::ReplicaHedgeUseful(CacheEntry& cache,
+                                     const ClientThread& thread,
+                                     const VRegion& vr) {
+  if (!vr.replica.has_value()) return false;
+  const uint32_t* ph = thread.vm_health.Find(vr.placement.vm_id);
+  const uint32_t* rh = thread.vm_health.Find(vr.replica->vm_id);
+  const uint32_t primary = ph == nullptr ? 0 : *ph;
+  const uint32_t replica = rh == nullptr ? 0 : *rh;
+  if (replica > primary) {
+    cache.ctr.hedge_suppressed->Inc();
+    return false;
+  }
+  return true;
+}
+
 void CacheClient::RequestLease(CacheEntry& cache, ClientThread& thread,
                                uint32_t vregion) {
   VRegion& vr = cache.regions[vregion];
@@ -1416,6 +1650,19 @@ void CacheClient::RegisterCacheMetrics(CacheEntry* cache) {
   k.checksum_mismatches =
       m.GetCounter("integrity.checksum_mismatches", labels);
   k.chunks_verified = m.GetCounter("integrity.chunks_verified", labels);
+  k.admission_rejected =
+      m.GetCounter("overload.admission_rejected", labels);
+  k.shed_ops = m.GetCounter("overload.shed_ops", labels);
+  k.shed_bytes = m.GetCounter("overload.shed_bytes", labels);
+  k.busy_pushbacks = m.GetCounter("overload.busy_pushbacks", labels);
+  k.retry_budget_exhausted =
+      m.GetCounter("overload.retry_budget_exhausted", labels);
+  k.hedge_budget_exhausted =
+      m.GetCounter("overload.hedge_budget_exhausted", labels);
+  k.hedge_suppressed = m.GetCounter("overload.hedge_suppressed", labels);
+  k.breaker_trips = m.GetCounter("overload.breaker_trips", labels);
+  k.breaker_probes = m.GetCounter("overload.breaker_probes", labels);
+  k.brownout_trips = m.GetCounter("overload.brownout_trips", labels);
   k.read_latency = m.GetHistogram("redy.client.read_latency_ns", labels);
   k.write_latency = m.GetHistogram("redy.client.write_latency_ns", labels);
   k.inflight = m.GetGauge("redy.client.inflight_ops", labels);
@@ -1453,6 +1700,19 @@ void CacheClient::RefreshStatsView(CacheEntry& cache) {
   v.checksum_mismatches =
       k.checksum_mismatches->Value() - b.checksum_mismatches;
   v.chunks_verified = k.chunks_verified->Value() - b.chunks_verified;
+  v.admission_rejected =
+      k.admission_rejected->Value() - b.admission_rejected;
+  v.shed_ops = k.shed_ops->Value() - b.shed_ops;
+  v.shed_bytes = k.shed_bytes->Value() - b.shed_bytes;
+  v.busy_pushbacks = k.busy_pushbacks->Value() - b.busy_pushbacks;
+  v.retry_budget_exhausted =
+      k.retry_budget_exhausted->Value() - b.retry_budget_exhausted;
+  v.hedge_budget_exhausted =
+      k.hedge_budget_exhausted->Value() - b.hedge_budget_exhausted;
+  v.hedge_suppressed = k.hedge_suppressed->Value() - b.hedge_suppressed;
+  v.breaker_trips = k.breaker_trips->Value() - b.breaker_trips;
+  v.breaker_probes = k.breaker_probes->Value() - b.breaker_probes;
+  v.brownout_trips = k.brownout_trips->Value() - b.brownout_trips;
   // Latency histograms reset with ResetStats (quantiles are
   // per-interval), so the cumulative view is the since-reset view.
   v.read_latency_ns = k.read_latency->cumulative();
@@ -1498,6 +1758,16 @@ void CacheClient::ResetStats(CacheId id) {
   b.lease_expirations = k.lease_expirations->Value();
   b.checksum_mismatches = k.checksum_mismatches->Value();
   b.chunks_verified = k.chunks_verified->Value();
+  b.admission_rejected = k.admission_rejected->Value();
+  b.shed_ops = k.shed_ops->Value();
+  b.shed_bytes = k.shed_bytes->Value();
+  b.busy_pushbacks = k.busy_pushbacks->Value();
+  b.retry_budget_exhausted = k.retry_budget_exhausted->Value();
+  b.hedge_budget_exhausted = k.hedge_budget_exhausted->Value();
+  b.hedge_suppressed = k.hedge_suppressed->Value();
+  b.breaker_trips = k.breaker_trips->Value();
+  b.breaker_probes = k.breaker_probes->Value();
+  b.brownout_trips = k.brownout_trips->Value();
   c->ctr.read_latency->Reset();
   c->ctr.write_latency->Reset();
   RefreshStatsView(*c);

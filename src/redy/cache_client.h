@@ -22,6 +22,7 @@
 #include "redy/cache_server.h"
 #include "redy/config.h"
 #include "redy/cost_model.h"
+#include "redy/overload.h"
 #include "redy/protocol.h"
 #include "redy/slo.h"
 #include "ringbuf/spsc_ring.h"
@@ -126,6 +127,42 @@ class CacheClient {
     /// unhealthy (reads divert to replicas until a sub-op succeeds).
     uint32_t unhealthy_after = 2;
 
+    // --- Overload resilience (DESIGN.md §12) ---
+    /// Global retry budget: retries are capped at this fraction of
+    /// fresh sub-op traffic (Finagle-style deposit/withdraw), so a
+    /// latency blip cannot metastasize into a retry storm. 0 =
+    /// unbudgeted (the historical behavior). Fence redirects are
+    /// exempt: they are the designed migration cutover path.
+    double retry_budget_fraction = 0.0;
+    /// Same cap for hedged reads to replicas (health diversions and
+    /// retry hedges). 0 = unbudgeted.
+    double hedge_budget_fraction = 0.0;
+    /// Startup allowance (and balance floor) of both budgets, in whole
+    /// retries — a cold client can still retry its first failures.
+    double budget_min_reserve = 10.0;
+    /// Per-VM circuit breakers: consecutive transport failures trip a
+    /// VM open for `breaker_open_ns`; while open, reads divert to a
+    /// healthy replica and other work sheds with Unavailable, then a
+    /// single half-open probe decides recovery.
+    bool circuit_breakers = false;
+    uint32_t breaker_trip_failures = 4;
+    uint64_t breaker_open_ns = 200 * kMicrosecond;
+    /// Honor server credit grants (response batch headers) by shrinking
+    /// the per-connection send window below q.
+    bool credit_flow = false;
+    /// Graceful brownout: sustained overload signals (kBusy pushback,
+    /// sub-op timeouts) within `brownout_window_ns` trip a shedding
+    /// window of `brownout_duration_ns` in which the lowest-priority
+    /// tenants' submissions are rejected up front (byte-exact shed
+    /// accounting); repeated trips escalate to shed priority >= 1.
+    bool brownout = false;
+    uint32_t brownout_trip_signals = 8;
+    uint64_t brownout_window_ns = 100 * kMicrosecond;
+    uint64_t brownout_duration_ns = 200 * kMicrosecond;
+    /// kBusy retries back off this much longer than transport-fault
+    /// retries (the server asked for air, not for a fast retry).
+    uint64_t busy_backoff_multiplier = 4;
+
     // --- Fencing & integrity (DESIGN.md §7) ---
     /// Epoch-fence remote access: revoke a region's rkeys at migration
     /// cutover (drain -> revoke -> redirect), gate two-sided writes on
@@ -193,6 +230,17 @@ class CacheClient {
     uint64_t lease_expirations = 0;    // writes deferred on a lapsed lease
     uint64_t checksum_mismatches = 0;  // end-to-end integrity failures
     uint64_t chunks_verified = 0;      // migration/repair chunks checked
+    // Overload resilience (DESIGN.md §12).
+    uint64_t admission_rejected = 0;   // submissions over the tenant quota
+    uint64_t shed_ops = 0;             // brownout/breaker sheds (ops)
+    uint64_t shed_bytes = 0;           // bytes of those sheds (byte-exact)
+    uint64_t busy_pushbacks = 0;       // kBusy responses received
+    uint64_t retry_budget_exhausted = 0;  // retries denied by the budget
+    uint64_t hedge_budget_exhausted = 0;  // hedges denied by the budget
+    uint64_t hedge_suppressed = 0;     // hedges skipped: replica unhealthier
+    uint64_t breaker_trips = 0;        // closed/half-open -> open
+    uint64_t breaker_probes = 0;       // half-open probes admitted
+    uint64_t brownout_trips = 0;       // shedding windows entered
 
     void Reset() { *this = Stats{}; }
     uint64_t ops_completed() const {
@@ -272,6 +320,15 @@ class CacheClient {
 
   /// Table 1 Delete.
   Status Delete(CacheId id);
+
+  /// Per-tenant admission control (DESIGN.md §12): caps the cache's
+  /// fresh submissions at `ops_per_sec` (token bucket with `burst`
+  /// depth; over-quota submissions fail fast with ResourceExhausted)
+  /// and assigns its priority class — 0 is highest and is never shed
+  /// by brownout or the server; 2 and up shed first. `ops_per_sec` of
+  /// 0 removes the quota but keeps the priority.
+  Status SetTenantQuota(CacheId id, double ops_per_sec, double burst,
+                        uint8_t priority = 1);
 
   /// Migrates all of `cache`'s regions off `victim` (reclaimed or
   /// failing VM) onto freshly allocated VMs. Runs asynchronously in
@@ -446,6 +503,10 @@ class CacheClient {
     /// in the sequence strands every later batch; the resilience sweep
     /// tears a poisoned connection down and retries its staged ops.
     bool poisoned = false;
+    /// Credit-granted cap on inflight_batches (<= q). Starts at q;
+    /// server response headers shrink/regrow it when credit flow is on
+    /// (a header with credits == 0 carries no grant and leaves it).
+    uint32_t send_window = 0;
     // One-sided state.
     rdma::MemoryRegion* onesided_ring = nullptr;
     std::vector<bool> onesided_slot_busy;
@@ -520,6 +581,16 @@ class CacheClient {
     telemetry::Counter* lease_expirations = nullptr;
     telemetry::Counter* checksum_mismatches = nullptr;
     telemetry::Counter* chunks_verified = nullptr;
+    telemetry::Counter* admission_rejected = nullptr;
+    telemetry::Counter* shed_ops = nullptr;
+    telemetry::Counter* shed_bytes = nullptr;
+    telemetry::Counter* busy_pushbacks = nullptr;
+    telemetry::Counter* retry_budget_exhausted = nullptr;
+    telemetry::Counter* hedge_budget_exhausted = nullptr;
+    telemetry::Counter* hedge_suppressed = nullptr;
+    telemetry::Counter* breaker_trips = nullptr;
+    telemetry::Counter* breaker_probes = nullptr;
+    telemetry::Counter* brownout_trips = nullptr;
     telemetry::WindowedHistogram* read_latency = nullptr;
     telemetry::WindowedHistogram* write_latency = nullptr;
     telemetry::Gauge* inflight = nullptr;
@@ -548,6 +619,11 @@ class CacheClient {
     uint64_t inflight_ops = 0;
     double price_per_hour = 0.0;
     bool replicated = false;
+    /// Tenant admission control (DESIGN.md §12): token-bucket quota on
+    /// fresh submissions (unconfigured = admit everything) and the
+    /// tenant's priority class (0 = highest, never shed by brownout).
+    overload::TokenBucket quota;
+    uint8_t priority = 1;
     /// Per-cache trace lane in the "client" process (lazy).
     telemetry::TrackId trace_track = 0;
   };
@@ -641,6 +717,30 @@ class CacheClient {
                     uint32_t vregion);
   /// Consults a buggify decision point (false when none installed).
   bool BuggifyFires(chaos::Buggify* b, uint32_t point) const;
+
+  // --- overload resilience (DESIGN.md §12) ---
+  /// Records one overload signal (kBusy pushback or sub-op timeout)
+  /// and trips/escalates the brownout shedding window when enough
+  /// signals land within options_.brownout_window_ns.
+  void NoteOverloadSignal(CacheEntry& cache, uint64_t count = 1);
+  /// Whether the active brownout level sheds this priority class
+  /// (level 1 sheds >= 2, level 2 sheds >= 1; priority 0 never sheds).
+  bool BrownoutSheds(uint8_t priority) const;
+  /// Circuit-breaker gate for issuing against `vm`. True = proceed
+  /// (closed, or half-open admitting this single probe).
+  bool BreakerAllows(CacheEntry& cache, cluster::VmId vm);
+  /// Feeds a sub-op outcome into `vm`'s breaker (no-op when breakers
+  /// are off; only transport-ish failures count against it).
+  void RecordBreakerResult(CacheEntry& cache, cluster::VmId vm,
+                           bool success);
+  /// Hedge-budget gate: withdraws one hedge or counts the exhaustion.
+  bool TryWithdrawHedge(CacheEntry& cache);
+  /// Whether hedging this region's read to its replica is worth it:
+  /// false when the replica's VM looks *less* healthy than the primary
+  /// (consecutive-reset counts in thread.vm_health), in which case the
+  /// hedge would pile load onto the sicker VM.
+  bool ReplicaHedgeUseful(CacheEntry& cache, const ClientThread& thread,
+                          const VRegion& vr);
 
   // --- migration internals (recovery supervisor) ---
   struct MigrationJob;
@@ -765,6 +865,24 @@ class CacheClient {
   common::FlatMap<sim::SimTime> vm_deadlines_;
   std::function<void(const char*)> recovery_listener_;
   uint64_t pending_repairs_ = 0;
+
+  // --- overload resilience state (DESIGN.md §12) ---
+  /// Client-wide retry/hedge budgets: deposits accrue from fresh
+  /// sub-op traffic, every retry (hedge) withdraws one.
+  overload::RetryBudget retry_budget_;
+  overload::RetryBudget hedge_budget_;
+  /// Per-VM circuit breakers (trivially-copyable records, flat-hashed;
+  /// never iterated — consulted per issue/completion).
+  common::FlatMap<overload::CircuitBreaker> breakers_;
+  /// Client-wide brownout: overload signals windowed into trip
+  /// decisions; an active window sheds low-priority submissions.
+  struct BrownoutState {
+    sim::SimTime window_start = 0;
+    uint64_t signals = 0;
+    sim::SimTime until = 0;  // shedding active while now < until
+    uint32_t level = 0;      // 1 sheds priority >= 2, 2 sheds >= 1
+  };
+  BrownoutState brownout_;
 };
 
 }  // namespace redy

@@ -111,6 +111,16 @@ class CacheManager {
     loss_handler_ = std::move(handler);
   }
 
+  /// Overload policy installed on every cache server this manager
+  /// boots (and, immediately, on the ones already running).
+  void SetServerOverloadPolicy(const CacheServer::OverloadPolicy& policy) {
+    server_overload_ = policy;
+    for (auto& [vm, server] : servers_) server->SetOverloadPolicy(policy);
+  }
+  const CacheServer::OverloadPolicy& server_overload_policy() const {
+    return server_overload_;
+  }
+
   CacheServer* ServerFor(cluster::VmId vm) const;
   cluster::VmAllocator* allocator() const { return allocator_; }
   rdma::Fabric* fabric() const { return fabric_; }
@@ -130,6 +140,7 @@ class CacheManager {
   std::vector<cluster::VmType> menu_;
   std::map<std::pair<uint32_t, int>, PerfModel> models_;
   std::unordered_map<cluster::VmId, std::unique_ptr<CacheServer>> servers_;
+  CacheServer::OverloadPolicy server_overload_;
   VmLossHandler loss_handler_;
 };
 

@@ -89,6 +89,7 @@ void CacheServer::Start(const RdmaConfig& cfg) {
   if (cfg.s == 0 || !threads_.empty()) return;
   // Sized once here so the poll path never reallocates (DESIGN.md §10).
   idle_streaks_.assign(cfg.s, 0);
+  rr_cursors_.assign(cfg.s, 0);
   for (uint32_t t = 0; t < cfg.s; t++) {
     auto poller = std::make_unique<sim::Poller>(
         sim_, costs_.poll_interval_ns,
@@ -116,6 +117,15 @@ void CacheServer::Shutdown() {
   regions_.clear();
 }
 
+bool CacheServer::BatchReady(const Connection& conn) const {
+  if (conn.request_ring == nullptr) return false;
+  const uint64_t slot = (conn.next_seq - 1) % conn.queue_depth;
+  BatchHeader hdr;
+  std::memcpy(&hdr, conn.request_ring->data() + slot * conn.request_slot_bytes,
+              sizeof(hdr));
+  return hdr.seq == conn.next_seq;
+}
+
 uint64_t CacheServer::PollConnections(uint32_t thread_index) {
   // Connections are statically partitioned over server threads
   // (connection i belongs to thread i % s).
@@ -123,11 +133,34 @@ uint64_t CacheServer::PollConnections(uint32_t thread_index) {
   const uint32_t s = cfg_.s == 0 ? 1 : cfg_.s;
   bool any = false;
   bool blocked = false;
-  for (size_t i = thread_index; i < connections_.size(); i += s) {
-    uint64_t c = ProcessBatch(*connections_[i], &blocked);
+  // The thread's connections, as a dense index: the k-th owned
+  // connection is thread_index + k*s.
+  const uint32_t owned = connections_.size() > thread_index
+                             ? static_cast<uint32_t>(
+                                   (connections_.size() - thread_index - 1) /
+                                       s +
+                                   1)
+                             : 0;
+  // Ready backlog across the thread's connections: sizes the credit
+  // grants and the shed decision for every batch this sweep consumes.
+  uint32_t backlog = 0;
+  if (policy_.credit_flow || policy_.busy_pushback) {
+    for (uint32_t k = 0; k < owned; k++) {
+      if (BatchReady(*connections_[thread_index + k * s])) backlog++;
+    }
+  }
+  // Fair queueing: rotate the sweep's starting connection so the
+  // one-batch quantum circulates — with a persistent backlog, a fixed
+  // order would hand the first connection every quantum first.
+  const uint32_t start = owned > 0 ? rr_cursors_[thread_index] % owned : 0;
+  for (uint32_t k = 0; k < owned; k++) {
+    const size_t i = thread_index +
+                     static_cast<size_t>((start + k) % owned) * s;
+    uint64_t c = ProcessBatch(*connections_[i], backlog, &blocked);
     if (c > 0) any = true;
     consumed += c;
   }
+  if (owned > 0) rr_cursors_[thread_index]++;
   if (!any) {
     consumed += costs_.idle_poll_ns;
     if (!costs_.numa_affinitized) {
@@ -165,7 +198,16 @@ void CacheServer::WakeThread(uint32_t conn_index) {
   threads_[conn_index % threads_.size()]->Wake();
 }
 
-uint64_t CacheServer::ProcessBatch(Connection& conn, bool* blocked) {
+uint32_t CacheServer::GrantCredits(uint32_t backlog) const {
+  const uint32_t q = cfg_.q == 0 ? 1 : cfg_.q;
+  if (!policy_.credit_flow) return 0;  // no grant carried
+  if (backlog >= policy_.shed_high_watermark) return 1;
+  if (backlog >= policy_.shed_low_watermark) return std::max(q / 2, 1u);
+  return q;
+}
+
+uint64_t CacheServer::ProcessBatch(Connection& conn, uint32_t backlog,
+                                   bool* blocked) {
   if (conn.request_ring == nullptr) return 0;
   const uint32_t q = conn.queue_depth;
   const uint64_t slot = (conn.next_seq - 1) % q;
@@ -186,6 +228,45 @@ uint64_t CacheServer::ProcessBatch(Connection& conn, bool* blocked) {
   uint64_t consumed = costs_.server_batch_detect_ns +
                       costs_.server_batch_overhead_ns;
   if (!costs_.numa_affinitized) consumed += costs_.numa_penalty_ns;
+
+  // Overload pushback (DESIGN.md §12): past the backlog watermarks,
+  // cheap-reject the whole batch with per-op kBusy responses instead of
+  // executing it — lowest tenant priority first, never batches carrying
+  // lease control ops. The header pre-walk mirrors the execution walk's
+  // bounds checks; a malformed batch falls through to the hardened main
+  // loop rather than being shed.
+  bool shed = false;
+  if (policy_.busy_pushback && backlog >= policy_.shed_low_watermark &&
+      hdr.bytes >= sizeof(BatchHeader) &&
+      hdr.bytes <= conn.request_slot_bytes) {
+    const uint8_t* walk = base + sizeof(BatchHeader);
+    const uint8_t* const walk_end = base + hdr.bytes;
+    uint8_t priority = 0;
+    bool has_lease = false;
+    bool walk_ok = true;
+    for (uint32_t i = 0; i < hdr.count; i++) {
+      if (walk + sizeof(RequestHeader) > walk_end) {
+        walk_ok = false;
+        break;
+      }
+      RequestHeader rh;
+      std::memcpy(&rh, walk, sizeof(rh));
+      walk += sizeof(rh);
+      if (rh.op == OpCode::kWrite) {
+        if (rh.len > static_cast<uint64_t>(walk_end - walk)) {
+          walk_ok = false;
+          break;
+        }
+        walk += rh.len;
+      }
+      if (rh.op == OpCode::kLease) has_lease = true;
+      priority = std::max(priority, rh.priority);
+    }
+    if (walk_ok && !has_lease) {
+      shed = (priority >= 2) ||
+             (priority >= 1 && backlog >= policy_.shed_high_watermark);
+    }
+  }
 
   // Build the response batch in the staging slot while executing.
   uint8_t* resp_base =
@@ -219,6 +300,22 @@ uint64_t CacheServer::ProcessBatch(Connection& conn, bool* blocked) {
     ResponseHeader resp;
     resp.op = static_cast<uint8_t>(rh.op);
     resp.len = 0;
+    if (shed) {
+      // Canned rejection: no region lookup, no payload movement — the
+      // whole point of pushback is that this path is far cheaper than
+      // execution, so a saturated server recovers capacity by shedding.
+      consumed += costs_.server_reject_ns;
+      resp.status = static_cast<uint8_t>(StatusCode::kBusy);
+      resp.epoch = 0;
+      resp.checksum = ResponseChecksum(
+          resp, resp_base + resp_off + sizeof(ResponseHeader));
+      std::memcpy(resp_base + resp_off, &resp, sizeof(resp));
+      resp_off += sizeof(resp);
+      if (rh.op == OpCode::kWrite) req += rh.len;
+      processed++;
+      busy_shed_ops_++;
+      continue;
+    }
     consumed += costs_.server_request_ns;
 
     rdma::MemoryRegion* region =
@@ -268,10 +365,18 @@ uint64_t CacheServer::ProcessBatch(Connection& conn, bool* blocked) {
     processed++;
   }
 
+  if (shed) busy_shed_batches_++;
+
   BatchHeader resp_hdr;
   resp_hdr.seq = hdr.seq;
   resp_hdr.count = processed;
   resp_hdr.bytes = static_cast<uint32_t>(resp_off);
+  // Piggybacked credit grant: the client shrinks (or restores) its
+  // send window to what the server can absorb right now.
+  resp_hdr.credits = GrantCredits(backlog);
+  if (resp_hdr.credits != 0 && resp_hdr.credits < cfg_.q) {
+    credit_throttled_++;
+  }
   std::memcpy(resp_base, &resp_hdr, sizeof(resp_hdr));
 
   consumed += conn.qp->PostCostNs(

@@ -41,6 +41,27 @@ class CacheServer {
     uint32_t conn_index = 0;
   };
 
+  /// Overload-resilience policy (DESIGN.md §12). Defaults reproduce the
+  /// historical behavior: no credit grants, no pushback — a backlogged
+  /// server just queues until the rings fill and clients time out.
+  struct OverloadPolicy {
+    /// Grant send-window credits in response batch headers: the deeper
+    /// the server's ready backlog, the smaller the window, throttling
+    /// clients *before* they have staged work the server will discard.
+    bool credit_flow = false;
+    /// Shed request batches with per-op kBusy responses (no execution,
+    /// no payload movement) once the ready backlog crosses the
+    /// watermarks, lowest tenant priority first. Batches carrying lease
+    /// control ops are never shed.
+    bool busy_pushback = false;
+    /// Ready batches (across a poll thread's connections) at/above
+    /// which priority >= 2 traffic is shed and credits halve.
+    uint32_t shed_low_watermark = 2;
+    /// Ready backlog at/above which priority >= 1 is also shed and the
+    /// credit window drops to 1. Priority 0 is never shed server-side.
+    uint32_t shed_high_watermark = 4;
+  };
+
   CacheServer(sim::Simulation* sim, rdma::Fabric* fabric,
               const cluster::Vm& vm, const CostModel& costs);
   ~CacheServer();
@@ -71,12 +92,22 @@ class CacheServer {
   /// Stops threads and invalidates regions (VM teardown).
   void Shutdown();
 
+  /// Installs the overload policy (applies to batches processed from
+  /// now on; safe to call while running).
+  void SetOverloadPolicy(const OverloadPolicy& policy) { policy_ = policy; }
+  const OverloadPolicy& overload_policy() const { return policy_; }
+
   rdma::Nic* nic() const { return nic_; }
   const cluster::Vm& vm() const { return vm_; }
   net::ServerId node() const { return vm_.server; }
   uint32_t num_regions() const { return static_cast<uint32_t>(regions_.size()); }
   rdma::MemoryRegion* region(uint32_t i) const { return regions_[i]; }
   uint64_t batches_processed() const { return batches_processed_; }
+  /// Overload-pushback introspection (telemetry/benches).
+  uint64_t busy_shed_batches() const { return busy_shed_batches_; }
+  uint64_t busy_shed_ops() const { return busy_shed_ops_; }
+  /// Response batches that carried a reduced (< q) credit window.
+  uint64_t credit_throttled_grants() const { return credit_throttled_; }
   bool running() const { return !threads_.empty(); }
   /// Whether the agent has not been shut down. Note running() is false
   /// for one-sided servers (no threads); liveness checks must use this.
@@ -98,12 +129,21 @@ class CacheServer {
   /// One poll sweep of a server thread over its connections. Returns
   /// consumed CPU time.
   uint64_t PollConnections(uint32_t thread_index);
+  /// Whether `conn`'s next expected batch has landed in its ring slot
+  /// (cheap header peek; used to size the ready backlog for credit
+  /// grants and shed decisions).
+  bool BatchReady(const Connection& conn) const;
   /// Processes the next pending batch on `conn` if present. Returns
-  /// consumed CPU time (0 if nothing arrived). Sets `*blocked` when a
-  /// batch is waiting but cannot be consumed because the QP is at send
-  /// depth — the owning thread must keep polling (no ring write will
-  /// announce the deferred post that unblocks it).
-  uint64_t ProcessBatch(Connection& conn, bool* blocked);
+  /// consumed CPU time (0 if nothing arrived). `backlog` is the number
+  /// of ready batches across the owning thread's connections this
+  /// sweep (drives credit grants and kBusy shedding). Sets `*blocked`
+  /// when a batch is waiting but cannot be consumed because the QP is
+  /// at send depth — the owning thread must keep polling (no ring
+  /// write will announce the deferred post that unblocks it).
+  uint64_t ProcessBatch(Connection& conn, uint32_t backlog, bool* blocked);
+  /// The send window granted to a connection given the current ready
+  /// backlog (q when credit flow is off).
+  uint32_t GrantCredits(uint32_t backlog) const;
   /// Wakes the (possibly parked) thread that owns connection
   /// `conn_index`. Invoked by the request-ring remote-write notifier.
   void WakeThread(uint32_t conn_index);
@@ -118,7 +158,16 @@ class CacheServer {
   std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<std::unique_ptr<sim::Poller>> threads_;
   std::vector<uint32_t> idle_streaks_;
+  /// Per-thread rotating start cursor over the thread's connections, so
+  /// under sustained backlog every connection gets the one-batch
+  /// quantum in turn instead of the first-listed tenant monopolizing
+  /// the sweep (per-tenant fair queueing, DESIGN.md §12).
+  std::vector<uint32_t> rr_cursors_;
+  OverloadPolicy policy_;
   uint64_t batches_processed_ = 0;
+  uint64_t busy_shed_batches_ = 0;
+  uint64_t busy_shed_ops_ = 0;
+  uint64_t credit_throttled_ = 0;
   bool shutdown_ = false;
 };
 

@@ -37,6 +37,10 @@ struct CostModel {
   uint64_t server_request_ns = 22;
   /// Per-byte memcpy cost executing reads/writes against region memory.
   double server_ns_per_byte = 0.0625;  // ~16 GB/s per core
+  /// Per-request cost of shedding with kBusy instead of executing
+  /// (header peek + canned response). The whole point of explicit
+  /// pushback is that rejection is much cheaper than execution.
+  uint64_t server_reject_ns = 5;
 
   // --- Application-side call ---
   /// Cost of the async Read/Write API call itself (enqueue into the

@@ -1,0 +1,160 @@
+#ifndef REDY_REDY_OVERLOAD_H_
+#define REDY_REDY_OVERLOAD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+
+#include "sim/simulation.h"
+
+namespace redy::overload {
+
+/// Token-bucket admission meter (DESIGN.md §12). Refills lazily from
+/// simulated time, so it costs nothing while idle and is a pure
+/// function of (configuration, consultation times) — no timers, no
+/// entropy.
+class TokenBucket {
+ public:
+  /// `ops_per_sec` sustained rate, `burst` bucket depth (the short-term
+  /// allowance above the rate). Rate 0 = unconfigured: TryTake always
+  /// admits.
+  void Configure(double ops_per_sec, double burst, sim::SimTime now) {
+    rate_per_ns_ = ops_per_sec / 1e9;
+    burst_ = burst;
+    tokens_ = burst;
+    last_ = now;
+  }
+
+  bool configured() const { return rate_per_ns_ > 0; }
+
+  /// Admits one op if a token is available at `now`.
+  bool TryTake(sim::SimTime now) {
+    if (rate_per_ns_ <= 0) return true;
+    Refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens(sim::SimTime now) {
+    Refill(now);
+    return tokens_;
+  }
+
+ private:
+  void Refill(sim::SimTime now) {
+    if (now > last_) {
+      tokens_ = std::min(
+          burst_, tokens_ + static_cast<double>(now - last_) * rate_per_ns_);
+      last_ = now;
+    }
+  }
+
+  double rate_per_ns_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  sim::SimTime last_ = 0;
+};
+
+/// Finagle-style retry/hedge budget (DESIGN.md §12): every fresh sub-op
+/// deposits `fraction` of a token, every retry (or hedge) withdraws a
+/// whole one, so secondary traffic is capped at `fraction` of fresh
+/// traffic in any window — a latency blip cannot metastasize into a
+/// retry storm that outlives its trigger. `min_reserve` is a startup
+/// allowance (and balance cap floor) so a cold client can still retry
+/// its first few failures.
+class RetryBudget {
+ public:
+  void Configure(double fraction, double min_reserve) {
+    fraction_ = fraction;
+    min_reserve_ = min_reserve;
+    balance_ = min_reserve;
+    // Cap the balance so a long quiet period cannot bank an unbounded
+    // burst of retries: at most ~1k fresh ops' worth of deposits.
+    cap_ = std::max(min_reserve, 1000.0 * fraction);
+  }
+
+  /// 0 fraction = unbudgeted (legacy behavior): TryWithdraw always
+  /// grants.
+  bool enabled() const { return fraction_ > 0; }
+
+  void Deposit() {
+    if (!enabled()) return;
+    balance_ = std::min(cap_, balance_ + fraction_);
+  }
+
+  bool TryWithdraw() {
+    if (!enabled()) return true;
+    if (balance_ < 1.0) return false;
+    balance_ -= 1.0;
+    return true;
+  }
+
+  double balance() const { return balance_; }
+
+ private:
+  double fraction_ = 0.0;
+  double min_reserve_ = 0.0;
+  double balance_ = 0.0;
+  double cap_ = 0.0;
+};
+
+/// Per-VM circuit breaker (DESIGN.md §12). Closed counts consecutive
+/// transport failures; tripping opens the breaker for `open_ns`, during
+/// which the VM is not sent new work (reads divert to replicas, other
+/// work sheds). The first Allow() after the open window admits exactly
+/// one half-open probe; its outcome closes or re-opens the breaker.
+/// Kept trivially copyable so breakers can live in a common::FlatMap
+/// keyed by VM id.
+struct CircuitBreaker {
+  enum State : uint32_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  uint32_t state = kClosed;
+  uint32_t failures = 0;  // consecutive, while closed
+  sim::SimTime open_until = 0;
+
+  /// Whether a request may target this VM now. Transitions kOpen ->
+  /// kHalfOpen when the cooldown elapsed; that call admits the single
+  /// probe (subsequent calls return false until the probe settles).
+  bool Allow(sim::SimTime now) {
+    switch (state) {
+      case kClosed:
+        return true;
+      case kOpen:
+        if (now < open_until) return false;
+        state = kHalfOpen;
+        return true;  // the half-open probe
+      case kHalfOpen:
+      default:
+        return false;  // one probe at a time
+    }
+  }
+
+  void RecordSuccess() {
+    state = kClosed;
+    failures = 0;
+  }
+
+  /// Returns whether this failure tripped (or re-tripped) the breaker.
+  bool RecordFailure(sim::SimTime now, uint32_t trip_after,
+                     uint64_t open_ns) {
+    failures++;
+    if (state == kHalfOpen || failures >= trip_after) {
+      state = kOpen;
+      open_until = now + open_ns;
+      failures = 0;
+      return true;
+    }
+    return false;
+  }
+
+  bool open(sim::SimTime now) const {
+    return state == kOpen && now < open_until;
+  }
+};
+static_assert(std::is_trivially_copyable_v<CircuitBreaker>,
+              "CircuitBreaker must stay trivially copyable (FlatMap value)");
+
+}  // namespace redy::overload
+
+#endif  // REDY_REDY_OVERLOAD_H_

@@ -41,15 +41,25 @@ struct BatchHeader {
   uint64_t seq = 0;  // 0 = empty; batches are numbered from 1
   uint32_t count = 0;
   uint32_t bytes = 0;  // total batch bytes incl. header
+  /// Credit-based flow control (DESIGN.md §12): on a response batch, the
+  /// send window the server currently grants this connection (how many
+  /// request batches may be in flight). 0 = no grant carried (request
+  /// batches, or a server without credit flow enabled); the client then
+  /// keeps its previous window.
+  uint32_t credits = 0;
+  uint32_t pad = 0;
 };
-static_assert(sizeof(BatchHeader) == 16);
+static_assert(sizeof(BatchHeader) == 24);
 
 /// Per-request header inside a request batch. A write request is
 /// followed by `len` payload bytes; read and lease requests carry no
 /// payload.
 struct RequestHeader {
   OpCode op = OpCode::kRead;
-  uint8_t pad[3] = {};
+  /// Tenant priority class (0 = highest). Advisory: under overload the
+  /// server sheds the highest-numbered classes first (kBusy pushback).
+  uint8_t priority = 0;
+  uint8_t pad[2] = {};
   uint32_t len = 0;
   uint32_t region = 0;    // physical region index on the target VM
   uint32_t epoch = 0;     // access epoch the op was issued under

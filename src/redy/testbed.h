@@ -36,6 +36,9 @@ struct TestbedOptions {
   net::FabricParams fabric;
   CostModel costs;
   CacheClient::Options client;
+  /// Overload policy installed on every cache server the manager boots
+  /// (credit flow, kBusy pushback — DESIGN.md §12). Defaults off.
+  CacheServer::OverloadPolicy server_overload;
 };
 
 class Testbed {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
+#include <vector>
 
 #include "cluster/trace.h"
 #include "cluster/vm_allocator.h"
@@ -119,6 +121,76 @@ TEST_F(VmAllocatorTest, FailServerEvictsEverything) {
   alloc_.FailServer(vm1->server);
   EXPECT_EQ(notices, 1);
   EXPECT_EQ(alloc_.Find(vm1->id), nullptr);
+}
+
+// --- Capacity waitlist fairness (DESIGN.md §12) -----------------------------
+//
+// Recovery paths park on WaitForCapacity when allocation fails; under a
+// reclamation storm many of them re-arm continuously. The waitlist must
+// stay FIFO so the oldest parked recovery is never starved by newer
+// arrivals.
+
+TEST_F(VmAllocatorTest, CapacityWaitersFireInRegistrationOrder) {
+  auto vm = alloc_.Allocate(4, 16 * kGiB, false);
+  ASSERT_TRUE(vm.ok());
+  std::vector<int> fired;
+  for (int i = 0; i < 4; i++) {
+    alloc_.WaitForCapacity([&fired, i] { fired.push_back(i); });
+  }
+  alloc_.Free(vm->id);
+  sim_.RunFor(1);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+  // One-shot: the next capacity event fires nobody again.
+  auto vm2 = alloc_.Allocate(4, 16 * kGiB, false);
+  ASSERT_TRUE(vm2.ok());
+  alloc_.Free(vm2->id);
+  sim_.RunFor(1);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST_F(VmAllocatorTest, WaiterStormDoesNotStarveOldestWaiter) {
+  // The oldest waiter and four storm waiters all re-arm from inside
+  // their callbacks, round after round. Because firing is registration-
+  // ordered and the oldest re-registers first (its callback runs
+  // first), it must lead every round — a storm of re-arming newcomers
+  // cannot push it back in line.
+  std::vector<int> order;
+  std::function<void()> oldest = [&] {
+    order.push_back(0);
+    alloc_.WaitForCapacity(oldest);
+  };
+  alloc_.WaitForCapacity(oldest);
+  std::function<void()> storm[4];
+  for (int i = 0; i < 4; i++) {
+    storm[i] = [&, i] {
+      order.push_back(i + 1);
+      alloc_.WaitForCapacity(storm[i]);
+    };
+    alloc_.WaitForCapacity(storm[i]);
+  }
+  for (int round = 0; round < 3; round++) {
+    auto vm = alloc_.Allocate(4, 16 * kGiB, false);
+    ASSERT_TRUE(vm.ok());
+    order.clear();
+    alloc_.Free(vm->id);
+    sim_.RunFor(1);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}))
+        << "round " << round << ": oldest waiter must fire first";
+  }
+}
+
+TEST_F(VmAllocatorTest, CancelledCapacityWaiterNeverFires) {
+  std::vector<int> fired;
+  alloc_.WaitForCapacity([&] { fired.push_back(0); });
+  const uint64_t mid = alloc_.WaitForCapacity([&] { fired.push_back(1); });
+  alloc_.WaitForCapacity([&] { fired.push_back(2); });
+  EXPECT_TRUE(alloc_.CancelWaitForCapacity(mid));
+  EXPECT_FALSE(alloc_.CancelWaitForCapacity(mid)) << "already removed";
+  auto vm = alloc_.Allocate(4, 16 * kGiB, false);
+  ASSERT_TRUE(vm.ok());
+  alloc_.Free(vm->id);
+  sim_.RunFor(1);
+  EXPECT_EQ(fired, (std::vector<int>{0, 2}));
 }
 
 TEST(VmTypesTest, MenuIsSane) {

@@ -11,7 +11,7 @@ namespace {
 TEST(ProtocolTest, HeaderSizesAreStable) {
   // The wire format is shared between client and server staging code;
   // a size change would silently corrupt ring slot layout.
-  EXPECT_EQ(sizeof(BatchHeader), 16u);
+  EXPECT_EQ(sizeof(BatchHeader), 24u);
   EXPECT_EQ(sizeof(RequestHeader), 32u);
   EXPECT_EQ(sizeof(ResponseHeader), 16u);
 }
