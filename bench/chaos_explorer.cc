@@ -5,7 +5,7 @@
 // that corrupts acknowledged bytes, shrinks it to a minimal
 // deterministic repro, and writes the repro as a text artifact.
 //
-//   chaos_explorer --fenced=0 --expect=corruption --seeds=20 \
+//   chaos_explorer --fenced=0 --expect=corruption --seeds=20
 //       --artifact=shrunk_schedule.txt
 //
 // Exit code 0 when the outcome matches --expect:

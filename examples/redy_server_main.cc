@@ -1,0 +1,120 @@
+// Redy cache server process: the identical stack — VmAllocator,
+// CacheManager, CacheServer — built over the socket transport and
+// exposed to other processes on two TCP ports:
+//
+//   --data-port     the SocketFabric listener; queue pairs from remote
+//                   client processes dial this and exchange verbs
+//                   frames (one-sided READ/WRITE, two-sided batches),
+//   --control-port  the blocking control-RPC endpoint
+//                   (transport::ControlPlaneServer): allocate, connect,
+//                   set-response-ring, release.
+//
+// Pair with examples/redy_client_main.cc:
+//
+//   ./build/examples/example_redy_server_main &
+//   ./build/examples/example_redy_client_main
+//
+// Both binaries must describe the same topology (--pods/--racks/
+// --servers): node ids cross the control channel and each side resolves
+// them against its own net::Topology.
+
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cluster/vm_allocator.h"
+#include "net/fabric_params.h"
+#include "net/topology.h"
+#include "redy/cache_manager.h"
+#include "telemetry/telemetry.h"
+#include "transport/remote_control.h"
+#include "transport/socket_fabric.h"
+#include "transport/wall_clock.h"
+
+using namespace redy;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+uint64_t FlagU64(int argc, char** argv, const char* name, uint64_t def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint16_t data_port =
+      static_cast<uint16_t>(FlagU64(argc, argv, "data-port", 7470));
+  const uint16_t control_port =
+      static_cast<uint16_t>(FlagU64(argc, argv, "control-port", 7471));
+  const int pods = static_cast<int>(FlagU64(argc, argv, "pods", 1));
+  const int racks = static_cast<int>(FlagU64(argc, argv, "racks", 1));
+  const int servers = static_cast<int>(FlagU64(argc, argv, "servers", 4));
+  const int workers = static_cast<int>(FlagU64(argc, argv, "workers", 2));
+  const uint64_t duration_s = FlagU64(argc, argv, "duration-s", 0);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  sim::Simulation sim;
+  transport::WallClockDriver driver(&sim);
+  driver.Start();
+
+  // The whole stack is loop-thread state; build it there.
+  std::unique_ptr<telemetry::Telemetry> telemetry;
+  std::unique_ptr<transport::SocketFabric> fabric;
+  std::unique_ptr<cluster::VmAllocator> allocator;
+  std::unique_ptr<CacheManager> manager;
+  driver.Call([&] {
+    net::Topology topo(pods, racks, servers);
+    telemetry = std::make_unique<telemetry::Telemetry>(&sim);
+    transport::SocketFabric::Options fopts;
+    fopts.workers = workers;
+    fopts.port = data_port;
+    fabric = std::make_unique<transport::SocketFabric>(
+        &sim, &driver, topo, net::FabricParams{}, fopts);
+    fabric->set_telemetry(telemetry.get());
+    allocator = std::make_unique<cluster::VmAllocator>(
+        &sim, &fabric->topology(), /*cores_per_server=*/64,
+        /*memory_per_server=*/8 * kGiB, /*reclaim_notice=*/30 * kSecond);
+    manager = std::make_unique<CacheManager>(&sim, fabric.get(),
+                                             allocator.get(), CostModel{});
+  });
+
+  transport::ControlPlaneServer control(fabric.get(), manager.get(),
+                                        control_port);
+  std::printf("redy_server: data port %u, control port %u, topology %dx%dx%d"
+              " (%d workers)\n",
+              fabric->port(), control.port(), pods, racks, servers, workers);
+  std::fflush(stdout);
+
+  const uint64_t deadline =
+      duration_s == 0 ? UINT64_MAX
+                      : transport::WallClockDriver::MonotonicNs() +
+                            duration_s * 1'000'000'000ull;
+  while (g_stop == 0 &&
+         transport::WallClockDriver::MonotonicNs() < deadline) {
+    ::usleep(100'000);
+  }
+
+  std::printf("redy_server: shutting down\n");
+  control.Stop();
+  fabric->ShutdownTransport();
+  driver.Stop();
+  manager.reset();
+  allocator.reset();
+  fabric.reset();
+  telemetry.reset();
+  return 0;
+}

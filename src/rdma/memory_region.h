@@ -1,6 +1,7 @@
 #ifndef REDY_RDMA_MEMORY_REGION_H_
 #define REDY_RDMA_MEMORY_REGION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <utility>
@@ -29,7 +30,7 @@ class MemoryRegion {
   uint64_t size() const { return data_.size(); }
 
   uint32_t lkey() const { return lkey_; }
-  RemoteKey remote_key() const { return RemoteKey{rkey_, epoch_}; }
+  RemoteKey remote_key() const { return RemoteKey{rkey_, epoch()}; }
   Nic* nic() const { return nic_; }
 
   /// Access epoch for fenced one-sided writes. Bumping it (a revocation)
@@ -38,13 +39,19 @@ class MemoryRegion {
   /// epoch-checked — a revoked region is write-frozen but stays readable
   /// until deregistration (migration chunk copies and un-paused reads
   /// keep working through the cutover).
-  uint32_t epoch() const { return epoch_; }
-  void RevokeEpoch() { epoch_++; }
+  ///
+  /// Atomic because the socket backend's responder workers enforce the
+  /// fence off the application loop (DESIGN.md §13): release/acquire
+  /// ordering makes a revocation published by the loop visible to a
+  /// worker before it deposits a byte. Under the simulator this
+  /// compiles to the same plain load/store it always was.
+  uint32_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void RevokeEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
   /// A deregistered region rejects all remote access (used when a region
   /// is reclaimed or its VM is torn down).
-  bool valid() const { return valid_; }
-  void Invalidate() { valid_ = false; }
+  bool valid() const { return valid_.load(std::memory_order_acquire); }
+  void Invalidate() { valid_.store(false, std::memory_order_release); }
 
   bool InBounds(uint64_t offset, uint64_t len) const {
     return offset + len <= data_.size() && offset + len >= offset;
@@ -66,8 +73,8 @@ class MemoryRegion {
   Nic* nic_;
   uint32_t lkey_;
   uint32_t rkey_;
-  uint32_t epoch_ = 0;
-  bool valid_ = true;
+  std::atomic<uint32_t> epoch_{0};
+  std::atomic<bool> valid_{true};
   std::vector<uint8_t> data_;
   sim::InlineFunction on_remote_write_;
 };

@@ -33,19 +33,25 @@ class QueuePair;
 /// transmit link (whose serialization produces load-dependent latency),
 /// and tracks the queue pairs created on it. Fail() models a server/VM
 /// crash: every connected QP flushes with error completions.
+///
+/// Like QueuePair, the NIC doubles as the backend seam: the base class
+/// is the simulated implementation, and the socket backend subclasses
+/// it (transport::SocketNic) to hand out socket-backed queue pairs and
+/// a thread-safe region table for its responder workers (DESIGN.md
+/// §13).
 class Nic {
  public:
   Nic(sim::Simulation* sim, Fabric* fabric, net::ServerId server);
-  ~Nic();
+  virtual ~Nic();
 
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
 
   /// Registers `bytes` of fresh memory; the NIC owns the region.
-  MemoryRegion* RegisterMemory(uint64_t bytes);
+  virtual MemoryRegion* RegisterMemory(uint64_t bytes);
 
   /// Deregisters a region: remote accesses start failing.
-  void DeregisterMemory(MemoryRegion* mr);
+  virtual void DeregisterMemory(MemoryRegion* mr);
 
   /// Resolves an access token to a region on this NIC. Fails with
   /// kProtectionError when the region is gone (deregistered) or, if
@@ -53,14 +59,14 @@ class Nic {
   /// revoked rkey. WRITE landings check the epoch; READ landings pass
   /// check_epoch=false (revoked regions stay readable, see
   /// MemoryRegion::epoch()).
-  Result<MemoryRegion*> Resolve(RemoteKey key, bool check_epoch = true);
+  virtual Result<MemoryRegion*> Resolve(RemoteKey key, bool check_epoch = true);
 
   /// Creates a queue pair on this NIC (unconnected).
-  QueuePair* CreateQueuePair(uint32_t max_depth);
-  void DestroyQueuePair(QueuePair* qp);
+  virtual QueuePair* CreateQueuePair(uint32_t max_depth);
+  virtual void DestroyQueuePair(QueuePair* qp);
 
   /// Models the NIC (its server/VM) going away. All QPs flush.
-  void Fail();
+  virtual void Fail();
   bool failed() const { return failed_; }
 
   /// Earliest time a completion on this NIC may be delivered, honoring
@@ -86,7 +92,7 @@ class Nic {
   /// "rdma.protection_errors" with the same {"server": N} label.
   void CountProtectionError();
 
- private:
+ protected:
   friend class QueuePair;
 
   sim::Simulation* sim_;
@@ -108,14 +114,17 @@ class Nic {
 };
 
 /// The fabric connects NICs through the data-center topology and owns
-/// the calibrated timing parameters.
+/// the calibrated timing parameters. NicAt is the backend seam's root:
+/// the base class hands out simulated NICs; transport::SocketFabric
+/// overrides it to hand out socket-backed ones.
 class Fabric {
  public:
   Fabric(sim::Simulation* sim, net::Topology topology,
          net::FabricParams params = {});
+  virtual ~Fabric() = default;
 
   /// Returns (creating on first use) the NIC of a server.
-  Nic* NicAt(net::ServerId server);
+  virtual Nic* NicAt(net::ServerId server);
 
   /// One-way propagation latency between two servers.
   uint64_t OneWayNs(net::ServerId a, net::ServerId b) const {
@@ -149,7 +158,7 @@ class Fabric {
   /// lazily registered with `tracer`.
   uint32_t FabricTraceTrack(telemetry::SpanTracer& tracer);
 
- private:
+ protected:
   sim::Simulation* sim_;
   net::Topology topology_;
   net::FabricParams params_;

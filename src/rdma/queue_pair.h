@@ -31,37 +31,45 @@ class Nic;
 /// completion sequencer is a fixed ring sized by the queue depth, and
 /// every event lambda is static_assert'd to fit the scheduler's inline
 /// capture budget (DESIGN.md §10).
+///
+/// The post/connect surface is virtual: this class is both the verbs
+/// interface and its simulated default implementation. The socket
+/// backend (src/transport/) subclasses it to carry the same posts over
+/// nonblocking TCP with real completions (DESIGN.md §13), so every
+/// caller — CacheClient, CacheServer, migration — is backend-agnostic.
 class QueuePair {
  public:
   QueuePair(Nic* nic, uint32_t max_depth);
+  virtual ~QueuePair() = default;
 
   QueuePair(const QueuePair&) = delete;
   QueuePair& operator=(const QueuePair&) = delete;
 
   /// Connects this QP with `peer` (both directions).
-  Status Connect(QueuePair* peer);
+  virtual Status Connect(QueuePair* peer);
 
   /// One-sided RDMA read: copy `len` bytes from (remote region `key`,
   /// `remote_offset`) into (local `mr`, `local_offset`). Completion is
   /// pushed to the send CQ when the data has landed locally.
-  Status PostRead(uint64_t wr_id, MemoryRegion* mr, uint64_t local_offset,
-                  RemoteKey key, uint64_t remote_offset, uint64_t len);
+  virtual Status PostRead(uint64_t wr_id, MemoryRegion* mr,
+                          uint64_t local_offset, RemoteKey key,
+                          uint64_t remote_offset, uint64_t len);
 
   /// One-sided RDMA write: copy `len` bytes from (local `mr`,
   /// `local_offset`) to (remote region `key`, `remote_offset`). Payloads
   /// up to the inline threshold avoid the PCIe DMA fetch.
-  Status PostWrite(uint64_t wr_id, const MemoryRegion* mr,
-                   uint64_t local_offset, RemoteKey key,
-                   uint64_t remote_offset, uint64_t len);
+  virtual Status PostWrite(uint64_t wr_id, const MemoryRegion* mr,
+                           uint64_t local_offset, RemoteKey key,
+                           uint64_t remote_offset, uint64_t len);
 
   /// Two-sided send: delivers into the oldest posted receive buffer at
   /// the peer; a completion appears on the peer's recv CQ.
-  Status PostSend(uint64_t wr_id, const MemoryRegion* mr,
-                  uint64_t local_offset, uint64_t len);
+  virtual Status PostSend(uint64_t wr_id, const MemoryRegion* mr,
+                          uint64_t local_offset, uint64_t len);
 
   /// Posts a receive buffer for incoming sends.
-  Status PostRecv(uint64_t wr_id, MemoryRegion* mr, uint64_t offset,
-                  uint64_t capacity);
+  virtual Status PostRecv(uint64_t wr_id, MemoryRegion* mr, uint64_t offset,
+                          uint64_t capacity);
 
   CompletionQueue& send_cq() { return send_cq_; }
   CompletionQueue& recv_cq() { return recv_cq_; }
@@ -69,22 +77,22 @@ class QueuePair {
   /// In-flight (posted, not yet completed) send-side operations.
   uint32_t outstanding() const { return outstanding_; }
   uint32_t max_depth() const { return max_depth_; }
-  bool connected() const { return peer_ != nullptr; }
+  virtual bool connected() const { return peer_ != nullptr; }
   bool broken() const { return broken_; }
   Nic* nic() const { return nic_; }
   QueuePair* peer() const { return peer_; }
 
   /// CPU nanoseconds a caller should charge for posting one work request
   /// with the given payload (doorbell + optional inline copy).
-  uint64_t PostCostNs(uint64_t inline_bytes) const;
+  virtual uint64_t PostCostNs(uint64_t inline_bytes) const;
 
   /// Flushes the QP: outstanding and future operations fail.
-  void Break();
+  virtual void Break();
 
   /// Stable fabric-wide trace ordinal (assigned at creation).
   uint64_t trace_id() const { return trace_id_; }
 
- private:
+ protected:
   friend class Nic;
 
   struct PostedRecv {

@@ -91,8 +91,9 @@ Result<CacheClient::CacheId> CacheClient::Create(
       const uint64_t chunk =
           std::min(n - off, cache->region_bytes - roff);
       const auto& p = cache->regions[vr].placement;
-      std::memcpy(p.server->region(p.region_index)->data() + roff,
-                  file->data() + off, chunk);
+      rdma::MemoryRegion* mr = p.server->region(p.region_index);
+      if (mr == nullptr) break;  // remote server agent: no backdoor
+      std::memcpy(mr->data() + roff, file->data() + off, chunk);
       off += chunk;
     }
   }
@@ -592,9 +593,11 @@ uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
   while (true) {
     const uint32_t slot = static_cast<uint32_t>((conn.next_resp - 1) % q);
     uint8_t* base = conn.resp_ring->data() + slot * conn.resp_slot_bytes;
+    // Acquire-gate on the seq word: over the socket backend the
+    // responder worker release-publishes it after the batch body.
+    if (LoadBatchSeqAcquire(base) != conn.next_resp) break;
     BatchHeader hdr;
     std::memcpy(&hdr, base, sizeof(hdr));
-    if (hdr.seq != conn.next_resp) break;
 
     // Credit grant (DESIGN.md §12): the server sizes our send window to
     // its current backlog. 0 carries no grant (legacy servers); the
@@ -1807,7 +1810,11 @@ Status CacheClient::Poke(CacheId id, uint64_t addr, const void* src,
     const uint64_t roff = addr % cache->region_bytes;
     const uint64_t chunk = std::min(size, cache->region_bytes - roff);
     const auto& p = cache->regions[vr].placement;
-    std::memcpy(p.server->region(p.region_index)->data() + roff, s, chunk);
+    rdma::MemoryRegion* mr = p.server->region(p.region_index);
+    if (mr == nullptr) {
+      return Status::Unimplemented("poke: server agent is remote");
+    }
+    std::memcpy(mr->data() + roff, s, chunk);
     addr += chunk;
     s += chunk;
     size -= chunk;
@@ -1828,7 +1835,11 @@ Status CacheClient::Peek(CacheId id, uint64_t addr, void* dst,
     const uint64_t roff = addr % cache->region_bytes;
     const uint64_t chunk = std::min(size, cache->region_bytes - roff);
     const auto& p = cache->regions[vr].placement;
-    std::memcpy(d, p.server->region(p.region_index)->data() + roff, chunk);
+    rdma::MemoryRegion* mr = p.server->region(p.region_index);
+    if (mr == nullptr) {
+      return Status::Unimplemented("peek: server agent is remote");
+    }
+    std::memcpy(d, mr->data() + roff, chunk);
     addr += chunk;
     d += chunk;
     size -= chunk;

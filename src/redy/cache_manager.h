@@ -57,6 +57,7 @@ class CacheManager {
 
   CacheManager(sim::Simulation* sim, rdma::Fabric* fabric,
                cluster::VmAllocator* allocator, CostModel costs = {});
+  virtual ~CacheManager() = default;
 
   /// Registers the performance model for a (record size, switch-hop
   /// distance) pair. Models are built offline (OfflineModeler) or
@@ -85,15 +86,16 @@ class CacheManager {
   /// many regions a single VM may host (0 = unlimited): tests use it to
   /// pin down region-to-VM fan-out deterministically, deployments to
   /// bound the blast radius of a single VM loss.
-  Result<Allocation> AllocateWithConfig(uint64_t capacity,
-                                        const RdmaConfig& config,
-                                        uint32_t record_bytes, bool spot,
-                                        net::ServerId client_node,
-                                        uint64_t region_bytes,
-                                        int max_hops = 5,
-                                        const std::vector<net::ServerId>*
-                                            avoid_nodes = nullptr,
-                                        uint32_t max_regions_per_vm = 0);
+  /// Virtual, along with ReleaseVm: with AllocateWithConfig and the
+  /// CacheServer control surface overridable, a cross-process client
+  /// drives a manager living in the server process through RPC proxies
+  /// (transport::RemoteCacheManager, DESIGN.md §13).
+  virtual Result<Allocation> AllocateWithConfig(
+      uint64_t capacity, const RdmaConfig& config, uint32_t record_bytes,
+      bool spot, net::ServerId client_node, uint64_t region_bytes,
+      int max_hops = 5,
+      const std::vector<net::ServerId>* avoid_nodes = nullptr,
+      uint32_t max_regions_per_vm = 0);
 
   /// Releases every VM in `allocation` (Deallocate). Idempotent, like
   /// ReleaseVm.
@@ -104,7 +106,7 @@ class CacheManager {
   /// allocator, already released, or already shut down is a no-op
   /// (Shutdown early-returns, the allocator ignores unknown ids, and
   /// VM ids are never reused).
-  void ReleaseVm(cluster::VmId vm);
+  virtual void ReleaseVm(cluster::VmId vm);
 
   /// The client registers here to learn about VM loss.
   void SetVmLossHandler(VmLossHandler handler) {

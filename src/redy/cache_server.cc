@@ -120,10 +120,9 @@ void CacheServer::Shutdown() {
 bool CacheServer::BatchReady(const Connection& conn) const {
   if (conn.request_ring == nullptr) return false;
   const uint64_t slot = (conn.next_seq - 1) % conn.queue_depth;
-  BatchHeader hdr;
-  std::memcpy(&hdr, conn.request_ring->data() + slot * conn.request_slot_bytes,
-              sizeof(hdr));
-  return hdr.seq == conn.next_seq;
+  const uint8_t* base =
+      conn.request_ring->data() + slot * conn.request_slot_bytes;
+  return LoadBatchSeqAcquire(base) == conn.next_seq;
 }
 
 uint64_t CacheServer::PollConnections(uint32_t thread_index) {
@@ -213,9 +212,12 @@ uint64_t CacheServer::ProcessBatch(Connection& conn, uint32_t backlog,
   const uint64_t slot = (conn.next_seq - 1) % q;
   uint8_t* base = conn.request_ring->data() + slot * conn.request_slot_bytes;
 
+  // Acquire-gate on the seq word before reading the batch: over the
+  // socket backend the responder publishes it last (release), so this
+  // load carries the whole deposit with it.
+  if (LoadBatchSeqAcquire(base) != conn.next_seq) return 0;
   BatchHeader hdr;
   std::memcpy(&hdr, base, sizeof(hdr));
-  if (hdr.seq != conn.next_seq) return 0;  // nothing new in this slot
 
   // Don't consume a batch until the response write can be posted
   // (counting responses whose deferred post hasn't fired yet).

@@ -64,7 +64,7 @@ class CacheServer {
 
   CacheServer(sim::Simulation* sim, rdma::Fabric* fabric,
               const cluster::Vm& vm, const CostModel& costs);
-  ~CacheServer();
+  virtual ~CacheServer();
 
   CacheServer(const CacheServer&) = delete;
   CacheServer& operator=(const CacheServer&) = delete;
@@ -79,12 +79,18 @@ class CacheServer {
   /// batches of `record_bytes` records), and records where responses
   /// must be written (the client passes its response ring's key after
   /// connecting, via SetResponseRing).
-  Result<ConnectionInfo> Connect(const RdmaConfig& cfg,
-                                 uint32_t record_bytes);
+  ///
+  /// Virtual, along with SetResponseRing/region/alive: these four are
+  /// the whole control-plane surface CacheClient needs from a server
+  /// agent, so a cross-process deployment substitutes RPC proxies
+  /// (transport::RemoteCacheServer) without the client noticing
+  /// (DESIGN.md §13).
+  virtual Result<ConnectionInfo> Connect(const RdmaConfig& cfg,
+                                         uint32_t record_bytes);
 
   /// Tells the server where connection `conn`'s responses go.
-  Status SetResponseRing(uint32_t conn, rdma::RemoteKey key,
-                         uint64_t slot_bytes);
+  virtual Status SetResponseRing(uint32_t conn, rdma::RemoteKey key,
+                                 uint64_t slot_bytes);
 
   /// Starts `cfg.s` server threads (no-op for s = 0).
   void Start(const RdmaConfig& cfg);
@@ -101,7 +107,10 @@ class CacheServer {
   const cluster::Vm& vm() const { return vm_; }
   net::ServerId node() const { return vm_.server; }
   uint32_t num_regions() const { return static_cast<uint32_t>(regions_.size()); }
-  rdma::MemoryRegion* region(uint32_t i) const { return regions_[i]; }
+  /// The backing memory of region `i`. A remote proxy returns nullptr
+  /// (no shared address space); callers off the data path (Poke/Peek,
+  /// bulk population) must tolerate that.
+  virtual rdma::MemoryRegion* region(uint32_t i) const { return regions_[i]; }
   uint64_t batches_processed() const { return batches_processed_; }
   /// Overload-pushback introspection (telemetry/benches).
   uint64_t busy_shed_batches() const { return busy_shed_batches_; }
@@ -111,7 +120,7 @@ class CacheServer {
   bool running() const { return !threads_.empty(); }
   /// Whether the agent has not been shut down. Note running() is false
   /// for one-sided servers (no threads); liveness checks must use this.
-  bool alive() const { return !shutdown_; }
+  virtual bool alive() const { return !shutdown_; }
 
  private:
   struct Connection {

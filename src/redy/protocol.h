@@ -1,6 +1,7 @@
 #ifndef REDY_REDY_PROTOCOL_H_
 #define REDY_REDY_PROTOCOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 
@@ -83,13 +84,36 @@ static_assert(sizeof(ResponseHeader) == 16);
 
 /// Slot sizing for a configuration with batch size `b` and record size
 /// `record_bytes` (the largest request/response a slot must hold).
+/// Strides are rounded up to 8 bytes so every slot's BatchHeader.seq
+/// word sits 8-aligned in the ring — a requirement of the atomic
+/// acquire/release seq handoff below. Transfer byte counts still use
+/// the actual batch bytes (BatchHeader.bytes), so simulated timing is
+/// independent of the rounding.
 inline uint64_t RequestSlotBytes(uint32_t b, uint32_t record_bytes) {
-  return sizeof(BatchHeader) +
-         static_cast<uint64_t>(b) * (sizeof(RequestHeader) + record_bytes);
+  const uint64_t raw =
+      sizeof(BatchHeader) +
+      static_cast<uint64_t>(b) * (sizeof(RequestHeader) + record_bytes);
+  return (raw + 7) & ~uint64_t{7};
 }
 inline uint64_t ResponseSlotBytes(uint32_t b, uint32_t record_bytes) {
-  return sizeof(BatchHeader) +
-         static_cast<uint64_t>(b) * (sizeof(ResponseHeader) + record_bytes);
+  const uint64_t raw =
+      sizeof(BatchHeader) +
+      static_cast<uint64_t>(b) * (sizeof(ResponseHeader) + record_bytes);
+  return (raw + 7) & ~uint64_t{7};
+}
+
+/// Acquire-loads the batch sequence word (the first 8 bytes of a slot).
+/// Ring consumers gate on this before touching the rest of the slot: on
+/// the socket backend the responder worker deposits the batch body
+/// first and release-stores the seq word last (the analogue of "the
+/// RDMA write's last cache line carries the header"), so an acquire
+/// load observing `seq` also observes every batch byte. Under the
+/// single-threaded simulator this compiles to the plain load it always
+/// was. `slot_base` must be 8-aligned (see the slot stride rounding).
+inline uint64_t LoadBatchSeqAcquire(const uint8_t* slot_base) {
+  return std::atomic_ref<uint64_t>(
+             *reinterpret_cast<uint64_t*>(const_cast<uint8_t*>(slot_base)))
+      .load(std::memory_order_acquire);
 }
 
 /// Checksum of a request: all header fields except the checksum itself,

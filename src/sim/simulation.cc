@@ -97,6 +97,25 @@ void Simulation::RunUntil(SimTime t) {
   if (now_ < t) now_ = t;
 }
 
+SimTime Simulation::NextEventTime() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    if (Rec(top.slot).cb) return top.time;
+    // Dead entry surfacing: discard it exactly like RunTop's dead
+    // branch, so peeking never reports a cancelled event's time.
+    const size_t last = heap_.size() - 1;
+    if (last != 0) {
+      const HeapEntry moved = heap_[last];
+      heap_.pop_back();
+      SiftDownRoot(moved);
+    } else {
+      heap_.pop_back();
+    }
+    FreeSlot(top.slot);
+  }
+  return kNoEvent;
+}
+
 bool Simulation::Step() {
   while (!heap_.empty()) {
     if (RunTop()) return true;

@@ -88,6 +88,14 @@ class Simulation {
   /// is empty.
   bool Step();
 
+  /// Absolute time of the earliest pending event, or kNoEvent when the
+  /// queue is empty. Dead (cancelled) heap tops are discarded on the
+  /// way, so the answer is exact rather than an upper bound. This is
+  /// what a wall-clock driver sleeps on: it blocks until either
+  /// NextEventTime() or an external wakeup (transport::WallClockDriver).
+  static constexpr SimTime kNoEvent = UINT64_MAX;
+  SimTime NextEventTime();
+
   /// Number of events executed so far (useful for tests/diagnostics).
   uint64_t events_executed() const { return events_executed_; }
   bool empty() const { return live_ == 0; }

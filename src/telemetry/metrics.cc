@@ -99,12 +99,14 @@ void WindowedHistogram::MaybeRotate() {
 }
 
 void WindowedHistogram::Add(uint64_t value_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
   MaybeRotate();
   cumulative_.Add(value_ns);
   current_.Add(value_ns);
 }
 
 void WindowedHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   cumulative_.Reset();
   current_.Reset();
   last_.Reset();
@@ -112,68 +114,99 @@ void WindowedHistogram::Reset() {
 }
 
 const Histogram& WindowedHistogram::last_window() {
+  std::lock_guard<std::mutex> lock(mu_);
   MaybeRotate();
   return last_;
 }
 
 const Histogram& WindowedHistogram::current_window() {
+  std::lock_guard<std::mutex> lock(mu_);
   MaybeRotate();
   return current_;
 }
 
+Histogram WindowedHistogram::SnapshotCumulative() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeRotate();
+  return cumulative_;
+}
+
+Histogram WindowedHistogram::SnapshotLastWindow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeRotate();
+  return last_;
+}
+
 MetricsRegistry::Entry* MetricsRegistry::Lookup(const std::string& name,
                                                 const Labels& labels,
-                                                Kind kind) {
+                                                Kind kind,
+                                                sim::SimTime window_ns) {
   std::string key = name;
   key += '|';
   key += LabelString(labels);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     REDY_CHECK(it->second->kind == kind);
     return it->second;
   }
+  // The metric object is created here, inside the critical section, so
+  // both a concurrent registration of the same identity and a
+  // concurrent exporter walk always see a fully built entry.
   auto entry = std::make_unique<Entry>();
   entry->name = name;
   entry->labels = labels;
   entry->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<WindowedHistogram>(sim_, window_ns);
+      break;
+  }
   Entry* out = entry.get();
   entries_.push_back(std::move(entry));
   index_.emplace(std::move(key), out);
   return out;
 }
 
+std::vector<MetricsRegistry::Entry*> MetricsRegistry::SnapshotEntries() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry*> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.get());
+  return out;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const Labels& labels) {
-  Entry* e = Lookup(name, labels, Kind::kCounter);
-  if (e->counter == nullptr) e->counter = std::make_unique<Counter>();
-  return e->counter.get();
+  return Lookup(name, labels, Kind::kCounter)->counter.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const Labels& labels) {
-  Entry* e = Lookup(name, labels, Kind::kGauge);
-  if (e->gauge == nullptr) e->gauge = std::make_unique<Gauge>();
-  return e->gauge.get();
+  return Lookup(name, labels, Kind::kGauge)->gauge.get();
 }
 
 WindowedHistogram* MetricsRegistry::GetHistogram(const std::string& name,
                                                  const Labels& labels,
                                                  sim::SimTime window_ns) {
-  Entry* e = Lookup(name, labels, Kind::kHistogram);
-  if (e->histogram == nullptr) {
-    e->histogram = std::make_unique<WindowedHistogram>(sim_, window_ns);
-  }
-  return e->histogram.get();
+  return Lookup(name, labels, Kind::kHistogram, window_ns)->histogram.get();
 }
 
 std::string MetricsRegistry::ToJson() {
+  const std::vector<Entry*> entries = SnapshotEntries();
   std::string out;
-  out.reserve(256 + entries_.size() * 96);
+  out.reserve(256 + entries.size() * 96);
   out += "{\"sim_now_ns\":";
   AppendU64(&out, sim_->Now());
   out += ",\"metrics\":[";
-  for (size_t i = 0; i < entries_.size(); i++) {
-    Entry& e = *entries_[i];
+  for (size_t i = 0; i < entries.size(); i++) {
+    Entry& e = *entries[i];
     if (i != 0) out += ',';
     out += "{\"name\":";
     AppendJsonString(&out, e.name);
@@ -194,14 +227,17 @@ std::string MetricsRegistry::ToJson() {
         out += "\"type\":\"gauge\",\"value\":";
         AppendI64(&out, e.gauge->Value());
         break;
-      case Kind::kHistogram:
+      case Kind::kHistogram: {
         out += "\"type\":\"histogram\",\"window_ns\":";
         AppendU64(&out, e.histogram->window_ns());
         out += ',';
-        AppendHistogramJson(&out, "cumulative", e.histogram->cumulative());
+        AppendHistogramJson(&out, "cumulative",
+                            e.histogram->SnapshotCumulative());
         out += ',';
-        AppendHistogramJson(&out, "last_window", e.histogram->last_window());
+        AppendHistogramJson(&out, "last_window",
+                            e.histogram->SnapshotLastWindow());
         break;
+      }
     }
     out += '}';
   }
@@ -215,7 +251,7 @@ std::string MetricsRegistry::ToTable() {
   std::snprintf(buf, sizeof(buf), "%-44s %-24s %s\n", "metric", "labels",
                 "value");
   out += buf;
-  for (const auto& entry : entries_) {
+  for (Entry* entry : SnapshotEntries()) {
     Entry& e = *entry;
     const std::string labels = LabelString(e.labels);
     switch (e.kind) {
@@ -228,7 +264,7 @@ std::string MetricsRegistry::ToTable() {
                       e.name.c_str(), labels.c_str(), e.gauge->Value());
         break;
       case Kind::kHistogram: {
-        const Histogram& h = e.histogram->cumulative();
+        const Histogram h = e.histogram->SnapshotCumulative();
         std::snprintf(buf, sizeof(buf),
                       "%-44s %-24s count=%" PRIu64 " p50=%" PRIu64
                       " p99=%" PRIu64 " max=%" PRIu64 "\n",

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -51,6 +52,13 @@ class Gauge {
 /// on the next Add() or window accessor after a window boundary, which
 /// keeps Add() allocation-free (Histogram buckets are preallocated and
 /// rotation swaps them).
+///
+/// Thread safety: Add/Reset and the Snapshot accessors may run from any
+/// thread concurrently (internal mutex; uncontended in the common case
+/// since the data path records from one thread). The reference
+/// accessors (cumulative/last_window/current_window) hand out interior
+/// state and are for single-threaded use — the simulator, or the
+/// application loop of a wall-clock deployment.
 class WindowedHistogram {
  public:
   WindowedHistogram(sim::Simulation* sim, sim::SimTime window_ns);
@@ -69,11 +77,18 @@ class WindowedHistogram {
   const Histogram& current_window();
   sim::SimTime window_ns() const { return window_ns_; }
 
+  /// Consistent copies safe to take concurrently with Add() (used by
+  /// the registry exporters). Snapshots rotate first, like the
+  /// reference accessors.
+  Histogram SnapshotCumulative();
+  Histogram SnapshotLastWindow();
+
  private:
-  void MaybeRotate();
+  void MaybeRotate();  // requires mu_
 
   sim::Simulation* sim_;
   sim::SimTime window_ns_;
+  std::mutex mu_;
   uint64_t window_index_ = 0;
   Histogram cumulative_;
   Histogram current_;
@@ -83,9 +98,19 @@ class WindowedHistogram {
 /// Name+labels -> metric registry. Registration (GetX) allocates and is
 /// not for hot paths: callers register once and keep the returned
 /// pointer, which stays valid for the registry's lifetime. The returned
-/// objects are lock-free to update. Snapshots (JSON / text table) list
+/// counters and gauges are lock-free to update; histograms take a
+/// per-metric uncontended mutex. Snapshots (JSON / text table) list
 /// metrics in registration order, so identical runs produce identical
 /// output byte for byte.
+///
+/// Thread safety: registration and the snapshot exporters may run from
+/// any thread, concurrently with each other and with hot-path updates
+/// (real worker threads under the socket backend, DESIGN.md §13). The
+/// one cross-thread caveat is sim time: histogram window rotation reads
+/// the clock, so snapshots taken off the loop thread of a live
+/// wall-clock deployment should go through the driver (or tolerate the
+/// clock skewing under them — on the sim backend time only advances on
+/// the caller's own thread anyway).
 class MetricsRegistry {
  public:
   static constexpr sim::SimTime kDefaultWindowNs = 1 * kSecond;
@@ -108,7 +133,10 @@ class MetricsRegistry {
   std::string ToJson();
   std::string ToTable();
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
   sim::Simulation* sim() const { return sim_; }
 
  private:
@@ -122,9 +150,17 @@ class MetricsRegistry {
     std::unique_ptr<WindowedHistogram> histogram;
   };
 
-  Entry* Lookup(const std::string& name, const Labels& labels, Kind kind);
+  /// Finds or creates (fully built, under mu_) the entry for the
+  /// identity; `window_ns` only applies to histogram creation.
+  Entry* Lookup(const std::string& name, const Labels& labels, Kind kind,
+                sim::SimTime window_ns = kDefaultWindowNs);
+  /// Stable Entry pointers in registration order (entries are never
+  /// removed), taken under mu_ so exporters can format without holding
+  /// the registry lock across metric reads.
+  std::vector<Entry*> SnapshotEntries();
 
   sim::Simulation* sim_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;  // registration order
   std::unordered_map<std::string, Entry*> index_;
 };

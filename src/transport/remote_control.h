@@ -1,0 +1,200 @@
+#ifndef REDY_TRANSPORT_REMOTE_CONTROL_H_
+#define REDY_TRANSPORT_REMOTE_CONTROL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "redy/cache_manager.h"
+#include "redy/cache_server.h"
+#include "transport/socket_fabric.h"
+
+namespace redy::transport {
+
+/// Cross-process control plane for the socket backend (DESIGN.md §13).
+///
+/// The data path already crosses processes on its own: queue pairs are
+/// TCP streams, remote-endpoint descriptors dial the server fabric's
+/// data port, and rkeys resolve in the fabric that receives the frame.
+/// What remains is the *control* traffic CacheClient sends to the
+/// manager and the server agents — allocate, connect, set-response-
+/// ring, release. That surface is four virtual methods, and this file
+/// provides both sides of the RPC bridge over it:
+///
+///  - ControlPlaneServer runs in the server process beside the
+///    CacheManager: a blocking accept loop on its own thread, one
+///    length-prefixed request/response exchange at a time, each request
+///    executed on the application loop via WallClockDriver::Call.
+///  - RemoteCacheManager / RemoteCacheServer run in the client process:
+///    CacheManager/CacheServer subclasses whose overrides marshal the
+///    call over the control socket and rebuild the results — region
+///    placements carrying proxy server agents, and ConnectionInfo
+///    whose server_qp is a remote-endpoint descriptor that Connect()
+///    dials for real.
+///
+/// The control protocol is blocking RPC on purpose: it runs at cache
+/// setup/teardown frequency, not on the data path. Like frame.h it
+/// sends host-byte-order structs — deliberately naive, trusted links
+/// between same-arch processes.
+
+/// Simple length-prefixed control message: `type` discriminates, the
+/// payload is a flat byte buffer the request/response builders pack.
+enum class ControlType : uint32_t {
+  kHello = 1,        // -> { data_port }
+  kAllocate = 2,     // AllocateWithConfig
+  kConnect = 3,      // CacheServer::Connect
+  kSetRing = 4,      // CacheServer::SetResponseRing
+  kReleaseVm = 5,    // CacheManager::ReleaseVm
+};
+
+/// Flat little set of Put/Get helpers over a byte vector (everything
+/// the control protocol moves is scalars and short arrays).
+struct Wire {
+  std::vector<uint8_t> buf;
+  size_t rd = 0;
+
+  void PutU8(uint8_t v) { buf.push_back(v); }
+  void PutU16(uint16_t v) { Append(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { Append(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { Append(&v, sizeof(v)); }
+  void PutI32(int32_t v) { Append(&v, sizeof(v)); }
+  void PutF64(double v) { Append(&v, sizeof(v)); }
+  void PutStr(const std::string& s);
+
+  bool GetU8(uint8_t* v) { return Take(v, sizeof(*v)); }
+  bool GetU16(uint16_t* v) { return Take(v, sizeof(*v)); }
+  bool GetU32(uint32_t* v) { return Take(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return Take(v, sizeof(*v)); }
+  bool GetI32(int32_t* v) { return Take(v, sizeof(*v)); }
+  bool GetF64(double* v) { return Take(v, sizeof(*v)); }
+  bool GetStr(std::string* s);
+
+ private:
+  void Append(const void* p, size_t n);
+  bool Take(void* p, size_t n);
+};
+
+/// Serves the control port of a server process: executes allocate/
+/// connect/set-ring/release requests against the real CacheManager and
+/// its CacheServers, on the application loop. One client at a time —
+/// the example deployment has exactly one.
+class ControlPlaneServer {
+ public:
+  /// Listens on `port` (0 = ephemeral; see port()). `fabric` supplies
+  /// the loop driver and the data port advertised in kHello.
+  ControlPlaneServer(SocketFabric* fabric, CacheManager* manager,
+                     uint16_t port);
+  ~ControlPlaneServer();
+
+  ControlPlaneServer(const ControlPlaneServer&) = delete;
+  ControlPlaneServer& operator=(const ControlPlaneServer&) = delete;
+
+  uint16_t port() const { return port_; }
+  void Stop();
+
+ private:
+  void Serve();                      // accept loop (own thread)
+  void ServeClient(int fd);          // one connection's request loop
+  bool HandleRequest(ControlType type, Wire* req, Wire* resp);
+
+  /// Stable handle for a CacheServer the client process will name in
+  /// later kConnect/kSetRing requests. Loop-side.
+  uint64_t HandleFor(CacheServer* server);
+
+  SocketFabric* fabric_;
+  CacheManager* manager_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  // Loop-side state (touched only via driver Call).
+  uint64_t next_handle_ = 1;
+  std::unordered_map<CacheServer*, uint64_t> handle_by_server_;
+  std::unordered_map<uint64_t, CacheServer*> server_by_handle_;
+};
+
+class RemoteCacheManager;
+
+/// Client-process proxy for one server agent living in the server
+/// process. Carries just enough state to marshal Connect/SetResponseRing
+/// and to materialize the returned server QP as a remote-endpoint
+/// descriptor on the client's fabric. region() is nullptr by contract —
+/// there is no shared address space — so Poke/Peek degrade to
+/// Unimplemented.
+class RemoteCacheServer : public CacheServer {
+ public:
+  RemoteCacheServer(sim::Simulation* sim, SocketFabric* fabric,
+                    const cluster::Vm& vm, const CostModel& costs,
+                    RemoteCacheManager* control, uint64_t handle);
+
+  Result<ConnectionInfo> Connect(const RdmaConfig& cfg,
+                                 uint32_t record_bytes) override;
+  Status SetResponseRing(uint32_t conn, rdma::RemoteKey key,
+                         uint64_t slot_bytes) override;
+  rdma::MemoryRegion* region(uint32_t) const override { return nullptr; }
+  bool alive() const override { return true; }
+
+  uint64_t handle() const { return handle_; }
+
+ private:
+  SocketFabric* client_fabric_;
+  RemoteCacheManager* control_;
+  uint64_t handle_;
+};
+
+/// Client-process proxy for the CacheManager in the server process.
+/// AllocateWithConfig and ReleaseVm go over the control socket; the
+/// rest of the (unused cross-process) manager surface is inherited and
+/// inert. VM-loss notices do not propagate across processes — spot
+/// reclamation is a single-process concern in this deployment.
+class RemoteCacheManager : public CacheManager {
+ public:
+  /// Dials `host:control_port` (blocking) and performs the kHello
+  /// exchange. `fabric`/`allocator` are the *client process* instances
+  /// (the base class needs them; the allocator is never asked for VMs).
+  RemoteCacheManager(sim::Simulation* sim, SocketFabric* fabric,
+                     cluster::VmAllocator* allocator, std::string host,
+                     uint16_t control_port, CostModel costs = {});
+  ~RemoteCacheManager() override;
+
+  Result<Allocation> AllocateWithConfig(
+      uint64_t capacity, const RdmaConfig& config, uint32_t record_bytes,
+      bool spot, net::ServerId client_node, uint64_t region_bytes,
+      int max_hops = 5,
+      const std::vector<net::ServerId>* avoid_nodes = nullptr,
+      uint32_t max_regions_per_vm = 0) override;
+  void ReleaseVm(cluster::VmId vm) override;
+
+  /// Whether the control socket came up (check after construction).
+  bool connected() const { return fd_ >= 0; }
+  const std::string& host() const { return host_; }
+  uint16_t data_port() const { return data_port_; }
+
+ private:
+  friend class RemoteCacheServer;
+
+  /// One blocking request/response exchange (serialized by mu_).
+  Status Roundtrip(ControlType type, Wire* req, Wire* resp);
+  /// The proxy for `handle`, created on first sight.
+  RemoteCacheServer* ServerProxy(uint64_t handle, cluster::VmId vm_id,
+                                 net::ServerId node);
+
+  sim::Simulation* sim_local_;
+  SocketFabric* client_fabric_;
+  std::string host_;
+  uint16_t data_port_ = 0;
+  int fd_ = -1;
+  std::mutex mu_;
+  CostModel costs_;
+  std::unordered_map<uint64_t, std::unique_ptr<RemoteCacheServer>> proxies_;
+};
+
+}  // namespace redy::transport
+
+#endif  // REDY_TRANSPORT_REMOTE_CONTROL_H_

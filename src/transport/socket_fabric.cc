@@ -1,0 +1,648 @@
+#include "transport/socket_fabric.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace redy::transport {
+
+namespace {
+
+constexpr uint8_t Code(StatusCode c) { return static_cast<uint8_t>(c); }
+
+/// Dials host:port with a plain blocking socket. Connect() is a setup
+/// path (the deterministic stack connects once per client/server pair),
+/// so a synchronous dial keeps the verbs contract — Connect returns a
+/// usable or broken QP, never a half-open one.
+int DialBlocking(const std::string& host, uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return -1;
+  }
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool WriteFully(int fd, const std::vector<uint8_t>& buf) {
+  size_t off = 0;
+  while (off < buf.size()) {
+    // MSG_NOSIGNAL: a peer tearing down mid-write must surface as EPIPE,
+    // not kill the process.
+    const ssize_t n =
+        ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketQueuePair
+
+SocketQueuePair::SocketQueuePair(SocketNic* nic, uint32_t max_depth)
+    : rdma::QueuePair(nic, max_depth), fab_(nic->socket_fabric()) {
+  trace_id_ = fab_->NextQpTraceId();
+  token_ = fab_->RegisterQp(this);
+}
+
+SocketQueuePair::SocketQueuePair(SocketNic* nic, std::string host,
+                                 uint16_t port, uint64_t remote_token)
+    : rdma::QueuePair(nic, 1),
+      fab_(nic->socket_fabric()),
+      remote_endpoint_(true),
+      host_(std::move(host)),
+      port_(port),
+      remote_token_(remote_token) {}
+
+SocketQueuePair::~SocketQueuePair() = default;
+
+Status SocketQueuePair::Connect(rdma::QueuePair* peer) {
+  if (broken_) return Status::Unavailable("QP is broken");
+  if (connected_) return Status::FailedPrecondition("QP already connected");
+  auto* sp = dynamic_cast<SocketQueuePair*>(peer);
+  if (sp == nullptr) {
+    return Status::InvalidArgument("peer is not a socket-backend QP");
+  }
+  std::string host;
+  uint16_t port = 0;
+  uint64_t target = 0;
+  if (sp->remote_endpoint_) {
+    host = sp->host_;
+    port = sp->port_;
+    target = sp->remote_token_;
+  } else {
+    // In-process peer: dial the fabric's own listener. Keep the peer
+    // linkage so NIC failure breaks both ends, as on the simulated
+    // fabric.
+    host = fab_->listen_host();
+    port = fab_->port();
+    target = sp->token_;
+    peer_ = sp;
+    sp->peer_ = this;
+  }
+  const int fd = DialBlocking(host, port);
+  if (fd < 0) return Status::Unavailable("dial failed");
+  FrameHeader h;
+  h.type = static_cast<uint8_t>(FrameType::kConnect);
+  h.token = token_;
+  h.aux = target;
+  if (!WriteFully(fd, EncodeFrame(h, nullptr, 0))) {
+    close(fd);
+    return Status::Unavailable("connect handshake failed");
+  }
+  conn_ = fab_->pool().AddConnection(fd, token_);
+  has_conn_ = true;
+  connected_ = true;
+  return Status::OK();
+}
+
+Status SocketQueuePair::CheckSendable() const {
+  if (broken_) return Status::Unavailable("QP is broken");
+  if (remote_endpoint_) {
+    return Status::FailedPrecondition("cannot post on an endpoint descriptor");
+  }
+  if (!connected_ || !has_conn_) {
+    return Status::FailedPrecondition("QP is not connected");
+  }
+  if (outstanding_ >= max_depth_) {
+    return Status::ResourceExhausted("QP queue depth exceeded");
+  }
+  return Status::OK();
+}
+
+Status SocketQueuePair::PostWrite(uint64_t wr_id, const rdma::MemoryRegion* mr,
+                                  uint64_t local_offset, rdma::RemoteKey key,
+                                  uint64_t remote_offset, uint64_t len) {
+  REDY_RETURN_IF_ERROR(CheckSendable());
+  if (!mr->InBounds(local_offset, len)) {
+    return Status::OutOfRange("local range outside region");
+  }
+  FrameHeader h;
+  h.type = static_cast<uint8_t>(FrameType::kWrite);
+  h.rkey = key.rkey;
+  h.epoch = key.epoch;
+  h.token = next_op_token_;
+  h.offset = remote_offset;
+  // Snapshot at post time (verbs semantics): the frame owns its bytes,
+  // so the caller may scribble over the source immediately.
+  auto buf = EncodeFrame(h, mr->data() + local_offset, len);
+  pending_.emplace(next_op_token_,
+                   PendingOp{wr_id, rdma::Opcode::kWrite, nullptr, 0,
+                             static_cast<uint32_t>(len)});
+  next_op_token_++;
+  outstanding_++;
+  nic()->CountWqePosted();
+  fab_->pool().Send(conn_, std::move(buf));
+  return Status::OK();
+}
+
+Status SocketQueuePair::PostRead(uint64_t wr_id, rdma::MemoryRegion* mr,
+                                 uint64_t local_offset, rdma::RemoteKey key,
+                                 uint64_t remote_offset, uint64_t len) {
+  REDY_RETURN_IF_ERROR(CheckSendable());
+  if (!mr->InBounds(local_offset, len)) {
+    return Status::OutOfRange("local range outside region");
+  }
+  FrameHeader h;
+  h.type = static_cast<uint8_t>(FrameType::kRead);
+  h.rkey = key.rkey;
+  h.epoch = key.epoch;
+  h.token = next_op_token_;
+  h.offset = remote_offset;
+  h.aux = len;
+  pending_.emplace(next_op_token_,
+                   PendingOp{wr_id, rdma::Opcode::kRead, mr, local_offset,
+                             static_cast<uint32_t>(len)});
+  next_op_token_++;
+  outstanding_++;
+  nic()->CountWqePosted();
+  fab_->pool().Send(conn_, EncodeFrame(h, nullptr, 0));
+  return Status::OK();
+}
+
+Status SocketQueuePair::PostSend(uint64_t wr_id, const rdma::MemoryRegion* mr,
+                                 uint64_t local_offset, uint64_t len) {
+  REDY_RETURN_IF_ERROR(CheckSendable());
+  if (!mr->InBounds(local_offset, len)) {
+    return Status::OutOfRange("local range outside region");
+  }
+  FrameHeader h;
+  h.type = static_cast<uint8_t>(FrameType::kSend);
+  h.token = next_op_token_;
+  auto buf = EncodeFrame(h, mr->data() + local_offset, len);
+  pending_.emplace(next_op_token_,
+                   PendingOp{wr_id, rdma::Opcode::kSend, nullptr, 0,
+                             static_cast<uint32_t>(len)});
+  next_op_token_++;
+  outstanding_++;
+  nic()->CountWqePosted();
+  fab_->pool().Send(conn_, std::move(buf));
+  return Status::OK();
+}
+
+void SocketQueuePair::CompleteOp(uint64_t op_token, StatusCode status,
+                                 std::vector<uint8_t> payload) {
+  auto it = pending_.find(op_token);
+  if (it == pending_.end()) return;  // already flushed by Break()
+  const PendingOp op = it->second;
+  pending_.erase(it);
+  rdma::WorkCompletion wc{op.wr_id, op.opcode, status, op.len,
+                          nic()->sim()->Now()};
+  if (op.opcode == rdma::Opcode::kRead && status == StatusCode::kOk) {
+    if (payload.size() == op.len && op.mr->InBounds(op.local_offset, op.len)) {
+      std::memcpy(op.mr->data() + op.local_offset, payload.data(), op.len);
+    } else {
+      wc.status = StatusCode::kAborted;
+    }
+  }
+  outstanding_--;
+  nic()->CountWqeCompleted(wc.status == StatusCode::kOk);
+  send_cq_.Push(wc);
+}
+
+StatusCode SocketQueuePair::AcceptIncomingSend(
+    const std::vector<uint8_t>& payload) {
+  if (broken_) return StatusCode::kUnavailable;
+  if (posted_recvs_.empty()) {
+    // The sim rejects a SEND with no posted receive at post time (the
+    // peer's state is visible); over a real transport the receiver can
+    // only report it in the completion. Same code, different leg.
+    return StatusCode::kFailedPrecondition;
+  }
+  const PostedRecv rv = posted_recvs_.front();
+  posted_recvs_.pop_front();
+  if (payload.size() > rv.capacity ||
+      !rv.mr->InBounds(rv.offset, payload.size())) {
+    return StatusCode::kOutOfRange;
+  }
+  std::memcpy(rv.mr->data() + rv.offset, payload.data(), payload.size());
+  recv_cq_.Push(rdma::WorkCompletion{rv.wr_id, rdma::Opcode::kRecv,
+                                     StatusCode::kOk,
+                                     static_cast<uint32_t>(payload.size()),
+                                     nic()->sim()->Now()});
+  rv.mr->NotifyRemoteWrite();
+  return StatusCode::kOk;
+}
+
+void SocketQueuePair::Break() {
+  if (broken_) return;
+  broken_ = true;
+  connected_ = false;
+  // Flush in post order (the map is keyed by the monotonically
+  // increasing op token), mirroring the simulated sequencer's in-order
+  // error flush.
+  for (const auto& [tok, op] : pending_) {
+    outstanding_--;
+    nic()->CountWqeCompleted(false);
+    send_cq_.Push(rdma::WorkCompletion{op.wr_id, op.opcode,
+                                       StatusCode::kUnavailable, op.len,
+                                       nic()->sim()->Now()});
+  }
+  pending_.clear();
+  // Async error doorbell so a parked poller re-sweeps and sees broken().
+  send_cq_.Notify();
+  if (has_conn_) {
+    has_conn_ = false;
+    fab_->pool().Close(conn_);
+  }
+}
+
+void SocketQueuePair::OnAccepted(WorkerPool::ConnId conn) {
+  if (broken_ || has_conn_) {
+    fab_->pool().Close(conn);
+    return;
+  }
+  conn_ = conn;
+  has_conn_ = true;
+  connected_ = true;
+}
+
+void SocketQueuePair::OnTransportClosed() {
+  has_conn_ = false;
+  if (!broken_) Break();
+}
+
+// ---------------------------------------------------------------------------
+// SocketNic
+
+SocketNic::SocketNic(sim::Simulation* sim, SocketFabric* fabric,
+                     net::ServerId server)
+    : rdma::Nic(sim, fabric, server), fab_(fabric) {}
+
+SocketNic::~SocketNic() {
+  // Pull our regions out of the responder table before their storage
+  // goes away. The fabric stops the worker pool before destroying NICs,
+  // so this is belt-and-braces for NICs torn down mid-run.
+  for (const auto& [rkey, mr] : regions_) fab_->RemoveSharedMr(rkey);
+}
+
+rdma::MemoryRegion* SocketNic::RegisterMemory(uint64_t bytes) {
+  const uint32_t key = fab_->AllocRkey();
+  auto mr = std::make_unique<rdma::MemoryRegion>(this, bytes, key, key);
+  rdma::MemoryRegion* out = mr.get();
+  regions_.emplace(key, std::move(mr));
+  registered_bytes_ += bytes;
+  fab_->AddSharedMr(key, out);
+  return out;
+}
+
+void SocketNic::DeregisterMemory(rdma::MemoryRegion* mr) {
+  if (mr == nullptr) return;
+  const uint32_t key = mr->remote_key().rkey;
+  auto it = regions_.find(key);
+  if (it == regions_.end()) return;
+  // Order matters: first fence new lookups and drain in-flight applies,
+  // then invalidate. A responder either resolved before the erase (and
+  // finishes under the apply mutex against still-owned storage) or
+  // fails the lookup.
+  fab_->RemoveSharedMr(key);
+  mr->Invalidate();
+  registered_bytes_ -= mr->size();
+  // Unlike the simulated NIC's grace-window queue, retain the storage
+  // for the NIC's lifetime: a worker that resolved before the erase may
+  // still be touching the bytes, and region churn is not a hot path.
+  retained_mrs_.push_back(std::move(it->second));
+  regions_.erase(it);
+}
+
+rdma::QueuePair* SocketNic::CreateQueuePair(uint32_t max_depth) {
+  max_depth = std::min(max_depth, params().max_queue_depth);
+  auto qp = std::make_unique<SocketQueuePair>(this, max_depth);
+  rdma::QueuePair* out = qp.get();
+  qps_.push_back(out);
+  owned_qps_.push_back(std::move(qp));
+  return out;
+}
+
+void SocketNic::DestroyQueuePair(rdma::QueuePair* qp) {
+  if (qp == nullptr) return;
+  auto* sqp = dynamic_cast<SocketQueuePair*>(qp);
+  REDY_CHECK(sqp != nullptr);
+  if (qp->peer() != nullptr) qp->peer()->Break();
+  qp->Break();
+  if (sqp->token() != 0) fab_->UnregisterQp(sqp->token());
+  qps_.erase(std::remove(qps_.begin(), qps_.end(), qp), qps_.end());
+  for (auto it = owned_qps_.begin(); it != owned_qps_.end(); ++it) {
+    if (it->get() == qp) {
+      owned_qps_.erase(it);
+      break;
+    }
+  }
+}
+
+void SocketNic::Fail() {
+  if (failed_) return;
+  failed_ = true;
+  const std::vector<rdma::QueuePair*> qps = qps_;
+  for (rdma::QueuePair* qp : qps) {
+    if (qp->peer() != nullptr) qp->peer()->Break();
+    qp->Break();
+  }
+  for (const auto& [rkey, mr] : regions_) {
+    fab_->RemoveSharedMr(rkey);
+    mr->Invalidate();
+  }
+}
+
+SocketQueuePair* SocketNic::CreateRemoteEndpoint(std::string host,
+                                                 uint16_t port,
+                                                 uint64_t remote_token) {
+  auto qp = std::make_unique<SocketQueuePair>(this, std::move(host), port,
+                                              remote_token);
+  SocketQueuePair* out = qp.get();
+  owned_qps_.push_back(std::move(qp));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SocketFabric
+
+SocketFabric::SocketFabric(sim::Simulation* sim, WallClockDriver* driver,
+                           net::Topology topology, net::FabricParams params,
+                           Options options)
+    : rdma::Fabric(sim, std::move(topology), params),
+      driver_(driver),
+      options_(std::move(options)),
+      pool_(options_.workers) {
+  // One listening socket carries every QP of every NIC in this process;
+  // the kConnect frame routes each accepted stream to its QP token.
+  const int lfd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  REDY_CHECK(lfd >= 0);
+  int one = 1;
+  setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  REDY_CHECK(inet_pton(AF_INET, options_.listen_host.c_str(),
+                       &addr.sin_addr) == 1);
+  REDY_CHECK(bind(lfd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0);
+  REDY_CHECK(listen(lfd, 128) == 0);
+  socklen_t alen = sizeof(addr);
+  REDY_CHECK(getsockname(lfd, reinterpret_cast<struct sockaddr*>(&addr),
+                         &alen) == 0);
+  port_ = ntohs(addr.sin_port);
+
+  WorkerPool::Handlers handlers;
+  handlers.on_frame = [this](WorkerPool::ConnId conn, uint64_t bound,
+                             const FrameHeader& hdr,
+                             std::vector<uint8_t> payload) {
+    OnFrame(conn, bound, hdr, std::move(payload));
+  };
+  handlers.on_close = [this](WorkerPool::ConnId conn, uint64_t bound) {
+    OnConnClosed(conn, bound);
+  };
+  pool_.Start(std::move(handlers));
+  pool_.AddListener(lfd, [this](int fd) {
+    // Accepted streams bind their QP token on the first kConnect frame.
+    pool_.AddConnection(fd, 0);
+  });
+}
+
+SocketFabric::~SocketFabric() { ShutdownTransport(); }
+
+void SocketFabric::ShutdownTransport() { pool_.Stop(); }
+
+rdma::Nic* SocketFabric::NicAt(net::ServerId server) {
+  auto it = nics_.find(server);
+  if (it != nics_.end()) return it->second.get();
+  auto nic = std::make_unique<SocketNic>(sim_, this, server);
+  rdma::Nic* out = nic.get();
+  nics_.emplace(server, std::move(nic));
+  return out;
+}
+
+uint64_t SocketFabric::RegisterQp(SocketQueuePair* qp) {
+  const uint64_t token = next_qp_token_++;
+  qp_registry_.emplace(token, qp);
+  return token;
+}
+
+void SocketFabric::UnregisterQp(uint64_t token) { qp_registry_.erase(token); }
+
+void SocketFabric::AddSharedMr(uint32_t rkey, rdma::MemoryRegion* mr) {
+  std::lock_guard<std::mutex> lk(mr_mu_);
+  shared_mrs_.emplace(rkey, SharedMr{mr, std::make_shared<std::mutex>()});
+}
+
+void SocketFabric::RemoveSharedMr(uint32_t rkey) {
+  std::shared_ptr<std::mutex> apply_mu;
+  {
+    std::lock_guard<std::mutex> lk(mr_mu_);
+    auto it = shared_mrs_.find(rkey);
+    if (it == shared_mrs_.end()) return;
+    apply_mu = it->second.apply_mu;
+    shared_mrs_.erase(it);
+  }
+  // Quiesce: any responder that looked up this rkey before the erase
+  // holds the apply mutex while touching the region; taking it once
+  // guarantees those applies have finished.
+  std::lock_guard<std::mutex> drain(*apply_mu);
+}
+
+bool SocketFabric::LookupSharedMr(uint32_t rkey, SharedMr* out) {
+  std::lock_guard<std::mutex> lk(mr_mu_);
+  auto it = shared_mrs_.find(rkey);
+  if (it == shared_mrs_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void SocketFabric::OnFrame(WorkerPool::ConnId conn, uint64_t bound_token,
+                           const FrameHeader& hdr,
+                           std::vector<uint8_t> payload) {
+  switch (static_cast<FrameType>(hdr.type)) {
+    case FrameType::kConnect: {
+      driver_->Post([this, token = hdr.aux, conn] {
+        BindAcceptedConn(token, conn);
+      });
+      return;
+    }
+    case FrameType::kWrite: {
+      // The one-sided responder path: fence + deposit right here on the
+      // worker. The application loop never sees the op (DESIGN.md §13).
+      const uint8_t status = ApplyWrite(hdr, payload);
+      FrameHeader ack;
+      ack.type = static_cast<uint8_t>(FrameType::kWriteAck);
+      ack.status = status;
+      ack.token = hdr.token;
+      pool_.Send(conn, EncodeFrame(ack, nullptr, 0));
+      return;
+    }
+    case FrameType::kRead: {
+      std::vector<uint8_t> data;
+      const uint8_t status = SnapshotRead(hdr, &data);
+      FrameHeader resp;
+      resp.type = static_cast<uint8_t>(FrameType::kReadResp);
+      resp.status = status;
+      resp.token = hdr.token;
+      resp.aux = data.size();
+      pool_.Send(conn, EncodeFrame(resp, data.data(), data.size()));
+      return;
+    }
+    case FrameType::kSend: {
+      // Two-sided: receive matching touches the QP's posted-recv deque,
+      // which is loop state; the ack is sent from the loop continuation.
+      driver_->Post([this, bound_token, conn, token = hdr.token,
+                     p = std::move(payload)]() mutable {
+        HandleIncomingSend(bound_token, conn, token, std::move(p));
+      });
+      return;
+    }
+    case FrameType::kWriteAck:
+    case FrameType::kReadResp:
+    case FrameType::kSendAck: {
+      driver_->Post([this, bound_token, token = hdr.token,
+                     status = hdr.status, p = std::move(payload)]() mutable {
+        DeliverAck(bound_token, token, status, std::move(p));
+      });
+      return;
+    }
+  }
+  pool_.Close(conn);  // unknown frame type: protocol violation
+}
+
+void SocketFabric::OnConnClosed(WorkerPool::ConnId conn, uint64_t bound_token) {
+  (void)conn;
+  if (bound_token == 0) return;
+  driver_->Post([this, bound_token] { QpTransportClosed(bound_token); });
+}
+
+uint8_t SocketFabric::ApplyWrite(const FrameHeader& hdr,
+                                 const std::vector<uint8_t>& payload) {
+  SharedMr smr;
+  if (!LookupSharedMr(hdr.rkey, &smr)) {
+    return Code(StatusCode::kProtectionError);
+  }
+  std::lock_guard<std::mutex> lk(*smr.apply_mu);
+  rdma::MemoryRegion* mr = smr.mr;
+  if (!mr->valid()) return Code(StatusCode::kProtectionError);
+  if (hdr.epoch != mr->epoch()) {
+    // Stale access epoch: the fence. Count it on the loop (telemetry
+    // counters hang off loop-built NIC state).
+    driver_->Post([nic = mr->nic()] { nic->CountProtectionError(); });
+    return Code(StatusCode::kProtectionError);
+  }
+  if (!mr->InBounds(hdr.offset, payload.size())) {
+    return Code(StatusCode::kAborted);
+  }
+  uint8_t* dst = mr->data() + hdr.offset;
+  if (hdr.offset % 8 == 0 && payload.size() >= 8 &&
+      reinterpret_cast<uintptr_t>(dst) % 8 == 0) {
+    // Publish protocol: body first, then the first 8 bytes (the
+    // BatchHeader sequence word) with release ordering, so a poller's
+    // acquire load of the seq observes a fully-deposited slot — the
+    // socket analogue of "the RDMA write's last cache line carries the
+    // header" the simulated fabric provides for free.
+    std::memcpy(dst + 8, payload.data() + 8, payload.size() - 8);
+    uint64_t first;
+    std::memcpy(&first, payload.data(), sizeof(first));
+    std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(dst))
+        .store(first, std::memory_order_release);
+  } else if (!payload.empty()) {
+    // Same publish shape at byte granularity (atomic_thread_fence is
+    // unsupported under TSan): body after the first byte, then the
+    // first byte with a release store.
+    std::memcpy(dst + 1, payload.data() + 1, payload.size() - 1);
+    std::atomic_ref<uint8_t>(*dst).store(payload[0],
+                                         std::memory_order_release);
+  }
+  driver_->Post([this, rkey = hdr.rkey] { NotifyRemoteWriteOnLoop(rkey); });
+  return Code(StatusCode::kOk);
+}
+
+uint8_t SocketFabric::SnapshotRead(const FrameHeader& hdr,
+                                   std::vector<uint8_t>* out) {
+  SharedMr smr;
+  if (!LookupSharedMr(hdr.rkey, &smr)) {
+    return Code(StatusCode::kProtectionError);
+  }
+  std::lock_guard<std::mutex> lk(*smr.apply_mu);
+  rdma::MemoryRegion* mr = smr.mr;
+  // READs are deliberately not epoch-checked (revoked regions stay
+  // readable until deregistration) — same contract as Nic::Resolve with
+  // check_epoch=false.
+  if (!mr->valid()) return Code(StatusCode::kProtectionError);
+  if (!mr->InBounds(hdr.offset, hdr.aux)) return Code(StatusCode::kAborted);
+  out->assign(mr->data() + hdr.offset, mr->data() + hdr.offset + hdr.aux);
+  return Code(StatusCode::kOk);
+}
+
+void SocketFabric::BindAcceptedConn(uint64_t qp_token,
+                                    WorkerPool::ConnId conn) {
+  auto it = qp_registry_.find(qp_token);
+  if (it == qp_registry_.end()) {
+    pool_.Close(conn);
+    return;
+  }
+  it->second->OnAccepted(conn);
+}
+
+void SocketFabric::DeliverAck(uint64_t qp_token, uint64_t op_token,
+                              uint8_t status, std::vector<uint8_t> payload) {
+  auto it = qp_registry_.find(qp_token);
+  if (it == qp_registry_.end()) return;
+  it->second->CompleteOp(op_token, static_cast<StatusCode>(status),
+                         std::move(payload));
+}
+
+void SocketFabric::HandleIncomingSend(uint64_t qp_token,
+                                      WorkerPool::ConnId conn,
+                                      uint64_t op_token,
+                                      std::vector<uint8_t> payload) {
+  StatusCode status = StatusCode::kUnavailable;
+  auto it = qp_registry_.find(qp_token);
+  if (it != qp_registry_.end()) {
+    status = it->second->AcceptIncomingSend(payload);
+  }
+  FrameHeader ack;
+  ack.type = static_cast<uint8_t>(FrameType::kSendAck);
+  ack.status = Code(status);
+  ack.token = op_token;
+  pool_.Send(conn, EncodeFrame(ack, nullptr, 0));
+}
+
+void SocketFabric::NotifyRemoteWriteOnLoop(uint32_t rkey) {
+  rdma::MemoryRegion* mr = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mr_mu_);
+    auto it = shared_mrs_.find(rkey);
+    if (it == shared_mrs_.end()) return;
+    mr = it->second.mr;
+  }
+  // Loop thread; notifier installation/teardown is loop-side too.
+  mr->NotifyRemoteWrite();
+}
+
+void SocketFabric::QpTransportClosed(uint64_t qp_token) {
+  auto it = qp_registry_.find(qp_token);
+  if (it == qp_registry_.end()) return;
+  it->second->OnTransportClosed();
+}
+
+}  // namespace redy::transport

@@ -1,0 +1,324 @@
+#include "transport/worker_pool.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace redy::transport {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  REDY_CHECK(flags >= 0);
+  REDY_CHECK(fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(int workers, uint64_t max_frame_payload)
+    : max_frame_payload_(max_frame_payload) {
+  REDY_CHECK(workers >= 1 && workers <= 255);
+  for (int i = 0; i < workers; i++) {
+    auto w = std::make_unique<Worker>();
+    w->epfd = epoll_create1(EPOLL_CLOEXEC);
+    REDY_CHECK(w->epfd >= 0);
+    w->evfd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    REDY_CHECK(w->evfd >= 0);
+    struct epoll_event ev = {};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kEventfdTag;
+    REDY_CHECK(epoll_ctl(w->epfd, EPOLL_CTL_ADD, w->evfd, &ev) == 0);
+    workers_.push_back(std::move(w));
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  Stop();
+  for (auto& w : workers_) {
+    for (auto& [id, c] : w->conns) {
+      if (c->fd >= 0) close(c->fd);
+    }
+    for (auto& [fd, cb] : w->listeners) close(fd);
+    close(w->evfd);
+    close(w->epfd);
+  }
+}
+
+void WorkerPool::Start(Handlers handlers) {
+  REDY_CHECK(threads_.empty());
+  handlers_ = std::move(handlers);
+  stop_.store(false, std::memory_order_relaxed);
+  for (size_t i = 0; i < workers_.size(); i++) {
+    threads_.emplace_back([this, i] { Run(static_cast<int>(i)); });
+    workers_[i]->thread_id = threads_.back().get_id();
+  }
+}
+
+void WorkerPool::Stop() {
+  if (threads_.empty()) return;
+  stop_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(w->evfd, &one, sizeof(one));
+  }
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+bool WorkerPool::OnWorker(int worker) const {
+  return std::this_thread::get_id() == workers_[worker]->thread_id;
+}
+
+void WorkerPool::Enqueue(int worker, std::function<void()> cmd) {
+  Worker& w = *workers_[worker];
+  {
+    std::lock_guard<std::mutex> lk(w.mu);
+    w.commands.push_back(std::move(cmd));
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(w.evfd, &one, sizeof(one));
+}
+
+WorkerPool::ConnId WorkerPool::AddConnection(int fd, uint64_t bound_token) {
+  SetNonBlocking(fd);
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int worker =
+      rr_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  const ConnId id = (next_conn_.fetch_add(1, std::memory_order_relaxed) << 8) |
+                    static_cast<uint64_t>(worker);
+  auto install = [this, worker, fd, id, bound_token] {
+    Worker& w = *workers_[worker];
+    auto c = std::make_unique<Conn>();
+    c->fd = fd;
+    c->id = id;
+    c->bound_token = bound_token;
+    struct epoll_event ev = {};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.u64 = id;
+    if (epoll_ctl(w.epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      if (handlers_.on_close) handlers_.on_close(id, bound_token);
+      return;
+    }
+    w.conns.emplace(id, std::move(c));
+  };
+  if (OnWorker(worker)) {
+    install();
+  } else {
+    Enqueue(worker, std::move(install));
+  }
+  return id;
+}
+
+void WorkerPool::AddListener(int listen_fd, std::function<void(int)> on_accept) {
+  SetNonBlocking(listen_fd);
+  Enqueue(0, [this, listen_fd, cb = std::move(on_accept)]() mutable {
+    Worker& w = *workers_[0];
+    struct epoll_event ev = {};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenerBit | static_cast<uint64_t>(listen_fd);
+    REDY_CHECK(epoll_ctl(w.epfd, EPOLL_CTL_ADD, listen_fd, &ev) == 0);
+    w.listeners.emplace(listen_fd, std::move(cb));
+  });
+}
+
+void WorkerPool::Send(ConnId conn, std::vector<uint8_t> buf) {
+  const int worker = WorkerOf(conn);
+  auto deliver = [this, worker, conn, b = std::move(buf)]() mutable {
+    Worker& w = *workers_[worker];
+    auto it = w.conns.find(conn);
+    if (it == w.conns.end() || it->second->closing) return;
+    Conn& c = *it->second;
+    c.outq.push_back(std::move(b));
+    FlushOut(w, c);
+  };
+  if (OnWorker(worker)) {
+    deliver();
+  } else {
+    Enqueue(worker, std::move(deliver));
+  }
+}
+
+void WorkerPool::Close(ConnId conn) {
+  const int worker = WorkerOf(conn);
+  auto doit = [this, worker, conn] {
+    Worker& w = *workers_[worker];
+    auto it = w.conns.find(conn);
+    if (it == w.conns.end()) return;
+    CloseConn(w, *it->second);
+  };
+  if (OnWorker(worker)) {
+    doit();
+  } else {
+    Enqueue(worker, std::move(doit));
+  }
+}
+
+void WorkerPool::BindToken(ConnId conn, uint64_t token) {
+  const int worker = WorkerOf(conn);
+  REDY_CHECK(OnWorker(worker));
+  auto it = workers_[worker]->conns.find(conn);
+  if (it != workers_[worker]->conns.end()) it->second->bound_token = token;
+}
+
+void WorkerPool::CloseConn(Worker& w, Conn& c) {
+  if (c.closing) return;
+  c.closing = true;
+  epoll_ctl(w.epfd, EPOLL_CTL_DEL, c.fd, nullptr);
+  close(c.fd);
+  c.fd = -1;
+  const ConnId id = c.id;
+  const uint64_t token = c.bound_token;
+  w.conns.erase(id);  // invalidates c
+  if (handlers_.on_close) handlers_.on_close(id, token);
+}
+
+void WorkerPool::UpdateInterest(Worker& w, Conn& c) {
+  const bool want = !c.outq.empty();
+  if (want == c.want_write) return;
+  c.want_write = want;
+  struct epoll_event ev = {};
+  ev.events = EPOLLIN | EPOLLRDHUP | (want ? EPOLLOUT : 0u);
+  ev.data.u64 = c.id;
+  epoll_ctl(w.epfd, EPOLL_CTL_MOD, c.fd, &ev);
+}
+
+void WorkerPool::FlushOut(Worker& w, Conn& c) {
+  while (!c.outq.empty()) {
+    const std::vector<uint8_t>& front = c.outq.front();
+    // MSG_NOSIGNAL: a half-closed peer means EPIPE -> CloseConn, not a
+    // process-wide SIGPIPE.
+    const ssize_t n = ::send(c.fd, front.data() + c.out_off,
+                             front.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<size_t>(n);
+      if (c.out_off == front.size()) {
+        c.outq.pop_front();
+        c.out_off = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(w, c);
+    return;
+  }
+  UpdateInterest(w, c);
+}
+
+void WorkerPool::HandleWritable(Worker& w, Conn& c) { FlushOut(w, c); }
+
+void WorkerPool::HandleReadable(Worker& w, Conn& c) {
+  uint8_t chunk[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(c.fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      c.inbuf.insert(c.inbuf.end(), chunk, chunk + n);
+      if (static_cast<ssize_t>(sizeof(chunk)) == n) continue;
+      break;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(w, c);  // EOF or hard error
+    return;
+  }
+  // Parse complete frames. The Conn may be closed mid-loop (protocol
+  // violation or a handler closing it); re-look it up each iteration.
+  const ConnId id = c.id;
+  while (true) {
+    auto it = w.conns.find(id);
+    if (it == w.conns.end()) return;
+    Conn& cc = *it->second;
+    if (cc.inbuf.size() < sizeof(FrameHeader)) break;
+    FrameHeader hdr;
+    std::memcpy(&hdr, cc.inbuf.data(), sizeof(hdr));
+    if (hdr.magic != FrameHeader::kMagic ||
+        hdr.payload_len > max_frame_payload_) {
+      CloseConn(w, cc);
+      return;
+    }
+    const size_t total = sizeof(FrameHeader) + hdr.payload_len;
+    if (cc.inbuf.size() < total) break;
+    std::vector<uint8_t> payload(
+        cc.inbuf.begin() + sizeof(FrameHeader), cc.inbuf.begin() + total);
+    cc.inbuf.erase(cc.inbuf.begin(), cc.inbuf.begin() + total);
+    if (hdr.type == static_cast<uint8_t>(FrameType::kConnect)) {
+      cc.bound_token = hdr.aux;
+    }
+    if (handlers_.on_frame) {
+      handlers_.on_frame(id, cc.bound_token, hdr, std::move(payload));
+    }
+  }
+}
+
+void WorkerPool::Run(int index) {
+  Worker& w = *workers_[index];
+  std::vector<std::function<void()>> cmds;
+  struct epoll_event evs[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(w.epfd, evs, 64, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; i++) {
+      const uint64_t tag = evs[i].data.u64;
+      if (tag == kEventfdTag) {
+        uint64_t drained;
+        while (read(w.evfd, &drained, sizeof(drained)) > 0) {
+        }
+        {
+          std::lock_guard<std::mutex> lk(w.mu);
+          cmds.swap(w.commands);
+        }
+        for (auto& cmd : cmds) cmd();
+        cmds.clear();
+        continue;
+      }
+      if (tag & kListenerBit) {
+        const int lfd = static_cast<int>(tag & ~kListenerBit);
+        auto lit = w.listeners.find(lfd);
+        if (lit == w.listeners.end()) continue;
+        while (true) {
+          const int fd = accept4(lfd, nullptr, nullptr, SOCK_CLOEXEC);
+          if (fd < 0) break;
+          lit->second(fd);
+        }
+        continue;
+      }
+      auto it = w.conns.find(tag);
+      if (it == w.conns.end()) continue;
+      Conn& c = *it->second;
+      if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(w, c);
+        continue;
+      }
+      if (evs[i].events & EPOLLOUT) {
+        HandleWritable(w, c);
+        if (w.conns.find(tag) == w.conns.end()) continue;
+      }
+      if (evs[i].events & (EPOLLIN | EPOLLRDHUP)) HandleReadable(w, c);
+    }
+  }
+  // Drain any last commands so no cross-thread caller is left holding a
+  // promise that will never resolve.
+  {
+    std::lock_guard<std::mutex> lk(w.mu);
+    cmds.swap(w.commands);
+  }
+  for (auto& cmd : cmds) cmd();
+}
+
+}  // namespace redy::transport

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chaos/fault_injector.h"
@@ -502,6 +503,73 @@ TEST(TelemetryOverheadTest, WarmReadBatchSteadyStateAllocations) {
   const uint64_t batch_a = read_batch();
   const uint64_t batch_b = read_batch();
   EXPECT_EQ(batch_a, batch_b);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-safety hammer (real-transport backend, DESIGN.md §13): the
+// registry must take registrations, hot-path updates, and snapshot
+// exports from real threads concurrently — the socket backend runs
+// epoll workers and exporters beside the application loop. CI runs this
+// under TSan.
+TEST(MetricsRegistryThreads, ConcurrentRegisterUpdateAndExport) {
+  sim::Simulation sim;
+  telemetry::MetricsRegistry reg(&sim);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kOpsPerThread = 4000;
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> updaters;
+  for (int t = 0; t < kThreads; t++) {
+    updaters.emplace_back([&reg, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      // Same-identity registrations race on purpose: every thread must
+      // come back with the same fully built metric objects.
+      telemetry::Counter* shared = reg.GetCounter("hammer.shared");
+      telemetry::Counter* mine =
+          reg.GetCounter("hammer.private", {{"t", std::to_string(t)}});
+      telemetry::Gauge* gauge = reg.GetGauge("hammer.gauge");
+      telemetry::WindowedHistogram* hist = reg.GetHistogram("hammer.latency");
+      for (uint64_t i = 0; i < kOpsPerThread; i++) {
+        shared->Inc();
+        mine->Inc();
+        gauge->Add(1);
+        gauge->Sub(1);
+        hist->Add(100 + i % 1000);
+        if (i % 64 == 0) {
+          // Keep registrations churning against the exporter walk.
+          reg.GetCounter("hammer.churn",
+                         {{"i", std::to_string(i % 8)}})
+              ->Inc();
+        }
+      }
+    });
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread exporter([&reg, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      EXPECT_FALSE(reg.ToJson().empty());
+      EXPECT_FALSE(reg.ToTable().empty());
+      (void)reg.size();
+    }
+  });
+
+  go.store(true, std::memory_order_release);
+  for (auto& th : updaters) th.join();
+  stop.store(true, std::memory_order_release);
+  exporter.join();
+
+  EXPECT_EQ(reg.GetCounter("hammer.shared")->Value(),
+            kThreads * kOpsPerThread);
+  EXPECT_EQ(reg.GetGauge("hammer.gauge")->Value(), 0);
+  EXPECT_EQ(reg.GetHistogram("hammer.latency")->SnapshotCumulative().count(),
+            kThreads * kOpsPerThread);
+  for (int t = 0; t < kThreads; t++) {
+    EXPECT_EQ(
+        reg.GetCounter("hammer.private", {{"t", std::to_string(t)}})->Value(),
+        kOpsPerThread);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,518 @@
+// Tests of the real-transport backend (DESIGN.md §13): the wall-clock
+// driver's park/wake arm, and a slice of the rdma_test.cc /
+// redy_cache_test.cc surface parameterized over BOTH backends — the
+// deterministic simulator and the socket-loopback transport — so the
+// verbs contract (data movement, in-order completions, queue depth,
+// epoch fencing, error flushes) is pinned to be backend-independent.
+// Everything here is bounded to a few wall-clock seconds: this file is
+// the tier-1 loopback smoke test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+#include "net/topology.h"
+#include "rdma/nic.h"
+#include "rdma/queue_pair.h"
+#include "redy/testbed.h"
+#include "sim/simulation.h"
+#include "transport/loopback.h"
+#include "transport/socket_fabric.h"
+#include "transport/wall_clock.h"
+
+namespace redy {
+namespace {
+
+using rdma::MemoryRegion;
+using rdma::Nic;
+using rdma::QueuePair;
+using rdma::WorkCompletion;
+using transport::LoopbackRig;
+using transport::LoopbackRigOptions;
+using transport::SocketFabric;
+using transport::WallClockDriver;
+
+bool SpinUntil(const std::function<bool()>& pred, uint64_t timeout_ms) {
+  const uint64_t deadline =
+      WallClockDriver::MonotonicNs() + timeout_ms * 1'000'000ull;
+  while (!pred()) {
+    if (WallClockDriver::MonotonicNs() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: the park/wake machinery has a real futex arm.
+
+TEST(WallClockDriverTest, IdleLoopParksAndPostWakesIt) {
+  sim::Simulation sim;
+  WallClockDriver driver(&sim);
+  driver.Start();
+  // With an empty event queue the loop must park (block in epoll_wait),
+  // not spin.
+  ASSERT_TRUE(SpinUntil([&] { return driver.idle_blocks() > 0; }, 2'000))
+      << "idle driver never parked";
+  const uint64_t wakeups_before = driver.wakeups();
+  std::atomic<bool> ran{false};
+  driver.Post([&] { ran.store(true, std::memory_order_release); });
+  ASSERT_TRUE(SpinUntil([&] { return ran.load(std::memory_order_acquire); },
+                        2'000))
+      << "posted work did not run";
+  // The post found the loop parked (or about to park) and woke it
+  // through the eventfd doorbell.
+  EXPECT_TRUE(SpinUntil([&] { return driver.wakeups() > wakeups_before; },
+                        2'000));
+  driver.Stop();
+}
+
+TEST(WallClockDriverTest, TimersFireAgainstTheWallClock) {
+  sim::Simulation sim;
+  WallClockDriver driver(&sim);
+  std::atomic<int> fired{0};
+  driver.Start();
+  driver.Call([&] {
+    sim.After(2 * kMillisecond, [&] { fired.fetch_add(1); });
+  });
+  ASSERT_TRUE(SpinUntil([&] { return fired.load() >= 1; }, 2'000));
+  driver.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Backend-parameterized verbs tests (satellite: the same contract slice
+// runs on the simulator and over real loopback sockets).
+
+enum class Backend { kSim, kSocket };
+
+/// Uniform driver for both worlds. Run() executes a functor in the
+/// backend's single-threaded context (inline for the simulator, on the
+/// loop thread for the socket backend); Await() pumps the backend until
+/// the predicate holds.
+class BackendHarness {
+ public:
+  virtual ~BackendHarness() = default;
+  virtual rdma::Fabric& fabric() = 0;
+  virtual void Run(const std::function<void()>& fn) = 0;
+  virtual bool Await(const std::function<bool()>& pred) = 0;
+};
+
+class SimHarness : public BackendHarness {
+ public:
+  SimHarness() : fabric_(&sim_, net::Topology(2, 2, 4)) {}
+  rdma::Fabric& fabric() override { return fabric_; }
+  void Run(const std::function<void()>& fn) override { fn(); }
+  bool Await(const std::function<bool()>& pred) override {
+    sim_.Run();
+    return pred();
+  }
+
+ private:
+  sim::Simulation sim_;
+  rdma::Fabric fabric_;
+};
+
+class SocketHarness : public BackendHarness {
+ public:
+  SocketHarness() : driver_(&sim_) {
+    driver_.Start();
+    driver_.Call([&] {
+      SocketFabric::Options opts;
+      opts.workers = 2;
+      fabric_ = std::make_unique<SocketFabric>(
+          &sim_, &driver_, net::Topology(2, 2, 4), net::FabricParams{}, opts);
+    });
+  }
+  ~SocketHarness() override {
+    fabric_->ShutdownTransport();
+    driver_.Stop();
+    fabric_.reset();
+  }
+  rdma::Fabric& fabric() override { return *fabric_; }
+  void Run(const std::function<void()>& fn) override { driver_.Call(fn); }
+  bool Await(const std::function<bool()>& pred) override {
+    const uint64_t deadline =
+        WallClockDriver::MonotonicNs() + 10ull * 1'000'000'000;
+    while (true) {
+      if (driver_.Call(pred)) return true;
+      if (WallClockDriver::MonotonicNs() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  WallClockDriver& driver() { return driver_; }
+
+ private:
+  sim::Simulation sim_;
+  WallClockDriver driver_;
+  std::unique_ptr<SocketFabric> fabric_;
+};
+
+class BackendRdmaTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  BackendRdmaTest() {
+    if (GetParam() == Backend::kSim) {
+      harness_ = std::make_unique<SimHarness>();
+    } else {
+      harness_ = std::make_unique<SocketHarness>();
+    }
+    harness_->Run([&] {
+      client_nic_ = harness_->fabric().NicAt(0);
+      server_nic_ = harness_->fabric().NicAt(1);
+      cqp_ = client_nic_->CreateQueuePair(16);
+      sqp_ = server_nic_->CreateQueuePair(16);
+      connect_ok_ = cqp_->Connect(sqp_).ok();
+      local_ = client_nic_->RegisterMemory(64 * kKiB);
+      remote_ = server_nic_->RegisterMemory(64 * kKiB);
+    });
+    EXPECT_TRUE(connect_ok_);
+  }
+
+  /// Pumps the backend until `n` completions surfaced on cqp_'s send CQ.
+  std::vector<WorkCompletion> DrainN(size_t n) {
+    std::vector<WorkCompletion> out;
+    harness_->Await([&] {
+      WorkCompletion wc;
+      while (cqp_->send_cq().Poll(&wc, 1) == 1) out.push_back(wc);
+      return out.size() >= n;
+    });
+    return out;
+  }
+
+  std::unique_ptr<BackendHarness> harness_;
+  Nic* client_nic_ = nullptr;
+  Nic* server_nic_ = nullptr;
+  QueuePair* cqp_ = nullptr;
+  QueuePair* sqp_ = nullptr;
+  MemoryRegion* local_ = nullptr;
+  MemoryRegion* remote_ = nullptr;
+  bool connect_ok_ = false;
+};
+
+TEST_P(BackendRdmaTest, OneSidedWriteMovesBytes) {
+  const char msg[] = "hello remote memory";
+  std::memcpy(local_->data() + 100, msg, sizeof(msg));
+  bool posted = false;
+  harness_->Run([&] {
+    posted = cqp_->PostWrite(7, local_, 100, remote_->remote_key(), 200,
+                             sizeof(msg))
+                 .ok();
+  });
+  ASSERT_TRUE(posted);
+  auto wcs = DrainN(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].wr_id, 7u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kOk);
+  EXPECT_EQ(wcs[0].opcode, rdma::Opcode::kWrite);
+  EXPECT_EQ(std::memcmp(remote_->data() + 200, msg, sizeof(msg)), 0);
+}
+
+TEST_P(BackendRdmaTest, OneSidedReadMovesBytes) {
+  const char msg[] = "data on the server";
+  std::memcpy(remote_->data() + 64, msg, sizeof(msg));
+  bool posted = false;
+  harness_->Run([&] {
+    posted = cqp_->PostRead(9, local_, 0, remote_->remote_key(), 64,
+                            sizeof(msg))
+                 .ok();
+  });
+  ASSERT_TRUE(posted);
+  auto wcs = DrainN(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kOk);
+  EXPECT_EQ(std::memcmp(local_->data(), msg, sizeof(msg)), 0);
+}
+
+TEST_P(BackendRdmaTest, CompletionsArriveInPostOrder) {
+  harness_->Run([&] {
+    EXPECT_TRUE(
+        cqp_->PostWrite(1, local_, 0, remote_->remote_key(), 0, 16 * kKiB)
+            .ok());
+    EXPECT_TRUE(
+        cqp_->PostWrite(2, local_, 0, remote_->remote_key(), 0, 8).ok());
+    EXPECT_TRUE(
+        cqp_->PostRead(3, local_, 0, remote_->remote_key(), 0, 8 * kKiB)
+            .ok());
+    EXPECT_TRUE(
+        cqp_->PostWrite(4, local_, 0, remote_->remote_key(), 0, 8).ok());
+  });
+  auto wcs = DrainN(4);
+  ASSERT_EQ(wcs.size(), 4u);
+  for (size_t i = 0; i < wcs.size(); i++) EXPECT_EQ(wcs[i].wr_id, i + 1);
+}
+
+TEST_P(BackendRdmaTest, QueueDepthIsEnforced) {
+  int accepted = 0;
+  QueuePair* qp4 = nullptr;
+  harness_->Run([&] {
+    qp4 = client_nic_->CreateQueuePair(4);
+    QueuePair* sqp4 = server_nic_->CreateQueuePair(4);
+    EXPECT_TRUE(qp4->Connect(sqp4).ok());
+    for (int i = 0; i < 10; i++) {
+      if (qp4->PostWrite(i, local_, 0, remote_->remote_key(), 0, 8).ok()) {
+        accepted++;
+      }
+    }
+  });
+  EXPECT_EQ(accepted, 4);
+  std::vector<WorkCompletion> out;
+  ASSERT_TRUE(harness_->Await([&] {
+    WorkCompletion wc;
+    while (qp4->send_cq().Poll(&wc, 1) == 1) out.push_back(wc);
+    return out.size() >= 4;
+  }));
+  bool reposted = false;
+  harness_->Run([&] {
+    reposted =
+        qp4->PostWrite(99, local_, 0, remote_->remote_key(), 0, 8).ok();
+  });
+  EXPECT_TRUE(reposted);
+}
+
+TEST_P(BackendRdmaTest, StaleEpochWriteIsFencedFreshKeySucceeds) {
+  const rdma::RemoteKey stale = remote_->remote_key();
+  std::memset(remote_->data(), 0, 16);
+  std::memset(local_->data(), 0x5A, 16);
+  bool posted = false;
+  harness_->Run([&] {
+    remote_->RevokeEpoch();
+    posted = cqp_->PostWrite(1, local_, 0, stale, 0, 16).ok();
+  });
+  ASSERT_TRUE(posted);
+  auto wcs = DrainN(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kProtectionError);
+  for (int i = 0; i < 16; i++) {
+    ASSERT_EQ(remote_->data()[i], 0) << "fenced write landed at byte " << i;
+  }
+
+  // A key minted after the revocation carries the new epoch and works.
+  harness_->Run([&] {
+    posted = cqp_->PostWrite(2, local_, 0, remote_->remote_key(), 0, 16).ok();
+  });
+  ASSERT_TRUE(posted);
+  wcs = DrainN(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kOk);
+  EXPECT_EQ(remote_->data()[0], 0x5A);
+}
+
+TEST_P(BackendRdmaTest, ReadsSurviveEpochRevocation) {
+  const char msg[] = "still readable";
+  std::memcpy(remote_->data(), msg, sizeof(msg));
+  const rdma::RemoteKey stale = remote_->remote_key();
+  bool posted = false;
+  harness_->Run([&] {
+    remote_->RevokeEpoch();
+    posted = cqp_->PostRead(1, local_, 0, stale, 0, sizeof(msg)).ok();
+  });
+  ASSERT_TRUE(posted);
+  auto wcs = DrainN(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kOk);
+  EXPECT_EQ(std::memcmp(local_->data(), msg, sizeof(msg)), 0);
+}
+
+TEST_P(BackendRdmaTest, RemoteOutOfBoundsAborts) {
+  MemoryRegion* tiny = nullptr;
+  bool posted = false;
+  harness_->Run([&] {
+    tiny = server_nic_->RegisterMemory(128);
+    posted = cqp_->PostWrite(1, local_, 0, tiny->remote_key(), 120, 64).ok();
+  });
+  ASSERT_TRUE(posted);
+  auto wcs = DrainN(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kAborted);
+}
+
+TEST_P(BackendRdmaTest, SendRecvDeliversToPostedBuffer) {
+  const char msg[] = "rpc payload";
+  std::memcpy(local_->data(), msg, sizeof(msg));
+  harness_->Run([&] {
+    EXPECT_TRUE(sqp_->PostRecv(42, remote_, 0, 4096).ok());
+    EXPECT_TRUE(cqp_->PostSend(7, local_, 0, sizeof(msg)).ok());
+  });
+  WorkCompletion rwc;
+  bool got = false;
+  ASSERT_TRUE(harness_->Await([&] {
+    if (!got && sqp_->recv_cq().Poll(&rwc, 1) == 1) got = true;
+    return got;
+  }));
+  EXPECT_EQ(rwc.wr_id, 42u);
+  EXPECT_EQ(rwc.status, StatusCode::kOk);
+  EXPECT_EQ(std::memcmp(remote_->data(), msg, sizeof(msg)), 0);
+}
+
+TEST_P(BackendRdmaTest, NicFailureFlushesInFlightOps) {
+  harness_->Run([&] {
+    for (int i = 0; i < 4; i++) {
+      EXPECT_TRUE(
+          cqp_->PostWrite(i, local_, 0, remote_->remote_key(), 0, 8).ok());
+    }
+    server_nic_->Fail();
+  });
+  auto wcs = DrainN(4);
+  ASSERT_EQ(wcs.size(), 4u);
+  for (const auto& wc : wcs) {
+    EXPECT_EQ(wc.status, StatusCode::kUnavailable);
+  }
+  bool reposted = true;
+  harness_->Run([&] {
+    reposted =
+        cqp_->PostWrite(9, local_, 0, remote_->remote_key(), 0, 8).ok();
+  });
+  EXPECT_FALSE(reposted);
+}
+
+std::string BackendName(const ::testing::TestParamInfo<Backend>& info) {
+  return info.param == Backend::kSim ? "Sim" : "SocketLoopback";
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendRdmaTest,
+                         ::testing::Values(Backend::kSim, Backend::kSocket),
+                         BackendName);
+
+// ---------------------------------------------------------------------------
+// Full-stack slice: the unmodified CacheClient/CacheServer stack runs
+// the same round trips on both backends.
+
+class BackendCacheTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  BackendCacheTest() {
+    if (GetParam() == Backend::kSim) {
+      TestbedOptions o;
+      o.pods = 2;
+      o.racks_per_pod = 2;
+      o.servers_per_rack = 4;
+      o.client.region_bytes = 4 * kMiB;
+      tb_ = std::make_unique<Testbed>(o);
+    } else {
+      LoopbackRigOptions o;
+      o.servers_per_rack = 4;
+      o.client.region_bytes = 4 * kMiB;
+      rig_ = std::make_unique<LoopbackRig>(o);
+    }
+  }
+
+  CacheClient& client() { return tb_ ? tb_->client() : rig_->client(); }
+
+  void Run(const std::function<void()>& fn) {
+    if (tb_) {
+      fn();
+    } else {
+      rig_->Call(fn);
+    }
+  }
+
+  bool Await(const std::function<bool()>& pred) {
+    if (tb_) {
+      for (int i = 0; i < 2'000'000; i++) {
+        if (pred()) return true;
+        if (!tb_->sim().Step()) return pred();
+      }
+      return pred();
+    }
+    return rig_->AwaitTrue(pred);
+  }
+
+  std::unique_ptr<Testbed> tb_;
+  std::unique_ptr<LoopbackRig> rig_;
+};
+
+TEST_P(BackendCacheTest, OneSidedWriteReadRoundTrip) {
+  Result<CacheClient::CacheId> id_or = Status::Internal("unset");
+  Run([&] {
+    id_or = client().CreateWithConfig(8 * kMiB, RdmaConfig{1, 0, 1, 4},
+                                      /*record_bytes=*/64);
+  });
+  ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+  const auto id = *id_or;
+
+  const char msg[] = "stranded memory as a cache";
+  std::atomic<bool> wrote{false};
+  Run([&] {
+    EXPECT_TRUE(client()
+                    .Write(id, 4096, msg, sizeof(msg),
+                           [&](Status st) {
+                             EXPECT_TRUE(st.ok()) << st.ToString();
+                             wrote.store(true, std::memory_order_release);
+                           })
+                    .ok());
+  });
+  ASSERT_TRUE(Await([&] { return wrote.load(std::memory_order_acquire); }));
+
+  char out[64] = {};
+  std::atomic<bool> read{false};
+  Run([&] {
+    EXPECT_TRUE(client()
+                    .Read(id, 4096, out, sizeof(msg),
+                          [&](Status st) {
+                            EXPECT_TRUE(st.ok()) << st.ToString();
+                            read.store(true, std::memory_order_release);
+                          })
+                    .ok());
+  });
+  ASSERT_TRUE(Await([&] { return read.load(std::memory_order_acquire); }));
+  EXPECT_STREQ(out, msg);
+  Run([&] { EXPECT_TRUE(client().Delete(id).ok()); });
+}
+
+TEST_P(BackendCacheTest, BatchedTwoSidedRoundTrip) {
+  Result<CacheClient::CacheId> id_or = Status::Internal("unset");
+  Run([&] {
+    id_or = client().CreateWithConfig(8 * kMiB, RdmaConfig{2, 1, 8, 4},
+                                      /*record_bytes=*/32);
+  });
+  ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+  const auto id = *id_or;
+
+  constexpr int kOps = 32;
+  std::vector<std::vector<uint8_t>> payloads(kOps);
+  std::atomic<int> writes_done{0};
+  Run([&] {
+    for (int i = 0; i < kOps; i++) {
+      payloads[i].assign(32, static_cast<uint8_t>(i + 1));
+      EXPECT_TRUE(client()
+                      .Write(id, i * 32, payloads[i].data(), 32,
+                             [&](Status st) {
+                               EXPECT_TRUE(st.ok()) << st.ToString();
+                               writes_done.fetch_add(1);
+                             },
+                             /*app_thread=*/i % 2)
+                      .ok());
+    }
+  });
+  ASSERT_TRUE(Await([&] { return writes_done.load() == kOps; }));
+
+  std::vector<std::vector<uint8_t>> got(kOps, std::vector<uint8_t>(32));
+  std::atomic<int> reads_done{0};
+  Run([&] {
+    for (int i = 0; i < kOps; i++) {
+      EXPECT_TRUE(client()
+                      .Read(id, i * 32, got[i].data(), 32,
+                            [&](Status st) {
+                              EXPECT_TRUE(st.ok()) << st.ToString();
+                              reads_done.fetch_add(1);
+                            },
+                            /*app_thread=*/i % 2)
+                      .ok());
+    }
+  });
+  ASSERT_TRUE(Await([&] { return reads_done.load() == kOps; }));
+  for (int i = 0; i < kOps; i++) {
+    EXPECT_EQ(got[i], payloads[i]) << "record " << i;
+  }
+  Run([&] { EXPECT_TRUE(client().Delete(id).ok()); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendCacheTest,
+                         ::testing::Values(Backend::kSim, Backend::kSocket),
+                         BackendName);
+
+}  // namespace
+}  // namespace redy
