@@ -8,9 +8,18 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "redy/measurement.h"
 #include "redy/perf_model.h"
@@ -99,6 +108,78 @@ double WallSeconds(Fn&& fn) {
   fn();
   const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Timed-trial harness shared by the gated perf benches (sim_engine,
+// data_path, fleet_campaign).
+// ---------------------------------------------------------------------------
+
+/// Pin the process to the CPU it is currently on. Core migration
+/// mid-benchmark (or the two engines of a ratio landing on cores with
+/// different load/frequency) is the largest noise source on shared
+/// machines; pinning keeps every trial of both sides on one core so
+/// the interleaved minima see the same conditions. Best-effort: a
+/// restricted affinity mask just leaves scheduling as-is. Do NOT call
+/// this from benchmarks that measure multi-threaded speedups — pinning
+/// the process to one core serializes the very parallelism under test.
+inline void PinToCurrentCpu() {
+#if defined(__linux__)
+  const int cpu = sched_getcpu();
+  if (cpu < 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  (void)sched_setaffinity(0, sizeof(set), &set);
+#endif
+}
+
+inline double WallSecondsOf(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Best-of-N for a ratio's two sides, with the trials interleaved
+/// (A, B, A, B, ...) instead of back-to-back blocks. Shared-machine
+/// noise (CI runners, laptops on battery) only ever makes a run
+/// *slower*, so each side's minimum is the best estimate of its true
+/// cost; interleaving additionally makes frequency drift and co-tenant
+/// interference hit both sides in the same window, so the two minima
+/// come from comparable machine conditions and the ratio is far less
+/// noisy than block measurement.
+inline std::pair<double, double> BestInterleavedSecondsOf(
+    int trials, const std::function<void()>& fn_a,
+    const std::function<void()>& fn_b) {
+  double best_a = WallSecondsOf(fn_a);
+  double best_b = WallSecondsOf(fn_b);
+  for (int i = 1; i < trials; i++) {
+    best_a = std::min(best_a, WallSecondsOf(fn_a));
+    best_b = std::min(best_b, WallSecondsOf(fn_b));
+  }
+  return {best_a, best_b};
+}
+
+/// Pulls `"field": <v>` out of the named entry of a machine-written
+/// baseline JSON without a JSON library. The search is confined to the
+/// entry's braces so fields of later entries are never misattributed.
+inline double BaselineField(const std::string& json, const std::string& name,
+                            const std::string& field) {
+  const size_t at = json.find("\"" + name + "\"");
+  if (at == std::string::npos) return 0;
+  const size_t end = json.find('}', at);
+  const size_t key = json.find("\"" + field + "\":", at);
+  if (key == std::string::npos || key > end) return 0;
+  return std::strtod(json.c_str() + key + field.size() + 3, nullptr);
+}
+
+inline std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 /// The benchmark-scale configuration bounds: 16 client cores (the

@@ -41,10 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
-#if defined(__linux__)
-#include <sched.h>
-#endif
-
+#include "bench_common.h"
 #include "common/flat_map.h"
 #include "common/inline_callable.h"
 #include "faster_bench.h"
@@ -56,41 +53,9 @@
 namespace redy::bench {
 namespace {
 
-/// Pin the process to the CPU it is currently on (see sim_engine_bench:
-/// core migration mid-benchmark is the largest noise source; best-of-N
-/// minima on one core see comparable machine conditions).
-void PinToCurrentCpu() {
-#if defined(__linux__)
-  const int cpu = sched_getcpu();
-  if (cpu < 0) return;
-  cpu_set_t set;
-  CPU_ZERO(&set);
-  CPU_SET(cpu, &set);
-  (void)sched_setaffinity(0, sizeof(set), &set);
-#endif
-}
-
-double WallSecondsOf(const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
-}
-
-/// Best-of-N for a ratio's two sides, interleaved (A, B, A, B, ...) so
-/// frequency drift and co-tenant interference hit both sides in the
-/// same window (rationale in sim_engine_bench.cc).
-std::pair<double, double> BestInterleavedSecondsOf(
-    int trials, const std::function<void()>& fn_a,
-    const std::function<void()>& fn_b) {
-  double best_a = WallSecondsOf(fn_a);
-  double best_b = WallSecondsOf(fn_b);
-  for (int i = 1; i < trials; i++) {
-    best_a = std::min(best_a, WallSecondsOf(fn_a));
-    best_b = std::min(best_b, WallSecondsOf(fn_b));
-  }
-  return {best_a, best_b};
-}
+// PinToCurrentCpu / WallSecondsOf / BestInterleavedSecondsOf /
+// BaselineField / ReadFileOrEmpty come from bench_common.h (shared
+// with sim_engine and fleet_campaign).
 
 // ---------------------------------------------------------------------------
 // Calibration: a fixed ALU-bound loop whose rate scales with the
@@ -370,27 +335,6 @@ struct E2eResult {
   double pre_ops_per_sec = 0;
   double speedup_vs_pre = 0;
 };
-
-/// Pulls `"field": <v>` out of the named entry of a machine-written
-/// baseline JSON without a JSON library. The search is confined to the
-/// entry's braces so fields of later entries are never misattributed.
-double BaselineField(const std::string& json, const std::string& name,
-                     const std::string& field) {
-  const size_t at = json.find("\"" + name + "\"");
-  if (at == std::string::npos) return 0;
-  const size_t end = json.find('}', at);
-  const size_t key = json.find("\"" + field + "\":", at);
-  if (key == std::string::npos || key > end) return 0;
-  return std::strtod(json.c_str() + key + field.size() + 3, nullptr);
-}
-
-std::string ReadFileOrEmpty(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return "";
-  std::stringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
 
 }  // namespace
 }  // namespace redy::bench

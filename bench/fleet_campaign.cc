@@ -1,0 +1,275 @@
+// Fleet-scale multi-tenant campaign on the rack-sharded parallel
+// simulation core (DESIGN.md §14): 1024 cache servers across a 4-pod
+// topology, 128 tenant clients in three SLO classes served out of
+// harvested stranded memory, with the compressed diurnal VM trace of
+// Figs. 1-2 supplying (and reclaiming) that memory underneath the
+// traffic. The same campaign runs twice — single-threaded and with N
+// shard workers — and CI gates on two properties:
+//
+//   determinism: the same seed must produce byte-identical fleet
+//                telemetry snapshots at any worker count (always
+//                enforced; this is what makes the parallel engine
+//                trustworthy), and
+//   speedup:     with 4+ workers on a machine that has 4+ cores, the
+//                sharded run must be >= 3x faster wall-clock than the
+//                single-threaded run. Skipped (with a note) on smaller
+//                machines — a 1-core runner cannot demonstrate
+//                parallelism; the committed BENCH_fleet.json records
+//                the core count so the baseline comparison knows
+//                whether its numbers are meaningful.
+//
+// Unlike sim_engine/data_path this bench must NOT pin itself to one
+// CPU: the parallelism under test needs the other cores.
+//
+// Flags:
+//   --out=<path>       JSON output (default BENCH_fleet.json)
+//   --baseline=<path>  committed baseline; with --gate, fail on a >20%
+//                      speedup drop (only when both machines have >= 4
+//                      cores)
+//   --gate             enforce determinism + the speedup floor
+//   --workers=<n>      shard workers for the parallel arm (default 4)
+//   --trials=<n>       best-of-N timing trials per arm (default 2)
+//   --warmup-ms=<n> / --duration-ms=<n>  simulated phases (default 6/12)
+//   --tenants=<n> --pods=<n> --racks=<n> --servers=<n>  fleet shape
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/fleet.h"
+#include "common/units.h"
+
+namespace redy::bench {
+namespace {
+
+struct ArmResult {
+  double secs = 0;          // best-of-N wall seconds
+  std::string snapshot;     // fleet telemetry (first trial)
+  cluster::Fleet::Summary summary;
+  uint64_t events = 0;
+  uint64_t rounds = 0;
+  uint64_t messages = 0;
+};
+
+ArmResult RunArm(const cluster::FleetOptions& base, uint32_t workers,
+                 int trials) {
+  ArmResult r;
+  for (int t = 0; t < trials; t++) {
+    cluster::FleetOptions o = base;
+    o.workers = workers;
+    cluster::Fleet fleet(o);
+    const double secs = WallSecondsOf([&] { fleet.Run(); });
+    if (t == 0 || secs < r.secs) r.secs = secs;
+    if (t == 0) {
+      r.snapshot = fleet.MetricsSnapshot();
+      r.summary = fleet.Summarize();
+      r.events = fleet.engine().events_executed();
+      r.rounds = fleet.engine().rounds();
+      r.messages = fleet.engine().messages_sent();
+    }
+  }
+  return r;
+}
+
+void PrintSummary(const cluster::Fleet::Summary& s, double secs,
+                  double sim_ms) {
+  std::printf("  served ops        %llu (%.2f Mops/s simulated)\n",
+              static_cast<unsigned long long>(s.ops_ok),
+              sim_ms > 0 ? static_cast<double>(s.ops_ok) / (sim_ms * 1e3)
+                         : 0.0);
+  std::printf("  rejected/busy/failed/shed  %llu / %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(s.ops_rejected),
+              static_cast<unsigned long long>(s.ops_busy),
+              static_cast<unsigned long long>(s.ops_failed),
+              static_cast<unsigned long long>(s.ops_shed));
+  std::printf("  brownout (local) ops       %llu\n",
+              static_cast<unsigned long long>(s.ops_local));
+  std::printf("  SLO violations             %llu\n",
+              static_cast<unsigned long long>(s.slo_violations));
+  for (const auto& c : s.classes) {
+    std::printf("    %-10s ops %-9llu slo-viol %-7llu p50 %6.2f us  "
+                "p99 %6.2f us\n",
+                c.name.c_str(), static_cast<unsigned long long>(c.ops_ok),
+                static_cast<unsigned long long>(c.slo_violations),
+                c.p50_ns / 1e3, c.p99_ns / 1e3);
+  }
+  std::printf("  VM arrivals %llu, median stranded %.1f%%, evictions %llu,"
+              " placements %llu (+%llu deferred), region losses %llu\n",
+              static_cast<unsigned long long>(s.vms_started),
+              100.0 * s.median_stranded_fraction,
+              static_cast<unsigned long long>(s.evictions),
+              static_cast<unsigned long long>(s.placements),
+              static_cast<unsigned long long>(s.place_failures),
+              static_cast<unsigned long long>(s.region_losses));
+  if (!s.reachable_stranded_3hop.empty()) {
+    const auto& v = s.reachable_stranded_3hop;
+    std::printf("  reachable stranded <=3 hops: p10 %.1f GiB, median %.1f "
+                "GiB, p90 %.1f GiB\n",
+                static_cast<double>(v[v.size() / 10]) / kGiB,
+                static_cast<double>(v[v.size() / 2]) / kGiB,
+                static_cast<double>(v[9 * v.size() / 10]) / kGiB);
+  }
+  std::printf("  wall %.2fs\n", secs);
+}
+
+}  // namespace
+}  // namespace redy::bench
+
+int main(int argc, char** argv) {
+  using namespace redy::bench;
+  std::string out_path = "BENCH_fleet.json";
+  std::string baseline_path;
+  bool gate = false;
+  uint32_t workers = 4;
+  int trials = 2;
+  uint64_t warmup_ms = 6;
+  uint64_t duration_ms = 12;
+  redy::cluster::FleetOptions opts;
+
+  for (int i = 1; i < argc; i++) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--out=", 6) == 0) {
+      out_path = a + 6;
+    } else if (std::strncmp(a, "--baseline=", 11) == 0) {
+      baseline_path = a + 11;
+    } else if (std::strcmp(a, "--gate") == 0) {
+      gate = true;
+    } else if (std::strncmp(a, "--workers=", 10) == 0) {
+      workers = static_cast<uint32_t>(std::atoi(a + 10));
+    } else if (std::strncmp(a, "--trials=", 9) == 0) {
+      trials = std::atoi(a + 9);
+    } else if (std::strncmp(a, "--warmup-ms=", 12) == 0) {
+      warmup_ms = std::strtoull(a + 12, nullptr, 10);
+    } else if (std::strncmp(a, "--duration-ms=", 14) == 0) {
+      duration_ms = std::strtoull(a + 14, nullptr, 10);
+    } else if (std::strncmp(a, "--tenants=", 10) == 0) {
+      opts.tenants = static_cast<uint32_t>(std::atoi(a + 10));
+    } else if (std::strncmp(a, "--pods=", 7) == 0) {
+      opts.pods = std::atoi(a + 7);
+    } else if (std::strncmp(a, "--racks=", 8) == 0) {
+      opts.racks_per_pod = std::atoi(a + 8);
+    } else if (std::strncmp(a, "--servers=", 10) == 0) {
+      opts.servers_per_rack = std::atoi(a + 10);
+    }
+  }
+  if (workers < 1) workers = 1;
+  if (trials < 1) trials = 1;
+  opts.warmup = warmup_ms * redy::kMillisecond;
+  opts.duration = duration_ms * redy::kMillisecond;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int servers = opts.pods * opts.racks_per_pod * opts.servers_per_rack;
+  const double sim_ms = static_cast<double>(warmup_ms + duration_ms);
+
+  PrintHeader(
+      "Fleet campaign: rack-sharded parallel simulation",
+      "Figs. 1-3 fleet statistics from served traffic; DESIGN.md 14");
+  std::printf("%d servers (%d pods x %d racks x %d), %u tenants, "
+              "%llu ms simulated, %u shard workers, %u hw cores\n\n",
+              servers, opts.pods, opts.racks_per_pod, opts.servers_per_rack,
+              opts.tenants,
+              static_cast<unsigned long long>(warmup_ms + duration_ms),
+              workers, hw);
+
+  std::printf("[arm] single-threaded (1 worker)\n");
+  const ArmResult one = RunArm(opts, 1, trials);
+  PrintSummary(one.summary, one.secs, sim_ms);
+  std::printf("  %llu events, %llu rounds, %llu cross-rack messages\n\n",
+              static_cast<unsigned long long>(one.events),
+              static_cast<unsigned long long>(one.rounds),
+              static_cast<unsigned long long>(one.messages));
+
+  std::printf("[arm] sharded (%u workers)\n", workers);
+  const ArmResult par = RunArm(opts, workers, trials);
+  PrintSummary(par.summary, par.secs, sim_ms);
+  std::printf("\n");
+
+  const bool deterministic = one.snapshot == par.snapshot;
+  const double speedup = par.secs > 0 ? one.secs / par.secs : 0;
+  std::printf("determinism: snapshots %s (%zu bytes)\n",
+              deterministic ? "byte-identical" : "DIFFER",
+              one.snapshot.size());
+  std::printf("speedup: %.2fx (%u workers, %u cores)\n\n", speedup, workers,
+              hw);
+
+  // Machine-readable result. "cores" tells the baseline comparison on
+  // another machine whether this speedup was measurable at all.
+  {
+    FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "[\n");
+      std::fprintf(
+          f,
+          "  {\"name\": \"fleet\", \"servers\": %d, \"tenants\": %u, "
+          "\"sim_ms\": %.0f, \"workers\": %u, \"cores\": %u, "
+          "\"t1_secs\": %.4f, \"tn_secs\": %.4f, \"speedup\": %.3f, "
+          "\"deterministic\": %d, \"events\": %llu, \"ops_ok\": %llu, "
+          "\"slo_violations\": %llu}\n",
+          servers, opts.tenants, sim_ms, workers, hw, one.secs, par.secs,
+          speedup, deterministic ? 1 : 0,
+          static_cast<unsigned long long>(one.events),
+          static_cast<unsigned long long>(one.summary.ops_ok),
+          static_cast<unsigned long long>(one.summary.slo_violations));
+      std::fprintf(f, "]\n");
+      std::fclose(f);
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  }
+
+  bool ok = true;
+  if (gate) {
+    if (!deterministic) {
+      std::fprintf(stderr,
+                   "FAIL: same-seed snapshots differ between 1 and %u "
+                   "workers\n",
+                   workers);
+      ok = false;
+    }
+    // The speedup floor needs real cores; a 1- or 2-core machine
+    // cannot demonstrate 4-way parallelism.
+    constexpr double kSpeedupFloor = 3.0;
+    if (workers >= 4 && hw >= 4) {
+      if (speedup < kSpeedupFloor) {
+        std::fprintf(stderr,
+                     "FAIL: fleet speedup %.2fx < %.1fx floor "
+                     "(%u workers, %u cores)\n",
+                     speedup, kSpeedupFloor, workers, hw);
+        ok = false;
+      } else {
+        std::printf("speedup floor %.1fx: ok (%.2fx)\n", kSpeedupFloor,
+                    speedup);
+      }
+    } else {
+      std::printf("speedup floor skipped: %u workers on %u cores\n", workers,
+                  hw);
+    }
+    if (!baseline_path.empty()) {
+      const std::string base = ReadFileOrEmpty(baseline_path);
+      const double want = BaselineField(base, "fleet", "speedup");
+      const double base_cores = BaselineField(base, "fleet", "cores");
+      if (want > 1.5 && base_cores >= 4 && hw >= 4) {
+        constexpr double kRatioCap = 20.0;
+        const double have = std::min(speedup, kRatioCap);
+        if (have < 0.8 * std::min(want, kRatioCap)) {
+          std::fprintf(stderr,
+                       "FAIL: fleet speedup %.2fx regressed >20%% vs "
+                       "baseline %.2fx\n",
+                       speedup, want);
+          ok = false;
+        } else {
+          std::printf("vs baseline %.2fx: ok\n", want);
+        }
+      } else {
+        std::printf("baseline comparison skipped (baseline cores %.0f, "
+                    "here %u)\n",
+                    base_cores, hw);
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}

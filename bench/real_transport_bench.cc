@@ -229,23 +229,7 @@ void RunRealPhase(uint32_t record_bytes, uint64_t total_ops,
   rig.Call([&] { rig.client().Delete(cache); });
 }
 
-double BaselineField(const std::string& json, const std::string& name,
-                     const std::string& field) {
-  const size_t at = json.find("\"" + name + "\"");
-  if (at == std::string::npos) return 0;
-  const size_t end = json.find('}', at);
-  const size_t key = json.find("\"" + field + "\":", at);
-  if (key == std::string::npos || key > end) return 0;
-  return std::strtod(json.c_str() + key + field.size() + 3, nullptr);
-}
-
-std::string ReadFileOrEmpty(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return "";
-  std::stringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
+// BaselineField / ReadFileOrEmpty come from bench_common.h.
 
 }  // namespace
 }  // namespace redy::bench

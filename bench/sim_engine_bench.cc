@@ -32,10 +32,7 @@
 #include <string>
 #include <vector>
 
-#if defined(__linux__)
-#include <sched.h>
-#endif
-
+#include "bench_common.h"
 #include "redy/measurement.h"
 #include "redy/testbed.h"
 #include "sim/poller.h"
@@ -44,22 +41,9 @@
 namespace redy::bench {
 namespace {
 
-/// Pin the process to the CPU it is currently on. Core migration
-/// mid-benchmark (or the two engines of a ratio landing on cores with
-/// different load/frequency) is the largest noise source on shared
-/// machines; pinning keeps every trial of both engines on one core so
-/// the interleaved minima see the same conditions. Best-effort: a
-/// restricted affinity mask just leaves scheduling as-is.
-void PinToCurrentCpu() {
-#if defined(__linux__)
-  const int cpu = sched_getcpu();
-  if (cpu < 0) return;
-  cpu_set_t set;
-  CPU_ZERO(&set);
-  CPU_SET(cpu, &set);
-  (void)sched_setaffinity(0, sizeof(set), &set);
-#endif
-}
+// PinToCurrentCpu / WallSecondsOf / BestInterleavedSecondsOf /
+// BaselineField come from bench_common.h (shared with data_path and
+// fleet_campaign).
 
 // ---------------------------------------------------------------------------
 // Legacy engine (pre-overhaul), verbatim semantics: heap-allocating
@@ -187,33 +171,6 @@ class Poller {
 };
 
 }  // namespace legacy
-
-double WallSecondsOf(const std::function<void()>& fn) {
-  const auto t0 = std::chrono::steady_clock::now();
-  fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
-}
-
-/// Best-of-N for a ratio's two sides, with the trials interleaved
-/// (A, B, A, B, ...) instead of back-to-back blocks. Shared-machine
-/// noise (CI runners, laptops on battery) only ever makes a run
-/// *slower*, so each side's minimum is the best estimate of its true
-/// cost; interleaving additionally makes frequency drift and co-tenant
-/// interference hit both engines in the same window, so the two minima
-/// come from comparable machine conditions and the ratio is far less
-/// noisy than block measurement.
-std::pair<double, double> BestInterleavedSecondsOf(
-    int trials, const std::function<void()>& fn_a,
-    const std::function<void()>& fn_b) {
-  double best_a = WallSecondsOf(fn_a);
-  double best_b = WallSecondsOf(fn_b);
-  for (int i = 1; i < trials; i++) {
-    best_a = std::min(best_a, WallSecondsOf(fn_a));
-    best_b = std::min(best_b, WallSecondsOf(fn_b));
-  }
-  return {best_a, best_b};
-}
 
 // ---------------------------------------------------------------------------
 // Workloads (engine-generic)
@@ -359,16 +316,6 @@ struct WorkloadResult {
   double legacy_events_per_sec = 0;
   double speedup = 0;  // new/legacy events-per-sec (or wall-time) ratio
 };
-
-/// Pulls `"name"` ... `"speedup": <v>` out of a baseline JSON without a
-/// JSON library (the file is machine-written by this binary).
-double BaselineSpeedup(const std::string& json, const std::string& name) {
-  const size_t at = json.find("\"" + name + "\"");
-  if (at == std::string::npos) return 0;
-  const size_t key = json.find("\"speedup\":", at);
-  if (key == std::string::npos) return 0;
-  return std::strtod(json.c_str() + key + 10, nullptr);
-}
 
 }  // namespace
 }  // namespace redy::bench
@@ -564,7 +511,7 @@ int main(int argc, char** argv) {
       // parity checks, not speedups, and are skipped.
       constexpr double kRatioCap = 20.0;
       for (const auto& r : results) {
-        const double want = BaselineSpeedup(base, r.name);
+        const double want = BaselineField(base, r.name, "speedup");
         if (want <= 1.5) continue;
         const double have = std::min(r.speedup, kRatioCap);
         if (have < 0.8 * std::min(want, kRatioCap)) {

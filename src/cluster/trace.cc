@@ -50,8 +50,9 @@ WorkloadTrace::WorkloadTrace(sim::Simulation* sim, VmAllocator* allocator,
 }
 
 double WorkloadTrace::Diurnal(sim::SimTime t) const {
-  const double phase =
-      2.0 * M_PI * static_cast<double>(t % kDay) / static_cast<double>(kDay);
+  const sim::SimTime period = config_.diurnal_period;
+  const double phase = 2.0 * M_PI * static_cast<double>(t % period) /
+                       static_cast<double>(period);
   return 1.0 + config_.diurnal_amplitude * std::sin(phase);
 }
 
@@ -116,7 +117,7 @@ void WorkloadTrace::Sample() {
   });
 }
 
-void WorkloadTrace::Run() {
+void WorkloadTrace::Start() {
   end_time_ = sim_->Now() + config_.warmup + config_.duration;
   const sim::SimTime measure_start = sim_->Now() + config_.warmup;
   for (sim::SimTime t = measure_start; t <= end_time_;
@@ -124,6 +125,10 @@ void WorkloadTrace::Run() {
     sim_->At(t, [this] { Sample(); });
   }
   ScheduleNextArrival();
+}
+
+void WorkloadTrace::Run() {
+  Start();
   sim_->RunUntil(end_time_);
 }
 

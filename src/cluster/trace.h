@@ -35,6 +35,12 @@ struct TraceConfig {
   double long_median_minutes = 330.0;
   double lifetime_sigma = 0.9;
 
+  /// Period of the diurnal arrival-rate modulation. The default is a
+  /// real day; the fleet campaign compresses it (together with the
+  /// lifetime medians) so stranding dynamics play out in milliseconds
+  /// of simulated time instead of hours.
+  sim::SimTime diurnal_period = kDay;
+
   sim::SimTime warmup = 4 * kHour;
   sim::SimTime duration = 12 * kHour;
   sim::SimTime sample_interval = 5 * kMinute;
@@ -58,6 +64,15 @@ class WorkloadTrace {
   /// Runs warmup + measurement. Blocks until the simulated duration has
   /// elapsed on the owning Simulation.
   void Run();
+
+  /// Non-blocking variant: schedules the arrival process and the
+  /// periodic samples on the owning Simulation and returns. Used when
+  /// something else drives the event loop — a rack partition inside
+  /// sim::ShardedEngine cannot let the trace monopolize RunUntil.
+  void Start();
+
+  /// End of warmup + duration, valid after Start()/Run().
+  sim::SimTime end_time() const { return end_time_; }
 
   const std::vector<ClusterSample>& samples() const { return samples_; }
 

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/fabric_params.h"
+
 namespace redy::net {
 
 /// Identifies a physical server in the data center.
@@ -47,11 +49,39 @@ class Topology {
   /// All servers within `max_hops` switches of `from` (excluding itself).
   std::vector<ServerId> ServersWithin(ServerId from, int max_hops) const;
 
+  int num_racks() const { return pods_ * racks_per_pod_; }
+
+  /// Minimum switch hops between any two servers in *different* racks:
+  /// 3 when some pod holds more than one rack, 5 when racks only meet
+  /// across pods, 0 when the topology has a single rack (no cross-rack
+  /// pair exists). This is the conservative-lookahead anchor for the
+  /// sharded engine: no event can cross a rack boundary over fewer
+  /// switches than this.
+  int MinCrossRackHops() const {
+    if (racks_per_pod_ > 1) return 3;
+    if (pods_ > 1) return 5;
+    return 0;
+  }
+
  private:
   int pods_;
   int racks_per_pod_;
   int servers_per_rack_;
 };
+
+/// Minimum one-way latency (ns) of any cross-rack message on this
+/// topology — the propagation floor of MinCrossRackHops() switches.
+/// Serialization, NIC, and queueing delays only add to it, so it is a
+/// safe conservative lookahead for rack-partitioned simulation
+/// (sim::ShardedEngine): an event posted across a rack boundary at
+/// time t cannot take effect before t + this. Returns 0 for a
+/// single-rack topology (no cross-rack messages exist; such a fleet
+/// is a single partition and needs no lookahead).
+inline uint64_t MinCrossRackLatencyNs(const Topology& topology,
+                                      const FabricParams& params) {
+  const int hops = topology.MinCrossRackHops();
+  return hops == 0 ? 0 : params.OneWayNs(hops);
+}
 
 }  // namespace redy::net
 

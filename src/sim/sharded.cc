@@ -1,0 +1,169 @@
+#include "sim/sharded.h"
+
+namespace redy::sim {
+
+ShardedEngine::ShardedEngine(const Options& opts)
+    : lookahead_(opts.lookahead_ns),
+      workers_(std::max<uint32_t>(
+          1, std::min(opts.workers, std::max<uint32_t>(1, opts.partitions)))),
+      barrier_(std::max<uint32_t>(
+          1, std::min(opts.workers, std::max<uint32_t>(1, opts.partitions)))),
+      worker_min_(workers_) {
+  REDY_CHECK(opts.partitions >= 1);
+  REDY_CHECK(opts.lookahead_ns >= 1);
+  parts_.reserve(opts.partitions);
+  for (uint32_t p = 0; p < opts.partitions; p++) {
+    auto part = std::make_unique<Partition>();
+    part->in.resize(opts.partitions);
+    for (uint32_t src = 0; src < opts.partitions; src++) {
+      if (src == p) continue;
+      part->in[src] = std::make_unique<Channel>(opts.channel_capacity);
+    }
+    parts_.push_back(std::move(part));
+  }
+  for (uint32_t w = 1; w < workers_; w++) {
+    helpers_.emplace_back([this, w] { HelperMain(w); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : helpers_) t.join();
+}
+
+void ShardedEngine::HelperMain(uint32_t w) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || run_seq_ > seen; });
+      if (stop_) return;
+      seen = run_seq_;
+    }
+    WorkerLoop(w);
+  }
+}
+
+void ShardedEngine::DrainInbox(Partition& part) {
+  auto& buf = part.drain_buf;
+  buf.clear();
+  for (auto& chp : part.in) {
+    if (chp == nullptr) continue;
+    Channel& ch = *chp;
+    while (auto m = ch.ring.TryPop()) buf.push_back(std::move(*m));
+    if (!ch.spill.empty()) {
+      for (auto& m : ch.spill) buf.push_back(std::move(m));
+      ch.spill.clear();
+    }
+  }
+  if (buf.empty()) return;
+  // Deliveries are a total order, not an arrival order: sorting by
+  // (time, source partition, channel sequence) makes the destination's
+  // schedule independent of which thread got where first.
+  std::sort(buf.begin(), buf.end(), [](const Msg& a, const Msg& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  for (auto& m : buf) {
+    // The window invariant guarantees m.time >= the partition's clock
+    // (see the class comment's proof sketch), so At() never clamps.
+    REDY_CHECK(m.time >= part.sim.Now());
+    part.sim.At(m.time, std::move(m.fn));
+  }
+  buf.clear();
+}
+
+void ShardedEngine::PickWindow() {
+  SimTime m = Simulation::kNoEvent;
+  for (uint32_t i = 0; i < workers_; i++) m = std::min(m, worker_min_[i].v);
+  rounds_++;
+  if (m == Simulation::kNoEvent || m > target_) {
+    // Nothing left at or before the target: one final advance pins
+    // every clock to the bound. Events running at exactly target_ were
+    // handled by a previous (non-final) round, so no sends can land in
+    // this one.
+    window_end_ = target_;
+    last_round_ = true;
+    return;
+  }
+  window_end_ =
+      (target_ - m > lookahead_) ? m + lookahead_ : target_;
+  last_round_ = false;
+}
+
+void ShardedEngine::WorkerLoop(uint32_t w) {
+  const uint32_t n = partitions();
+  for (;;) {
+    // Drain phase: ingest cross-partition messages, then report the
+    // earliest pending event across this worker's partitions.
+    SimTime local_min = Simulation::kNoEvent;
+    for (uint32_t p = w; p < n; p += workers_) {
+      Partition& part = *parts_[p];
+      DrainInbox(part);
+      local_min = std::min(local_min, part.sim.NextEventTime());
+    }
+    worker_min_[w].v = local_min;
+    barrier_.ArriveAndWait([this] { PickWindow(); });
+
+    // Window phase: run the safe window in parallel.
+    const SimTime u = window_end_;
+    const bool done = last_round_;
+    for (uint32_t p = w; p < n; p += workers_) {
+      parts_[p]->sim.RunUntil(u);
+    }
+    // The trailing barrier separates this round's producers from the
+    // next round's drains (no channel is ever touched from both ends
+    // concurrently) and, on the last round, keeps RunUntil from
+    // returning while a helper still runs.
+    barrier_.ArriveAndWait([] {});
+    if (done) return;
+  }
+}
+
+void ShardedEngine::RunUntil(SimTime until) {
+  REDY_CHECK(until >= parts_[0]->sim.Now());
+  target_ = until;
+  running_ = true;
+  if (workers_ > 1) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      run_seq_++;
+    }
+    cv_.notify_all();
+  }
+  WorkerLoop(0);
+  running_ = false;
+}
+
+uint64_t ShardedEngine::events_executed() const {
+  uint64_t total = 0;
+  for (const auto& p : parts_) total += p->sim.events_executed();
+  return total;
+}
+
+uint64_t ShardedEngine::messages_sent() const {
+  uint64_t total = 0;
+  for (const auto& p : parts_) {
+    for (const auto& ch : p->in) {
+      if (ch != nullptr) total += ch->sent;
+    }
+  }
+  return total;
+}
+
+uint64_t ShardedEngine::messages_spilled() const {
+  uint64_t total = 0;
+  for (const auto& p : parts_) {
+    for (const auto& ch : p->in) {
+      if (ch != nullptr) total += ch->spilled;
+    }
+  }
+  return total;
+}
+
+}  // namespace redy::sim

@@ -37,6 +37,34 @@ TEST(TopologyTest, ServersWithinRespectsHops) {
   EXPECT_EQ(all.size(), 23u);
 }
 
+TEST(TopologyTest, MinCrossRackHopsCoversTheThreeShapes) {
+  // Several racks share a pod: the closest cross-rack pair is
+  // intra-pod (3 switches).
+  EXPECT_EQ(Topology(2, 3, 4).MinCrossRackHops(), 3);
+  EXPECT_EQ(Topology(1, 8, 32).MinCrossRackHops(), 3);
+  // One rack per pod: racks only meet across pods (5 switches).
+  EXPECT_EQ(Topology(4, 1, 8).MinCrossRackHops(), 5);
+  // Single rack: no cross-rack pair exists.
+  EXPECT_EQ(Topology(1, 1, 16).MinCrossRackHops(), 0);
+}
+
+TEST(TopologyTest, MinCrossRackLatencyIsTheLookaheadFloor) {
+  FabricParams p;
+  const Topology pod_shape(4, 8, 32);
+  // The conservative-lookahead anchor: the propagation floor of the
+  // minimum cross-rack hop count. With defaults: 600 + 3*250 ns.
+  EXPECT_EQ(net::MinCrossRackLatencyNs(pod_shape, p), p.OneWayNs(3));
+  EXPECT_EQ(net::MinCrossRackLatencyNs(pod_shape, p), 1350u);
+  EXPECT_EQ(net::MinCrossRackLatencyNs(Topology(4, 1, 8), p), p.OneWayNs(5));
+  EXPECT_EQ(net::MinCrossRackLatencyNs(Topology(1, 1, 16), p), 0u);
+  // No cross-rack message can undercut the lookahead: every cross-rack
+  // hop count's one-way time is >= the floor.
+  const Topology& t = pod_shape;
+  const uint64_t floor = net::MinCrossRackLatencyNs(t, p);
+  EXPECT_GE(p.OneWayNs(t.SwitchHops(0, 40)), floor);    // intra-pod
+  EXPECT_GE(p.OneWayNs(t.SwitchHops(0, 1000)), floor);  // cross-pod
+}
+
 TEST(FabricParamsTest, OneWayGrowsWithHops) {
   FabricParams p;
   EXPECT_LT(p.OneWayNs(1), p.OneWayNs(3));

@@ -11,6 +11,7 @@
 
 #include "sim/inline_function.h"
 #include "sim/poller.h"
+#include "sim/sharded.h"
 #include "sim/simulation.h"
 
 namespace redy {
@@ -433,6 +434,154 @@ TEST(PollerTest, ParkWakeRunsAreDeterministic) {
   EXPECT_EQ(ea, eb);
   EXPECT_EQ(a, b);
   EXPECT_FALSE(a.empty());
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngine: conservative parallel execution (DESIGN.md 14)
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEngineTest, CrossPartitionPostsDeliverAtExactTimes) {
+  sim::ShardedEngine::Options opts;
+  opts.partitions = 2;
+  opts.workers = 2;
+  opts.lookahead_ns = 100;
+  sim::ShardedEngine eng(opts);
+
+  std::vector<sim::SimTime> delivered;  // partition 1 state
+  eng.partition(0).At(50, [&] {
+    // Running on partition 0 at t=50; both arrivals respect the
+    // lookahead and must run at their exact timestamps, later first
+    // to prove time order is restored at the destination.
+    eng.Post(0, 1, 400, [&] {
+      EXPECT_EQ(eng.partition(1).Now(), 400u);
+      delivered.push_back(400);
+    });
+    eng.Post(0, 1, 150, [&] {
+      EXPECT_EQ(eng.partition(1).Now(), 150u);
+      delivered.push_back(150);
+    });
+  });
+  eng.RunUntil(1000);
+  EXPECT_EQ(delivered, (std::vector<sim::SimTime>{150, 400}));
+  EXPECT_EQ(eng.partition(0).Now(), 1000u);
+  EXPECT_EQ(eng.partition(1).Now(), 1000u);
+  EXPECT_EQ(eng.messages_sent(), 2u);
+}
+
+TEST(ShardedEngineTest, SetupTimePostsBypassTheLookahead) {
+  sim::ShardedEngine::Options opts;
+  opts.partitions = 2;
+  opts.lookahead_ns = 1000;
+  sim::ShardedEngine eng(opts);
+  bool ran = false;
+  // The engine is not running: this goes straight onto partition 1's
+  // queue even though 5 < lookahead.
+  eng.Post(0, 1, 5, [&] { ran = true; });
+  eng.RunUntil(10);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(eng.messages_sent(), 0u);  // direct schedule, no channel
+}
+
+TEST(ShardedEngineTest, ChannelOverflowSpillsInOrder) {
+  sim::ShardedEngine::Options opts;
+  opts.partitions = 2;
+  opts.workers = 2;
+  opts.lookahead_ns = 10;
+  opts.channel_capacity = 2;  // force the spill path
+  sim::ShardedEngine eng(opts);
+
+  std::vector<int> received;
+  eng.partition(0).At(1, [&] {
+    for (int i = 0; i < 100; i++) {
+      // Identical arrival times: delivery must fall back to channel
+      // sequence order, including across the ring -> spill boundary.
+      eng.Post(0, 1, 500, [&received, i] { received.push_back(i); });
+    }
+  });
+  eng.RunUntil(600);
+  ASSERT_EQ(received.size(), 100u);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(received[i], i);
+  EXPECT_GT(eng.messages_spilled(), 0u);
+}
+
+TEST(ShardedEngineTest, RunUntilAdvancesEveryPartitionToTheBound) {
+  sim::ShardedEngine::Options opts;
+  opts.partitions = 3;
+  opts.workers = 2;
+  opts.lookahead_ns = 7;
+  sim::ShardedEngine eng(opts);
+  eng.RunUntil(123);  // no events at all
+  for (uint32_t p = 0; p < 3; p++) EXPECT_EQ(eng.partition(p).Now(), 123u);
+  eng.partition(1).At(200, [] {});
+  eng.RunUntil(500);  // repeated runs with a non-empty partition
+  for (uint32_t p = 0; p < 3; p++) EXPECT_EQ(eng.partition(p).Now(), 500u);
+  EXPECT_EQ(eng.events_executed(), 1u);
+}
+
+/// The determinism regression the parallel engine is built around:
+/// a fixed-seed workload of self-rescheduling chains that ping
+/// cross-partition messages must produce byte-identical delivery logs
+/// (receiver, time, payload) for ANY worker count.
+TEST(ShardedEngineTest, SameSeedRunsAreIdenticalAcrossWorkerCounts) {
+  constexpr uint32_t kParts = 5;
+  constexpr sim::SimTime kLookahead = 50;
+  constexpr sim::SimTime kEnd = 200'000;
+
+  auto run = [&](uint32_t workers) {
+    sim::ShardedEngine::Options opts;
+    opts.partitions = kParts;
+    opts.workers = workers;  // clamped to partitions when larger
+    opts.lookahead_ns = kLookahead;
+    opts.channel_capacity = 4;  // exercise spill under load too
+    sim::ShardedEngine eng(opts);
+
+    // One log and one LCG per partition, only ever touched by events
+    // running on that partition.
+    auto logs = std::make_unique<std::vector<uint64_t>[]>(kParts);
+    auto lcgs = std::make_unique<uint64_t[]>(kParts);
+    struct Hop {
+      sim::ShardedEngine* eng;
+      std::vector<uint64_t>* logs_base;
+      uint64_t* lcgs;
+      uint32_t at;
+      uint64_t tag;
+
+      void operator()() const {
+        logs_base[at].push_back(eng->partition(at).Now() ^ tag);
+        uint64_t& lcg = lcgs[at];
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        const uint32_t dst = static_cast<uint32_t>((lcg >> 33) % kParts);
+        const sim::SimTime t = eng->partition(at).Now() + kLookahead +
+                               ((lcg >> 13) % 400);
+        if (t >= kEnd) return;
+        eng->Post(at, dst, t, Hop{eng, logs_base, lcgs, dst, lcg >> 7});
+      }
+    };
+    for (uint32_t p = 0; p < kParts; p++) {
+      lcgs[p] = 0x9e3779b9u * (p + 1);
+      for (int c = 0; c < 8; c++) {
+        eng.partition(p).At(p + c + 1,
+                            Hop{&eng, logs.get(), lcgs.get(), p, 0});
+      }
+    }
+    eng.RunUntil(kEnd);
+    std::vector<uint64_t> flat;
+    for (uint32_t p = 0; p < kParts; p++) {
+      flat.insert(flat.end(), logs[p].begin(), logs[p].end());
+    }
+    flat.push_back(eng.events_executed());
+    flat.push_back(eng.messages_sent());
+    return flat;
+  };
+
+  const auto w1 = run(1);
+  const auto w2 = run(2);
+  const auto w4 = run(4);
+  const auto w8 = run(8);  // more workers than partitions: clamped
+  EXPECT_GT(w1.size(), 100u);
+  EXPECT_EQ(w1, w2);
+  EXPECT_EQ(w1, w4);
+  EXPECT_EQ(w1, w8);
 }
 
 }  // namespace
