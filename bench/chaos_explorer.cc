@@ -12,6 +12,11 @@
 //   --expect=clean      (default) no corruption in the whole sweep
 //   --expect=corruption the ablation: a failure is found AND shrinks
 //                       to a deterministic repro
+//
+// --scenario selects the workload:
+//   migration (default)  region migration with writes left in flight
+//   chain                NIC op-chain pointer chases with mid-chain
+//                        faults and a reclaim under the chase
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +60,7 @@ std::string FlagStr(int argc, char** argv, const char* name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  using redy::chaos::ChainedReadScenario;
   using redy::chaos::MigrationScenario;
   using redy::chaos::ScheduleExplorer;
 
@@ -65,12 +71,22 @@ int main(int argc, char** argv) {
   const bool fenced = FlagU64(argc, argv, "fenced", 1) != 0;
   const std::string expect = FlagStr(argc, argv, "expect", "clean");
   const std::string artifact = FlagStr(argc, argv, "artifact", "");
+  const std::string scenario = FlagStr(argc, argv, "scenario", "migration");
+  if (scenario != "migration" && scenario != "chain") {
+    std::fprintf(stderr, "unknown --scenario=%s\n", scenario.c_str());
+    return 2;
+  }
 
-  ScheduleExplorer explorer(MigrationScenario(fenced), opts);
+  ScheduleExplorer explorer(scenario == "chain"
+                                ? ChainedReadScenario(fenced)
+                                : MigrationScenario(fenced),
+                            opts);
   ScheduleExplorer::Result r = explorer.Explore();
 
-  std::printf("fenced=%d seeds=[%llu,%llu) explored=%u found_failure=%d\n",
-              (int)fenced, (unsigned long long)opts.seed_start,
+  std::printf("scenario=%s fenced=%d seeds=[%llu,%llu) explored=%u "
+              "found_failure=%d\n",
+              scenario.c_str(), (int)fenced,
+              (unsigned long long)opts.seed_start,
               (unsigned long long)(opts.seed_start + opts.seed_budget),
               r.seeds_explored, (int)r.found_failure);
   if (r.found_failure) {

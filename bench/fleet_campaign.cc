@@ -209,12 +209,17 @@ int main(int argc, char** argv) {
           "\"sim_ms\": %.0f, \"workers\": %u, \"cores\": %u, "
           "\"t1_secs\": %.4f, \"tn_secs\": %.4f, \"speedup\": %.3f, "
           "\"deterministic\": %d, \"events\": %llu, \"ops_ok\": %llu, "
-          "\"slo_violations\": %llu}\n",
+          "\"slo_violations\": %llu%s}\n",
           servers, opts.tenants, sim_ms, workers, hw, one.secs, par.secs,
           speedup, deterministic ? 1 : 0,
           static_cast<unsigned long long>(one.events),
           static_cast<unsigned long long>(one.summary.ops_ok),
-          static_cast<unsigned long long>(one.summary.slo_violations));
+          static_cast<unsigned long long>(one.summary.slo_violations),
+          hw >= 4 ? ""
+                  : ", \"note\": \"produced on a <4-core machine: the "
+                    ">=3x speedup floor and the cross-machine speedup "
+                    "comparison are disarmed until regenerated on 4+ "
+                    "cores\"");
       std::fprintf(f, "]\n");
       std::fclose(f);
       std::printf("wrote %s\n", out_path.c_str());
@@ -250,6 +255,21 @@ int main(int argc, char** argv) {
     }
     if (!baseline_path.empty()) {
       const std::string base = ReadFileOrEmpty(baseline_path);
+      if (base.empty()) {
+        std::fprintf(stderr, "FAIL: cannot read baseline %s\n",
+                     baseline_path.c_str());
+        ok = false;
+      } else if (base.find("\"cores\":") == std::string::npos) {
+        // "cores" decides whether the speedup comparison is armed at
+        // all; a baseline without it would silently disarm the gate
+        // forever (BaselineField returns 0 for missing keys). Fail
+        // loudly instead: the baseline must be regenerated.
+        std::fprintf(stderr,
+                     "FAIL: baseline %s has no \"cores\" field — "
+                     "regenerate it with this binary\n",
+                     baseline_path.c_str());
+        ok = false;
+      }
       const double want = BaselineField(base, "fleet", "speedup");
       const double base_cores = BaselineField(base, "fleet", "cores");
       if (want > 1.5 && base_cores >= 4 && hw >= 4) {

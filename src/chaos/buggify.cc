@@ -18,6 +18,8 @@ const char* BuggifyPointName(BuggifyPoint p) {
       return "drop_credit_grant";
     case BuggifyPoint::kIgnoreBusyPushback:
       return "ignore_busy_pushback";
+    case BuggifyPoint::kChainMidFault:
+      return "chain_mid_fault";
   }
   return "unknown";
 }

@@ -38,10 +38,16 @@ enum class BuggifyPoint : uint32_t {
   /// cadence (models a client that defeats the server's slow-down
   /// signal — the adversarial branch of a metastable retry storm).
   kIgnoreBusyPushback = 5,
+  /// Poison the tail of a chained (NIC-offloaded) read: stamp the
+  /// dependent hop with a stale access epoch so the chain aborts
+  /// between hops at the responder (models racing an epoch bump
+  /// mid-chain; the client must see ONE poisoned completion, retry
+  /// through the fence-redirect path, and land zero stale bytes).
+  kChainMidFault = 6,
 };
 
 /// Number of distinct BuggifyPoint values.
-inline constexpr uint32_t kNumBuggifyPoints = 6;
+inline constexpr uint32_t kNumBuggifyPoints = 7;
 
 const char* BuggifyPointName(BuggifyPoint p);
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "common/checksum.h"
@@ -274,6 +275,167 @@ ScheduleExplorer::Scenario MigrationScenario(bool epoch_fencing) {
       outcome.fingerprint = Checksum64(got.data(), rs.ok() ? len : 0,
                                        outcome.fingerprint ^ addr ^
                                            (uint64_t)rs.code() * 0x1000193);
+    }
+    if (outcome.corrupt_records > 0) outcome.corrupted = true;
+
+    outcome.log = buggify.log();
+    for (const auto& d : outcome.log) {
+      outcome.fingerprint =
+          SplitMix64(outcome.fingerprint ^
+                     ((uint64_t)d.point << 1 | (uint64_t)d.fired));
+    }
+    outcome.fingerprint =
+        SplitMix64(outcome.fingerprint ^ st.failed ^ st.tb.sim().Now());
+    return outcome;
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Chained-read-under-adversity scenario
+// ---------------------------------------------------------------------------
+
+ScheduleExplorer::Scenario ChainedReadScenario(bool epoch_fencing) {
+  return [epoch_fencing](Buggify& buggify) -> RunOutcome {
+    TestbedOptions opts;
+    opts.pods = 2;
+    opts.racks_per_pod = 2;
+    opts.servers_per_rack = 4;
+    opts.client.region_bytes = 1 * kMiB;
+    opts.client.max_regions_per_vm = 1;
+    opts.client.migration_chunk_bytes = 128 * kKiB;
+    opts.client.migration_bandwidth_bps = 8e9;
+    opts.client.max_retries = 6;
+    opts.client.sub_op_timeout_ns = 200 * kMicrosecond;
+    opts.client.retry_backoff_ns = 5 * kMicrosecond;
+    opts.client.epoch_fencing = epoch_fencing;
+    opts.client.chain_reads = true;
+    opts.client.buggify = &buggify;
+    opts.reclaim_notice = 30 * kMillisecond;
+
+    ScenarioState st(opts);
+    RunOutcome outcome;
+
+    auto id_or = st.tb.client().CreateWithConfig(
+        2 * kMiB, RdmaConfig{/*c=*/1, /*s=*/0, /*b=*/1, /*q=*/4},
+        /*record_bytes=*/64, /*spot=*/true);
+    if (!id_or.ok()) {
+      outcome.detail = "create failed: " + id_or.status().ToString();
+      return outcome;
+    }
+    st.id = *id_or;
+
+    // Layout, per 1 MiB region: 16 records at +64 KiB and 16 pointer
+    // words at +512 KiB, each word holding its record's region-relative
+    // offset (the ReadIndirect contract). Both live in the same region,
+    // so a chase never crosses a region boundary.
+    const uint64_t region_bytes = opts.client.region_bytes;
+    constexpr uint32_t kRecs = 16;
+    auto rec_addr = [&](uint32_t r, uint32_t k) {
+      return r * region_bytes + 64 * kKiB + k * 64;
+    };
+    auto ptr_addr = [&](uint32_t r, uint32_t k) {
+      return r * region_bytes + 512 * kKiB + k * 8;
+    };
+
+    auto write = [&st](uint64_t addr, const void* src, uint64_t len) {
+      std::vector<uint8_t>& buf = st.payloads[addr];
+      buf.assign(static_cast<const uint8_t*>(src),
+                 static_cast<const uint8_t*>(src) + len);
+      st.pending++;
+      ScenarioState* sp = &st;
+      Status posted = st.tb.client().Write(st.id, addr, buf.data(), len,
+                                           [sp](Status s) {
+                                             sp->pending--;
+                                             if (!s.ok()) sp->failed++;
+                                           });
+      if (!posted.ok()) st.pending--;
+    };
+    std::vector<uint8_t> rec(64);
+    for (uint32_t r = 0; r < 2; r++) {
+      for (uint32_t k = 0; k < kRecs; k++) {
+        FillPattern(rec_addr(r, k), 0, rec.data(), rec.size());
+        write(rec_addr(r, k), rec.data(), rec.size());
+        const uint64_t word = 64 * kKiB + k * 64;  // region-relative
+        write(ptr_addr(r, k), &word, sizeof(word));
+      }
+    }
+    if (!st.RunUntilQuiet() || st.failed != 0) {
+      outcome.detail = "setup writes failed or hung";
+      outcome.corrupted = true;
+      return outcome;
+    }
+
+    // One indirect read, verified against ground truth at completion.
+    // Any non-OK completion is the violation this scenario hunts: with
+    // fencing, a mid-chain abort must be retried, never surfaced.
+    std::vector<std::unique_ptr<std::vector<uint8_t>>> bufs;
+    auto chase = [&](uint32_t r, uint32_t k) {
+      auto dst = std::make_unique<std::vector<uint8_t>>(64);
+      auto* p = dst.get();
+      const uint64_t data_addr = rec_addr(r, k);
+      st.pending++;
+      ScenarioState* sp = &st;
+      RunOutcome* oc = &outcome;
+      Status posted = st.tb.client().ReadIndirect(
+          st.id, ptr_addr(r, k), p->data(), 64,
+          [sp, oc, p, data_addr](Status s) {
+            sp->pending--;
+            bool bad = !s.ok();
+            if (!bad) {
+              std::vector<uint8_t> want(64);
+              FillPattern(data_addr, 0, want.data(), want.size());
+              bad = *p != want;
+            }
+            if (bad) {
+              oc->corrupt_records++;
+              if (oc->detail.empty()) {
+                oc->detail =
+                    "indirect read of record at " +
+                    std::to_string(data_addr) + " " +
+                    (s.ok() ? "returned wrong bytes" : s.ToString());
+              }
+            }
+            oc->fingerprint = Checksum64(
+                p->data(), s.ok() ? p->size() : 0,
+                oc->fingerprint ^ data_addr ^
+                    (uint64_t)s.code() * 0x1000193);
+          });
+      if (!posted.ok()) {
+        st.pending--;
+        outcome.corrupt_records++;
+        if (outcome.detail.empty()) outcome.detail = posted.ToString();
+      }
+      bufs.push_back(std::move(dst));
+    };
+
+    // Three waves: a burst of chases against the hot region, the VM
+    // reclaimed while they are in flight (chains park through the
+    // cutover), plus background chases against the cold region.
+    for (uint32_t wave = 0; wave < 3; wave++) {
+      const uint32_t hot = wave % 2;
+      for (uint32_t k = 0; k < kRecs; k++) chase(hot, k);
+      for (uint32_t k = 0; k < kRecs; k += 2) chase(1 - hot, k);
+      st.tb.sim().RunFor(3 * kMicrosecond);
+      auto victim = st.tb.client().RegionVm(st.id, hot);
+      if (victim.ok()) (void)st.tb.allocator().Reclaim(*victim);
+      if (!st.RunUntilQuiet()) {
+        outcome.detail = "chases hung in wave " + std::to_string(wave);
+        outcome.corrupted = true;
+        break;
+      }
+      st.tb.sim().RunFor(5 * kMillisecond);
+    }
+
+    // Final sweep: every pointer must still chase to its record on the
+    // post-migration placements.
+    if (!outcome.corrupted) {
+      for (uint32_t r = 0; r < 2; r++) {
+        for (uint32_t k = 0; k < kRecs; k++) chase(r, k);
+      }
+      if (!st.RunUntilQuiet()) {
+        outcome.detail = "final sweep hung";
+        outcome.corrupted = true;
+      }
     }
     if (outcome.corrupt_records > 0) outcome.corrupted = true;
 

@@ -95,6 +95,18 @@ class ScheduleExplorer {
 /// into a retried (and redirected) write instead.
 ScheduleExplorer::Scenario MigrationScenario(bool epoch_fencing);
 
+/// Chained-read scenario: a one-sided cache serving NIC op-chain
+/// pointer chases (Options::chain_reads) while buggify injects
+/// mid-chain stale epochs (kChainMidFault) and a hot region's VM is
+/// reclaimed with chases in flight. The invariant is read
+/// availability: every indirect read of an acknowledged pointer must
+/// complete OK with exactly the record the pointer names. With
+/// `epoch_fencing` on, a poisoned mid-chain completion is retried
+/// under the refreshed epoch and the invariant holds through the
+/// cutover; with fencing off the abort surfaces to the application and
+/// the explorer finds (and shrinks) the losing schedule.
+ScheduleExplorer::Scenario ChainedReadScenario(bool epoch_fencing);
+
 }  // namespace redy::chaos
 
 #endif  // REDY_CHAOS_SCHEDULE_EXPLORER_H_

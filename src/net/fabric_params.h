@@ -40,6 +40,13 @@ struct FabricParams {
   /// avoiding the PCIe fetch. 172 B on the paper's testbed.
   uint32_t inline_threshold_bytes = 172;
 
+  /// NIC-side sequencing cost per dependent hop of a chained work
+  /// request (Opcode::kChain): the responder NIC's WAIT-on-CQ gate
+  /// firing plus the address computation for the next WQE. Charged
+  /// once per hop transition, on top of the per-hop PCIe fetch;
+  /// replaces the client-side RTT a software pointer chase would pay.
+  uint64_t nic_chain_step_ns = 200;
+
   /// Cost of one completion-queue poll that finds an entry.
   uint64_t cq_poll_ns = 80;
 

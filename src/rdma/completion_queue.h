@@ -13,6 +13,13 @@ namespace redy::rdma {
 /// Completion queue polled by client and server threads. Multiple work
 /// queues may share one CQ (as on real hardware).
 ///
+/// Chained work requests (Opcode::kChain) deliver exactly ONE entry per
+/// chain — success or poison — never one per hop: the WAIT-on-CQ gates
+/// between hops are NIC-internal and consume their intermediate
+/// completions on the responder. That is what lets a parked poller stay
+/// parked through an entire multi-op sequence: the notifier below fires
+/// once per chain, so a dependent pointer chase costs one wakeup.
+///
 /// Entries live in a power-of-two circular buffer: a std::deque
 /// allocates/frees a chunk roughly every 21 pushes, which shows up as
 /// steady-state allocation churn on the data path. The ring grows only

@@ -99,6 +99,36 @@ void Nic::CountProtectionError() {
   protection_errors_->Inc();
 }
 
+void Nic::CountChainPosted() {
+  telemetry::Telemetry* tel = fabric_->telemetry();
+  if (tel == nullptr) return;
+  if (chain_posted_ == nullptr) {
+    chain_posted_ = tel->metrics().GetCounter(
+        "rdma.chain_posted", {{"server", std::to_string(server_)}});
+  }
+  chain_posted_->Inc();
+}
+
+void Nic::CountChainHop() {
+  telemetry::Telemetry* tel = fabric_->telemetry();
+  if (tel == nullptr) return;
+  if (chain_hops_ == nullptr) {
+    chain_hops_ = tel->metrics().GetCounter(
+        "rdma.chain_hops", {{"server", std::to_string(server_)}});
+  }
+  chain_hops_->Inc();
+}
+
+void Nic::CountChainAborted() {
+  telemetry::Telemetry* tel = fabric_->telemetry();
+  if (tel == nullptr) return;
+  if (chain_aborted_ == nullptr) {
+    chain_aborted_ = tel->metrics().GetCounter(
+        "rdma.chain_aborted", {{"server", std::to_string(server_)}});
+  }
+  chain_aborted_->Inc();
+}
+
 void Nic::DestroyQueuePair(QueuePair* qp) {
   if (qp == nullptr) return;
   qp->Break();

@@ -91,6 +91,13 @@ class Nic {
   /// Counts a WQE rejected by the fence (stale epoch / dropped MR):
   /// "rdma.protection_errors" with the same {"server": N} label.
   void CountProtectionError();
+  /// Chain telemetry ("rdma.chain_posted" / "rdma.chain_hops" /
+  /// "rdma.chain_aborted"): one posted per doorbell, one hop per link
+  /// the responder NIC actually executed, one aborted per chain that
+  /// poisoned mid-flight.
+  void CountChainPosted();
+  void CountChainHop();
+  void CountChainAborted();
 
  protected:
   friend class QueuePair;
@@ -111,6 +118,9 @@ class Nic {
   telemetry::Counter* wqe_completed_ = nullptr;
   telemetry::Counter* wqe_errors_ = nullptr;
   telemetry::Counter* protection_errors_ = nullptr;
+  telemetry::Counter* chain_posted_ = nullptr;
+  telemetry::Counter* chain_hops_ = nullptr;
+  telemetry::Counter* chain_aborted_ = nullptr;
 };
 
 /// The fabric connects NICs through the data-center topology and owns

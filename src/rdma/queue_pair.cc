@@ -360,6 +360,251 @@ Status QueuePair::PostRead(uint64_t wr_id, MemoryRegion* mr,
   return Status::OK();
 }
 
+Status QueuePair::PostChain(uint64_t wr_id, MemoryRegion* mr,
+                            const ChainHop* hops, uint32_t num_hops) {
+  REDY_RETURN_IF_ERROR(CheckPostable());
+  if (num_hops == 0 || num_hops > kMaxChainHops) {
+    return Status::InvalidArgument("bad chain length");
+  }
+  uint64_t write_bytes = 0;
+  for (uint32_t i = 0; i < num_hops; i++) {
+    const ChainHop& h = hops[i];
+    if (!mr->InBounds(h.local_offset, h.len)) {
+      return Status::OutOfRange("chain hop local range out of bounds");
+    }
+    if (h.addr_from_prev &&
+        (i == 0 || hops[i - 1].is_write || hops[i - 1].len < 8)) {
+      return Status::InvalidArgument(
+          "dependent hop needs a preceding >=8 B read hop");
+    }
+    if (h.is_write) write_bytes += h.len;
+  }
+  outstanding_++;
+  const uint64_t seq = next_post_seq_++;
+
+  const net::FabricParams& p = nic_->params();
+  sim::Simulation* sim = nic_->sim();
+  const bool inlined = write_bytes <= p.inline_threshold_bytes;
+
+  FaultHooks* hooks = nic_->fabric()->fault_hooks();
+  const net::ServerId src = nic_->server();
+  const net::ServerId dst = peer_->nic_->server();
+  const bool doomed = hooks != nullptr && hooks->WqeError(src, dst);
+  const uint64_t extra_ns =
+      hooks == nullptr ? 0 : hooks->ExtraLatencyNs(src, dst);
+
+  // One doorbell posts the whole chain: the request carries every hop
+  // descriptor plus any write-hop payloads, then the responder NIC runs
+  // the links locally. Client-side there is exactly one pipeline pass.
+  const sim::SimTime issue = IssueSlot(sim->Now());
+  const sim::SimTime fetch_done =
+      issue + (write_bytes > 0 && !inlined ? p.pcie_fetch_ns : 0);
+  const sim::SimTime req_wire_end =
+      nic_->tx_link().Reserve(fetch_done, write_bytes);
+  const sim::SimTime req_arrive =
+      req_wire_end + nic_->fabric()->OneWayNs(src, dst) + extra_ns;
+
+  nic_->CountWqePosted();
+  nic_->CountChainPosted();
+  uint64_t span = 0;
+  if (telemetry::SpanTracer* tr = ActiveTracer()) {
+    const uint32_t tk = TraceTrack(*tr);
+    span = tr->NextId();
+    tr->Instant(tk, "doorbell", "wqe", sim->Now(), {"wr_id", wr_id});
+    tr->AsyncBegin(tk, "chain", "wqe", span, issue, {"wr_id", wr_id},
+                   {"hops", num_hops});
+    tr->AsyncBegin(tk, "req_wire", "wqe", span, fetch_done);
+    tr->AsyncEnd(tk, "req_wire", "wqe", span, req_wire_end);
+  }
+
+  // Write-hop payloads snapshot at post time (inlined into the WQE
+  // block or DMA-fetched by fetch_done, which precedes req_arrive), so
+  // the responder-side steps never touch client memory.
+  std::vector<uint8_t>* wpay = nullptr;
+  if (write_bytes > 0) {
+    wpay = AcquirePayload();
+    wpay->clear();
+    for (uint32_t i = 0; i < num_hops; i++) {
+      const ChainHop& h = hops[i];
+      if (!h.is_write) continue;
+      wpay->insert(wpay->end(), mr->data() + h.local_offset,
+                   mr->data() + h.local_offset + h.len);
+    }
+  }
+
+  ChainOp* op = chain_op_pool_.Acquire();
+  op->wr_id = wr_id;
+  op->mr = mr;
+  std::copy(hops, hops + num_hops, op->hops);
+  op->num_hops = num_hops;
+  op->hop = 0;
+  op->prev_word = 0;
+  op->total_read = 0;
+  op->span = span;
+  op->doomed = doomed;
+  op->rpay = nullptr;
+  op->wpay = wpay;
+  op->wpay_off = 0;
+
+  auto arrive = [this, seq, op]() { ChainStep(seq, op); };
+  static_assert(sim::InlineFunction::fits_inline<decltype(arrive)>(),
+                "chain responder-arrival lambda must stay inline");
+  sim->At(req_arrive, std::move(arrive));
+  return Status::OK();
+}
+
+void QueuePair::ReleaseChainOp(ChainOp* op) {
+  if (op->rpay != nullptr) ReleasePayload(op->rpay);
+  if (op->wpay != nullptr) ReleasePayload(op->wpay);
+  chain_op_pool_.Release(op);
+}
+
+void QueuePair::ChainAbort(uint64_t seq, ChainOp* op, StatusCode code) {
+  // A poisoned chain delivers exactly ONE error completion for the
+  // whole doorbell: the remaining hops never execute, no read payload
+  // lands locally (byte_len 0), and no later write hop touches remote
+  // memory — zero bytes move past the fence.
+  nic_->CountChainAborted();
+  sim::Simulation* sim = nic_->sim();
+  if (op->span != 0) {
+    if (telemetry::SpanTracer* tr = ActiveTracer()) {
+      tr->AsyncEnd(TraceTrack(*tr), "chain", "wqe", op->span, sim->Now());
+    }
+  }
+  WorkCompletion wc{op->wr_id, Opcode::kChain, code, 0, 0};
+  const sim::SimTime back =
+      sim->Now() +
+      nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server());
+  ReleaseChainOp(op);
+  Complete(seq, wc, back);
+}
+
+void QueuePair::ChainStep(uint64_t seq, ChainOp* op) {
+  const net::FabricParams& p = nic_->params();
+  sim::Simulation* sim = nic_->sim();
+  FaultHooks* hooks = nic_->fabric()->fault_hooks();
+
+  if (op->doomed || broken_ || peer_ == nullptr || peer_->nic_->failed()) {
+    ChainAbort(seq, op, StatusCode::kUnavailable);
+    return;
+  }
+  // Each WAIT-gate re-consults the fault hooks: a link flap that opens
+  // after hop N kills hop N+1 mid-chain (hop 0 is covered by the
+  // post-time `doomed` roll, exactly like a plain READ).
+  if (op->hop > 0 && hooks != nullptr &&
+      hooks->WqeError(nic_->server(), peer_->nic_->server())) {
+    ChainAbort(seq, op, StatusCode::kUnavailable);
+    return;
+  }
+
+  const ChainHop& h = op->hops[op->hop];
+  // Chains fence EVERY hop, reads included: a dependent chase must not
+  // follow a pointer into a region whose access epoch moved mid-chain
+  // (plain READs pass check_epoch=false; see PostRead).
+  auto mr_or = peer_->nic_->Resolve(h.key, /*check_epoch=*/true);
+  if (!mr_or.ok()) {
+    peer_->nic_->CountProtectionError();
+    ChainAbort(seq, op, mr_or.status().code());
+    return;
+  }
+  uint64_t ro = h.remote_offset;
+  if (h.addr_from_prev) {
+    ro += (op->prev_word & h.addr_mask) >> h.addr_shift;
+  }
+  if (!(*mr_or)->InBounds(ro, h.len)) {
+    ChainAbort(seq, op, StatusCode::kAborted);
+    return;
+  }
+
+  if (h.is_write) {
+    std::memcpy((*mr_or)->data() + ro, op->wpay->data() + op->wpay_off, h.len);
+    op->wpay_off += h.len;
+    (*mr_or)->NotifyRemoteWrite();
+  } else {
+    if (op->rpay == nullptr) {
+      op->rpay = AcquirePayload();
+      op->rpay->clear();
+    }
+    const uint8_t* data = (*mr_or)->data() + ro;
+    op->rpay->insert(op->rpay->end(), data, data + h.len);
+    uint64_t word = 0;
+    std::memcpy(&word, data, h.len < 8 ? h.len : 8);
+    op->prev_word = word;
+    op->total_read += h.len;
+  }
+
+  nic_->CountChainHop();
+  if (op->span != 0) {
+    if (telemetry::SpanTracer* tr = ActiveTracer()) {
+      const uint32_t tk = TraceTrack(*tr);
+      tr->AsyncBegin(tk, "hop_fetch", "wqe", op->span, sim->Now(),
+                     {"hop", op->hop});
+      tr->AsyncEnd(tk, "hop_fetch", "wqe", op->span,
+                   sim->Now() + p.pcie_fetch_ns);
+    }
+  }
+
+  op->hop++;
+  if (op->hop < op->num_hops) {
+    // Next link fires once this hop's PCIe fetch retires and the NIC's
+    // WAIT-on-CQ gate sequences the dependent WQE.
+    const sim::SimTime next =
+        sim->Now() + p.pcie_fetch_ns + p.nic_chain_step_ns;
+    auto step = [this, seq, op]() { ChainStep(seq, op); };
+    static_assert(sim::InlineFunction::fits_inline<decltype(step)>(),
+                  "chain-step lambda must stay inline");
+    sim->At(next, std::move(step));
+    return;
+  }
+
+  // Last hop: the responder finishes its fetch, then serializes ONE
+  // response carrying every read hop's payload back to the client.
+  const uint64_t one_way =
+      nic_->fabric()->OneWayNs(nic_->server(), peer_->nic_->server());
+  const uint64_t resp_extra =
+      hooks == nullptr
+          ? 0
+          : hooks->ExtraLatencyNs(peer_->nic_->server(), nic_->server());
+  const sim::SimTime fetch_done = sim->Now() + p.pcie_fetch_ns;
+  const sim::SimTime resp_wire_end =
+      peer_->nic_->tx_link().Reserve(fetch_done, op->total_read);
+  const sim::SimTime landed =
+      resp_wire_end + one_way + p.nic_remote_dma_ns + resp_extra;
+  if (op->span != 0) {
+    if (telemetry::SpanTracer* tr = ActiveTracer()) {
+      const uint32_t tk = TraceTrack(*tr);
+      tr->AsyncBegin(tk, "resp_wire", "wqe", op->span, fetch_done);
+      tr->AsyncEnd(tk, "resp_wire", "wqe", op->span, resp_wire_end);
+      tr->AsyncEnd(tk, "chain", "wqe", op->span, landed);
+    }
+  }
+  auto land = [this, seq, op]() { ChainLand(seq, op); };
+  static_assert(sim::InlineFunction::fits_inline<decltype(land)>(),
+                "chain-landing lambda must stay inline");
+  sim->At(landed, std::move(land));
+}
+
+void QueuePair::ChainLand(uint64_t seq, ChainOp* op) {
+  WorkCompletion wc{op->wr_id, Opcode::kChain, StatusCode::kOk,
+                    static_cast<uint32_t>(op->total_read), 0};
+  if (broken_) {
+    wc.status = StatusCode::kUnavailable;
+  } else if (op->rpay != nullptr) {
+    // Scatter the concatenated read payloads to each hop's local
+    // landing offset, in hop order.
+    const uint8_t* from = op->rpay->data();
+    for (uint32_t i = 0; i < op->num_hops; i++) {
+      const ChainHop& h = op->hops[i];
+      if (h.is_write) continue;
+      std::memcpy(op->mr->data() + h.local_offset, from, h.len);
+      from += h.len;
+    }
+  }
+  const sim::SimTime now = nic_->sim()->Now();
+  ReleaseChainOp(op);
+  Complete(seq, wc, now);
+}
+
 Status QueuePair::PostSend(uint64_t wr_id, const MemoryRegion* mr,
                            uint64_t local_offset, uint64_t len) {
   REDY_RETURN_IF_ERROR(CheckPostable());

@@ -62,6 +62,21 @@ class QueuePair {
                            uint64_t local_offset, RemoteKey key,
                            uint64_t remote_offset, uint64_t len);
 
+  /// NIC-offloaded dependent op chain: posts `num_hops` linked work
+  /// requests as ONE doorbell. The responder NIC executes the hops
+  /// strictly in order (WAIT-on-CQ gating between links), resolving
+  /// `addr_from_prev` hops from the previous READ hop's landed payload
+  /// — a remote pointer chase with no client-side RTT per hop. Cost per
+  /// link is NIC-side (`FabricParams::nic_chain_step_ns` + PCIe fetch),
+  /// and every hop is epoch-fenced: a mid-chain stale epoch, dropped
+  /// region, or link fault aborts the remaining hops and delivers a
+  /// single poisoned completion with byte_len 0 — no read payload lands
+  /// locally and no write hop past the fault touches remote memory.
+  /// On success one completion is delivered whose byte_len is the total
+  /// read bytes, after every read hop's payload landed in `mr`.
+  virtual Status PostChain(uint64_t wr_id, MemoryRegion* mr,
+                           const ChainHop* hops, uint32_t num_hops);
+
   /// Two-sided send: delivers into the oldest posted receive buffer at
   /// the peer; a completion appears on the peer's recv CQ.
   virtual Status PostSend(uint64_t wr_id, const MemoryRegion* mr,
@@ -128,6 +143,33 @@ class QueuePair {
     bool doomed;
   };
 
+  /// Pooled per-chain state. The whole descriptor block and both
+  /// payload staging buffers ride in one pooled record so every
+  /// responder-side stepping event captures only {this, seq, op*} and
+  /// the issue path stays allocation-free at steady state.
+  struct ChainOp {
+    uint64_t wr_id;
+    MemoryRegion* mr;
+    ChainHop hops[kMaxChainHops];
+    uint32_t num_hops;
+    uint32_t hop;                // responder cursor: next hop to execute
+    uint64_t prev_word;          // first 8 B of the last READ hop's payload
+    uint64_t total_read;         // read bytes accumulated so far
+    uint64_t span;               // chain trace span (0 = tracing off)
+    bool doomed;                 // fault-injected at post time
+    std::vector<uint8_t>* rpay;  // concatenated read payloads (pooled)
+    std::vector<uint8_t>* wpay;  // concatenated write payloads (pooled)
+    uint64_t wpay_off;           // consumed prefix of wpay
+  };
+
+  /// Responder-side chain machinery (sim backend): executes one hop at
+  /// the current sim time, then either schedules the next hop after the
+  /// NIC's WAIT-gate + fetch cost, ships the single response, or aborts.
+  void ChainStep(uint64_t seq, ChainOp* op);
+  void ChainLand(uint64_t seq, ChainOp* op);
+  void ChainAbort(uint64_t seq, ChainOp* op, StatusCode code);
+  void ReleaseChainOp(ChainOp* op);
+
   Status CheckPostable() const;
   /// Reserves the NIC issue slot honoring the per-QP WQE rate cap.
   sim::SimTime IssueSlot(sim::SimTime earliest);
@@ -158,6 +200,7 @@ class QueuePair {
   std::vector<ReadySlot> ready_;  // power-of-two ring, see ReadySlot
   common::SlabPool<std::vector<uint8_t>> payload_pool_;
   common::SlabPool<ReadOp> read_op_pool_;
+  common::SlabPool<ChainOp> chain_op_pool_;
   CompletionQueue send_cq_;
   CompletionQueue recv_cq_;
   std::deque<PostedRecv> posted_recvs_;

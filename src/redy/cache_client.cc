@@ -14,6 +14,7 @@ namespace {
 // Work-request id tagging: top byte distinguishes op kinds on a QP.
 constexpr uint64_t kWrKindOneSided = 1ULL << 56;
 constexpr uint64_t kWrKindBatch = 2ULL << 56;
+constexpr uint64_t kWrKindChain = 3ULL << 56;
 constexpr uint64_t kWrKindMask = 0xffULL << 56;
 constexpr uint64_t kWrIdMask = ~kWrKindMask;
 
@@ -234,6 +235,13 @@ Status CacheClient::Write(CacheId id, uint64_t addr, const void* src,
                 app_thread);
 }
 
+Status CacheClient::ReadIndirect(CacheId id, uint64_t ptr_addr, void* dst,
+                                 uint64_t size, Callback cb,
+                                 uint32_t app_thread) {
+  return Submit(id, OpCode::kReadPtr, ptr_addr, dst, nullptr, size,
+                std::move(cb), app_thread);
+}
+
 Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
                            const void* src, uint64_t size, Callback cb,
                            uint32_t app_thread) {
@@ -242,16 +250,32 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
     return Status::NotFound("unknown cache");
   }
   if (size == 0) return Status::InvalidArgument("zero-size I/O");
-  if (addr + size > cache->capacity || addr + size < addr) {
+  // An indirect read addresses only the 8-byte pointer word directly;
+  // the data it names is region-relative and bounds-checked at resolve
+  // time (NIC chain hop, server chase, or client fallback hop).
+  const bool indirect = (op == OpCode::kReadPtr);
+  const uint64_t direct_span = indirect ? 8 : size;
+  if (addr + direct_span > cache->capacity || addr + direct_span < addr) {
     return Status::OutOfRange("I/O beyond cache capacity");
+  }
+  if (indirect) {
+    if (addr % cache->region_bytes + 8 > cache->region_bytes) {
+      return Status::InvalidArgument(
+          "indirect pointer word straddles a region boundary");
+    }
+    if (size > cache->region_bytes) {
+      return Status::OutOfRange("indirect read larger than a region");
+    }
   }
   ClientThread& thread =
       *cache->threads[app_thread % cache->threads.size()];
 
   // Split on region boundaries. Writes to a replicated cache are
-  // applied to both copies, so each piece gets a replica twin.
+  // applied to both copies, so each piece gets a replica twin. An
+  // indirect read is always a single piece: its pointer word lives in
+  // one region and the chase stays inside that region.
   const uint64_t first_region = addr / cache->region_bytes;
-  const uint64_t last_region = (addr + size - 1) / cache->region_bytes;
+  const uint64_t last_region = (addr + direct_span - 1) / cache->region_bytes;
   const uint32_t pieces = static_cast<uint32_t>(last_region - first_region + 1);
   const bool duplicate =
       cache->replicated && op == OpCode::kWrite;
@@ -283,7 +307,7 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
   state->remaining = total_pieces;
   state->error = Status::OK();
   state->start = sim_->Now();
-  state->is_read = (op == OpCode::kRead);
+  state->is_read = (op != OpCode::kWrite);
   state->bytes = size;
   state->cache = cache;
   state->span = 0;
@@ -306,7 +330,7 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
   // remainder completes with ResourceExhausted, so the op's callback
   // surfaces the backpressure instead of a REDY_CHECK abort.
   uint64_t off = addr;
-  uint64_t remaining = size;
+  uint64_t remaining = direct_span;
   uint8_t* d = static_cast<uint8_t*>(dst);
   const uint8_t* s = static_cast<const uint8_t*>(src);
   uint32_t failed_pieces = 0;
@@ -318,7 +342,8 @@ Status CacheClient::Submit(CacheId id, OpCode op, uint64_t addr, void* dst,
     sub.op = op;
     sub.vregion = vr;
     sub.offset = roff;
-    sub.len = static_cast<uint32_t>(chunk);
+    // Indirect: len is the data size, not the 8-byte word being split.
+    sub.len = static_cast<uint32_t>(indirect ? size : chunk);
     sub.dst = d;
     sub.src = s;
     sub.state = state;
@@ -532,7 +557,7 @@ uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
   while (conn.qp != nullptr && conn.qp->send_cq().Poll(&wc, 1) == 1) {
     const uint64_t kind = wc.wr_id & kWrKindMask;
     const uint64_t id = wc.wr_id & kWrIdMask;
-    if (kind == kWrKindOneSided) {
+    if (kind == kWrKindOneSided || kind == kWrKindChain) {
       // Single-probe consume of the in-flight record (find+erase fused).
       SubOp op;
       if (!conn.onesided_ops.Take(id, &op)) continue;
@@ -542,18 +567,52 @@ uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
                       ? Status::OK()
                       : Status(wc.status, "one-sided op failed");
       if (wc.status == StatusCode::kProtectionError) {
-        // The NIC fenced this op off (revoked epoch / dropped MR).
+        // The NIC fenced this op off (revoked epoch / dropped MR). For
+        // a chain this is the single poisoned completion of an abort —
+        // the tail hops never ran and zero bytes landed.
         cache.ctr.fence_stale_rejected->Inc();
       }
-      if (st.ok() && op.op == OpCode::kRead) {
-        // Copy from the staging slot (or transient buffer) to the app.
-        const uint8_t* payload = nullptr;
-        if (transient != nullptr) {
-          payload = transient->data();
-        } else if (op.staging_slot != UINT32_MAX) {
-          payload = conn.onesided_ring->data() +
-                    op.staging_slot * options_.one_sided_slot_bytes;
+      const uint8_t* payload = nullptr;
+      if (transient != nullptr) {
+        payload = transient->data();
+      } else if (op.staging_slot != UINT32_MAX) {
+        payload = conn.onesided_ring->data() +
+                  op.staging_slot * options_.one_sided_slot_bytes;
+      }
+      if (st.ok() && kind == kWrKindOneSided &&
+          op.op == OpCode::kReadPtr && op.chase_hop == 0) {
+        // First hop of an unchained pointer chase landed: the staged
+        // word is the region-relative data offset. Requeue the data
+        // hop against it (the chained path does this on the NIC).
+        uint64_t word = 0;
+        if (payload != nullptr) std::memcpy(&word, payload, sizeof(word));
+        if (transient != nullptr) nic_->DeregisterMemory(transient);
+        if (op.staging_slot != UINT32_MAX) {
+          conn.onesided_slot_busy[op.staging_slot] = false;
+          op.staging_slot = UINT32_MAX;
         }
+        consumed += options_.costs.response_handle_ns;
+        if (op.issued) {
+          VRegion& vr = cache.regions[op.vregion];
+          REDY_CHECK(vr.inflight_subops > 0);
+          vr.inflight_subops--;
+          op.issued = false;
+        }
+        if (word + op.len > cache.region_bytes || word + op.len < word) {
+          FinishSubOp(cache, thread, op,
+                      Status::OutOfRange("indirect pointer out of range"));
+          continue;
+        }
+        op.offset = word;
+        op.chase_hop = 1;
+        cache.ctr.chain_fallbacks->Inc();
+        thread.replay.push_back(std::move(op));
+        continue;
+      }
+      const bool read_kind =
+          op.op == OpCode::kRead || op.op == OpCode::kReadPtr;
+      if (st.ok() && read_kind) {
+        // Copy from the staging slot (or transient buffer) to the app.
         if (payload != nullptr && op.dst != nullptr) {
           std::memcpy(op.dst, payload, op.len);
         }
@@ -568,6 +627,10 @@ uint64_t CacheClient::DrainCompletions(CacheEntry& cache,
         conn.onesided_slot_busy[op.staging_slot] = false;
       }
       cache.ctr.one_sided_ops->Inc();
+      if (st.ok() && op.op == OpCode::kReadPtr) {
+        cache.ctr.indirect_reads->Inc();
+        if (kind == kWrKindChain) cache.ctr.chained_reads->Inc();
+      }
       FinishSubOp(cache, thread, op, st);
     } else if (kind == kWrKindBatch) {
       if (wc.status == StatusCode::kOk) continue;  // request delivered
@@ -684,7 +747,8 @@ uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
         consumed += options_.costs.response_handle_ns;
         continue;
       }
-      if (st.ok() && op.op == OpCode::kRead) {
+      if (st.ok() &&
+          (op.op == OpCode::kRead || op.op == OpCode::kReadPtr)) {
         if (op.dst != nullptr) std::memcpy(op.dst, p, rh.len);
         consumed += static_cast<uint64_t>(
             options_.costs.response_copy_ns_per_byte * rh.len);
@@ -692,6 +756,9 @@ uint64_t CacheClient::DrainResponses(CacheEntry& cache, ClientThread& thread,
       p += rh.len;
       consumed += options_.costs.response_handle_ns;
       cache.ctr.batched_ops->Inc();
+      if (st.ok() && op.op == OpCode::kReadPtr) {
+        cache.ctr.indirect_reads->Inc();
+      }
       FinishSubOp(cache, thread, op, st);
     }
     conn.slot_count[slot] = 0;
@@ -733,7 +800,9 @@ uint64_t CacheClient::DrainSubmissions(CacheEntry& cache,
     }
 
     VRegion& vr = cache.regions[op.vregion];
-    const bool paused = (op.op == OpCode::kRead && vr.reads_paused) ||
+    const bool read_kind =
+        op.op == OpCode::kRead || op.op == OpCode::kReadPtr;
+    const bool paused = (read_kind && vr.reads_paused) ||
                         (op.op == OpCode::kWrite && vr.writes_paused);
     if (paused) {
       cache.ctr.parked_ops->Inc();
@@ -933,6 +1002,35 @@ uint64_t CacheClient::IssueOneSided(CacheEntry& cache, ClientThread& thread,
         options_.costs.batch_stage_ns_per_byte * op->len);
     st = conn.qp->PostWrite(kWrKindOneSided | wr, staging, staging_off, key,
                             op->offset, op->len);
+  } else if (op->op == OpCode::kReadPtr && options_.chain_reads &&
+             !op->chain_disabled) {
+    // NIC-offloaded pointer chase (DESIGN.md §15): hop 0 lands the
+    // 8-byte pointer word, hop 1 dereferences it — one doorbell, one
+    // completion, one poller wakeup for the whole chase.
+    rdma::ChainHop hops[2];
+    hops[0].key = key;
+    hops[0].remote_offset = op->offset;
+    hops[0].local_offset = staging_off;
+    hops[0].len = 8;
+    hops[1].key = key;
+    hops[1].local_offset = staging_off;  // scatter in hop order: data last
+    hops[1].len = op->len;
+    hops[1].addr_from_prev = true;  // full-word pointer (mask ~0, shift 0)
+    if (BuggifyFires(options_.buggify,
+                     static_cast<uint32_t>(
+                         chaos::BuggifyPoint::kChainMidFault))) {
+      // Adversarial branch: the dependent hop races an epoch bump and
+      // must abort at the responder with ONE poisoned completion and
+      // zero bytes landed; the fence-redirect retry path recovers.
+      hops[1].key.epoch = key.epoch - 1;
+    }
+    st = conn.qp->PostChain(kWrKindChain | wr, staging, hops, 2);
+  } else if (op->op == OpCode::kReadPtr && op->chase_hop == 0) {
+    // Chaining disabled: chase hop-by-hop. Fetch the pointer word
+    // first; its completion requeues the data hop (two round trips,
+    // two wakeups — the baseline chain_bench measures against).
+    st = conn.qp->PostRead(kWrKindOneSided | wr, staging, staging_off, key,
+                           op->offset, 8);
   } else {
     st = conn.qp->PostRead(kWrKindOneSided | wr, staging, staging_off, key,
                            op->offset, op->len);
@@ -1327,6 +1425,15 @@ bool CacheClient::MaybeRetry(CacheEntry& cache, ClientThread& thread,
   op.attempts++;
   cache.ctr.retries->Inc();
   if (fence_redirect) cache.ctr.fence_redirects->Inc();
+  if (fence_redirect && options_.chain_reads &&
+      op.op == OpCode::kReadPtr && !op.chain_disabled) {
+    // Poisoned chain at an epoch fence: chains are epoch-checked on
+    // every hop, but plain READs are unfenced, so the hop-by-hop chase
+    // still serves against a revoked-but-readable region mid-cutover.
+    // Fall back for this op's remaining attempts. (Counted as a
+    // chain_fallback when the pointer-word hop completes.)
+    op.chain_disabled = 1;
+  }
   if (telemetry::SpanTracer* tr = ActiveTracer()) {
     tr->Instant(CacheTrack(cache, *tr), "retry", "op", sim_->Now(),
                 {"vregion", op.vregion}, {"attempt", op.attempts});
@@ -1666,6 +1773,9 @@ void CacheClient::RegisterCacheMetrics(CacheEntry* cache) {
   k.breaker_trips = m.GetCounter("overload.breaker_trips", labels);
   k.breaker_probes = m.GetCounter("overload.breaker_probes", labels);
   k.brownout_trips = m.GetCounter("overload.brownout_trips", labels);
+  k.indirect_reads = m.GetCounter("redy.client.indirect_reads", labels);
+  k.chained_reads = m.GetCounter("redy.client.chained_reads", labels);
+  k.chain_fallbacks = m.GetCounter("redy.client.chain_fallbacks", labels);
   k.read_latency = m.GetHistogram("redy.client.read_latency_ns", labels);
   k.write_latency = m.GetHistogram("redy.client.write_latency_ns", labels);
   k.inflight = m.GetGauge("redy.client.inflight_ops", labels);
@@ -1716,6 +1826,9 @@ void CacheClient::RefreshStatsView(CacheEntry& cache) {
   v.breaker_trips = k.breaker_trips->Value() - b.breaker_trips;
   v.breaker_probes = k.breaker_probes->Value() - b.breaker_probes;
   v.brownout_trips = k.brownout_trips->Value() - b.brownout_trips;
+  v.indirect_reads = k.indirect_reads->Value() - b.indirect_reads;
+  v.chained_reads = k.chained_reads->Value() - b.chained_reads;
+  v.chain_fallbacks = k.chain_fallbacks->Value() - b.chain_fallbacks;
   // Latency histograms reset with ResetStats (quantiles are
   // per-interval), so the cumulative view is the since-reset view.
   v.read_latency_ns = k.read_latency->cumulative();
@@ -1771,6 +1884,9 @@ void CacheClient::ResetStats(CacheId id) {
   b.breaker_trips = k.breaker_trips->Value();
   b.breaker_probes = k.breaker_probes->Value();
   b.brownout_trips = k.brownout_trips->Value();
+  b.indirect_reads = k.indirect_reads->Value();
+  b.chained_reads = k.chained_reads->Value();
+  b.chain_fallbacks = k.chain_fallbacks->Value();
   c->ctr.read_latency->Reset();
   c->ctr.write_latency->Reset();
   RefreshStatsView(*c);

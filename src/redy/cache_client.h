@@ -183,6 +183,15 @@ class CacheClient {
     /// lease gating (the NIC/server epoch check remains the hard
     /// fence).
     uint64_t lease_ttl_ns = 1 * kMillisecond;
+    // --- NIC-offloaded op chains (DESIGN.md §15) ---
+    /// Issue indirect (pointer-chase) reads as ONE chained doorbell
+    /// (rdma::QueuePair::PostChain): the responder NIC resolves the
+    /// pointer word and fetches the data it names, so the dependent
+    /// read costs one RTT and one poller wakeup instead of two.
+    /// Default off so every existing same-seed run stays byte-identical;
+    /// when off, ReadIndirect falls back to two dependent one-sided
+    /// READs (or the server-side kReadPtr chase on two-sided configs).
+    bool chain_reads = false;
     /// Buggify decision points for the chaos-schedule explorer (not
     /// owned; nullptr = no fault injection at decision points).
     chaos::Buggify* buggify = nullptr;
@@ -241,6 +250,10 @@ class CacheClient {
     uint64_t breaker_trips = 0;        // closed/half-open -> open
     uint64_t breaker_probes = 0;       // half-open probes admitted
     uint64_t brownout_trips = 0;       // shedding windows entered
+    // NIC-offloaded op chains (DESIGN.md §15).
+    uint64_t indirect_reads = 0;       // ReadIndirect ops completed
+    uint64_t chained_reads = 0;        // served by one chained doorbell
+    uint64_t chain_fallbacks = 0;      // served hop-by-hop (chaining off)
 
     void Reset() { *this = Stats{}; }
     uint64_t ops_completed() const {
@@ -310,6 +323,17 @@ class CacheClient {
               Callback cb, uint32_t app_thread = 0);
   Status Write(CacheId id, uint64_t addr, const void* src, uint64_t size,
                Callback cb, uint32_t app_thread = 0);
+
+  /// Indirect (pointer-chase) read: the 8-byte little-endian word at
+  /// `ptr_addr` holds the cache-relative offset of the data; reads
+  /// `size` bytes from wherever it points into `dst`. The pointer and
+  /// the data it names must live in the same virtual region (one QP
+  /// executes the chase). With Options::chain_reads the whole chase is
+  /// ONE chained doorbell / one poller wakeup (DESIGN.md §15);
+  /// otherwise it decomposes into two dependent round trips one-sided,
+  /// or a single server-side kReadPtr on two-sided configs.
+  Status ReadIndirect(CacheId id, uint64_t ptr_addr, void* dst,
+                      uint64_t size, Callback cb, uint32_t app_thread = 0);
 
   /// Table 1 Reshape. Changing the SLO reallocates under the new
   /// configuration and moves the data; changing only the capacity grows
@@ -443,6 +467,16 @@ class CacheClient {
     /// Access epoch the op was issued under (stamped at flush/issue
     /// from the placement key; echoed back in two-sided responses).
     uint32_t epoch = 0;
+    /// Pointer-chase progress for kReadPtr without NIC chaining: 0 =
+    /// the 8-byte pointer word is still being fetched, 1 = `offset`
+    /// already holds the resolved data offset (DESIGN.md §15).
+    uint8_t chase_hop = 0;
+    /// Set when a chained kReadPtr took a poisoned mid-chain
+    /// completion at an epoch fence: retries re-issue as the unchained
+    /// hop-by-hop chase, which rides plain (unfenced) READs and stays
+    /// serviceable against a revoked-but-readable region through a
+    /// migration cutover.
+    uint8_t chain_disabled = 0;
   };
   // SubOps are staged in rings, arenas and flat maps by value; keeping
   // them trivially copyable makes every such move a memcpy and lets the
@@ -591,6 +625,9 @@ class CacheClient {
     telemetry::Counter* breaker_trips = nullptr;
     telemetry::Counter* breaker_probes = nullptr;
     telemetry::Counter* brownout_trips = nullptr;
+    telemetry::Counter* indirect_reads = nullptr;
+    telemetry::Counter* chained_reads = nullptr;
+    telemetry::Counter* chain_fallbacks = nullptr;
     telemetry::WindowedHistogram* read_latency = nullptr;
     telemetry::WindowedHistogram* write_latency = nullptr;
     telemetry::Gauge* inflight = nullptr;

@@ -325,7 +325,11 @@ uint64_t CacheServer::ProcessBatch(Connection& conn, uint32_t backlog,
     // Responses echo the region's *current* epoch; a kLease response's
     // epoch is the granted lease token.
     resp.epoch = region != nullptr ? region->epoch() : 0;
-    if (region == nullptr || !region->InBounds(rh.offset, rh.len) ||
+    // The directly-addressed span: a kReadPtr touches the 8-byte pointer
+    // word at rh.offset; the data range it names is bounds-checked after
+    // the chase below.
+    const uint64_t direct_len = rh.op == OpCode::kReadPtr ? 8 : rh.len;
+    if (region == nullptr || !region->InBounds(rh.offset, direct_len) ||
         // Defensive: a response larger than the slot would corrupt the
         // staging ring (the client routes such ops one-sided).
         resp_off + sizeof(ResponseHeader) + rh.len >
@@ -348,6 +352,32 @@ uint64_t CacheServer::ProcessBatch(Connection& conn, uint32_t backlog,
         consumed +=
             static_cast<uint64_t>(costs_.server_ns_per_byte * rh.len);
         resp.status = static_cast<uint8_t>(StatusCode::kOk);
+      }
+    } else if (rh.op == OpCode::kReadPtr) {
+      // Server-side pointer chase: the two-sided twin of the NIC op
+      // chain (DESIGN.md §15). Resolve the 8-byte pointer word, then
+      // serve the data it names — one request, one response, one
+      // client wakeup for the whole dependent sequence. Like chain
+      // hops (and unlike plain reads), the chase is epoch-fenced: a
+      // dependent read must not follow a pointer past an epoch bump.
+      if (rh.epoch != region->epoch()) {
+        resp.status = static_cast<uint8_t>(StatusCode::kProtectionError);
+      } else {
+        uint64_t word = 0;
+        std::memcpy(&word, region->data() + rh.offset, sizeof(word));
+        if (!region->InBounds(word, rh.len)) {
+          resp.status = static_cast<uint8_t>(StatusCode::kOutOfRange);
+        } else {
+          std::memcpy(resp_base + resp_off + sizeof(ResponseHeader),
+                      region->data() + word, rh.len);
+          // The chase costs one extra request-processing step on top
+          // of the per-byte copy.
+          consumed += costs_.server_request_ns;
+          consumed +=
+              static_cast<uint64_t>(costs_.server_ns_per_byte * rh.len);
+          resp.status = static_cast<uint8_t>(StatusCode::kOk);
+          resp.len = rh.len;
+        }
       }
     } else {
       // Read: copy region bytes into the response payload. Reads are

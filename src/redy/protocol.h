@@ -35,6 +35,12 @@ enum class OpCode : uint8_t {
   // Lease acquisition/renewal for a region: header-only round trip over
   // the message ring; the response's `epoch` is the granted epoch.
   kLease = 2,
+  // Indirect (pointer-chase) read: `offset` names an 8-byte little-
+  // endian word in the region holding the region-relative offset of the
+  // data; the server resolves the pointer and serves `len` bytes from
+  // it — the two-sided twin of the one-sided NIC chain (DESIGN.md §15),
+  // so the dependent read costs one request/one response on every path.
+  kReadPtr = 3,
 };
 
 /// Header at the start of every request/response batch slot.

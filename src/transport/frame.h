@@ -36,6 +36,14 @@ enum class FrameType : uint8_t {
   kSend = 6,
   /// Receiver's status for a kSend, token echoed.
   kSendAck = 7,
+  /// NIC-offloaded dependent op chain: `aux` = hop count; payload =
+  /// aux × ChainHopWire followed by the write hops' payloads in hop
+  /// order. The responder worker executes every hop server-side, so
+  /// the wire sees ONE request and ONE response per chain.
+  kChain = 8,
+  /// Responder's answer to kChain: concatenated read-hop payloads on
+  /// success, empty on abort; `aux` = hops actually executed.
+  kChainResp = 9,
 };
 
 struct FrameHeader {
@@ -61,6 +69,25 @@ struct FrameHeader {
   static constexpr uint32_t kMagic = 0x52647954u;  // "RdyT"
 };
 static_assert(sizeof(FrameHeader) == 48, "wire header layout");
+
+/// One hop descriptor of a kChain frame (fixed size, host byte order
+/// like the rest of the framing). Field-for-field mirror of
+/// rdma::ChainHop with the RemoteKey flattened.
+struct ChainHopWire {
+  uint32_t rkey = 0;
+  uint32_t epoch = 0;
+  uint64_t remote_offset = 0;
+  uint64_t local_offset = 0;
+  uint64_t len = 0;
+  uint64_t addr_mask = 0;
+  uint8_t addr_shift = 0;
+  uint8_t flags = 0;
+  uint8_t pad[6] = {};
+
+  static constexpr uint8_t kAddrFromPrev = 1;
+  static constexpr uint8_t kIsWrite = 2;
+};
+static_assert(sizeof(ChainHopWire) == 48, "chain hop wire layout");
 
 /// Serializes header + payload into one contiguous send buffer.
 inline std::vector<uint8_t> EncodeFrame(const FrameHeader& h,

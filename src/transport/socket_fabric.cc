@@ -153,7 +153,7 @@ Status SocketQueuePair::PostWrite(uint64_t wr_id, const rdma::MemoryRegion* mr,
   auto buf = EncodeFrame(h, mr->data() + local_offset, len);
   pending_.emplace(next_op_token_,
                    PendingOp{wr_id, rdma::Opcode::kWrite, nullptr, 0,
-                             static_cast<uint32_t>(len)});
+                             static_cast<uint32_t>(len), {}});
   next_op_token_++;
   outstanding_++;
   nic()->CountWqePosted();
@@ -177,7 +177,7 @@ Status SocketQueuePair::PostRead(uint64_t wr_id, rdma::MemoryRegion* mr,
   h.aux = len;
   pending_.emplace(next_op_token_,
                    PendingOp{wr_id, rdma::Opcode::kRead, mr, local_offset,
-                             static_cast<uint32_t>(len)});
+                             static_cast<uint32_t>(len), {}});
   next_op_token_++;
   outstanding_++;
   nic()->CountWqePosted();
@@ -197,7 +197,7 @@ Status SocketQueuePair::PostSend(uint64_t wr_id, const rdma::MemoryRegion* mr,
   auto buf = EncodeFrame(h, mr->data() + local_offset, len);
   pending_.emplace(next_op_token_,
                    PendingOp{wr_id, rdma::Opcode::kSend, nullptr, 0,
-                             static_cast<uint32_t>(len)});
+                             static_cast<uint32_t>(len), {}});
   next_op_token_++;
   outstanding_++;
   nic()->CountWqePosted();
@@ -205,8 +205,70 @@ Status SocketQueuePair::PostSend(uint64_t wr_id, const rdma::MemoryRegion* mr,
   return Status::OK();
 }
 
+Status SocketQueuePair::PostChain(uint64_t wr_id, rdma::MemoryRegion* mr,
+                                  const rdma::ChainHop* hops,
+                                  uint32_t num_hops) {
+  REDY_RETURN_IF_ERROR(CheckSendable());
+  if (num_hops == 0 || num_hops > rdma::kMaxChainHops) {
+    return Status::InvalidArgument("bad chain length");
+  }
+  uint64_t total_read = 0;
+  std::vector<ChainHopWire> desc(num_hops);
+  std::vector<uint8_t> wpay;
+  for (uint32_t i = 0; i < num_hops; i++) {
+    const rdma::ChainHop& h = hops[i];
+    if (!mr->InBounds(h.local_offset, h.len)) {
+      return Status::OutOfRange("chain hop local range outside region");
+    }
+    if (h.addr_from_prev &&
+        (i == 0 || hops[i - 1].is_write || hops[i - 1].len < 8)) {
+      return Status::InvalidArgument(
+          "dependent hop needs a preceding >=8 B read hop");
+    }
+    ChainHopWire& w = desc[i];
+    w.rkey = h.key.rkey;
+    w.epoch = h.key.epoch;
+    w.remote_offset = h.remote_offset;
+    w.local_offset = h.local_offset;
+    w.len = h.len;
+    w.addr_mask = h.addr_mask;
+    w.addr_shift = h.addr_shift;
+    if (h.addr_from_prev) w.flags |= ChainHopWire::kAddrFromPrev;
+    if (h.is_write) {
+      // Write-hop payloads snapshot at post time, like every other post.
+      w.flags |= ChainHopWire::kIsWrite;
+      wpay.insert(wpay.end(), mr->data() + h.local_offset,
+                  mr->data() + h.local_offset + h.len);
+    } else {
+      total_read += h.len;
+    }
+  }
+  // One request frame carries all descriptors + write payloads; the
+  // responder executes the chain worker-side (ExecuteChain) and answers
+  // with one kChainResp, so the wire sees one request/one response.
+  std::vector<uint8_t> body(num_hops * sizeof(ChainHopWire) + wpay.size());
+  std::memcpy(body.data(), desc.data(), num_hops * sizeof(ChainHopWire));
+  if (!wpay.empty()) {
+    std::memcpy(body.data() + num_hops * sizeof(ChainHopWire), wpay.data(),
+                wpay.size());
+  }
+  FrameHeader h;
+  h.type = static_cast<uint8_t>(FrameType::kChain);
+  h.token = next_op_token_;
+  h.aux = num_hops;
+  PendingOp op{wr_id, rdma::Opcode::kChain, mr, 0,
+               static_cast<uint32_t>(total_read), std::move(desc)};
+  pending_.emplace(next_op_token_, std::move(op));
+  next_op_token_++;
+  outstanding_++;
+  nic()->CountWqePosted();
+  nic()->CountChainPosted();
+  fab_->pool().Send(conn_, EncodeFrame(h, body.data(), body.size()));
+  return Status::OK();
+}
+
 void SocketQueuePair::CompleteOp(uint64_t op_token, StatusCode status,
-                                 std::vector<uint8_t> payload) {
+                                 uint64_t aux, std::vector<uint8_t> payload) {
   auto it = pending_.find(op_token);
   if (it == pending_.end()) return;  // already flushed by Break()
   const PendingOp op = it->second;
@@ -218,6 +280,31 @@ void SocketQueuePair::CompleteOp(uint64_t op_token, StatusCode status,
       std::memcpy(op.mr->data() + op.local_offset, payload.data(), op.len);
     } else {
       wc.status = StatusCode::kAborted;
+    }
+  }
+  if (op.opcode == rdma::Opcode::kChain) {
+    // Mirror the sim's counter placement: hops/aborts accrue on the
+    // initiator NIC. `aux` is the responder's executed-hop count.
+    for (uint64_t i = 0; i < aux; i++) nic()->CountChainHop();
+    if (wc.status == StatusCode::kOk) {
+      if (payload.size() == op.len) {
+        // Scatter the concatenated read payloads to each read hop's
+        // local landing offset, in hop order.
+        const uint8_t* from = payload.data();
+        for (const ChainHopWire& w : op.chain_hops) {
+          if (w.flags & ChainHopWire::kIsWrite) continue;
+          std::memcpy(op.mr->data() + w.local_offset, from, w.len);
+          from += w.len;
+        }
+      } else {
+        wc.status = StatusCode::kAborted;
+      }
+    }
+    if (wc.status != StatusCode::kOk) {
+      // A poisoned chain lands nothing: one error completion, zero
+      // bytes (the responder never shipped any payload past the fault).
+      wc.byte_len = 0;
+      nic()->CountChainAborted();
     }
   }
   outstanding_--;
@@ -514,12 +601,29 @@ void SocketFabric::OnFrame(WorkerPool::ConnId conn, uint64_t bound_token,
       });
       return;
     }
+    case FrameType::kChain: {
+      // Chain responder: the epoll worker runs every hop server-side,
+      // so a multi-op dependent sequence costs the client one doorbell
+      // and one wire round trip (DESIGN.md §15).
+      std::vector<uint8_t> data;
+      uint64_t hops_done = 0;
+      const uint8_t status = ExecuteChain(hdr, payload, &data, &hops_done);
+      FrameHeader resp;
+      resp.type = static_cast<uint8_t>(FrameType::kChainResp);
+      resp.status = status;
+      resp.token = hdr.token;
+      resp.aux = hops_done;
+      pool_.Send(conn, EncodeFrame(resp, data.data(), data.size()));
+      return;
+    }
     case FrameType::kWriteAck:
     case FrameType::kReadResp:
-    case FrameType::kSendAck: {
+    case FrameType::kSendAck:
+    case FrameType::kChainResp: {
       driver_->Post([this, bound_token, token = hdr.token,
-                     status = hdr.status, p = std::move(payload)]() mutable {
-        DeliverAck(bound_token, token, status, std::move(p));
+                     status = hdr.status, aux = hdr.aux,
+                     p = std::move(payload)]() mutable {
+        DeliverAck(bound_token, token, status, aux, std::move(p));
       });
       return;
     }
@@ -593,6 +697,60 @@ uint8_t SocketFabric::SnapshotRead(const FrameHeader& hdr,
   return Code(StatusCode::kOk);
 }
 
+uint8_t SocketFabric::ExecuteChain(const FrameHeader& hdr,
+                                   const std::vector<uint8_t>& payload,
+                                   std::vector<uint8_t>* out,
+                                   uint64_t* hops_done) {
+  const uint64_t num_hops = hdr.aux;
+  if (num_hops == 0 || num_hops > rdma::kMaxChainHops ||
+      payload.size() < num_hops * sizeof(ChainHopWire)) {
+    return Code(StatusCode::kInvalidArgument);
+  }
+  const auto* hops = reinterpret_cast<const ChainHopWire*>(payload.data());
+  const uint8_t* wpay = payload.data() + num_hops * sizeof(ChainHopWire);
+  const uint8_t* wpay_end = payload.data() + payload.size();
+  uint64_t prev_word = 0;
+  for (uint64_t i = 0; i < num_hops; i++) {
+    const ChainHopWire& h = hops[i];
+    SharedMr smr;
+    if (!LookupSharedMr(h.rkey, &smr)) {
+      return Code(StatusCode::kProtectionError);
+    }
+    std::lock_guard<std::mutex> lk(*smr.apply_mu);
+    rdma::MemoryRegion* mr = smr.mr;
+    if (!mr->valid()) return Code(StatusCode::kProtectionError);
+    if (h.epoch != mr->epoch()) {
+      // Chains fence EVERY hop, reads included — same contract as the
+      // simulated NIC's per-hop Resolve(check_epoch=true): a dependent
+      // chase must not follow a pointer past an epoch bump. Aborting
+      // here means zero bytes move for this and all later hops.
+      driver_->Post([nic = mr->nic()] { nic->CountProtectionError(); });
+      return Code(StatusCode::kProtectionError);
+    }
+    uint64_t ro = h.remote_offset;
+    if (h.flags & ChainHopWire::kAddrFromPrev) {
+      ro += (prev_word & h.addr_mask) >> h.addr_shift;
+    }
+    if (!mr->InBounds(ro, h.len)) return Code(StatusCode::kAborted);
+    if (h.flags & ChainHopWire::kIsWrite) {
+      if (wpay + h.len > wpay_end) return Code(StatusCode::kInvalidArgument);
+      // Plain deposit under the apply mutex: chain write hops target
+      // data regions, not the polled response rings, so the seq-word
+      // publish protocol of ApplyWrite is not needed here.
+      std::memcpy(mr->data() + ro, wpay, h.len);
+      wpay += h.len;
+      driver_->Post([this, rkey = h.rkey] { NotifyRemoteWriteOnLoop(rkey); });
+    } else {
+      out->insert(out->end(), mr->data() + ro, mr->data() + ro + h.len);
+      uint64_t w = 0;
+      std::memcpy(&w, mr->data() + ro, h.len < 8 ? h.len : 8);
+      prev_word = w;
+    }
+    (*hops_done)++;
+  }
+  return Code(StatusCode::kOk);
+}
+
 void SocketFabric::BindAcceptedConn(uint64_t qp_token,
                                     WorkerPool::ConnId conn) {
   auto it = qp_registry_.find(qp_token);
@@ -604,10 +762,11 @@ void SocketFabric::BindAcceptedConn(uint64_t qp_token,
 }
 
 void SocketFabric::DeliverAck(uint64_t qp_token, uint64_t op_token,
-                              uint8_t status, std::vector<uint8_t> payload) {
+                              uint8_t status, uint64_t aux,
+                              std::vector<uint8_t> payload) {
   auto it = qp_registry_.find(qp_token);
   if (it == qp_registry_.end()) return;
-  it->second->CompleteOp(op_token, static_cast<StatusCode>(status),
+  it->second->CompleteOp(op_token, static_cast<StatusCode>(status), aux,
                          std::move(payload));
 }
 

@@ -54,6 +54,8 @@ class SocketQueuePair : public rdma::QueuePair {
                    uint64_t remote_offset, uint64_t len) override;
   Status PostSend(uint64_t wr_id, const rdma::MemoryRegion* mr,
                   uint64_t local_offset, uint64_t len) override;
+  Status PostChain(uint64_t wr_id, rdma::MemoryRegion* mr,
+                   const rdma::ChainHop* hops, uint32_t num_hops) override;
   // PostRecv: the base (loop-side posted-receive deque) is exactly what
   // the socket backend needs, so it is inherited unchanged.
   void Break() override;
@@ -70,14 +72,20 @@ class SocketQueuePair : public rdma::QueuePair {
   struct PendingOp {
     uint64_t wr_id = 0;
     rdma::Opcode opcode = rdma::Opcode::kWrite;
-    rdma::MemoryRegion* mr = nullptr;  // READ landing buffer
+    rdma::MemoryRegion* mr = nullptr;  // READ/chain landing buffer
     uint64_t local_offset = 0;
     uint32_t len = 0;
+    /// kChain only: the posted hop descriptors, kept so the single
+    /// response's concatenated read payloads scatter back to each
+    /// hop's local landing offset.
+    std::vector<ChainHopWire> chain_hops;
   };
 
   Status CheckSendable() const;
-  /// Loop-side: an ack/response frame for op `op_token` arrived.
-  void CompleteOp(uint64_t op_token, StatusCode status,
+  /// Loop-side: an ack/response frame for op `op_token` arrived. `aux`
+  /// echoes the response header's aux word (executed hop count for
+  /// kChainResp; unused for the other acks).
+  void CompleteOp(uint64_t op_token, StatusCode status, uint64_t aux,
                   std::vector<uint8_t> payload);
   /// Loop-side: an incoming kSend; returns the status to ack.
   StatusCode AcceptIncomingSend(const std::vector<uint8_t>& payload);
@@ -197,11 +205,17 @@ class SocketFabric : public rdma::Fabric {
                      const std::vector<uint8_t>& payload);
   /// Worker-side one-sided responder: validity/bounds check + snapshot.
   uint8_t SnapshotRead(const FrameHeader& hdr, std::vector<uint8_t>* out);
+  /// Worker-side chain responder: executes every hop in order with the
+  /// per-hop fence, appending read payloads to `out`; `hops_done`
+  /// reports how many hops ran before success/abort.
+  uint8_t ExecuteChain(const FrameHeader& hdr,
+                       const std::vector<uint8_t>& payload,
+                       std::vector<uint8_t>* out, uint64_t* hops_done);
 
   // Loop-side continuations.
   void BindAcceptedConn(uint64_t qp_token, WorkerPool::ConnId conn);
   void DeliverAck(uint64_t qp_token, uint64_t op_token, uint8_t status,
-                  std::vector<uint8_t> payload);
+                  uint64_t aux, std::vector<uint8_t> payload);
   void HandleIncomingSend(uint64_t qp_token, WorkerPool::ConnId conn,
                           uint64_t op_token, std::vector<uint8_t> payload);
   void NotifyRemoteWriteOnLoop(uint32_t rkey);

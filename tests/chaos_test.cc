@@ -151,6 +151,63 @@ TEST_F(ChaosTest, RetriesMaskATransientFlap) {
   EXPECT_GT(stats->retries, 0u);
 }
 
+// Chained pointer chases under a link flap (DESIGN.md §15): a flap
+// that opens mid-chain aborts the remaining hops with one poisoned
+// completion; the retry machinery masks it exactly like a plain read,
+// and every chase lands the correct record.
+TEST_F(ChaosTest, ChainedReadsSurviveALinkFlap) {
+  TestbedOptions o = ResilientOpts();
+  o.client.chain_reads = true;
+  Testbed tb(o);
+  auto id_or =
+      tb.client().CreateWithConfig(2 * kMiB, RdmaConfig{1, 0, 1, 8}, 64);
+  ASSERT_TRUE(id_or.ok());
+  const net::ServerId node = NodeOfRegion(tb, *id_or, 0);
+
+  // Records at 64 KiB, pointer words at 4 KiB.
+  std::vector<std::vector<uint8_t>> recs(8, std::vector<uint8_t>(64));
+  std::vector<uint64_t> words(8);
+  int setup = 0;
+  auto wrote = [&](Status st) {
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    setup++;
+  };
+  for (int i = 0; i < 8; i++) {
+    for (uint64_t j = 0; j < 64; j++) recs[i][j] = FillByte(i, j);
+    words[i] = 64 * kKiB + i * 64;
+    ASSERT_TRUE(
+        tb.client().Write(*id_or, words[i], recs[i].data(), 64, wrote).ok());
+    ASSERT_TRUE(tb.client()
+                    .Write(*id_or, 4096 + i * 8, &words[i], 8, wrote)
+                    .ok());
+  }
+  ASSERT_TRUE(RunUntil(tb, [&] { return setup == 16; }));
+
+  auto* chaos = tb.EnableChaos({});
+  chaos->AddFlap(tb.app_node(), node, tb.sim().Now(), 100 * kMicrosecond);
+
+  std::vector<std::vector<uint8_t>> got(8, std::vector<uint8_t>(64));
+  int completed = 0, failed = 0;
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(tb.client()
+                    .ReadIndirect(*id_or, 4096 + i * 8, got[i].data(), 64,
+                                  [&](Status st) {
+                                    completed++;
+                                    if (!st.ok()) failed++;
+                                  })
+                    .ok());
+  }
+  ASSERT_TRUE(RunUntil(tb, [&] { return completed == 8; }));
+  EXPECT_EQ(failed, 0) << "backoff outlasts the 100 us flap";
+  for (int i = 0; i < 8; i++) {
+    EXPECT_EQ(got[i], recs[i]) << "chase " << i;
+  }
+  const auto* stats = tb.client().stats(*id_or);
+  EXPECT_EQ(stats->indirect_reads, 8u);
+  EXPECT_GT(stats->retries, 0u);
+  EXPECT_GT(chaos->injected_errors(), 0u);
+}
+
 TEST_F(ChaosTest, DegradedLinkAddsLatency) {
   Testbed tb(FragileOpts());
   auto id_or =

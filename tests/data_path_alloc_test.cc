@@ -122,5 +122,73 @@ TEST(DataPathAllocTest, TwoSidedBatchAndServerPollAllocateNothing) {
   g_trap = false;
 }
 
+/// Issues `kBatchOps` chained indirect reads (one PostChain doorbell
+/// each) and returns the allocations the round trips performed.
+uint64_t RunChainBatch(Testbed& tb, CacheClient::CacheId id,
+                       std::vector<uint8_t>& buf) {
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  int done = 0;
+  auto cb = [&done](Status s) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    done++;
+  };
+  static_assert(CacheClient::Callback::fits_inline<decltype(cb)>(),
+                "test callback must stay inline");
+  for (int i = 0; i < kBatchOps; i++) {
+    const uint64_t ptr_addr = 4096 + static_cast<uint64_t>(i) * 8;
+    Status st =
+        tb.client().ReadIndirect(id, ptr_addr, buf.data(), buf.size(), cb);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  while (done < kBatchOps && tb.sim().Step()) {
+  }
+  EXPECT_EQ(done, kBatchOps);
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+// Chained pointer chases (DESIGN.md §15): the PostChain descriptor
+// block rides the pooled ChainOp records, the per-hop NIC events come
+// from the event pool, and the single completion drains through the
+// same pooled machinery as a plain READ. After warm-up a whole batch
+// of two-hop chases must not allocate.
+TEST(DataPathAllocTest, ChainedIndirectReadsAllocateNothing) {
+  TestbedOptions to;
+  to.client.chain_reads = true;
+  Testbed tb(to);
+  auto id_or = tb.client().CreateWithConfig(
+      8 * kMiB, RdmaConfig{1, 0, 1, 8}, kRecordBytes);
+  ASSERT_TRUE(id_or.ok());
+  std::vector<uint8_t> buf(kRecordBytes, 0xEF);
+
+  // Ground truth: records at 64 KiB, pointer words at 4 KiB.
+  int setup = 0;
+  auto wrote = [&setup](Status s) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    setup++;
+  };
+  std::vector<uint64_t> words(kBatchOps);
+  for (int i = 0; i < kBatchOps; i++) {
+    words[i] = 64 * kKiB + static_cast<uint64_t>(i) * kRecordBytes;
+    ASSERT_TRUE(tb.client()
+                    .Write(*id_or, words[i], buf.data(), buf.size(), wrote)
+                    .ok());
+    ASSERT_TRUE(tb.client()
+                    .Write(*id_or, 4096 + static_cast<uint64_t>(i) * 8,
+                           &words[i], sizeof(words[i]), wrote)
+                    .ok());
+  }
+  while (setup < 2 * kBatchOps && tb.sim().Step()) {
+  }
+  ASSERT_EQ(setup, 2 * kBatchOps);
+
+  // Warm-up grows the ChainOp pool alongside rings and flat maps.
+  for (int i = 0; i < 4; i++) (void)RunChainBatch(tb, *id_or, buf);
+
+  if (std::getenv("REDY_TRAP_ALLOC") != nullptr) g_trap = true;
+  EXPECT_EQ(RunChainBatch(tb, *id_or, buf), 0u)
+      << "chained issue->completion allocated on the steady state";
+  g_trap = false;
+}
+
 }  // namespace
 }  // namespace redy

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/buggify.h"
 #include "chaos/fault_injector.h"
 #include "chaos/storm.h"
 #include "redy/cache_client.h"
@@ -283,6 +284,119 @@ TEST_F(FenceSoakTest, SameSeedSameTelemetrySnapshot) {
   EXPECT_TRUE(a == b) << "fenced soak must be bit-for-bit reproducible";
   EXPECT_EQ(a.telemetry_json, b.telemetry_json);
   EXPECT_FALSE(a.telemetry_json.empty());
+}
+
+// --- NIC op chains under the fence (DESIGN.md §15) --------------------------
+
+class ChainFenceTest : public ::testing::Test {
+ protected:
+  template <typename Pred>
+  static bool RunUntil(Testbed& tb, Pred pred, int max_steps = 30'000'000) {
+    for (int i = 0; i < max_steps; i++) {
+      if (pred()) return true;
+      if (!tb.sim().Step()) return pred();
+    }
+    return pred();
+  }
+
+  struct ChainOutcome {
+    uint64_t indirect_reads = 0;
+    uint64_t chained_reads = 0;
+    uint64_t chain_fallbacks = 0;
+    uint64_t retries = 0;
+    uint64_t fence_redirects = 0;
+    std::string telemetry_json;
+    bool bytes_ok = false;
+  };
+
+  /// One chained indirect read with a forced buggify schedule. The
+  /// first consulted decision is this chase's kChainMidFault, so a
+  /// leading `true` poisons the dependent hop's epoch mid-chain.
+  static ChainOutcome RunForcedMidChainFault(std::vector<bool> schedule) {
+    ChainOutcome out;
+    chaos::Buggify buggify(std::move(schedule));
+    TestbedOptions o;
+    o.client.chain_reads = true;
+    o.client.buggify = &buggify;
+    Testbed tb(o);
+    auto id_or = tb.client().CreateWithConfig(
+        8 * kMiB, RdmaConfig{/*c=*/1, /*s=*/0, /*b=*/1, /*q=*/4},
+        /*record_bytes=*/64);
+    EXPECT_TRUE(id_or.ok()) << id_or.status().ToString();
+    if (!id_or.ok()) return out;
+    const auto id = *id_or;
+
+    std::vector<uint8_t> rec(64);
+    for (uint64_t j = 0; j < rec.size(); j++) rec[j] = PatternByte(64, j);
+    const uint64_t word = 64 * kKiB;
+    int setup = 0;
+    auto wrote = [&setup](Status st) {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      setup++;
+    };
+    EXPECT_TRUE(
+        tb.client().Write(id, word, rec.data(), rec.size(), wrote).ok());
+    EXPECT_TRUE(tb.client().Write(id, 128, &word, sizeof(word), wrote).ok());
+    EXPECT_TRUE(RunUntil(tb, [&] { return setup == 2; }));
+
+    std::vector<uint8_t> got(64);
+    bool done = false;
+    Status rs;
+    EXPECT_TRUE(tb.client()
+                    .ReadIndirect(id, 128, got.data(), got.size(),
+                                  [&](Status st) {
+                                    rs = st;
+                                    done = true;
+                                  })
+                    .ok());
+    EXPECT_TRUE(RunUntil(tb, [&] { return done; }));
+    EXPECT_TRUE(rs.ok()) << rs.ToString();
+    out.bytes_ok = rs.ok() && got == rec;
+
+    const auto* st = tb.client().stats(id);
+    out.indirect_reads = st->indirect_reads;
+    out.chained_reads = st->chained_reads;
+    out.chain_fallbacks = st->chain_fallbacks;
+    out.retries = st->retries;
+    out.fence_redirects = st->fence_redirects;
+    out.telemetry_json = tb.telemetry().metrics().ToJson();
+    return out;
+  }
+};
+
+// A mid-chain stale epoch aborts the chain with one poisoned
+// completion; the fence-redirect retry re-issues the chase hop-by-hop
+// (plain READs are unfenced) and the application sees only a clean,
+// correct read.
+TEST_F(ChainFenceTest, MidChainStaleEpochRetriesUnchainedAndSucceeds) {
+  const ChainOutcome out = RunForcedMidChainFault({true});
+  EXPECT_TRUE(out.bytes_ok);
+  EXPECT_EQ(out.indirect_reads, 1u);
+  EXPECT_EQ(out.chained_reads, 0u);     // poisoned attempt never counts
+  EXPECT_EQ(out.chain_fallbacks, 1u);   // retried as the two-hop chase
+  EXPECT_GE(out.retries, 1u);
+  EXPECT_GE(out.fence_redirects, 1u);
+}
+
+// The same forced schedule replays byte-identically, down to the
+// telemetry registry snapshot.
+TEST_F(ChainFenceTest, ForcedMidChainFaultReplaysByteIdentically) {
+  const ChainOutcome a = RunForcedMidChainFault({true});
+  const ChainOutcome b = RunForcedMidChainFault({true});
+  EXPECT_EQ(a.telemetry_json, b.telemetry_json);
+  EXPECT_FALSE(a.telemetry_json.empty());
+}
+
+// No fault injected: the chase stays on the one-doorbell fast path and
+// none of the fence machinery engages.
+TEST_F(ChainFenceTest, CleanChainTakesOneDoorbellNoRetries) {
+  const ChainOutcome out = RunForcedMidChainFault({false});
+  EXPECT_TRUE(out.bytes_ok);
+  EXPECT_EQ(out.indirect_reads, 1u);
+  EXPECT_EQ(out.chained_reads, 1u);
+  EXPECT_EQ(out.chain_fallbacks, 0u);
+  EXPECT_EQ(out.retries, 0u);
+  EXPECT_EQ(out.fence_redirects, 0u);
 }
 
 // --- Lease behavior ---------------------------------------------------------

@@ -369,6 +369,213 @@ TEST_P(BackendRdmaTest, NicFailureFlushesInFlightOps) {
   EXPECT_FALSE(reposted);
 }
 
+// ---------------------------------------------------------------------------
+// NIC-offloaded op chains (DESIGN.md §15): one doorbell drives a
+// dependent multi-op sequence on the responder NIC; the client sees a
+// single completion (and thus a single poller wakeup) per chain.
+
+TEST_P(BackendRdmaTest, ChainPointerChaseFollowsMaskedRemotePointer) {
+  // Remote layout: a tagged pointer word at offset 256 whose upper bits
+  // name the data offset (<< 4, low nibble is tag bits the mask strips).
+  const char msg[] = "chased through the NIC";
+  constexpr uint64_t kDataOff = 1024;
+  std::memcpy(remote_->data() + kDataOff, msg, sizeof(msg));
+  const uint64_t word = (kDataOff << 4) | 0x9;  // tag bits must be masked
+  std::memcpy(remote_->data() + 256, &word, sizeof(word));
+
+  rdma::ChainHop hops[2];
+  hops[0].key = remote_->remote_key();
+  hops[0].remote_offset = 256;
+  hops[0].local_offset = 0;
+  hops[0].len = 8;
+  hops[1].key = remote_->remote_key();
+  hops[1].remote_offset = 0;
+  hops[1].local_offset = 64;
+  hops[1].len = sizeof(msg);
+  hops[1].addr_from_prev = true;
+  hops[1].addr_mask = ~uint64_t{0xF};
+  hops[1].addr_shift = 4;
+  bool posted = false;
+  harness_->Run(
+      [&] { posted = cqp_->PostChain(11, local_, hops, 2).ok(); });
+  ASSERT_TRUE(posted);
+  auto wcs = DrainN(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].wr_id, 11u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kOk);
+  EXPECT_EQ(wcs[0].opcode, rdma::Opcode::kChain);
+  // Both read hops landed: the pointer word and the chased payload.
+  EXPECT_EQ(wcs[0].byte_len, 8 + sizeof(msg));
+  uint64_t landed_word = 0;
+  std::memcpy(&landed_word, local_->data(), sizeof(landed_word));
+  EXPECT_EQ(landed_word, word);
+  EXPECT_EQ(std::memcmp(local_->data() + 64, msg, sizeof(msg)), 0);
+}
+
+TEST_P(BackendRdmaTest, ChainWaitOnCqGatesDependentHop) {
+  // A write hop followed by a read of the SAME remote range: the read
+  // fires only after the write's completion (WAIT-on-CQ), so it must
+  // observe the written bytes, not the old contents.
+  std::memset(remote_->data(), 0, 64);
+  const char msg[] = "write-then-read, in order";
+  std::memcpy(local_->data(), msg, sizeof(msg));
+  rdma::ChainHop hops[2];
+  hops[0].key = remote_->remote_key();
+  hops[0].remote_offset = 32;
+  hops[0].local_offset = 0;
+  hops[0].len = sizeof(msg);
+  hops[0].is_write = true;
+  hops[1].key = remote_->remote_key();
+  hops[1].remote_offset = 32;
+  hops[1].local_offset = 4096;
+  hops[1].len = sizeof(msg);
+  bool posted = false;
+  harness_->Run(
+      [&] { posted = cqp_->PostChain(12, local_, hops, 2).ok(); });
+  ASSERT_TRUE(posted);
+  auto wcs = DrainN(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kOk);
+  EXPECT_EQ(wcs[0].byte_len, sizeof(msg));  // only the read hop lands
+  EXPECT_EQ(std::memcmp(remote_->data() + 32, msg, sizeof(msg)), 0);
+  EXPECT_EQ(std::memcmp(local_->data() + 4096, msg, sizeof(msg)), 0);
+}
+
+TEST_P(BackendRdmaTest, ChainAbortsOnStaleEpochMidChainWithZeroBytes) {
+  // Hop 0 is fine; hop 1 carries a stale epoch; hop 2 would write. The
+  // chain must deliver ONE poisoned completion with byte_len 0, land no
+  // read bytes locally, and never execute the write hop.
+  const uint64_t word = 512;
+  std::memcpy(remote_->data(), &word, sizeof(word));
+  std::memset(remote_->data() + 2048, 0, 16);
+  std::memset(local_->data(), 0, 256);
+  std::memset(local_->data() + 128, 0x7C, 16);  // write-hop source
+  rdma::RemoteKey stale = remote_->remote_key();
+  stale.epoch -= 1;  // models racing an epoch bump between hops
+  rdma::ChainHop hops[3];
+  hops[0].key = remote_->remote_key();
+  hops[0].remote_offset = 0;
+  hops[0].local_offset = 0;
+  hops[0].len = 8;
+  hops[1].key = stale;
+  hops[1].remote_offset = 0;
+  hops[1].local_offset = 64;
+  hops[1].len = 64;
+  hops[1].addr_from_prev = true;
+  hops[2].key = remote_->remote_key();
+  hops[2].remote_offset = 2048;
+  hops[2].local_offset = 128;
+  hops[2].len = 16;
+  hops[2].is_write = true;
+  bool posted = false;
+  harness_->Run(
+      [&] { posted = cqp_->PostChain(13, local_, hops, 3).ok(); });
+  ASSERT_TRUE(posted);
+  auto wcs = DrainN(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].wr_id, 13u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kProtectionError);
+  EXPECT_EQ(wcs[0].byte_len, 0u);
+  // Zero bytes touched past the fence: no read payload landed locally
+  // (not even hop 0's), and the tail write hop never ran.
+  for (int i = 0; i < 128; i++) {
+    ASSERT_EQ(local_->data()[i], 0) << "aborted chain landed byte " << i;
+  }
+  for (int i = 0; i < 16; i++) {
+    ASSERT_EQ(remote_->data()[2048 + i], 0)
+        << "tail write hop ran at byte " << i;
+  }
+  // The QP stays usable after an aborted chain.
+  harness_->Run([&] {
+    posted = cqp_->PostRead(14, local_, 0, remote_->remote_key(), 0, 8).ok();
+  });
+  ASSERT_TRUE(posted);
+  wcs = DrainN(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kOk);
+}
+
+TEST_P(BackendRdmaTest, ChainDeliversExactlyOneCompletionAndOneNotify) {
+  // Park-through-chain contract: a parked poller is woken once per
+  // chain, not once per hop. Counted at the CQ notifier — the exact
+  // doorbell sim::Poller parks against.
+  auto notifies = std::make_shared<std::atomic<uint64_t>>(0);
+  const uint64_t word = 256;
+  std::memcpy(remote_->data(), &word, sizeof(word));
+  harness_->Run([&] {
+    std::atomic<uint64_t>* n = notifies.get();
+    auto notify = [n] { n->fetch_add(1, std::memory_order_relaxed); };
+    static_assert(sim::InlineFunction::fits_inline<decltype(notify)>());
+    cqp_->send_cq().SetNotifier(notify);
+  });
+
+  // Baseline: two dependent plain reads ring the doorbell twice.
+  bool posted = false;
+  harness_->Run([&] {
+    posted = cqp_->PostRead(1, local_, 0, remote_->remote_key(), 0, 8).ok();
+  });
+  ASSERT_TRUE(posted);
+  ASSERT_EQ(DrainN(1).size(), 1u);
+  harness_->Run([&] {
+    posted =
+        cqp_->PostRead(2, local_, 64, remote_->remote_key(), word, 32).ok();
+  });
+  ASSERT_TRUE(posted);
+  ASSERT_EQ(DrainN(1).size(), 1u);
+  EXPECT_EQ(notifies->load(), 2u);
+
+  // The same dependent pair as one chain: one completion, one notify.
+  notifies->store(0);
+  rdma::ChainHop hops[2];
+  hops[0].key = remote_->remote_key();
+  hops[0].remote_offset = 0;
+  hops[0].local_offset = 0;
+  hops[0].len = 8;
+  hops[1].key = remote_->remote_key();
+  hops[1].remote_offset = 0;
+  hops[1].local_offset = 64;
+  hops[1].len = 32;
+  hops[1].addr_from_prev = true;
+  harness_->Run(
+      [&] { posted = cqp_->PostChain(3, local_, hops, 2).ok(); });
+  ASSERT_TRUE(posted);
+  auto wcs = DrainN(1);
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, StatusCode::kOk);
+  EXPECT_EQ(notifies->load(), 1u);
+}
+
+TEST_P(BackendRdmaTest, ChainRejectsMalformedDescriptors) {
+  rdma::ChainHop hops[2];
+  hops[0].key = remote_->remote_key();
+  hops[0].len = 8;
+  hops[1].key = remote_->remote_key();
+  hops[1].len = 8;
+  hops[1].addr_from_prev = true;
+  harness_->Run([&] {
+    // Zero hops / too many hops.
+    EXPECT_FALSE(cqp_->PostChain(1, local_, hops, 0).ok());
+    EXPECT_FALSE(
+        cqp_->PostChain(2, local_, hops, rdma::kMaxChainHops + 1).ok());
+    // A dependent hop 0 has no prior read to chase from.
+    rdma::ChainHop bad[1];
+    bad[0].key = remote_->remote_key();
+    bad[0].len = 8;
+    bad[0].addr_from_prev = true;
+    EXPECT_FALSE(cqp_->PostChain(3, local_, bad, 1).ok());
+    // A dependent hop after a write hop (no landed word to chase).
+    rdma::ChainHop wr_then_dep[2] = {hops[0], hops[1]};
+    wr_then_dep[0].is_write = true;
+    EXPECT_FALSE(cqp_->PostChain(4, local_, wr_then_dep, 2).ok());
+    // Local range outside the MR.
+    rdma::ChainHop oob[1];
+    oob[0].key = remote_->remote_key();
+    oob[0].local_offset = 64 * kKiB;
+    oob[0].len = 8;
+    EXPECT_FALSE(cqp_->PostChain(5, local_, oob, 1).ok());
+  });
+}
+
 std::string BackendName(const ::testing::TestParamInfo<Backend>& info) {
   return info.param == Backend::kSim ? "Sim" : "SocketLoopback";
 }
@@ -383,18 +590,20 @@ INSTANTIATE_TEST_SUITE_P(Backends, BackendRdmaTest,
 
 class BackendCacheTest : public ::testing::TestWithParam<Backend> {
  protected:
-  BackendCacheTest() {
+  explicit BackendCacheTest(bool chain_reads = false) {
     if (GetParam() == Backend::kSim) {
       TestbedOptions o;
       o.pods = 2;
       o.racks_per_pod = 2;
       o.servers_per_rack = 4;
       o.client.region_bytes = 4 * kMiB;
+      o.client.chain_reads = chain_reads;
       tb_ = std::make_unique<Testbed>(o);
     } else {
       LoopbackRigOptions o;
       o.servers_per_rack = 4;
       o.client.region_bytes = 4 * kMiB;
+      o.client.chain_reads = chain_reads;
       rig_ = std::make_unique<LoopbackRig>(o);
     }
   }
@@ -510,9 +719,168 @@ TEST_P(BackendCacheTest, BatchedTwoSidedRoundTrip) {
   Run([&] { EXPECT_TRUE(client().Delete(id).ok()); });
 }
 
+TEST_P(BackendCacheTest, IndirectReadFallbackChasesHopByHop) {
+  // chain_reads is off in this fixture: ReadIndirect decomposes into
+  // two dependent one-sided round trips (the chain_bench baseline).
+  Result<CacheClient::CacheId> id_or = Status::Internal("unset");
+  Run([&] {
+    id_or = client().CreateWithConfig(8 * kMiB, RdmaConfig{1, 0, 1, 4},
+                                      /*record_bytes=*/64);
+  });
+  ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+  const auto id = *id_or;
+
+  const char msg[] = "pointer-chased record";
+  const uint64_t ptr_word = 4096;  // region-relative offset of the data
+  std::atomic<int> writes_done{0};
+  Run([&] {
+    auto wrote = [&](Status st) {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      writes_done.fetch_add(1);
+    };
+    EXPECT_TRUE(client().Write(id, 4096, msg, sizeof(msg), wrote).ok());
+    EXPECT_TRUE(
+        client().Write(id, 8192, &ptr_word, sizeof(ptr_word), wrote).ok());
+  });
+  ASSERT_TRUE(Await([&] { return writes_done.load() == 2; }));
+
+  char out[64] = {};
+  std::atomic<bool> read{false};
+  Run([&] {
+    EXPECT_TRUE(client()
+                    .ReadIndirect(id, 8192, out, sizeof(msg),
+                                  [&](Status st) {
+                                    EXPECT_TRUE(st.ok()) << st.ToString();
+                                    read.store(true,
+                                               std::memory_order_release);
+                                  })
+                    .ok());
+  });
+  ASSERT_TRUE(Await([&] { return read.load(std::memory_order_acquire); }));
+  EXPECT_STREQ(out, msg);
+  Run([&] {
+    const CacheClient::Stats* s = client().stats(id);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->indirect_reads, 1u);
+    EXPECT_EQ(s->chain_fallbacks, 1u);
+    EXPECT_EQ(s->chained_reads, 0u);
+    EXPECT_TRUE(client().Delete(id).ok());
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, BackendCacheTest,
                          ::testing::Values(Backend::kSim, Backend::kSocket),
                          BackendName);
+
+/// Same full-stack slice with Options::chain_reads on: the whole chase
+/// is one chained doorbell on the client NIC.
+class BackendChainCacheTest : public BackendCacheTest {
+ protected:
+  BackendChainCacheTest() : BackendCacheTest(/*chain_reads=*/true) {}
+};
+
+TEST_P(BackendChainCacheTest, IndirectReadUsesOneChainedDoorbell) {
+  Result<CacheClient::CacheId> id_or = Status::Internal("unset");
+  Run([&] {
+    id_or = client().CreateWithConfig(8 * kMiB, RdmaConfig{1, 0, 1, 4},
+                                      /*record_bytes=*/64);
+  });
+  ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+  const auto id = *id_or;
+
+  const char msg[] = "one doorbell, one wakeup";
+  const uint64_t ptr_word = 64 * kKiB;  // data parked deeper in region 0
+  std::atomic<int> writes_done{0};
+  Run([&] {
+    auto wrote = [&](Status st) {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      writes_done.fetch_add(1);
+    };
+    EXPECT_TRUE(
+        client().Write(id, 64 * kKiB, msg, sizeof(msg), wrote).ok());
+    EXPECT_TRUE(
+        client().Write(id, 128, &ptr_word, sizeof(ptr_word), wrote).ok());
+  });
+  ASSERT_TRUE(Await([&] { return writes_done.load() == 2; }));
+
+  char out[64] = {};
+  std::atomic<bool> read{false};
+  Run([&] {
+    EXPECT_TRUE(client()
+                    .ReadIndirect(id, 128, out, sizeof(msg),
+                                  [&](Status st) {
+                                    EXPECT_TRUE(st.ok()) << st.ToString();
+                                    read.store(true,
+                                               std::memory_order_release);
+                                  })
+                    .ok());
+  });
+  ASSERT_TRUE(Await([&] { return read.load(std::memory_order_acquire); }));
+  EXPECT_STREQ(out, msg);
+  Run([&] {
+    const CacheClient::Stats* s = client().stats(id);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->indirect_reads, 1u);
+    EXPECT_EQ(s->chained_reads, 1u);
+    EXPECT_EQ(s->chain_fallbacks, 0u);
+    EXPECT_TRUE(client().Delete(id).ok());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendChainCacheTest,
+                         ::testing::Values(Backend::kSim, Backend::kSocket),
+                         BackendName);
+
+// Two-sided parity (sim): with singleton conversion off and a message
+// ring configured, ReadIndirect rides the batch path and the SERVER
+// chases the pointer (protocol.h kReadPtr) — still one round trip.
+TEST(IndirectReadTwoSidedTest, ServerChasesPointerInOneRoundTrip) {
+  TestbedOptions o;
+  o.pods = 2;
+  o.racks_per_pod = 2;
+  o.servers_per_rack = 4;
+  o.client.region_bytes = 4 * kMiB;
+  o.costs.one_sided_singletons = false;  // Testbed copies costs into client
+  Testbed tb(o);
+  auto id_or = tb.client().CreateWithConfig(
+      8 * kMiB, RdmaConfig{2, 1, 8, 4}, /*record_bytes=*/64);
+  ASSERT_TRUE(id_or.ok()) << id_or.status().ToString();
+  const auto id = *id_or;
+
+  const char msg[] = "server-side chase";
+  const uint64_t ptr_word = 4096;
+  int writes_done = 0;
+  auto wrote = [&](Status st) {
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    writes_done++;
+  };
+  ASSERT_TRUE(tb.client().Write(id, 4096, msg, sizeof(msg), wrote).ok());
+  ASSERT_TRUE(
+      tb.client().Write(id, 8192, &ptr_word, sizeof(ptr_word), wrote).ok());
+  tb.sim().Run();
+  ASSERT_EQ(writes_done, 2);
+
+  char out[64] = {};
+  bool read = false;
+  ASSERT_TRUE(tb.client()
+                  .ReadIndirect(id, 8192, out, sizeof(msg),
+                                [&](Status st) {
+                                  EXPECT_TRUE(st.ok()) << st.ToString();
+                                  read = true;
+                                })
+                  .ok());
+  tb.sim().Run();
+  ASSERT_TRUE(read);
+  EXPECT_STREQ(out, msg);
+  const CacheClient::Stats* s = tb.client().stats(id);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->indirect_reads, 1u);
+  // Served by the server-side chase: no NIC chain, no client fallback —
+  // the indirect read rode the message ring like the two writes did.
+  EXPECT_EQ(s->chained_reads, 0u);
+  EXPECT_EQ(s->chain_fallbacks, 0u);
+  EXPECT_EQ(s->batched_ops, 3u);
+}
 
 }  // namespace
 }  // namespace redy
